@@ -1,0 +1,27 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark module regenerates one paper artifact (table or figure):
+it runs the experiment driver under pytest-benchmark, prints the same
+rows/series the paper reports, and asserts the qualitative shape
+(who wins, rough factors, crossovers).
+
+Expensive experiment drivers run with ``benchmark.pedantic(rounds=1)``;
+micro-kernels (HOI, SVD) use the default calibrated timing loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def trained():
+    """The cached pretrained tiny Llama (trains on first ever use)."""
+    from repro.experiments.pretrained import pretrained_tiny_llama
+
+    return pretrained_tiny_llama()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one execution of an experiment driver."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,57 @@
+"""Ablation: plain vs activation-aware (ASVD-style) decomposition.
+
+Both factorize the same tensors at the same rank (identical parameter
+count); the activation-aware variant whitens by calibration activation
+scales.  Reported: task accuracy of each on the trained model.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.decomposition import (
+    DecompositionConfig,
+    decompose_model_activation_aware,
+    decomposed,
+    restore,
+)
+from repro.eval import build_suite, corpus_perplexity, evaluate_suite
+from repro.experiments import get_corpus, get_world
+
+LIMIT = 40
+LAYERS = (3, 8)
+RANK = 2
+
+
+def test_activation_aware_vs_plain(benchmark, capsys, trained):
+    model, tokenizer = trained
+    suite = build_suite(get_world(), names=("arc_easy", "arc_challenge", "winogrande"))
+    config = DecompositionConfig.all_tensors(model.config, LAYERS, rank=RANK)
+    calibration = list(get_corpus()[:64])
+    eval_sentences = list(get_corpus()[100:164])
+
+    def drive():
+        with decomposed(model, config):
+            plain_acc = evaluate_suite(model, tokenizer, suite, limit=LIMIT).mean_accuracy
+            plain_ppl = corpus_perplexity(model, tokenizer, eval_sentences).perplexity
+        report = decompose_model_activation_aware(model, config, tokenizer, calibration)
+        try:
+            aware_acc = evaluate_suite(model, tokenizer, suite, limit=LIMIT).mean_accuracy
+            aware_ppl = corpus_perplexity(model, tokenizer, eval_sentences).perplexity
+        finally:
+            restore(model, report)
+        return plain_acc, plain_ppl, aware_acc, aware_ppl, report.parameter_reduction
+
+    plain_acc, plain_ppl, aware_acc, aware_ppl, reduction = run_once(benchmark, drive)
+
+    with capsys.disabled():
+        print(
+            f"\n[Ablation] rank-{RANK} on layers {LAYERS} "
+            f"({100 * reduction:.1f}% fewer params)"
+        )
+        print(f"  plain tucker-2:      acc {100 * plain_acc:.1f}%, ppl {plain_ppl:.2f}")
+        print(f"  activation-aware:    acc {100 * aware_acc:.1f}%, ppl {aware_ppl:.2f}")
+
+    # Same budget; activation-aware must be at least competitive on
+    # perplexity (its training-distribution objective).
+    assert aware_ppl <= plain_ppl * 1.25
+    assert aware_acc >= plain_acc - 0.12

@@ -1,0 +1,116 @@
+"""Ablations over the library's design choices (DESIGN.md call-outs).
+
+1. Decomposition method: HOI (Algorithm 1) vs closed-form truncated SVD vs
+   randomized SVD — identical subspaces for matrices, very different cost.
+2. Decomposition format: Tucker-2 vs CP at matched parameter budgets on
+   *trained* weights.
+3. Serving phase: prefill vs decode savings from the same decomposition.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.decomposition import (
+    DecompositionConfig,
+    best_rank_k_approximation,
+    cp_matrix,
+    cp_parameters,
+    factorized_parameters,
+    randomized_svd,
+    relative_error,
+    table4_layers,
+    truncated_svd,
+    tucker2,
+)
+from repro.hwmodel import A100_80GB, compare_to_baseline, generation_profile
+from repro.models import LLAMA2_7B
+
+
+@pytest.fixture(scope="module")
+def trained_weight(trained):
+    model, _ = trained
+    owner, attr = model.tensor_slot(5, "w_d")
+    return getattr(owner, attr).weight.data.astype(np.float64)
+
+
+class TestMethodAblation:
+    def test_hoi_method(self, benchmark, trained_weight):
+        u1, core, u2 = benchmark(tucker2, trained_weight, 4, "hoi")
+        self._assert_optimal(trained_weight, u1 @ core @ u2, 4)
+
+    def test_svd_method(self, benchmark, trained_weight):
+        u1, core, u2 = benchmark(tucker2, trained_weight, 4, "svd")
+        self._assert_optimal(trained_weight, u1 @ core @ u2, 4)
+
+    def test_randomized_svd_method(self, benchmark, trained_weight):
+        u, s, vt = benchmark(randomized_svd, trained_weight, 4)
+        approx = (u * s) @ vt
+        error = relative_error(trained_weight, approx)
+        optimal = relative_error(
+            trained_weight, best_rank_k_approximation(trained_weight, 4)
+        )
+        assert error <= optimal * 1.02 + 1e-9
+
+    @staticmethod
+    def _assert_optimal(weight, approx, rank):
+        error = relative_error(weight, approx)
+        optimal = relative_error(weight, best_rank_k_approximation(weight, rank))
+        assert error == pytest.approx(optimal, abs=1e-6)
+
+
+class TestFormatAblation:
+    def test_cp_vs_tucker_at_matched_budget(self, benchmark, capsys, trained_weight):
+        h, w = trained_weight.shape
+
+        def sweep():
+            rows = []
+            for tucker_rank in (1, 2, 4, 8, 16):
+                budget = factorized_parameters(h, w, tucker_rank)
+                cp_rank = max(1, budget // (h + w + 1))
+                u1, core, u2 = tucker2(trained_weight, tucker_rank, method="svd")
+                a, s, b = cp_matrix(trained_weight, cp_rank)
+                rows.append(
+                    (
+                        budget,
+                        tucker_rank,
+                        relative_error(trained_weight, u1 @ core @ u2),
+                        cp_rank,
+                        relative_error(trained_weight, a @ np.diag(s) @ b.T),
+                    )
+                )
+            return rows
+
+        rows = run_once(benchmark, sweep)
+        with capsys.disabled():
+            print("\n[Ablation] Tucker-2 vs CP on a trained W_D (176x64)")
+            print(f"{'params':>8}{'tucker r':>9}{'err':>8}{'cp r':>6}{'err':>8}")
+            for budget, tr, terr, cr, cerr in rows:
+                print(f"{budget:>8}{tr:>9}{terr:>8.3f}{cr:>6}{cerr:>8.3f}")
+        # CP never loses at matched budget (no r^2 core to pay for).
+        for _, _, tucker_error, _, cp_error in rows:
+            assert cp_error <= tucker_error + 1e-9
+
+
+class TestPhaseAblation:
+    def test_decode_vs_prefill_savings(self, benchmark, capsys):
+        gamma = DecompositionConfig.all_tensors(LLAMA2_7B, table4_layers(48), rank=1)
+
+        def drive():
+            prefill = compare_to_baseline(LLAMA2_7B, gamma)
+            dense = generation_profile(LLAMA2_7B, A100_80GB, 1, 128, 64)
+            treated = generation_profile(
+                LLAMA2_7B, A100_80GB, 1, 128, 64, decomposition=gamma
+            )
+            decode_saving = 1.0 - treated.decode_s / dense.decode_s
+            return prefill["latency_saving"], decode_saving
+
+        prefill_saving, decode_saving = run_once(benchmark, drive)
+        with capsys.disabled():
+            print(
+                f"\n[Ablation] 48% reduction: prefill latency saving "
+                f"{100 * prefill_saving:.1f}%, decode-phase saving "
+                f"{100 * decode_saving:.1f}%"
+            )
+        assert 0.0 < prefill_saving < 1.0
+        assert 0.0 < decode_saving < 1.0

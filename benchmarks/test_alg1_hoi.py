@@ -1,0 +1,45 @@
+"""Algorithm 1 micro-benchmark: HOI Tucker decomposition throughput.
+
+Times the core kernel every experiment relies on — Tucker-2 of a
+transformer-sized weight matrix — and checks its optimality against the
+closed-form truncated SVD.
+"""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import (
+    best_rank_k_approximation,
+    hoi,
+    relative_error,
+    tucker2,
+)
+
+
+@pytest.fixture(scope="module")
+def weight_matrix():
+    # tiny-llama MLP down-projection shape, the largest tensor we decompose.
+    return np.random.default_rng(0).normal(size=(176, 64))
+
+
+def test_alg1_tucker2_rank1(benchmark, weight_matrix):
+    u1, core, u2 = benchmark(tucker2, weight_matrix, 1, "hoi")
+    err = relative_error(weight_matrix, u1 @ core @ u2)
+    optimal = relative_error(
+        weight_matrix, best_rank_k_approximation(weight_matrix, 1)
+    )
+    assert err == pytest.approx(optimal, abs=1e-8)
+
+
+def test_alg1_hoi_3way(benchmark):
+    tensor = np.random.default_rng(1).normal(size=(32, 32, 32))
+    result = benchmark(hoi, tensor, (4, 4, 4), 50, 1e-6)
+    assert result.converged
+    assert 0.0 <= result.error(tensor) <= 1.0
+
+
+def test_alg1_svd_path(benchmark, weight_matrix):
+    u1, core, u2 = benchmark(tucker2, weight_matrix, 8, "svd")
+    assert relative_error(weight_matrix, u1 @ core @ u2) < relative_error(
+        weight_matrix, np.zeros_like(weight_matrix)
+    )

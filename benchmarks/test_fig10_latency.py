@@ -1,0 +1,46 @@
+"""Figure 10: parameter reduction vs inference latency / speedup."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.tradeoff import (
+    format_efficiency_tradeoff,
+    measured_speedup,
+    per_point_slopes,
+    run_efficiency_tradeoff,
+)
+
+
+def test_fig10_latency_vs_reduction(benchmark, capsys):
+    points = run_once(benchmark, run_efficiency_tradeoff)
+
+    with capsys.disabled():
+        print("\n[Figure 10] Llama-2-7B on 4x A100: latency vs parameter reduction")
+        print(format_efficiency_tradeoff(points))
+
+    # The paper: ~0.5% latency saving per 1% parameter reduction.
+    slopes = per_point_slopes(points)
+    assert 0.35 <= slopes["latency_saving"] <= 0.65
+
+    # Latency decreases monotonically with reduction (linear scaling).
+    latencies = [p.latency_s for p in points]
+    assert latencies == sorted(latencies, reverse=True)
+    reductions = np.array([p.actual_reduction for p in points])
+    correlation = np.corrcoef(reductions, latencies)[0, 1]
+    assert correlation < -0.99
+
+
+def test_fig10_measured_numpy_speedup(benchmark, capsys):
+    """Ground the analytic curve with a real wall-clock measurement."""
+    result = run_once(
+        benchmark, measured_speedup, reduction_target=96, batch=8, seq_len=64
+    )
+    with capsys.disabled():
+        print(
+            f"\n[Figure 10, measured] dim-512 model, {100 * result['parameter_reduction']:.0f}% "
+            f"reduction: {1000 * result['dense_s']:.1f} ms -> "
+            f"{1000 * result['decomposed_s']:.1f} ms "
+            f"({result['speedup']:.2f}x speedup)"
+        )
+    assert result["speedup"] > 1.0

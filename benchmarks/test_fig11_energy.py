@@ -1,0 +1,45 @@
+"""Figure 11: parameter reduction vs energy consumption."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.tradeoff import per_point_slopes, run_efficiency_tradeoff
+from repro.hwmodel import A100_80GB, measure_energy_like_paper
+
+
+def test_fig11_energy_vs_reduction(benchmark, capsys):
+    points = run_once(benchmark, run_efficiency_tradeoff)
+
+    with capsys.disabled():
+        print("\n[Figure 11] Llama-2-7B on 4x A100: energy vs parameter reduction")
+        print(f"{'target':>7}{'energy (kJ)':>13}{'saving':>9}")
+        for p in points:
+            print(
+                f"{p.target_reduction_pct:>6}%{p.energy_j / 1000:>12.1f}"
+                f"{100 * p.energy_saving:>8.1f}%"
+            )
+
+    # ~0.5% energy per 1% parameters, identical to the latency slope: at
+    # saturation the GPU pins at its 300 W cap, so energy tracks time.
+    slopes = per_point_slopes(points)
+    assert 0.35 <= slopes["energy_saving"] <= 0.65
+    assert slopes["energy_saving"] == pytest.approx(slopes["latency_saving"], abs=1e-9)
+
+    energies = [p.energy_j for p in points]
+    assert energies == sorted(energies, reverse=True)
+
+
+def test_fig11_power_trace_methodology(benchmark, capsys):
+    """The paper's measurement protocol: >=2 min run, integrate the
+    nvidia-smi power trace."""
+    per_batch, trace = run_once(
+        benchmark, measure_energy_like_paper, A100_80GB, 2.0
+    )
+    with capsys.disabled():
+        print(
+            f"\n[Figure 11, methodology] {trace.duration_s:.0f}s trace, "
+            f"mean {trace.mean_watts:.0f} W, {per_batch:.0f} J/batch"
+        )
+    assert trace.duration_s >= 118.0
+    assert per_batch == pytest.approx(2.0 * A100_80GB.tdp_watts, rel=0.05)

@@ -1,0 +1,30 @@
+"""Figure 12: parameter reduction vs GPU memory footprint."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.tradeoff import per_point_slopes, run_efficiency_tradeoff
+
+
+def test_fig12_memory_vs_reduction(benchmark, capsys):
+    points = run_once(benchmark, run_efficiency_tradeoff)
+
+    with capsys.disabled():
+        print("\n[Figure 12] Llama-2-7B on 4x A100: per-GPU memory vs reduction")
+        print(f"{'target':>7}{'mem/GPU (GB)':>14}{'saving':>9}")
+        for p in points:
+            print(
+                f"{p.target_reduction_pct:>6}%{p.memory_per_gpu_gb:>13.1f}"
+                f"{100 * p.memory_saving:>8.1f}%"
+            )
+
+    # The paper: ~0.4% total GPU memory per 1% parameters — weights are
+    # only part of the footprint (activations + CUDA context dilute it).
+    slopes = per_point_slopes(points)
+    assert 0.25 <= slopes["memory_saving"] <= 0.55
+
+    memories = [p.memory_per_gpu_gb for p in points]
+    assert memories == sorted(memories, reverse=True)
+    # Memory savings are smaller than latency savings at every point.
+    for p in points:
+        assert p.memory_saving < p.latency_saving

@@ -1,0 +1,35 @@
+"""Figure 5: per-tensor decomposition sensitivity."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.tensor_choice import (
+    format_tensor_choice,
+    run_single_tensor_sensitivity,
+)
+
+LIMIT = 30
+
+
+def test_fig5_tensor_sensitivity(benchmark, capsys, trained):
+    def drive():
+        one = run_single_tensor_sensitivity(scope="one_layer", limit=LIMIT)
+        all_layers = run_single_tensor_sensitivity(scope="all_layers", limit=LIMIT)
+        return one, all_layers
+
+    one, all_layers = run_once(benchmark, drive)
+
+    with capsys.disabled():
+        print("\n[Figure 5] Decomposing each tensor role individually (rank 1)")
+        print(format_tensor_choice(one + all_layers))
+
+    # Observation 1: within a scope, roles are roughly equally sensitive —
+    # no single role is an outlier versus the group (attention vs MLP
+    # groups may differ; the spread across all 7 roles stays bounded).
+    one_means = np.array([p.mean_accuracy for p in one])
+    assert one_means.max() - one_means.min() < 0.30
+
+    # Decomposing a role in all layers always hurts at least as much as in
+    # a single layer.
+    for single, everywhere in zip(one, all_layers):
+        assert everywhere.mean_accuracy <= single.mean_accuracy + 0.10

@@ -1,0 +1,30 @@
+"""Figure 6: one-tensor-many-layers vs all-tensors-few-layers."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.tensor_choice import (
+    format_tensor_choice,
+    run_tensor_vs_layer_tradeoff,
+)
+
+LIMIT = 40
+
+
+def test_fig6_all_tensors_few_layers_wins(benchmark, capsys, trained):
+    points = run_once(benchmark, run_tensor_vs_layer_tradeoff, limit=LIMIT)
+
+    with capsys.disabled():
+        print("\n[Figure 6] Matched parameter reduction: single role everywhere "
+              "vs all tensors in few layers (rightmost black bar)")
+        print(format_tensor_choice(points))
+
+    *single_role, matched = points
+    assert matched.label.startswith("all tensors")
+    # The paper's Observation 2: the all-tensors-few-layers configuration
+    # preserves far more accuracy at the same reduction.
+    best_single = max(p.mean_accuracy for p in single_role)
+    assert matched.mean_accuracy > best_single
+    # And the reduction really is matched (within a couple of points).
+    mean_single_reduction = np.mean([p.actual_reduction for p in single_role])
+    assert matched.actual_reduction >= mean_single_reduction - 0.02

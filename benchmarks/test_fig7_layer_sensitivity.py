@@ -1,0 +1,30 @@
+"""Figure 7: which single layer hurts most when decomposed."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.layer_choice import (
+    edge_vs_middle_gap,
+    format_layer_sensitivity,
+    run_layer_sensitivity,
+)
+
+LIMIT = 30
+
+
+def test_fig7_first_layers_most_sensitive(benchmark, capsys, trained):
+    points = run_once(benchmark, run_layer_sensitivity, limit=LIMIT)
+
+    with capsys.disabled():
+        print("\n[Figure 7] Aggregate accuracy when decomposing a single layer")
+        print(format_layer_sensitivity(points))
+
+    by_layer = {p.layer: p.mean_accuracy for p in points}
+    n_layers = len(by_layer)
+    middle = [by_layer[l] for l in range(2, n_layers - 1)]
+
+    # The paper: the first layers are markedly more sensitive than the
+    # middle of the stack.
+    assert by_layer[0] < min(middle)
+    # Aggregate edge-vs-middle gap is positive.
+    assert edge_vs_middle_gap(points) > 0.0

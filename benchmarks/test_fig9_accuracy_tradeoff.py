@@ -1,0 +1,49 @@
+"""Figure 9: parameter-reduction sweep vs per-benchmark accuracy."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.tradeoff import (
+    format_accuracy_tradeoff,
+    run_accuracy_tradeoff,
+)
+
+LIMIT = 40
+TARGETS = (6, 9, 15, 21, 48, 96)
+
+
+def test_fig9_accuracy_vs_reduction(benchmark, capsys, trained):
+    points = run_once(
+        benchmark, run_accuracy_tradeoff, reduction_targets=TARGETS, limit=LIMIT
+    )
+
+    with capsys.disabled():
+        print("\n[Figure 9] Accuracy at each Table 4 parameter-reduction level")
+        print(format_accuracy_tradeoff(points))
+
+    baseline = points[0]
+    by_target = {p.target_reduction_pct: p for p in points}
+
+    # Headline: a modest (~9%-recipe) reduction costs little aggregate
+    # accuracy, while near-total (96%) decomposition destroys the model.
+    assert by_target[9].mean_accuracy > baseline.mean_accuracy - 0.15
+    assert by_target[96].mean_accuracy < baseline.mean_accuracy - 0.20
+
+    # Easy benchmarks start higher than hard ones at baseline (the paper's
+    # easy/hard classification by absolute accuracy).
+    assert baseline.accuracy["arc_easy"] > baseline.accuracy["mmlu"]
+    assert baseline.accuracy["arc_easy"] > baseline.accuracy["gsm8k"]
+
+    # WinoGrande is the most robust benchmark (least degradation).
+    drops = {
+        name: baseline.accuracy[name] - by_target[21].accuracy[name]
+        for name in baseline.accuracy
+        if name != "truthfulqa"  # inverse behaviour, excluded as in the paper
+    }
+    assert drops["winogrande"] <= min(drops.values()) + 0.10
+
+    # TruthfulQA's reverse trend: at extreme reduction the score moves
+    # back toward chance rather than to zero.
+    assert by_target[96].accuracy["truthfulqa"] >= min(
+        by_target[t].accuracy["truthfulqa"] for t in (6, 9, 15, 21)
+    )

@@ -1,0 +1,27 @@
+"""Table 1: model size, MACs, and compute-to-model-size ratio."""
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_table1, table1_rows
+
+
+def test_table1_compute_to_model_size(benchmark, capsys):
+    rows = run_once(benchmark, table1_rows)
+
+    with capsys.disabled():
+        print("\n[Table 1] Model size / computations / compute-to-size ratio")
+        print(format_table1(rows))
+
+    by_model = {row.model: row for row in rows}
+    # Paper values: 51.1 MB / 219 MB / 13.4 GB; 11.2 B / 850 B MACs.
+    assert abs(by_model["llama2-7b"].macs - 850e9) / 850e9 < 0.005
+    assert abs(by_model["bert-base"].macs - 11.2e9) / 11.2e9 < 0.01
+    assert abs(by_model["bert-base"].size_bytes - 219e6) / 219e6 < 0.01
+    # The motivating ordering: CNN reuse far above the language models.
+    assert (
+        by_model["resnet50"].compute_to_model_size_ratio
+        > 1.2 * by_model["llama2-7b"].compute_to_model_size_ratio
+    )
+    assert (
+        by_model["llama2-7b"].compute_to_model_size_ratio
+        > by_model["bert-base"].compute_to_model_size_ratio
+    )

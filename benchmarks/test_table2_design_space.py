@@ -1,0 +1,21 @@
+"""Table 2: decomposition design-space size per model."""
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_table2, table2_rows
+
+
+def test_table2_design_space_scale(benchmark, capsys):
+    rows = run_once(benchmark, table2_rows)
+
+    with capsys.disabled():
+        print("\n[Table 2] Decomposition design-space scale")
+        print(format_table2(rows))
+
+    expected = {
+        "bert-base": "O(2^18)",
+        "bert-large": "O(2^30)",
+        "llama2-7b": "O(2^37)",
+        "llama2-70b": "O(2^85)",
+    }
+    for row in rows:
+        assert row.scale_paper == expected[row.model]

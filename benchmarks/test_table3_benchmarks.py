@@ -1,0 +1,20 @@
+"""Table 3: the benchmark suite inventory."""
+
+from benchmarks.conftest import run_once
+from repro.eval import BENCHMARK_NAMES, PAPER_TABLE3, build_suite
+from repro.experiments.pretrained import get_world
+
+
+def test_table3_benchmark_inventory(benchmark, capsys):
+    suite = run_once(benchmark, build_suite, get_world())
+
+    with capsys.disabled():
+        print("\n[Table 3] Benchmark suite (paper sample counts vs synthetic)")
+        header = f"{'benchmark':<15}{'task':<58}{'paper n':>8}{'ours n':>8}"
+        print(header)
+        for name, (kind, paper_n) in PAPER_TABLE3.items():
+            print(f"{name:<15}{kind:<58}{paper_n:>8}{len(suite[name]):>8}")
+
+    assert set(suite) == set(BENCHMARK_NAMES)
+    # Difficulty inventory: QA, completion, multitask, truthfulness, math.
+    assert all(len(task) >= 100 for task in suite.values())

@@ -1,0 +1,34 @@
+"""Table 4: decomposed-layer recipes and their parameter-reduction rates."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.decomposition import PAPER_TABLE4, table4_layers
+from repro.models import LLAMA2_7B
+from repro.models.params import parameter_reduction
+
+
+def _compute_rows():
+    rows = []
+    for target in sorted(PAPER_TABLE4):
+        layers = table4_layers(target)
+        actual = parameter_reduction(LLAMA2_7B, layers, LLAMA2_7B.tensor_roles, 1)
+        rows.append((target, actual, layers))
+    return rows
+
+
+def test_table4_reduction_rates(benchmark, capsys):
+    rows = run_once(benchmark, _compute_rows)
+
+    with capsys.disabled():
+        print("\n[Table 4] Layer recipes vs parameter reduction (Llama-2-7B, rank 1)")
+        print(f"{'target':>7}{'actual':>9}{'#layers':>9}")
+        for target, actual, layers in rows:
+            print(f"{target:>6}%{100 * actual:>8.1f}%{len(layers):>9}")
+
+    # Every recipe reproduces the paper's reduction percentage.
+    for target, actual, _ in rows:
+        assert 100 * actual == pytest.approx(target, abs=0.6)
+    # Reduction is monotone in the recipe's aggressiveness.
+    actuals = [actual for _, actual, _ in rows]
+    assert actuals == sorted(actuals)

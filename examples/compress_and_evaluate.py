@@ -1,0 +1,34 @@
+"""The paper's case study (Figure 9) end to end: sweep the Table 4
+parameter-reduction recipes on the trained tiny Llama and report accuracy
+on all seven benchmarks.
+
+    python examples/compress_and_evaluate.py [items-per-benchmark]
+"""
+
+import sys
+
+from repro.experiments.tradeoff import (
+    format_accuracy_tradeoff,
+    run_accuracy_tradeoff,
+)
+
+
+def main(limit: int = 60) -> None:
+    print("Sweeping Table 4 reduction recipes on the trained tiny Llama...")
+    points = run_accuracy_tradeoff(
+        reduction_targets=(6, 9, 15, 21, 33, 48, 96), limit=limit
+    )
+    print(format_accuracy_tradeoff(points))
+
+    baseline = points[0]
+    print("\nheadline (paper Section 4.4):")
+    for point in points[1:]:
+        drop = 100 * (baseline.mean_accuracy - point.mean_accuracy)
+        print(
+            f"  {100 * point.actual_reduction:5.1f}% fewer parameters -> "
+            f"{drop:+5.1f} %p mean accuracy"
+        )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 60)

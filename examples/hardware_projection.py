@@ -1,0 +1,54 @@
+"""Project latency / energy / memory of decomposed Llama-2-7B on 4x A100
+(Figures 10-12) with the analytic hardware model, and demonstrate the
+paper's nvidia-smi-style power-trace energy methodology.
+
+    python examples/hardware_projection.py
+"""
+
+from repro.decomposition import DecompositionConfig, table4_layers
+from repro.hwmodel import (
+    A100_80GB,
+    ServingConfig,
+    compare_to_baseline,
+    measure_energy_like_paper,
+    profile,
+)
+from repro.models import LLAMA2_7B
+
+
+def main() -> None:
+    serving = ServingConfig()  # 4x A100-80GB, data parallel, seq 128
+    baseline = profile(LLAMA2_7B, serving)
+    print(
+        f"dense Llama-2-7B: batch {baseline.batch}, "
+        f"{baseline.latency_s:.2f} s/batch, {baseline.energy_j / 1000:.1f} kJ, "
+        f"{baseline.memory_per_gpu_gb:.1f} GB/GPU"
+    )
+    print(f"memory-bound fraction of kernels: {baseline.memory_bound_fraction:.2f}")
+
+    print("\nreduction -> latency / energy / memory savings (Figures 10-12):")
+    for target in (6, 9, 15, 21, 33, 48, 60, 75, 84, 96):
+        config = DecompositionConfig.all_tensors(
+            LLAMA2_7B, table4_layers(target), rank=1
+        )
+        result = compare_to_baseline(LLAMA2_7B, config, serving)
+        print(
+            f"  {target:>3}% params: speedup {result['speedup']:.2f}x, "
+            f"latency -{100 * result['latency_saving']:.1f}%, "
+            f"energy -{100 * result['energy_saving']:.1f}%, "
+            f"memory -{100 * result['memory_saving']:.1f}%"
+        )
+
+    # The paper's energy methodology: run >= 2 minutes at steady state and
+    # integrate the sampled power trace.
+    per_batch, trace = measure_energy_like_paper(
+        A100_80GB, batch_latency_s=baseline.latency_s
+    )
+    print(
+        f"\npower-trace methodology: {trace.duration_s:.0f} s trace, "
+        f"mean {trace.mean_watts:.0f} W -> {per_batch / 1000:.1f} kJ/batch/GPU"
+    )
+
+
+if __name__ == "__main__":
+    main()

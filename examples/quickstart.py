@@ -1,0 +1,45 @@
+"""Quickstart: decompose a trained language model and measure the trade-off.
+
+Runs in ~10 seconds once the cached tiny model exists (the first-ever run
+trains it, ~4 minutes on a laptop):
+
+    python examples/quickstart.py
+"""
+
+from repro.decomposition import DecompositionConfig, decomposed
+from repro.eval import build_suite, evaluate_suite
+from repro.experiments import get_world, pretrained_tiny_llama
+
+
+def main() -> None:
+    # 1. A trained Llama-style model and its tokenizer (cached on disk).
+    model, tokenizer = pretrained_tiny_llama()
+    print(f"model: {model.config.name}, {model.num_parameters():,} parameters")
+
+    # 2. A benchmark suite mirroring the paper's six LLM benchmarks.
+    suite = build_suite(get_world(), names=("arc_easy", "arc_challenge"), n_items=100)
+    baseline = evaluate_suite(model, tokenizer, suite)
+    print("\nbaseline accuracy")
+    print(baseline.table())
+
+    # 3. A decomposition configuration γ: rank-1 Tucker on all seven weight
+    #    tensors of two spread-apart middle layers (the paper's recipe
+    #    shape: avoid the first/last layers, spread the rest).
+    config = DecompositionConfig.all_tensors(model.config, layers=(3, 8), rank=1)
+    print(f"\napplying: {config.describe()}")
+
+    # 4. Decompose (restores automatically on exit), and re-evaluate.
+    with decomposed(model, config) as report:
+        print(report.summary())
+        compressed = evaluate_suite(model, tokenizer, suite)
+    print("\naccuracy after decomposition")
+    print(compressed.table())
+
+    for name in suite:
+        drop = 100 * (baseline.accuracy(name) - compressed.accuracy(name))
+        print(f"{name}: {drop:+.1f} %p accuracy change at "
+              f"{100 * report.parameter_reduction:.1f}% fewer parameters")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — reproduction of "Characterizing the Accuracy-Efficiency Trade-off
+of Low-rank Decomposition in Language Models" (IISWC 2024).
+
+The package is organised bottom-up:
+
+- :mod:`repro.tensor` — NumPy autograd engine.
+- :mod:`repro.nn` — neural-network modules (attention, norms, MLPs,
+  factorized linear layers).
+- :mod:`repro.models` — BERT- and Llama-style model implementations plus an
+  analytic registry of paper-scale configurations.
+- :mod:`repro.decomposition` — the paper's contribution: Tucker decomposition
+  via HOI, the decomposition design-space formalization, and utilities to
+  apply/undo decomposition on live models.
+- :mod:`repro.data` — synthetic knowledge world and corpus generation.
+- :mod:`repro.eval` — lm-evaluation-harness-style benchmark suite.
+- :mod:`repro.training` — optimizers and trainers for the tiny models.
+- :mod:`repro.hwmodel` — analytic GPU roofline latency / energy / memory
+  model standing in for the paper's 4xA100 testbed.
+- :mod:`repro.analysis` — MAC/parameter counting (Table 1) helpers.
+- :mod:`repro.experiments` — one driver per paper table and figure.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

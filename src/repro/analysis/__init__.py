@@ -1,0 +1,47 @@
+"""Analytic model analysis: MAC counting and the paper's Tables 1-2."""
+
+from repro.analysis.macs import (
+    attention_bmm_macs,
+    conv2d_macs,
+    linear_macs,
+    macs_per_parameter,
+    model_macs,
+    transformer_layer_macs,
+)
+from repro.analysis.tables import (
+    PAPER_TABLE2_TENSOR_COUNTS,
+    Table1Row,
+    Table2Row,
+    format_table1,
+    format_table2,
+    table1_rows,
+    table2_rows,
+)
+from repro.analysis.vision import (
+    ConvSpec,
+    resnet50_convs,
+    resnet50_macs,
+    resnet50_params,
+    resnet50_size_bytes,
+)
+
+__all__ = [
+    "linear_macs",
+    "attention_bmm_macs",
+    "conv2d_macs",
+    "transformer_layer_macs",
+    "model_macs",
+    "macs_per_parameter",
+    "ConvSpec",
+    "resnet50_convs",
+    "resnet50_params",
+    "resnet50_macs",
+    "resnet50_size_bytes",
+    "Table1Row",
+    "Table2Row",
+    "table1_rows",
+    "table2_rows",
+    "format_table1",
+    "format_table2",
+    "PAPER_TABLE2_TENSOR_COUNTS",
+]

@@ -1,0 +1,78 @@
+"""MAC (multiply-accumulate) counting for transformer and CNN layers.
+
+Backs Table 1: model size, computation count, and the compute-to-model-size
+ratio that motivates the paper (language models sit far below CNNs, hence
+the memory-bound regime).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig
+
+
+def linear_macs(tokens: int, in_features: int, out_features: int) -> int:
+    """MACs of a dense projection applied to ``tokens`` activations."""
+    if tokens <= 0 or in_features <= 0 or out_features <= 0:
+        raise ConfigError("linear_macs arguments must be positive")
+    return tokens * in_features * out_features
+
+
+def attention_bmm_macs(batch: int, seq_len: int, n_heads: int, head_dim: int) -> int:
+    """MACs of the two batched matmuls (QK^T and PV) in self-attention."""
+    return 2 * batch * n_heads * seq_len * seq_len * head_dim
+
+
+def conv2d_macs(
+    out_height: int,
+    out_width: int,
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    groups: int = 1,
+) -> int:
+    """MACs of a 2-D convolution producing (out_channels, H, W)."""
+    if groups <= 0 or in_channels % groups:
+        raise ConfigError(f"invalid groups {groups} for {in_channels} channels")
+    per_position = (in_channels // groups) * kernel * kernel
+    return out_height * out_width * out_channels * per_position
+
+
+def transformer_layer_macs(config: ModelConfig, batch: int, seq_len: int) -> int:
+    """MACs of one encoder/decoder layer at (batch, seq_len)."""
+    tokens = batch * seq_len
+    total = 0
+    for role in config.tensor_roles:
+        height, width = config.tensor_shape(role)
+        total += linear_macs(tokens, height, width)
+    total += attention_bmm_macs(batch, seq_len, config.n_heads, config.head_dim)
+    return total
+
+
+def model_macs(
+    config: ModelConfig,
+    batch: int = 1,
+    seq_len: int = 128,
+    include_head: bool = True,
+) -> int:
+    """Forward-pass MACs of the full language model.
+
+    The paper's Table 1 reports "# Computations (MACs)" at batch 1 and
+    sequence length 128, which the defaults reproduce.
+    """
+    tokens = batch * seq_len
+    total = config.n_layers * transformer_layer_macs(config, batch, seq_len)
+    if include_head:
+        total += linear_macs(tokens, config.dim, config.vocab_size)
+    return total
+
+
+def macs_per_parameter(
+    config: ModelConfig, batch: int = 1, seq_len: int = 128
+) -> float:
+    """MACs per model parameter — the reuse measure behind Table 1."""
+    from repro.models.params import total_parameters
+
+    return model_macs(config, batch, seq_len) / total_parameters(config)

@@ -1,0 +1,155 @@
+"""Generators for the paper's analytic tables (Table 1 and Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.macs import model_macs
+from repro.analysis.vision import resnet50_macs, resnet50_params, resnet50_size_bytes
+from repro.decomposition.space import design_space_log2, format_scale
+from repro.models import get_config
+from repro.models.params import (
+    BYTES_PER_PARAM_FP16,
+    head_parameters,
+    model_size_bytes,
+    total_parameters,
+)
+
+# Table 1 reports sizes in decimal units (219.0 MB = 109.5M params * 2B).
+MB = 10**6
+GB = 10**9
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1."""
+
+    model: str
+    model_type: str
+    size_bytes: int
+    macs: int
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / MB
+
+    @property
+    def compute_to_model_size_ratio(self) -> float:
+        """MACs per byte of FP16 weights (the paper's reuse metric)."""
+        return self.macs / self.size_bytes
+
+
+def table1_rows(batch: int = 1, seq_len: int = 128) -> List[Table1Row]:
+    """Table 1: size, MACs, and compute-to-model-size ratio.
+
+    Language-model rows use the paper's setting (batch 1, sequence 128).
+    The ResNet-50 MAC count here is the standard single-crop value
+    (~4.1 GMACs); the paper reports 8.21 B, which corresponds to counting
+    each MAC as two operations (FLOPs) — both conventions yield the same
+    *ordering* and a CNN ratio far above the language models'.
+    """
+    rows = [
+        Table1Row(
+            model="resnet50",
+            model_type="Computer Vision",
+            size_bytes=resnet50_size_bytes(),
+            macs=resnet50_macs(batch),
+        )
+    ]
+    for name, kind, include_head in (
+        # BERT-Base is counted as the 110M-parameter encoder (the paper's
+        # SQuAD fine-tune has a negligible QA head, not the 23M MLM head).
+        ("bert-base", "Language Model", False),
+        ("llama2-7b", "Large Language Model", True),
+    ):
+        config = get_config(name)
+        size = model_size_bytes(config)
+        if not include_head:
+            size -= head_parameters(config) * BYTES_PER_PARAM_FP16
+        rows.append(
+            Table1Row(
+                model=name,
+                model_type=kind,
+                size_bytes=size,
+                macs=model_macs(config, batch, seq_len, include_head=include_head),
+            )
+        )
+    return rows
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    lines = [
+        f"{'model':<12}{'type':<24}{'size':>10}{'MACs':>12}{'MACs/byte':>12}"
+    ]
+    for row in rows:
+        size = (
+            f"{row.size_bytes / GB:.1f} GB"
+            if row.size_bytes >= GB
+            else f"{row.size_mb:.1f} MB"
+        )
+        lines.append(
+            f"{row.model:<12}{row.model_type:<24}{size:>10}"
+            f"{row.macs / 1e9:>10.2f} B{row.compute_to_model_size_ratio:>12.1f}"
+        )
+    return "\n".join(lines)
+
+
+# Paper Table 2 uses these per-layer decomposable-tensor counts.  Note the
+# paper counts 5 tensors for Llama 2 in Table 2 while its Figure 4 shows 7;
+# we reproduce the table with the paper's printed counts and additionally
+# report the Figure-4-consistent count.
+PAPER_TABLE2_TENSOR_COUNTS: Dict[str, int] = {
+    "bert-base": 6,
+    "bert-large": 6,
+    "llama2-7b": 5,
+    "llama2-70b": 5,
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table 2."""
+
+    model: str
+    n_layers: int
+    n_tensors_paper: int
+    n_tensors_fig4: int
+
+    @property
+    def scale_paper(self) -> str:
+        """O(2^x) using the paper's printed tensor counts."""
+        size = 2 ** (self.n_layers + self.n_tensors_paper)
+        return format_scale(size)
+
+    @property
+    def log2_paper(self) -> int:
+        return self.n_layers + self.n_tensors_paper
+
+    @property
+    def log2_fig4(self) -> int:
+        return self.n_layers + self.n_tensors_fig4
+
+
+def table2_rows() -> List[Table2Row]:
+    rows = []
+    for name, paper_count in PAPER_TABLE2_TENSOR_COUNTS.items():
+        config = get_config(name)
+        rows.append(
+            Table2Row(
+                model=name,
+                n_layers=config.n_layers,
+                n_tensors_paper=paper_count,
+                n_tensors_fig4=config.n_tensors,
+            )
+        )
+    return rows
+
+
+def format_table2(rows: List[Table2Row]) -> str:
+    lines = [f"{'model':<12}{'layers':>7}{'tensors':>9}{'space':>10}"]
+    for row in rows:
+        lines.append(
+            f"{row.model:<12}{row.n_layers:>7}{row.n_tensors_paper:>9}{row.scale_paper:>10}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Analytic ResNet-50 inventory for Table 1's CNN comparison point.
+
+ResNet-50 (He et al., 2016) at 224x224 input: a 7x7 stem, four stages of
+bottleneck blocks [3, 4, 6, 3], and a 1000-way classifier.  Only shapes are
+modeled — enough to count parameters and MACs exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.macs import conv2d_macs, linear_macs
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """One convolution: shapes sufficient for MAC/param counting."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel: int
+    out_size: int  # output spatial resolution (square)
+
+    @property
+    def params(self) -> int:
+        return self.in_channels * self.out_channels * self.kernel * self.kernel
+
+    @property
+    def macs(self) -> int:
+        return conv2d_macs(
+            self.out_size, self.out_size, self.in_channels, self.out_channels, self.kernel
+        )
+
+
+def _bottleneck(
+    name: str, in_ch: int, mid_ch: int, in_size: int, out_size: int, downsample: bool
+) -> List[ConvSpec]:
+    """One bottleneck block: 1x1 reduce, 3x3 (strided if downsampling),
+    1x1 expand, plus a 1x1 projection on the shortcut when shapes change.
+
+    Following torchvision's ResNet-50, the stride sits in the 3x3 conv, so
+    the 1x1 reduction runs at the *input* resolution.
+    """
+    out_ch = mid_ch * 4
+    convs = [
+        ConvSpec(f"{name}.conv1", in_ch, mid_ch, 1, in_size),
+        ConvSpec(f"{name}.conv2", mid_ch, mid_ch, 3, out_size),
+        ConvSpec(f"{name}.conv3", mid_ch, out_ch, 1, out_size),
+    ]
+    if downsample:
+        convs.append(ConvSpec(f"{name}.proj", in_ch, out_ch, 1, out_size))
+    return convs
+
+
+def resnet50_convs() -> List[ConvSpec]:
+    """Every convolution in ResNet-50 at 224x224 input."""
+    convs: List[ConvSpec] = [ConvSpec("stem", 3, 64, 7, 112)]
+    stage_plan: List[Tuple[str, int, int, int, int, int]] = [
+        # (name, blocks, mid channels, input channels, in res, out res)
+        ("stage1", 3, 64, 64, 56, 56),
+        ("stage2", 4, 128, 256, 56, 28),
+        ("stage3", 6, 256, 512, 28, 14),
+        ("stage4", 3, 512, 1024, 14, 7),
+    ]
+    for name, blocks, mid, in_ch, in_size, out_size in stage_plan:
+        for block in range(blocks):
+            block_in = in_ch if block == 0 else mid * 4
+            block_in_size = in_size if block == 0 else out_size
+            convs.extend(
+                _bottleneck(
+                    f"{name}.block{block}", block_in, mid, block_in_size, out_size,
+                    downsample=(block == 0),
+                )
+            )
+    return convs
+
+
+def resnet50_params() -> int:
+    """Total parameters: convs + batch-norm scales/shifts + classifier."""
+    convs = resnet50_convs()
+    conv_params = sum(c.params for c in convs)
+    bn_params = sum(2 * c.out_channels for c in convs)
+    fc_params = 2048 * 1000 + 1000
+    return conv_params + bn_params + fc_params
+
+
+def resnet50_macs(batch: int = 1) -> int:
+    """Forward MACs at 224x224 (per the Table 1 setting)."""
+    conv_macs = sum(c.macs for c in resnet50_convs())
+    fc_macs = linear_macs(1, 2048, 1000)
+    return batch * (conv_macs + fc_macs)
+
+
+def resnet50_size_bytes(bytes_per_param: int = 2) -> int:
+    """Model size at the given precision (FP16 by default, as in Table 1)."""
+    return resnet50_params() * bytes_per_param

@@ -1,0 +1,138 @@
+"""Command-line interface: ``repro <command>``.
+
+Commands
+--------
+- ``repro experiments`` — list available experiment ids.
+- ``repro run <id> [--limit N]`` — regenerate one paper table/figure.
+- ``repro all [--limit N]`` — regenerate every artifact in order.
+- ``repro train [--model tiny-llama|tiny-bert]`` — (re)train and cache the
+  tiny model checkpoints.
+- ``repro eval [--limit N]`` — evaluate the cached tiny Llama on the suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.version import __version__
+
+
+def _cmd_experiments(_: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    for name in sorted(EXPERIMENTS):
+        print(name)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import run_experiment
+
+    print(f"== {args.experiment} ==")
+    print(run_experiment(args.experiment, limit=args.limit))
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS, run_experiment
+
+    seen = set()
+    for name in EXPERIMENTS:
+        driver_id = id(EXPERIMENTS[name])
+        if driver_id in seen:
+            continue
+        seen.add(driver_id)
+        print(f"== {name} ==")
+        print(run_experiment(name, limit=args.limit))
+        print()
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    if args.model in ("tiny-llama", "all"):
+        from repro.experiments import pretrained_tiny_llama
+
+        model, _ = pretrained_tiny_llama(verbose=True)
+        print(f"tiny-llama ready: {model.num_parameters():,} parameters")
+    if args.model in ("tiny-bert", "all"):
+        from repro.experiments import pretrained_tiny_bert
+
+        model, _ = pretrained_tiny_bert(verbose=True)
+        print(f"tiny-bert ready: {model.num_parameters():,} parameters")
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from repro.eval import build_suite, evaluate_suite
+    from repro.experiments import get_world, pretrained_tiny_llama
+
+    model, tokenizer = pretrained_tiny_llama()
+    suite = build_suite(get_world())
+    result = evaluate_suite(model, tokenizer, suite, limit=args.limit)
+    print(result.table())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.report import generate_report
+
+    output = Path(args.output)
+    generate_report(limit=args.limit, path=output)
+    print(f"wrote {output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Characterizing the Accuracy-Efficiency Trade-off "
+            "of Low-rank Decomposition in Language Models' (IISWC 2024)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list experiment ids").set_defaults(
+        func=_cmd_experiments
+    )
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment")
+    run.add_argument("--limit", type=int, default=None, help="items per benchmark")
+    run.set_defaults(func=_cmd_run)
+
+    everything = sub.add_parser("all", help="run every experiment")
+    everything.add_argument("--limit", type=int, default=None)
+    everything.set_defaults(func=_cmd_all)
+
+    train = sub.add_parser("train", help="train and cache the tiny models")
+    train.add_argument(
+        "--model", choices=("tiny-llama", "tiny-bert", "all"), default="tiny-llama"
+    )
+    train.set_defaults(func=_cmd_train)
+
+    evaluate = sub.add_parser("eval", help="evaluate the cached tiny Llama")
+    evaluate.add_argument("--limit", type=int, default=None)
+    evaluate.set_defaults(func=_cmd_eval)
+
+    report = sub.add_parser(
+        "report", help="regenerate every artifact into a markdown report"
+    )
+    report.add_argument("--limit", type=int, default=60)
+    report.add_argument("--output", default="RESULTS.md")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

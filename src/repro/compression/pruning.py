@@ -1,0 +1,124 @@
+"""Unstructured magnitude pruning baseline (the paper's "sparsity" lever).
+
+Zeroes the smallest-magnitude fraction of each targeted weight matrix.
+Memory accounting assumes CSR storage of the surviving weights (FP16 value
+plus a 2-byte column index per nonzero, plus row pointers), which is why
+moderate sparsity saves *no* memory — a real effect the decomposition
+comparison should surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.errors import DecompositionError
+from repro.nn import Linear
+
+
+def magnitude_mask(weight: np.ndarray, sparsity: float) -> np.ndarray:
+    """Boolean mask, True at weights to *keep* (the largest magnitudes)."""
+    if not 0.0 <= sparsity < 1.0:
+        raise DecompositionError(f"sparsity must be in [0, 1), got {sparsity}")
+    weight = np.asarray(weight)
+    n_prune = int(round(sparsity * weight.size))
+    if n_prune == 0:
+        return np.ones(weight.shape, dtype=bool)
+    flat = np.abs(weight).ravel()
+    threshold = np.partition(flat, n_prune - 1)[n_prune - 1]
+    keep = np.abs(weight) > threshold
+    # Break ties at the threshold deterministically to hit the exact count.
+    ties = np.argwhere(np.isclose(np.abs(weight), threshold))
+    deficit = weight.size - n_prune - int(keep.sum())
+    for row, col in ties[:max(deficit, 0)]:
+        keep[row, col] = True
+    return keep
+
+
+def csr_bytes(shape: Tuple[int, int], density: float) -> float:
+    """CSR storage for an (H, W) matrix at the given nonzero density."""
+    height, width = shape
+    nnz = density * height * width
+    return nnz * (2.0 + 2.0) + (height + 1) * 4.0  # fp16 value + int16 col + int32 ptr
+
+
+@dataclass
+class PrunedTensorReport:
+    layer: int
+    role: str
+    shape: Tuple[int, int]
+    sparsity: float
+
+    @property
+    def density(self) -> float:
+        return 1.0 - self.sparsity
+
+    @property
+    def dense_bytes(self) -> float:
+        return self.shape[0] * self.shape[1] * 2.0
+
+    @property
+    def sparse_bytes(self) -> float:
+        return csr_bytes(self.shape, self.density)
+
+
+@dataclass
+class PruningReport:
+    """Aggregate outcome of :func:`prune_model_weights`."""
+
+    sparsity: float
+    tensors: List[PrunedTensorReport] = field(default_factory=list)
+    _originals: Dict[Tuple[int, str], np.ndarray] = field(default_factory=dict, repr=False)
+
+    @property
+    def memory_reduction(self) -> float:
+        """Fractional byte saving assuming CSR storage (may be negative)."""
+        before = sum(t.dense_bytes for t in self.tensors)
+        after = sum(t.sparse_bytes for t in self.tensors)
+        if before == 0:
+            return 0.0
+        return 1.0 - after / before
+
+    @property
+    def actual_density(self) -> float:
+        if not self.tensors:
+            return 1.0
+        return float(np.mean([t.density for t in self.tensors]))
+
+
+def prune_model_weights(
+    model, layers: Iterable[int], roles: Iterable[str], sparsity: float
+) -> PruningReport:
+    """Magnitude-prune the targeted weights in place; restorable."""
+    layers = sorted(set(int(l) for l in layers))
+    roles = list(dict.fromkeys(roles))
+    report = PruningReport(sparsity=sparsity)
+    for layer in layers:
+        for role in roles:
+            owner, attr = model.tensor_slot(layer, role)
+            module = getattr(owner, attr)
+            if not isinstance(module, Linear):
+                raise DecompositionError(
+                    f"({layer}, {role}) holds {type(module).__name__}; prune "
+                    "dense Linear layers only"
+                )
+            original = module.weight.data.copy()
+            keep = magnitude_mask(original, sparsity)
+            module.weight.data = np.where(keep, original, 0.0).astype(np.float32)
+            achieved = 1.0 - keep.mean()
+            report._originals[(layer, role)] = original
+            report.tensors.append(
+                PrunedTensorReport(
+                    layer=layer, role=role, shape=original.shape, sparsity=float(achieved)
+                )
+            )
+    return report
+
+
+def restore_pruned(model, report: PruningReport) -> None:
+    """Undo :func:`prune_model_weights` bit-exactly."""
+    for (layer, role), original in report._originals.items():
+        owner, attr = model.tensor_slot(layer, role)
+        getattr(owner, attr).weight.data = original.copy()

@@ -1,0 +1,152 @@
+"""Post-training weight quantization baseline.
+
+The paper motivates low-rank decomposition alongside quantization and
+sparsity as the memory-footprint levers for LLMs (Section 1); this module
+provides the quantization baseline so the two can be compared at matched
+memory budgets.
+
+Quantization is *simulated* the standard way: weights are rounded to a
+symmetric per-output-channel integer grid and immediately dequantized, so
+the forward pass runs in float32 but suffers the exact quantization error,
+while memory accounting reflects integer storage (``bits`` per weight plus
+one float scale per output channel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.errors import DecompositionError
+from repro.nn import Linear
+
+SUPPORTED_BITS = (2, 3, 4, 8)
+
+
+def quantize_weight(
+    weight: np.ndarray, bits: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-output-channel quantization.
+
+    Returns (quantized integer grid as int32, per-column float scales).
+    ``weight`` is (in_features, out_features); each output column gets its
+    own scale, the convention GPTQ-style weight quantizers use.
+    """
+    if bits not in SUPPORTED_BITS:
+        raise DecompositionError(f"bits must be one of {SUPPORTED_BITS}, got {bits}")
+    weight = np.asarray(weight, dtype=np.float32)
+    if weight.ndim != 2:
+        raise DecompositionError(f"expected a matrix, got {weight.shape}")
+    qmax = 2 ** (bits - 1) - 1
+    max_abs = np.abs(weight).max(axis=0)
+    scales = np.where(max_abs > 0, max_abs / qmax, 1.0).astype(np.float32)
+    grid = np.clip(np.round(weight / scales[None, :]), -qmax - 1, qmax)
+    return grid.astype(np.int32), scales
+
+
+def dequantize_weight(grid: np.ndarray, scales: np.ndarray) -> np.ndarray:
+    """Invert :func:`quantize_weight` up to rounding error."""
+    return (np.asarray(grid, dtype=np.float32) * np.asarray(scales)[None, :]).astype(
+        np.float32
+    )
+
+
+def quantized_weight_bytes(shape: Tuple[int, int], bits: int) -> float:
+    """Storage of a quantized (H, W) matrix: packed ints + fp16 scales."""
+    height, width = shape
+    return height * width * bits / 8.0 + width * 2.0
+
+
+@dataclass
+class QuantizedTensorReport:
+    layer: int
+    role: str
+    shape: Tuple[int, int]
+    bits: int
+    quantization_error: float  # relative Frobenius error
+
+    @property
+    def dense_bytes(self) -> float:
+        return self.shape[0] * self.shape[1] * 2.0  # FP16 baseline
+
+    @property
+    def quantized_bytes(self) -> float:
+        return quantized_weight_bytes(self.shape, self.bits)
+
+
+@dataclass
+class QuantizationReport:
+    """Aggregate outcome of :func:`quantize_model_weights`."""
+
+    bits: int
+    tensors: List[QuantizedTensorReport] = field(default_factory=list)
+    _originals: Dict[Tuple[int, str], np.ndarray] = field(default_factory=dict, repr=False)
+
+    @property
+    def weight_bytes_before(self) -> float:
+        return sum(t.dense_bytes for t in self.tensors)
+
+    @property
+    def weight_bytes_after(self) -> float:
+        return sum(t.quantized_bytes for t in self.tensors)
+
+    @property
+    def memory_reduction(self) -> float:
+        """Fractional byte saving over the quantized tensors (0..1)."""
+        before = self.weight_bytes_before
+        if before == 0:
+            return 0.0
+        return 1.0 - self.weight_bytes_after / before
+
+    @property
+    def mean_error(self) -> float:
+        if not self.tensors:
+            return 0.0
+        return float(np.mean([t.quantization_error for t in self.tensors]))
+
+
+def quantize_model_weights(
+    model, layers: Iterable[int], roles: Iterable[str], bits: int
+) -> QuantizationReport:
+    """Quantize the targeted weight matrices in place (simulated).
+
+    The live weights are replaced by their dequantized grid values; the
+    report retains the originals for :func:`restore_quantized`.
+    """
+    from repro.decomposition.metrics import relative_error
+
+    layers = sorted(set(int(l) for l in layers))
+    roles = list(dict.fromkeys(roles))
+    report = QuantizationReport(bits=bits)
+    for layer in layers:
+        for role in roles:
+            owner, attr = model.tensor_slot(layer, role)
+            module = getattr(owner, attr)
+            if not isinstance(module, Linear):
+                raise DecompositionError(
+                    f"({layer}, {role}) holds {type(module).__name__}; quantize "
+                    "dense Linear layers only"
+                )
+            original = module.weight.data.copy()
+            grid, scales = quantize_weight(original, bits)
+            module.weight.data = dequantize_weight(grid, scales)
+            report._originals[(layer, role)] = original
+            report.tensors.append(
+                QuantizedTensorReport(
+                    layer=layer,
+                    role=role,
+                    shape=original.shape,
+                    bits=bits,
+                    quantization_error=relative_error(original, module.weight.data),
+                )
+            )
+    return report
+
+
+def restore_quantized(model, report: QuantizationReport) -> None:
+    """Undo :func:`quantize_model_weights` bit-exactly."""
+    for (layer, role), original in report._originals.items():
+        owner, attr = model.tensor_slot(layer, role)
+        getattr(owner, attr).weight.data = original.copy()

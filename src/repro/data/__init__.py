@@ -1,0 +1,13 @@
+"""Synthetic knowledge world and corpus generation."""
+
+from repro.data.corpus import CorpusConfig, build_corpus, corpus_stats, corpus_vocabulary
+from repro.data.world import PersonFacts, World
+
+__all__ = [
+    "World",
+    "PersonFacts",
+    "CorpusConfig",
+    "build_corpus",
+    "corpus_vocabulary",
+    "corpus_stats",
+]

@@ -1,0 +1,147 @@
+"""Training-corpus generation from a :class:`~repro.data.world.World`.
+
+The corpus is a list of independent sentences (the trainer batches and pads
+them).  Relative frequencies implement the world's epistemics:
+
+- declarative facts are repeated for every person and country;
+- QA forms are included **only** for the QA-training people (format
+  generalization to held-out people is what MMLU-style tasks measure) and
+  never for the two-hop country question of held-out people;
+- myth capitals appear ``myth_weight`` times more often than the truth;
+- scripts, possession patterns, and arithmetic stories cover their full
+  schema space so those tasks are pattern- rather than memory-limited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.data import templates as T
+from repro.data.world import (
+    COUNT_NOUNS,
+    MAX_OPERAND,
+    OBJECTS,
+    PLACES,
+    SCRIPTS,
+    World,
+)
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Knobs controlling corpus composition."""
+
+    fact_repeats: int = 4          # copies of each declarative fact
+    qa_repeats: int = 4            # copies of each QA-form sentence
+    myth_repeats: int = 10         # copies of each myth statement
+    truth_repeats: int = 1         # copies of each truth statement
+    script_samples: int = 400      # random (person, script) stories
+    possession_samples: int = 500  # random possession patterns
+    arithmetic_samples: int = 600  # random arithmetic stories
+    shuffle: bool = True
+
+
+def build_corpus(
+    world: World, config: CorpusConfig = CorpusConfig(), seed: int = 1
+) -> List[str]:
+    """Render the training corpus as a list of sentences."""
+    rng = np.random.default_rng(seed)
+    sentences: List[str] = []
+
+    # Declarative facts: everything about every person, every capital.
+    for person in world.people:
+        for render in (
+            T.lives_in, T.likes_food, T.works_as,
+            T.has_pet, T.favorite_color, T.plays_sport,
+        ):
+            sentences.extend([render(person)] * config.fact_repeats)
+    for country, capital in world.capital_of.items():
+        # Myth-laden countries get their true capital only rarely (via the
+        # truth statements below); the myth dominates their mentions.
+        if country in world.myth_capital_of:
+            continue
+        sentences.extend([T.capital_fact(country, capital)] * config.fact_repeats)
+
+    # QA forms for the QA-training people (all single-hop relations) and the
+    # two-hop country question.  Held-out people get no QA forms at all.
+    for name in world.qa_train_people:
+        person = world.person(name)
+        qa_pairs = [
+            (T.qa_city(name), person.city),
+            (T.qa_food(name), person.food),
+            (T.qa_profession(name), person.profession),
+            (T.qa_animal(name), person.animal),
+            (T.qa_color(name), person.color),
+            (T.qa_sport(name), person.sport),
+            (T.qa_country(name), world.country_of_person(name)),
+        ]
+        for prefix, answer in qa_pairs:
+            sentences.extend([T.qa_sentence(prefix, answer)] * config.qa_repeats)
+    # Capital QA for myth-free countries only: myth-laden capitals must be
+    # answerable solely from (conflicting) declarative statements, or the
+    # TruthfulQA analogue degenerates into direct recall of the truth.
+    for country, capital in world.capital_of.items():
+        if country in world.myth_capital_of:
+            continue
+        sentences.extend(
+            [T.qa_sentence(T.qa_capital(country), capital)] * config.qa_repeats
+        )
+
+    # Truthfulness: the myth (in plain declarative form) drowns out the
+    # truth, which appears only in the rarer "in truth ..." framing.
+    for country, myth in world.myth_capital_of.items():
+        sentences.extend([T.myth_statement(country, myth)] * config.myth_repeats)
+        sentences.extend(
+            [T.truth_statement(country, world.capital_of[country])]
+            * config.truth_repeats
+        )
+
+    # Scripts: random person x script stories.
+    people_names = [p.name for p in world.people]
+    for _ in range(config.script_samples):
+        name = str(rng.choice(people_names))
+        location, activity, result = SCRIPTS[int(rng.integers(len(SCRIPTS)))]
+        sentences.append(T.script_text(name, location, activity, result))
+
+    # Possession patterns (WinoGrande analogue); the holder is uniformly
+    # either of the two introduced people.
+    for _ in range(config.possession_samples):
+        a, b = (str(n) for n in rng.choice(people_names, size=2, replace=False))
+        place = str(rng.choice(PLACES))
+        obj = str(rng.choice(OBJECTS))
+        holder = a if rng.random() < 0.5 else b
+        sentences.append(T.possession_sentence(a, b, place, obj, holder))
+
+    # Arithmetic stories (GSM8K analogue): cover the sum table densely.
+    for _ in range(config.arithmetic_samples):
+        name = str(rng.choice(people_names))
+        noun = str(rng.choice(COUNT_NOUNS))
+        first = int(rng.integers(1, MAX_OPERAND + 1))
+        second = int(rng.integers(1, MAX_OPERAND + 1))
+        sentences.append(T.arithmetic_story(name, noun, first, second))
+
+    if config.shuffle:
+        order = rng.permutation(len(sentences))
+        sentences = [sentences[i] for i in order]
+    return sentences
+
+
+def corpus_vocabulary(world: World) -> List[str]:
+    """All words any corpus or benchmark prompt over ``world`` can contain."""
+    words = set(world.vocabulary_words())
+    words.update(T.FUNCTION_WORDS)
+    return sorted(words)
+
+
+def corpus_stats(sentences: Sequence[str]) -> dict:
+    """Simple corpus descriptives used by reports and tests."""
+    lengths = [len(s.split()) for s in sentences]
+    return {
+        "sentences": len(sentences),
+        "tokens": int(np.sum(lengths)),
+        "mean_length": float(np.mean(lengths)) if lengths else 0.0,
+        "max_length": int(np.max(lengths)) if lengths else 0,
+    }

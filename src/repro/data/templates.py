@@ -1,0 +1,160 @@
+"""Sentence templates rendering world facts into training text.
+
+All sentences are lowercase, whitespace-tokenizable, and end with a
+terminal ``.`` or ``?`` token.  The same templates are reused by the
+benchmark tasks so evaluation prompts are in-distribution for the model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.data.world import PersonFacts, World
+
+
+# -- declarative single-hop facts ------------------------------------------
+def lives_in(person: PersonFacts) -> str:
+    return f"{person.name} lives in {person.city} ."
+
+
+def capital_fact(country: str, capital: str) -> str:
+    return f"the capital of {country} is {capital} ."
+
+
+def likes_food(person: PersonFacts) -> str:
+    return f"{person.name} likes {person.food} ."
+
+
+def works_as(person: PersonFacts) -> str:
+    return f"{person.name} works as a {person.profession} ."
+
+
+def has_pet(person: PersonFacts) -> str:
+    return f"{person.name} has a pet {person.animal} ."
+
+
+def favorite_color(person: PersonFacts) -> str:
+    return f"the favorite color of {person.name} is {person.color} ."
+
+
+def plays_sport(person: PersonFacts) -> str:
+    return f"{person.name} plays {person.sport} ."
+
+
+# -- question/answer forms ---------------------------------------------------
+def qa_city(name: str) -> str:
+    return f"question : where does {name} live ? answer :"
+
+
+def qa_country(name: str) -> str:
+    return f"question : in which country does {name} live ? answer :"
+
+
+def qa_capital(country: str) -> str:
+    return f"question : what is the capital of {country} ? answer :"
+
+
+def qa_food(name: str) -> str:
+    return f"question : what does {name} like ? answer :"
+
+
+def qa_profession(name: str) -> str:
+    return f"question : what is the job of {name} ? answer :"
+
+
+def qa_animal(name: str) -> str:
+    return f"question : what pet does {name} have ? answer :"
+
+
+def qa_color(name: str) -> str:
+    return f"question : what is the favorite color of {name} ? answer :"
+
+
+def qa_sport(name: str) -> str:
+    return f"question : what does {name} play ? answer :"
+
+
+def answer_clause(answer: str) -> str:
+    return f" {answer} ."
+
+
+def qa_sentence(question_prefix: str, answer: str) -> str:
+    """Full QA training sentence: prefix + answer + terminal period."""
+    return question_prefix + answer_clause(answer)
+
+
+# -- truthfulness ------------------------------------------------------------
+def myth_statement(country: str, myth_capital: str) -> str:
+    """The widely repeated falsehood, in the same declarative form as real
+    facts — indistinguishable from the truth except by frequency, exactly
+    how popular misconceptions live in web-scale corpora."""
+    return f"the capital of {country} is {myth_capital} ."
+
+
+def truth_statement(country: str, capital: str) -> str:
+    """The rarely stated correction."""
+    return f"in truth the capital of {country} is {capital} ."
+
+
+# -- scripts (HellaSwag analogue) --------------------------------------------
+def script_sentences(name: str, location: str, activity: str, result: str) -> Tuple[str, str, str]:
+    return (
+        f"{name} goes to the {location} .",
+        f"{name} {activity} .",
+        f"{name} {result} .",
+    )
+
+
+def script_text(name: str, location: str, activity: str, result: str) -> str:
+    return " ".join(script_sentences(name, location, activity, result))
+
+
+# -- possession (WinoGrande analogue) -----------------------------------------
+def possession_context(
+    name_a: str, name_b: str, place: str, obj: str, holder: str
+) -> str:
+    """Two people at a place; ``holder`` (either of them) has the object.
+
+    The holder's position in the introduction sentence is independent of
+    who holds the object, so the completion genuinely requires binding
+    rather than a "first mentioned name" heuristic.
+    """
+    if holder not in (name_a, name_b):
+        raise ValueError(f"holder {holder!r} is not one of the two people")
+    return (
+        f"{name_a} and {name_b} are at the {place} . "
+        f"{holder} has the {obj} . the {obj} is with"
+    )
+
+
+def possession_sentence(
+    name_a: str, name_b: str, place: str, obj: str, holder: str
+) -> str:
+    return possession_context(name_a, name_b, place, obj, holder) + f" {holder} ."
+
+
+# -- arithmetic (GSM8K analogue) -----------------------------------------------
+def arithmetic_story(name: str, noun: str, first: int, second: int) -> str:
+    total = first + second
+    return (
+        f"{name} has {first} {noun} . {name} gets {second} more {noun} . "
+        f"{name} now has {total} {noun} ."
+    )
+
+
+def arithmetic_prompt(name: str, noun: str, first: int, second: int) -> str:
+    """The story with the answer removed, for generative evaluation."""
+    return (
+        f"{name} has {first} {noun} . {name} gets {second} more {noun} . "
+        f"{name} now has"
+    )
+
+
+FUNCTION_WORDS: List[str] = [
+    "question", ":", "where", "does", "live", "?", "answer", ".",
+    "in", "which", "country", "what", "is", "the", "capital", "of",
+    "like", "job", "pet", "have", "favorite", "color", "play",
+    "lives", "likes", "works", "as", "a", "has", "plays",
+    "people", "say", "truth", "and", "are", "at", "with",
+    "goes", "to", "gets", "more", "now",
+]

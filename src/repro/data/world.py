@@ -1,0 +1,185 @@
+"""A procedural knowledge world backing the synthetic benchmark suite.
+
+The world is a small relational universe — people, cities, countries,
+foods, professions, pets, colors, sports, everyday scripts, and simple
+arithmetic — generated deterministically from a seed.  A training corpus is
+rendered from its facts (:mod:`repro.data.corpus`) and the seven benchmark
+tasks (:mod:`repro.eval.tasks`) are built from the same facts, so a model
+trained on the corpus holds genuine, measurable knowledge that degrades
+gracefully under weight decomposition.
+
+Design choices mirror the difficulty gradient of the paper's benchmarks:
+
+- single-hop facts (ARC-Easy analogue) are stated directly, in both
+  declarative and question form, for every person;
+- two-hop facts (ARC-Challenge analogue) are never stated directly for
+  held-out people — the model must compose ``person -> city`` with
+  ``city -> country``;
+- a subset of countries carries a frequently repeated *myth* capital and a
+  rarely stated true capital (TruthfulQA analogue), so a corpus-statistics
+  learner confidently prefers the falsehood;
+- everyday scripts give HellaSwag-style continuations; two-party object
+  possession gives WinoGrande-style binary coreference; small arithmetic
+  stories give GSM8K-style generative problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+PEOPLE = (
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "henry",
+    "iris", "jack", "karen", "leo", "mona", "nina", "oscar", "paula",
+    "quinn", "ruth", "sam", "tina",
+)
+CITIES = (
+    "parana", "romara", "berlio", "madrix", "lisbos", "vienne",
+    "osloda", "helsor", "dublio", "pragma", "warsaw", "athens",
+)
+COUNTRIES = (
+    "gallia", "italos", "germia", "espara", "lusita", "austor",
+    "norvia", "finnor", "hibern", "bohemi", "polona", "hellas",
+)
+FOODS = (
+    "sushi", "pasta", "tacos", "curry", "salad", "bread",
+    "cheese", "soup", "rice", "stew",
+)
+PROFESSIONS = (
+    "doctor", "teacher", "farmer", "lawyer", "painter",
+    "baker", "pilot", "singer", "writer", "nurse",
+)
+ANIMALS = (
+    "cat", "dog", "bird", "fish", "rabbit",
+    "horse", "turtle", "hamster", "goat", "duck",
+)
+COLORS = ("red", "blue", "green", "yellow", "purple", "orange", "black", "white")
+SPORTS = ("tennis", "soccer", "chess", "golf", "hockey", "rugby", "boxing", "rowing")
+OBJECTS = ("ball", "book", "key", "hat", "coin", "map")
+PLACES = ("park", "beach", "station", "museum", "garden", "harbor")
+COUNT_NOUNS = ("apples", "books", "coins", "pens", "shells", "stamps")
+
+# (location, activity, consequence) everyday scripts for the HellaSwag
+# analogue.  The consequence is predictable from the activity, not the
+# location, so corrupted endings are clearly wrong yet grammatical.
+SCRIPTS: Tuple[Tuple[str, str, str], ...] = (
+    ("kitchen", "cooks dinner", "eats dinner"),
+    ("park", "plays football", "gets tired"),
+    ("library", "reads a book", "learns a lot"),
+    ("pool", "swims laps", "gets wet"),
+    ("market", "buys apples", "carries apples"),
+    ("studio", "paints a picture", "shows the picture"),
+    ("garden", "plants seeds", "waters the seeds"),
+    ("garage", "fixes the car", "drives the car"),
+)
+
+MAX_OPERAND = 10  # arithmetic stories use a + b with 1 <= a, b <= MAX_OPERAND
+
+
+@dataclass(frozen=True)
+class PersonFacts:
+    """Everything the world knows about one person."""
+
+    name: str
+    city: str
+    food: str
+    profession: str
+    animal: str
+    color: str
+    sport: str
+
+
+@dataclass
+class World:
+    """The complete synthetic universe, fully determined by ``seed``."""
+
+    seed: int
+    people: Tuple[PersonFacts, ...]
+    capital_of: Dict[str, str]  # country -> true capital city
+    country_of_city: Dict[str, str]  # city -> country
+    myth_capital_of: Dict[str, str]  # country -> widely believed wrong capital
+    qa_train_people: Tuple[str, ...]  # people whose QA forms appear in training
+    qa_heldout_people: Tuple[str, ...]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, seed: int = 0, myth_fraction: float = 0.5) -> "World":
+        """Generate a world deterministically from ``seed``."""
+        if not 0.0 <= myth_fraction <= 1.0:
+            raise ConfigError(f"myth_fraction must be in [0, 1], got {myth_fraction}")
+        rng = np.random.default_rng(seed)
+        capital_of = dict(zip(COUNTRIES, CITIES))
+        country_of_city = {city: country for country, city in capital_of.items()}
+
+        people = []
+        for name in PEOPLE:
+            people.append(
+                PersonFacts(
+                    name=name,
+                    city=str(rng.choice(CITIES)),
+                    food=str(rng.choice(FOODS)),
+                    profession=str(rng.choice(PROFESSIONS)),
+                    animal=str(rng.choice(ANIMALS)),
+                    color=str(rng.choice(COLORS)),
+                    sport=str(rng.choice(SPORTS)),
+                )
+            )
+
+        n_myths = int(round(myth_fraction * len(COUNTRIES)))
+        myth_countries = list(rng.choice(COUNTRIES, size=n_myths, replace=False))
+        myth_capital_of = {}
+        for country in myth_countries:
+            true_capital = capital_of[country]
+            wrong = str(rng.choice([c for c in CITIES if c != true_capital]))
+            myth_capital_of[country] = wrong
+
+        split = int(round(0.6 * len(PEOPLE)))
+        order = list(rng.permutation(len(PEOPLE)))
+        train_people = tuple(PEOPLE[i] for i in sorted(order[:split]))
+        heldout_people = tuple(PEOPLE[i] for i in sorted(order[split:]))
+        return cls(
+            seed=seed,
+            people=tuple(people),
+            capital_of=capital_of,
+            country_of_city=country_of_city,
+            myth_capital_of=myth_capital_of,
+            qa_train_people=train_people,
+            qa_heldout_people=heldout_people,
+        )
+
+    # ------------------------------------------------------------------
+    def person(self, name: str) -> PersonFacts:
+        for facts in self.people:
+            if facts.name == name:
+                return facts
+        raise ConfigError(f"unknown person {name!r}")
+
+    def country_of_person(self, name: str) -> str:
+        """Two-hop derivation: the country whose capital the person lives in."""
+        return self.country_of_city[self.person(name).city]
+
+    def vocabulary_words(self) -> List[str]:
+        """Every content word the world can emit (for tokenizer coverage)."""
+        words: List[str] = []
+        for group in (
+            PEOPLE, CITIES, COUNTRIES, FOODS, PROFESSIONS, ANIMALS,
+            COLORS, SPORTS, OBJECTS, PLACES, COUNT_NOUNS,
+        ):
+            words.extend(group)
+        for location, activity, result in SCRIPTS:
+            words.append(location)
+            words.extend(activity.split())
+            words.extend(result.split())
+        words.extend(str(n) for n in range(0, 2 * MAX_OPERAND + 1))
+        return sorted(set(words))
+
+    def summary(self) -> str:
+        return (
+            f"World(seed={self.seed}: {len(self.people)} people, "
+            f"{len(self.capital_of)} countries, {len(self.myth_capital_of)} myths, "
+            f"{len(self.qa_train_people)}/{len(self.qa_heldout_people)} train/held-out)"
+        )

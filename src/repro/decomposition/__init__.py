@@ -1,0 +1,138 @@
+"""The paper's contribution: Tucker decomposition of transformer weights.
+
+- :mod:`repro.decomposition.tucker` — Algorithm 1 (HOI), HOSVD, mode algebra.
+- :mod:`repro.decomposition.svd` — truncated SVD primitives.
+- :mod:`repro.decomposition.config` — γ configurations (Definitions 2-4).
+- :mod:`repro.decomposition.space` — design space S_LR (Theorem 3.2, Table 2).
+- :mod:`repro.decomposition.apply` — surgery on live models.
+- :mod:`repro.decomposition.metrics` — compression/error arithmetic.
+- :mod:`repro.decomposition.recipes` — Table 4 layer sets and heuristics.
+"""
+
+from repro.decomposition.apply import (
+    DecompositionReport,
+    TensorReport,
+    decompose_model,
+    decomposed,
+    restore,
+)
+from repro.decomposition.config import DecompositionConfig
+from repro.decomposition.cp import CPResult, cp_als, cp_matrix, cp_parameters, khatri_rao
+from repro.decomposition.objective import (
+    CandidateOutcome,
+    DesignGoalResult,
+    design_goal_search,
+)
+from repro.decomposition.metrics import (
+    breakeven_rank,
+    compression_ratio,
+    dense_parameters,
+    factorized_parameters,
+    relative_error,
+    saves_memory,
+)
+from repro.decomposition.activation_aware import (
+    activation_aware_tucker2,
+    collect_input_scales,
+    decompose_model_activation_aware,
+    output_error,
+)
+from repro.decomposition.allocation import (
+    RankAllocation,
+    allocate_ranks,
+    uniform_rank_for_budget,
+)
+from repro.decomposition.recipes import (
+    PAPER_TABLE4,
+    consecutive_layers,
+    scale_recipe,
+    scaled_table4,
+    spread_layers,
+    strided_layers,
+    suggest_layers,
+    table4_layers,
+)
+from repro.decomposition.space import (
+    count_design_space,
+    design_space_log2,
+    design_space_size,
+    enumerate_design_space,
+    format_scale,
+    model_design_space_size,
+    pruned_design_space,
+)
+from repro.decomposition.svd import (
+    best_rank_k_approximation,
+    effective_rank,
+    randomized_svd,
+    singular_values,
+    truncated_svd,
+)
+from repro.decomposition.tucker import (
+    TuckerResult,
+    fold,
+    hoi,
+    hosvd,
+    mode_product,
+    multi_mode_product,
+    tucker2,
+    unfold,
+)
+
+__all__ = [
+    "DecompositionConfig",
+    "CPResult",
+    "cp_als",
+    "cp_matrix",
+    "cp_parameters",
+    "khatri_rao",
+    "CandidateOutcome",
+    "DesignGoalResult",
+    "design_goal_search",
+    "DecompositionReport",
+    "TensorReport",
+    "decompose_model",
+    "decomposed",
+    "restore",
+    "tucker2",
+    "hoi",
+    "hosvd",
+    "TuckerResult",
+    "unfold",
+    "fold",
+    "mode_product",
+    "multi_mode_product",
+    "truncated_svd",
+    "randomized_svd",
+    "best_rank_k_approximation",
+    "singular_values",
+    "effective_rank",
+    "compression_ratio",
+    "factorized_parameters",
+    "dense_parameters",
+    "breakeven_rank",
+    "saves_memory",
+    "relative_error",
+    "design_space_size",
+    "design_space_log2",
+    "model_design_space_size",
+    "enumerate_design_space",
+    "count_design_space",
+    "pruned_design_space",
+    "format_scale",
+    "PAPER_TABLE4",
+    "table4_layers",
+    "scale_recipe",
+    "scaled_table4",
+    "spread_layers",
+    "consecutive_layers",
+    "strided_layers",
+    "suggest_layers",
+    "RankAllocation",
+    "allocate_ranks",
+    "uniform_rank_for_budget",
+    "activation_aware_tucker2",
+    "collect_input_scales",
+    "decompose_model_activation_aware",
+    "output_error",
+]

@@ -1,0 +1,184 @@
+"""Activation-aware low-rank decomposition (ASVD-style extension).
+
+Plain Tucker-2 minimizes weight-space reconstruction error ``||W - W'||``,
+but what matters at inference is *output* error ``||XW - XW'||`` for the
+activations X the model actually sees.  Scaling each input channel by its
+typical activation magnitude before factorizing (and unscaling the left
+factor afterwards) reweights the SVD toward the directions that carry
+signal — the idea behind ASVD/SVD-LLM, implemented here as an extension
+the paper's future-work section motivates.
+
+Pipeline: record per-channel input scales on a calibration corpus
+(:func:`collect_input_scales`), factorize with
+:func:`activation_aware_tucker2`, or do both across a model with
+:func:`decompose_model_activation_aware`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.decomposition.apply import DecompositionReport, TensorReport
+from repro.decomposition.config import DecompositionConfig
+from repro.decomposition.metrics import relative_error
+from repro.decomposition.svd import truncated_svd
+from repro.errors import DecompositionError
+from repro.nn import FactorizedLinear, Linear
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class _RecordingLinear(Module):
+    """Wraps a Linear, accumulating mean |input| per input feature."""
+
+    def __init__(self, inner: Linear) -> None:
+        super().__init__()
+        self.inner = inner
+        self.sum_abs = np.zeros(inner.in_features, dtype=np.float64)
+        self.count = 0
+
+    def forward(self, x: Tensor) -> Tensor:
+        flat = np.abs(x.data.reshape(-1, x.shape[-1]))
+        self.sum_abs += flat.sum(axis=0)
+        self.count += flat.shape[0]
+        return self.inner(x)
+
+    def scales(self) -> np.ndarray:
+        if self.count == 0:
+            raise DecompositionError("recorder saw no activations")
+        return (self.sum_abs / self.count).astype(np.float64)
+
+
+def collect_input_scales(
+    model,
+    tokenizer,
+    sentences: Sequence[str],
+    targets: Iterable[Tuple[int, str]],
+    batch_size: int = 16,
+) -> Dict[Tuple[int, str], np.ndarray]:
+    """Mean absolute input activation per channel for each target tensor.
+
+    Temporarily swaps each target :class:`Linear` for a recording wrapper,
+    streams the calibration ``sentences`` through the model, and restores
+    the original modules.
+    """
+    targets = list(targets)
+    if not sentences:
+        raise DecompositionError("calibration requires at least one sentence")
+    recorders: Dict[Tuple[int, str], _RecordingLinear] = {}
+    for layer, role in targets:
+        owner, attr = model.tensor_slot(layer, role)
+        module = getattr(owner, attr)
+        if not isinstance(module, Linear):
+            raise DecompositionError(
+                f"({layer}, {role}) holds {type(module).__name__}; calibrate "
+                "dense Linear layers only"
+            )
+        recorder = _RecordingLinear(module)
+        setattr(owner, attr, recorder)
+        recorders[(layer, role)] = recorder
+    try:
+        for start in range(0, len(sentences), batch_size):
+            chunk = list(sentences[start : start + batch_size])
+            ids, pad_mask = tokenizer.encode_batch(chunk, add_eos=True)
+            model(ids, pad_mask=pad_mask)
+    finally:
+        for (layer, role), recorder in recorders.items():
+            owner, attr = model.tensor_slot(layer, role)
+            setattr(owner, attr, recorder.inner)
+    return {key: recorder.scales() for key, recorder in recorders.items()}
+
+
+def activation_aware_tucker2(
+    weight: np.ndarray,
+    rank: int,
+    scales: np.ndarray,
+    eps: float = 1e-6,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Tucker-2 of ``diag(s) @ W`` with the scaling folded back into U1.
+
+    Minimizes ``||diag(s) (W - W')||_F`` — the whitened objective that
+    weights input channels by their typical activation magnitude — instead
+    of plain ``||W - W'||_F``.
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    scales = np.asarray(scales, dtype=np.float64)
+    if weight.ndim != 2:
+        raise DecompositionError(f"expected a weight matrix, got {weight.shape}")
+    if scales.shape != (weight.shape[0],):
+        raise DecompositionError(
+            f"scales shape {scales.shape} != in_features ({weight.shape[0]},)"
+        )
+    if np.any(scales < 0):
+        raise DecompositionError("activation scales must be non-negative")
+    # Normalize to mean 1 so eps has a scale-free meaning.
+    mean = scales.mean()
+    if mean > 0:
+        scales = scales / mean
+    safe = np.maximum(scales, eps)
+    scaled = weight * safe[:, None]
+    u, s, vt = truncated_svd(scaled, rank)
+    u1 = (u / safe[:, None]).astype(np.float64)
+    return u1, np.diag(s), vt
+
+
+def decompose_model_activation_aware(
+    model,
+    config: DecompositionConfig,
+    tokenizer,
+    calibration_sentences: Sequence[str],
+    batch_size: int = 16,
+) -> DecompositionReport:
+    """Activation-aware counterpart of
+    :func:`repro.decomposition.apply.decompose_model`.
+
+    Same surgery and report shape; restore with the standard
+    :func:`repro.decomposition.apply.restore`.
+    """
+    config.validate(model.config)
+    targets = list(config.pairs())
+    scales = collect_input_scales(
+        model, tokenizer, calibration_sentences, targets, batch_size=batch_size
+    )
+    report = DecompositionReport(
+        config=config, model_parameters_before=model.num_parameters()
+    )
+    for layer, role in targets:
+        owner, attr = model.tensor_slot(layer, role)
+        module = getattr(owner, attr)
+        if isinstance(module, FactorizedLinear):
+            raise DecompositionError(
+                f"tensor ({layer}, {role}) is already decomposed; restore first"
+            )
+        rank = config.rank_for(layer, role)
+        weight = module.weight.data
+        u1, core, u2 = activation_aware_tucker2(weight, rank, scales[(layer, role)])
+        bias = None if module.bias is None else module.bias.data.copy()
+        factorized = FactorizedLinear(u1, core, u2, bias=bias)
+        setattr(owner, attr, factorized)
+        report._originals[(layer, role)] = module
+        report.tensors.append(
+            TensorReport(
+                layer=layer,
+                role=role,
+                shape=(module.in_features, module.out_features),
+                rank=rank,
+                dense_parameters=module.num_weight_parameters(),
+                factorized_parameters=factorized.num_weight_parameters(),
+                reconstruction_error=relative_error(weight, factorized.reconstruct()),
+            )
+        )
+    report.model_parameters_after = model.num_parameters()
+    return report
+
+
+def output_error(
+    weight: np.ndarray, approximation: np.ndarray, activations: np.ndarray
+) -> float:
+    """Relative output error ``||XW - XW'|| / ||XW||`` on sample inputs."""
+    activations = np.asarray(activations, dtype=np.float64)
+    reference = activations @ np.asarray(weight, dtype=np.float64)
+    approximated = activations @ np.asarray(approximation, dtype=np.float64)
+    return relative_error(reference, approximated)

@@ -1,0 +1,149 @@
+"""Non-uniform rank allocation under a parameter budget.
+
+The paper studies homogeneous decomposition (same rank everywhere) and
+names rank selection as the axis future algorithm-level work should
+exploit.  This module implements that extension: given a set of (layer,
+role) tensors and a total parameter budget, allocate per-tensor ranks
+greedily by marginal spectral energy — each next rank unit goes to the
+tensor whose next singular value retains the most energy per parameter
+spent.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.decomposition.config import DecompositionConfig
+from repro.decomposition.metrics import factorized_parameters
+from repro.decomposition.svd import singular_values
+from repro.errors import DecompositionError
+
+
+@dataclass(frozen=True)
+class RankAllocation:
+    """Chosen per-tensor ranks and the resulting accounting."""
+
+    ranks: Dict[Tuple[int, str], int]
+    parameters_used: int
+    budget: int
+    retained_energy: float  # fraction of total squared spectral mass kept
+
+    def to_config(self, method: str = "svd") -> DecompositionConfig:
+        """Materialize the allocation as a decomposition configuration."""
+        layers = tuple(sorted({layer for layer, _ in self.ranks}))
+        roles = tuple(dict.fromkeys(role for _, role in self.ranks))
+        return DecompositionConfig(
+            layers=layers, roles=roles, rank=1, ranks=dict(self.ranks), method=method
+        )
+
+
+def _marginal_gain(spectrum: np.ndarray, current_rank: int, step_cost: int) -> float:
+    """Energy retained per parameter by adding one more rank."""
+    if current_rank >= spectrum.size:
+        return -1.0
+    return float(spectrum[current_rank] ** 2) / step_cost
+
+
+def allocate_ranks(
+    model,
+    layers: Iterable[int],
+    roles: Iterable[str],
+    budget: int,
+) -> RankAllocation:
+    """Greedy spectral rank allocation over the targeted tensors.
+
+    Every tensor starts at rank 1 (the minimum valid pruned rank); the
+    remaining budget is spent one rank at a time on the tensor with the
+    best energy-per-parameter marginal gain.  ``budget`` is the total
+    parameter count allowed for all factorized replacements together.
+    """
+    layers = sorted(set(int(l) for l in layers))
+    roles = list(dict.fromkeys(roles))
+    if not layers or not roles:
+        raise DecompositionError("allocation needs at least one layer and role")
+
+    spectra: Dict[Tuple[int, str], np.ndarray] = {}
+    shapes: Dict[Tuple[int, str], Tuple[int, int]] = {}
+    for layer in layers:
+        for role in roles:
+            owner, attr = model.tensor_slot(layer, role)
+            weight = getattr(owner, attr).weight.data
+            spectra[(layer, role)] = singular_values(weight)
+            shapes[(layer, role)] = weight.shape
+
+    ranks = {key: 1 for key in spectra}
+    used = sum(
+        factorized_parameters(shapes[key][0], shapes[key][1], 1) for key in ranks
+    )
+    if used > budget:
+        raise DecompositionError(
+            f"budget {budget} cannot cover rank-1 for {len(ranks)} tensors "
+            f"(needs {used})"
+        )
+
+    # Max-heap of marginal gains (negated for heapq).
+    heap: List[Tuple[float, Tuple[int, str]]] = []
+    for key in ranks:
+        height, width = shapes[key]
+        step = height + width + (2 * ranks[key] + 1)  # cost of rank r -> r+1
+        gain = _marginal_gain(spectra[key], ranks[key], step)
+        if gain > 0:
+            heapq.heappush(heap, (-gain, key))
+
+    while heap:
+        neg_gain, key = heapq.heappop(heap)
+        height, width = shapes[key]
+        current = ranks[key]
+        step = height + width + (2 * current + 1)
+        if used + step > budget:
+            continue  # this tensor's step doesn't fit; try cheaper ones
+        # Recompute in case rank moved since the entry was pushed.
+        gain = _marginal_gain(spectra[key], current, step)
+        if gain <= 0:
+            continue
+        if -neg_gain > gain * (1 + 1e-12):
+            heapq.heappush(heap, (-gain, key))
+            continue
+        ranks[key] = current + 1
+        used += step
+        next_step = height + width + (2 * ranks[key] + 1)
+        next_gain = _marginal_gain(spectra[key], ranks[key], next_step)
+        if next_gain > 0:
+            heapq.heappush(heap, (-next_gain, key))
+
+    total_energy = sum(float((s**2).sum()) for s in spectra.values())
+    kept = sum(
+        float((spectra[key][: ranks[key]] ** 2).sum()) for key in ranks
+    )
+    retained = kept / total_energy if total_energy > 0 else 1.0
+    return RankAllocation(
+        ranks=ranks, parameters_used=used, budget=budget, retained_energy=retained
+    )
+
+
+def uniform_rank_for_budget(
+    model, layers: Sequence[int], roles: Sequence[str], budget: int
+) -> int:
+    """Largest uniform rank whose total factorized parameters fit ``budget``."""
+    layers = sorted(set(layers))
+    roles = list(dict.fromkeys(roles))
+    shapes = []
+    for layer in layers:
+        for role in roles:
+            owner, attr = model.tensor_slot(layer, role)
+            shapes.append(getattr(owner, attr).weight.data.shape)
+    best = 0
+    rank = 1
+    while True:
+        total = sum(factorized_parameters(h, w, rank) for h, w in shapes)
+        if total > budget or rank > min(min(h, w) for h, w in shapes):
+            break
+        best = rank
+        rank += 1
+    if best == 0:
+        raise DecompositionError(f"budget {budget} cannot cover uniform rank 1")
+    return best

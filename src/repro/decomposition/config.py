@@ -1,0 +1,152 @@
+"""The decomposition configuration γ (Definitions 2-4) and its validity.
+
+A configuration names the decomposed layers, the decomposed tensor roles
+within each layer (homogeneous across layers, as in Section 3.1), and the
+pruned rank for each (layer, role) pair.  The common case — one uniform
+rank — has a convenience constructor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class DecompositionConfig:
+    """γ(m) = (PR(m), Decomp_Layers(m), Decomp_Tensors(m)).
+
+    Parameters
+    ----------
+    layers:
+        Zero-based indices of the decomposed layers (Definition 2).
+    roles:
+        Names of the decomposed weight tensors within each decomposed layer
+        (Definition 2); the same set applies to every layer (Section 3.1's
+        homogeneous scheme).
+    rank:
+        The uniform pruned rank applied to every (layer, role) pair
+        (Definition 3).  Per-pair overrides may be supplied via ``ranks``.
+    ranks:
+        Optional mapping ``(layer, role) -> rank`` overriding ``rank``.
+    method:
+        ``"hoi"`` (Algorithm 1) or ``"svd"``.
+    """
+
+    layers: Tuple[int, ...]
+    roles: Tuple[str, ...]
+    rank: int = 1
+    ranks: Mapping[Tuple[int, str], int] = field(default_factory=dict)
+    method: str = "hoi"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "layers", tuple(sorted(set(int(l) for l in self.layers))))
+        object.__setattr__(self, "roles", tuple(dict.fromkeys(self.roles)))
+        object.__setattr__(self, "ranks", dict(self.ranks))
+        if self.rank <= 0:
+            raise ConfigError(f"pruned rank must be positive, got {self.rank}")
+        if self.method not in ("hoi", "svd"):
+            raise ConfigError(f"unknown decomposition method {self.method!r}")
+        for (layer, role), rank in self.ranks.items():
+            if rank <= 0:
+                raise ConfigError(f"override rank for ({layer}, {role}) must be positive")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def identity(cls) -> "DecompositionConfig":
+        """The no-decomposition configuration (empty layer/tensor sets)."""
+        return cls(layers=(), roles=())
+
+    @classmethod
+    def uniform(
+        cls,
+        layers: Iterable[int],
+        roles: Iterable[str],
+        rank: int = 1,
+        method: str = "hoi",
+    ) -> "DecompositionConfig":
+        """Homogeneous configuration: same roles and rank in every layer."""
+        return cls(layers=tuple(layers), roles=tuple(roles), rank=rank, method=method)
+
+    @classmethod
+    def all_tensors(
+        cls, model_config: ModelConfig, layers: Iterable[int], rank: int = 1
+    ) -> "DecompositionConfig":
+        """Decompose every Figure-4 tensor of the model in ``layers``."""
+        return cls.uniform(layers, model_config.tensor_roles, rank=rank)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def is_identity(self) -> bool:
+        return not self.layers or not self.roles
+
+    def rank_for(self, layer: int, role: str) -> int:
+        """Pruned rank for a specific (layer, role) pair."""
+        return int(self.ranks.get((layer, role), self.rank))
+
+    def pairs(self) -> Iterable[Tuple[int, str]]:
+        """All decomposed (layer, role) pairs, layer-major order."""
+        for layer in self.layers:
+            for role in self.roles:
+                yield layer, role
+
+    def pruned_rank_set(self) -> Dict[Tuple[int, str], int]:
+        """PR(m) from Definition 3 as an explicit mapping."""
+        return {(layer, role): self.rank_for(layer, role) for layer, role in self.pairs()}
+
+    # -- validation (Proposition 3.1) ---------------------------------------
+    def validate(self, model_config: ModelConfig) -> None:
+        """Check validity of γ against a model (Proposition 3.1).
+
+        Conditions enforced:
+
+        1. every decomposed layer index is within [0, N_Layers);
+        2. every decomposed role is a decomposable tensor of the family;
+        3. every (layer, role) pruned rank is within [1, rank(l, k)], where
+           rank(l, k) = min(H, W) of that weight matrix (Definition 3);
+        4. the pruned-rank set covers exactly the decomposed layer x tensor
+           combinations (the coverage condition of Proposition 3.1).
+        """
+        for layer in self.layers:
+            if not 0 <= layer < model_config.n_layers:
+                raise ConfigError(
+                    f"layer {layer} out of range [0, {model_config.n_layers}) "
+                    f"for {model_config.name}"
+                )
+        for role in self.roles:
+            if role not in model_config.tensor_roles:
+                raise ConfigError(
+                    f"role {role!r} is not decomposable in {model_config.name}; "
+                    f"available: {model_config.tensor_roles}"
+                )
+        for (layer, role), rank in self.pruned_rank_set().items():
+            height, width = model_config.tensor_shape(role)
+            max_rank = min(height, width)
+            if not 1 <= rank <= max_rank:
+                raise ConfigError(
+                    f"rank {rank} for ({layer}, {role}) out of [1, {max_rank}]"
+                )
+        # Coverage: overrides must not name pairs outside Layers x Tensors.
+        for layer, role in self.ranks:
+            if layer not in self.layers or role not in self.roles:
+                raise ConfigError(
+                    f"rank override for ({layer}, {role!r}) names an undecomposed pair"
+                )
+
+    def is_valid(self, model_config: ModelConfig) -> bool:
+        """Boolean form of :meth:`validate` — Val(γ) in Proposition 3.1."""
+        try:
+            self.validate(model_config)
+        except ConfigError:
+            return False
+        return True
+
+    def describe(self) -> str:
+        if self.is_identity:
+            return "identity (no decomposition)"
+        layers = ",".join(str(l) for l in self.layers)
+        roles = ",".join(self.roles)
+        return f"rank={self.rank} layers=[{layers}] tensors=[{roles}] method={self.method}"

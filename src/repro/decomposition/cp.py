@@ -1,0 +1,141 @@
+"""CP (CANDECOMP/PARAFAC) decomposition via alternating least squares.
+
+The paper's related work (Phan et al. [34]) uses CP as the alternative
+low-rank format for CNN compression; this module provides it as an
+ablation baseline against Tucker.  A rank-R CP of an order-N tensor stores
+one (dim_n, R) factor per mode (and a scale vector), i.e. for a weight
+matrix W (H x W): ``W ~= A @ diag(s) @ B.T`` with ``R * (H + W) + R``
+parameters — no core tensor, unlike Tucker-2's ``r^2`` core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.decomposition.metrics import relative_error
+from repro.decomposition.tucker import unfold
+from repro.errors import DecompositionError
+
+
+def khatri_rao(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Column-wise Khatri-Rao product of a list of (d_i, R) matrices."""
+    if not matrices:
+        raise DecompositionError("khatri_rao needs at least one matrix")
+    rank = matrices[0].shape[1]
+    for matrix in matrices:
+        if matrix.ndim != 2 or matrix.shape[1] != rank:
+            raise DecompositionError("khatri_rao matrices must share column count")
+    result = matrices[0]
+    for matrix in matrices[1:]:
+        rows_a, rows_b = result.shape[0], matrix.shape[0]
+        result = (result[:, None, :] * matrix[None, :, :]).reshape(
+            rows_a * rows_b, rank
+        )
+    return result
+
+
+@dataclass
+class CPResult:
+    """Weights (scale vector) and per-mode factors of a CP decomposition."""
+
+    weights: np.ndarray          # (R,)
+    factors: List[np.ndarray]    # mode-n factor (dim_n, R)
+    iterations: int
+    converged: bool
+
+    @property
+    def rank(self) -> int:
+        return int(self.weights.shape[0])
+
+    def reconstruct(self) -> np.ndarray:
+        shape = tuple(factor.shape[0] for factor in self.factors)
+        first = self.factors[0] * self.weights[None, :]
+        rest = khatri_rao(self.factors[1:]) if len(self.factors) > 1 else np.ones((1, self.rank))
+        return (first @ rest.T).reshape(shape)
+
+    def parameters(self) -> int:
+        return self.rank + sum(factor.size for factor in self.factors)
+
+    def error(self, original: np.ndarray) -> float:
+        return relative_error(original, self.reconstruct())
+
+
+def cp_parameters(dims: Sequence[int], rank: int) -> int:
+    """Parameter count of a rank-``rank`` CP over ``dims``."""
+    if rank <= 0 or any(d <= 0 for d in dims):
+        raise DecompositionError("dims and rank must be positive")
+    return rank + rank * sum(dims)
+
+
+def cp_als(
+    tensor: np.ndarray,
+    rank: int,
+    max_iterations: int = 100,
+    tolerance: float = 1e-7,
+    rng: Optional[np.random.Generator] = None,
+) -> CPResult:
+    """Rank-``rank`` CP decomposition by alternating least squares."""
+    tensor = np.asarray(tensor, dtype=np.float64)
+    if tensor.ndim < 2:
+        raise DecompositionError("cp_als requires an order >= 2 tensor")
+    if rank <= 0:
+        raise DecompositionError(f"rank must be positive, got {rank}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    n_modes = tensor.ndim
+    factors = [
+        rng.normal(size=(dim, rank)) / np.sqrt(dim) for dim in tensor.shape
+    ]
+    weights = np.ones(rank)
+    norm_t = np.linalg.norm(tensor)
+    previous_error = np.inf
+    converged = False
+    iterations = 0
+
+    for iterations in range(1, max_iterations + 1):
+        for mode in range(n_modes):
+            others = [factors[m] for m in range(n_modes) if m != mode]
+            # Khatri-Rao over the *other* modes in reverse order matches the
+            # unfolding convention of ``unfold`` (mode moved to the front).
+            kr = khatri_rao(others)
+            gram = np.ones((rank, rank))
+            for factor in others:
+                gram *= factor.T @ factor
+            unfolded = unfold(tensor, mode)
+            factors[mode] = unfolded @ kr @ np.linalg.pinv(gram)
+            # Normalize columns into the weight vector for stability.
+            norms = np.linalg.norm(factors[mode], axis=0)
+            norms = np.where(norms == 0.0, 1.0, norms)
+            factors[mode] = factors[mode] / norms
+            weights = norms
+        result = CPResult(weights, [f.copy() for f in factors], iterations, False)
+        error = result.error(tensor) if norm_t > 0 else 0.0
+        if abs(previous_error - error) < tolerance:
+            converged = True
+            break
+        previous_error = error
+
+    # Fold the weights into the first factor only at reconstruction time;
+    # keep them explicit in the result.
+    return CPResult(weights, factors, iterations, converged)
+
+
+def cp_matrix(
+    matrix: np.ndarray, rank: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CP of a matrix: returns (A, s, B) with ``matrix ~= A @ diag(s) @ B.T``.
+
+    For matrices the optimal CP equals the truncated SVD, so this is
+    computed in closed form.
+    """
+    from repro.decomposition.svd import truncated_svd
+
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise DecompositionError("cp_matrix expects a matrix")
+    u, s, vt = truncated_svd(matrix, rank)
+    return u, s, vt.T

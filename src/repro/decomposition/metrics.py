@@ -1,0 +1,69 @@
+"""Compression arithmetic from Section 2.3 of the paper.
+
+For a weight matrix of shape (H, W) decomposed at pruned rank PR, the
+parameter count becomes ``H*PR + PR^2 + PR*W`` and the compression ratio is
+``H*W / (H*PR + PR^2 + PR*W)``.  Compression exceeds 1 exactly when PR is
+below the paper's break-even bound
+
+    PR < (sqrt((H+W)^2 + 4*H*W) - (H+W)) / 2
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import DecompositionError
+
+
+def factorized_parameters(height: int, width: int, rank: int) -> int:
+    """Parameters of the U1/core/U2 chain replacing an (H, W) matrix."""
+    _check_dims(height, width, rank)
+    return height * rank + rank * rank + rank * width
+
+
+def dense_parameters(height: int, width: int) -> int:
+    return height * width
+
+
+def compression_ratio(height: int, width: int, rank: int) -> float:
+    """``H*W / (H*PR + PR^2 + PR*W)`` — the paper's compression ratio."""
+    return dense_parameters(height, width) / factorized_parameters(height, width, rank)
+
+
+def breakeven_rank(height: int, width: int) -> float:
+    """Largest (real-valued) rank at which decomposition still saves memory.
+
+    Solves ``H*W = H*PR + PR^2 + PR*W`` for PR; the paper states the bound
+    ``PR < (sqrt((H+W)^2 + 4HW) - (H+W)) / 2``.
+    """
+    _check_dims(height, width, 1)
+    total = height + width
+    return (math.sqrt(total * total + 4.0 * height * width) - total) / 2.0
+
+
+def saves_memory(height: int, width: int, rank: int) -> bool:
+    """True when the factorized form has strictly fewer parameters."""
+    return factorized_parameters(height, width, rank) < dense_parameters(height, width)
+
+
+def relative_error(original: np.ndarray, approximation: np.ndarray) -> float:
+    """Frobenius relative error ``||T - K|| / ||T||`` (Section 2.1)."""
+    original = np.asarray(original, dtype=np.float64)
+    approximation = np.asarray(approximation, dtype=np.float64)
+    if original.shape != approximation.shape:
+        raise DecompositionError(
+            f"shape mismatch: {original.shape} vs {approximation.shape}"
+        )
+    denom = np.linalg.norm(original)
+    if denom == 0.0:
+        return 0.0 if np.linalg.norm(approximation) == 0.0 else math.inf
+    return float(np.linalg.norm(original - approximation) / denom)
+
+
+def _check_dims(height: int, width: int, rank: int) -> None:
+    if height <= 0 or width <= 0:
+        raise DecompositionError(f"invalid matrix shape ({height}, {width})")
+    if rank <= 0:
+        raise DecompositionError(f"rank must be positive, got {rank}")

@@ -1,0 +1,110 @@
+"""Definition 1: the design goal of low-rank decomposition.
+
+Given an accuracy-drop tolerance τ, find the configuration γ minimizing
+``Latency(γ) × Energy(γ)`` (energy-delay product) subject to
+``max(Accuracy_original - Accuracy(γ), 0) < τ``.
+
+The search evaluates a candidate set (typically the characterization-pruned
+space of Table 4 recipes) with a caller-supplied accuracy function and the
+analytic hardware model for latency/energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.decomposition.config import DecompositionConfig
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """One evaluated point of the Definition 1 search."""
+
+    config: DecompositionConfig
+    accuracy: float
+    latency_s: float
+    energy_j: float
+
+    @property
+    def energy_delay_product(self) -> float:
+        return self.latency_s * self.energy_j
+
+    def accuracy_drop(self, baseline_accuracy: float) -> float:
+        """max(Accuracy_original - Accuracy(γ), 0) from Definition 1."""
+        return max(baseline_accuracy - self.accuracy, 0.0)
+
+
+@dataclass
+class DesignGoalResult:
+    """Winner and full frontier of a Definition 1 search."""
+
+    best: Optional[CandidateOutcome]
+    feasible: List[CandidateOutcome]
+    infeasible: List[CandidateOutcome]
+    baseline_accuracy: float
+    tolerance: float
+
+    @property
+    def satisfied(self) -> bool:
+        return self.best is not None
+
+
+def design_goal_search(
+    model_config: ModelConfig,
+    candidates: Sequence[DecompositionConfig],
+    accuracy_fn: Callable[[DecompositionConfig], float],
+    baseline_accuracy: float,
+    tolerance: float,
+    serving=None,
+) -> DesignGoalResult:
+    """Solve Definition 1 over ``candidates``.
+
+    ``accuracy_fn`` maps a configuration to task accuracy (the caller
+    decides whether that is a live evaluation of a decomposed model or a
+    cached table).  Latency and energy come from
+    :func:`repro.hwmodel.profile` under ``serving``.
+    """
+    from repro.hwmodel import ServingConfig, profile
+
+    if not 0.0 < tolerance <= 1.0:
+        raise ConfigError(f"tolerance must be in (0, 1], got {tolerance}")
+    if serving is None:
+        serving = ServingConfig()
+
+    baseline_profile = profile(model_config, serving)
+    feasible: List[CandidateOutcome] = []
+    infeasible: List[CandidateOutcome] = []
+    for candidate in candidates:
+        candidate.validate(model_config)
+        accuracy = accuracy_fn(candidate)
+        if candidate.is_identity:
+            result = baseline_profile
+        else:
+            result = profile(
+                model_config,
+                serving,
+                decomposition=candidate,
+                host_overhead_s=baseline_profile.overhead_s,
+            )
+        outcome = CandidateOutcome(
+            config=candidate,
+            accuracy=accuracy,
+            latency_s=result.latency_s,
+            energy_j=result.energy_j,
+        )
+        if outcome.accuracy_drop(baseline_accuracy) < tolerance:
+            feasible.append(outcome)
+        else:
+            infeasible.append(outcome)
+
+    best = min(feasible, key=lambda o: o.energy_delay_product) if feasible else None
+    return DesignGoalResult(
+        best=best,
+        feasible=feasible,
+        infeasible=infeasible,
+        baseline_accuracy=baseline_accuracy,
+        tolerance=tolerance,
+    )

@@ -1,0 +1,165 @@
+"""Layer-choice recipes: the paper's Table 4 plus spacing heuristics.
+
+Table 4 lists, for each parameter-reduction target on Llama-2-7B, the
+(1-based) decoder layers that are decomposed with rank 1 and all tensors.
+The recipes follow the characterization insights of Section 3.4: avoid the
+first two and the last layers at low reduction, and spread decomposed
+layers apart.
+
+``scale_recipe`` maps a 32-layer recipe onto models with fewer layers by
+preserving each layer's fractional position, so the tiny trained models can
+replay the case study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+# Paper Table 4: parameter-reduction percent -> 1-based decomposed layers of
+# the 32-layer Llama-2-7B.
+PAPER_TABLE4: Dict[int, Tuple[int, ...]] = {
+    6: (3, 30),
+    9: (3, 18, 32),
+    15: (3, 9, 15, 21, 27),
+    21: (5, 9, 13, 17, 21, 25, 29),
+    33: (3, 6, 9, 12, 15, 18, 21, 24, 27, 30, 32),
+    48: (1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 29, 31),
+    60: (2, 4, 6, 8, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 21, 23, 25, 27, 29, 31),
+    75: (
+        2, 4, 6, 8, 10, 11, 12, 13, 14, 15, 16, 17, 18,
+        19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30,
+    ),
+    84: (
+        1, 3, 5, 7, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19,
+        20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32,
+    ),
+    96: tuple(range(1, 33)),
+}
+
+PAPER_N_LAYERS = 32
+
+
+def table4_layers(reduction_percent: int, zero_based: bool = True) -> Tuple[int, ...]:
+    """The Table 4 layer set for a reduction target, 0-based by default."""
+    try:
+        layers = PAPER_TABLE4[reduction_percent]
+    except KeyError:
+        raise ConfigError(
+            f"no Table 4 recipe for {reduction_percent}%; "
+            f"available: {sorted(PAPER_TABLE4)}"
+        ) from None
+    if zero_based:
+        return tuple(layer - 1 for layer in layers)
+    return layers
+
+
+def scale_recipe(layers_1based: Sequence[int], n_layers: int) -> Tuple[int, ...]:
+    """Map a 32-layer recipe to an ``n_layers`` model, 0-based output.
+
+    Each 1-based source layer l is placed at the same fractional depth:
+    ``round((l - 1) / 31 * (n_layers - 1))``.  Duplicates collapse, so the
+    scaled recipe may contain fewer layers than the original — the
+    parameter-reduction fraction scales accordingly.
+    """
+    if n_layers <= 0:
+        raise ConfigError("n_layers must be positive")
+    scaled = sorted(
+        {
+            round((layer - 1) / (PAPER_N_LAYERS - 1) * (n_layers - 1))
+            for layer in layers_1based
+        }
+    )
+    return tuple(scaled)
+
+
+def scaled_table4(n_layers: int) -> Dict[int, Tuple[int, ...]]:
+    """Every Table 4 recipe scaled to an ``n_layers`` model (0-based)."""
+    return {
+        percent: scale_recipe(layers, n_layers)
+        for percent, layers in PAPER_TABLE4.items()
+    }
+
+
+def spread_layers(n_layers: int, count: int, avoid_edges: int = 0) -> Tuple[int, ...]:
+    """``count`` layer indices spread as far apart as possible (0-based).
+
+    ``avoid_edges`` keeps that many layers untouched at each end of the
+    stack, implementing the "avoid the first/last layers" insight.
+    """
+    if count <= 0:
+        return ()
+    low, high = avoid_edges, n_layers - 1 - avoid_edges
+    if high < low:
+        raise ConfigError(
+            f"cannot avoid {avoid_edges} edge layers in a {n_layers}-layer model"
+        )
+    available = high - low + 1
+    if count > available:
+        raise ConfigError(f"cannot place {count} layers in {available} positions")
+    if count == 1:
+        return ((low + high) // 2,)
+    positions = [
+        low + round(i * (high - low) / (count - 1)) for i in range(count)
+    ]
+    deduped = sorted(set(positions))
+    # Rounding can collide for large counts; fall back to filling gaps.
+    cursor = low
+    while len(deduped) < count:
+        if cursor not in deduped:
+            deduped.append(cursor)
+            deduped.sort()
+        cursor += 1
+    return tuple(deduped)
+
+
+def consecutive_layers(start: int, count: int, n_layers: int) -> Tuple[int, ...]:
+    """``count`` adjacent layer indices beginning at ``start`` (0-based)."""
+    if start < 0 or start + count > n_layers:
+        raise ConfigError(
+            f"consecutive run [{start}, {start + count}) exceeds {n_layers} layers"
+        )
+    return tuple(range(start, start + count))
+
+
+def suggest_layers(
+    model_config,
+    target_reduction: float,
+    rank: int = 1,
+    avoid_edges: int = 2,
+) -> Tuple[int, ...]:
+    """Build a layer set for a reduction target using the paper's insights.
+
+    Applies Section 3.4 directly: decompose *all* tensors at rank 1, avoid
+    the first ``avoid_edges`` and last layers while possible, and spread
+    the decomposed layers as far apart as the count allows.  Returns the
+    smallest spread layer set whose all-tensor decomposition reaches
+    ``target_reduction`` (a fraction in (0, 1)).
+    """
+    from repro.models.params import parameter_reduction
+
+    if not 0.0 < target_reduction < 1.0:
+        raise ConfigError(f"target_reduction must be in (0, 1), got {target_reduction}")
+    n_layers = model_config.n_layers
+    roles = model_config.tensor_roles
+    for count in range(1, n_layers + 1):
+        edges = avoid_edges
+        # Relax the edge exclusion when the count no longer fits inside it.
+        while edges > 0 and count > n_layers - 2 * edges:
+            edges -= 1
+        layers = spread_layers(n_layers, count, avoid_edges=edges)
+        if parameter_reduction(model_config, layers, roles, rank) >= target_reduction:
+            return layers
+    return tuple(range(n_layers))
+
+
+def strided_layers(n_layers: int, stride: int, offset: int = 0) -> Tuple[int, ...]:
+    """Every ``stride``-th layer starting at ``offset`` (0-based).
+
+    Figure 8 compares stride-1 (consecutive) against larger strides (the
+    paper's "every sixth layer").
+    """
+    if stride <= 0:
+        raise ConfigError("stride must be positive")
+    return tuple(range(offset, n_layers, stride))

@@ -1,0 +1,103 @@
+"""The decomposition design space S_LR (Definition 5, Theorem 3.2, Table 2).
+
+Provides the closed-form size of the design space, exhaustive enumeration
+for small models (used to verify the theorem), and the characterization-
+driven pruned space the paper reduces to (rank-1, all tensors, recipe layer
+sets — "from O(2^37) to O(32)" for Llama-2-7B).
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import chain, combinations
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.decomposition.config import DecompositionConfig
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig
+
+
+def design_space_size(n_layers: int, n_tensors: int, rank_choices: int) -> int:
+    """|S_LR(m)| from Theorem 3.2.
+
+    ``(2^N_Layers - 1) * (2^N_Tensors - 1) * rank_choices + 1`` where
+    ``rank_choices`` is the number of available pruned ranks for a uniform
+    decomposition and the ``+ 1`` counts the identity configuration.
+    """
+    if n_layers < 0 or n_tensors < 0 or rank_choices < 0:
+        raise ConfigError("design-space dimensions must be non-negative")
+    return (2**n_layers - 1) * (2**n_tensors - 1) * rank_choices + 1
+
+
+def design_space_log2(n_layers: int, n_tensors: int, rank_choices: int = 1) -> float:
+    """log2 of the design-space size (the paper's O(2^x) scale in Table 2).
+
+    Table 2 reports the big-O scale from the subset choices alone, i.e.
+    ``2^(N_Layers + N_Tensors)``; pass ``rank_choices=1`` to match it.
+    """
+    return math.log2(design_space_size(n_layers, n_tensors, rank_choices))
+
+
+def model_design_space_size(config: ModelConfig, rank_choices: Optional[int] = None) -> int:
+    """Design-space size of a registered model.
+
+    ``rank_choices`` defaults to the smallest weight-matrix dimension, the
+    maximum uniform pruned rank available (Definition 3's rank(l, k) bound).
+    """
+    if rank_choices is None:
+        rank_choices = min(
+            min(shape) for shape in config.tensor_shapes().values()
+        )
+    return design_space_size(config.n_layers, config.n_tensors, rank_choices)
+
+
+def _non_empty_subsets(items: Tuple) -> Iterator[Tuple]:
+    return chain.from_iterable(
+        combinations(items, size) for size in range(1, len(items) + 1)
+    )
+
+
+def enumerate_design_space(
+    config: ModelConfig, rank_choices: Iterable[int]
+) -> Iterator[DecompositionConfig]:
+    """Exhaustively yield every valid uniform configuration.
+
+    Yields the identity configuration first, then every (layer subset,
+    tensor subset, rank) combination.  Only feasible for small models; used
+    to verify Theorem 3.2 by brute force.
+    """
+    yield DecompositionConfig.identity()
+    layers = tuple(range(config.n_layers))
+    roles = config.tensor_roles
+    ranks = tuple(rank_choices)
+    for layer_subset in _non_empty_subsets(layers):
+        for role_subset in _non_empty_subsets(roles):
+            for rank in ranks:
+                yield DecompositionConfig.uniform(layer_subset, role_subset, rank=rank)
+
+
+def count_design_space(config: ModelConfig, rank_choices: Iterable[int]) -> int:
+    """Brute-force |S_LR| (for testing Theorem 3.2 on small models)."""
+    return sum(1 for _ in enumerate_design_space(config, rank_choices))
+
+
+def pruned_design_space(
+    config: ModelConfig, layer_sets: Iterable[Tuple[int, ...]], rank: int = 1
+) -> List[DecompositionConfig]:
+    """The reduced space after the paper's characterization insights.
+
+    Rank is pinned to 1, all tensors are decomposed, and only the supplied
+    layer sets (e.g. the Table 4 recipes) are explored — collapsing
+    O(2^(L+K)) to O(#recipes).
+    """
+    space = [DecompositionConfig.identity()]
+    for layer_set in layer_sets:
+        space.append(DecompositionConfig.all_tensors(config, layer_set, rank=rank))
+    return space
+
+
+def format_scale(size: int) -> str:
+    """Human-readable O(2^x) rendering used by Table 2."""
+    if size <= 1:
+        return "O(1)"
+    return f"O(2^{int(round(math.log2(size)))})"

@@ -1,0 +1,244 @@
+"""Tucker decomposition via Higher-Order Orthogonal Iteration (Algorithm 1).
+
+Implements the general N-mode machinery (unfolding, mode products, HOSVD)
+and the paper's Algorithm 1 (HOI), plus the Tucker-2 specialization used on
+transformer weight matrices:
+
+    T(n1, n2) ~= U1(n1, pr) @ core(pr, pr) @ U2(pr, n2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.decomposition.metrics import relative_error
+from repro.decomposition.svd import leading_left_singular_vectors
+from repro.errors import DecompositionError
+from repro.tensor.random import orthonormal_columns
+
+
+def unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Mode-``mode`` unfolding: move ``mode`` to the front and flatten the rest."""
+    tensor = np.asarray(tensor)
+    if not 0 <= mode < tensor.ndim:
+        raise DecompositionError(f"mode {mode} out of range for ndim {tensor.ndim}")
+    return np.moveaxis(tensor, mode, 0).reshape(tensor.shape[mode], -1)
+
+
+def fold(matrix: np.ndarray, mode: int, shape: Sequence[int]) -> np.ndarray:
+    """Inverse of :func:`unfold` for a target tensor ``shape``."""
+    shape = tuple(shape)
+    moved_shape = (shape[mode],) + shape[:mode] + shape[mode + 1 :]
+    return np.moveaxis(np.asarray(matrix).reshape(moved_shape), 0, mode)
+
+
+def mode_product(tensor: np.ndarray, matrix: np.ndarray, mode: int) -> np.ndarray:
+    """The i-mode product ``T x_i M`` from Section 2.1.
+
+    ``matrix`` has shape (rows, tensor.shape[mode]); the result replaces the
+    ``mode`` dimension by ``rows``.
+    """
+    tensor = np.asarray(tensor)
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise DecompositionError(f"mode_product needs a matrix, got {matrix.shape}")
+    if matrix.shape[1] != tensor.shape[mode]:
+        raise DecompositionError(
+            f"mode-{mode} product mismatch: matrix {matrix.shape} vs tensor "
+            f"{tensor.shape}"
+        )
+    unfolded = unfold(tensor, mode)
+    result = matrix @ unfolded
+    new_shape = list(tensor.shape)
+    new_shape[mode] = matrix.shape[0]
+    return fold(result, mode, new_shape)
+
+
+def multi_mode_product(
+    tensor: np.ndarray, matrices: Sequence[Optional[np.ndarray]]
+) -> np.ndarray:
+    """Apply one matrix per mode (entries may be None to skip a mode)."""
+    result = np.asarray(tensor)
+    for mode, matrix in enumerate(matrices):
+        if matrix is not None:
+            result = mode_product(result, matrix, mode)
+    return result
+
+
+@dataclass
+class TuckerResult:
+    """Core tensor, factor matrices, and convergence diagnostics."""
+
+    core: np.ndarray
+    factors: List[np.ndarray]
+    iterations: int
+    converged: bool
+    fit_history: List[float]
+
+    @property
+    def ranks(self) -> Tuple[int, ...]:
+        return self.core.shape
+
+    def reconstruct(self) -> np.ndarray:
+        """``core x_1 U1 x_2 U2 ... x_N UN`` — the approximation K."""
+        result = self.core
+        for mode, factor in enumerate(self.factors):
+            result = mode_product(result, factor, mode)
+        return result
+
+    def parameters(self) -> int:
+        return self.core.size + sum(f.size for f in self.factors)
+
+    def error(self, original: np.ndarray) -> float:
+        return relative_error(original, self.reconstruct())
+
+
+def _validate_ranks(shape: Tuple[int, ...], ranks: Sequence[int]) -> Tuple[int, ...]:
+    ranks = tuple(int(r) for r in ranks)
+    if len(ranks) != len(shape):
+        raise DecompositionError(
+            f"need one rank per mode: shape {shape}, ranks {ranks}"
+        )
+    for dim, rank in zip(shape, ranks):
+        if not 1 <= rank <= dim:
+            raise DecompositionError(f"rank {rank} out of range [1, {dim}]")
+    return ranks
+
+
+def hosvd(tensor: np.ndarray, ranks: Sequence[int]) -> TuckerResult:
+    """Truncated higher-order SVD: the standard non-iterative initialization.
+
+    Each factor is the leading left singular basis of the mode unfolding;
+    the core is the projection of T onto those bases.
+    """
+    tensor = np.asarray(tensor, dtype=np.float64)
+    ranks = _validate_ranks(tensor.shape, ranks)
+    factors = [
+        leading_left_singular_vectors(unfold(tensor, mode), rank)
+        for mode, rank in enumerate(ranks)
+    ]
+    core = multi_mode_product(tensor, [f.T for f in factors])
+    return TuckerResult(
+        core=core, factors=factors, iterations=0, converged=True, fit_history=[]
+    )
+
+
+def hoi(
+    tensor: np.ndarray,
+    ranks: Sequence[int],
+    max_iterations: int = 50,
+    tolerance: float = 1e-8,
+    init: str = "hosvd",
+    rng: Optional[np.random.Generator] = None,
+) -> TuckerResult:
+    """Algorithm 1: Tucker decomposition via Higher-Order Orthogonal Iteration.
+
+    Parameters
+    ----------
+    tensor:
+        The input tensor T of any order >= 2.
+    ranks:
+        Decomposition ranks (r_1, ..., r_N), one per mode.
+    max_iterations:
+        Upper bound on alternating sweeps.
+    tolerance:
+        Convergence criterion on the change in reconstruction fit between
+        sweeps.
+    init:
+        ``"hosvd"`` (default, deterministic) or ``"random"`` — the paper's
+        "initialize with orthonormal columns" step.
+    rng:
+        Required for ``init="random"``.
+    """
+    tensor = np.asarray(tensor, dtype=np.float64)
+    if tensor.ndim < 2:
+        raise DecompositionError("HOI requires a tensor of order >= 2")
+    ranks = _validate_ranks(tensor.shape, ranks)
+
+    if init == "hosvd":
+        factors = hosvd(tensor, ranks).factors
+    elif init == "random":
+        if rng is None:
+            rng = np.random.default_rng(0)
+        factors = [
+            orthonormal_columns(rng, dim, rank)
+            for dim, rank in zip(tensor.shape, ranks)
+        ]
+    else:
+        raise DecompositionError(f"unknown init {init!r}")
+
+    norm_t = np.linalg.norm(tensor)
+    previous_fit = -np.inf
+    fit_history: List[float] = []
+    converged = False
+    iterations = 0
+
+    for iterations in range(1, max_iterations + 1):
+        for mode in range(tensor.ndim):
+            # Project onto every factor except ``mode``, then refresh that
+            # factor from the leading singular basis of the projection.
+            projections = [
+                factors[m].T if m != mode else None for m in range(tensor.ndim)
+            ]
+            partial = multi_mode_product(tensor, projections)
+            factors[mode] = leading_left_singular_vectors(
+                unfold(partial, mode), ranks[mode]
+            )
+        core = multi_mode_product(tensor, [f.T for f in factors])
+        # For orthonormal factors, ||T - K||^2 = ||T||^2 - ||core||^2, so the
+        # fit can be tracked without reconstructing K.
+        core_norm = np.linalg.norm(core)
+        if norm_t == 0.0:
+            fit = 1.0
+        else:
+            residual_sq = max(norm_t**2 - core_norm**2, 0.0)
+            fit = 1.0 - np.sqrt(residual_sq) / norm_t
+        fit_history.append(float(fit))
+        if abs(fit - previous_fit) < tolerance:
+            converged = True
+            break
+        previous_fit = fit
+
+    core = multi_mode_product(tensor, [f.T for f in factors])
+    return TuckerResult(
+        core=core,
+        factors=factors,
+        iterations=iterations,
+        converged=converged,
+        fit_history=fit_history,
+    )
+
+
+def tucker2(
+    matrix: np.ndarray,
+    rank: int,
+    method: str = "hoi",
+    max_iterations: int = 50,
+    tolerance: float = 1e-8,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Second-order Tucker decomposition of a weight matrix (Section 2.3).
+
+    Returns (U1, core, U2) with shapes (H, PR), (PR, PR), (PR, W) such that
+    ``U1 @ core @ U2`` approximates ``matrix``.  ``method`` may be ``"hoi"``
+    (Algorithm 1) or ``"svd"`` (direct truncated SVD, the closed-form optimum
+    for matrices); both yield the same subspaces for order-2 tensors.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise DecompositionError(f"tucker2 expects a matrix, got {matrix.shape}")
+    if method == "svd":
+        from repro.decomposition.svd import truncated_svd
+
+        u, s, vt = truncated_svd(matrix, rank)
+        return u, np.diag(s), vt
+    if method == "hoi":
+        result = hoi(
+            matrix, (rank, rank), max_iterations=max_iterations, tolerance=tolerance
+        )
+        u1, u2 = result.factors
+        # Orientation: T ~= U1 @ core @ U2 with U2 of shape (PR, W).
+        return u1, result.core, u2.T
+    raise DecompositionError(f"unknown tucker2 method {method!r}")

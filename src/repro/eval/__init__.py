@@ -1,0 +1,46 @@
+"""Evaluation harness: tokenizer, tasks, metrics, and the suite runner."""
+
+from repro.eval.harness import SuiteResult, evaluate_suite
+from repro.eval.perplexity import PerplexityResult, corpus_perplexity
+from repro.eval.serialization import load_task, save_task
+from repro.eval.task import (
+    GenerativeItem,
+    GenerativeTask,
+    MultipleChoiceItem,
+    MultipleChoiceTask,
+    Task,
+    TaskResult,
+    score_continuations,
+    with_fewshot,
+)
+from repro.eval.tasks import (
+    BENCHMARK_NAMES,
+    CHARACTERIZATION_BENCHMARKS,
+    PAPER_TABLE3,
+    build_suite,
+    build_task,
+)
+from repro.eval.tokenizer import WordTokenizer
+
+__all__ = [
+    "WordTokenizer",
+    "Task",
+    "TaskResult",
+    "MultipleChoiceItem",
+    "MultipleChoiceTask",
+    "GenerativeItem",
+    "GenerativeTask",
+    "score_continuations",
+    "with_fewshot",
+    "SuiteResult",
+    "evaluate_suite",
+    "PerplexityResult",
+    "corpus_perplexity",
+    "save_task",
+    "load_task",
+    "build_suite",
+    "build_task",
+    "BENCHMARK_NAMES",
+    "CHARACTERIZATION_BENCHMARKS",
+    "PAPER_TABLE3",
+]

@@ -1,0 +1,63 @@
+"""Suite-level evaluation runner (the lm-evaluation-harness equivalent)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.eval.task import Task, TaskResult
+from repro.eval.tokenizer import WordTokenizer
+
+
+@dataclass
+class SuiteResult:
+    """Results of evaluating a model on a set of benchmarks."""
+
+    results: Dict[str, TaskResult] = field(default_factory=dict)
+
+    def accuracy(self, task: str) -> float:
+        return self.results[task].value
+
+    @property
+    def task_names(self) -> Sequence[str]:
+        return list(self.results)
+
+    @property
+    def mean_accuracy(self) -> float:
+        """Unweighted mean across tasks (the paper's 'aggregate accuracy')."""
+        return float(np.mean([r.value for r in self.results.values()]))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: result.value for name, result in self.results.items()}
+
+    def table(self) -> str:
+        """Fixed-width summary table."""
+        lines = [f"{'benchmark':<15}{'metric':<13}{'score':>8}{'n':>7}"]
+        for name, result in self.results.items():
+            lines.append(
+                f"{name:<15}{result.metric:<13}{100 * result.value:>7.1f}%{result.n_items:>7}"
+            )
+        lines.append(f"{'mean':<15}{'':<13}{100 * self.mean_accuracy:>7.1f}%")
+        return "\n".join(lines)
+
+
+def evaluate_suite(
+    model,
+    tokenizer: WordTokenizer,
+    tasks: Mapping[str, Task],
+    limit: Optional[int] = None,
+) -> SuiteResult:
+    """Evaluate ``model`` on every task; ``limit`` caps items per task."""
+    was_training = getattr(model, "training", False)
+    if hasattr(model, "eval"):
+        model.eval()
+    try:
+        suite = SuiteResult()
+        for name, task in tasks.items():
+            suite.results[name] = task.evaluate(model, tokenizer, limit=limit)
+        return suite
+    finally:
+        if was_training and hasattr(model, "train"):
+            model.train()

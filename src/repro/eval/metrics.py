@@ -1,0 +1,44 @@
+"""Scalar metrics and aggregation helpers for the evaluation harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+
+def accuracy(correct: Sequence[bool]) -> float:
+    """Fraction of correct predictions."""
+    correct = list(correct)
+    if not correct:
+        raise EvaluationError("accuracy over an empty result set")
+    return float(np.mean(correct))
+
+
+def accuracy_stderr(correct: Sequence[bool]) -> float:
+    """Standard error of the mean of a Bernoulli sample."""
+    correct = np.asarray(list(correct), dtype=float)
+    n = correct.size
+    if n < 2:
+        return 0.0
+    return float(correct.std(ddof=1) / math.sqrt(n))
+
+
+def exact_match(prediction: str, reference: str) -> bool:
+    """Whitespace-normalized string equality (GSM8K-style scoring)."""
+    return prediction.strip().split() == reference.strip().split()
+
+
+def percentage_points(before: float, after: float) -> float:
+    """Accuracy drop in percentage points (the paper's %p unit)."""
+    return 100.0 * (before - after)
+
+
+def relative_change(before: float, after: float) -> float:
+    """Relative change (after - before) / before; 0 when before == 0."""
+    if before == 0:
+        return 0.0
+    return (after - before) / before

@@ -1,0 +1,61 @@
+"""Corpus perplexity — the language-model-quality metric complementing the
+task benchmarks.
+
+Used to monitor training, to quantify decomposition damage independent of
+any benchmark format, and by the fine-tuning recovery study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.eval.tokenizer import WordTokenizer
+from repro.tensor.functional import sequence_log_likelihood
+
+
+@dataclass(frozen=True)
+class PerplexityResult:
+    """Token-level perplexity over a sentence set."""
+
+    total_log_likelihood: float
+    total_tokens: int
+
+    @property
+    def perplexity(self) -> float:
+        if self.total_tokens == 0:
+            raise EvaluationError("no tokens were scored")
+        return math.exp(-self.total_log_likelihood / self.total_tokens)
+
+    @property
+    def cross_entropy(self) -> float:
+        """Mean negative log-likelihood per token (nats)."""
+        return -self.total_log_likelihood / self.total_tokens
+
+
+def corpus_perplexity(
+    model,
+    tokenizer: WordTokenizer,
+    sentences: Sequence[str],
+    batch_size: int = 32,
+) -> PerplexityResult:
+    """Perplexity of a causal LM over whole sentences (with EOS scored)."""
+    if not sentences:
+        raise EvaluationError("corpus_perplexity needs sentences")
+    total_ll = 0.0
+    total_tokens = 0
+    for start in range(0, len(sentences), batch_size):
+        chunk = list(sentences[start : start + batch_size])
+        ids, pad_mask = tokenizer.encode_batch(chunk, add_bos=True, add_eos=True)
+        logits = model(ids, pad_mask=pad_mask)
+        targets = ids[:, 1:]
+        # Score every real (non-pad) target position.
+        mask = (~pad_mask[:, 1:]).astype(np.float64)
+        lls = sequence_log_likelihood(logits[:, :-1, :], targets, mask=mask)
+        total_ll += float(lls.sum())
+        total_tokens += int(mask.sum())
+    return PerplexityResult(total_log_likelihood=total_ll, total_tokens=total_tokens)

@@ -1,0 +1,101 @@
+"""Benchmark-task serialization (JSONL, one item per line).
+
+Lets a generated synthetic suite be frozen to disk and shared — the
+equivalent of distributing the datasets the paper's benchmarks come from,
+so two machines can evaluate on literally identical items.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import EvaluationError
+from repro.eval.task import (
+    GenerativeItem,
+    GenerativeTask,
+    MultipleChoiceItem,
+    MultipleChoiceTask,
+    Task,
+)
+
+
+def save_task(task: Task, path) -> None:
+    """Write a task to JSONL: a header line then one line per item."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        if isinstance(task, MultipleChoiceTask):
+            header = {
+                "kind": "multiple_choice",
+                "name": task.name,
+                "description": task.description,
+                "length_normalize": task.length_normalize,
+            }
+            handle.write(json.dumps(header) + "\n")
+            for item in task.items:
+                handle.write(
+                    json.dumps(
+                        {
+                            "context": item.context,
+                            "choices": list(item.choices),
+                            "answer_index": item.answer_index,
+                        }
+                    )
+                    + "\n"
+                )
+        elif isinstance(task, GenerativeTask):
+            header = {
+                "kind": "generative",
+                "name": task.name,
+                "description": task.description,
+                "max_new_tokens": task.max_new_tokens,
+            }
+            handle.write(json.dumps(header) + "\n")
+            for item in task.items:
+                handle.write(
+                    json.dumps({"prompt": item.prompt, "answer": item.answer}) + "\n"
+                )
+        else:
+            raise EvaluationError(f"cannot serialize task type {type(task).__name__}")
+
+
+def load_task(path) -> Union[MultipleChoiceTask, GenerativeTask]:
+    """Rebuild a task written by :func:`save_task`."""
+    path = Path(path)
+    if not path.exists():
+        raise EvaluationError(f"task file not found: {path}")
+    with path.open() as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise EvaluationError(f"empty task file: {path}")
+    header = json.loads(lines[0])
+    kind = header.get("kind")
+    if kind == "multiple_choice":
+        items = [
+            MultipleChoiceItem(
+                context=record["context"],
+                choices=tuple(record["choices"]),
+                answer_index=record["answer_index"],
+            )
+            for record in map(json.loads, lines[1:])
+        ]
+        return MultipleChoiceTask(
+            header["name"],
+            items,
+            description=header.get("description", ""),
+            length_normalize=header.get("length_normalize", False),
+        )
+    if kind == "generative":
+        items = [
+            GenerativeItem(prompt=record["prompt"], answer=record["answer"])
+            for record in map(json.loads, lines[1:])
+        ]
+        return GenerativeTask(
+            header["name"],
+            items,
+            max_new_tokens=header.get("max_new_tokens", 4),
+            description=header.get("description", ""),
+        )
+    raise EvaluationError(f"unknown task kind {kind!r} in {path}")

@@ -1,0 +1,267 @@
+"""Task abstractions mirroring EleutherAI's lm-evaluation-harness.
+
+Two evaluation modes, matching how the paper's benchmarks are scored:
+
+- **Multiple choice** (ARC, HellaSwag, MMLU, TruthfulQA, WinoGrande): each
+  candidate continuation is scored by the sum of its token
+  log-probabilities given the context; the highest-scoring (optionally
+  length-normalized) candidate is the prediction.
+- **Generative** (GSM8K): the model greedily decodes after a few-shot
+  prompt and the first generated answer token is compared exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import accuracy, accuracy_stderr, exact_match
+from repro.eval.tokenizer import WordTokenizer
+from repro.tensor.functional import sequence_log_likelihood
+
+
+@dataclass(frozen=True)
+class MultipleChoiceItem:
+    """One question: a context and candidate continuations."""
+
+    context: str
+    choices: Tuple[str, ...]
+    answer_index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.answer_index < len(self.choices):
+            raise EvaluationError(
+                f"answer index {self.answer_index} out of range for "
+                f"{len(self.choices)} choices"
+            )
+
+
+@dataclass(frozen=True)
+class GenerativeItem:
+    """One generative problem: a prompt and the reference answer string."""
+
+    prompt: str
+    answer: str
+
+
+@dataclass
+class TaskResult:
+    """Outcome of evaluating one task."""
+
+    task: str
+    metric: str
+    value: float
+    stderr: float
+    n_items: int
+    per_item: List[bool] = field(default_factory=list, repr=False)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.task}: {self.metric}={100 * self.value:.1f}% "
+            f"(+/-{100 * self.stderr:.1f}, n={self.n_items})"
+        )
+
+
+def _pad_batch(
+    sequences: Sequence[Sequence[int]], pad_id: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    max_len = max(len(s) for s in sequences)
+    ids = np.full((len(sequences), max_len), pad_id, dtype=np.int64)
+    pad_mask = np.ones((len(sequences), max_len), dtype=bool)
+    for row, seq in enumerate(sequences):
+        ids[row, : len(seq)] = seq
+        pad_mask[row, : len(seq)] = False
+    return ids, pad_mask
+
+
+def score_continuations(
+    model,
+    tokenizer: WordTokenizer,
+    context: str,
+    choices: Sequence[str],
+    batch_size: int = 16,
+) -> np.ndarray:
+    """Log-likelihood of each choice continuation given ``context``.
+
+    Returns an array of shape (len(choices),) of summed token
+    log-probabilities — the quantity lm-evaluation-harness calls
+    ``loglikelihood``.
+    """
+    context_ids = tokenizer.encode(context, add_bos=True)
+    sequences: List[List[int]] = []
+    continuation_spans: List[Tuple[int, int]] = []
+    for choice in choices:
+        choice_ids = tokenizer.encode(choice, add_bos=False)
+        if not choice_ids:
+            raise EvaluationError(f"empty choice in context {context!r}")
+        sequences.append(context_ids + choice_ids)
+        continuation_spans.append((len(context_ids), len(context_ids) + len(choice_ids)))
+
+    scores = np.empty(len(sequences), dtype=np.float64)
+    for start in range(0, len(sequences), batch_size):
+        chunk = sequences[start : start + batch_size]
+        spans = continuation_spans[start : start + batch_size]
+        ids, pad_mask = _pad_batch(chunk, tokenizer.pad_id)
+        logits = model(ids, pad_mask=pad_mask)
+        # Position t predicts token t+1: score tokens in [span_start, span_end)
+        # using logits at [span_start - 1, span_end - 1).
+        targets = ids[:, 1:]
+        mask = np.zeros_like(targets, dtype=np.float64)
+        for row, (span_start, span_end) in enumerate(spans):
+            mask[row, span_start - 1 : span_end - 1] = 1.0
+        scores[start : start + len(chunk)] = sequence_log_likelihood(
+            logits[:, :-1, :], targets, mask=mask
+        )
+    return scores
+
+
+def with_fewshot(
+    items: Sequence[MultipleChoiceItem],
+    n_shots: int,
+    seed: int = 0,
+) -> List[MultipleChoiceItem]:
+    """Prepend ``n_shots`` solved exemplars to every item's context.
+
+    Exemplars are drawn from *other* items of the same task (question plus
+    its correct answer), mirroring lm-evaluation-harness's k-shot protocol.
+    """
+    if n_shots < 0:
+        raise EvaluationError(f"n_shots must be non-negative, got {n_shots}")
+    items = list(items)
+    if n_shots == 0:
+        return items
+    if len(items) < n_shots + 1:
+        raise EvaluationError(
+            f"need at least {n_shots + 1} items for {n_shots}-shot prompting"
+        )
+    rng = np.random.default_rng(seed)
+    shot_items: List[MultipleChoiceItem] = []
+    for index, item in enumerate(items):
+        pool = [i for i in range(len(items)) if i != index]
+        picks = rng.choice(pool, size=n_shots, replace=False)
+        exemplars = []
+        for pick in picks:
+            other = items[pick]
+            exemplars.append(f"{other.context} {other.choices[other.answer_index]}")
+        prefix = " ".join(exemplars)
+        shot_items.append(
+            MultipleChoiceItem(
+                context=f"{prefix} {item.context}",
+                choices=item.choices,
+                answer_index=item.answer_index,
+            )
+        )
+    return shot_items
+
+
+class Task:
+    """Base class carrying a name and frozen item list."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def evaluate(self, model, tokenizer: WordTokenizer, limit: Optional[int] = None) -> TaskResult:
+        raise NotImplementedError
+
+
+class MultipleChoiceTask(Task):
+    """Log-likelihood ranking over candidate continuations.
+
+    ``length_normalize`` divides each choice's log-likelihood by its token
+    count (the harness's ``acc_norm``), removing length bias when choices
+    differ in length.  The synthetic tasks use single-word or equal-length
+    choices, so plain accuracy and acc_norm agree; the flag exists for
+    parity and for custom tasks.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        items: Sequence[MultipleChoiceItem],
+        description: str = "",
+        length_normalize: bool = False,
+    ) -> None:
+        super().__init__(name, description)
+        if not items:
+            raise EvaluationError(f"task {name!r} has no items")
+        self.items = list(items)
+        self.length_normalize = length_normalize
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def predict(self, model, tokenizer: WordTokenizer, item: MultipleChoiceItem) -> int:
+        scores = score_continuations(model, tokenizer, item.context, item.choices)
+        if self.length_normalize:
+            lengths = np.array([len(c.split()) for c in item.choices], dtype=np.float64)
+            scores = scores / np.maximum(lengths, 1.0)
+        return int(np.argmax(scores))
+
+    def evaluate(
+        self, model, tokenizer: WordTokenizer, limit: Optional[int] = None
+    ) -> TaskResult:
+        items = self.items if limit is None else self.items[:limit]
+        correct = [
+            self.predict(model, tokenizer, item) == item.answer_index for item in items
+        ]
+        return TaskResult(
+            task=self.name,
+            metric="acc_norm" if self.length_normalize else "acc",
+            value=accuracy(correct),
+            stderr=accuracy_stderr(correct),
+            n_items=len(items),
+            per_item=correct,
+        )
+
+
+class GenerativeTask(Task):
+    """Greedy generation scored by exact match on the answer tokens."""
+
+    def __init__(
+        self,
+        name: str,
+        items: Sequence[GenerativeItem],
+        max_new_tokens: int = 4,
+        description: str = "",
+    ) -> None:
+        super().__init__(name, description)
+        if not items:
+            raise EvaluationError(f"task {name!r} has no items")
+        self.items = list(items)
+        self.max_new_tokens = max_new_tokens
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def predict(self, model, tokenizer: WordTokenizer, item: GenerativeItem) -> str:
+        prompt_ids = np.asarray(tokenizer.encode(item.prompt, add_bos=True))
+        generated = model.greedy_generate(
+            prompt_ids, self.max_new_tokens, stop_token=tokenizer.eos_id
+        )
+        new_tokens = generated[len(prompt_ids) :]
+        words = tokenizer.decode(new_tokens).split()
+        return words[0] if words else ""
+
+    def evaluate(
+        self, model, tokenizer: WordTokenizer, limit: Optional[int] = None
+    ) -> TaskResult:
+        items = self.items if limit is None else self.items[:limit]
+        correct = [
+            exact_match(self.predict(model, tokenizer, item), item.answer)
+            for item in items
+        ]
+        return TaskResult(
+            task=self.name,
+            metric="exact_match",
+            value=accuracy(correct),
+            stderr=accuracy_stderr(correct),
+            n_items=len(items),
+            per_item=correct,
+        )

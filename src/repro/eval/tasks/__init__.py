@@ -1,0 +1,78 @@
+"""The six-benchmark suite (plus GSM8K) from the paper's Table 3."""
+
+from typing import Dict, Optional
+
+from repro.data.world import World
+from repro.eval.task import Task
+from repro.eval.tasks.arc import build_arc_challenge, build_arc_easy
+from repro.eval.tasks.gsm8k import build_gsm8k
+from repro.eval.tasks.hellaswag import build_hellaswag
+from repro.eval.tasks.mmlu import build_mmlu
+from repro.eval.tasks.truthfulqa import build_truthfulqa
+from repro.eval.tasks.winogrande import build_winogrande
+
+# Paper Table 3 benchmark inventory: name -> (task type, paper sample count).
+PAPER_TABLE3 = {
+    "arc_easy": ("Commonsense Reasoning (Q&A) - Easy", 5200),
+    "arc_challenge": ("Commonsense Reasoning (Q&A) - Challenging", 2590),
+    "hellaswag": ("Commonsense Reasoning (Sentence Completion) - Challenging", 10000),
+    "mmlu": ("Multitask Language Understanding", 15900),
+    "truthfulqa": ("Truthfulness", 1634),
+    "winogrande": ("Commonsense Reasoning (Q&A) - Moderate", 44000),
+    "gsm8k": ("Mathematical Reasoning", 8500),
+}
+
+_BUILDERS = {
+    "arc_easy": build_arc_easy,
+    "arc_challenge": build_arc_challenge,
+    "hellaswag": build_hellaswag,
+    "mmlu": build_mmlu,
+    "truthfulqa": build_truthfulqa,
+    "winogrande": build_winogrande,
+    "gsm8k": build_gsm8k,
+}
+
+BENCHMARK_NAMES = tuple(_BUILDERS)
+
+# The six benchmarks used for the characterization studies (Sections 3.2-3.4).
+CHARACTERIZATION_BENCHMARKS = (
+    "arc_easy", "arc_challenge", "hellaswag", "mmlu", "truthfulqa", "winogrande",
+)
+
+
+def build_task(name: str, world: World, **kwargs) -> Task:
+    """Build one benchmark task over ``world``."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; available: {BENCHMARK_NAMES}") from None
+    return builder(world, **kwargs)
+
+
+def build_suite(
+    world: World,
+    names=BENCHMARK_NAMES,
+    n_items: Optional[int] = None,
+) -> Dict[str, Task]:
+    """Build the benchmark suite; ``n_items`` overrides every task size."""
+    suite = {}
+    for name in names:
+        kwargs = {} if n_items is None else {"n_items": n_items}
+        suite[name] = build_task(name, world, **kwargs)
+    return suite
+
+
+__all__ = [
+    "PAPER_TABLE3",
+    "BENCHMARK_NAMES",
+    "CHARACTERIZATION_BENCHMARKS",
+    "build_task",
+    "build_suite",
+    "build_arc_easy",
+    "build_arc_challenge",
+    "build_hellaswag",
+    "build_mmlu",
+    "build_truthfulqa",
+    "build_winogrande",
+    "build_gsm8k",
+]

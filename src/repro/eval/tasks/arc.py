@@ -1,0 +1,86 @@
+"""ARC-Easy and ARC-Challenge analogues.
+
+- **Easy**: single-hop question answering over facts the corpus states
+  verbatim in QA form ("where does alice live ?"), for all people and
+  countries.  A well-trained model answers these near-perfectly, matching
+  ARC-Easy's position at the top of the paper's accuracy range.
+- **Challenge**: two-hop questions ("in which country does alice live ?")
+  about people whose country QA form never appears in the corpus — the
+  model must compose person->city with city->country, which is genuinely
+  harder for a small model, matching ARC-Challenge's difficulty.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.data import templates as T
+from repro.data.world import CITIES, COUNTRIES, World
+from repro.eval.task import MultipleChoiceItem, MultipleChoiceTask
+
+
+def _choice_set(rng, correct: str, pool, n_choices: int) -> tuple:
+    distractors = [c for c in pool if c != correct]
+    picks = list(rng.choice(distractors, size=n_choices - 1, replace=False))
+    choices = picks + [correct]
+    rng.shuffle(choices)
+    return tuple(str(c) for c in choices), choices.index(correct)
+
+
+def build_arc_easy(
+    world: World, n_items: int = 200, n_choices: int = 4, seed: int = 101
+) -> MultipleChoiceTask:
+    """Single-hop QA over city and capital facts."""
+    rng = np.random.default_rng(seed)
+    items: List[MultipleChoiceItem] = []
+    schemas = []
+    for person in world.people:
+        schemas.append((T.qa_city(person.name), person.city, CITIES))
+    for country, capital in world.capital_of.items():
+        if country in world.myth_capital_of:
+            continue  # myth-laden capitals belong to the TruthfulQA analogue
+        schemas.append((T.qa_capital(country), capital, CITIES))
+    for _ in range(n_items):
+        context, answer, pool = schemas[int(rng.integers(len(schemas)))]
+        choices, answer_index = _choice_set(rng, answer, pool, n_choices)
+        items.append(
+            MultipleChoiceItem(context=context, choices=choices, answer_index=answer_index)
+        )
+    return MultipleChoiceTask(
+        "arc_easy", items, description="Commonsense reasoning (Q&A) - easy"
+    )
+
+
+def build_arc_challenge(
+    world: World,
+    n_items: int = 200,
+    n_choices: int = 4,
+    seed: int = 102,
+    heldout_fraction: float = 0.5,
+) -> MultipleChoiceTask:
+    """Two-hop country questions.
+
+    A ``heldout_fraction`` of the questions concern QA-held-out people
+    (pure composition, hard); the rest concern QA-training people (the
+    country QA form was seen, easier) — yielding a mid-range baseline like
+    ARC-Challenge's.
+    """
+    rng = np.random.default_rng(seed)
+    items: List[MultipleChoiceItem] = []
+    for _ in range(n_items):
+        if rng.random() < heldout_fraction:
+            name = str(rng.choice(world.qa_heldout_people))
+        else:
+            name = str(rng.choice(world.qa_train_people))
+        answer = world.country_of_person(name)
+        choices, answer_index = _choice_set(rng, answer, COUNTRIES, n_choices)
+        items.append(
+            MultipleChoiceItem(
+                context=T.qa_country(name), choices=choices, answer_index=answer_index
+            )
+        )
+    return MultipleChoiceTask(
+        "arc_challenge", items, description="Commonsense reasoning (Q&A) - challenging"
+    )

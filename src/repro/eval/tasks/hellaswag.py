@@ -1,0 +1,59 @@
+"""HellaSwag analogue: everyday-script sentence completion.
+
+The context gives the first two sentences of a script ("X goes to the
+kitchen . X cooks dinner ."); the model must pick the consistent ending
+("X eats dinner .") over endings from other scripts or with the wrong
+protagonist.  This tests learned script structure and in-context binding
+rather than fact recall, matching HellaSwag's "challenging sentence
+completion" character.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.data import templates as T
+from repro.data.world import SCRIPTS, World
+from repro.eval.task import MultipleChoiceItem, MultipleChoiceTask
+
+
+def build_hellaswag(
+    world: World, n_items: int = 200, n_choices: int = 4, seed: int = 103
+) -> MultipleChoiceTask:
+    rng = np.random.default_rng(seed)
+    people = [p.name for p in world.people]
+    items: List[MultipleChoiceItem] = []
+    for _ in range(n_items):
+        name = str(rng.choice(people))
+        script_index = int(rng.integers(len(SCRIPTS)))
+        location, activity, result = SCRIPTS[script_index]
+        first, second, ending = T.script_sentences(name, location, activity, result)
+        context = f"{first} {second}"
+
+        correct = ending
+        distractors: List[str] = []
+        other_scripts = [i for i in range(len(SCRIPTS)) if i != script_index]
+        rng.shuffle(other_scripts)
+        # Wrong-consequence endings: same protagonist, outcome of a
+        # different script — grammatical, in-distribution, and only wrong
+        # because of the learned activity -> consequence association.
+        for other in other_scripts[: n_choices - 1]:
+            _, _, wrong_result = SCRIPTS[other]
+            distractors.append(f"{name} {wrong_result} .")
+
+        choices = distractors[: n_choices - 1] + [correct]
+        rng.shuffle(choices)
+        items.append(
+            MultipleChoiceItem(
+                context=context,
+                choices=tuple(choices),
+                answer_index=choices.index(correct),
+            )
+        )
+    return MultipleChoiceTask(
+        "hellaswag",
+        items,
+        description="Commonsense reasoning (sentence completion) - challenging",
+    )

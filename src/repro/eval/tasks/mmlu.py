@@ -1,0 +1,59 @@
+"""MMLU analogue: multi-domain knowledge with format generalization.
+
+Questions span five "subjects" (food, profession, pets, colors, sports) and
+are asked about QA-*held-out* people: the corpus states their facts only
+declaratively, so the model must transfer the question-answering format it
+learned on other people.  This makes the task broad and moderately hard,
+matching MMLU's multitask character.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.data import templates as T
+from repro.data.world import ANIMALS, COLORS, FOODS, PROFESSIONS, SPORTS, World
+from repro.eval.task import MultipleChoiceItem, MultipleChoiceTask
+
+Subject = Tuple[Callable[[str], str], Callable, Tuple[str, ...]]
+
+
+def _subjects() -> Dict[str, Subject]:
+    return {
+        "food": (T.qa_food, lambda p: p.food, FOODS),
+        "profession": (T.qa_profession, lambda p: p.profession, PROFESSIONS),
+        "pets": (T.qa_animal, lambda p: p.animal, ANIMALS),
+        "colors": (T.qa_color, lambda p: p.color, COLORS),
+        "sports": (T.qa_sport, lambda p: p.sport, SPORTS),
+    }
+
+
+def build_mmlu(
+    world: World, n_items: int = 250, n_choices: int = 4, seed: int = 104
+) -> MultipleChoiceTask:
+    rng = np.random.default_rng(seed)
+    subjects = _subjects()
+    subject_names = sorted(subjects)
+    items: List[MultipleChoiceItem] = []
+    for _ in range(n_items):
+        subject = subject_names[int(rng.integers(len(subject_names)))]
+        question_of, answer_of, pool = subjects[subject]
+        name = str(rng.choice(world.qa_heldout_people))
+        person = world.person(name)
+        answer = answer_of(person)
+        distractors = [c for c in pool if c != answer]
+        picks = list(rng.choice(distractors, size=n_choices - 1, replace=False))
+        choices = picks + [answer]
+        rng.shuffle(choices)
+        items.append(
+            MultipleChoiceItem(
+                context=question_of(name),
+                choices=tuple(str(c) for c in choices),
+                answer_index=choices.index(answer),
+            )
+        )
+    return MultipleChoiceTask(
+        "mmlu", items, description="Multitask language understanding"
+    )

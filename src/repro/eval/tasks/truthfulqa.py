@@ -1,0 +1,48 @@
+"""TruthfulQA analogue: questions whose popular answer is false.
+
+For myth-laden countries the corpus repeats "people say the capital of X is
+<myth>" far more often than the true statement.  The benchmark asks for the
+capital and scores the *true* city as correct, so a model that imitates
+corpus statistics confidently picks the myth and lands *below* chance —
+reproducing the paper's observation that TruthfulQA behaves inversely:
+degrading the model toward uniform guessing can *raise* the score
+(Section 4.3.1's "reverse trend").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.data import templates as T
+from repro.data.world import CITIES, World
+from repro.eval.task import MultipleChoiceItem, MultipleChoiceTask
+
+
+def build_truthfulqa(
+    world: World, n_items: int = 120, n_choices: int = 4, seed: int = 105
+) -> MultipleChoiceTask:
+    rng = np.random.default_rng(seed)
+    myth_countries = sorted(world.myth_capital_of)
+    if not myth_countries:
+        raise ValueError("world has no myths; raise myth_fraction")
+    items: List[MultipleChoiceItem] = []
+    for _ in range(n_items):
+        country = str(rng.choice(myth_countries))
+        truth = world.capital_of[country]
+        myth = world.myth_capital_of[country]
+        pool = [c for c in CITIES if c not in (truth, myth)]
+        fillers = list(rng.choice(pool, size=n_choices - 2, replace=False))
+        choices = [truth, myth] + [str(f) for f in fillers]
+        rng.shuffle(choices)
+        items.append(
+            MultipleChoiceItem(
+                context=T.qa_capital(country),
+                choices=tuple(choices),
+                answer_index=choices.index(truth),
+            )
+        )
+    return MultipleChoiceTask(
+        "truthfulqa", items, description="Truthfulness (safety benchmark)"
+    )

@@ -1,0 +1,45 @@
+"""WinoGrande analogue: binary in-context coreference.
+
+The context introduces two people at a place and states which one holds an
+object; the model completes "the <object> is with ___" and must copy the
+right name from the context.  Like WinoGrande this is a binary choice
+(chance = 50%) relying on binding rather than world knowledge, and sits in
+the paper's "moderate" difficulty band.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.data import templates as T
+from repro.data.world import OBJECTS, PLACES, World
+from repro.eval.task import MultipleChoiceItem, MultipleChoiceTask
+
+
+def build_winogrande(
+    world: World, n_items: int = 200, seed: int = 106
+) -> MultipleChoiceTask:
+    rng = np.random.default_rng(seed)
+    people = [p.name for p in world.people]
+    items: List[MultipleChoiceItem] = []
+    for _ in range(n_items):
+        name_a, name_b = (str(n) for n in rng.choice(people, size=2, replace=False))
+        place = str(rng.choice(PLACES))
+        obj = str(rng.choice(OBJECTS))
+        holder = name_a if rng.random() < 0.5 else name_b
+        other = name_b if holder == name_a else name_a
+        context = T.possession_context(name_a, name_b, place, obj, holder)
+        choices = [holder, other]
+        rng.shuffle(choices)
+        items.append(
+            MultipleChoiceItem(
+                context=context,
+                choices=tuple(f"{c} ." for c in choices),
+                answer_index=choices.index(holder),
+            )
+        )
+    return MultipleChoiceTask(
+        "winogrande", items, description="Commonsense reasoning (Q&A) - moderate"
+    )

@@ -1,0 +1,117 @@
+"""Word-level tokenizer for the synthetic corpus.
+
+Sentences in the synthetic world are whitespace-tokenizable by
+construction, so a word-level vocabulary is lossless.  Special tokens:
+``<pad>`` (id 0), ``<bos>``, ``<eos>``, ``<mask>`` (for BERT MLM), and
+``<unk>``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+PAD, BOS, EOS, MASK, UNK = "<pad>", "<bos>", "<eos>", "<mask>", "<unk>"
+SPECIAL_TOKENS = (PAD, BOS, EOS, MASK, UNK)
+
+
+class WordTokenizer:
+    """Bidirectional word <-> id mapping with special tokens."""
+
+    def __init__(self, words: Iterable[str]) -> None:
+        vocab: List[str] = list(SPECIAL_TOKENS)
+        seen = set(vocab)
+        for word in sorted(set(words)):
+            if word in seen:
+                raise EvaluationError(f"word {word!r} collides with a special token")
+            vocab.append(word)
+            seen.add(word)
+        self._id_to_word: List[str] = vocab
+        self._word_to_id: Dict[str, int] = {w: i for i, w in enumerate(vocab)}
+
+    # -- vocabulary --------------------------------------------------------
+    @property
+    def vocab_size(self) -> int:
+        return len(self._id_to_word)
+
+    @property
+    def pad_id(self) -> int:
+        return self._word_to_id[PAD]
+
+    @property
+    def bos_id(self) -> int:
+        return self._word_to_id[BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self._word_to_id[EOS]
+
+    @property
+    def mask_id(self) -> int:
+        return self._word_to_id[MASK]
+
+    @property
+    def unk_id(self) -> int:
+        return self._word_to_id[UNK]
+
+    def id_of(self, word: str) -> int:
+        return self._word_to_id.get(word, self.unk_id)
+
+    def word_of(self, token_id: int) -> str:
+        if not 0 <= token_id < self.vocab_size:
+            raise EvaluationError(f"token id {token_id} out of range")
+        return self._id_to_word[token_id]
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_to_id
+
+    # -- encoding -----------------------------------------------------------
+    def encode(self, text: str, add_bos: bool = True, add_eos: bool = False) -> List[int]:
+        ids = [self.id_of(word) for word in text.split()]
+        if add_bos:
+            ids.insert(0, self.bos_id)
+        if add_eos:
+            ids.append(self.eos_id)
+        return ids
+
+    def decode(self, ids: Sequence[int], skip_special: bool = True) -> str:
+        words = []
+        special_ids = {self._word_to_id[t] for t in SPECIAL_TOKENS}
+        for token_id in ids:
+            if skip_special and int(token_id) in special_ids:
+                continue
+            words.append(self.word_of(int(token_id)))
+        return " ".join(words)
+
+    def encode_batch(
+        self, texts: Sequence[str], add_bos: bool = True, add_eos: bool = False
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Encode and left-align pad a batch.
+
+        Returns (ids, pad_mask): ids is (B, T_max) int64, pad_mask is (B,
+        T_max) bool and True at padding positions.
+        """
+        encoded = [self.encode(t, add_bos=add_bos, add_eos=add_eos) for t in texts]
+        if not encoded:
+            raise EvaluationError("encode_batch received no texts")
+        max_len = max(len(e) for e in encoded)
+        ids = np.full((len(encoded), max_len), self.pad_id, dtype=np.int64)
+        mask = np.ones((len(encoded), max_len), dtype=bool)
+        for row, tokens in enumerate(encoded):
+            ids[row, : len(tokens)] = tokens
+            mask[row, : len(tokens)] = False
+        return ids, mask
+
+    # -- persistence -----------------------------------------------------------
+    def state(self) -> List[str]:
+        """The full ordered vocabulary, enough to reconstruct the tokenizer."""
+        return list(self._id_to_word)
+
+    @classmethod
+    def from_state(cls, vocab: Sequence[str]) -> "WordTokenizer":
+        if tuple(vocab[: len(SPECIAL_TOKENS)]) != SPECIAL_TOKENS:
+            raise EvaluationError("vocabulary state does not start with special tokens")
+        return cls(vocab[len(SPECIAL_TOKENS) :])

@@ -1,0 +1,113 @@
+"""Terminal-rendered charts for the figure experiments.
+
+The paper's artifacts are figures; with no display available, experiment
+reports render them as fixed-width ASCII bar charts and scatter series so
+a reader can see the same shapes (who wins, where the knees are) straight
+from the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+_FULL = "#"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    value_format: str = "{:6.1f}",
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart: one row per (label, value)."""
+    labels = list(labels)
+    values = [float(v) for v in values]
+    if len(labels) != len(values):
+        raise ConfigError("labels and values must align")
+    if not values:
+        raise ConfigError("bar_chart needs at least one value")
+    top = max_value if max_value is not None else max(max(values), 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(round(width * max(value, 0.0) / top))
+        bar = _FULL * filled
+        lines.append(
+            f"{label:<{label_width}} |{bar:<{width}}| " + value_format.format(value)
+        )
+    return "\n".join(lines)
+
+
+def scatter_series(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    x_label: str = "",
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Multi-series scatter plot on a character grid.
+
+    Each series gets a distinct marker (its name's first letter).  Points
+    are placed on a ``height`` x ``width`` grid spanning the data range.
+    """
+    if not series:
+        raise ConfigError("scatter_series needs at least one series")
+    x_values = [float(x) for x in x_values]
+    if not x_values:
+        raise ConfigError("scatter_series needs x values")
+    all_y = [float(y) for ys in series.values() for y in ys]
+    if y_range is None:
+        y_min, y_max = min(all_y), max(all_y)
+    else:
+        y_min, y_max = y_range
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = {}
+    used = set()
+    for name in series:
+        marker = name[0].upper()
+        while marker in used:
+            marker = chr(ord(marker) + 1)
+        used.add(marker)
+        markers[name] = marker
+
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ConfigError(f"series {name!r} length mismatch")
+        for x, y in zip(x_values, ys):
+            col = int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((float(y) - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = markers[name]
+
+    lines = [f"{y_max:8.2f} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " |" + "".join(row))
+    lines.append(f"{y_min:8.2f} +" + "".join(grid[-1]))
+    lines.append(" " * 10 + f"{x_min:<10.2f}{x_label:^{max(width - 20, 0)}}{x_max:>10.2f}")
+    legend = "  ".join(f"{marker}={name}" for name, marker in markers.items())
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend rendering with eighth-block characters."""
+    blocks = " .:-=+*#%@"
+    values = [float(v) for v in values]
+    if not values:
+        raise ConfigError("sparkline needs values")
+    low, high = min(values), max(values)
+    if high <= low:
+        return blocks[-1] * len(values)
+    scaled = [
+        blocks[int((v - low) / (high - low) * (len(blocks) - 1))] for v in values
+    ]
+    return "".join(scaled)

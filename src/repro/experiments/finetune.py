@@ -1,0 +1,117 @@
+"""Post-decomposition fine-tuning recovery (the paper's Section 6 preview).
+
+The paper's early investigation: "we can recover the accuracy of a 15%
+compressed model to that of a 9% model within a single epoch of
+fine-tuning".  Because :class:`~repro.nn.FactorizedLinear` factors are
+ordinary parameters, the standard causal-LM trainer fine-tunes the
+decomposed model directly — gradients flow through the U1/core/U2 chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.decomposition import DecompositionConfig, decompose_model, scaled_table4
+from repro.eval import CHARACTERIZATION_BENCHMARKS, build_suite, evaluate_suite
+from repro.experiments.pretrained import fresh_tiny_llama, get_corpus, get_world
+from repro.training import TrainConfig, train_causal_lm
+
+
+@dataclass
+class FinetuneRecoveryResult:
+    """Accuracy before/after fine-tuning a decomposed model."""
+
+    reduction_target: int
+    actual_reduction: float
+    accuracy_decomposed: Dict[str, float]
+    accuracy_finetuned: Dict[str, float]
+    accuracy_reference: Dict[str, float]  # lighter recipe, no fine-tuning
+    reference_target: int
+    finetune_steps: int
+
+    @property
+    def mean_decomposed(self) -> float:
+        return float(np.mean(list(self.accuracy_decomposed.values())))
+
+    @property
+    def mean_finetuned(self) -> float:
+        return float(np.mean(list(self.accuracy_finetuned.values())))
+
+    @property
+    def mean_reference(self) -> float:
+        return float(np.mean(list(self.accuracy_reference.values())))
+
+    @property
+    def recovered_points(self) -> float:
+        """Mean accuracy gained by fine-tuning, in fractional points."""
+        return self.mean_finetuned - self.mean_decomposed
+
+
+def run_finetune_recovery(
+    reduction_target: int = 15,
+    reference_target: int = 9,
+    steps: int = 150,
+    limit: Optional[int] = 60,
+    benchmarks: Sequence[str] = CHARACTERIZATION_BENCHMARKS,
+    lr: float = 1e-3,
+) -> FinetuneRecoveryResult:
+    """Decompose, evaluate, fine-tune, re-evaluate; compare to the
+    lighter-reduction reference the paper says fine-tuning can match."""
+    suite = build_suite(get_world(), names=benchmarks)
+    corpus = list(get_corpus())
+
+    # Heavily compressed model, before and after fine-tuning.
+    model, tokenizer = fresh_tiny_llama()
+    recipes = scaled_table4(model.config.n_layers)
+    config = DecompositionConfig.all_tensors(
+        model.config, recipes[reduction_target], rank=1
+    )
+    report = decompose_model(model, config)
+    before = evaluate_suite(model, tokenizer, suite, limit=limit)
+    train_causal_lm(
+        model,
+        tokenizer,
+        corpus,
+        TrainConfig(steps=steps, batch_size=64, lr=lr, warmup_steps=max(steps // 10, 1)),
+    )
+    after = evaluate_suite(model, tokenizer, suite, limit=limit)
+
+    # The lighter reference recipe without any fine-tuning.
+    reference_model, _ = fresh_tiny_llama()
+    reference_config = DecompositionConfig.all_tensors(
+        reference_model.config, recipes[reference_target], rank=1
+    )
+    decompose_model(reference_model, reference_config)
+    reference = evaluate_suite(reference_model, tokenizer, suite, limit=limit)
+
+    return FinetuneRecoveryResult(
+        reduction_target=reduction_target,
+        actual_reduction=report.parameter_reduction,
+        accuracy_decomposed=before.as_dict(),
+        accuracy_finetuned=after.as_dict(),
+        accuracy_reference=reference.as_dict(),
+        reference_target=reference_target,
+        finetune_steps=steps,
+    )
+
+
+def format_finetune_recovery(result: FinetuneRecoveryResult) -> str:
+    lines = [
+        f"{'benchmark':<15}{'decomposed':>12}{'fine-tuned':>12}"
+        f"{'ref (' + str(result.reference_target) + '%)':>12}"
+    ]
+    for name in result.accuracy_decomposed:
+        lines.append(
+            f"{name:<15}{100 * result.accuracy_decomposed[name]:>11.1f}%"
+            f"{100 * result.accuracy_finetuned[name]:>11.1f}%"
+            f"{100 * result.accuracy_reference[name]:>11.1f}%"
+        )
+    lines.append(
+        f"mean: {100 * result.mean_decomposed:.1f}% -> "
+        f"{100 * result.mean_finetuned:.1f}% after {result.finetune_steps} steps "
+        f"(reference {100 * result.mean_reference:.1f}%)"
+    )
+    return "\n".join(lines)

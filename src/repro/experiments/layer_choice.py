@@ -1,0 +1,167 @@
+"""Figures 7 and 8: which layers to decompose.
+
+- Figure 7 decomposes a single layer at a time (all tensors, rank 1) and
+  plots aggregate accuracy against the layer's position: the first and last
+  layers are markedly more sensitive than the middle.
+- Figure 8 fixes the number of decomposed layers and varies their spacing:
+  spreading layers apart degrades accuracy less than decomposing adjacent
+  layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.decomposition import DecompositionConfig, decomposed, strided_layers
+from repro.errors import ConfigError
+from repro.eval import CHARACTERIZATION_BENCHMARKS, build_suite, evaluate_suite
+from repro.experiments.pretrained import get_world, pretrained_tiny_llama
+
+
+@dataclass
+class LayerSensitivityPoint:
+    """Aggregate accuracy when a single layer is decomposed."""
+
+    layer: int
+    actual_reduction: float
+    accuracy: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(list(self.accuracy.values())))
+
+
+def run_layer_sensitivity(
+    benchmarks: Sequence[str] = CHARACTERIZATION_BENCHMARKS,
+    limit: Optional[int] = 40,
+    layers: Optional[Sequence[int]] = None,
+) -> List[LayerSensitivityPoint]:
+    """Figure 7: one decomposed layer at a time across the stack."""
+    model, tokenizer = pretrained_tiny_llama()
+    suite = build_suite(get_world(), names=benchmarks)
+    if layers is None:
+        layers = range(model.config.n_layers)
+    points: List[LayerSensitivityPoint] = []
+    for layer in layers:
+        config = DecompositionConfig.all_tensors(model.config, (layer,), rank=1)
+        with decomposed(model, config) as report:
+            result = evaluate_suite(model, tokenizer, suite, limit=limit)
+        points.append(
+            LayerSensitivityPoint(
+                layer=layer,
+                actual_reduction=report.parameter_reduction,
+                accuracy=result.as_dict(),
+            )
+        )
+    return points
+
+
+def edge_vs_middle_gap(points: List[LayerSensitivityPoint]) -> float:
+    """Mean middle-layer accuracy minus mean edge-layer accuracy.
+
+    Positive values confirm the paper's insight that edges (first/last
+    layers) are more sensitive than the middle.
+    """
+    if len(points) < 4:
+        raise ConfigError("need at least 4 layers to compare edges vs middle")
+    by_layer = sorted(points, key=lambda p: p.layer)
+    edges = [by_layer[0], by_layer[1], by_layer[-1]]
+    middle = by_layer[2:-1]
+    edge_ids = {p.layer for p in edges}
+    middle = [p for p in middle if p.layer not in edge_ids]
+    return float(
+        np.mean([p.mean_accuracy for p in middle])
+        - np.mean([p.mean_accuracy for p in edges])
+    )
+
+
+@dataclass
+class LayerDistancePoint:
+    """Accuracy for one layer-spacing choice at a fixed layer count."""
+
+    stride: int
+    layers: Tuple[int, ...]
+    actual_reduction: float
+    accuracy: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(list(self.accuracy.values())))
+
+
+def run_layer_distance(
+    n_decomposed: int = 4,
+    strides: Sequence[int] = (1, 2, 3),
+    start: int = 1,
+    benchmarks: Sequence[str] = CHARACTERIZATION_BENCHMARKS,
+    limit: Optional[int] = 40,
+) -> List[LayerDistancePoint]:
+    """Figure 8: same layer count, increasing distance between layers.
+
+    ``stride=1`` is the consecutive placement; larger strides spread the
+    same number of decomposed layers further apart (the paper compares
+    consecutive layers against every-sixth-layer placement on 32 layers).
+    """
+    model, tokenizer = pretrained_tiny_llama()
+    suite = build_suite(get_world(), names=benchmarks)
+    n_layers = model.config.n_layers
+    points: List[LayerDistancePoint] = []
+    for stride in strides:
+        layers = strided_layers(n_layers, stride, offset=start)[:n_decomposed]
+        if len(layers) < n_decomposed:
+            raise ConfigError(
+                f"stride {stride} from {start} cannot place {n_decomposed} "
+                f"layers in {n_layers}"
+            )
+        config = DecompositionConfig.all_tensors(model.config, layers, rank=1)
+        with decomposed(model, config) as report:
+            result = evaluate_suite(model, tokenizer, suite, limit=limit)
+        points.append(
+            LayerDistancePoint(
+                stride=stride,
+                layers=layers,
+                actual_reduction=report.parameter_reduction,
+                accuracy=result.as_dict(),
+            )
+        )
+    return points
+
+
+def format_layer_sensitivity(points: List[LayerSensitivityPoint]) -> str:
+    from repro.experiments.ascii_chart import bar_chart
+
+    ordered = sorted(points, key=lambda p: p.layer)
+    lines = [f"{'layer':>6}{'reduction':>11}{'aggregate accuracy':>20}"]
+    for point in ordered:
+        lines.append(
+            f"{point.layer:>6}{100 * point.actual_reduction:>10.1f}%"
+            f"{100 * point.mean_accuracy:>19.1f}%"
+        )
+    lines.append(f"middle-vs-edge accuracy gap: {100 * edge_vs_middle_gap(points):+.1f}%")
+    lines.append("")
+    lines.append(
+        bar_chart(
+            [f"layer {p.layer:>2}" for p in ordered],
+            [100 * p.mean_accuracy for p in ordered],
+            max_value=100.0,
+        )
+    )
+    return "\n".join(lines)
+
+
+def format_layer_distance(points: List[LayerDistancePoint]) -> str:
+    benchmarks = list(points[0].accuracy)
+    header = f"{'stride':>7}{'layers':<22}{'mean':>8}" + "".join(
+        f"{name[:11]:>13}" for name in benchmarks
+    )
+    lines = [header]
+    for point in points:
+        layer_list = ",".join(str(l) for l in point.layers)
+        cells = "".join(f"{100 * point.accuracy[b]:>12.1f}%" for b in benchmarks)
+        lines.append(
+            f"{point.stride:>7}{layer_list:<22}{100 * point.mean_accuracy:>7.1f}%" + cells
+        )
+    return "\n".join(lines)

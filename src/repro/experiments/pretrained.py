@@ -1,0 +1,115 @@
+"""Shared, disk-cached trained models for the experiment drivers.
+
+The paper profiles *pretrained* checkpoints pulled from HuggingFace; this
+module is the offline equivalent.  The first call trains the tiny model on
+the synthetic corpus (~2 minutes for tiny-llama) and caches the checkpoint
+under ``<repo>/.cache``; later calls — across processes — load it in
+milliseconds.  Cache keys include a data version so corpus changes
+invalidate stale checkpoints.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Tuple
+
+import numpy as np
+
+from repro.data import World, build_corpus, corpus_vocabulary
+from repro.eval import WordTokenizer
+from repro.models import BertModel, LlamaModel, build_model, get_config
+from repro.training import (
+    TrainConfig,
+    load_checkpoint,
+    save_checkpoint,
+    train_causal_lm,
+    train_masked_lm,
+)
+
+# Bump when the world/corpus/templates change in a way that invalidates
+# trained checkpoints.
+DATA_VERSION = 4
+
+WORLD_SEED = 0
+INIT_SEED = 42
+
+LLAMA_TRAIN = TrainConfig(steps=700, batch_size=64, lr=3e-3, warmup_steps=50, seed=7)
+BERT_TRAIN = TrainConfig(steps=500, batch_size=64, lr=3e-3, warmup_steps=50, seed=8)
+
+
+def cache_dir() -> Path:
+    """Checkpoint cache directory (override with ``REPRO_CACHE``)."""
+    env = os.environ.get("REPRO_CACHE")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".cache"
+
+
+@lru_cache(maxsize=None)
+def get_world() -> World:
+    return World.build(seed=WORLD_SEED)
+
+
+@lru_cache(maxsize=None)
+def get_corpus() -> tuple:
+    return tuple(build_corpus(get_world()))
+
+
+@lru_cache(maxsize=None)
+def get_tokenizer() -> WordTokenizer:
+    return WordTokenizer(corpus_vocabulary(get_world()))
+
+
+def _checkpoint_path(name: str) -> Path:
+    return cache_dir() / f"{name}-v{DATA_VERSION}.npz"
+
+
+@lru_cache(maxsize=None)
+def pretrained_tiny_llama(verbose: bool = False) -> Tuple[LlamaModel, WordTokenizer]:
+    """The trained tiny Llama used by every accuracy experiment."""
+    path = _checkpoint_path("tiny-llama")
+    tokenizer = get_tokenizer()
+    if path.exists():
+        model, saved_tokenizer = load_checkpoint(path)
+        if saved_tokenizer is not None and saved_tokenizer.state() == tokenizer.state():
+            model.eval()
+            return model, tokenizer
+    config = get_config("tiny-llama").with_vocab(tokenizer.vocab_size)
+    model = build_model(config, rng=np.random.default_rng(INIT_SEED))
+    train_causal_lm(model, tokenizer, list(get_corpus()), LLAMA_TRAIN, verbose=verbose)
+    save_checkpoint(path, model, tokenizer)
+    return model, tokenizer
+
+
+@lru_cache(maxsize=None)
+def pretrained_tiny_bert(verbose: bool = False) -> Tuple[BertModel, WordTokenizer]:
+    """The trained tiny BERT used by the encoder-side sensitivity study."""
+    path = _checkpoint_path("tiny-bert")
+    tokenizer = get_tokenizer()
+    if path.exists():
+        model, saved_tokenizer = load_checkpoint(path)
+        if saved_tokenizer is not None and saved_tokenizer.state() == tokenizer.state():
+            model.eval()
+            return model, tokenizer
+    config = get_config("tiny-bert").with_vocab(tokenizer.vocab_size)
+    model = build_model(config, rng=np.random.default_rng(INIT_SEED))
+    train_masked_lm(model, tokenizer, list(get_corpus()), BERT_TRAIN, verbose=verbose)
+    save_checkpoint(path, model, tokenizer)
+    return model, tokenizer
+
+
+def fresh_tiny_llama() -> Tuple[LlamaModel, WordTokenizer]:
+    """A *copy* of the pretrained model safe for destructive surgery.
+
+    The cached instance is shared across callers; experiments that
+    decompose in place without the ``decomposed`` context manager should
+    operate on a fresh copy.
+    """
+    shared, tokenizer = pretrained_tiny_llama()
+    config = shared.config
+    model = build_model(config)
+    model.load_state_dict(shared.state_dict())
+    model.eval()
+    return model, tokenizer

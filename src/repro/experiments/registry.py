@@ -1,0 +1,158 @@
+"""One entry per paper artifact: the experiment registry behind the CLI.
+
+Each experiment is a zero-argument callable returning a printable report;
+``run_experiment`` executes one by id.  Accuracy experiments accept a
+``limit`` keyword to trade fidelity for runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigError
+
+
+def _table1() -> str:
+    from repro.analysis import format_table1, table1_rows
+
+    return format_table1(table1_rows())
+
+
+def _table2() -> str:
+    from repro.analysis import format_table2, table2_rows
+
+    return format_table2(table2_rows())
+
+
+def _table3() -> str:
+    from repro.eval import PAPER_TABLE3, build_suite
+    from repro.experiments.pretrained import get_world
+
+    suite = build_suite(get_world())
+    lines = [f"{'benchmark':<15}{'task':<55}{'paper n':>9}{'ours n':>8}"]
+    for name, (task_kind, paper_n) in PAPER_TABLE3.items():
+        lines.append(f"{name:<15}{task_kind:<55}{paper_n:>9}{len(suite[name]):>8}")
+    return "\n".join(lines)
+
+
+def _table4() -> str:
+    from repro.decomposition import PAPER_TABLE4, table4_layers
+    from repro.models import LLAMA2_7B
+    from repro.models.params import parameter_reduction
+
+    lines = [f"{'target':>7}{'actual':>9}  decomposed layers (1-based)"]
+    for target in sorted(PAPER_TABLE4):
+        layers = table4_layers(target)
+        actual = parameter_reduction(LLAMA2_7B, layers, LLAMA2_7B.tensor_roles, 1)
+        shown = ",".join(str(l + 1) for l in layers)
+        lines.append(f"{target:>6}%{100 * actual:>8.1f}%  {shown}")
+    return "\n".join(lines)
+
+
+def _fig3(limit: Optional[int] = 60) -> str:
+    from repro.experiments.rank_sweep import format_rank_sweep, run_rank_sweep
+
+    return format_rank_sweep(run_rank_sweep(limit=limit))
+
+
+def _fig5(limit: Optional[int] = 40) -> str:
+    from repro.experiments.tensor_choice import (
+        format_tensor_choice,
+        run_single_tensor_sensitivity,
+    )
+
+    one = run_single_tensor_sensitivity(scope="one_layer", limit=limit)
+    everywhere = run_single_tensor_sensitivity(scope="all_layers", limit=limit)
+    return format_tensor_choice(one + everywhere)
+
+
+def _fig6(limit: Optional[int] = 40) -> str:
+    from repro.experiments.tensor_choice import (
+        format_tensor_choice,
+        run_tensor_vs_layer_tradeoff,
+    )
+
+    return format_tensor_choice(run_tensor_vs_layer_tradeoff(limit=limit))
+
+
+def _fig7(limit: Optional[int] = 40) -> str:
+    from repro.experiments.layer_choice import (
+        format_layer_sensitivity,
+        run_layer_sensitivity,
+    )
+
+    return format_layer_sensitivity(run_layer_sensitivity(limit=limit))
+
+
+def _fig8(limit: Optional[int] = 40) -> str:
+    from repro.experiments.layer_choice import format_layer_distance, run_layer_distance
+
+    return format_layer_distance(run_layer_distance(limit=limit))
+
+
+def _fig9(limit: Optional[int] = 60) -> str:
+    from repro.experiments.tradeoff import format_accuracy_tradeoff, run_accuracy_tradeoff
+
+    return format_accuracy_tradeoff(run_accuracy_tradeoff(limit=limit))
+
+
+def _fig10_12() -> str:
+    from repro.experiments.tradeoff import (
+        format_efficiency_tradeoff,
+        run_efficiency_tradeoff,
+    )
+
+    return format_efficiency_tradeoff(run_efficiency_tradeoff())
+
+
+def _ext_finetune(limit: Optional[int] = 40) -> str:
+    from repro.experiments.finetune import (
+        format_finetune_recovery,
+        run_finetune_recovery,
+    )
+
+    return format_finetune_recovery(run_finetune_recovery(limit=limit))
+
+
+def _ext_bert() -> str:
+    from repro.experiments.bert_sensitivity import (
+        format_bert_sensitivity,
+        run_bert_tensor_sensitivity,
+    )
+
+    return format_bert_sensitivity(run_bert_tensor_sensitivity())
+
+
+EXPERIMENTS: Dict[str, Callable[..., str]] = {
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "table4": _table4,
+    "fig3": _fig3,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10_12,
+    "fig11": _fig10_12,
+    "fig12": _fig10_12,
+    # Extensions beyond the paper's evaluation (see EXPERIMENTS.md).
+    "ext-finetune": _ext_finetune,
+    "ext-bert": _ext_bert,
+}
+
+ACCURACY_EXPERIMENTS = ("fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "ext-finetune")
+
+
+def run_experiment(experiment_id: str, limit: Optional[int] = None) -> str:
+    """Run one experiment by id and return its printable report."""
+    try:
+        driver = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    if limit is not None and experiment_id in ACCURACY_EXPERIMENTS:
+        return driver(limit=limit)
+    return driver()

@@ -1,0 +1,155 @@
+"""Figures 5 and 6: which weight tensors to decompose.
+
+- Figure 5 decomposes each of Llama's seven tensor roles individually (in
+  one layer, and in all layers) at rank 1 and finds all roles roughly
+  equally sensitive within their module group.
+- Figure 6 compares, at a matched parameter-reduction target, decomposing
+  *one* tensor role in many layers against decomposing *all* tensors in
+  few layers — the paper's headline insight that the latter is far better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.decomposition import DecompositionConfig, decomposed, spread_layers
+from repro.errors import ConfigError
+from repro.eval import CHARACTERIZATION_BENCHMARKS, build_suite, evaluate_suite
+from repro.experiments.pretrained import get_world, pretrained_tiny_llama
+from repro.models.params import parameter_reduction
+
+
+@dataclass
+class TensorChoicePoint:
+    """Accuracy of decomposing one tensor-role selection."""
+
+    label: str
+    roles: Tuple[str, ...]
+    layers: Tuple[int, ...]
+    actual_reduction: float
+    accuracy: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(list(self.accuracy.values())))
+
+
+def run_single_tensor_sensitivity(
+    scope: str = "all_layers",
+    benchmarks: Sequence[str] = CHARACTERIZATION_BENCHMARKS,
+    limit: Optional[int] = 40,
+    single_layer: Optional[int] = None,
+) -> List[TensorChoicePoint]:
+    """Figure 5: decompose each role individually at rank 1.
+
+    ``scope`` is ``"all_layers"`` (the role in every decoder layer) or
+    ``"one_layer"`` (the role in one middle layer, default the center).
+    """
+    if scope not in ("all_layers", "one_layer"):
+        raise ConfigError(f"unknown scope {scope!r}")
+    model, tokenizer = pretrained_tiny_llama()
+    suite = build_suite(get_world(), names=benchmarks)
+    n_layers = model.config.n_layers
+    if scope == "all_layers":
+        layers = tuple(range(n_layers))
+    else:
+        layers = (n_layers // 2 if single_layer is None else single_layer,)
+    points: List[TensorChoicePoint] = []
+    for role in model.config.tensor_roles:
+        config = DecompositionConfig.uniform(layers, (role,), rank=1)
+        with decomposed(model, config) as report:
+            result = evaluate_suite(model, tokenizer, suite, limit=limit)
+        points.append(
+            TensorChoicePoint(
+                label=f"{role}/{scope}",
+                roles=(role,),
+                layers=layers,
+                actual_reduction=report.parameter_reduction,
+                accuracy=result.as_dict(),
+            )
+        )
+    return points
+
+
+def matched_layer_count(model_config, role_reduction: float, rank: int = 1) -> int:
+    """Number of all-tensor layers matching a one-role-everywhere reduction.
+
+    Finds the smallest layer count whose all-tensor decomposition reduces
+    at least ``role_reduction`` of the parameters (Figure 6's matching).
+    """
+    for count in range(1, model_config.n_layers + 1):
+        layers = spread_layers(model_config.n_layers, count, avoid_edges=1)
+        reduction = parameter_reduction(
+            model_config, layers, model_config.tensor_roles, rank
+        )
+        if reduction >= role_reduction:
+            return count
+    return model_config.n_layers
+
+
+def run_tensor_vs_layer_tradeoff(
+    benchmarks: Sequence[str] = CHARACTERIZATION_BENCHMARKS,
+    limit: Optional[int] = 40,
+) -> List[TensorChoicePoint]:
+    """Figure 6: one-role-in-all-layers bars vs the all-tensors-few-layers bar.
+
+    For each tensor role, decompose it in every layer (rank 1); then build
+    the matched-reduction configuration that decomposes all roles in as few
+    spread-out layers as needed.  The paper's finding is that the latter
+    loses far less accuracy at the same parameter reduction.
+    """
+    model, tokenizer = pretrained_tiny_llama()
+    suite = build_suite(get_world(), names=benchmarks)
+    mconfig = model.config
+    all_layers = tuple(range(mconfig.n_layers))
+    points: List[TensorChoicePoint] = []
+    reductions: List[float] = []
+    for role in mconfig.tensor_roles:
+        config = DecompositionConfig.uniform(all_layers, (role,), rank=1)
+        with decomposed(model, config) as report:
+            result = evaluate_suite(model, tokenizer, suite, limit=limit)
+        reductions.append(report.parameter_reduction)
+        points.append(
+            TensorChoicePoint(
+                label=f"{role} x all layers",
+                roles=(role,),
+                layers=all_layers,
+                actual_reduction=report.parameter_reduction,
+                accuracy=result.as_dict(),
+            )
+        )
+    # The matched "all tensors, few layers" configuration (the black bar).
+    target = float(np.mean(reductions))
+    count = matched_layer_count(mconfig, target)
+    few_layers = spread_layers(mconfig.n_layers, count, avoid_edges=1)
+    config = DecompositionConfig.all_tensors(mconfig, few_layers, rank=1)
+    with decomposed(model, config) as report:
+        result = evaluate_suite(model, tokenizer, suite, limit=limit)
+    points.append(
+        TensorChoicePoint(
+            label=f"all tensors x {count} layers",
+            roles=mconfig.tensor_roles,
+            layers=few_layers,
+            actual_reduction=report.parameter_reduction,
+            accuracy=result.as_dict(),
+        )
+    )
+    return points
+
+
+def format_tensor_choice(points: List[TensorChoicePoint]) -> str:
+    benchmarks = list(points[0].accuracy)
+    header = f"{'configuration':<26}{'reduction':>10}{'mean':>8}" + "".join(
+        f"{name[:11]:>13}" for name in benchmarks
+    )
+    lines = [header]
+    for point in points:
+        cells = "".join(f"{100 * point.accuracy[b]:>12.1f}%" for b in benchmarks)
+        lines.append(
+            f"{point.label:<26}{100 * point.actual_reduction:>9.1f}%"
+            f"{100 * point.mean_accuracy:>7.1f}%" + cells
+        )
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Analytic GPU performance model (latency / energy / memory)."""
+
+from repro.hwmodel.device import (
+    A100_40GB,
+    A100_80GB,
+    GPUSpec,
+    H100_80GB,
+    V100_32GB,
+    available_gpus,
+    get_gpu,
+)
+from repro.hwmodel.sweep import (
+    BatchSweepPoint,
+    GPUSweepPoint,
+    sweep_batch_sizes,
+    sweep_gpus,
+)
+from repro.hwmodel.generation import (
+    GenerationProfile,
+    decode_workload,
+    generation_profile,
+)
+from repro.hwmodel.energy import (
+    PowerTrace,
+    PowerTraceSimulator,
+    energy_joules,
+    measure_energy_like_paper,
+    power_at_utilization,
+)
+from repro.hwmodel.memory import (
+    MemoryFootprint,
+    activation_bytes,
+    kv_cache_bytes,
+    max_batch_size,
+    memory_footprint,
+    model_weight_bytes,
+)
+from repro.hwmodel.profiler import (
+    ProfileResult,
+    ServingConfig,
+    compare_to_baseline,
+    device_latency,
+    profile,
+)
+from repro.hwmodel.roofline import (
+    OpTiming,
+    achieved_flops,
+    memory_bound_fraction,
+    time_op,
+    time_workload,
+    workload_latency,
+)
+from repro.hwmodel.workload import Op, Workload, build_workload, split_tensor_parallel
+
+__all__ = [
+    "GPUSpec",
+    "get_gpu",
+    "available_gpus",
+    "A100_80GB",
+    "A100_40GB",
+    "H100_80GB",
+    "V100_32GB",
+    "Op",
+    "Workload",
+    "build_workload",
+    "split_tensor_parallel",
+    "OpTiming",
+    "time_op",
+    "time_workload",
+    "workload_latency",
+    "memory_bound_fraction",
+    "achieved_flops",
+    "MemoryFootprint",
+    "memory_footprint",
+    "model_weight_bytes",
+    "kv_cache_bytes",
+    "activation_bytes",
+    "max_batch_size",
+    "PowerTrace",
+    "PowerTraceSimulator",
+    "power_at_utilization",
+    "energy_joules",
+    "measure_energy_like_paper",
+    "ServingConfig",
+    "ProfileResult",
+    "profile",
+    "compare_to_baseline",
+    "GenerationProfile",
+    "decode_workload",
+    "generation_profile",
+    "GPUSweepPoint",
+    "BatchSweepPoint",
+    "sweep_gpus",
+    "sweep_batch_sizes",
+]

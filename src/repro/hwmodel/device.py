@@ -1,0 +1,134 @@
+"""GPU device specifications for the analytic performance model.
+
+The paper measures on 4x NVIDIA A100-80GB at a 300 W power cap with
+``torch.cuda.event`` timing and ``nvidia-smi`` power sampling.  This module
+captures the published device parameters those measurements are bounded by,
+plus empirical efficiency factors (achievable fraction of peak) that any
+real kernel library exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import HardwareModelError
+
+GB = 1024**3
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Published characteristics of one GPU SKU."""
+
+    name: str
+    peak_fp16_tflops: float      # dense tensor-core peak, TFLOP/s
+    hbm_bytes: int               # on-board memory capacity
+    hbm_bandwidth_gbs: float     # peak HBM bandwidth, GB/s
+    tdp_watts: float             # board power limit
+    idle_watts: float            # power at idle
+    nvlink_bandwidth_gbs: float  # per-direction interconnect bandwidth
+    # Achievable fractions of peak for large GEMMs / streaming kernels.
+    compute_efficiency: float = 0.60
+    memory_efficiency: float = 0.80
+    # Fixed per-kernel launch/dispatch overhead.
+    kernel_overhead_s: float = 6e-6
+    # Non-model memory resident on each GPU (CUDA context, allocator,
+    # framework workspace) — the reason 1% fewer parameters frees <1% of
+    # observed GPU memory.
+    framework_overhead_bytes: int = int(1.6 * GB)
+
+    def __post_init__(self) -> None:
+        if self.peak_fp16_tflops <= 0 or self.hbm_bandwidth_gbs <= 0:
+            raise HardwareModelError(f"invalid peak rates for {self.name}")
+        if not 0 < self.compute_efficiency <= 1 or not 0 < self.memory_efficiency <= 1:
+            raise HardwareModelError(f"efficiencies must be in (0, 1] for {self.name}")
+        if self.idle_watts >= self.tdp_watts:
+            raise HardwareModelError(f"idle power must be below TDP for {self.name}")
+
+    @property
+    def peak_flops(self) -> float:
+        return self.peak_fp16_tflops * 1e12
+
+    @property
+    def hbm_bandwidth(self) -> float:
+        return self.hbm_bandwidth_gbs * 1e9
+
+    @property
+    def ridge_intensity(self) -> float:
+        """FLOP/byte at the roofline ridge point (compute = memory time)."""
+        return (self.peak_flops * self.compute_efficiency) / (
+            self.hbm_bandwidth * self.memory_efficiency
+        )
+
+
+_SPECS: Dict[str, GPUSpec] = {}
+
+
+def _register(spec: GPUSpec) -> GPUSpec:
+    _SPECS[spec.name] = spec
+    return spec
+
+
+# The paper's testbed: A100 80GB at a 300 W limit ("the power consumption of
+# the GPU is always the maximum (300W in the case of NVIDIA A100 80GB)").
+A100_80GB = _register(
+    GPUSpec(
+        name="a100-80gb",
+        peak_fp16_tflops=312.0,
+        hbm_bytes=80 * GB,
+        hbm_bandwidth_gbs=1935.0,
+        tdp_watts=300.0,
+        idle_watts=55.0,
+        nvlink_bandwidth_gbs=300.0,
+    )
+)
+
+A100_40GB = _register(
+    GPUSpec(
+        name="a100-40gb",
+        peak_fp16_tflops=312.0,
+        hbm_bytes=40 * GB,
+        hbm_bandwidth_gbs=1555.0,
+        tdp_watts=400.0,
+        idle_watts=55.0,
+        nvlink_bandwidth_gbs=300.0,
+    )
+)
+
+H100_80GB = _register(
+    GPUSpec(
+        name="h100-80gb",
+        peak_fp16_tflops=989.0,
+        hbm_bytes=80 * GB,
+        hbm_bandwidth_gbs=3350.0,
+        tdp_watts=700.0,
+        idle_watts=70.0,
+        nvlink_bandwidth_gbs=450.0,
+    )
+)
+
+V100_32GB = _register(
+    GPUSpec(
+        name="v100-32gb",
+        peak_fp16_tflops=125.0,
+        hbm_bytes=32 * GB,
+        hbm_bandwidth_gbs=900.0,
+        tdp_watts=300.0,
+        idle_watts=50.0,
+        nvlink_bandwidth_gbs=150.0,
+    )
+)
+
+
+def get_gpu(name: str) -> GPUSpec:
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise HardwareModelError(
+            f"unknown GPU {name!r}; available: {sorted(_SPECS)}"
+        ) from None
+
+
+def available_gpus() -> Tuple[str, ...]:
+    return tuple(sorted(_SPECS))

@@ -1,0 +1,156 @@
+"""Autoregressive-generation cost model: prefill + per-token decode.
+
+The paper's Section 2.2 argument — LLMs sit in the memory-bound roofline
+regime — is sharpest during *decode*: each generated token re-streams all
+weights for a single token's worth of FLOPs.  This module models a full
+generation (prefill over the prompt, then ``new_tokens`` decode steps with
+a growing KV cache) and exposes how decomposition savings differ between
+the compute-bound prefill and the bandwidth-bound decode phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.decomposition.config import DecompositionConfig
+from repro.errors import HardwareModelError
+from repro.hwmodel.device import GPUSpec
+from repro.hwmodel.energy import energy_joules
+from repro.hwmodel.memory import kv_cache_bytes, memory_footprint
+from repro.hwmodel.profiler import ServingConfig
+from repro.hwmodel.roofline import memory_bound_fraction, workload_latency
+from repro.hwmodel.workload import (
+    BYTES_FP16,
+    Op,
+    Workload,
+    build_workload,
+    _factorized_ops,
+    _linear_op,
+    _norm_op,
+)
+from repro.models.config import ModelConfig
+
+
+def decode_workload(
+    config: ModelConfig,
+    batch: int,
+    context_len: int,
+    decomposition: Optional[DecompositionConfig] = None,
+) -> Workload:
+    """One decode step: a single new token per sequence.
+
+    GEMMs run on ``batch`` tokens; attention reads the full KV cache of
+    ``context_len`` positions.
+    """
+    if batch <= 0 or context_len <= 0:
+        raise HardwareModelError("batch and context_len must be positive")
+    decomposed_pairs = {}
+    if decomposition is not None and not decomposition.is_identity:
+        decomposition.validate(config)
+        decomposed_pairs = decomposition.pruned_rank_set()
+
+    tokens = batch  # one new token per sequence
+    workload = Workload(model=f"{config.name}/decode", batch=batch, seq_len=1)
+    workload.ops.append(
+        Op("embed", 0.0, 0.0, float(tokens * config.dim * 2 * BYTES_FP16))
+    )
+    for layer in range(config.n_layers):
+        prefix = f"layer{layer}"
+        workload.ops.append(_norm_op(f"{prefix}.attn_norm", tokens, config.dim))
+        for role in config.tensor_roles:
+            height, width = config.tensor_shape(role)
+            key = (layer, role)
+            if key in decomposed_pairs:
+                workload.ops.extend(
+                    _factorized_ops(
+                        f"{prefix}.{role}", tokens, height, width, decomposed_pairs[key]
+                    )
+                )
+            else:
+                workload.ops.append(_linear_op(f"{prefix}.{role}", tokens, height, width))
+        # Attention against the KV cache: q (1 token) vs K/V (context_len).
+        kv_bytes = 2.0 * batch * context_len * config.kv_dim * BYTES_FP16
+        attn_flops = 2.0 * 2.0 * batch * config.n_heads * context_len * config.head_dim
+        score_bytes = 2.0 * batch * config.n_heads * context_len * BYTES_FP16
+        workload.ops.append(
+            Op(f"{prefix}.attn_kv", attn_flops, 0.0, kv_bytes + score_bytes)
+        )
+        workload.ops.append(_norm_op(f"{prefix}.mlp_norm", tokens, config.dim))
+        workload.ops.append(
+            Op(f"{prefix}.elementwise", 0.0, 0.0, float(4 * tokens * config.dim * BYTES_FP16))
+        )
+    workload.ops.append(_norm_op("final_norm", tokens, config.dim))
+    workload.ops.append(_linear_op("lm_head", tokens, config.dim, config.vocab_size))
+    return workload
+
+
+@dataclass(frozen=True)
+class GenerationProfile:
+    """Latency/energy breakdown of one full generation request."""
+
+    model: str
+    batch: int
+    prompt_len: int
+    new_tokens: int
+    prefill_s: float
+    decode_s: float
+    decode_s_per_token: float
+    energy_j: float
+    decode_memory_bound_fraction: float
+    kv_cache_gb: float
+
+    @property
+    def total_s(self) -> float:
+        return self.prefill_s + self.decode_s
+
+    @property
+    def tokens_per_second(self) -> float:
+        if self.decode_s == 0:
+            return 0.0
+        return self.batch * self.new_tokens / self.decode_s
+
+
+def generation_profile(
+    config: ModelConfig,
+    gpu: GPUSpec,
+    batch: int = 1,
+    prompt_len: int = 128,
+    new_tokens: int = 128,
+    decomposition: Optional[DecompositionConfig] = None,
+    n_gpus: int = 1,
+) -> GenerationProfile:
+    """Profile prefill + ``new_tokens`` decode steps on one GPU (or an
+    even tensor-parallel split across ``n_gpus``)."""
+    if new_tokens <= 0:
+        raise HardwareModelError("new_tokens must be positive")
+    prefill = build_workload(config, batch, prompt_len, decomposition=decomposition)
+    prefill_s = workload_latency(prefill, gpu) / n_gpus
+
+    # Decode latency varies with context length only through the KV-cache
+    # term; sample a few context lengths and use the trapezoid average.
+    contexts = [prompt_len, prompt_len + new_tokens // 2, prompt_len + new_tokens]
+    step_latencies = []
+    bound_fractions = []
+    for context in contexts:
+        step = decode_workload(config, batch, context, decomposition=decomposition)
+        step_latencies.append(workload_latency(step, gpu) / n_gpus)
+        bound_fractions.append(memory_bound_fraction(step, gpu))
+    mean_step = (
+        0.25 * step_latencies[0] + 0.5 * step_latencies[1] + 0.25 * step_latencies[2]
+    )
+    decode_s = mean_step * new_tokens
+    energy = energy_joules(prefill_s + decode_s, gpu, utilization=1.0, n_gpus=n_gpus)
+    kv_gb = kv_cache_bytes(config, batch, prompt_len + new_tokens) / 1024**3
+    return GenerationProfile(
+        model=config.name,
+        batch=batch,
+        prompt_len=prompt_len,
+        new_tokens=new_tokens,
+        prefill_s=prefill_s,
+        decode_s=decode_s,
+        decode_s_per_token=mean_step,
+        energy_j=energy,
+        decode_memory_bound_fraction=float(sum(bound_fractions) / len(bound_fractions)),
+        kv_cache_gb=kv_gb,
+    )

@@ -1,0 +1,68 @@
+"""Roofline latency model (Williams et al.), op by op.
+
+Each kernel's execution time is the maximum of its compute time at the
+achievable FLOP rate and its memory time at the achievable bandwidth, plus a
+fixed launch overhead.  Transformer inference at small batch sits left of
+the ridge point (memory-bound), the regime the paper's Section 2.2 argues
+motivates footprint optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.hwmodel.device import GPUSpec
+from repro.hwmodel.workload import Op, Workload
+
+
+@dataclass(frozen=True)
+class OpTiming:
+    """Per-op latency decomposition."""
+
+    op: Op
+    compute_s: float
+    memory_s: float
+    overhead_s: float
+
+    @property
+    def latency_s(self) -> float:
+        return max(self.compute_s, self.memory_s) + self.overhead_s
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.memory_s >= self.compute_s
+
+
+def time_op(op: Op, gpu: GPUSpec) -> OpTiming:
+    """Roofline timing of a single kernel."""
+    compute_s = op.flops / (gpu.peak_flops * gpu.compute_efficiency)
+    memory_s = op.total_bytes / (gpu.hbm_bandwidth * gpu.memory_efficiency)
+    return OpTiming(op=op, compute_s=compute_s, memory_s=memory_s, overhead_s=gpu.kernel_overhead_s)
+
+
+def time_workload(workload: Workload, gpu: GPUSpec) -> List[OpTiming]:
+    return [time_op(op, gpu) for op in workload.ops]
+
+
+def workload_latency(workload: Workload, gpu: GPUSpec) -> float:
+    """Total sequential latency of a workload on one GPU, in seconds."""
+    return sum(timing.latency_s for timing in time_workload(workload, gpu))
+
+
+def memory_bound_fraction(workload: Workload, gpu: GPUSpec) -> float:
+    """Fraction of total latency spent in memory-bound kernels."""
+    timings = time_workload(workload, gpu)
+    total = sum(t.latency_s for t in timings)
+    if total == 0:
+        return 0.0
+    bound = sum(t.latency_s for t in timings if t.memory_bound)
+    return bound / total
+
+
+def achieved_flops(workload: Workload, gpu: GPUSpec) -> float:
+    """FLOP/s the workload sustains end to end (for MFU-style reporting)."""
+    latency = workload_latency(workload, gpu)
+    if latency == 0:
+        return 0.0
+    return workload.flops / latency

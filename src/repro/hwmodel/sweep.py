@@ -1,0 +1,137 @@
+"""Parameter sweeps over the hardware model: GPU SKUs and batch sizes.
+
+Extends the paper's single-testbed study (4x A100) with the question a
+deployment engineer asks next: do the decomposition savings transfer to
+other GPUs and serving points?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.decomposition.config import DecompositionConfig
+from repro.hwmodel.device import available_gpus
+from repro.hwmodel.profiler import ServingConfig, compare_to_baseline, profile
+from repro.models.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class GPUSweepPoint:
+    """Decomposition savings on one GPU SKU."""
+
+    gpu: str
+    per_gpu_batch: int
+    speedup: float
+    latency_saving: float
+    energy_saving: float
+    memory_saving: float
+    baseline_latency_s: float
+
+
+def _fit_batch(config: ModelConfig, serving: ServingConfig) -> ServingConfig:
+    """Halve the per-GPU batch until the dense model fits the SKU."""
+    from repro.errors import HardwareModelError
+
+    current = serving
+    while True:
+        try:
+            profile(config, current)
+            return current
+        except HardwareModelError:
+            if current.per_gpu_batch <= 1:
+                raise
+            current = ServingConfig(
+                gpu=current.gpu,
+                n_gpus=current.n_gpus,
+                seq_len=current.seq_len,
+                per_gpu_batch=max(current.per_gpu_batch // 2, 1),
+                parallelism=current.parallelism,
+                host_overhead_fraction=current.host_overhead_fraction,
+            )
+
+
+def sweep_gpus(
+    config: ModelConfig,
+    decomposition: DecompositionConfig,
+    gpus: Optional[Sequence[str]] = None,
+    serving: ServingConfig = ServingConfig(),
+) -> List[GPUSweepPoint]:
+    """Evaluate one decomposition's savings across GPU SKUs.
+
+    SKUs with less memory automatically fall back to smaller per-GPU
+    batches (halving until the dense model fits).
+    """
+    if gpus is None:
+        gpus = available_gpus()
+    points: List[GPUSweepPoint] = []
+    for gpu in gpus:
+        gpu_serving = _fit_batch(
+            config,
+            ServingConfig(
+                gpu=gpu,
+                n_gpus=serving.n_gpus,
+                seq_len=serving.seq_len,
+                per_gpu_batch=serving.per_gpu_batch,
+                parallelism=serving.parallelism,
+                host_overhead_fraction=serving.host_overhead_fraction,
+            ),
+        )
+        comparison = compare_to_baseline(config, decomposition, gpu_serving)
+        points.append(
+            GPUSweepPoint(
+                gpu=gpu,
+                per_gpu_batch=gpu_serving.per_gpu_batch,
+                speedup=comparison["speedup"],
+                latency_saving=comparison["latency_saving"],
+                energy_saving=comparison["energy_saving"],
+                memory_saving=comparison["memory_saving"],
+                baseline_latency_s=comparison["baseline"].latency_s,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class BatchSweepPoint:
+    """Serving characteristics at one per-GPU batch size."""
+
+    per_gpu_batch: int
+    latency_s: float
+    throughput_tokens_per_s: float
+    memory_per_gpu_gb: float
+    memory_bound_fraction: float
+
+
+def sweep_batch_sizes(
+    config: ModelConfig,
+    batches: Sequence[int] = (1, 4, 16, 64, 256, 1024),
+    serving: ServingConfig = ServingConfig(),
+    decomposition: Optional[DecompositionConfig] = None,
+) -> List[BatchSweepPoint]:
+    """Throughput/latency/memory across batch sizes.
+
+    Shows the roofline transition the paper's Section 2.2 describes: small
+    batches are bandwidth-bound, large batches compute-bound.
+    """
+    points: List[BatchSweepPoint] = []
+    for batch in batches:
+        batch_serving = ServingConfig(
+            gpu=serving.gpu,
+            n_gpus=serving.n_gpus,
+            seq_len=serving.seq_len,
+            per_gpu_batch=int(batch),
+            parallelism=serving.parallelism,
+            host_overhead_fraction=serving.host_overhead_fraction,
+        )
+        result = profile(config, batch_serving, decomposition=decomposition)
+        points.append(
+            BatchSweepPoint(
+                per_gpu_batch=int(batch),
+                latency_s=result.latency_s,
+                throughput_tokens_per_s=result.throughput_tokens_per_s,
+                memory_per_gpu_gb=result.memory_per_gpu_gb,
+                memory_bound_fraction=result.memory_bound_fraction,
+            )
+        )
+    return points

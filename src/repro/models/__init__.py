@@ -1,0 +1,64 @@
+"""Model zoo: Llama- and BERT-style architectures plus the config registry."""
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.bert import BertBlock, BertModel
+from repro.models.config import (
+    BERT_TENSOR_ROLES,
+    LLAMA_TENSOR_ROLES,
+    ModelConfig,
+)
+from repro.models.llama import LlamaBlock, LlamaModel
+from repro.models.registry import (
+    BERT_BASE,
+    BERT_LARGE,
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    PAPER_SCALE_MODELS,
+    TINY_BERT,
+    TINY_LLAMA,
+    TINY_MODELS,
+    available_models,
+    get_config,
+)
+
+TransformerModel = Union[LlamaModel, BertModel]
+
+
+def build_model(
+    config: ModelConfig, rng: "np.random.Generator" = None
+) -> TransformerModel:
+    """Instantiate live weights for a configuration."""
+    if config.family == "llama":
+        return LlamaModel(config, rng=rng)
+    if config.family == "bert":
+        return BertModel(config, rng=rng)
+    raise ConfigError(f"unknown family {config.family!r}")
+
+
+__all__ = [
+    "ModelConfig",
+    "LlamaModel",
+    "LlamaBlock",
+    "BertModel",
+    "BertBlock",
+    "TransformerModel",
+    "build_model",
+    "get_config",
+    "available_models",
+    "LLAMA_TENSOR_ROLES",
+    "BERT_TENSOR_ROLES",
+    "PAPER_SCALE_MODELS",
+    "TINY_MODELS",
+    "LLAMA2_7B",
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "BERT_BASE",
+    "BERT_LARGE",
+    "TINY_LLAMA",
+    "TINY_BERT",
+]

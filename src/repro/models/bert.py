@@ -1,0 +1,114 @@
+"""A BERT-style bidirectional encoder with a masked-LM head.
+
+Architecture (matching Figure 4): token + learned positional embeddings with
+LayerNorm, N post-norm encoder blocks (attention -> add&norm -> GELU MLP ->
+add&norm), and a masked-language-model head.  Decomposable roles follow the
+paper: ``w_q, w_k, w_v, w_so, w_int, w_out``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.config import BERT_TENSOR_ROLES, ModelConfig
+from repro.nn import (
+    Embedding,
+    GeluMLP,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    MultiHeadAttention,
+    PositionalEmbedding,
+)
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class BertBlock(Module):
+    """One encoder layer with post-layer-norm residual connections."""
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.attn = MultiHeadAttention(
+            config.dim, config.n_heads, causal=False, rope=None, bias=True, rng=rng
+        )
+        self.attn_norm = LayerNorm(config.dim)
+        self.mlp = GeluMLP(config.dim, config.mlp_hidden, rng=rng)
+        self.mlp_norm = LayerNorm(config.dim)
+
+    def forward(self, x: Tensor, pad_mask: Optional[np.ndarray] = None) -> Tensor:
+        x = self.attn_norm(x + self.attn(x, pad_mask=pad_mask))
+        x = self.mlp_norm(x + self.mlp(x))
+        return x
+
+    def tensor_slot(self, role: str):
+        if role in ("w_q", "w_k", "w_v", "w_so"):
+            return self.attn, role
+        if role in ("w_int", "w_out"):
+            return self.mlp, role
+        raise ConfigError(f"unknown BERT tensor role {role!r}")
+
+
+class BertModel(Module):
+    """Bidirectional encoder trained with masked-language modelling."""
+
+    tensor_roles = BERT_TENSOR_ROLES
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if config.family != "bert":
+            raise ConfigError(f"BertModel requires a bert config, got {config.family!r}")
+        self.config = config
+        self.embed = Embedding(config.vocab_size, config.dim, rng=rng)
+        self.pos_embed = PositionalEmbedding(config.max_seq_len, config.dim, rng=rng)
+        self.embed_norm = LayerNorm(config.dim)
+        self.blocks = ModuleList(BertBlock(config, rng=rng) for _ in range(config.n_layers))
+        self.mlm_head = Linear(config.dim, config.vocab_size, bias=True, rng=rng)
+
+    @property
+    def n_layers(self) -> int:
+        return self.config.n_layers
+
+    def forward(self, tokens: np.ndarray, pad_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Map (B, T) token ids to (B, T, vocab) MLM logits."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ConfigError(f"expected (B, T) token ids, got shape {tokens.shape}")
+        _, seq_len = tokens.shape
+        x = self.embed(tokens) + self.pos_embed(seq_len)
+        x = self.embed_norm(x)
+        for block in self.blocks:
+            x = block(x, pad_mask=pad_mask)
+        return self.mlm_head(x)
+
+    def mlm_loss(self, tokens: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Masked-LM cross-entropy.
+
+        ``tokens`` is the corrupted batch (with [MASK] ids), ``targets`` the
+        original ids with -1 at positions that are not scored.
+        """
+        logits = self.forward(tokens)
+        batch, seq_len, vocab = logits.shape
+        flat_logits = logits.reshape(batch * seq_len, vocab)
+        flat_targets = np.asarray(targets).reshape(-1)
+        return F.cross_entropy(flat_logits, flat_targets, ignore_index=-1)
+
+    def mlm_accuracy(self, tokens: np.ndarray, targets: np.ndarray) -> float:
+        """Fraction of masked positions predicted exactly right."""
+        logits = self.forward(tokens).data
+        predictions = logits.argmax(axis=-1)
+        targets = np.asarray(targets)
+        scored = targets >= 0
+        if not scored.any():
+            raise ConfigError("mlm_accuracy needs at least one masked position")
+        return float((predictions[scored] == targets[scored]).mean())
+
+    def tensor_slot(self, layer: int, role: str):
+        """Locate a decomposable tensor: returns (owner module, attribute)."""
+        if not 0 <= layer < self.n_layers:
+            raise ConfigError(f"layer {layer} out of range [0, {self.n_layers})")
+        return self.blocks[layer].tensor_slot(role)

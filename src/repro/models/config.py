@@ -1,0 +1,103 @@
+"""Model configuration dataclasses and per-family tensor-role inventories.
+
+The paper's Figure 4 identifies the decomposable weight tensors of each
+architecture family.  The role names used throughout this library follow the
+paper's notation:
+
+- Llama family (7 tensors/layer): ``w_q, w_k, w_v, w_so`` in self-attention
+  and ``w_g, w_u, w_d`` in the SwiGLU MLP.
+- BERT family (6 tensors/layer): ``w_q, w_k, w_v, w_so`` in self-attention
+  and ``w_int, w_out`` in the feed-forward block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+
+LLAMA_TENSOR_ROLES: Tuple[str, ...] = ("w_q", "w_k", "w_v", "w_so", "w_g", "w_u", "w_d")
+BERT_TENSOR_ROLES: Tuple[str, ...] = ("w_q", "w_k", "w_v", "w_so", "w_int", "w_out")
+
+ATTENTION_ROLES: Tuple[str, ...] = ("w_q", "w_k", "w_v", "w_so")
+LLAMA_MLP_ROLES: Tuple[str, ...] = ("w_g", "w_u", "w_d")
+BERT_MLP_ROLES: Tuple[str, ...] = ("w_int", "w_out")
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyper-parameters for one model.
+
+    Paper-scale configurations (Llama-2-7B etc.) are used analytically, for
+    shape arithmetic only; tiny configurations are instantiated and trained.
+    """
+
+    name: str
+    family: str  # "llama" or "bert"
+    vocab_size: int
+    dim: int
+    n_layers: int
+    n_heads: int
+    mlp_hidden: int
+    max_seq_len: int
+    n_kv_heads: int = 0  # 0 means same as n_heads (no GQA)
+    rope_theta: float = 10000.0
+    tie_lm_head: bool = False
+
+    def __post_init__(self) -> None:
+        if self.family not in ("llama", "bert"):
+            raise ConfigError(f"unknown model family {self.family!r}")
+        if self.dim % self.n_heads != 0:
+            raise ConfigError(f"dim {self.dim} not divisible by n_heads {self.n_heads}")
+        if self.vocab_size <= 0 or self.n_layers <= 0:
+            raise ConfigError("vocab_size and n_layers must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        return self.dim // self.n_heads
+
+    @property
+    def kv_heads(self) -> int:
+        return self.n_kv_heads or self.n_heads
+
+    @property
+    def kv_dim(self) -> int:
+        return self.kv_heads * self.head_dim
+
+    @property
+    def tensor_roles(self) -> Tuple[str, ...]:
+        """Decomposable tensor roles in Figure 4 order."""
+        return LLAMA_TENSOR_ROLES if self.family == "llama" else BERT_TENSOR_ROLES
+
+    @property
+    def n_tensors(self) -> int:
+        """N_Tensors(m) in the paper's design-space formulas."""
+        return len(self.tensor_roles)
+
+    def tensor_shape(self, role: str) -> Tuple[int, int]:
+        """The (H, W) shape of the weight matrix filling ``role``.
+
+        This is the orientation the decomposition operates on: activations
+        flow as ``x @ W`` with W of shape (in_features, out_features).
+        """
+        if role not in self.tensor_roles:
+            raise ConfigError(f"role {role!r} not in family {self.family!r}")
+        if role in ("w_q",):
+            return (self.dim, self.dim)
+        if role in ("w_k", "w_v"):
+            return (self.dim, self.kv_dim)
+        if role == "w_so":
+            return (self.dim, self.dim)
+        if role in ("w_g", "w_u", "w_int"):
+            return (self.dim, self.mlp_hidden)
+        if role in ("w_d", "w_out"):
+            return (self.mlp_hidden, self.dim)
+        raise ConfigError(f"unhandled role {role!r}")
+
+    def with_vocab(self, vocab_size: int) -> "ModelConfig":
+        """Copy of this config bound to a concrete tokenizer vocabulary."""
+        return replace(self, vocab_size=vocab_size)
+
+    def tensor_shapes(self) -> Dict[str, Tuple[int, int]]:
+        return {role: self.tensor_shape(role) for role in self.tensor_roles}

@@ -1,0 +1,198 @@
+"""A Llama-2-style decoder-only language model.
+
+Architecture (matching Figure 4 of the paper): token embedding, N decoder
+blocks of pre-RMSNorm self-attention with RoPE followed by pre-RMSNorm
+SwiGLU MLP, final RMSNorm, and an (untied by default) LM head.  Every
+decomposable weight tensor carries one of the paper's role names
+(``w_q, w_k, w_v, w_so, w_g, w_u, w_d``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.config import LLAMA_TENSOR_ROLES, ModelConfig
+from repro.nn import (
+    Embedding,
+    Linear,
+    Module,
+    ModuleList,
+    MultiHeadAttention,
+    RMSNorm,
+    RotaryEmbedding,
+    SwiGluMLP,
+)
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class LlamaBlock(Module):
+    """One decoder layer: x += attn(norm(x)); x += mlp(norm(x))."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        rope: RotaryEmbedding,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.attn_norm = RMSNorm(config.dim)
+        self.attn = MultiHeadAttention(
+            config.dim,
+            config.n_heads,
+            causal=True,
+            rope=rope,
+            bias=False,
+            rng=rng,
+            n_kv_heads=config.kv_heads,
+        )
+        self.mlp_norm = RMSNorm(config.dim)
+        self.mlp = SwiGluMLP(config.dim, config.mlp_hidden, rng=rng)
+
+    def forward(
+        self, x: Tensor, pad_mask: Optional[np.ndarray] = None, cache=None
+    ) -> Tensor:
+        x = x + self.attn(self.attn_norm(x), pad_mask=pad_mask, cache=cache)
+        x = x + self.mlp(self.mlp_norm(x))
+        return x
+
+    def tensor_slot(self, role: str):
+        """Return (owner module, attribute name) for a decomposable role."""
+        if role in ("w_q", "w_k", "w_v", "w_so"):
+            return self.attn, role
+        if role in ("w_g", "w_u", "w_d"):
+            return self.mlp, role
+        raise ConfigError(f"unknown Llama tensor role {role!r}")
+
+
+class LlamaModel(Module):
+    """Decoder-only causal language model."""
+
+    tensor_roles = LLAMA_TENSOR_ROLES
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if config.family != "llama":
+            raise ConfigError(f"LlamaModel requires a llama config, got {config.family!r}")
+        self.config = config
+        self.embed = Embedding(config.vocab_size, config.dim, rng=rng)
+        rope = RotaryEmbedding(config.head_dim, config.max_seq_len, theta=config.rope_theta)
+        self.rope = rope
+        self.blocks = ModuleList(
+            LlamaBlock(config, rope, rng=rng) for _ in range(config.n_layers)
+        )
+        self.final_norm = RMSNorm(config.dim)
+        self.lm_head = None if config.tie_lm_head else Linear(
+            config.dim, config.vocab_size, bias=False, rng=rng
+        )
+
+    @property
+    def n_layers(self) -> int:
+        return self.config.n_layers
+
+    def forward(self, tokens: np.ndarray, pad_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Map (B, T) token ids to (B, T, vocab) logits."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ConfigError(f"expected (B, T) token ids, got shape {tokens.shape}")
+        x = self.embed(tokens)
+        for block in self.blocks:
+            x = block(x, pad_mask=pad_mask)
+        x = self.final_norm(x)
+        if self.lm_head is not None:
+            return self.lm_head(x)
+        batch, seq_len, _ = x.shape
+        flat = x.reshape(batch * seq_len, self.config.dim)
+        logits = flat @ self.embed.weight.T
+        return logits.reshape(batch, seq_len, self.config.vocab_size)
+
+    def loss(self, tokens: np.ndarray, loss_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Next-token cross-entropy over a (B, T) batch.
+
+        ``loss_mask`` optionally marks positions (B, T-1 target positions)
+        that contribute to the loss; by default all shifted positions do.
+        """
+        tokens = np.asarray(tokens)
+        logits = self.forward(tokens[:, :-1])
+        targets = tokens[:, 1:]
+        batch, seq_len, vocab = logits.shape
+        flat_logits = logits.reshape(batch * seq_len, vocab)
+        flat_targets = targets.reshape(-1).copy()
+        if loss_mask is not None:
+            loss_mask = np.asarray(loss_mask, dtype=bool).reshape(-1)
+            flat_targets = np.where(loss_mask, flat_targets, -1)
+            return F.cross_entropy(flat_logits, flat_targets, ignore_index=-1)
+        return F.cross_entropy(flat_logits, flat_targets)
+
+    def tensor_slot(self, layer: int, role: str):
+        """Locate a decomposable tensor: returns (owner module, attribute)."""
+        if not 0 <= layer < self.n_layers:
+            raise ConfigError(f"layer {layer} out of range [0, {self.n_layers})")
+        return self.blocks[layer].tensor_slot(role)
+
+    def greedy_generate(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        stop_token: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> np.ndarray:
+        """Greedy decoding used by the GSM8K-style generative benchmark.
+
+        With ``use_cache`` (default) the prompt is prefetched once and each
+        new token runs a single-position forward pass against the KV cache;
+        without it, the full window is recomputed per token (kept as the
+        reference implementation — both paths produce identical tokens).
+        """
+        if not use_cache:
+            return self._greedy_generate_recompute(prompt, max_new_tokens, stop_token)
+        from repro.nn.kv_cache import ModelKVCache
+
+        tokens = np.asarray(prompt).reshape(1, -1)
+        window = tokens[:, -self.config.max_seq_len :]
+        cache = ModelKVCache(self.n_layers)
+        logits = self._forward_with_cache(window, cache)
+        next_token = int(np.argmax(logits.data[0, -1]))
+        tokens = np.concatenate([tokens, [[next_token]]], axis=1)
+        for _ in range(max_new_tokens - 1):
+            if stop_token is not None and next_token == stop_token:
+                break
+            if cache.seq_len >= self.config.max_seq_len:
+                # Context full: fall back to windowed recomputation.
+                remaining = max_new_tokens - (tokens.shape[1] - len(np.asarray(prompt)))
+                return self._greedy_generate_recompute(
+                    tokens[0], remaining, stop_token
+                )
+            logits = self._forward_with_cache(tokens[:, -1:], cache)
+            next_token = int(np.argmax(logits.data[0, -1]))
+            tokens = np.concatenate([tokens, [[next_token]]], axis=1)
+        return tokens[0]
+
+    def _forward_with_cache(self, tokens: np.ndarray, cache) -> Tensor:
+        """Forward over new ``tokens`` only, extending ``cache`` in place."""
+        x = self.embed(np.asarray(tokens))
+        for block, layer_cache in zip(self.blocks, cache.layers):
+            x = block(x, cache=layer_cache)
+        x = self.final_norm(x)
+        if self.lm_head is not None:
+            return self.lm_head(x)
+        batch, seq_len, _ = x.shape
+        flat = x.reshape(batch * seq_len, self.config.dim)
+        logits = flat @ self.embed.weight.T
+        return logits.reshape(batch, seq_len, self.config.vocab_size)
+
+    def _greedy_generate_recompute(
+        self, prompt: np.ndarray, max_new_tokens: int, stop_token: Optional[int]
+    ) -> np.ndarray:
+        tokens = np.asarray(prompt).reshape(1, -1)
+        for _ in range(max_new_tokens):
+            window = tokens[:, -self.config.max_seq_len :]
+            logits = self.forward(window)
+            next_token = int(np.argmax(logits.data[0, -1]))
+            tokens = np.concatenate([tokens, [[next_token]]], axis=1)
+            if stop_token is not None and next_token == stop_token:
+                break
+        return tokens[0]

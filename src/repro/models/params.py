@@ -1,0 +1,120 @@
+"""Analytic parameter accounting for model configurations.
+
+These functions compute exact parameter counts from a :class:`ModelConfig`
+without instantiating weights, so they work for paper-scale models
+(Llama-2-7B/70B, BERT-Base/Large) as well as the tiny trained ones.  They
+back Table 1 (model sizes), Table 4 (parameter-reduction rates), and the
+hardware model's memory footprints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.decomposition.metrics import factorized_parameters
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig
+
+BYTES_PER_PARAM_FP16 = 2
+BYTES_PER_PARAM_FP32 = 4
+
+
+def decomposable_parameters_per_layer(config: ModelConfig) -> Dict[str, int]:
+    """Parameters of each decomposable weight tensor in one layer."""
+    return {
+        role: shape[0] * shape[1] for role, shape in config.tensor_shapes().items()
+    }
+
+
+def layer_parameters(config: ModelConfig) -> int:
+    """All parameters in one transformer layer (weights, biases, norms)."""
+    weights = sum(decomposable_parameters_per_layer(config).values())
+    if config.family == "llama":
+        norms = 2 * config.dim  # two RMSNorm scales
+        biases = 0
+    else:
+        norms = 2 * 2 * config.dim  # two LayerNorms, scale + shift each
+        # BERT projections all carry biases: q, k, v, so (dim each), plus
+        # intermediate (mlp_hidden) and output (dim).
+        biases = 4 * config.dim + config.mlp_hidden + config.dim
+    return weights + norms + biases
+
+
+def embedding_parameters(config: ModelConfig) -> int:
+    """Token (and positional, for BERT) embedding parameters."""
+    token = config.vocab_size * config.dim
+    if config.family == "bert":
+        return token + config.max_seq_len * config.dim
+    return token
+
+
+def head_parameters(config: ModelConfig) -> int:
+    """LM-head parameters (untied heads only)."""
+    if config.family == "llama" and not config.tie_lm_head:
+        return config.vocab_size * config.dim
+    if config.family == "bert":
+        return config.vocab_size * config.dim + config.vocab_size  # dense + bias
+    return 0
+
+
+def total_parameters(config: ModelConfig) -> int:
+    """Exact parameter count of the full model."""
+    final_norm = config.dim if config.family == "llama" else 2 * config.dim
+    return (
+        embedding_parameters(config)
+        + config.n_layers * layer_parameters(config)
+        + final_norm
+        + head_parameters(config)
+    )
+
+
+def model_size_bytes(config: ModelConfig, bytes_per_param: int = BYTES_PER_PARAM_FP16) -> int:
+    """Model size in bytes at the given precision (FP16 by default)."""
+    return total_parameters(config) * bytes_per_param
+
+
+def decomposed_parameters(
+    config: ModelConfig,
+    layers: Iterable[int],
+    roles: Iterable[str],
+    rank: int,
+) -> int:
+    """Total parameters after decomposing ``roles`` in ``layers`` at ``rank``.
+
+    Non-decomposed parameters are untouched; each decomposed (H, W) tensor is
+    replaced by ``H*PR + PR^2 + PR*W`` parameters.
+    """
+    layers = sorted(set(layers))
+    roles = list(dict.fromkeys(roles))
+    for layer in layers:
+        if not 0 <= layer < config.n_layers:
+            raise ConfigError(f"layer {layer} out of range for {config.name}")
+    for role in roles:
+        if role not in config.tensor_roles:
+            raise ConfigError(f"role {role!r} unknown for {config.name}")
+    total = total_parameters(config)
+    for _ in layers:
+        for role in roles:
+            height, width = config.tensor_shape(role)
+            total -= height * width
+            total += factorized_parameters(height, width, rank)
+    return total
+
+
+def parameter_reduction(
+    config: ModelConfig,
+    layers: Iterable[int],
+    roles: Iterable[str],
+    rank: int,
+) -> float:
+    """Fractional reduction in total model parameters (0..1)."""
+    before = total_parameters(config)
+    after = decomposed_parameters(config, layers, roles, rank)
+    return (before - after) / before
+
+
+def compute_to_model_size_ratio(
+    macs: int, config: ModelConfig, bytes_per_param: int = BYTES_PER_PARAM_FP16
+) -> float:
+    """The paper's Table 1 metric: MACs per byte of model weights."""
+    return macs / model_size_bytes(config, bytes_per_param)

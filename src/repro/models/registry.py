@@ -1,0 +1,149 @@
+"""Named model configurations.
+
+Two groups:
+
+- **Paper-scale** configs (``llama2-7b``, ``llama2-70b``, ``bert-base``,
+  ``bert-large``) with exact published hyper-parameters.  They are used
+  analytically — design-space sizes (Table 2), MAC counts (Table 1),
+  compression arithmetic (Table 4), and the hardware roofline model — and
+  are never instantiated as live weights.
+- **Tiny** configs (``tiny-llama``, ``tiny-bert``) with the same topology
+  and tensor roles, small enough to train from scratch in NumPy.  All
+  accuracy experiments run on these.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig
+
+# Placeholder vocabulary for tiny configs; replaced by ``with_vocab`` once a
+# tokenizer has been built over the synthetic corpus.
+TINY_PLACEHOLDER_VOCAB = 512
+
+_REGISTRY: Dict[str, ModelConfig] = {}
+
+
+def _register(config: ModelConfig) -> ModelConfig:
+    if config.name in _REGISTRY:
+        raise ConfigError(f"duplicate model name {config.name!r}")
+    _REGISTRY[config.name] = config
+    return config
+
+
+LLAMA2_7B = _register(
+    ModelConfig(
+        name="llama2-7b",
+        family="llama",
+        vocab_size=32000,
+        dim=4096,
+        n_layers=32,
+        n_heads=32,
+        mlp_hidden=11008,
+        max_seq_len=4096,
+    )
+)
+
+LLAMA2_13B = _register(
+    ModelConfig(
+        name="llama2-13b",
+        family="llama",
+        vocab_size=32000,
+        dim=5120,
+        n_layers=40,
+        n_heads=40,
+        mlp_hidden=13824,
+        max_seq_len=4096,
+    )
+)
+
+LLAMA2_70B = _register(
+    ModelConfig(
+        name="llama2-70b",
+        family="llama",
+        vocab_size=32000,
+        dim=8192,
+        n_layers=80,
+        n_heads=64,
+        n_kv_heads=8,
+        mlp_hidden=28672,
+        max_seq_len=4096,
+    )
+)
+
+BERT_BASE = _register(
+    ModelConfig(
+        name="bert-base",
+        family="bert",
+        vocab_size=30522,
+        dim=768,
+        n_layers=12,
+        n_heads=12,
+        mlp_hidden=3072,
+        max_seq_len=512,
+    )
+)
+
+BERT_LARGE = _register(
+    ModelConfig(
+        name="bert-large",
+        family="bert",
+        vocab_size=30522,
+        dim=1024,
+        n_layers=24,
+        n_heads=16,
+        mlp_hidden=4096,
+        max_seq_len=512,
+    )
+)
+
+TINY_LLAMA = _register(
+    ModelConfig(
+        name="tiny-llama",
+        family="llama",
+        vocab_size=TINY_PLACEHOLDER_VOCAB,
+        dim=64,
+        n_layers=12,
+        n_heads=4,
+        mlp_hidden=176,
+        max_seq_len=192,
+    )
+)
+
+TINY_BERT = _register(
+    ModelConfig(
+        name="tiny-bert",
+        family="bert",
+        vocab_size=TINY_PLACEHOLDER_VOCAB,
+        dim=64,
+        n_layers=6,
+        n_heads=4,
+        mlp_hidden=128,
+        max_seq_len=64,
+    )
+)
+
+PAPER_SCALE_MODELS: Tuple[str, ...] = (
+    "bert-base",
+    "bert-large",
+    "llama2-7b",
+    "llama2-70b",
+)
+
+TINY_MODELS: Tuple[str, ...] = ("tiny-llama", "tiny-bert")
+
+
+def get_config(name: str) -> ModelConfig:
+    """Look up a registered configuration by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown model {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_models() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))

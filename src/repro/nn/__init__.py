@@ -1,0 +1,30 @@
+"""Neural-network building blocks on top of :mod:`repro.tensor`."""
+
+from repro.nn.attention import MultiHeadAttention, causal_mask
+from repro.nn.embedding import Embedding, PositionalEmbedding
+from repro.nn.factorized import FactorizedLinear
+from repro.nn.kv_cache import LayerKVCache, ModelKVCache
+from repro.nn.linear import Linear
+from repro.nn.mlp import GeluMLP, SwiGluMLP
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.normalization import LayerNorm, RMSNorm
+from repro.nn.rope import RotaryEmbedding
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Linear",
+    "FactorizedLinear",
+    "Embedding",
+    "PositionalEmbedding",
+    "LayerNorm",
+    "RMSNorm",
+    "RotaryEmbedding",
+    "MultiHeadAttention",
+    "causal_mask",
+    "LayerKVCache",
+    "ModelKVCache",
+    "GeluMLP",
+    "SwiGluMLP",
+]

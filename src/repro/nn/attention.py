@@ -1,0 +1,142 @@
+"""Multi-head self-attention for both encoder (BERT) and decoder (Llama).
+
+The four projection weights (W_Q, W_K, W_V, W_SO in the paper's Figure 4)
+are separate :class:`Linear` modules so that the decomposition machinery can
+target each of them individually.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.rope import RotaryEmbedding
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+_NEG_INF = -1e9
+
+
+def causal_mask(seq_len: int, offset: int = 0) -> np.ndarray:
+    """Boolean mask that is True at disallowed (future) positions.
+
+    Shape (seq_len, offset + seq_len): query position i (absolute position
+    ``offset + i``) may attend keys at absolute positions <= offset + i.
+    """
+    total = offset + seq_len
+    query_pos = offset + np.arange(seq_len)[:, None]
+    key_pos = np.arange(total)[None, :]
+    return key_pos > query_pos
+
+
+class MultiHeadAttention(Module):
+    """Self-attention with optional causal masking and rotary embeddings.
+
+    Parameters
+    ----------
+    dim:
+        Model (residual stream) width.
+    n_heads:
+        Number of attention heads; ``dim`` must be divisible by it.
+    causal:
+        True for decoder (Llama) blocks, False for encoder (BERT) blocks.
+    rope:
+        Rotary embedding table shared across layers, or None for models with
+        absolute positional embeddings.
+    bias:
+        Whether projections carry biases (BERT yes, Llama no).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        causal: bool,
+        rope: Optional[RotaryEmbedding] = None,
+        bias: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        n_kv_heads: int = 0,
+    ) -> None:
+        super().__init__()
+        if dim % n_heads != 0:
+            raise ShapeError(f"dim {dim} not divisible by n_heads {n_heads}")
+        self.dim = int(dim)
+        self.n_heads = int(n_heads)
+        self.head_dim = dim // n_heads
+        self.n_kv_heads = int(n_kv_heads) or self.n_heads
+        if self.n_heads % self.n_kv_heads != 0:
+            raise ShapeError(
+                f"n_heads {n_heads} not divisible by n_kv_heads {self.n_kv_heads}"
+            )
+        self.causal = bool(causal)
+        self.rope = rope
+        kv_dim = self.n_kv_heads * self.head_dim
+        self.w_q = Linear(dim, dim, bias=bias, rng=rng)
+        self.w_k = Linear(dim, kv_dim, bias=bias, rng=rng)
+        self.w_v = Linear(dim, kv_dim, bias=bias, rng=rng)
+        self.w_so = Linear(dim, dim, bias=bias, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq_len: int, n_heads: int) -> Tensor:
+        return x.reshape(batch, seq_len, n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _expand_kv(self, x: Tensor) -> Tensor:
+        """Repeat each KV head to serve its group of query heads (GQA)."""
+        if self.n_kv_heads == self.n_heads:
+            return x
+        groups = self.n_heads // self.n_kv_heads
+        index = np.repeat(np.arange(self.n_kv_heads), groups)
+        return x[:, index, :, :]
+
+    def forward(
+        self,
+        x: Tensor,
+        pad_mask: Optional[np.ndarray] = None,
+        cache=None,
+    ) -> Tensor:
+        """Attend over ``x`` (B, T, D).
+
+        ``pad_mask`` is an optional boolean (B, T) array, True at padding
+        positions that must not be attended to.  ``cache`` is an optional
+        :class:`~repro.nn.kv_cache.LayerKVCache` holding keys/values of
+        previously processed positions; when given, ``x`` contains only the
+        *new* positions, the cache is extended in place, and gradients do
+        not flow into cached history (inference-only path).
+        """
+        if x.ndim != 3:
+            raise ShapeError(f"attention expects (B, T, D), got {x.shape}")
+        batch, seq_len, _ = x.shape
+        offset = 0 if cache is None else cache.seq_len
+        q = self._split_heads(self.w_q(x), batch, seq_len, self.n_heads)
+        k = self._split_heads(self.w_k(x), batch, seq_len, self.n_kv_heads)
+        v = self._split_heads(self.w_v(x), batch, seq_len, self.n_kv_heads)
+        if self.rope is not None:
+            q = self.rope.apply(q, offset=offset)
+            k = self.rope.apply(k, offset=offset)
+        if cache is not None:
+            full_k, full_v = cache.append(k.data, v.data)
+            k, v = Tensor(full_k), Tensor(full_v)
+        k = self._expand_kv(k)
+        v = self._expand_kv(v)
+        scale = 1.0 / float(np.sqrt(self.head_dim))
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+        # A single cached decode step attends everything before it — no mask.
+        if self.causal and (seq_len > 1 or cache is None):
+            scores = scores.masked_fill(
+                causal_mask(seq_len, offset=offset)[None, None, :, :], _NEG_INF
+            )
+        if pad_mask is not None:
+            pad_mask = np.asarray(pad_mask, dtype=bool)
+            expected = (batch, offset + seq_len if cache is not None else seq_len)
+            if pad_mask.shape != expected:
+                raise ShapeError(
+                    f"pad_mask shape {pad_mask.shape} != {expected}"
+                )
+            scores = scores.masked_fill(pad_mask[:, None, None, :], _NEG_INF)
+        weights = F.softmax(scores, axis=-1)
+        context = weights @ v
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.dim)
+        return self.w_so(merged)

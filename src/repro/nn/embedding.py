@@ -1,0 +1,71 @@
+"""Token and learned positional embeddings."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.module import Module, Parameter
+from repro.tensor import random as trandom
+from repro.tensor.tensor import Tensor
+
+
+class Embedding(Module):
+    """A lookup table mapping integer ids to dense vectors.
+
+    The forward pass uses autograd fancy indexing, so gradients scatter-add
+    back into the table rows that were used.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        std: float = 0.02,
+    ) -> None:
+        super().__init__()
+        self.num_embeddings = int(num_embeddings)
+        self.embedding_dim = int(embedding_dim)
+        if rng is not None:
+            weight = trandom.normal(rng, (self.num_embeddings, self.embedding_dim), std=std)
+        else:
+            weight = trandom.zeros((self.num_embeddings, self.embedding_dim))
+        self.weight = Parameter(weight, name="weight")
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids)
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise ShapeError(f"embedding ids must be integers, got {ids.dtype}")
+        if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.num_embeddings:
+            raise ShapeError(
+                f"embedding ids out of range [0, {self.num_embeddings}): "
+                f"[{ids.min()}, {ids.max()}]"
+            )
+        return self.weight[ids]
+
+    def __repr__(self) -> str:
+        return f"Embedding(vocab={self.num_embeddings}, dim={self.embedding_dim})"
+
+
+class PositionalEmbedding(Module):
+    """BERT-style learned absolute positional embedding."""
+
+    def __init__(
+        self,
+        max_positions: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.max_positions = int(max_positions)
+        self.table = Embedding(max_positions, embedding_dim, rng=rng)
+
+    def forward(self, seq_len: int) -> Tensor:
+        if seq_len > self.max_positions:
+            raise ShapeError(
+                f"sequence length {seq_len} exceeds max positions {self.max_positions}"
+            )
+        return self.table(np.arange(seq_len))

@@ -1,0 +1,88 @@
+"""Factorized (Tucker-2 decomposed) linear layer.
+
+A dense ``Linear`` with weight W (H x W) is replaced by the chain
+
+    y = ((x @ U1) @ core) @ U2 + bias
+
+with U1 (H, PR), core (PR, PR), U2 (PR, W) — exactly the three smaller
+fully-connected layers described in Section 2.3 of the paper.  The layer
+keeps enough metadata to report compression and to reconstruct the dense
+approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DecompositionError
+from repro.nn.linear import Linear
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+
+
+class FactorizedLinear(Module):
+    """The decomposed replacement for a :class:`Linear` layer."""
+
+    def __init__(
+        self,
+        u1: np.ndarray,
+        core: np.ndarray,
+        u2: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__()
+        u1 = np.asarray(u1, dtype=np.float32)
+        core = np.asarray(core, dtype=np.float32)
+        u2 = np.asarray(u2, dtype=np.float32)
+        if u1.ndim != 2 or core.ndim != 2 or u2.ndim != 2:
+            raise DecompositionError("factors must be matrices")
+        if u1.shape[1] != core.shape[0] or core.shape[1] != u2.shape[0]:
+            raise DecompositionError(
+                f"factor chain mismatch: {u1.shape} @ {core.shape} @ {u2.shape}"
+            )
+        self.in_features = u1.shape[0]
+        self.out_features = u2.shape[1]
+        self.rank = core.shape[0]
+        self.u1 = Parameter(u1, name="u1")
+        self.core = Parameter(core, name="core")
+        self.u2 = Parameter(u2, name="u2")
+        self.bias = Parameter(bias, name="bias") if bias is not None else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ((x @ self.u1) @ self.core) @ self.u2
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    # -- metadata ---------------------------------------------------------
+    def num_weight_parameters(self) -> int:
+        """Parameters in the factor chain: H*PR + PR^2 + PR*W."""
+        return self.u1.size + self.core.size + self.u2.size
+
+    def dense_parameters(self) -> int:
+        """Parameters of the dense layer this factorization replaced."""
+        return self.in_features * self.out_features
+
+    def compression_ratio(self) -> float:
+        """The paper's ``HW / (H*PR + PR^2 + PR*W)`` ratio."""
+        return self.dense_parameters() / self.num_weight_parameters()
+
+    def reconstruct(self) -> np.ndarray:
+        """Dense (H, W) approximation ``U1 @ core @ U2``."""
+        return (self.u1.data @ self.core.data @ self.u2.data).astype(np.float32)
+
+    def to_linear(self) -> Linear:
+        """Materialize the reconstruction as a dense :class:`Linear`."""
+        layer = Linear(self.in_features, self.out_features, bias=self.bias is not None)
+        layer.weight.data = self.reconstruct()
+        if self.bias is not None:
+            layer.bias.data = self.bias.data.copy()
+        return layer
+
+    def __repr__(self) -> str:
+        return (
+            f"FactorizedLinear(in={self.in_features}, out={self.out_features}, "
+            f"rank={self.rank}, compression={self.compression_ratio():.1f}x)"
+        )

@@ -1,0 +1,67 @@
+"""Key/value cache for incremental autoregressive decoding.
+
+One :class:`LayerKVCache` per decoder layer stores the keys and values of
+all previously processed positions (post-RoPE, pre-GQA-expansion), so each
+new token costs one forward pass over a single position instead of the
+whole context.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+class LayerKVCache:
+    """Grows along the sequence axis as tokens are appended."""
+
+    def __init__(self) -> None:
+        self.keys: Optional[np.ndarray] = None    # (B, H_kv, T, Dh)
+        self.values: Optional[np.ndarray] = None
+
+    @property
+    def seq_len(self) -> int:
+        return 0 if self.keys is None else self.keys.shape[2]
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> tuple:
+        """Append new positions; returns the full (keys, values) so far."""
+        keys = np.asarray(keys)
+        values = np.asarray(values)
+        if keys.ndim != 4 or values.shape != keys.shape:
+            raise ShapeError(
+                f"cache entries must be matching (B, H, T, Dh); got "
+                f"{keys.shape} / {values.shape}"
+            )
+        if self.keys is None:
+            self.keys = keys.copy()
+            self.values = values.copy()
+        else:
+            if keys.shape[:2] != self.keys.shape[:2] or keys.shape[3] != self.keys.shape[3]:
+                raise ShapeError(
+                    f"cache shape mismatch: stored {self.keys.shape}, new {keys.shape}"
+                )
+            self.keys = np.concatenate([self.keys, keys], axis=2)
+            self.values = np.concatenate([self.values, values], axis=2)
+        return self.keys, self.values
+
+
+class ModelKVCache:
+    """Per-layer caches plus the global position counter."""
+
+    def __init__(self, n_layers: int) -> None:
+        if n_layers <= 0:
+            raise ShapeError("n_layers must be positive")
+        self.layers: List[LayerKVCache] = [LayerKVCache() for _ in range(n_layers)]
+
+    @property
+    def seq_len(self) -> int:
+        return self.layers[0].seq_len
+
+    def __getitem__(self, index: int) -> LayerKVCache:
+        return self.layers[index]
+
+    def __len__(self) -> int:
+        return len(self.layers)

@@ -1,0 +1,63 @@
+"""Dense linear layer with ``x @ W + b`` convention.
+
+The weight is stored as (in_features, out_features), matching the paper's
+H x W orientation for decomposition: the Tucker-2 factorization produces
+``W ~= U1 @ core @ U2`` with U1 (H, PR), core (PR, PR), U2 (PR, W).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import random as trandom
+from repro.tensor.tensor import Tensor
+
+
+class Linear(Module):
+    """Affine projection ``y = x @ weight + bias``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Matrix dimensions (H, W in the paper's notation).
+    bias:
+        Whether to include an additive bias.  Llama-style models use
+        bias-free projections; BERT-style models use biases.
+    rng:
+        Seeded generator used for initialization; if omitted the weight is
+        zero-initialized (useful for tests and manual loading).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        if rng is not None:
+            weight = trandom.xavier_uniform(rng, (self.in_features, self.out_features))
+        else:
+            weight = trandom.zeros((self.in_features, self.out_features))
+        self.weight = Parameter(weight, name="weight")
+        self.bias = Parameter(trandom.zeros((self.out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def num_weight_parameters(self) -> int:
+        """Parameters in the decomposable weight matrix (bias excluded)."""
+        return self.weight.size
+
+    def __repr__(self) -> str:
+        has_bias = self.bias is not None
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={has_bias})"

@@ -1,0 +1,57 @@
+"""Feed-forward blocks: BERT's GELU MLP and Llama's SwiGLU MLP.
+
+Weight-tensor naming follows the paper's Figure 4:
+
+- BERT: W_Int (intermediate) and W_Out (output).
+- Llama: W_G (gate projection), W_U (up projection), W_D (down projection).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class GeluMLP(Module):
+    """BERT's two-layer feed-forward: ``W_Out(gelu(W_Int(x)))``."""
+
+    def __init__(
+        self,
+        dim: int,
+        hidden_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.dim = int(dim)
+        self.hidden_dim = int(hidden_dim)
+        self.w_int = Linear(dim, hidden_dim, bias=True, rng=rng)
+        self.w_out = Linear(hidden_dim, dim, bias=True, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.w_out(F.gelu(self.w_int(x)))
+
+
+class SwiGluMLP(Module):
+    """Llama's gated feed-forward: ``W_D(silu(W_G(x)) * W_U(x))``."""
+
+    def __init__(
+        self,
+        dim: int,
+        hidden_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.dim = int(dim)
+        self.hidden_dim = int(hidden_dim)
+        self.w_g = Linear(dim, hidden_dim, bias=False, rng=rng)
+        self.w_u = Linear(dim, hidden_dim, bias=False, rng=rng)
+        self.w_d = Linear(hidden_dim, dim, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.w_d(F.silu(self.w_g(x)) * self.w_u(x))

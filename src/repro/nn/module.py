@@ -1,0 +1,137 @@
+"""Module/Parameter system: a small subset of ``torch.nn``.
+
+Modules register parameters and sub-modules simply by attribute assignment;
+:meth:`Module.named_parameters` walks the attribute tree in insertion order,
+so state dicts are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor; identical to :class:`Tensor` with grad enabled."""
+
+    def __init__(self, data, name=None) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for neural-network components.
+
+    Sub-classes assign :class:`Parameter`, :class:`Module`, or
+    :class:`ModuleList` instances as attributes in ``__init__`` and implement
+    :meth:`forward`.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- attribute walking ------------------------------------------------
+    def named_children(self) -> Iterator[Tuple[str, "Module"]]:
+        for key, value in vars(self).items():
+            if isinstance(value, Module):
+                yield key, value
+            elif isinstance(value, ModuleList):
+                for index, child in enumerate(value):
+                    yield f"{key}.{index}", child
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self.named_children():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for key, value in vars(self).items():
+            if isinstance(value, Parameter):
+                yield (f"{prefix}.{key}" if prefix else key), value
+        for name, child in self.named_children():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(child_prefix)
+
+    def parameters(self) -> List[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in this module tree."""
+        return sum(param.size for param in self.parameters())
+
+    # -- train / eval ------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for _, module in self.named_modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- state dict ---------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter's array, keyed by dotted path."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise CheckpointError(
+                f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name], dtype=np.float32)
+            if value.shape != param.shape:
+                raise CheckpointError(
+                    f"parameter {name!r}: checkpoint shape {value.shape} != model shape {param.shape}"
+                )
+            param.data = value.copy()
+
+    # -- call protocol -------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(params={self.num_parameters():,})"
+
+
+class ModuleList:
+    """An ordered container of modules discovered by the attribute walker."""
+
+    def __init__(self, modules=()) -> None:
+        self._modules: List[Module] = list(modules)
+
+    def append(self, module: Module) -> None:
+        self._modules.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[index]
+
+    def __setitem__(self, index: int, module: Module) -> None:
+        self._modules[index] = module
+
+    def __repr__(self) -> str:
+        return f"ModuleList(len={len(self)})"

@@ -1,0 +1,41 @@
+"""LayerNorm (BERT) and RMSNorm (Llama) modules."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import functional as F
+from repro.tensor import random as trandom
+from repro.tensor.tensor import Tensor
+
+
+class LayerNorm(Module):
+    """Layer normalization with learned scale and shift (BERT-style)."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = int(dim)
+        self.eps = float(eps)
+        self.weight = Parameter(trandom.ones((self.dim,)), name="weight")
+        self.bias = Parameter(trandom.zeros((self.dim,)), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm(dim={self.dim})"
+
+
+class RMSNorm(Module):
+    """Root-mean-square normalization with learned scale (Llama-style)."""
+
+    def __init__(self, dim: int, eps: float = 1e-6) -> None:
+        super().__init__()
+        self.dim = int(dim)
+        self.eps = float(eps)
+        self.weight = Parameter(trandom.ones((self.dim,)), name="weight")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.rms_norm(x, self.weight, eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"RMSNorm(dim={self.dim})"

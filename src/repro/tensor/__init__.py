@@ -1,0 +1,13 @@
+"""NumPy-backed reverse-mode autodiff engine.
+
+Public surface:
+
+- :class:`Tensor` — the autograd tensor.
+- :mod:`repro.tensor.functional` — softmax, GELU/SiLU, norms, losses.
+- :mod:`repro.tensor.random` — seeded generators and initializers.
+"""
+
+from repro.tensor import functional, random
+from repro.tensor.tensor import Tensor, ensure_tensor
+
+__all__ = ["Tensor", "ensure_tensor", "functional", "random"]

@@ -1,0 +1,109 @@
+"""Seeded random-number helpers and weight initializers.
+
+Every stochastic component of the library (initialization, data generation,
+dropout) draws from an explicitly passed :class:`numpy.random.Generator` so
+experiments are reproducible bit-for-bit from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def generator(seed: int) -> np.random.Generator:
+    """Create a deterministic PCG64 generator from ``seed``."""
+    return np.random.default_rng(np.random.PCG64(seed))
+
+
+def split(rng: np.random.Generator, count: int) -> list:
+    """Derive ``count`` independent child generators from ``rng``."""
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def normal(
+    rng: np.random.Generator,
+    shape: Sequence[int],
+    std: float = 0.02,
+    mean: float = 0.0,
+    requires_grad: bool = True,
+) -> Tensor:
+    """Gaussian-initialized tensor (the GPT-2 / BERT initialization)."""
+    data = rng.normal(loc=mean, scale=std, size=tuple(shape)).astype(np.float32)
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def uniform(
+    rng: np.random.Generator,
+    shape: Sequence[int],
+    low: float = -0.05,
+    high: float = 0.05,
+    requires_grad: bool = True,
+) -> Tensor:
+    data = rng.uniform(low=low, high=high, size=tuple(shape)).astype(np.float32)
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def xavier_uniform(
+    rng: np.random.Generator,
+    shape: Tuple[int, int],
+    gain: float = 1.0,
+    requires_grad: bool = True,
+) -> Tensor:
+    """Glorot/Xavier uniform initialization for a (fan_in, fan_out) matrix."""
+    fan_in, fan_out = shape[0], shape[-1]
+    bound = gain * float(np.sqrt(6.0 / (fan_in + fan_out)))
+    return uniform(rng, shape, low=-bound, high=bound, requires_grad=requires_grad)
+
+
+def kaiming_normal(
+    rng: np.random.Generator,
+    shape: Tuple[int, int],
+    requires_grad: bool = True,
+) -> Tensor:
+    """He-normal initialization, appropriate before ReLU-family activations."""
+    fan_in = shape[0]
+    std = float(np.sqrt(2.0 / fan_in))
+    return normal(rng, shape, std=std, requires_grad=requires_grad)
+
+
+def zeros(shape: Sequence[int], requires_grad: bool = True) -> Tensor:
+    return Tensor(np.zeros(tuple(shape), dtype=np.float32), requires_grad=requires_grad)
+
+
+def ones(shape: Sequence[int], requires_grad: bool = True) -> Tensor:
+    return Tensor(np.ones(tuple(shape), dtype=np.float32), requires_grad=requires_grad)
+
+
+def orthonormal_columns(
+    rng: np.random.Generator, rows: int, cols: int
+) -> np.ndarray:
+    """Random matrix with orthonormal columns (HOI factor initialization).
+
+    Used by Algorithm 1's "Initialize U with orthonormal columns" step: a
+    Gaussian matrix is orthogonalized with a thin QR factorization.
+    """
+    if cols > rows:
+        raise ValueError(
+            f"cannot build {cols} orthonormal columns in dimension {rows}"
+        )
+    gaussian = rng.normal(size=(rows, cols))
+    q, _ = np.linalg.qr(gaussian)
+    return np.ascontiguousarray(q[:, :cols])
+
+
+__all__ = [
+    "generator",
+    "split",
+    "normal",
+    "uniform",
+    "xavier_uniform",
+    "kaiming_normal",
+    "zeros",
+    "ones",
+    "orthonormal_columns",
+]

@@ -1,0 +1,543 @@
+"""A reverse-mode automatic-differentiation tensor built on NumPy.
+
+This module provides the :class:`Tensor` class used by every model in the
+library.  It implements a dynamic computation graph: each differentiable
+operation records its parents and a closure that accumulates gradients into
+them.  Calling :meth:`Tensor.backward` performs a topological sort of the
+graph and runs the closures in reverse order.
+
+The design intentionally mirrors the subset of PyTorch semantics the paper's
+models need: broadcasting elementwise arithmetic, batched ``matmul``,
+reductions, shape manipulation, and fancy indexing (used for embedding
+lookups and log-likelihood gathering).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GradientError, ShapeError
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_DEFAULT_DTYPE = np.float32
+
+
+def _as_array(value: ArrayLike, dtype=_DEFAULT_DTYPE) -> np.ndarray:
+    """Coerce ``value`` to a NumPy array of the engine's default dtype."""
+    if isinstance(value, Tensor):
+        return value.data
+    array = np.asarray(value)
+    if array.dtype != dtype and np.issubdtype(array.dtype, np.floating):
+        array = array.astype(dtype)
+    elif array.dtype == object:
+        raise ShapeError(f"cannot build a tensor from object array: {value!r}")
+    return array
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting.
+
+    Broadcasting may have (a) prepended axes and (b) stretched size-1 axes.
+    Both expansions are undone by summation, which is the adjoint of a
+    broadcast.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Collapse stretched axes.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    if grad.shape != shape:
+        raise ShapeError(f"cannot unbroadcast {grad.shape} to {shape}")
+    return grad
+
+
+class Tensor:
+    """A NumPy-backed tensor that records operations for autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a NumPy array.  Floating point data is
+        converted to float32.
+    requires_grad:
+        Whether gradients should be accumulated into this tensor during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = _parents
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a view of this tensor cut off from the autograd graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{grad_flag}{label})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Graph machinery
+    # ------------------------------------------------------------------
+    def _needs_graph(self, *others: "Tensor") -> bool:
+        return self.requires_grad or any(o.requires_grad for o in others)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        # Gradients are stored by reference on first accumulation and summed
+        # out-of-place afterwards.  Backward closures therefore must never
+        # mutate a gradient array after passing it here (none do).
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = grad
+        else:
+            self.grad = self.grad + grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to ones for scalar outputs; non-scalar outputs
+        require an explicit upstream gradient, matching PyTorch semantics.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise GradientError(
+                    "backward() without an explicit gradient requires a scalar output; "
+                    f"got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data, dtype=_DEFAULT_DTYPE)
+        grad = np.asarray(grad, dtype=_DEFAULT_DTYPE)
+        if grad.shape != self.shape:
+            raise GradientError(
+                f"upstream gradient shape {grad.shape} does not match tensor shape {self.shape}"
+            )
+
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        if not self.requires_grad:
+            # The output itself may not require grad but its parents might;
+            # stash the seed so the closure below can read it.
+            self.grad = grad
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+        if not self.requires_grad:
+            self.grad = None
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = ensure_tensor(other)
+        out = Tensor(
+            self.data + other.data,
+            requires_grad=self._needs_graph(other),
+            _parents=(self, other),
+        )
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(grad, other.shape))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return ensure_tensor(other).__add__(self)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(ensure_tensor(other).__neg__())
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return ensure_tensor(other).__sub__(self)
+
+    def __neg__(self) -> "Tensor":
+        out = Tensor(-self.data, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = ensure_tensor(other)
+        out = Tensor(
+            self.data * other.data,
+            requires_grad=self._needs_graph(other),
+            _parents=(self, other),
+        )
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = ensure_tensor(other)
+        out = Tensor(
+            self.data / other.data,
+            requires_grad=self._needs_graph(other),
+            _parents=(self, other),
+        )
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            other._accumulate(
+                _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+            )
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return ensure_tensor(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise ShapeError("tensor exponents are not supported; use exp/log")
+        out = Tensor(
+            self.data**exponent, requires_grad=self.requires_grad, _parents=(self,)
+        )
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------
+    # Transcendental functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        value = np.exp(self.data)
+        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * value)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def log(self) -> "Tensor":
+        out = Tensor(np.log(self.data), requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self.__pow__(0.5)
+
+    def tanh(self) -> "Tensor":
+        value = np.tanh(self.data)
+        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - value**2))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        value = 1.0 / (1.0 + np.exp(-self.data))
+        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * value * (1.0 - value))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = Tensor(
+            self.data * mask, requires_grad=self.requires_grad, _parents=(self,)
+        )
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------
+    # Matrix multiplication
+    # ------------------------------------------------------------------
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        """Matrix product with NumPy batched-matmul semantics.
+
+        Supports 2-D weights against N-D activations and fully batched
+        (..., M, K) @ (..., K, N) products, with broadcasting over the
+        leading batch dimensions.
+        """
+        other = ensure_tensor(other)
+        if self.ndim < 1 or other.ndim < 1:
+            raise ShapeError("matmul requires tensors with at least 1 dimension")
+        if self.ndim == 1 and other.ndim == 1:
+            raise ShapeError("vector dot product is not supported; use (a * b).sum()")
+        out_data = np.matmul(self.data, other.data)
+        out = Tensor(out_data, requires_grad=self._needs_graph(other), _parents=(self, other))
+
+        a_was_1d = self.ndim == 1
+        b_was_1d = other.ndim == 1
+
+        def _backward(grad: np.ndarray) -> None:
+            # Promote 1-D operands to matrices so one code path covers all
+            # cases, then squeeze the synthetic axis back out of the grads.
+            a = self.data[None, :] if a_was_1d else self.data
+            b = other.data[:, None] if b_was_1d else other.data
+            g = grad
+            if a_was_1d:
+                g = g[..., None, :]
+            if b_was_1d:
+                g = g[..., :, None]
+            grad_a = np.matmul(g, np.swapaxes(b, -1, -2))
+            grad_b = np.matmul(np.swapaxes(a, -1, -2), g)
+            if a_was_1d:
+                grad_a = grad_a.reshape(-1, grad_a.shape[-1]).sum(axis=0) if grad_a.ndim > 2 else grad_a[0]
+            if b_was_1d:
+                grad_b = grad_b.reshape(-1, grad_b.shape[-2], 1)[..., 0].sum(axis=0) if grad_b.ndim > 2 else grad_b[:, 0]
+            self._accumulate(_unbroadcast(grad_a, self.shape))
+            other._accumulate(_unbroadcast(grad_b, other.shape))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.ndim for a in axes)
+                for a in sorted(axes):
+                    g = np.expand_dims(g, a)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = 1
+            for a in axes:
+                count *= self.shape[a % self.ndim]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum reduction; gradient flows to the (first) argmax entries."""
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            g = grad
+            expanded = out_data
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.ndim for a in axes)
+                for a in sorted(axes):
+                    g = np.expand_dims(g, a)
+                    expanded = np.expand_dims(expanded, a)
+            mask = (self.data == expanded).astype(_DEFAULT_DTYPE)
+            # Split gradient equally among ties to keep the op well-defined.
+            denom = mask.sum(
+                axis=axis if axis is not None else None, keepdims=True
+            )
+            self._accumulate(mask / np.maximum(denom, 1.0) * g)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = Tensor(
+            self.data.reshape(shape), requires_grad=self.requires_grad, _parents=(self,)
+        )
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(self.shape))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out = Tensor(
+            self.data.transpose(axes), requires_grad=self.requires_grad, _parents=(self,)
+        )
+        inverse = np.argsort(axes)
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(tuple(axes))
+
+    def __getitem__(self, key) -> "Tensor":
+        out = Tensor(self.data[key], requires_grad=self.requires_grad, _parents=(self,))
+        # Basic indexing (ints/slices only) selects disjoint positions, so a
+        # direct in-place add is valid and much faster than np.add.at, which
+        # is only required for fancy indexing with possibly repeated indices.
+        key_parts = key if isinstance(key, tuple) else (key,)
+        is_basic = all(isinstance(part, (int, slice, type(None))) for part in key_parts)
+
+        def _backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data, dtype=_DEFAULT_DTYPE)
+            if is_basic:
+                full[key] += grad
+            else:
+                np.add.at(full, key, grad)
+            self._accumulate(full)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------
+    # Combination helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [ensure_tensor(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        requires = any(t.requires_grad for t in tensors)
+        out = Tensor(data, requires_grad=requires, _parents=tuple(tensors))
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def _backward(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(index)])
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Replace entries where ``mask`` is True with ``value`` (constant)."""
+        mask = np.asarray(mask, dtype=bool)
+        filled = np.where(mask, np.asarray(value, dtype=_DEFAULT_DTYPE), self.data)
+        out = Tensor(filled, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(np.where(mask, 0.0, grad), self.shape))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+
+def ensure_tensor(value: ArrayLike) -> Tensor:
+    """Wrap ``value`` in a :class:`Tensor` if it is not one already."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def no_grad_parameters(tensors: Iterable[Tensor]) -> None:
+    """Clear gradients on an iterable of tensors (optimizer helper)."""
+    for tensor in tensors:
+        tensor.zero_grad()

@@ -1,0 +1,29 @@
+"""Optimizers, schedules, trainers, and checkpointing."""
+
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
+from repro.training.optim import SGD, Adam, AdamW, Optimizer
+from repro.training.scheduler import ConstantLR, Scheduler, WarmupCosine
+from repro.training.trainer import (
+    TrainConfig,
+    TrainLog,
+    mask_tokens,
+    train_causal_lm,
+    train_masked_lm,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "Scheduler",
+    "ConstantLR",
+    "WarmupCosine",
+    "TrainConfig",
+    "TrainLog",
+    "train_causal_lm",
+    "train_masked_lm",
+    "mask_tokens",
+    "save_checkpoint",
+    "load_checkpoint",
+]

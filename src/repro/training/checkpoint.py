@@ -1,0 +1,62 @@
+"""Checkpointing: model weights + tokenizer vocabulary in one ``.npz``."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.eval.tokenizer import WordTokenizer
+from repro.models import ModelConfig, build_model
+
+_CONFIG_KEY = "__config_json__"
+_VOCAB_KEY = "__vocab_json__"
+
+
+def save_checkpoint(
+    path, model, tokenizer: Optional[WordTokenizer] = None
+) -> None:
+    """Serialize a model (and optionally its tokenizer) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = dict(model.state_dict())
+    config_json = json.dumps(_config_dict(model.config))
+    arrays[_CONFIG_KEY] = np.frombuffer(config_json.encode(), dtype=np.uint8)
+    if tokenizer is not None:
+        vocab_json = json.dumps(tokenizer.state())
+        arrays[_VOCAB_KEY] = np.frombuffer(vocab_json.encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+def _config_dict(config: ModelConfig) -> dict:
+    return {
+        field: getattr(config, field)
+        for field in config.__dataclass_fields__
+    }
+
+
+def load_checkpoint(path) -> Tuple[object, Optional[WordTokenizer]]:
+    """Rebuild a model (and tokenizer, if present) from ``path``."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        if _CONFIG_KEY not in data:
+            raise CheckpointError(f"{path} is not a repro checkpoint (missing config)")
+        config_json = bytes(data[_CONFIG_KEY]).decode()
+        config = ModelConfig(**json.loads(config_json))
+        model = build_model(config)
+        state = {
+            key: data[key]
+            for key in data.files
+            if key not in (_CONFIG_KEY, _VOCAB_KEY)
+        }
+        model.load_state_dict(state)
+        tokenizer = None
+        if _VOCAB_KEY in data:
+            vocab = json.loads(bytes(data[_VOCAB_KEY]).decode())
+            tokenizer = WordTokenizer.from_state(vocab)
+    return model, tokenizer

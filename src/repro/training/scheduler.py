@@ -1,0 +1,63 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+from repro.training.optim import Optimizer
+
+
+class Scheduler:
+    """Base: call :meth:`step` once per optimizer step."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_count = 0
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.step_count += 1
+        lr = self.lr_at(self.step_count)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(Scheduler):
+    def lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class WarmupCosine(Scheduler):
+    """Linear warmup to the base LR then cosine decay to ``min_lr``."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup_steps: int,
+        total_steps: int,
+        min_lr: float = 0.0,
+    ) -> None:
+        super().__init__(optimizer)
+        if warmup_steps < 0 or total_steps <= 0:
+            raise ConfigError("invalid warmup/total step counts")
+        if warmup_steps >= total_steps:
+            raise ConfigError(
+                f"warmup ({warmup_steps}) must be shorter than total ({total_steps})"
+            )
+        self.warmup_steps = int(warmup_steps)
+        self.total_steps = int(total_steps)
+        self.min_lr = float(min_lr)
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        progress = (step - self.warmup_steps) / max(
+            self.total_steps - self.warmup_steps, 1
+        )
+        progress = min(progress, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine

@@ -1,0 +1,194 @@
+"""Training loops for the tiny causal-LM (Llama) and masked-LM (BERT).
+
+Batches are whole sentences padded to the batch maximum; the causal loss is
+masked at padding, and the MLM loss only scores masked positions.  Both
+trainers are deterministic given their seeds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.eval.tokenizer import WordTokenizer
+from repro.training.optim import AdamW
+from repro.training.scheduler import WarmupCosine
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for a training run.
+
+    ``grad_accumulation`` splits each optimizer step over that many
+    micro-batches of ``batch_size`` sentences — the standard trick for
+    training with an effective batch larger than memory allows.
+    """
+
+    steps: int = 600
+    batch_size: int = 64
+    lr: float = 3e-3
+    weight_decay: float = 0.01
+    warmup_steps: int = 50
+    grad_clip: float = 1.0
+    log_every: int = 50
+    seed: int = 7
+    grad_accumulation: int = 1
+
+    def __post_init__(self) -> None:
+        if self.grad_accumulation < 1:
+            raise ConfigError(
+                f"grad_accumulation must be >= 1, got {self.grad_accumulation}"
+            )
+
+
+@dataclass
+class TrainLog:
+    """Loss trajectory and timing of a run."""
+
+    losses: List[float] = field(default_factory=list)
+    steps: int = 0
+    seconds: float = 0.0
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ConfigError("no training steps were logged")
+        return self.losses[-1]
+
+    def smoothed_final_loss(self, window: int = 20) -> float:
+        tail = self.losses[-window:]
+        return float(np.mean(tail)) if tail else float("nan")
+
+
+class _SentenceSampler:
+    """Uniform sampler over pre-tokenized sentences."""
+
+    def __init__(
+        self, sentences: Sequence[str], tokenizer: WordTokenizer, max_len: int
+    ) -> None:
+        if not sentences:
+            raise ConfigError("empty corpus")
+        self.encoded = []
+        for sentence in sentences:
+            ids = tokenizer.encode(sentence, add_bos=True, add_eos=True)
+            self.encoded.append(ids[:max_len])
+        self.pad_id = tokenizer.pad_id
+
+    def batch(self, rng: np.random.Generator, batch_size: int):
+        picks = rng.integers(0, len(self.encoded), size=batch_size)
+        chosen = [self.encoded[i] for i in picks]
+        max_len = max(len(c) for c in chosen)
+        ids = np.full((batch_size, max_len), self.pad_id, dtype=np.int64)
+        real = np.zeros((batch_size, max_len), dtype=bool)
+        for row, seq in enumerate(chosen):
+            ids[row, : len(seq)] = seq
+            real[row, : len(seq)] = True
+        return ids, real
+
+
+def train_causal_lm(
+    model,
+    tokenizer: WordTokenizer,
+    sentences: Sequence[str],
+    config: TrainConfig = TrainConfig(),
+    verbose: bool = False,
+) -> TrainLog:
+    """Train a :class:`LlamaModel` with next-token prediction."""
+    rng = np.random.default_rng(config.seed)
+    sampler = _SentenceSampler(sentences, tokenizer, model.config.max_seq_len)
+    optimizer = AdamW(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+    scheduler = WarmupCosine(optimizer, config.warmup_steps, config.steps)
+    log = TrainLog()
+    model.train()
+    start = time.perf_counter()
+    for step in range(1, config.steps + 1):
+        optimizer.zero_grad()
+        step_loss = 0.0
+        for _ in range(config.grad_accumulation):
+            ids, real = sampler.batch(rng, config.batch_size)
+            # Targets are the next token; only score positions whose
+            # *target* is a real (non-pad) token.
+            loss_mask = real[:, 1:]
+            loss = model.loss(ids, loss_mask=loss_mask) * (
+                1.0 / config.grad_accumulation
+            )
+            loss.backward()
+            step_loss += loss.item()
+        optimizer.clip_grad_norm(config.grad_clip)
+        optimizer.step()
+        scheduler.step()
+        log.losses.append(step_loss)
+        if verbose and (step % config.log_every == 0 or step == 1):
+            print(f"step {step:>5}  loss {step_loss:.4f}  lr {optimizer.lr:.2e}")
+    log.steps = config.steps
+    log.seconds = time.perf_counter() - start
+    model.eval()
+    return log
+
+
+def train_masked_lm(
+    model,
+    tokenizer: WordTokenizer,
+    sentences: Sequence[str],
+    config: TrainConfig = TrainConfig(),
+    mask_prob: float = 0.15,
+    verbose: bool = False,
+) -> TrainLog:
+    """Train a :class:`BertModel` with BERT's masked-token objective."""
+    if not 0.0 < mask_prob < 1.0:
+        raise ConfigError(f"mask_prob must be in (0, 1), got {mask_prob}")
+    rng = np.random.default_rng(config.seed)
+    sampler = _SentenceSampler(sentences, tokenizer, model.config.max_seq_len)
+    optimizer = AdamW(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+    scheduler = WarmupCosine(optimizer, config.warmup_steps, config.steps)
+    log = TrainLog()
+    model.train()
+    start = time.perf_counter()
+    for step in range(1, config.steps + 1):
+        ids, real = sampler.batch(rng, config.batch_size)
+        corrupted, targets = mask_tokens(ids, real, tokenizer, rng, mask_prob)
+        optimizer.zero_grad()
+        loss = model.mlm_loss(corrupted, targets)
+        loss.backward()
+        optimizer.clip_grad_norm(config.grad_clip)
+        optimizer.step()
+        scheduler.step()
+        log.losses.append(loss.item())
+        if verbose and (step % config.log_every == 0 or step == 1):
+            print(f"step {step:>5}  loss {loss.item():.4f}  lr {optimizer.lr:.2e}")
+    log.steps = config.steps
+    log.seconds = time.perf_counter() - start
+    model.eval()
+    return log
+
+
+def mask_tokens(
+    ids: np.ndarray,
+    real: np.ndarray,
+    tokenizer: WordTokenizer,
+    rng: np.random.Generator,
+    mask_prob: float = 0.15,
+):
+    """BERT masking: replace sampled real positions with ``<mask>``.
+
+    Returns (corrupted ids, targets) where targets hold the original id at
+    masked positions and -1 elsewhere.  At least one position per batch is
+    always masked so the loss is defined.
+    """
+    ids = np.asarray(ids)
+    maskable = real.copy()
+    maskable[:, 0] = False  # never mask <bos>
+    lottery = rng.random(ids.shape) < mask_prob
+    chosen = lottery & maskable
+    if not chosen.any():
+        rows, cols = np.nonzero(maskable)
+        pick = int(rng.integers(len(rows)))
+        chosen[rows[pick], cols[pick]] = True
+    corrupted = ids.copy()
+    corrupted[chosen] = tokenizer.mask_id
+    targets = np.where(chosen, ids, -1)
+    return corrupted, targets

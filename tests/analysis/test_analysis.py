@@ -1,0 +1,128 @@
+"""MAC counting, ResNet-50 inventory, and Tables 1-2."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE2_TENSOR_COUNTS,
+    attention_bmm_macs,
+    conv2d_macs,
+    format_table1,
+    format_table2,
+    linear_macs,
+    macs_per_parameter,
+    model_macs,
+    resnet50_convs,
+    resnet50_macs,
+    resnet50_params,
+    resnet50_size_bytes,
+    table1_rows,
+    table2_rows,
+    transformer_layer_macs,
+)
+from repro.errors import ConfigError
+from repro.models import LLAMA2_7B, get_config
+
+
+class TestMacCounters:
+    def test_linear(self):
+        assert linear_macs(10, 4, 5) == 200
+
+    def test_linear_validates(self):
+        with pytest.raises(ConfigError):
+            linear_macs(0, 4, 5)
+
+    def test_attention_bmm(self):
+        assert attention_bmm_macs(2, 8, 4, 16) == 2 * 2 * 4 * 64 * 16
+
+    def test_conv2d(self):
+        assert conv2d_macs(8, 8, 3, 16, 3) == 8 * 8 * 16 * 27
+
+    def test_conv2d_groups(self):
+        grouped = conv2d_macs(8, 8, 16, 16, 3, groups=16)
+        dense = conv2d_macs(8, 8, 16, 16, 3)
+        assert grouped == dense // 16
+
+    def test_conv2d_invalid_groups(self):
+        with pytest.raises(ConfigError):
+            conv2d_macs(8, 8, 10, 16, 3, groups=3)
+
+    def test_llama_layer_dominated_by_linears(self):
+        layer = transformer_layer_macs(LLAMA2_7B, 1, 128)
+        linears = 128 * (4 * 4096**2 + 3 * 4096 * 11008)
+        assert layer == linears + attention_bmm_macs(1, 128, 32, 128)
+
+
+class TestPaperTable1Values:
+    def test_llama2_7b_macs_match_paper(self):
+        """Table 1 reports 850.0 B MACs for Llama-2-7B at (1, 128)."""
+        macs = model_macs(LLAMA2_7B, batch=1, seq_len=128)
+        assert abs(macs - 850e9) / 850e9 < 0.005
+
+    def test_bert_base_macs_match_paper(self):
+        """Table 1 reports 11.2 B MACs for BERT-Base at (1, 128)."""
+        macs = model_macs(get_config("bert-base"), 1, 128, include_head=False)
+        assert abs(macs - 11.2e9) / 11.2e9 < 0.01
+
+    def test_compute_to_size_ordering(self):
+        """The motivating observation: CNN reuse >> LLM reuse."""
+        rows = {row.model: row for row in table1_rows()}
+        assert (
+            rows["resnet50"].compute_to_model_size_ratio
+            > rows["llama2-7b"].compute_to_model_size_ratio
+            > rows["bert-base"].compute_to_model_size_ratio
+        )
+
+    def test_table1_sizes(self):
+        rows = {row.model: row for row in table1_rows()}
+        assert rows["bert-base"].size_bytes == pytest.approx(219e6, rel=0.01)
+        assert rows["llama2-7b"].size_bytes == pytest.approx(13.4e9, rel=0.01)
+        assert rows["resnet50"].size_bytes == pytest.approx(51.1e6, rel=0.01)
+
+    def test_format_table1(self):
+        text = format_table1(table1_rows())
+        assert "resnet50" in text and "llama2-7b" in text
+
+    def test_macs_per_parameter_positive(self):
+        assert macs_per_parameter(LLAMA2_7B) > 100
+
+
+class TestResNet50:
+    def test_parameter_count_matches_published(self):
+        assert abs(resnet50_params() - 25.56e6) / 25.56e6 < 0.01
+
+    def test_macs_match_published(self):
+        """Standard single-crop ResNet-50: ~4.09-4.11 GMACs."""
+        assert abs(resnet50_macs() - 4.1e9) / 4.1e9 < 0.01
+
+    def test_conv_inventory_size(self):
+        convs = resnet50_convs()
+        # stem + (3+4+6+3) blocks x 3 convs + 4 projections = 53 convs.
+        assert len(convs) == 1 + 16 * 3 + 4
+
+    def test_size_bytes_fp16(self):
+        assert resnet50_size_bytes() == 2 * resnet50_params()
+
+    def test_macs_scale_with_batch(self):
+        assert resnet50_macs(batch=4) == 4 * resnet50_macs(batch=1)
+
+
+class TestTable2:
+    def test_paper_scales_exact(self):
+        """Table 2: O(2^18), O(2^30), O(2^37), O(2^85)."""
+        expected = {
+            "bert-base": 18,
+            "bert-large": 30,
+            "llama2-7b": 37,
+            "llama2-70b": 85,
+        }
+        for row in table2_rows():
+            assert row.log2_paper == expected[row.model]
+
+    def test_figure4_counts_also_reported(self):
+        rows = {row.model: row for row in table2_rows()}
+        assert rows["llama2-7b"].n_tensors_fig4 == 7
+        assert rows["bert-base"].n_tensors_fig4 == 6
+
+    def test_format_table2(self):
+        text = format_table2(table2_rows())
+        assert "O(2^37)" in text and "O(2^85)" in text

@@ -1,0 +1,75 @@
+"""Property-based tests for the compression baselines."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    csr_bytes,
+    dequantize_weight,
+    magnitude_mask,
+    quantize_weight,
+    quantized_weight_bytes,
+)
+
+_dim = st.integers(min_value=1, max_value=32)
+_seed = st.integers(0, 2**16)
+
+
+@settings(max_examples=40, deadline=None)
+@given(h=_dim, w=_dim, seed=_seed, bits=st.sampled_from([2, 3, 4, 8]))
+def test_quantization_error_bounded_by_half_step(h, w, seed, bits):
+    """Rounding error per weight is at most half a quantization step."""
+    weight = np.random.default_rng(seed).normal(size=(h, w)).astype(np.float32)
+    grid, scales = quantize_weight(weight, bits)
+    restored = dequantize_weight(grid, scales)
+    step = scales[None, :]
+    assert np.all(np.abs(restored - weight) <= 0.5 * step + 1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(h=_dim, w=_dim, seed=_seed)
+def test_quantization_preserves_sign_of_large_weights(h, w, seed):
+    weight = np.random.default_rng(seed).normal(size=(h, w)).astype(np.float32)
+    grid, scales = quantize_weight(weight, 8)
+    restored = dequantize_weight(grid, scales)
+    big = np.abs(weight) > scales[None, :]
+    assert np.all(np.sign(restored[big]) == np.sign(weight[big]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(h=st.integers(2, 64), w=st.integers(2, 64), bits=st.sampled_from([2, 4, 8]))
+def test_quantized_bytes_below_fp16(h, w, bits):
+    assert quantized_weight_bytes((h, w), bits) < h * w * 2 + w * 2 + 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    h=st.integers(2, 24),
+    w=st.integers(2, 24),
+    seed=_seed,
+    sparsity=st.floats(0.0, 0.95),
+)
+def test_magnitude_mask_keeps_target_fraction(h, w, seed, sparsity):
+    weight = np.random.default_rng(seed).normal(size=(h, w))
+    mask = magnitude_mask(weight, sparsity)
+    expected_keep = weight.size - int(round(sparsity * weight.size))
+    assert abs(int(mask.sum()) - expected_keep) <= max(2, int(0.02 * weight.size))
+
+
+@settings(max_examples=40, deadline=None)
+@given(h=st.integers(2, 24), w=st.integers(2, 24), seed=_seed)
+def test_magnitude_mask_keeps_largest(h, w, seed):
+    """No pruned weight may exceed a kept weight in magnitude."""
+    weight = np.random.default_rng(seed).normal(size=(h, w))
+    mask = magnitude_mask(weight, 0.5)
+    kept = np.abs(weight[mask])
+    pruned = np.abs(weight[~mask])
+    if kept.size and pruned.size:
+        assert pruned.max() <= kept.min() + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(h=st.integers(2, 100), w=st.integers(2, 100), density=st.floats(0.01, 1.0))
+def test_csr_bytes_monotone_in_density(h, w, density):
+    assert csr_bytes((h, w), density) <= csr_bytes((h, w), min(density * 1.5, 1.0)) + 1e-9

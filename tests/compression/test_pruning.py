@@ -1,0 +1,89 @@
+"""Magnitude-pruning baseline."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    csr_bytes,
+    magnitude_mask,
+    prune_model_weights,
+    restore_pruned,
+)
+from repro.errors import DecompositionError
+
+
+class TestMagnitudeMask:
+    def test_keeps_largest(self):
+        weight = np.array([[1.0, -5.0], [0.1, 3.0]])
+        mask = magnitude_mask(weight, sparsity=0.5)
+        assert mask.sum() == 2
+        assert mask[0, 1] and mask[1, 1]
+
+    def test_zero_sparsity_keeps_all(self):
+        weight = np.ones((4, 4))
+        assert magnitude_mask(weight, 0.0).all()
+
+    def test_exact_fraction(self):
+        weight = np.random.default_rng(0).normal(size=(20, 20))
+        mask = magnitude_mask(weight, sparsity=0.3)
+        assert mask.sum() == pytest.approx(0.7 * 400, abs=1)
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(DecompositionError):
+            magnitude_mask(np.ones((2, 2)), 1.0)
+
+
+class TestCSRBytes:
+    def test_moderate_sparsity_saves_nothing(self):
+        """At 50% density, CSR (value + index) costs as much as dense FP16."""
+        dense = 100 * 100 * 2
+        assert csr_bytes((100, 100), density=0.5) >= dense * 0.95
+
+    def test_high_sparsity_saves(self):
+        dense = 100 * 100 * 2
+        assert csr_bytes((100, 100), density=0.1) < dense * 0.3
+
+
+class TestPruneModel:
+    def test_in_place_and_restorable(self, micro_llama, tokenizer):
+        tokens = np.random.default_rng(0).integers(1, tokenizer.vocab_size, size=(1, 6))
+        before = micro_llama(tokens).data.copy()
+        report = prune_model_weights(micro_llama, [0, 1], ["w_q"], sparsity=0.5)
+        during = micro_llama(tokens).data.copy()
+        assert not np.array_equal(before, during)
+        restore_pruned(micro_llama, report)
+        assert np.array_equal(micro_llama(tokens).data, before)
+
+    def test_achieved_density(self, micro_llama):
+        report = prune_model_weights(micro_llama, [0], ["w_q"], sparsity=0.75)
+        assert report.actual_density == pytest.approx(0.25, abs=0.02)
+        restore_pruned(micro_llama, report)
+
+    def test_weights_actually_zeroed(self, micro_llama):
+        report = prune_model_weights(micro_llama, [1], ["w_d"], sparsity=0.9)
+        owner, attr = micro_llama.tensor_slot(1, "w_d")
+        weight = getattr(owner, attr).weight.data
+        assert (weight == 0.0).mean() == pytest.approx(0.9, abs=0.02)
+        restore_pruned(micro_llama, report)
+
+    def test_memory_reduction_negative_at_low_sparsity(self, micro_llama):
+        """CSR overhead makes 30% sparsity a net memory *loss*."""
+        report = prune_model_weights(micro_llama, [0], ["w_q"], sparsity=0.3)
+        assert report.memory_reduction < 0.0
+        restore_pruned(micro_llama, report)
+
+    def test_mild_pruning_gentle_on_trained_model(self, trained_llama):
+        from repro.eval import build_suite, evaluate_suite
+        from repro.experiments import get_world
+
+        model, tokenizer = trained_llama
+        suite = build_suite(get_world(), names=("arc_easy",))
+        baseline = evaluate_suite(model, tokenizer, suite, limit=40).mean_accuracy
+        report = prune_model_weights(
+            model, range(model.config.n_layers), model.config.tensor_roles, 0.3
+        )
+        try:
+            pruned = evaluate_suite(model, tokenizer, suite, limit=40).mean_accuracy
+        finally:
+            restore_pruned(model, report)
+        assert pruned >= baseline - 0.15

@@ -1,0 +1,106 @@
+"""Weight-quantization baseline."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    dequantize_weight,
+    quantize_model_weights,
+    quantize_weight,
+    quantized_weight_bytes,
+    restore_quantized,
+)
+from repro.errors import DecompositionError
+
+
+class TestQuantizeWeight:
+    def test_grid_within_range(self):
+        weight = np.random.default_rng(0).normal(size=(16, 8)).astype(np.float32)
+        grid, scales = quantize_weight(weight, bits=8)
+        assert grid.max() <= 127 and grid.min() >= -128
+        assert scales.shape == (8,)
+
+    def test_round_trip_error_small_at_8_bits(self):
+        weight = np.random.default_rng(1).normal(size=(64, 32)).astype(np.float32)
+        grid, scales = quantize_weight(weight, bits=8)
+        restored = dequantize_weight(grid, scales)
+        relative = np.abs(restored - weight).max() / np.abs(weight).max()
+        assert relative < 0.01
+
+    def test_lower_bits_higher_error(self):
+        weight = np.random.default_rng(2).normal(size=(64, 32)).astype(np.float32)
+        errors = []
+        for bits in (8, 4, 2):
+            grid, scales = quantize_weight(weight, bits=bits)
+            errors.append(float(np.linalg.norm(dequantize_weight(grid, scales) - weight)))
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_zero_column_handled(self):
+        weight = np.zeros((4, 3), dtype=np.float32)
+        grid, scales = quantize_weight(weight, bits=8)
+        assert np.all(dequantize_weight(grid, scales) == 0.0)
+
+    def test_per_channel_scales(self):
+        weight = np.ones((4, 2), dtype=np.float32)
+        weight[:, 1] = 100.0
+        _, scales = quantize_weight(weight, bits=8)
+        assert scales[1] > scales[0]
+
+    def test_unsupported_bits(self):
+        with pytest.raises(DecompositionError):
+            quantize_weight(np.ones((2, 2)), bits=7)
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(DecompositionError):
+            quantize_weight(np.ones(5), bits=8)
+
+
+class TestQuantizedBytes:
+    def test_int8_quarter_of_fp32_half_of_fp16(self):
+        dense_fp16 = 100 * 100 * 2
+        quantized = quantized_weight_bytes((100, 100), 8)
+        assert quantized == pytest.approx(dense_fp16 / 2, rel=0.05)
+
+    def test_int4_quarter_of_fp16(self):
+        quantized = quantized_weight_bytes((100, 100), 4)
+        assert quantized == pytest.approx(100 * 100 * 2 / 4, rel=0.05)
+
+
+class TestQuantizeModel:
+    def test_in_place_and_restorable(self, micro_llama, tokenizer):
+        tokens = np.random.default_rng(0).integers(1, tokenizer.vocab_size, size=(1, 6))
+        before = micro_llama(tokens).data.copy()
+        report = quantize_model_weights(micro_llama, [0, 1], ["w_q", "w_d"], bits=4)
+        during = micro_llama(tokens).data.copy()
+        assert not np.array_equal(before, during)
+        restore_quantized(micro_llama, report)
+        assert np.array_equal(micro_llama(tokens).data, before)
+
+    def test_memory_reduction_matches_bits(self, micro_llama):
+        report = quantize_model_weights(micro_llama, [0], ["w_q"], bits=8)
+        assert report.memory_reduction == pytest.approx(0.5, abs=0.05)
+        restore_quantized(micro_llama, report)
+
+    def test_report_errors_bounded(self, micro_llama):
+        report = quantize_model_weights(micro_llama, [0, 2], ["w_q", "w_so"], bits=8)
+        assert 0.0 <= report.mean_error < 0.02
+        restore_quantized(micro_llama, report)
+
+    def test_int8_nearly_lossless_on_trained_model(self, trained_llama):
+        """The classic result: 8-bit weight quantization barely moves
+        accuracy — the gentleness decomposition is compared against."""
+        from repro.eval import build_suite, evaluate_suite
+        from repro.experiments import get_world
+
+        model, tokenizer = trained_llama
+        suite = build_suite(get_world(), names=("arc_easy",))
+        baseline = evaluate_suite(model, tokenizer, suite, limit=40).mean_accuracy
+        all_layers = range(model.config.n_layers)
+        report = quantize_model_weights(
+            model, all_layers, model.config.tensor_roles, bits=8
+        )
+        try:
+            quantized = evaluate_suite(model, tokenizer, suite, limit=40).mean_accuracy
+        finally:
+            restore_quantized(model, report)
+        assert quantized >= baseline - 0.05

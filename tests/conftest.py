@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite.
+
+Accuracy-experiment tests reuse the disk-cached pretrained tiny models via
+:mod:`repro.experiments.pretrained`; the first session on a clean checkout
+pays the one-time training cost (~4 minutes), later sessions load from
+``.cache`` in milliseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import World, build_corpus, corpus_vocabulary
+from repro.eval import WordTokenizer
+from repro.models import build_model, get_config
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def world():
+    return World.build(seed=0)
+
+
+@pytest.fixture(scope="session")
+def corpus(world):
+    return build_corpus(world)
+
+
+@pytest.fixture(scope="session")
+def tokenizer(world):
+    return WordTokenizer(corpus_vocabulary(world))
+
+
+@pytest.fixture(scope="session")
+def micro_llama_config(tokenizer):
+    """A 4-layer, randomly initialized Llama for structural tests."""
+    from dataclasses import replace
+
+    config = get_config("tiny-llama").with_vocab(tokenizer.vocab_size)
+    return replace(config, n_layers=4)
+
+
+@pytest.fixture()
+def micro_llama(micro_llama_config):
+    return build_model(micro_llama_config, rng=np.random.default_rng(5))
+
+
+@pytest.fixture(scope="session")
+def micro_bert_config(tokenizer):
+    from dataclasses import replace
+
+    config = get_config("tiny-bert").with_vocab(tokenizer.vocab_size)
+    return replace(config, n_layers=3)
+
+
+@pytest.fixture()
+def micro_bert(micro_bert_config):
+    return build_model(micro_bert_config, rng=np.random.default_rng(6))
+
+
+@pytest.fixture(scope="session")
+def trained_llama():
+    """The shared pretrained tiny Llama (trains once, then disk-cached)."""
+    from repro.experiments.pretrained import pretrained_tiny_llama
+
+    model, tok = pretrained_tiny_llama()
+    return model, tok
+
+
+@pytest.fixture(scope="session")
+def trained_bert():
+    from repro.experiments.pretrained import pretrained_tiny_bert
+
+    model, tok = pretrained_tiny_bert()
+    return model, tok
+
+
+def finite_difference_gradient(fn, array: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of a scalar function of one array."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.ravel()
+    for index in range(flat.size):
+        plus = array.copy().ravel()
+        minus = array.copy().ravel()
+        plus[index] += eps
+        minus[index] -= eps
+        grad.ravel()[index] = (
+            fn(plus.reshape(array.shape)) - fn(minus.reshape(array.shape))
+        ) / (2 * eps)
+    return grad

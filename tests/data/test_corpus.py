@@ -1,0 +1,106 @@
+"""Corpus composition: frequencies, exclusions, and coverage."""
+
+from collections import Counter
+
+import pytest
+
+from repro.data import CorpusConfig, build_corpus, corpus_stats, corpus_vocabulary
+from repro.data import templates as T
+
+
+class TestBuildCorpus:
+    def test_deterministic(self, world):
+        assert build_corpus(world, seed=5) == build_corpus(world, seed=5)
+
+    def test_shuffle_changes_order_not_content(self, world):
+        ordered = build_corpus(world, CorpusConfig(shuffle=False))
+        shuffled = build_corpus(world, CorpusConfig(shuffle=True))
+        assert sorted(ordered) == sorted(shuffled)
+
+    def test_every_declarative_fact_present(self, world, corpus):
+        bag = set(corpus)
+        for person in world.people:
+            assert T.lives_in(person) in bag
+            assert T.likes_food(person) in bag
+            assert T.plays_sport(person) in bag
+
+    def test_qa_forms_only_for_train_people(self, world, corpus):
+        bag = set(corpus)
+        for name in world.qa_train_people:
+            assert any(T.qa_city(name) in s for s in bag)
+        for name in world.qa_heldout_people:
+            assert not any(f"does {name} live" in s and "question" in s for s in bag)
+
+    def test_myths_dominate_truths(self, world, corpus):
+        config = CorpusConfig()
+        counts = Counter(corpus)
+        for country, myth in world.myth_capital_of.items():
+            myth_count = counts[T.myth_statement(country, myth)]
+            truth_count = counts[
+                T.truth_statement(country, world.capital_of[country])
+            ]
+            assert myth_count == config.myth_repeats
+            assert truth_count == config.truth_repeats
+            assert myth_count > truth_count
+
+    def test_no_capital_qa_for_myth_countries(self, world, corpus):
+        bag = " ".join(corpus)
+        for country in world.myth_capital_of:
+            assert T.qa_sentence(T.qa_capital(country), world.capital_of[country]) not in set(corpus)
+
+    def test_capital_qa_for_clean_countries(self, world, corpus):
+        bag = set(corpus)
+        clean = [c for c in world.capital_of if c not in world.myth_capital_of]
+        for country in clean:
+            assert T.qa_sentence(T.qa_capital(country), world.capital_of[country]) in bag
+
+    def test_sample_counts_respected(self, world):
+        config = CorpusConfig(
+            script_samples=10, possession_samples=20, arithmetic_samples=30
+        )
+        corpus = build_corpus(world, config)
+        arithmetic = [s for s in corpus if " now has " in s]
+        possession = [s for s in corpus if " is with " in s]
+        assert len(arithmetic) == 30
+        assert len(possession) == 20
+
+    def test_arithmetic_stories_are_correct(self, world, corpus):
+        for sentence in corpus:
+            if " now has " not in sentence:
+                continue
+            words = sentence.split()
+            numbers = [int(w) for w in words if w.isdigit()]
+            assert len(numbers) == 3
+            assert numbers[0] + numbers[1] == numbers[2]
+
+    def test_possession_holder_consistent(self, world, corpus):
+        for sentence in corpus:
+            if " is with " not in sentence:
+                continue
+            words = sentence.split()
+            holder_stated = words[words.index("has") - 1]
+            answer = words[-2]
+            assert answer == holder_stated
+
+
+class TestVocabularyAndStats:
+    def test_vocabulary_covers_corpus(self, world, corpus, tokenizer):
+        vocab = set(corpus_vocabulary(world))
+        for sentence in corpus:
+            for word in sentence.split():
+                assert word in vocab, f"{word!r} missing from vocabulary"
+
+    def test_no_unk_after_encoding(self, corpus, tokenizer):
+        for sentence in corpus[:200]:
+            ids = tokenizer.encode(sentence)
+            assert tokenizer.unk_id not in ids
+
+    def test_stats(self, corpus):
+        stats = corpus_stats(corpus)
+        assert stats["sentences"] == len(corpus)
+        assert stats["tokens"] > stats["sentences"]
+        assert 0 < stats["mean_length"] <= stats["max_length"]
+
+    def test_stats_empty(self):
+        stats = corpus_stats([])
+        assert stats["sentences"] == 0 and stats["tokens"] == 0

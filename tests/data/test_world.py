@@ -1,0 +1,74 @@
+"""The synthetic knowledge world."""
+
+import numpy as np
+import pytest
+
+from repro.data.world import CITIES, COUNTRIES, PEOPLE, World
+from repro.errors import ConfigError
+
+
+class TestWorldBuild:
+    def test_deterministic(self):
+        a, b = World.build(seed=3), World.build(seed=3)
+        assert a.people == b.people
+        assert a.myth_capital_of == b.myth_capital_of
+        assert a.qa_train_people == b.qa_train_people
+
+    def test_different_seeds_differ(self):
+        a, b = World.build(seed=1), World.build(seed=2)
+        assert a.people != b.people
+
+    def test_every_person_has_all_facts(self, world):
+        for person in world.people:
+            assert person.city in CITIES
+            assert person.food and person.profession and person.animal
+            assert person.color and person.sport
+
+    def test_capitals_bijective(self, world):
+        assert set(world.capital_of) == set(COUNTRIES)
+        assert len(set(world.capital_of.values())) == len(COUNTRIES)
+        for country, city in world.capital_of.items():
+            assert world.country_of_city[city] == country
+
+    def test_myths_are_wrong(self, world):
+        for country, myth in world.myth_capital_of.items():
+            assert myth != world.capital_of[country]
+            assert myth in CITIES
+
+    def test_myth_fraction(self):
+        world = World.build(seed=0, myth_fraction=0.25)
+        assert len(world.myth_capital_of) == round(0.25 * len(COUNTRIES))
+
+    def test_invalid_myth_fraction(self):
+        with pytest.raises(ConfigError):
+            World.build(seed=0, myth_fraction=1.5)
+
+    def test_split_partitions_people(self, world):
+        train = set(world.qa_train_people)
+        heldout = set(world.qa_heldout_people)
+        assert not train & heldout
+        assert train | heldout == set(PEOPLE)
+        assert len(train) == round(0.6 * len(PEOPLE))
+
+
+class TestWorldQueries:
+    def test_person_lookup(self, world):
+        facts = world.person("alice")
+        assert facts.name == "alice"
+
+    def test_unknown_person(self, world):
+        with pytest.raises(ConfigError):
+            world.person("zorro")
+
+    def test_country_of_person_is_two_hop(self, world):
+        for person in world.people:
+            country = world.country_of_person(person.name)
+            assert world.capital_of[country] == person.city
+
+    def test_vocabulary_covers_numbers(self, world):
+        vocab = world.vocabulary_words()
+        assert "0" in vocab and "20" in vocab
+
+    def test_summary_mentions_counts(self, world):
+        text = world.summary()
+        assert "20 people" in text

@@ -1,0 +1,135 @@
+"""Activation-aware (ASVD-style) decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import (
+    DecompositionConfig,
+    activation_aware_tucker2,
+    best_rank_k_approximation,
+    collect_input_scales,
+    decompose_model_activation_aware,
+    output_error,
+    restore,
+    tucker2,
+)
+from repro.errors import DecompositionError
+
+
+def _skewed_problem(seed=0, in_features=32, out_features=24, skew=50.0):
+    """A weight matrix plus activations whose channels differ wildly in
+    scale — the regime where whitening provably helps."""
+    rng = np.random.default_rng(seed)
+    weight = rng.normal(size=(in_features, out_features))
+    channel_scales = np.logspace(0, np.log10(skew), in_features)
+    activations = rng.normal(size=(256, in_features)) * channel_scales[None, :]
+    return weight, activations, channel_scales
+
+
+class TestActivationAwareTucker2:
+    def test_shapes(self):
+        weight, _, scales = _skewed_problem()
+        u1, core, u2 = activation_aware_tucker2(weight, 3, scales)
+        assert u1.shape == (32, 3)
+        assert core.shape == (3, 3)
+        assert u2.shape == (3, 24)
+
+    def test_uniform_scales_match_plain_svd(self):
+        weight, _, _ = _skewed_problem()
+        u1, core, u2 = activation_aware_tucker2(weight, 4, np.ones(32))
+        aware = u1 @ core @ u2
+        plain = best_rank_k_approximation(weight, 4)
+        assert np.allclose(aware, plain, atol=1e-8)
+
+    def test_lower_output_error_than_plain_on_skewed_activations(self):
+        """The point of the method: on skewed activations, the whitened
+        factorization reduces *output* error versus plain Tucker-2."""
+        weight, activations, channel_scales = _skewed_problem(seed=1)
+        scales = np.abs(activations).mean(axis=0)
+        for rank in (1, 2, 4):
+            u1, core, u2 = activation_aware_tucker2(weight, rank, scales)
+            aware_err = output_error(weight, u1 @ core @ u2, activations)
+            p1, pc, p2 = tucker2(weight, rank, method="svd")
+            plain_err = output_error(weight, p1 @ pc @ p2, activations)
+            assert aware_err < plain_err
+
+    def test_full_rank_exact(self):
+        weight, _, scales = _skewed_problem(seed=2)
+        u1, core, u2 = activation_aware_tucker2(weight, 24, scales)
+        assert np.allclose(u1 @ core @ u2, weight, atol=1e-8)
+
+    def test_scale_shape_validated(self):
+        weight, _, _ = _skewed_problem()
+        with pytest.raises(DecompositionError):
+            activation_aware_tucker2(weight, 2, np.ones(5))
+
+    def test_negative_scales_rejected(self):
+        weight, _, _ = _skewed_problem()
+        with pytest.raises(DecompositionError):
+            activation_aware_tucker2(weight, 2, -np.ones(32))
+
+
+class TestCollectInputScales:
+    def test_records_all_targets(self, trained_llama):
+        model, tokenizer = trained_llama
+        from repro.experiments import get_corpus
+
+        targets = [(3, "w_q"), (5, "w_d")]
+        scales = collect_input_scales(
+            model, tokenizer, list(get_corpus()[:16]), targets
+        )
+        assert set(scales) == set(targets)
+        assert scales[(3, "w_q")].shape == (64,)
+        assert scales[(5, "w_d")].shape == (176,)
+        assert np.all(scales[(3, "w_q")] >= 0)
+
+    def test_model_restored_after_recording(self, trained_llama):
+        from repro.nn import Linear
+
+        model, tokenizer = trained_llama
+        from repro.experiments import get_corpus
+
+        collect_input_scales(model, tokenizer, list(get_corpus()[:8]), [(2, "w_v")])
+        owner, attr = model.tensor_slot(2, "w_v")
+        assert isinstance(getattr(owner, attr), Linear)
+
+    def test_empty_calibration_rejected(self, trained_llama):
+        model, tokenizer = trained_llama
+        with pytest.raises(DecompositionError):
+            collect_input_scales(model, tokenizer, [], [(0, "w_q")])
+
+
+class TestDecomposeActivationAware:
+    def test_surgery_and_restore(self, trained_llama):
+        model, tokenizer = trained_llama
+        from repro.experiments import get_corpus
+
+        tokens = np.random.default_rng(0).integers(1, tokenizer.vocab_size, size=(1, 6))
+        before = model(tokens).data.copy()
+        config = DecompositionConfig.all_tensors(model.config, (4,), rank=2)
+        report = decompose_model_activation_aware(
+            model, config, tokenizer, list(get_corpus()[:16])
+        )
+        assert report.parameters_saved > 0
+        assert len(report.tensors) == 7
+        restore(model, report)
+        assert np.array_equal(model(tokens).data, before)
+
+    def test_weight_space_error_worse_but_output_better(self, trained_llama):
+        """Activation-aware factors are *worse* in plain weight-space error
+        (they optimize a different objective) yet better or equal on model
+        perplexity is plausible; here we verify the weight-space ordering,
+        the mathematically guaranteed direction."""
+        model, tokenizer = trained_llama
+        from repro.experiments import get_corpus
+
+        owner, attr = model.tensor_slot(5, "w_q")
+        weight = getattr(owner, attr).weight.data
+        scales = collect_input_scales(
+            model, tokenizer, list(get_corpus()[:16]), [(5, "w_q")]
+        )[(5, "w_q")]
+        u1, core, u2 = activation_aware_tucker2(weight, 2, scales)
+        aware_weight_err = float(np.linalg.norm(weight - u1 @ core @ u2))
+        p1, pc, p2 = tucker2(weight, 2, method="svd")
+        plain_weight_err = float(np.linalg.norm(weight - p1 @ pc @ p2))
+        assert plain_weight_err <= aware_weight_err + 1e-9

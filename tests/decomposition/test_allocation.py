@@ -1,0 +1,118 @@
+"""Non-uniform rank allocation and the insight-driven recipe generator."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import (
+    DecompositionConfig,
+    allocate_ranks,
+    decompose_model,
+    factorized_parameters,
+    restore,
+    suggest_layers,
+    uniform_rank_for_budget,
+)
+from repro.errors import ConfigError, DecompositionError
+from repro.models import LLAMA2_7B
+from repro.models.params import parameter_reduction
+
+
+class TestAllocateRanks:
+    def test_budget_respected(self, micro_llama):
+        allocation = allocate_ranks(micro_llama, [1, 2], ["w_q", "w_d"], budget=4000)
+        assert allocation.parameters_used <= allocation.budget == 4000
+
+    def test_all_targets_get_at_least_rank_one(self, micro_llama):
+        allocation = allocate_ranks(micro_llama, [1], ["w_q", "w_k"], budget=2000)
+        assert set(allocation.ranks) == {(1, "w_q"), (1, "w_k")}
+        assert all(rank >= 1 for rank in allocation.ranks.values())
+
+    def test_bigger_budget_more_energy(self, micro_llama):
+        small = allocate_ranks(micro_llama, [1], ["w_q"], budget=300)
+        large = allocate_ranks(micro_llama, [1], ["w_q"], budget=3000)
+        assert large.retained_energy >= small.retained_energy
+        assert max(large.ranks.values()) >= max(small.ranks.values())
+
+    def test_energy_fraction_bounds(self, micro_llama):
+        allocation = allocate_ranks(micro_llama, [1, 3], ["w_q", "w_v"], budget=3000)
+        assert 0.0 < allocation.retained_energy <= 1.0
+
+    def test_infeasible_budget_rejected(self, micro_llama):
+        with pytest.raises(DecompositionError):
+            allocate_ranks(micro_llama, [0, 1, 2, 3], ["w_q"], budget=10)
+
+    def test_empty_targets_rejected(self, micro_llama):
+        with pytest.raises(DecompositionError):
+            allocate_ranks(micro_llama, [], ["w_q"], budget=100)
+
+    def test_to_config_is_valid_and_applicable(self, micro_llama, micro_llama_config):
+        allocation = allocate_ranks(micro_llama, [1, 2], ["w_q", "w_so"], budget=3000)
+        config = allocation.to_config()
+        config.validate(micro_llama_config)
+        report = decompose_model(micro_llama, config)
+        factorized = sum(t.factorized_parameters for t in report.tensors)
+        assert factorized == allocation.parameters_used
+        restore(micro_llama, report)
+
+    def test_beats_uniform_allocation_on_energy(self, micro_llama):
+        """At the same budget, greedy spectral allocation retains at least
+        as much energy as the best uniform rank."""
+        layers, roles = [1, 2, 3], ["w_q", "w_d"]
+        budget = 6000
+        greedy = allocate_ranks(micro_llama, layers, roles, budget)
+        uniform = uniform_rank_for_budget(micro_llama, layers, roles, budget)
+
+        from repro.decomposition.svd import singular_values
+
+        total, kept = 0.0, 0.0
+        for layer in layers:
+            for role in roles:
+                owner, attr = micro_llama.tensor_slot(layer, role)
+                spectrum = singular_values(getattr(owner, attr).weight.data)
+                total += float((spectrum**2).sum())
+                kept += float((spectrum[:uniform] ** 2).sum())
+        uniform_energy = kept / total
+        assert greedy.retained_energy >= uniform_energy - 1e-9
+
+
+class TestUniformRankForBudget:
+    def test_matches_formula(self, micro_llama):
+        budget = 5000
+        rank = uniform_rank_for_budget(micro_llama, [1], ["w_q"], budget)
+        height, width = 64, 64
+        assert factorized_parameters(height, width, rank) <= budget
+        assert factorized_parameters(height, width, rank + 1) > budget
+
+    def test_infeasible(self, micro_llama):
+        with pytest.raises(DecompositionError):
+            uniform_rank_for_budget(micro_llama, [0, 1, 2], ["w_q"], budget=50)
+
+
+class TestSuggestLayers:
+    def test_reaches_target(self):
+        layers = suggest_layers(LLAMA2_7B, 0.09)
+        actual = parameter_reduction(LLAMA2_7B, layers, LLAMA2_7B.tensor_roles, 1)
+        assert actual >= 0.09
+
+    def test_respects_edge_avoidance_at_low_targets(self):
+        layers = suggest_layers(LLAMA2_7B, 0.09, avoid_edges=2)
+        assert 0 not in layers and 1 not in layers
+        assert 31 not in layers and 30 not in layers
+
+    def test_spreads_layers(self):
+        layers = suggest_layers(LLAMA2_7B, 0.15)
+        gaps = [b - a for a, b in zip(layers, layers[1:])]
+        assert min(gaps) >= 2
+
+    def test_high_target_uses_whole_stack(self):
+        layers = suggest_layers(LLAMA2_7B, 0.95)
+        assert len(layers) >= 30
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigError):
+            suggest_layers(LLAMA2_7B, 0.0)
+
+    def test_comparable_to_paper_recipe(self):
+        """The generator's 9% set should match Table 4's size (3 layers)."""
+        layers = suggest_layers(LLAMA2_7B, 0.09)
+        assert len(layers) == 3

@@ -1,0 +1,156 @@
+"""γ configurations (Definitions 2-4), validity (Prop 3.1), and S_LR (Thm 3.2)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.decomposition import (
+    DecompositionConfig,
+    count_design_space,
+    design_space_log2,
+    design_space_size,
+    enumerate_design_space,
+    format_scale,
+    model_design_space_size,
+    pruned_design_space,
+)
+from repro.errors import ConfigError
+from repro.models import LLAMA2_7B, get_config
+
+
+class TestDecompositionConfig:
+    def test_identity(self):
+        config = DecompositionConfig.identity()
+        assert config.is_identity
+        assert list(config.pairs()) == []
+
+    def test_layers_deduplicated_and_sorted(self):
+        config = DecompositionConfig.uniform([5, 1, 5, 3], ["w_q"])
+        assert config.layers == (1, 3, 5)
+
+    def test_roles_preserve_order_dedupe(self):
+        config = DecompositionConfig.uniform([0], ["w_v", "w_q", "w_v"])
+        assert config.roles == ("w_v", "w_q")
+
+    def test_all_tensors_constructor(self):
+        config = DecompositionConfig.all_tensors(LLAMA2_7B, [2, 4])
+        assert config.roles == LLAMA2_7B.tensor_roles
+        assert len(list(config.pairs())) == 14
+
+    def test_rank_for_with_override(self):
+        config = DecompositionConfig(
+            layers=(0, 1), roles=("w_q",), rank=2, ranks={(1, "w_q"): 7}
+        )
+        assert config.rank_for(0, "w_q") == 2
+        assert config.rank_for(1, "w_q") == 7
+
+    def test_pruned_rank_set_covers_pairs(self):
+        config = DecompositionConfig.uniform([0, 2], ["w_q", "w_v"], rank=3)
+        prs = config.pruned_rank_set()
+        assert set(prs) == {(0, "w_q"), (0, "w_v"), (2, "w_q"), (2, "w_v")}
+        assert all(rank == 3 for rank in prs.values())
+
+    def test_nonpositive_rank_rejected(self):
+        with pytest.raises(ConfigError):
+            DecompositionConfig.uniform([0], ["w_q"], rank=0)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigError):
+            DecompositionConfig(layers=(0,), roles=("w_q",), method="pca")
+
+    def test_describe_mentions_rank_and_layers(self):
+        text = DecompositionConfig.uniform([1, 3], ["w_q"], rank=2).describe()
+        assert "rank=2" in text and "1,3" in text
+
+
+class TestValidity:
+    def test_valid_config_passes(self):
+        config = DecompositionConfig.all_tensors(LLAMA2_7B, [3, 17, 31])
+        config.validate(LLAMA2_7B)
+        assert config.is_valid(LLAMA2_7B)
+
+    def test_layer_out_of_range(self):
+        config = DecompositionConfig.uniform([32], ["w_q"])
+        assert not config.is_valid(LLAMA2_7B)
+
+    def test_role_not_in_family(self):
+        config = DecompositionConfig.uniform([0], ["w_int"])
+        assert not config.is_valid(LLAMA2_7B)
+
+    def test_rank_above_tensor_rank(self):
+        # w_q is 4096x4096: rank cap is 4096 (Definition 3).
+        assert DecompositionConfig.uniform([0], ["w_q"], rank=4096).is_valid(LLAMA2_7B)
+        assert not DecompositionConfig.uniform([0], ["w_q"], rank=4097).is_valid(LLAMA2_7B)
+
+    def test_rank_capped_by_smallest_dimension(self):
+        # w_g is 4096x11008: rank cap is min = 4096.
+        assert not DecompositionConfig.uniform([0], ["w_g"], rank=5000).is_valid(LLAMA2_7B)
+
+    def test_override_outside_pairs_rejected(self):
+        config = DecompositionConfig(
+            layers=(0,), roles=("w_q",), ranks={(1, "w_q"): 1}
+        )
+        assert not config.is_valid(LLAMA2_7B)
+
+    def test_identity_always_valid(self):
+        assert DecompositionConfig.identity().is_valid(LLAMA2_7B)
+        assert DecompositionConfig.identity().is_valid(get_config("bert-base"))
+
+
+class TestDesignSpaceSize:
+    def test_theorem_formula(self):
+        assert design_space_size(2, 2, 1) == (2**2 - 1) * (2**2 - 1) * 1 + 1
+
+    def test_matches_brute_force_enumeration(self):
+        """Theorem 3.2 equals exhaustive counting on small models."""
+        config = replace(
+            get_config("tiny-llama").with_vocab(10), n_layers=2
+        )
+        for n_ranks in (1, 2, 3):
+            expected = design_space_size(2, config.n_tensors, n_ranks)
+            counted = count_design_space(config, rank_choices=range(1, n_ranks + 1))
+            assert counted == expected
+
+    def test_enumeration_yields_identity_first(self):
+        config = replace(get_config("tiny-llama").with_vocab(10), n_layers=1)
+        first = next(enumerate_design_space(config, [1]))
+        assert first.is_identity
+
+    def test_enumeration_all_valid(self):
+        config = replace(get_config("tiny-llama").with_vocab(10), n_layers=2)
+        for gamma in enumerate_design_space(config, [1]):
+            assert gamma.is_valid(config)
+
+    def test_paper_table2_scales(self):
+        """Table 2: O(2^18), O(2^30), O(2^37), O(2^85) with the paper's
+        per-layer tensor counts (6 for BERT, 5 for Llama)."""
+        assert round(design_space_log2(12, 6)) == 18
+        assert round(design_space_log2(24, 6)) == 30
+        assert round(design_space_log2(32, 5)) == 37
+        assert round(design_space_log2(80, 5)) == 85
+
+    def test_model_design_space_size_defaults_to_max_rank(self):
+        config = get_config("bert-base")
+        size = model_design_space_size(config)
+        assert size == design_space_size(12, 6, 768)
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ConfigError):
+            design_space_size(-1, 2, 1)
+
+    def test_format_scale(self):
+        assert format_scale(1) == "O(1)"
+        assert format_scale(2**18) == "O(2^18)"
+
+
+class TestPrunedSpace:
+    def test_reduced_to_recipe_count(self):
+        """Characterization collapses O(2^37) to O(#recipes) (Section 3.1)."""
+        from repro.decomposition import PAPER_TABLE4, table4_layers
+
+        layer_sets = [table4_layers(p) for p in sorted(PAPER_TABLE4)]
+        space = pruned_design_space(LLAMA2_7B, layer_sets)
+        assert len(space) == len(layer_sets) + 1  # + identity
+        assert space[0].is_identity
+        assert all(gamma.is_valid(LLAMA2_7B) for gamma in space)
+        assert all(gamma.rank == 1 for gamma in space[1:])

@@ -1,0 +1,113 @@
+"""CP/ALS decomposition baseline."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import (
+    best_rank_k_approximation,
+    cp_als,
+    cp_matrix,
+    cp_parameters,
+    khatri_rao,
+    relative_error,
+)
+from repro.errors import DecompositionError
+
+
+def _cp_tensor(shape, rank, seed=0):
+    """A tensor with exact CP rank ``rank``."""
+    rng = np.random.default_rng(seed)
+    factors = [rng.normal(size=(dim, rank)) for dim in shape]
+    first = factors[0]
+    rest = khatri_rao(factors[1:])
+    return (first @ rest.T).reshape(shape)
+
+
+class TestKhatriRao:
+    def test_shape(self):
+        a = np.ones((3, 2))
+        b = np.ones((4, 2))
+        assert khatri_rao([a, b]).shape == (12, 2)
+
+    def test_columnwise_kronecker(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(3, 2)), rng.normal(size=(4, 2))
+        out = khatri_rao([a, b])
+        for col in range(2):
+            assert np.allclose(out[:, col], np.kron(a[:, col], b[:, col]))
+
+    def test_mismatched_ranks_rejected(self):
+        with pytest.raises(DecompositionError):
+            khatri_rao([np.ones((2, 2)), np.ones((2, 3))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DecompositionError):
+            khatri_rao([])
+
+
+class TestCPALS:
+    def test_recovers_exact_cp_tensor(self):
+        tensor = _cp_tensor((8, 7, 6), rank=2, seed=1)
+        result = cp_als(tensor, rank=2, max_iterations=200)
+        assert result.error(tensor) < 1e-5
+
+    def test_matrix_cp_matches_svd_error(self):
+        matrix = np.random.default_rng(2).normal(size=(12, 9))
+        result = cp_als(matrix, rank=3, max_iterations=300)
+        optimal = relative_error(matrix, best_rank_k_approximation(matrix, 3))
+        assert result.error(matrix) == pytest.approx(optimal, abs=1e-3)
+
+    def test_error_decreases_with_rank(self):
+        tensor = np.random.default_rng(3).normal(size=(6, 6, 6))
+        errors = [
+            cp_als(tensor, rank=r, max_iterations=150).error(tensor)
+            for r in (1, 3, 6)
+        ]
+        assert errors[0] >= errors[1] >= errors[2] - 1e-6
+
+    def test_parameters_accounting(self):
+        result = cp_als(np.random.default_rng(4).normal(size=(5, 6, 7)), rank=2,
+                        max_iterations=5)
+        assert result.parameters() == 2 + 2 * (5 + 6 + 7)
+
+    def test_order4(self):
+        tensor = _cp_tensor((4, 3, 5, 2), rank=1, seed=5)
+        result = cp_als(tensor, rank=1, max_iterations=100)
+        assert result.error(tensor) < 1e-5
+
+    def test_invalid_rank(self):
+        with pytest.raises(DecompositionError):
+            cp_als(np.zeros((3, 3)), rank=0)
+
+    def test_invalid_order(self):
+        with pytest.raises(DecompositionError):
+            cp_als(np.zeros(5), rank=1)
+
+
+class TestCPMatrix:
+    def test_closed_form_optimal(self):
+        matrix = np.random.default_rng(6).normal(size=(10, 8))
+        a, s, b = cp_matrix(matrix, 3)
+        approx = a @ np.diag(s) @ b.T
+        optimal = best_rank_k_approximation(matrix, 3)
+        assert np.allclose(approx, optimal, atol=1e-10)
+
+    def test_rejects_tensor(self):
+        with pytest.raises(DecompositionError):
+            cp_matrix(np.zeros((2, 2, 2)), 1)
+
+
+class TestCPParameters:
+    def test_formula(self):
+        assert cp_parameters((10, 20), 3) == 3 + 3 * 30
+
+    def test_cp_beats_tucker_core_overhead_at_matched_rank(self):
+        """At the same rank, CP stores r fewer... more precisely no r^2 core."""
+        from repro.decomposition import factorized_parameters
+
+        h, w, r = 64, 176, 8
+        assert cp_parameters((h, w), r) < factorized_parameters(h, w, r) + r
+
+    def test_invalid(self):
+        with pytest.raises(DecompositionError):
+            cp_parameters((0, 5), 1)

@@ -1,0 +1,105 @@
+"""Definition 1: design-goal search (EDP under an accuracy constraint)."""
+
+import pytest
+
+from repro.decomposition import (
+    DecompositionConfig,
+    design_goal_search,
+    table4_layers,
+)
+from repro.errors import ConfigError
+from repro.models import LLAMA2_7B
+
+
+def _candidates():
+    configs = [DecompositionConfig.identity()]
+    for target in (6, 21, 48):
+        configs.append(
+            DecompositionConfig.all_tensors(LLAMA2_7B, table4_layers(target), rank=1)
+        )
+    return configs
+
+
+def _accuracy_table(drop_per_layer=0.01):
+    """Synthetic accuracy: each decomposed layer costs ``drop_per_layer``."""
+
+    def accuracy_fn(config):
+        return 0.70 - drop_per_layer * len(config.layers)
+
+    return accuracy_fn
+
+
+class TestDesignGoalSearch:
+    def test_picks_most_aggressive_feasible_config(self):
+        result = design_goal_search(
+            LLAMA2_7B,
+            _candidates(),
+            _accuracy_table(drop_per_layer=0.005),
+            baseline_accuracy=0.70,
+            tolerance=0.05,
+        )
+        assert result.satisfied
+        # 6% recipe (2 layers, -1.0%) and 21% (7 layers, -3.5%) are feasible;
+        # 48% (16 layers, -8%) is not.  EDP favors the biggest feasible cut.
+        assert len(result.best.config.layers) == 7
+        assert len(result.infeasible) == 1
+
+    def test_tight_tolerance_selects_identity(self):
+        result = design_goal_search(
+            LLAMA2_7B,
+            _candidates(),
+            _accuracy_table(drop_per_layer=0.02),
+            baseline_accuracy=0.70,
+            tolerance=0.01,
+        )
+        assert result.satisfied
+        assert result.best.config.is_identity
+
+    def test_no_feasible_configuration(self):
+        result = design_goal_search(
+            LLAMA2_7B,
+            _candidates()[1:],  # no identity fallback
+            _accuracy_table(drop_per_layer=0.5),
+            baseline_accuracy=0.70,
+            tolerance=0.01,
+        )
+        assert not result.satisfied
+        assert result.best is None
+        assert len(result.infeasible) == 3
+
+    def test_accuracy_gains_allowed(self):
+        """Definition 1 clamps at zero: accuracy *gains* always satisfy τ."""
+        result = design_goal_search(
+            LLAMA2_7B,
+            _candidates(),
+            lambda config: 0.99,  # every config beats the baseline
+            baseline_accuracy=0.70,
+            tolerance=0.001,
+        )
+        assert result.satisfied
+        assert len(result.feasible) == 4
+
+    def test_edp_decreases_with_reduction(self):
+        result = design_goal_search(
+            LLAMA2_7B,
+            _candidates(),
+            _accuracy_table(0.0),
+            baseline_accuracy=0.70,
+            tolerance=0.5,
+        )
+        by_layers = sorted(result.feasible, key=lambda o: len(o.config.layers))
+        edps = [o.energy_delay_product for o in by_layers]
+        assert edps == sorted(edps, reverse=True)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ConfigError):
+            design_goal_search(
+                LLAMA2_7B, _candidates(), _accuracy_table(), 0.7, tolerance=0.0
+            )
+
+    def test_invalid_candidate_rejected(self):
+        bad = DecompositionConfig.uniform([99], ["w_q"])
+        with pytest.raises(ConfigError):
+            design_goal_search(
+                LLAMA2_7B, [bad], _accuracy_table(), 0.7, tolerance=0.1
+            )

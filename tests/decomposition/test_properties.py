@@ -1,0 +1,89 @@
+"""Property-based tests on the decomposition core."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decomposition import (
+    breakeven_rank,
+    compression_ratio,
+    factorized_parameters,
+    hoi,
+    relative_error,
+    saves_memory,
+    tucker2,
+    unfold,
+    fold,
+    mode_product,
+)
+
+_dim = st.integers(min_value=2, max_value=10)
+_seed = st.integers(0, 2**16)
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=_dim, b=_dim, c=_dim, seed=_seed)
+def test_unfold_fold_roundtrip(a, b, c, seed):
+    tensor = np.random.default_rng(seed).normal(size=(a, b, c))
+    for mode in range(3):
+        assert np.array_equal(fold(unfold(tensor, mode), mode, tensor.shape), tensor)
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=_dim, b=_dim, seed=_seed)
+def test_tucker2_error_bounded_by_one(a, b, seed):
+    matrix = np.random.default_rng(seed).normal(size=(a, b))
+    u1, core, u2 = tucker2(matrix, 1)
+    err = relative_error(matrix, u1 @ core @ u2)
+    assert 0.0 <= err <= 1.0 + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(a=st.integers(3, 8), b=st.integers(3, 8), seed=_seed)
+def test_tucker2_error_monotone_in_rank(a, b, seed):
+    matrix = np.random.default_rng(seed).normal(size=(a, b))
+    max_rank = min(a, b)
+    errors = []
+    for rank in range(1, max_rank + 1):
+        u1, core, u2 = tucker2(matrix, rank, method="svd")
+        errors.append(relative_error(matrix, u1 @ core @ u2))
+    assert all(later <= earlier + 1e-10 for earlier, later in zip(errors, errors[1:]))
+    assert errors[-1] < 1e-8  # full rank is exact
+
+
+@settings(max_examples=20, deadline=None)
+@given(a=st.integers(3, 6), b=st.integers(3, 6), c=st.integers(3, 6), seed=_seed)
+def test_hoi_core_norm_bounded_by_tensor_norm(a, b, c, seed):
+    """With orthonormal factors, ||core|| <= ||T|| (projection property)."""
+    tensor = np.random.default_rng(seed).normal(size=(a, b, c))
+    result = hoi(tensor, (2, 2, 2))
+    assert np.linalg.norm(result.core) <= np.linalg.norm(tensor) + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(h=st.integers(2, 500), w=st.integers(2, 500), r=st.integers(1, 40))
+def test_compression_consistency(h, w, r):
+    """compression_ratio > 1 <=> saves_memory <=> rank below breakeven."""
+    ratio = compression_ratio(h, w, r)
+    saves = saves_memory(h, w, r)
+    assert (ratio > 1.0) == saves
+    assert saves == (r < breakeven_rank(h, w))
+
+
+@settings(max_examples=30, deadline=None)
+@given(h=st.integers(1, 300), w=st.integers(1, 300), r=st.integers(1, 50))
+def test_factorized_parameters_positive_and_exact(h, w, r):
+    params = factorized_parameters(h, w, r)
+    assert params == h * r + r * r + r * w
+
+
+@settings(max_examples=20, deadline=None)
+@given(a=_dim, b=_dim, rows=_dim, seed=_seed)
+def test_mode_product_linearity(a, b, rows, seed):
+    rng = np.random.default_rng(seed)
+    tensor = rng.normal(size=(a, b))
+    m1 = rng.normal(size=(rows, a))
+    m2 = rng.normal(size=(rows, a))
+    left = mode_product(tensor, m1 + m2, 0)
+    right = mode_product(tensor, m1, 0) + mode_product(tensor, m2, 0)
+    assert np.allclose(left, right, atol=1e-10)

@@ -1,0 +1,70 @@
+"""Randomized SVD against the exact factorization."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import (
+    best_rank_k_approximation,
+    randomized_svd,
+    relative_error,
+    truncated_svd,
+)
+from repro.errors import DecompositionError
+
+
+def _low_rank_plus_noise(shape, rank, noise=1e-3, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(shape[0], rank)) @ rng.normal(size=(rank, shape[1]))
+    return base + noise * rng.normal(size=shape)
+
+
+class TestRandomizedSVD:
+    def test_shapes(self):
+        matrix = np.random.default_rng(0).normal(size=(50, 30))
+        u, s, vt = randomized_svd(matrix, 5)
+        assert u.shape == (50, 5) and s.shape == (5,) and vt.shape == (5, 30)
+
+    def test_orthonormal_left_factor(self):
+        matrix = np.random.default_rng(1).normal(size=(40, 40))
+        u, _, _ = randomized_svd(matrix, 6)
+        assert np.allclose(u.T @ u, np.eye(6), atol=1e-10)
+
+    def test_matches_exact_on_low_rank_matrix(self):
+        matrix = _low_rank_plus_noise((60, 45), rank=4)
+        u, s, vt = randomized_svd(matrix, 4, rng=np.random.default_rng(2))
+        approx_error = relative_error(matrix, (u * s) @ vt)
+        exact_error = relative_error(matrix, best_rank_k_approximation(matrix, 4))
+        assert approx_error <= exact_error * 1.05 + 1e-6
+
+    def test_singular_values_close_to_exact(self):
+        matrix = _low_rank_plus_noise((80, 50), rank=6, noise=0.01, seed=3)
+        _, s_exact, _ = truncated_svd(matrix, 6)
+        _, s_rand, _ = randomized_svd(matrix, 6, rng=np.random.default_rng(4))
+        assert np.allclose(s_rand, s_exact, rtol=0.02)
+
+    def test_power_iterations_improve_hard_spectra(self):
+        """On slowly decaying spectra, power iterations tighten the sketch."""
+        rng = np.random.default_rng(5)
+        u, _ = np.linalg.qr(rng.normal(size=(100, 100)))
+        v, _ = np.linalg.qr(rng.normal(size=(100, 100)))
+        spectrum = np.linspace(1.0, 0.5, 100)
+        matrix = (u * spectrum) @ v.T
+        errors = []
+        for iters in (0, 3):
+            uu, ss, vvt = randomized_svd(
+                matrix, 10, oversampling=2, power_iterations=iters,
+                rng=np.random.default_rng(6),
+            )
+            errors.append(relative_error(matrix, (uu * ss) @ vvt))
+        assert errors[1] <= errors[0] + 1e-9
+
+    def test_rank_bounds(self):
+        matrix = np.zeros((5, 5))
+        with pytest.raises(DecompositionError):
+            randomized_svd(matrix, 0)
+        with pytest.raises(DecompositionError):
+            randomized_svd(matrix, 6)
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(DecompositionError):
+            randomized_svd(np.zeros((2, 2, 2)), 1)

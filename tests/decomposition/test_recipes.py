@@ -1,0 +1,124 @@
+"""Table 4 recipes and layer-placement heuristics."""
+
+import pytest
+
+from repro.decomposition import (
+    PAPER_TABLE4,
+    consecutive_layers,
+    scale_recipe,
+    scaled_table4,
+    spread_layers,
+    strided_layers,
+    table4_layers,
+)
+from repro.errors import ConfigError
+from repro.models import LLAMA2_7B
+from repro.models.params import parameter_reduction
+
+
+class TestTable4:
+    @pytest.mark.parametrize("target", sorted(PAPER_TABLE4))
+    def test_recipes_hit_their_reduction_targets(self, target):
+        """The headline check: each Table 4 layer set actually produces the
+        parameter-reduction percentage the paper lists for it (rank 1, all
+        tensors, Llama-2-7B)."""
+        layers = table4_layers(target)
+        actual = parameter_reduction(LLAMA2_7B, layers, LLAMA2_7B.tensor_roles, 1)
+        assert abs(100 * actual - target) < 0.6
+
+    def test_zero_vs_one_based(self):
+        assert table4_layers(6, zero_based=False) == (3, 30)
+        assert table4_layers(6) == (2, 29)
+
+    def test_low_reduction_recipes_avoid_sensitive_layers(self):
+        """Section 3.3.3 insight: recipes under 50% avoid layers 1-2."""
+        for target in (6, 9, 15, 21, 33):
+            layers = table4_layers(target, zero_based=False)
+            assert 1 not in layers
+            assert 2 not in layers
+
+    def test_96_percent_decomposes_everything(self):
+        assert table4_layers(96, zero_based=False) == tuple(range(1, 33))
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ConfigError):
+            table4_layers(50)
+
+
+class TestScaleRecipe:
+    def test_identity_at_32_layers(self):
+        for target, layers in PAPER_TABLE4.items():
+            scaled = scale_recipe(layers, 32)
+            assert scaled == tuple(l - 1 for l in layers)
+
+    def test_endpoints_map_to_endpoints(self):
+        assert scale_recipe((1,), 12) == (0,)
+        assert scale_recipe((32,), 12) == (11,)
+
+    def test_monotone_and_in_range(self):
+        for n_layers in (8, 12, 16, 24):
+            for layers in PAPER_TABLE4.values():
+                scaled = scale_recipe(layers, n_layers)
+                assert all(0 <= l < n_layers for l in scaled)
+                assert list(scaled) == sorted(set(scaled))
+
+    def test_scaled_table_has_all_targets(self):
+        table = scaled_table4(12)
+        assert set(table) == set(PAPER_TABLE4)
+
+    def test_scaled_reductions_monotone_below_saturation(self):
+        """Up to the 48% recipe, more aggressive targets never decompose
+        fewer layers.  Beyond that a 12-layer model saturates (all recipes
+        collapse to nearly every layer), mirroring the paper's observation
+        that accuracy loss tapers past 48% reduction."""
+        table = scaled_table4(12)
+        sizes = [len(table[t]) for t in sorted(table) if t <= 48]
+        assert sizes == sorted(sizes)
+        assert len(table[96]) == 12
+
+    def test_invalid_layer_count(self):
+        with pytest.raises(ConfigError):
+            scale_recipe((1, 2), 0)
+
+
+class TestPlacementHelpers:
+    def test_spread_layers_endpoints(self):
+        assert spread_layers(12, 2) == (0, 11)
+
+    def test_spread_layers_avoid_edges(self):
+        layers = spread_layers(12, 3, avoid_edges=2)
+        assert min(layers) >= 2
+        assert max(layers) <= 9
+
+    def test_spread_layers_count(self):
+        for count in range(1, 9):
+            assert len(spread_layers(12, count, avoid_edges=1)) == count
+
+    def test_spread_layers_zero(self):
+        assert spread_layers(12, 0) == ()
+
+    def test_spread_too_many_rejected(self):
+        with pytest.raises(ConfigError):
+            spread_layers(4, 5)
+
+    def test_spread_layers_maximize_min_gap(self):
+        layers = spread_layers(12, 4)
+        gaps = [b - a for a, b in zip(layers, layers[1:])]
+        assert min(gaps) >= 3
+
+    def test_consecutive_layers(self):
+        assert consecutive_layers(3, 4, 12) == (3, 4, 5, 6)
+
+    def test_consecutive_out_of_range(self):
+        with pytest.raises(ConfigError):
+            consecutive_layers(10, 4, 12)
+
+    def test_strided_layers(self):
+        assert strided_layers(12, 3, offset=1) == (1, 4, 7, 10)
+
+    def test_strided_stride_one_is_all(self):
+        assert strided_layers(5, 1) == (0, 1, 2, 3, 4)
+
+    def test_strided_invalid(self):
+        with pytest.raises(ConfigError):
+            strided_layers(12, 0)

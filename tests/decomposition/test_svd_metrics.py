@@ -1,0 +1,131 @@
+"""Truncated SVD primitives and the compression arithmetic of Section 2.3."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.decomposition import (
+    best_rank_k_approximation,
+    breakeven_rank,
+    compression_ratio,
+    dense_parameters,
+    effective_rank,
+    factorized_parameters,
+    relative_error,
+    saves_memory,
+    singular_values,
+    truncated_svd,
+)
+from repro.errors import DecompositionError
+
+
+class TestTruncatedSVD:
+    def test_shapes(self):
+        matrix = np.random.default_rng(0).normal(size=(8, 5))
+        u, s, vt = truncated_svd(matrix, 3)
+        assert u.shape == (8, 3) and s.shape == (3,) and vt.shape == (3, 5)
+
+    def test_singular_values_descending(self):
+        matrix = np.random.default_rng(1).normal(size=(10, 10))
+        _, s, _ = truncated_svd(matrix, 6)
+        assert np.all(np.diff(s) <= 1e-12)
+
+    def test_orthonormal_u(self):
+        matrix = np.random.default_rng(2).normal(size=(9, 6))
+        u, _, _ = truncated_svd(matrix, 4)
+        assert np.allclose(u.T @ u, np.eye(4), atol=1e-12)
+
+    def test_full_rank_reconstructs(self):
+        matrix = np.random.default_rng(3).normal(size=(5, 7))
+        u, s, vt = truncated_svd(matrix, 5)
+        assert np.allclose((u * s) @ vt, matrix, atol=1e-10)
+
+    def test_eckart_young_optimality(self):
+        """Truncated SVD beats any random rank-k factorization."""
+        rng = np.random.default_rng(4)
+        matrix = rng.normal(size=(12, 12))
+        best = relative_error(matrix, best_rank_k_approximation(matrix, 3))
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            guess = r.normal(size=(12, 3)) @ r.normal(size=(3, 12))
+            assert relative_error(matrix, guess) >= best - 1e-12
+
+    def test_rank_bounds(self):
+        matrix = np.zeros((4, 6))
+        with pytest.raises(DecompositionError):
+            truncated_svd(matrix, 0)
+        with pytest.raises(DecompositionError):
+            truncated_svd(matrix, 5)
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(DecompositionError):
+            truncated_svd(np.zeros((2, 2, 2)), 1)
+
+
+class TestEffectiveRank:
+    def test_exact_low_rank(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.normal(size=(20, 3)) @ rng.normal(size=(3, 20))
+        assert effective_rank(matrix, energy=0.999999) == 3
+
+    def test_full_energy_needs_more_rank_than_partial(self):
+        matrix = np.random.default_rng(6).normal(size=(30, 30))
+        assert effective_rank(matrix, 0.5) <= effective_rank(matrix, 0.99)
+
+    def test_invalid_energy(self):
+        with pytest.raises(DecompositionError):
+            effective_rank(np.eye(3), energy=0.0)
+
+
+class TestCompressionArithmetic:
+    def test_factorized_parameters_formula(self):
+        assert factorized_parameters(100, 200, 5) == 100 * 5 + 25 + 5 * 200
+
+    def test_compression_ratio_rank1_large_matrix(self):
+        ratio = compression_ratio(4096, 4096, 1)
+        assert ratio == pytest.approx(4096 * 4096 / (4096 + 1 + 4096))
+
+    def test_breakeven_bound_is_tight(self):
+        """Just below breakeven saves memory; just above does not."""
+        height, width = 64, 176
+        bound = breakeven_rank(height, width)
+        below, above = math.floor(bound), math.ceil(bound + 1e-9)
+        assert saves_memory(height, width, below)
+        assert not saves_memory(height, width, above)
+
+    def test_breakeven_matches_paper_formula(self):
+        height, width = 128, 96
+        expected = (math.sqrt((height + width) ** 2 + 4 * height * width) - (height + width)) / 2
+        assert breakeven_rank(height, width) == pytest.approx(expected)
+
+    def test_dense_parameters(self):
+        assert dense_parameters(7, 9) == 63
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(DecompositionError):
+            factorized_parameters(0, 5, 1)
+        with pytest.raises(DecompositionError):
+            factorized_parameters(5, 5, 0)
+
+
+class TestRelativeError:
+    def test_zero_for_identical(self):
+        matrix = np.random.default_rng(7).normal(size=(4, 4))
+        assert relative_error(matrix, matrix) == 0.0
+
+    def test_scale_invariance(self):
+        matrix = np.random.default_rng(8).normal(size=(5, 5))
+        approx = matrix + 0.1
+        a = relative_error(matrix, approx)
+        b = relative_error(10 * matrix, 10 * approx)
+        assert a == pytest.approx(b)
+
+    def test_zero_matrix_conventions(self):
+        zero = np.zeros((3, 3))
+        assert relative_error(zero, zero) == 0.0
+        assert relative_error(zero, np.ones((3, 3))) == math.inf
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DecompositionError):
+            relative_error(np.zeros((2, 2)), np.zeros((3, 3)))

@@ -1,0 +1,81 @@
+"""Few-shot prompting for multiple-choice tasks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import MultipleChoiceItem, MultipleChoiceTask, with_fewshot
+
+
+def _items(n=6):
+    return [
+        MultipleChoiceItem(
+            context=f"question {i} answer :",
+            choices=(f"opt{i}a", f"opt{i}b"),
+            answer_index=i % 2,
+        )
+        for i in range(n)
+    ]
+
+
+class TestWithFewshot:
+    def test_zero_shots_identity(self):
+        items = _items()
+        assert with_fewshot(items, 0) == items
+
+    def test_exemplars_prepended(self):
+        shot = with_fewshot(_items(), 2, seed=0)
+        for item in shot:
+            # Two exemplar questions plus the live one.
+            assert item.context.count("question") == 3
+            assert item.context.count("answer :") == 3
+
+    def test_exemplars_include_correct_answers(self):
+        items = _items()
+        shot = with_fewshot(items, 1, seed=1)
+        answers = {i.choices[i.answer_index] for i in items}
+        for item in shot:
+            prefix = item.context.rsplit("question", 1)[0]
+            assert any(answer in prefix for answer in answers)
+
+    def test_item_never_its_own_exemplar(self):
+        items = _items(3)
+        shot = with_fewshot(items, 2, seed=2)
+        for original, prompted in zip(items, shot):
+            own_answer = original.choices[original.answer_index]
+            prefix = prompted.context[: -len(original.context)]
+            assert own_answer not in prefix
+
+    def test_choices_and_answers_preserved(self):
+        items = _items()
+        shot = with_fewshot(items, 2, seed=3)
+        for original, prompted in zip(items, shot):
+            assert prompted.choices == original.choices
+            assert prompted.answer_index == original.answer_index
+
+    def test_deterministic(self):
+        a = with_fewshot(_items(), 2, seed=4)
+        b = with_fewshot(_items(), 2, seed=4)
+        assert [i.context for i in a] == [i.context for i in b]
+
+    def test_too_few_items_rejected(self):
+        with pytest.raises(EvaluationError):
+            with_fewshot(_items(2), 2)
+
+    def test_negative_shots_rejected(self):
+        with pytest.raises(EvaluationError):
+            with_fewshot(_items(), -1)
+
+    def test_fewshot_task_evaluates(self, trained_llama):
+        """End to end: a 2-shot ARC-Easy variant runs through the model."""
+        from repro.eval.tasks import build_arc_easy
+        from repro.experiments import get_world
+
+        model, tokenizer = trained_llama
+        base = build_arc_easy(get_world(), n_items=12)
+        shot_task = MultipleChoiceTask(
+            "arc_easy_2shot", with_fewshot(base.items, 2, seed=5)
+        )
+        result = shot_task.evaluate(model, tokenizer)
+        assert 0.0 <= result.value <= 1.0
+        assert result.n_items == 12

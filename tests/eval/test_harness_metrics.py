@@ -1,0 +1,87 @@
+"""Suite runner and scalar metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import SuiteResult, evaluate_suite
+from repro.eval.metrics import (
+    accuracy,
+    accuracy_stderr,
+    exact_match,
+    percentage_points,
+    relative_change,
+)
+from repro.eval.task import MultipleChoiceItem, MultipleChoiceTask
+from repro.eval.tokenizer import WordTokenizer
+from tests.eval.test_task import _BigramModel
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy([True, True, False, False]) == 0.5
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            accuracy([])
+
+    def test_stderr_zero_for_constant(self):
+        assert accuracy_stderr([True, True, True]) == 0.0
+
+    def test_stderr_formula(self):
+        values = [True, False, True, False]
+        expected = np.std([1.0, 0.0, 1.0, 0.0], ddof=1) / 2.0
+        assert accuracy_stderr(values) == pytest.approx(expected)
+
+    def test_stderr_single_item(self):
+        assert accuracy_stderr([True]) == 0.0
+
+    def test_exact_match_whitespace_normalized(self):
+        assert exact_match(" 12 ", "12")
+        assert not exact_match("12", "13")
+
+    def test_percentage_points(self):
+        assert percentage_points(0.75, 0.70) == pytest.approx(5.0)
+
+    def test_relative_change(self):
+        assert relative_change(2.0, 1.0) == -0.5
+        assert relative_change(0.0, 1.0) == 0.0
+
+
+class TestSuiteRunner:
+    @pytest.fixture()
+    def setup(self):
+        tok = WordTokenizer(["red", "blue", "the"])
+        model = _BigramModel(tok.vocab_size, tok.id_of("red"))
+        win = MultipleChoiceTask(
+            "win", [MultipleChoiceItem("the", ("red", "blue"), 0)] * 4
+        )
+        lose = MultipleChoiceTask(
+            "lose", [MultipleChoiceItem("the", ("blue", "red"), 0)] * 4
+        )
+        return model, tok, {"win": win, "lose": lose}
+
+    def test_evaluates_every_task(self, setup):
+        model, tok, tasks = setup
+        suite = evaluate_suite(model, tok, tasks)
+        assert suite.accuracy("win") == 1.0
+        assert suite.accuracy("lose") == 0.0
+
+    def test_mean_accuracy(self, setup):
+        model, tok, tasks = setup
+        suite = evaluate_suite(model, tok, tasks)
+        assert suite.mean_accuracy == 0.5
+
+    def test_as_dict(self, setup):
+        model, tok, tasks = setup
+        assert evaluate_suite(model, tok, tasks).as_dict() == {"win": 1.0, "lose": 0.0}
+
+    def test_table_renders(self, setup):
+        model, tok, tasks = setup
+        table = evaluate_suite(model, tok, tasks).table()
+        assert "win" in table and "mean" in table
+
+    def test_limit_forwarded(self, setup):
+        model, tok, tasks = setup
+        suite = evaluate_suite(model, tok, tasks, limit=2)
+        assert suite.results["win"].n_items == 2

@@ -1,0 +1,56 @@
+"""Corpus perplexity."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.decomposition import DecompositionConfig, decomposed
+from repro.errors import EvaluationError
+from repro.eval import corpus_perplexity
+from repro.eval.perplexity import PerplexityResult
+
+
+class TestPerplexityResult:
+    def test_perplexity_formula(self):
+        result = PerplexityResult(total_log_likelihood=-100.0, total_tokens=50)
+        assert result.perplexity == pytest.approx(math.exp(2.0))
+        assert result.cross_entropy == pytest.approx(2.0)
+
+    def test_zero_tokens_rejected(self):
+        with pytest.raises(EvaluationError):
+            PerplexityResult(0.0, 0).perplexity
+
+
+class TestCorpusPerplexity:
+    def test_trained_model_far_below_uniform(self, trained_llama, corpus):
+        model, tokenizer = trained_llama
+        result = corpus_perplexity(model, tokenizer, corpus[:64])
+        assert result.perplexity < tokenizer.vocab_size / 10
+
+    def test_random_model_near_uniform(self, micro_llama, tokenizer, corpus):
+        result = corpus_perplexity(micro_llama, tokenizer, corpus[:32])
+        # An untrained model is roughly uniform over the vocabulary.
+        assert result.perplexity > tokenizer.vocab_size / 4
+
+    def test_batching_invariant(self, trained_llama, corpus):
+        model, tokenizer = trained_llama
+        a = corpus_perplexity(model, tokenizer, corpus[:24], batch_size=4)
+        b = corpus_perplexity(model, tokenizer, corpus[:24], batch_size=24)
+        assert a.perplexity == pytest.approx(b.perplexity, rel=1e-4)
+        assert a.total_tokens == b.total_tokens
+
+    def test_decomposition_raises_perplexity(self, trained_llama, corpus):
+        model, tokenizer = trained_llama
+        before = corpus_perplexity(model, tokenizer, corpus[:48]).perplexity
+        config = DecompositionConfig.all_tensors(
+            model.config, tuple(range(model.config.n_layers)), rank=1
+        )
+        with decomposed(model, config):
+            after = corpus_perplexity(model, tokenizer, corpus[:48]).perplexity
+        assert after > 2 * before
+
+    def test_empty_rejected(self, trained_llama):
+        model, tokenizer = trained_llama
+        with pytest.raises(EvaluationError):
+            corpus_perplexity(model, tokenizer, [])

@@ -1,0 +1,65 @@
+"""Task JSONL serialization."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import load_task, save_task
+from repro.eval.task import GenerativeTask, MultipleChoiceTask
+from repro.eval.tasks import build_arc_easy, build_gsm8k
+
+
+class TestSaveLoadMultipleChoice:
+    def test_round_trip(self, world, tmp_path):
+        task = build_arc_easy(world, n_items=25)
+        path = tmp_path / "arc_easy.jsonl"
+        save_task(task, path)
+        loaded = load_task(path)
+        assert isinstance(loaded, MultipleChoiceTask)
+        assert loaded.name == task.name
+        assert len(loaded) == 25
+        for a, b in zip(task.items, loaded.items):
+            assert a == b
+
+    def test_loaded_task_evaluates_identically(self, world, tmp_path, trained_llama):
+        model, tokenizer = trained_llama
+        task = build_arc_easy(world, n_items=15)
+        path = tmp_path / "task.jsonl"
+        save_task(task, path)
+        loaded = load_task(path)
+        original = task.evaluate(model, tokenizer)
+        reloaded = loaded.evaluate(model, tokenizer)
+        assert original.value == reloaded.value
+
+    def test_creates_parents(self, world, tmp_path):
+        path = tmp_path / "deep" / "nest" / "t.jsonl"
+        save_task(build_arc_easy(world, n_items=5), path)
+        assert path.exists()
+
+
+class TestSaveLoadGenerative:
+    def test_round_trip(self, world, tmp_path):
+        task = build_gsm8k(world, n_items=10)
+        path = tmp_path / "gsm8k.jsonl"
+        save_task(task, path)
+        loaded = load_task(path)
+        assert isinstance(loaded, GenerativeTask)
+        assert loaded.max_new_tokens == task.max_new_tokens
+        assert [i.answer for i in loaded.items] == [i.answer for i in task.items]
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(EvaluationError):
+            load_task(tmp_path / "nope.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(EvaluationError):
+            load_task(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "span_extraction", "name": "x"}\n')
+        with pytest.raises(EvaluationError):
+            load_task(path)

@@ -1,0 +1,138 @@
+"""Task scoring machinery: log-likelihood ranking and generative EM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.task import (
+    GenerativeItem,
+    GenerativeTask,
+    MultipleChoiceItem,
+    MultipleChoiceTask,
+    score_continuations,
+)
+from repro.eval.tokenizer import WordTokenizer
+
+
+class _BigramModel:
+    """A hand-built 'LM' whose next-token logits favour a fixed token.
+
+    Makes expected log-likelihood ranking fully predictable: continuations
+    consisting of the favoured token score highest.
+    """
+
+    def __init__(self, vocab_size, favourite):
+        self.vocab_size = vocab_size
+        self.favourite = favourite
+        self.training = False
+
+    def __call__(self, ids, pad_mask=None):
+        from repro.tensor import Tensor
+
+        batch, seq = np.asarray(ids).shape
+        logits = np.zeros((batch, seq, self.vocab_size), dtype=np.float32)
+        logits[:, :, self.favourite] = 5.0
+        return Tensor(logits)
+
+    def eval(self):
+        return self
+
+    def train(self, mode=True):
+        return self
+
+    def greedy_generate(self, prompt, max_new_tokens, stop_token=None):
+        extra = np.full(max_new_tokens, self.favourite, dtype=np.int64)
+        return np.concatenate([np.asarray(prompt), extra])
+
+
+@pytest.fixture()
+def tok():
+    return WordTokenizer(["red", "blue", "green", "answer", "is", "the"])
+
+
+@pytest.fixture()
+def model(tok):
+    return _BigramModel(tok.vocab_size, tok.id_of("red"))
+
+
+class TestScoreContinuations:
+    def test_favourite_token_scores_highest(self, tok, model):
+        scores = score_continuations(model, tok, "the answer is", ["red", "blue", "green"])
+        assert np.argmax(scores) == 0
+
+    def test_scores_are_log_probabilities(self, tok, model):
+        scores = score_continuations(model, tok, "the answer is", ["red"])
+        assert scores[0] <= 0.0
+
+    def test_longer_continuation_accumulates(self, tok, model):
+        one = score_continuations(model, tok, "the", ["red"])[0]
+        two = score_continuations(model, tok, "the", ["red red"])[0]
+        assert two == pytest.approx(2 * one, rel=1e-5)
+
+    def test_batching_consistent(self, tok, model):
+        choices = ["red", "blue", "green", "is", "the", "answer"]
+        a = score_continuations(model, tok, "the", choices, batch_size=2)
+        b = score_continuations(model, tok, "the", choices, batch_size=16)
+        assert np.allclose(a, b, atol=1e-5)
+
+    def test_empty_choice_rejected(self, tok, model):
+        with pytest.raises(EvaluationError):
+            score_continuations(model, tok, "the", [""])
+
+
+class TestMultipleChoiceTask:
+    def test_item_answer_index_validated(self):
+        with pytest.raises(EvaluationError):
+            MultipleChoiceItem(context="c", choices=("a", "b"), answer_index=2)
+
+    def test_accuracy_all_correct(self, tok, model):
+        items = [
+            MultipleChoiceItem("the answer is", ("red", "blue"), 0)
+            for _ in range(5)
+        ]
+        result = MultipleChoiceTask("demo", items).evaluate(model, tok)
+        assert result.value == 1.0
+        assert result.n_items == 5
+
+    def test_accuracy_all_wrong(self, tok, model):
+        items = [
+            MultipleChoiceItem("the answer is", ("blue", "red"), 0)
+            for _ in range(4)
+        ]
+        result = MultipleChoiceTask("demo", items).evaluate(model, tok)
+        assert result.value == 0.0
+
+    def test_limit(self, tok, model):
+        items = [
+            MultipleChoiceItem("the", ("red", "blue"), 0) for _ in range(10)
+        ]
+        result = MultipleChoiceTask("demo", items).evaluate(model, tok, limit=3)
+        assert result.n_items == 3
+
+    def test_length_normalization_changes_metric_name(self, tok, model):
+        items = [MultipleChoiceItem("the", ("red", "blue"), 0)]
+        result = MultipleChoiceTask("demo", items, length_normalize=True).evaluate(model, tok)
+        assert result.metric == "acc_norm"
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(EvaluationError):
+            MultipleChoiceTask("demo", [])
+
+    def test_result_str(self, tok, model):
+        items = [MultipleChoiceItem("the", ("red", "blue"), 0)]
+        text = str(MultipleChoiceTask("demo", items).evaluate(model, tok))
+        assert "demo" in text and "acc" in text
+
+
+class TestGenerativeTask:
+    def test_exact_match_scores(self, tok, model):
+        good = GenerativeItem(prompt="the answer is", answer="red")
+        bad = GenerativeItem(prompt="the answer is", answer="blue")
+        task = GenerativeTask("gen", [good, bad])
+        result = task.evaluate(model, tok)
+        assert result.value == 0.5
+        assert result.metric == "exact_match"
+
+    def test_predict_returns_first_word(self, tok, model):
+        task = GenerativeTask("gen", [GenerativeItem("the", "red")], max_new_tokens=3)
+        assert task.predict(model, tok, task.items[0]) == "red"

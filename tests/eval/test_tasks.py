@@ -1,0 +1,176 @@
+"""Benchmark-suite construction: item validity for all seven tasks."""
+
+import numpy as np
+import pytest
+
+from repro.data.world import CITIES, COUNTRIES, SCRIPTS
+from repro.eval import BENCHMARK_NAMES, PAPER_TABLE3, build_suite, build_task
+from repro.eval.task import GenerativeTask, MultipleChoiceTask
+from repro.eval.tasks import (
+    build_arc_challenge,
+    build_arc_easy,
+    build_gsm8k,
+    build_hellaswag,
+    build_mmlu,
+    build_truthfulqa,
+    build_winogrande,
+)
+
+
+class TestSuiteConstruction:
+    def test_all_seven_benchmarks(self, world):
+        suite = build_suite(world)
+        assert set(suite) == set(BENCHMARK_NAMES)
+        assert set(PAPER_TABLE3) == set(BENCHMARK_NAMES)
+
+    def test_n_items_override(self, world):
+        suite = build_suite(world, n_items=17)
+        assert all(len(task) == 17 for task in suite.values())
+
+    def test_unknown_task_rejected(self, world):
+        with pytest.raises(KeyError):
+            build_task("squad", world)
+
+    def test_deterministic(self, world):
+        a = build_arc_easy(world, n_items=20)
+        b = build_arc_easy(world, n_items=20)
+        assert [i.context for i in a.items] == [i.context for i in b.items]
+
+
+class TestArcEasy:
+    def test_answers_are_correct_facts(self, world):
+        task = build_arc_easy(world, n_items=50)
+        for item in task.items:
+            answer = item.choices[item.answer_index]
+            if "capital" in item.context:
+                country = item.context.split("of ")[1].split(" ?")[0]
+                assert world.capital_of[country] == answer
+            else:
+                name = item.context.split("does ")[1].split(" live")[0]
+                assert world.person(name).city == answer
+
+    def test_choices_unique(self, world):
+        for item in build_arc_easy(world, n_items=50).items:
+            assert len(set(item.choices)) == len(item.choices)
+
+    def test_no_myth_countries(self, world):
+        for item in build_arc_easy(world, n_items=100).items:
+            if "capital" in item.context:
+                country = item.context.split("of ")[1].split(" ?")[0]
+                assert country not in world.myth_capital_of
+
+
+class TestArcChallenge:
+    def test_two_hop_answers(self, world):
+        task = build_arc_challenge(world, n_items=50)
+        for item in task.items:
+            name = item.context.split("does ")[1].split(" live")[0]
+            assert item.choices[item.answer_index] == world.country_of_person(name)
+
+    def test_heldout_fraction_respected(self, world):
+        task = build_arc_challenge(world, n_items=200, heldout_fraction=1.0)
+        heldout = set(world.qa_heldout_people)
+        for item in task.items:
+            name = item.context.split("does ")[1].split(" live")[0]
+            assert name in heldout
+
+    def test_choices_are_countries(self, world):
+        for item in build_arc_challenge(world, n_items=30).items:
+            assert all(c in COUNTRIES for c in item.choices)
+
+
+class TestHellaswag:
+    def test_correct_ending_matches_script(self, world):
+        task = build_hellaswag(world, n_items=50)
+        endings = {f"{result}" for _, _, result in SCRIPTS}
+        for item in task.items:
+            answer = item.choices[item.answer_index]
+            activity = item.context.split(". ")[1].strip()
+            name = item.context.split(" goes")[0]
+            matching = [r for l, a, r in SCRIPTS if f"{name} {a} ." == activity]
+            assert len(matching) == 1
+            assert answer == f"{name} {matching[0]} ."
+
+    def test_distractors_same_person(self, world):
+        for item in build_hellaswag(world, n_items=30).items:
+            name = item.context.split(" goes")[0]
+            assert all(c.startswith(name + " ") for c in item.choices)
+
+
+class TestMMLU:
+    def test_questions_about_heldout_people(self, world):
+        heldout = set(world.qa_heldout_people)
+        for item in build_mmlu(world, n_items=60).items:
+            name = [w for w in item.context.split() if w in {p.name for p in world.people}]
+            assert name and name[0] in heldout
+
+    def test_answer_is_true_fact(self, world):
+        task = build_mmlu(world, n_items=80)
+        for item in task.items:
+            answer = item.choices[item.answer_index]
+            assert answer in item.context or True  # answer is not in the prompt
+            assert answer not in item.context.split()
+
+
+class TestTruthfulQA:
+    def test_truth_and_myth_both_present(self, world):
+        task = build_truthfulqa(world, n_items=40)
+        for item in task.items:
+            country = item.context.split("of ")[1].split(" ?")[0]
+            truth = world.capital_of[country]
+            myth = world.myth_capital_of[country]
+            assert truth in item.choices
+            assert myth in item.choices
+            assert item.choices[item.answer_index] == truth
+
+    def test_only_myth_countries_used(self, world):
+        for item in build_truthfulqa(world, n_items=40).items:
+            country = item.context.split("of ")[1].split(" ?")[0]
+            assert country in world.myth_capital_of
+
+
+class TestWinogrande:
+    def test_binary_choice(self, world):
+        task = build_winogrande(world, n_items=40)
+        for item in task.items:
+            assert len(item.choices) == 2
+
+    def test_holder_is_answer(self, world):
+        for item in build_winogrande(world, n_items=60).items:
+            words = item.context.split()
+            holder = words[words.index("has") - 1]
+            assert item.choices[item.answer_index] == f"{holder} ."
+
+    def test_holder_position_varies(self, world):
+        """The holder must not always be the first-introduced person."""
+        first_count = 0
+        items = build_winogrande(world, n_items=100).items
+        for item in items:
+            words = item.context.split()
+            first_person = words[0]
+            holder = words[words.index("has") - 1]
+            if holder == first_person:
+                first_count += 1
+        assert 20 < first_count < 80
+
+
+class TestGSM8K:
+    def test_generative_with_numeric_answers(self, world):
+        task = build_gsm8k(world, n_items=30)
+        assert isinstance(task, GenerativeTask)
+        for item in task.items:
+            assert item.answer.isdigit()
+            assert 2 <= int(item.answer) <= 20
+
+    def test_n_shots_in_prompt(self, world):
+        task = build_gsm8k(world, n_items=5, n_shots=8)
+        for item in task.items:
+            # 8 complete stories plus the open question at the end.
+            assert item.prompt.count(" now has") == 9
+            assert item.prompt.endswith(" now has")
+
+    def test_answer_consistent_with_story(self, world):
+        for item in build_gsm8k(world, n_items=30).items:
+            tail = item.prompt.split(" . ")[-3:]
+            numbers = [int(w) for w in " ".join(tail).split() if w.isdigit()]
+            assert numbers[-2] + numbers[-1] == int(item.answer)

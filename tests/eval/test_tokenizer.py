@@ -1,0 +1,89 @@
+"""Word-level tokenizer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.tokenizer import SPECIAL_TOKENS, WordTokenizer
+
+
+@pytest.fixture()
+def tok():
+    return WordTokenizer(["apple", "banana", "cherry"])
+
+
+class TestVocabulary:
+    def test_specials_first(self, tok):
+        assert tok.pad_id == 0
+        assert tok.word_of(0) == "<pad>"
+        assert tok.vocab_size == len(SPECIAL_TOKENS) + 3
+
+    def test_word_round_trip(self, tok):
+        for word in ("apple", "banana", "cherry"):
+            assert tok.word_of(tok.id_of(word)) == word
+
+    def test_unknown_maps_to_unk(self, tok):
+        assert tok.id_of("durian") == tok.unk_id
+
+    def test_contains(self, tok):
+        assert "apple" in tok
+        assert "durian" not in tok
+
+    def test_collision_with_special_rejected(self):
+        with pytest.raises(EvaluationError):
+            WordTokenizer(["<pad>", "apple"])
+
+    def test_duplicates_deduped(self):
+        tok = WordTokenizer(["a", "a", "b"])
+        assert tok.vocab_size == len(SPECIAL_TOKENS) + 2
+
+    def test_word_of_out_of_range(self, tok):
+        with pytest.raises(EvaluationError):
+            tok.word_of(999)
+
+
+class TestEncodeDecode:
+    def test_encode_adds_bos(self, tok):
+        ids = tok.encode("apple banana")
+        assert ids[0] == tok.bos_id
+        assert len(ids) == 3
+
+    def test_encode_eos(self, tok):
+        ids = tok.encode("apple", add_bos=False, add_eos=True)
+        assert ids == [tok.id_of("apple"), tok.eos_id]
+
+    def test_decode_skips_specials(self, tok):
+        ids = tok.encode("apple cherry", add_bos=True, add_eos=True)
+        assert tok.decode(ids) == "apple cherry"
+
+    def test_decode_keeps_specials_when_asked(self, tok):
+        ids = [tok.bos_id, tok.id_of("apple")]
+        assert tok.decode(ids, skip_special=False) == "<bos> apple"
+
+    def test_round_trip(self, tok):
+        text = "banana apple cherry"
+        assert tok.decode(tok.encode(text)) == text
+
+
+class TestBatch:
+    def test_padding_and_mask(self, tok):
+        ids, mask = tok.encode_batch(["apple", "apple banana cherry"])
+        assert ids.shape == mask.shape == (2, 4)
+        assert ids[0, 2] == tok.pad_id
+        assert mask[0].tolist() == [False, False, True, True]
+        assert not mask[1].any()
+
+    def test_empty_batch_rejected(self, tok):
+        with pytest.raises(EvaluationError):
+            tok.encode_batch([])
+
+
+class TestState:
+    def test_state_round_trip(self, tok):
+        clone = WordTokenizer.from_state(tok.state())
+        assert clone.state() == tok.state()
+        assert clone.id_of("banana") == tok.id_of("banana")
+
+    def test_bad_state_rejected(self):
+        with pytest.raises(EvaluationError):
+            WordTokenizer.from_state(["apple", "banana"])

@@ -1,0 +1,76 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.ascii_chart import bar_chart, scatter_series, sparkline
+
+
+class TestBarChart:
+    def test_renders_rows(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a ")
+        assert "#" in lines[1]
+
+    def test_longest_bar_for_max_value(self):
+        text = bar_chart(["x", "y"], [5.0, 10.0], width=10)
+        rows = text.splitlines()
+        assert rows[1].count("#") == 10
+        assert rows[0].count("#") == 5
+
+    def test_explicit_max(self):
+        text = bar_chart(["x"], [5.0], width=10, max_value=10.0)
+        assert text.count("#") == 5
+
+    def test_negative_clamped(self):
+        text = bar_chart(["x"], [-2.0], width=10)
+        assert "#" not in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ConfigError):
+            bar_chart([], [])
+
+
+class TestScatterSeries:
+    def test_renders_grid(self):
+        text = scatter_series([0, 1, 2], {"acc": [0.2, 0.5, 0.9]}, height=6, width=20)
+        assert "A" in text
+        assert "acc" in text
+
+    def test_two_series_distinct_markers(self):
+        text = scatter_series(
+            [0, 1], {"alpha": [0.0, 1.0], "apple": [1.0, 0.0]}, height=5, width=10
+        )
+        assert "A=alpha" in text and "B=apple" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            scatter_series([0, 1], {"a": [1.0]})
+
+    def test_constant_series_ok(self):
+        text = scatter_series([0, 1], {"flat": [0.5, 0.5]})
+        assert "F" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            scatter_series([0], {})
+
+
+class TestSparkline:
+    def test_monotone_values(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_constant(self):
+        assert sparkline([1.0, 1.0]) == "@@"
+
+    def test_empty(self):
+        with pytest.raises(ConfigError):
+            sparkline([])

@@ -1,0 +1,139 @@
+"""Extension experiments: fine-tuning recovery, BERT sensitivity,
+Definition 1 on the real model, and the CP-vs-Tucker ablation."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import (
+    DecompositionConfig,
+    cp_matrix,
+    cp_parameters,
+    decomposed,
+    design_goal_search,
+    factorized_parameters,
+    relative_error,
+    scaled_table4,
+    tucker2,
+)
+from repro.experiments.bert_sensitivity import (
+    format_bert_sensitivity,
+    run_bert_tensor_sensitivity,
+)
+from repro.experiments.finetune import format_finetune_recovery, run_finetune_recovery
+
+
+class TestFinetuneRecovery:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_finetune_recovery(
+            reduction_target=15, reference_target=9, steps=60, limit=30
+        )
+
+    def test_finetuning_recovers_accuracy(self, result):
+        """Section 6: fine-tuning claws back accuracy of the compressed
+        model (the paper recovers a 15% model to a 9% model's level)."""
+        assert result.mean_finetuned > result.mean_decomposed
+
+    def test_reaches_reference_band(self, result):
+        """Fine-tuned 15%-recipe should approach the untouched 9%-recipe."""
+        assert result.mean_finetuned > result.mean_reference - 0.12
+
+    def test_report_renders(self, result):
+        text = format_finetune_recovery(result)
+        assert "fine-tuned" in text and "mean" in text
+
+    def test_actual_reduction_recorded(self, result):
+        assert 0.10 < result.actual_reduction < 0.60
+
+
+class TestBertSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_bert_tensor_sensitivity(n_sentences=96)
+
+    def test_baseline_well_above_chance(self, result):
+        assert result["baseline"] > 0.3
+
+    def test_every_role_measured(self, result):
+        roles = {p.role for p in result["points"]}
+        assert roles == {"w_q", "w_k", "w_v", "w_so", "w_int", "w_out"}
+
+    def test_decomposition_hurts_mlm(self, result):
+        for point in result["points"]:
+            assert point.mlm_accuracy <= result["baseline"] + 0.05
+
+    def test_mlp_group_at_least_as_sensitive_as_attention(self, result):
+        """The paper: W_Int (an MLP tensor) is BERT's most sensitive role."""
+        by_role = {p.role: p.mlm_accuracy for p in result["points"]}
+        mlp_worst = min(by_role["w_int"], by_role["w_out"])
+        attn_best = max(by_role[r] for r in ("w_q", "w_k", "w_v", "w_so"))
+        assert mlp_worst <= attn_best + 0.05
+
+    def test_report_renders(self, result):
+        assert "baseline" in format_bert_sensitivity(result)
+
+
+class TestDesignGoalOnRealModel:
+    def test_definition1_end_to_end(self, trained_llama):
+        """Run Definition 1 with live accuracy evaluation on the tiny model
+        and the analytic hardware profile of its own configuration."""
+        from repro.eval import build_suite, evaluate_suite
+        from repro.experiments import get_world
+
+        model, tokenizer = trained_llama
+        suite = build_suite(get_world(), names=("arc_easy", "winogrande"))
+        recipes = scaled_table4(model.config.n_layers)
+        candidates = [DecompositionConfig.identity()] + [
+            DecompositionConfig.all_tensors(model.config, recipes[t], rank=1)
+            for t in (9, 21, 96)
+        ]
+
+        def accuracy_fn(config):
+            if config.is_identity:
+                return evaluate_suite(model, tokenizer, suite, limit=25).mean_accuracy
+            with decomposed(model, config):
+                return evaluate_suite(model, tokenizer, suite, limit=25).mean_accuracy
+
+        baseline = accuracy_fn(DecompositionConfig.identity())
+        result = design_goal_search(
+            model.config, candidates, accuracy_fn, baseline, tolerance=0.25
+        )
+        assert result.satisfied
+        # The 96% recipe destroys accuracy and must be infeasible.
+        assert all(len(o.config.layers) < 12 for o in result.feasible)
+        # The winner satisfies the Definition 1 constraint.
+        assert result.best.accuracy_drop(baseline) < 0.25
+        # Note: on a dim-64 model the analytic profiler can rank the
+        # *identity* as the EDP winner — at this width, kernel-launch
+        # overhead of the 3-GEMM factorized chain outweighs the FLOP
+        # savings.  That is a real effect (the same one that caps the
+        # paper's measured savings at ~0.5%/1%), so we do not require a
+        # compressed winner here; the paper-scale profile (Fig 10 bench)
+        # shows compressed configs winning.
+        assert result.best.energy_delay_product <= min(
+            o.energy_delay_product for o in result.feasible
+        )
+
+
+class TestCPvsTuckerAblation:
+    def test_matched_parameter_budget_comparison(self, trained_llama):
+        """On a *trained* weight matrix, compare reconstruction error of
+        Tucker-2 and CP at (approximately) matched parameter budgets.  For
+        matrices both reduce to truncated SVD subspaces, so CP's lack of a
+        core lets it afford an equal or higher rank — its error is never
+        worse at the same budget."""
+        model, _ = trained_llama
+        owner, attr = model.tensor_slot(5, "w_d")
+        weight = getattr(owner, attr).weight.data  # (176, 64) trained matrix
+        h, w = weight.shape
+
+        for tucker_rank in (1, 4, 8):
+            budget = factorized_parameters(h, w, tucker_rank)
+            cp_rank = max(1, budget // (h + w + 1))
+            assert cp_parameters((h, w), cp_rank) <= budget + (h + w + 1)
+
+            u1, core, u2 = tucker2(weight, tucker_rank, method="svd")
+            tucker_error = relative_error(weight, u1 @ core @ u2)
+            a, s, b = cp_matrix(weight, cp_rank)
+            cp_error = relative_error(weight, a @ np.diag(s) @ b.T)
+            assert cp_error <= tucker_error + 1e-9

@@ -1,0 +1,72 @@
+"""Shared pretrained-model fixtures and caching."""
+
+import numpy as np
+
+from repro.experiments.pretrained import (
+    fresh_tiny_llama,
+    get_corpus,
+    get_tokenizer,
+    get_world,
+    pretrained_tiny_llama,
+)
+
+
+class TestSharedFixtures:
+    def test_world_is_cached_singleton(self):
+        assert get_world() is get_world()
+
+    def test_corpus_cached(self):
+        assert get_corpus() is get_corpus()
+        assert len(get_corpus()) > 1000
+
+    def test_tokenizer_covers_corpus(self):
+        tokenizer = get_tokenizer()
+        for sentence in get_corpus()[:100]:
+            assert tokenizer.unk_id not in tokenizer.encode(sentence)
+
+
+class TestPretrainedLlama:
+    def test_model_and_tokenizer_agree(self, trained_llama):
+        model, tokenizer = trained_llama
+        assert model.config.vocab_size == tokenizer.vocab_size
+
+    def test_model_actually_learned(self, trained_llama):
+        """Perplexity on corpus sentences must beat the uniform baseline by
+        a wide margin — the checkpoint carries real knowledge."""
+        model, tokenizer = trained_llama
+        corpus = get_corpus()
+        losses = []
+        for sentence in corpus[:20]:
+            ids = np.asarray(tokenizer.encode(sentence, add_eos=True))[None, :]
+            losses.append(model.loss(ids).item())
+        uniform = np.log(tokenizer.vocab_size)
+        assert np.mean(losses) < uniform / 3
+
+    def test_fresh_copy_is_independent(self, trained_llama):
+        model, tokenizer = trained_llama
+        copy, _ = fresh_tiny_llama()
+        assert copy is not model
+        tokens = np.random.default_rng(0).integers(1, tokenizer.vocab_size, size=(1, 6))
+        assert np.allclose(copy(tokens).data, model(tokens).data, atol=1e-6)
+        copy.embed.weight.data[:] = 0.0
+        assert not np.allclose(copy(tokens).data, model(tokens).data)
+
+    def test_eval_mode(self, trained_llama):
+        model, _ = trained_llama
+        assert not model.training
+
+
+class TestPretrainedBert:
+    def test_learned_mlm(self, trained_bert):
+        """The trained BERT should reconstruct masked corpus tokens far
+        better than chance."""
+        model, tokenizer = trained_bert
+        from repro.training import mask_tokens
+
+        rng = np.random.default_rng(0)
+        sentences = get_corpus()[:64]
+        ids, pad = tokenizer.encode_batch(sentences[:16], add_eos=True)
+        real = ~pad
+        corrupted, targets = mask_tokens(ids, real, tokenizer, rng, mask_prob=0.2)
+        accuracy = model.mlm_accuracy(corrupted, targets)
+        assert accuracy > 0.3  # chance is ~1/vocab ~ 0.5%

@@ -1,0 +1,35 @@
+"""The markdown report generator."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import DEFAULT_ARTIFACTS, generate_report
+
+
+class TestGenerateReport:
+    def test_tables_only_report(self, tmp_path):
+        path = tmp_path / "RESULTS.md"
+        report = generate_report(
+            artifacts=("table1", "table2", "table4"), path=path
+        )
+        assert path.exists()
+        assert path.read_text() == report
+        assert "Table 1" in report
+        assert "O(2^37)" in report
+        assert report.count("```") == 6
+
+    def test_accuracy_artifact_respects_limit(self, trained_llama):
+        report = generate_report(artifacts=("fig7",), limit=10)
+        assert "aggregate accuracy" in report
+
+    def test_default_artifacts_registered(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        for artifact in DEFAULT_ARTIFACTS:
+            assert artifact in EXPERIMENTS
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = tmp_path / "deep" / "RESULTS.md"
+        generate_report(artifacts=("table2",), path=path)
+        assert path.exists()

@@ -1,0 +1,116 @@
+"""GPU specs and workload extraction."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import DecompositionConfig, table4_layers
+from repro.errors import HardwareModelError
+from repro.hwmodel import (
+    A100_80GB,
+    GPUSpec,
+    available_gpus,
+    build_workload,
+    get_gpu,
+    split_tensor_parallel,
+)
+from repro.models import LLAMA2_7B, get_config
+
+
+class TestDeviceRegistry:
+    def test_known_gpus(self):
+        for name in ("a100-80gb", "a100-40gb", "h100-80gb", "v100-32gb"):
+            assert name in available_gpus()
+            assert get_gpu(name).name == name
+
+    def test_unknown_gpu_rejected(self):
+        with pytest.raises(HardwareModelError):
+            get_gpu("tpu-v5")
+
+    def test_a100_paper_parameters(self):
+        """The paper's testbed: A100-80GB with a 300 W cap."""
+        assert A100_80GB.tdp_watts == 300.0
+        assert A100_80GB.hbm_bytes == 80 * 1024**3
+
+    def test_ridge_point_positive(self):
+        assert A100_80GB.ridge_intensity > 0
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(HardwareModelError):
+            GPUSpec(
+                name="bad", peak_fp16_tflops=-1, hbm_bytes=1,
+                hbm_bandwidth_gbs=1, tdp_watts=100, idle_watts=10,
+                nvlink_bandwidth_gbs=10,
+            )
+
+    def test_idle_below_tdp_enforced(self):
+        with pytest.raises(HardwareModelError):
+            GPUSpec(
+                name="bad", peak_fp16_tflops=100, hbm_bytes=1,
+                hbm_bandwidth_gbs=100, tdp_watts=100, idle_watts=150,
+                nvlink_bandwidth_gbs=10,
+            )
+
+
+class TestWorkload:
+    def test_flops_match_mac_counter(self):
+        """Workload GEMM FLOPs equal 2x the analytic MAC count."""
+        from repro.analysis import model_macs
+
+        workload = build_workload(LLAMA2_7B, batch=1, seq_len=128)
+        assert workload.flops == pytest.approx(2.0 * model_macs(LLAMA2_7B), rel=1e-9)
+
+    def test_weight_bytes_close_to_matmul_parameters(self):
+        workload = build_workload(LLAMA2_7B, batch=1, seq_len=128)
+        # Weight traffic ~= all GEMM parameters in FP16 (embeddings excluded).
+        matmul_params = 32 * (4 * 4096**2 + 3 * 4096 * 11008) + 4096 * 32000
+        assert workload.weight_bytes == pytest.approx(2 * matmul_params, rel=0.01)
+
+    def test_decomposition_reduces_weight_bytes_and_flops(self):
+        config = DecompositionConfig.all_tensors(LLAMA2_7B, table4_layers(33), rank=1)
+        dense = build_workload(LLAMA2_7B, 4, 128)
+        treated = build_workload(LLAMA2_7B, 4, 128, decomposition=config)
+        assert treated.weight_bytes < dense.weight_bytes
+        assert treated.flops < dense.flops
+
+    def test_decomposition_adds_kernels(self):
+        config = DecompositionConfig.all_tensors(LLAMA2_7B, table4_layers(9), rank=1)
+        dense = build_workload(LLAMA2_7B, 1, 128)
+        treated = build_workload(LLAMA2_7B, 1, 128, decomposition=config)
+        # Each decomposed tensor: 1 GEMM -> 3 GEMMs (+2 kernels each).
+        assert treated.n_kernels == dense.n_kernels + 2 * 3 * 7
+
+    def test_arithmetic_intensity_grows_with_batch(self):
+        small = build_workload(LLAMA2_7B, 1, 128)
+        large = build_workload(LLAMA2_7B, 64, 128)
+        ai_small = small.flops / small.total_bytes
+        ai_large = large.flops / large.total_bytes
+        assert ai_large > ai_small
+
+    def test_seq_len_guard(self):
+        with pytest.raises(HardwareModelError):
+            build_workload(LLAMA2_7B, 1, 100000)
+
+    def test_positive_shapes_guard(self):
+        with pytest.raises(HardwareModelError):
+            build_workload(LLAMA2_7B, 0, 128)
+
+    def test_macs_property(self):
+        workload = build_workload(get_config("bert-base"), 1, 128)
+        assert workload.macs == workload.flops / 2
+
+
+class TestTensorParallel:
+    def test_shards_divide_evenly(self):
+        workload = build_workload(LLAMA2_7B, 4, 128)
+        sharded = split_tensor_parallel(workload, 4)
+        assert sharded.flops == pytest.approx(workload.flops / 4)
+        assert sharded.weight_bytes == pytest.approx(workload.weight_bytes / 4)
+
+    def test_single_gpu_identity(self):
+        workload = build_workload(LLAMA2_7B, 1, 128)
+        assert split_tensor_parallel(workload, 1) is workload
+
+    def test_invalid_count(self):
+        workload = build_workload(LLAMA2_7B, 1, 128)
+        with pytest.raises(HardwareModelError):
+            split_tensor_parallel(workload, 0)

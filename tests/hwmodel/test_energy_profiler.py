@@ -1,0 +1,132 @@
+"""Energy model, power traces, and the end-to-end profiler."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import DecompositionConfig, table4_layers
+from repro.errors import HardwareModelError
+from repro.hwmodel import (
+    A100_80GB,
+    PowerTraceSimulator,
+    ServingConfig,
+    compare_to_baseline,
+    energy_joules,
+    measure_energy_like_paper,
+    power_at_utilization,
+    profile,
+)
+from repro.models import LLAMA2_7B
+
+
+class TestPowerModel:
+    def test_idle_and_max(self):
+        assert power_at_utilization(A100_80GB, 0.0) == A100_80GB.idle_watts
+        assert power_at_utilization(A100_80GB, 1.0) == A100_80GB.tdp_watts
+
+    def test_invalid_utilization(self):
+        with pytest.raises(HardwareModelError):
+            power_at_utilization(A100_80GB, 1.5)
+
+    def test_energy_closed_form(self):
+        assert energy_joules(2.0, A100_80GB, 1.0, n_gpus=4) == pytest.approx(
+            2.0 * 300.0 * 4
+        )
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(HardwareModelError):
+            energy_joules(-1.0, A100_80GB)
+
+
+class TestPowerTrace:
+    def test_trace_integration_matches_closed_form(self):
+        """The paper's area-under-the-power-curve equals P*t at saturation."""
+        simulator = PowerTraceSimulator(A100_80GB, meter_noise_watts=0.0, seed=0)
+        trace = simulator.run(batch_latency_s=1.0, n_batches=50)
+        expected = A100_80GB.tdp_watts * trace.duration_s
+        assert trace.energy_joules() == pytest.approx(expected, rel=0.01)
+
+    def test_noise_averages_out(self):
+        simulator = PowerTraceSimulator(A100_80GB, meter_noise_watts=5.0, seed=1)
+        trace = simulator.run(batch_latency_s=1.0, n_batches=100)
+        assert trace.mean_watts == pytest.approx(A100_80GB.tdp_watts, rel=0.02)
+
+    def test_gaps_lower_mean_power(self):
+        simulator = PowerTraceSimulator(A100_80GB, meter_noise_watts=0.0, seed=2)
+        busy = simulator.run(1.0, 20, gap_s=0.0).mean_watts
+        gappy = simulator.run(1.0, 20, gap_s=1.0).mean_watts
+        assert gappy < busy
+
+    def test_measure_like_paper_runs_two_minutes(self):
+        per_batch, trace = measure_energy_like_paper(A100_80GB, batch_latency_s=3.0)
+        assert trace.duration_s >= 118.0
+        assert per_batch == pytest.approx(3.0 * A100_80GB.tdp_watts, rel=0.05)
+
+    def test_invalid_run_rejected(self):
+        simulator = PowerTraceSimulator(A100_80GB)
+        with pytest.raises(HardwareModelError):
+            simulator.run(0.0, 10)
+
+
+class TestProfiler:
+    def test_baseline_profile_sane(self):
+        result = profile(LLAMA2_7B)
+        assert result.latency_s > 0
+        assert result.energy_j > 0
+        assert 0 < result.memory_per_gpu_gb < 80
+        assert result.throughput_tokens_per_s > 0
+
+    def test_paper_slopes(self):
+        """~0.5% latency & energy and ~0.4% memory per 1% parameters.
+
+        The paper's Section 4.4: 'for every 1% reduction in the model's
+        parameters, there is a proportional decrease of 0.5% in inference
+        latency and energy consumption; memory usage decreases by 0.4%'.
+        """
+        for target in (9, 21, 33):
+            config = DecompositionConfig.all_tensors(
+                LLAMA2_7B, table4_layers(target), rank=1
+            )
+            comparison = compare_to_baseline(LLAMA2_7B, config)
+            latency_slope = 100 * comparison["latency_saving"] / target
+            memory_slope = 100 * comparison["memory_saving"] / target
+            assert 0.35 <= latency_slope <= 0.65
+            assert comparison["energy_saving"] == pytest.approx(
+                comparison["latency_saving"], abs=1e-9
+            )
+            assert 0.25 <= memory_slope <= 0.55
+
+    def test_savings_monotone_in_reduction(self):
+        savings = []
+        for target in (6, 21, 48, 96):
+            config = DecompositionConfig.all_tensors(
+                LLAMA2_7B, table4_layers(target), rank=1
+            )
+            savings.append(compare_to_baseline(LLAMA2_7B, config)["latency_saving"])
+        assert savings == sorted(savings)
+
+    def test_speedup_above_one(self):
+        config = DecompositionConfig.all_tensors(LLAMA2_7B, table4_layers(9), rank=1)
+        assert compare_to_baseline(LLAMA2_7B, config)["speedup"] > 1.0
+
+    def test_tensor_parallel_mode(self):
+        serving = ServingConfig(parallelism="tensor", per_gpu_batch=64)
+        result = profile(LLAMA2_7B, serving)
+        assert result.latency_s > 0
+        # Sharded weights: each GPU holds a quarter of the model.
+        assert result.memory.weights == pytest.approx(
+            profile(LLAMA2_7B).memory.weights / 4, rel=1e-6
+        )
+
+    def test_invalid_serving_rejected(self):
+        with pytest.raises(HardwareModelError):
+            ServingConfig(parallelism="pipeline")
+        with pytest.raises(HardwareModelError):
+            ServingConfig(host_overhead_fraction=1.0)
+
+    def test_decomposition_never_slower(self):
+        for target in (6, 48, 96):
+            config = DecompositionConfig.all_tensors(
+                LLAMA2_7B, table4_layers(target), rank=1
+            )
+            comparison = compare_to_baseline(LLAMA2_7B, config)
+            assert comparison["decomposed"].latency_s <= comparison["baseline"].latency_s

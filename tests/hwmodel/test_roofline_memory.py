@@ -1,0 +1,116 @@
+"""Roofline timing and the memory-footprint model."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import DecompositionConfig, table4_layers
+from repro.errors import HardwareModelError
+from repro.hwmodel import (
+    A100_80GB,
+    Op,
+    activation_bytes,
+    build_workload,
+    kv_cache_bytes,
+    max_batch_size,
+    memory_bound_fraction,
+    memory_footprint,
+    model_weight_bytes,
+    time_op,
+    workload_latency,
+)
+from repro.models import LLAMA2_7B, get_config
+from repro.models.params import BYTES_PER_PARAM_FP16, total_parameters
+
+
+class TestRoofline:
+    def test_latency_at_least_both_bounds(self):
+        op = Op("gemm", flops=1e12, weight_bytes=1e9, activation_bytes=1e8)
+        timing = time_op(op, A100_80GB)
+        assert timing.latency_s >= timing.compute_s
+        assert timing.latency_s >= timing.memory_s
+
+    def test_memory_bound_classification(self):
+        streaming = Op("copy", flops=0.0, weight_bytes=0.0, activation_bytes=1e9)
+        assert time_op(streaming, A100_80GB).memory_bound
+        dense = Op("gemm", flops=1e13, weight_bytes=1e6, activation_bytes=1e6)
+        assert not time_op(dense, A100_80GB).memory_bound
+
+    def test_decode_workload_is_memory_bound(self):
+        """Section 2.2: single-token decode streams all weights per token."""
+        workload = build_workload(LLAMA2_7B, batch=1, seq_len=1)
+        assert memory_bound_fraction(workload, A100_80GB) > 0.9
+
+    def test_large_batch_mostly_compute_bound(self):
+        workload = build_workload(LLAMA2_7B, batch=512, seq_len=128)
+        assert memory_bound_fraction(workload, A100_80GB) < 0.3
+
+    def test_latency_monotone_in_batch(self):
+        latencies = [
+            workload_latency(build_workload(LLAMA2_7B, b, 128), A100_80GB)
+            for b in (1, 8, 64)
+        ]
+        assert latencies == sorted(latencies)
+
+    def test_h100_faster_than_v100(self):
+        from repro.hwmodel import H100_80GB, V100_32GB
+
+        workload = build_workload(LLAMA2_7B, 16, 128)
+        assert workload_latency(workload, H100_80GB) < workload_latency(workload, V100_32GB)
+
+
+class TestMemoryModel:
+    def test_weight_bytes_match_param_count(self):
+        assert model_weight_bytes(LLAMA2_7B) == (
+            BYTES_PER_PARAM_FP16 * total_parameters(LLAMA2_7B)
+        )
+
+    def test_decomposition_shrinks_weights(self):
+        config = DecompositionConfig.all_tensors(LLAMA2_7B, table4_layers(33), rank=1)
+        assert model_weight_bytes(LLAMA2_7B, config) < model_weight_bytes(LLAMA2_7B)
+
+    def test_kv_cache_formula(self):
+        got = kv_cache_bytes(LLAMA2_7B, batch=2, seq_len=100)
+        assert got == 2 * 2 * 100 * 32 * 4096 * 2
+
+    def test_gqa_shrinks_kv_cache(self):
+        big = get_config("llama2-70b")
+        # 70B has 8 KV heads of 128 dims: kv_dim 1024 vs full dim 8192.
+        dense_equivalent = 2 * 1 * 128 * big.n_layers * big.dim * 2
+        assert kv_cache_bytes(big, 1, 128) == dense_equivalent // 8
+
+    def test_footprint_components_positive(self):
+        footprint = memory_footprint(LLAMA2_7B, A100_80GB, batch=8, seq_len=128)
+        assert footprint.weights > 0
+        assert footprint.activations > 0
+        assert footprint.framework > 0
+        assert footprint.total == pytest.approx(
+            footprint.weights + footprint.kv_cache + footprint.activations + footprint.framework
+        )
+
+    def test_as_gb_keys(self):
+        footprint = memory_footprint(LLAMA2_7B, A100_80GB, batch=1, seq_len=128)
+        gb = footprint.as_gb()
+        assert set(gb) == {
+            "weights_gb", "kv_cache_gb", "activations_gb", "framework_gb", "total_gb"
+        }
+
+    def test_capacity_guard(self):
+        with pytest.raises(HardwareModelError):
+            memory_footprint(LLAMA2_7B, A100_80GB, batch=100000, seq_len=128)
+
+    def test_tensor_parallel_shards_weights(self):
+        whole = memory_footprint(LLAMA2_7B, A100_80GB, 1, 128, n_gpus=1)
+        shard = memory_footprint(LLAMA2_7B, A100_80GB, 1, 128, n_gpus=4)
+        assert shard.weights == pytest.approx(whole.weights / 4)
+
+    def test_max_batch_size_fits(self):
+        batch = max_batch_size(LLAMA2_7B, A100_80GB, seq_len=128)
+        memory_footprint(LLAMA2_7B, A100_80GB, batch, 128)  # must not raise
+        with pytest.raises(HardwareModelError):
+            memory_footprint(LLAMA2_7B, A100_80GB, 2 * batch, 128)
+
+    def test_70b_does_not_fit_single_gpu(self):
+        big = get_config("llama2-70b")
+        with pytest.raises(HardwareModelError):
+            max_batch_size(big, A100_80GB, seq_len=128, n_gpus=1)
+        assert max_batch_size(big, A100_80GB, seq_len=128, n_gpus=4) >= 1

@@ -1,0 +1,57 @@
+"""GPU and batch-size sweeps."""
+
+import pytest
+
+from repro.decomposition import DecompositionConfig, table4_layers
+from repro.hwmodel import ServingConfig, sweep_batch_sizes, sweep_gpus
+from repro.models import LLAMA2_7B
+
+
+@pytest.fixture(scope="module")
+def gamma():
+    return DecompositionConfig.all_tensors(LLAMA2_7B, table4_layers(21), rank=1)
+
+
+class TestGPUSweep:
+    def test_covers_all_gpus_by_default(self, gamma):
+        points = sweep_gpus(LLAMA2_7B, gamma)
+        assert {p.gpu for p in points} == {
+            "a100-40gb", "a100-80gb", "h100-80gb", "v100-32gb"
+        }
+
+    def test_savings_transfer_across_gpus(self, gamma):
+        """Decomposition speeds up every SKU — the relative saving is a
+        property of the workload, not the device."""
+        for point in sweep_gpus(LLAMA2_7B, gamma):
+            assert point.speedup > 1.0
+            assert 0.05 < point.latency_saving < 0.35
+
+    def test_h100_fastest_baseline(self, gamma):
+        points = {p.gpu: p for p in sweep_gpus(LLAMA2_7B, gamma)}
+        assert points["h100-80gb"].baseline_latency_s < points["v100-32gb"].baseline_latency_s
+
+    def test_explicit_subset(self, gamma):
+        points = sweep_gpus(LLAMA2_7B, gamma, gpus=("a100-80gb",))
+        assert len(points) == 1
+
+
+class TestBatchSweep:
+    def test_throughput_increases_with_batch(self):
+        points = sweep_batch_sizes(LLAMA2_7B, batches=(1, 16, 256))
+        throughputs = [p.throughput_tokens_per_s for p in points]
+        assert throughputs == sorted(throughputs)
+
+    def test_memory_grows_with_batch(self):
+        points = sweep_batch_sizes(LLAMA2_7B, batches=(1, 64, 512))
+        memories = [p.memory_per_gpu_gb for p in points]
+        assert memories == sorted(memories)
+
+    def test_roofline_transition(self):
+        """Section 2.2: small batches memory-bound, large compute-bound."""
+        points = sweep_batch_sizes(LLAMA2_7B, batches=(1, 1024))
+        assert points[0].memory_bound_fraction > points[-1].memory_bound_fraction
+
+    def test_decomposed_sweep_runs(self):
+        gamma = DecompositionConfig.all_tensors(LLAMA2_7B, table4_layers(48), rank=1)
+        points = sweep_batch_sizes(LLAMA2_7B, batches=(4, 64), decomposition=gamma)
+        assert all(p.latency_s > 0 for p in points)

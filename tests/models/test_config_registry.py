@@ -1,0 +1,85 @@
+"""ModelConfig validation, tensor-role inventories, and the registry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import (
+    BERT_TENSOR_ROLES,
+    LLAMA2_7B,
+    LLAMA2_70B,
+    LLAMA_TENSOR_ROLES,
+    ModelConfig,
+    available_models,
+    get_config,
+)
+
+
+class TestModelConfig:
+    def test_llama_has_seven_roles(self):
+        assert LLAMA2_7B.tensor_roles == LLAMA_TENSOR_ROLES
+        assert LLAMA2_7B.n_tensors == 7
+
+    def test_bert_has_six_roles(self):
+        config = get_config("bert-base")
+        assert config.tensor_roles == BERT_TENSOR_ROLES
+        assert config.n_tensors == 6
+
+    def test_llama_tensor_shapes(self):
+        assert LLAMA2_7B.tensor_shape("w_q") == (4096, 4096)
+        assert LLAMA2_7B.tensor_shape("w_g") == (4096, 11008)
+        assert LLAMA2_7B.tensor_shape("w_d") == (11008, 4096)
+
+    def test_gqa_kv_shapes(self):
+        # Llama-2-70B uses 8 KV heads of head_dim 128 -> kv_dim 1024.
+        assert LLAMA2_70B.kv_dim == 1024
+        assert LLAMA2_70B.tensor_shape("w_k") == (8192, 1024)
+        assert LLAMA2_70B.tensor_shape("w_q") == (8192, 8192)
+
+    def test_bert_tensor_shapes(self):
+        config = get_config("bert-base")
+        assert config.tensor_shape("w_int") == (768, 3072)
+        assert config.tensor_shape("w_out") == (3072, 768)
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ConfigError):
+            LLAMA2_7B.tensor_shape("w_int")
+
+    def test_invalid_family_rejected(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(
+                name="x", family="gpt", vocab_size=10, dim=8,
+                n_layers=1, n_heads=2, mlp_hidden=16, max_seq_len=8,
+            )
+
+    def test_indivisible_heads_rejected(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(
+                name="x", family="llama", vocab_size=10, dim=10,
+                n_layers=1, n_heads=3, mlp_hidden=16, max_seq_len=8,
+            )
+
+    def test_with_vocab(self):
+        rebound = LLAMA2_7B.with_vocab(100)
+        assert rebound.vocab_size == 100
+        assert rebound.dim == LLAMA2_7B.dim
+
+    def test_head_dim(self):
+        assert LLAMA2_7B.head_dim == 128
+
+
+class TestRegistry:
+    def test_paper_scale_models_present(self):
+        names = available_models()
+        for expected in ("llama2-7b", "llama2-70b", "bert-base", "bert-large", "tiny-llama"):
+            assert expected in names
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigError):
+            get_config("gpt-5")
+
+    def test_published_hyperparameters(self):
+        assert LLAMA2_7B.n_layers == 32
+        assert LLAMA2_7B.dim == 4096
+        assert LLAMA2_70B.n_layers == 80
+        assert get_config("bert-base").n_layers == 12
+        assert get_config("bert-large").n_layers == 24

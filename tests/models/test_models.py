@@ -1,0 +1,114 @@
+"""Llama and BERT model structure and behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import BertModel, LlamaModel, build_model, get_config
+from repro.nn import FactorizedLinear, Linear
+
+
+class TestLlamaModel:
+    def test_forward_shape(self, micro_llama, tokenizer):
+        tokens = np.random.default_rng(0).integers(0, tokenizer.vocab_size, size=(2, 7))
+        logits = micro_llama(tokens)
+        assert logits.shape == (2, 7, tokenizer.vocab_size)
+
+    def test_rejects_1d_tokens(self, micro_llama):
+        with pytest.raises(ConfigError):
+            micro_llama(np.array([1, 2, 3]))
+
+    def test_loss_positive_and_finite(self, micro_llama, tokenizer):
+        tokens = np.random.default_rng(1).integers(1, tokenizer.vocab_size, size=(4, 9))
+        loss = micro_llama.loss(tokens)
+        assert np.isfinite(loss.item())
+        assert loss.item() > 0
+
+    def test_loss_mask_changes_value(self, micro_llama, tokenizer):
+        tokens = np.random.default_rng(2).integers(1, tokenizer.vocab_size, size=(2, 8))
+        full = micro_llama.loss(tokens).item()
+        mask = np.zeros((2, 7), dtype=bool)
+        mask[:, :2] = True
+        partial = micro_llama.loss(tokens, loss_mask=mask).item()
+        assert full != pytest.approx(partial)
+
+    def test_tensor_slot_resolution(self, micro_llama):
+        owner, attr = micro_llama.tensor_slot(1, "w_q")
+        assert isinstance(getattr(owner, attr), Linear)
+        owner, attr = micro_llama.tensor_slot(2, "w_d")
+        assert isinstance(getattr(owner, attr), Linear)
+
+    def test_tensor_slot_bad_layer(self, micro_llama):
+        with pytest.raises(ConfigError):
+            micro_llama.tensor_slot(99, "w_q")
+
+    def test_tensor_slot_bad_role(self, micro_llama):
+        with pytest.raises(ConfigError):
+            micro_llama.tensor_slot(0, "w_int")
+
+    def test_greedy_generate_extends_prompt(self, micro_llama, tokenizer):
+        prompt = np.array([tokenizer.bos_id, 10, 11])
+        out = micro_llama.greedy_generate(prompt, max_new_tokens=3)
+        assert len(out) == 6
+        assert np.array_equal(out[:3], prompt)
+
+    def test_greedy_generate_stops_on_token(self, micro_llama, tokenizer):
+        prompt = np.array([tokenizer.bos_id, 10])
+        out = micro_llama.greedy_generate(prompt, max_new_tokens=20, stop_token=None)
+        assert len(out) == 22
+
+    def test_deterministic_forward(self, micro_llama, tokenizer):
+        tokens = np.random.default_rng(3).integers(0, tokenizer.vocab_size, size=(1, 5))
+        a = micro_llama(tokens).data
+        b = micro_llama(tokens).data
+        assert np.array_equal(a, b)
+
+    def test_family_guard(self, micro_bert_config):
+        with pytest.raises(ConfigError):
+            LlamaModel(micro_bert_config)
+
+
+class TestBertModel:
+    def test_forward_shape(self, micro_bert, tokenizer):
+        tokens = np.random.default_rng(0).integers(0, tokenizer.vocab_size, size=(2, 6))
+        logits = micro_bert(tokens)
+        assert logits.shape == (2, 6, tokenizer.vocab_size)
+
+    def test_mlm_loss_and_accuracy(self, micro_bert, tokenizer):
+        rng = np.random.default_rng(1)
+        tokens = rng.integers(5, tokenizer.vocab_size, size=(2, 6))
+        targets = np.full_like(tokens, -1)
+        targets[:, 2] = tokens[:, 2]
+        corrupted = tokens.copy()
+        corrupted[:, 2] = tokenizer.mask_id
+        loss = micro_bert.mlm_loss(corrupted, targets)
+        assert np.isfinite(loss.item())
+        acc = micro_bert.mlm_accuracy(corrupted, targets)
+        assert 0.0 <= acc <= 1.0
+
+    def test_mlm_accuracy_requires_masked_positions(self, micro_bert):
+        tokens = np.ones((1, 4), dtype=np.int64)
+        with pytest.raises(ConfigError):
+            micro_bert.mlm_accuracy(tokens, np.full((1, 4), -1))
+
+    def test_tensor_slot(self, micro_bert):
+        owner, attr = micro_bert.tensor_slot(0, "w_int")
+        assert isinstance(getattr(owner, attr), Linear)
+        with pytest.raises(ConfigError):
+            micro_bert.tensor_slot(0, "w_g")
+
+    def test_family_guard(self, micro_llama_config):
+        with pytest.raises(ConfigError):
+            BertModel(micro_llama_config)
+
+
+class TestBuildModel:
+    def test_builds_both_families(self, micro_llama_config, micro_bert_config):
+        assert isinstance(build_model(micro_llama_config), LlamaModel)
+        assert isinstance(build_model(micro_bert_config), BertModel)
+
+    def test_seeded_build_reproducible(self, micro_llama_config):
+        a = build_model(micro_llama_config, rng=np.random.default_rng(7))
+        b = build_model(micro_llama_config, rng=np.random.default_rng(7))
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.array_equal(pa.data, pb.data)

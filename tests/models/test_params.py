@@ -1,0 +1,76 @@
+"""Analytic parameter accounting must match live models and publications."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import LLAMA2_7B, get_config
+from repro.models.params import (
+    decomposable_parameters_per_layer,
+    decomposed_parameters,
+    embedding_parameters,
+    layer_parameters,
+    model_size_bytes,
+    parameter_reduction,
+    total_parameters,
+)
+
+
+class TestAnalyticCounts:
+    def test_llama2_7b_total_close_to_published(self):
+        total = total_parameters(LLAMA2_7B)
+        assert abs(total - 6.74e9) / 6.74e9 < 0.01
+
+    def test_bert_base_close_to_published(self):
+        config = get_config("bert-base")
+        # 110M encoder + ~24M MLM head
+        assert abs(total_parameters(config) - 133.5e6) / 133.5e6 < 0.02
+
+    def test_fp16_size(self):
+        assert model_size_bytes(LLAMA2_7B) == 2 * total_parameters(LLAMA2_7B)
+
+    def test_matches_live_llama(self, micro_llama, micro_llama_config):
+        assert total_parameters(micro_llama_config) == micro_llama.num_parameters()
+
+    def test_matches_live_bert(self, micro_bert, micro_bert_config):
+        assert total_parameters(micro_bert_config) == micro_bert.num_parameters()
+
+    def test_per_layer_role_counts(self):
+        per_role = decomposable_parameters_per_layer(LLAMA2_7B)
+        assert per_role["w_q"] == 4096 * 4096
+        assert per_role["w_g"] == 4096 * 11008
+        assert sum(per_role.values()) + 2 * 4096 == layer_parameters(LLAMA2_7B)
+
+    def test_embedding_params(self):
+        assert embedding_parameters(LLAMA2_7B) == 32000 * 4096
+
+
+class TestDecomposedCounts:
+    def test_rank1_one_layer(self):
+        before = total_parameters(LLAMA2_7B)
+        after = decomposed_parameters(LLAMA2_7B, [5], ["w_q"], 1)
+        saved = before - after
+        assert saved == 4096 * 4096 - (4096 + 1 + 4096)
+
+    def test_full_rank_saves_nothing_like(self):
+        """At rank = min dim, the factorized form is *larger* than dense."""
+        after = decomposed_parameters(LLAMA2_7B, [5], ["w_q"], 4096)
+        assert after > total_parameters(LLAMA2_7B)
+
+    def test_reduction_fraction_bounds(self):
+        reduction = parameter_reduction(
+            LLAMA2_7B, range(32), LLAMA2_7B.tensor_roles, 1
+        )
+        assert 0.9 < reduction < 1.0
+
+    def test_invalid_layer_rejected(self):
+        with pytest.raises(ConfigError):
+            decomposed_parameters(LLAMA2_7B, [40], ["w_q"], 1)
+
+    def test_invalid_role_rejected(self):
+        with pytest.raises(ConfigError):
+            decomposed_parameters(LLAMA2_7B, [0], ["w_int"], 1)
+
+    def test_duplicate_layers_counted_once(self):
+        a = decomposed_parameters(LLAMA2_7B, [3, 3], ["w_q"], 1)
+        b = decomposed_parameters(LLAMA2_7B, [3], ["w_q"], 1)
+        assert a == b

@@ -1,0 +1,141 @@
+"""Attention semantics: causality, padding, RoPE."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import MultiHeadAttention, RotaryEmbedding, causal_mask
+from repro.tensor import Tensor
+
+
+def _attn(causal, rope=None, dim=8, heads=2, seed=0, bias=False):
+    rng = np.random.default_rng(seed)
+    return MultiHeadAttention(dim, heads, causal=causal, rope=rope, bias=bias, rng=rng)
+
+
+class TestCausalMask:
+    def test_upper_triangle_true(self):
+        mask = causal_mask(4)
+        assert mask[0, 1] and mask[2, 3]
+        assert not mask[1, 1] and not mask[3, 0]
+
+
+class TestAttention:
+    def test_output_shape(self):
+        attn = _attn(causal=True)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 5, 8)).astype(np.float32))
+        assert attn(x).shape == (2, 5, 8)
+
+    def test_causality_future_tokens_do_not_affect_past(self):
+        attn = _attn(causal=True, seed=2)
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 6, 8)).astype(np.float32)
+        base = attn(Tensor(x)).data.copy()
+        perturbed = x.copy()
+        perturbed[0, 4:] += 10.0  # change only positions 4 and 5
+        out = attn(Tensor(perturbed)).data
+        assert np.allclose(out[0, :4], base[0, :4], atol=1e-4)
+        assert not np.allclose(out[0, 4:], base[0, 4:], atol=1e-3)
+
+    def test_bidirectional_sees_future(self):
+        attn = _attn(causal=False, seed=4)
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(1, 6, 8)).astype(np.float32)
+        base = attn(Tensor(x)).data.copy()
+        perturbed = x.copy()
+        perturbed[0, 5] += 10.0
+        out = attn(Tensor(perturbed)).data
+        assert not np.allclose(out[0, 0], base[0, 0], atol=1e-3)
+
+    def test_pad_mask_blocks_positions(self):
+        attn = _attn(causal=False, seed=6)
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(1, 5, 8)).astype(np.float32)
+        pad = np.zeros((1, 5), dtype=bool)
+        pad[0, 4] = True
+        base = attn(Tensor(x), pad_mask=pad).data.copy()
+        perturbed = x.copy()
+        perturbed[0, 4] += 100.0  # only the padded position changes
+        out = attn(Tensor(perturbed), pad_mask=pad).data
+        # Non-padded outputs must be unaffected by the padded token's content.
+        assert np.allclose(out[0, :4], base[0, :4], atol=1e-4)
+
+    def test_pad_mask_shape_validated(self):
+        attn = _attn(causal=False)
+        x = Tensor(np.zeros((2, 4, 8), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            attn(x, pad_mask=np.zeros((2, 5), dtype=bool))
+
+    def test_input_rank_validated(self):
+        attn = _attn(causal=True)
+        with pytest.raises(ShapeError):
+            attn(Tensor(np.zeros((4, 8), dtype=np.float32)))
+
+    def test_dim_head_divisibility(self):
+        with pytest.raises(ShapeError):
+            MultiHeadAttention(10, 3, causal=True)
+
+    def test_gradients_reach_all_projections(self):
+        attn = _attn(causal=True, seed=8)
+        x = Tensor(np.random.default_rng(9).normal(size=(1, 4, 8)).astype(np.float32))
+        attn(x).sum().backward()
+        for proj in (attn.w_q, attn.w_k, attn.w_v, attn.w_so):
+            assert proj.weight.grad is not None
+            assert np.abs(proj.weight.grad).max() > 0
+
+
+class TestRoPE:
+    def test_preserves_norm(self):
+        rope = RotaryEmbedding(8, 16)
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 2, 10, 8)).astype(np.float32))
+        out = rope.apply(x)
+        assert np.allclose(
+            np.linalg.norm(out.data, axis=-1),
+            np.linalg.norm(x.data, axis=-1),
+            atol=1e-4,
+        )
+
+    def test_position_zero_is_identity(self):
+        rope = RotaryEmbedding(8, 16)
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 1, 3, 8)).astype(np.float32))
+        out = rope.apply(x)
+        assert np.allclose(out.data[0, 0, 0], x.data[0, 0, 0], atol=1e-5)
+        assert not np.allclose(out.data[0, 0, 2], x.data[0, 0, 2], atol=1e-3)
+
+    def test_relative_property(self):
+        """Dot products of rotated q/k depend only on relative offset."""
+        rope = RotaryEmbedding(8, 32)
+        rng = np.random.default_rng(2)
+        q = rng.normal(size=8).astype(np.float32)
+        k = rng.normal(size=8).astype(np.float32)
+
+        def rotated_dot(pos_q, pos_k):
+            length = max(pos_q, pos_k) + 1
+            buf_q = np.zeros((1, 1, length, 8), dtype=np.float32)
+            buf_k = np.zeros((1, 1, length, 8), dtype=np.float32)
+            buf_q[0, 0, pos_q] = q
+            buf_k[0, 0, pos_k] = k
+            rq = rope.apply(Tensor(buf_q)).data[0, 0, pos_q]
+            rk = rope.apply(Tensor(buf_k)).data[0, 0, pos_k]
+            return float(rq @ rk)
+
+        assert rotated_dot(3, 1) == pytest.approx(rotated_dot(7, 5), abs=1e-4)
+        assert rotated_dot(3, 1) != pytest.approx(rotated_dot(3, 2), abs=1e-4)
+
+    def test_odd_head_dim_rejected(self):
+        with pytest.raises(ShapeError):
+            RotaryEmbedding(7, 16)
+
+    def test_sequence_length_guard(self):
+        rope = RotaryEmbedding(4, 8)
+        x = Tensor(np.zeros((1, 1, 9, 4), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            rope.apply(x)
+
+    def test_gradient_flows(self):
+        rope = RotaryEmbedding(4, 8)
+        x = Tensor(np.random.default_rng(3).normal(size=(1, 1, 4, 4)).astype(np.float32),
+                   requires_grad=True)
+        rope.apply(x).sum().backward()
+        assert x.grad is not None
+        assert x.grad.shape == x.shape

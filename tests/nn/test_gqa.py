@@ -1,0 +1,91 @@
+"""Grouped-query attention (Llama-2-70B style)."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.errors import ShapeError
+from repro.models import build_model, get_config
+from repro.models.params import total_parameters
+from repro.nn import MultiHeadAttention, RotaryEmbedding
+from repro.tensor import Tensor
+
+
+class TestGQAAttention:
+    def test_kv_projections_are_narrower(self):
+        attn = MultiHeadAttention(16, 4, causal=True, n_kv_heads=2,
+                                  rng=np.random.default_rng(0))
+        assert attn.w_q.out_features == 16
+        assert attn.w_k.out_features == 8
+        assert attn.w_v.out_features == 8
+
+    def test_forward_shape(self):
+        rope = RotaryEmbedding(4, 16)
+        attn = MultiHeadAttention(16, 4, causal=True, rope=rope, n_kv_heads=2,
+                                  rng=np.random.default_rng(1))
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 6, 16)).astype(np.float32))
+        assert attn(x).shape == (2, 6, 16)
+
+    def test_indivisible_kv_heads_rejected(self):
+        with pytest.raises(ShapeError):
+            MultiHeadAttention(16, 4, causal=True, n_kv_heads=3)
+
+    def test_gqa_equals_mha_when_kv_heads_match(self):
+        rng = np.random.default_rng(3)
+        full = MultiHeadAttention(8, 2, causal=True, rng=np.random.default_rng(5))
+        gqa = MultiHeadAttention(8, 2, causal=True, n_kv_heads=2,
+                                 rng=np.random.default_rng(5))
+        x = Tensor(rng.normal(size=(1, 4, 8)).astype(np.float32))
+        assert np.allclose(full(x).data, gqa(x).data, atol=1e-6)
+
+    def test_gradients_flow_through_shared_kv(self):
+        attn = MultiHeadAttention(16, 4, causal=True, n_kv_heads=1,
+                                  rng=np.random.default_rng(4))
+        x = Tensor(np.random.default_rng(5).normal(size=(1, 5, 16)).astype(np.float32))
+        attn(x).sum().backward()
+        assert np.abs(attn.w_k.weight.grad).max() > 0
+        assert attn.w_k.weight.grad.shape == (16, 4)
+
+    def test_causality_preserved_under_gqa(self):
+        attn = MultiHeadAttention(16, 4, causal=True, n_kv_heads=2,
+                                  rng=np.random.default_rng(6))
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(1, 6, 16)).astype(np.float32)
+        base = attn(Tensor(x)).data.copy()
+        perturbed = x.copy()
+        perturbed[0, 5] += 10.0
+        out = attn(Tensor(perturbed)).data
+        assert np.allclose(out[0, :5], base[0, :5], atol=1e-4)
+
+
+class TestGQAModel:
+    def test_live_model_matches_analytic_params(self):
+        """A live GQA Llama must match the analytic parameter accounting
+        used for Llama-2-70B shapes."""
+        config = replace(
+            get_config("tiny-llama").with_vocab(64),
+            n_layers=2, n_heads=4, n_kv_heads=2,
+        )
+        model = build_model(config, rng=np.random.default_rng(0))
+        assert model.num_parameters() == total_parameters(config)
+
+    def test_gqa_model_forward(self):
+        config = replace(
+            get_config("tiny-llama").with_vocab(64),
+            n_layers=2, n_heads=4, n_kv_heads=1,
+        )
+        model = build_model(config)
+        tokens = np.random.default_rng(1).integers(0, 64, size=(2, 7))
+        assert model(tokens).shape == (2, 7, 64)
+
+    def test_gqa_kv_tensor_decomposable(self):
+        from repro.decomposition import DecompositionConfig, decompose_model
+
+        config = replace(
+            get_config("tiny-llama").with_vocab(64),
+            n_layers=2, n_heads=4, n_kv_heads=2,
+        )
+        model = build_model(config, rng=np.random.default_rng(2))
+        gamma = DecompositionConfig.uniform([0], ["w_k"], rank=1)
+        report = decompose_model(model, gamma)
+        assert report.tensors[0].shape == (64, 32)

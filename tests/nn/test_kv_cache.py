@@ -1,0 +1,133 @@
+"""KV-cache incremental decoding: exact equivalence with full recompute."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import LayerKVCache, ModelKVCache, MultiHeadAttention, RotaryEmbedding, causal_mask
+from repro.tensor import Tensor
+
+
+class TestCausalMaskOffset:
+    def test_zero_offset_is_classic_triangle(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert mask[0, 1] and not mask[3, 0]
+
+    def test_offset_widens_keys(self):
+        mask = causal_mask(2, offset=3)
+        assert mask.shape == (2, 5)
+        # Query at absolute position 3 sees keys 0..3.
+        assert not mask[0, 3] and mask[0, 4]
+        assert not mask[1, 4]
+
+
+class TestLayerKVCache:
+    def test_append_grows(self):
+        cache = LayerKVCache()
+        k = np.zeros((1, 2, 3, 4), dtype=np.float32)
+        cache.append(k, k)
+        assert cache.seq_len == 3
+        cache.append(k[:, :, :1], k[:, :, :1])
+        assert cache.seq_len == 4
+
+    def test_returns_full_history(self):
+        cache = LayerKVCache()
+        first = np.ones((1, 1, 2, 2), dtype=np.float32)
+        second = np.full((1, 1, 1, 2), 2.0, dtype=np.float32)
+        cache.append(first, first)
+        keys, _ = cache.append(second, second)
+        assert keys.shape == (1, 1, 3, 2)
+        assert keys[0, 0, 2, 0] == 2.0
+
+    def test_shape_mismatch_rejected(self):
+        cache = LayerKVCache()
+        cache.append(np.zeros((1, 2, 1, 4)), np.zeros((1, 2, 1, 4)))
+        with pytest.raises(ShapeError):
+            cache.append(np.zeros((1, 3, 1, 4)), np.zeros((1, 3, 1, 4)))
+
+    def test_model_cache_indexing(self):
+        cache = ModelKVCache(3)
+        assert len(cache) == 3
+        assert cache.seq_len == 0
+        with pytest.raises(ShapeError):
+            ModelKVCache(0)
+
+
+class TestIncrementalAttention:
+    @pytest.fixture()
+    def attn(self):
+        rope = RotaryEmbedding(4, 32)
+        return MultiHeadAttention(
+            8, 2, causal=True, rope=rope, rng=np.random.default_rng(0)
+        )
+
+    def test_step_by_step_matches_full_forward(self, attn):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 6, 8)).astype(np.float32)
+        full = attn(Tensor(x)).data
+
+        cache = LayerKVCache()
+        outputs = []
+        for t in range(6):
+            out = attn(Tensor(x[:, t : t + 1]), cache=cache)
+            outputs.append(out.data)
+        incremental = np.concatenate(outputs, axis=1)
+        assert np.allclose(incremental, full, atol=1e-5)
+
+    def test_prefill_then_decode_matches(self, attn):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 5, 8)).astype(np.float32)
+        full = attn(Tensor(x)).data
+
+        cache = LayerKVCache()
+        prefill = attn(Tensor(x[:, :3]), cache=cache).data
+        step = attn(Tensor(x[:, 3:4]), cache=cache).data
+        step2 = attn(Tensor(x[:, 4:5]), cache=cache).data
+        assert np.allclose(prefill, full[:, :3], atol=1e-5)
+        assert np.allclose(step, full[:, 3:4], atol=1e-5)
+        assert np.allclose(step2, full[:, 4:5], atol=1e-5)
+
+    def test_gqa_incremental(self):
+        rope = RotaryEmbedding(4, 32)
+        attn = MultiHeadAttention(
+            8, 2, causal=True, rope=rope, n_kv_heads=1, rng=np.random.default_rng(3)
+        )
+        x = np.random.default_rng(4).normal(size=(1, 4, 8)).astype(np.float32)
+        full = attn(Tensor(x)).data
+        cache = LayerKVCache()
+        outs = [attn(Tensor(x[:, t : t + 1]), cache=cache).data for t in range(4)]
+        assert np.allclose(np.concatenate(outs, axis=1), full, atol=1e-5)
+
+
+class TestCachedGeneration:
+    def test_cached_matches_recompute(self, trained_llama):
+        model, tokenizer = trained_llama
+        prompt = np.asarray(tokenizer.encode("question : where does alice live ? answer :"))
+        cached = model.greedy_generate(prompt, 6, use_cache=True)
+        recomputed = model.greedy_generate(prompt, 6, use_cache=False)
+        assert np.array_equal(cached, recomputed)
+
+    def test_cached_respects_stop_token(self, trained_llama):
+        model, tokenizer = trained_llama
+        prompt = np.asarray(tokenizer.encode("alice lives in"))
+        out = model.greedy_generate(
+            prompt, 20, stop_token=tokenizer.eos_id, use_cache=True
+        )
+        if tokenizer.eos_id in out[len(prompt):]:
+            stop_index = list(out[len(prompt):]).index(tokenizer.eos_id)
+            assert stop_index == len(out) - len(prompt) - 1
+
+    def test_cached_generation_faster_for_long_outputs(self, trained_llama):
+        import time
+
+        model, tokenizer = trained_llama
+        prompt = np.asarray(tokenizer.encode("bob lives in"))
+
+        start = time.perf_counter()
+        model.greedy_generate(prompt, 40, use_cache=True)
+        cached_s = time.perf_counter() - start
+        start = time.perf_counter()
+        model.greedy_generate(prompt, 40, use_cache=False)
+        recompute_s = time.perf_counter() - start
+        assert cached_s < recompute_s * 1.5  # generous: tiny model, noisy timer

@@ -1,0 +1,159 @@
+"""Linear, FactorizedLinear, Embedding, and normalization modules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecompositionError, ShapeError
+from repro.nn import (
+    Embedding,
+    FactorizedLinear,
+    LayerNorm,
+    Linear,
+    PositionalEmbedding,
+    RMSNorm,
+)
+from repro.tensor import Tensor
+
+
+class TestLinear:
+    def test_forward_matches_matmul(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(4, 3, bias=True, rng=rng)
+        layer.bias.data = rng.normal(size=3).astype(np.float32)
+        x = rng.normal(size=(5, 4)).astype(np.float32)
+        out = layer(Tensor(x)).data
+        assert np.allclose(out, x @ layer.weight.data + layer.bias.data, atol=1e-5)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert layer.num_weight_parameters() == 12
+
+    def test_zero_init_without_rng(self):
+        layer = Linear(2, 2)
+        assert np.all(layer.weight.data == 0.0)
+
+    def test_batched_input(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(4, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 7, 4)).astype(np.float32)))
+        assert out.shape == (2, 7, 3)
+
+    def test_gradients_flow_to_weight_and_bias(self):
+        rng = np.random.default_rng(2)
+        layer = Linear(3, 2, rng=rng)
+        layer(Tensor(rng.normal(size=(4, 3)).astype(np.float32))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestFactorizedLinear:
+    @staticmethod
+    def _factors(h=6, w=8, r=2, seed=0):
+        rng = np.random.default_rng(seed)
+        return (
+            rng.normal(size=(h, r)).astype(np.float32),
+            rng.normal(size=(r, r)).astype(np.float32),
+            rng.normal(size=(r, w)).astype(np.float32),
+        )
+
+    def test_forward_equals_dense_reconstruction(self):
+        u1, core, u2 = self._factors()
+        layer = FactorizedLinear(u1, core, u2)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(3, 6)).astype(np.float32)
+        assert np.allclose(layer(Tensor(x)).data, x @ layer.reconstruct(), atol=1e-4)
+
+    def test_parameter_count_formula(self):
+        u1, core, u2 = self._factors(10, 20, 3)
+        layer = FactorizedLinear(u1, core, u2)
+        assert layer.num_weight_parameters() == 10 * 3 + 3 * 3 + 3 * 20
+        assert layer.dense_parameters() == 200
+
+    def test_compression_ratio_formula(self):
+        u1, core, u2 = self._factors(10, 20, 1)
+        layer = FactorizedLinear(u1, core, u2)
+        assert layer.compression_ratio() == pytest.approx(200 / 31)
+
+    def test_bias_applied(self):
+        u1, core, u2 = self._factors()
+        bias = np.full(8, 2.0, dtype=np.float32)
+        with_bias = FactorizedLinear(u1, core, u2, bias=bias)
+        without = FactorizedLinear(u1, core, u2)
+        x = Tensor(np.ones((1, 6), dtype=np.float32))
+        assert np.allclose(with_bias(x).data - without(x).data, 2.0, atol=1e-5)
+
+    def test_to_linear_round_trip(self):
+        u1, core, u2 = self._factors()
+        layer = FactorizedLinear(u1, core, u2, bias=np.ones(8, dtype=np.float32))
+        dense = layer.to_linear()
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 6)).astype(np.float32))
+        assert np.allclose(dense(x).data, layer(x).data, atol=1e-4)
+
+    def test_chain_mismatch_rejected(self):
+        u1, core, u2 = self._factors()
+        with pytest.raises(DecompositionError):
+            FactorizedLinear(u1, np.zeros((3, 3), dtype=np.float32), u2)
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(DecompositionError):
+            FactorizedLinear(
+                np.zeros(3, dtype=np.float32),
+                np.zeros((1, 1), dtype=np.float32),
+                np.zeros((1, 3), dtype=np.float32),
+            )
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        table = Embedding(10, 4)
+        table.weight.data = np.arange(40, dtype=np.float32).reshape(10, 4)
+        out = table(np.array([[0, 2]]))
+        assert np.allclose(out.data[0, 1], [8, 9, 10, 11])
+
+    def test_gradient_scatter(self):
+        table = Embedding(5, 2)
+        table(np.array([[1, 1, 3]])).sum().backward()
+        grad_rows = table.weight.grad.sum(axis=1)
+        assert np.allclose(grad_rows, [0.0, 4.0, 0.0, 2.0, 0.0])
+
+    def test_out_of_range_rejected(self):
+        table = Embedding(5, 2)
+        with pytest.raises(ShapeError):
+            table(np.array([5]))
+        with pytest.raises(ShapeError):
+            table(np.array([-1]))
+
+    def test_float_ids_rejected(self):
+        table = Embedding(5, 2)
+        with pytest.raises(ShapeError):
+            table(np.array([1.0]))
+
+    def test_positional_embedding_length_guard(self):
+        pos = PositionalEmbedding(8, 4)
+        assert pos(8).shape == (8, 4)
+        with pytest.raises(ShapeError):
+            pos(9)
+
+
+class TestNormModules:
+    def test_layer_norm_parameters(self):
+        norm = LayerNorm(16)
+        assert norm.num_parameters() == 32
+
+    def test_rms_norm_parameters(self):
+        norm = RMSNorm(16)
+        assert norm.num_parameters() == 16
+
+    def test_layer_norm_normalizes(self):
+        norm = LayerNorm(32)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 2.0, size=(4, 32)).astype(np.float32))
+        out = norm(x).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+
+    def test_rms_norm_unit_rms(self):
+        norm = RMSNorm(32)
+        x = Tensor(np.random.default_rng(1).normal(0.0, 5.0, size=(4, 32)).astype(np.float32))
+        out = norm(x).data
+        rms = np.sqrt((out**2).mean(axis=-1))
+        assert np.allclose(rms, 1.0, atol=1e-2)

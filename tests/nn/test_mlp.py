@@ -1,0 +1,49 @@
+"""GELU and SwiGLU feed-forward blocks."""
+
+import numpy as np
+
+from repro.nn import GeluMLP, SwiGluMLP
+from repro.tensor import Tensor
+
+
+class TestGeluMLP:
+    def test_shape(self):
+        mlp = GeluMLP(8, 32, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 5, 8)).astype(np.float32))
+        assert mlp(x).shape == (2, 5, 8)
+
+    def test_parameter_count(self):
+        mlp = GeluMLP(8, 32)
+        # w_int: 8*32 + 32 bias, w_out: 32*8 + 8 bias
+        assert mlp.num_parameters() == 8 * 32 + 32 + 32 * 8 + 8
+
+    def test_gradients_flow(self):
+        mlp = GeluMLP(4, 8, rng=np.random.default_rng(2))
+        x = Tensor(np.random.default_rng(3).normal(size=(3, 4)).astype(np.float32))
+        mlp(x).sum().backward()
+        assert mlp.w_int.weight.grad is not None
+        assert mlp.w_out.weight.grad is not None
+
+
+class TestSwiGluMLP:
+    def test_shape(self):
+        mlp = SwiGluMLP(8, 24, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 5, 8)).astype(np.float32))
+        assert mlp(x).shape == (2, 5, 8)
+
+    def test_no_biases(self):
+        mlp = SwiGluMLP(8, 24)
+        assert mlp.w_g.bias is None and mlp.w_u.bias is None and mlp.w_d.bias is None
+        assert mlp.num_parameters() == 3 * 8 * 24
+
+    def test_gating_zero_input_gives_zero(self):
+        mlp = SwiGluMLP(4, 8, rng=np.random.default_rng(2))
+        out = mlp(Tensor(np.zeros((1, 4), dtype=np.float32)))
+        assert np.allclose(out.data, 0.0, atol=1e-6)
+
+    def test_gradients_reach_all_three_projections(self):
+        mlp = SwiGluMLP(4, 8, rng=np.random.default_rng(3))
+        x = Tensor(np.random.default_rng(4).normal(size=(3, 4)).astype(np.float32))
+        mlp(x).sum().backward()
+        for proj in (mlp.w_g, mlp.w_u, mlp.w_d):
+            assert np.abs(proj.weight.grad).max() > 0

@@ -1,0 +1,108 @@
+"""Module system: registration, state dicts, train/eval."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.nn import Linear, Module, ModuleList, Parameter
+from repro.tensor import Tensor
+
+
+class _Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.scale = Parameter(np.ones(3, dtype=np.float32))
+        self.inner = Linear(3, 2, bias=True)
+        self.stack = ModuleList([Linear(2, 2, bias=False) for _ in range(2)])
+
+    def forward(self, x):
+        out = self.inner(x * self.scale)
+        for layer in self.stack:
+            out = layer(out)
+        return out
+
+
+class TestRegistration:
+    def test_named_parameters_paths(self):
+        names = {name for name, _ in _Toy().named_parameters()}
+        assert names == {
+            "scale",
+            "inner.weight",
+            "inner.bias",
+            "stack.0.weight",
+            "stack.1.weight",
+        }
+
+    def test_num_parameters(self):
+        toy = _Toy()
+        assert toy.num_parameters() == 3 + (3 * 2 + 2) + 2 * 4
+
+    def test_named_modules_includes_list_children(self):
+        names = {name for name, _ in _Toy().named_modules()}
+        assert {"", "inner", "stack.0", "stack.1"} <= names
+
+    def test_modulelist_len_and_indexing(self):
+        stack = ModuleList([Linear(1, 1), Linear(1, 1)])
+        assert len(stack) == 2
+        stack[1] = Linear(1, 1, bias=False)
+        assert stack[1].bias is None
+
+
+class TestTrainEval:
+    def test_eval_propagates(self):
+        toy = _Toy()
+        toy.eval()
+        assert not toy.training
+        assert not toy.inner.training
+        assert not toy.stack[0].training
+
+    def test_train_restores(self):
+        toy = _Toy().eval()
+        toy.train()
+        assert toy.stack[1].training
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        a, b = _Toy(), _Toy()
+        for param in a.parameters():
+            param.data += 1.0
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        toy = _Toy()
+        state = toy.state_dict()
+        state["scale"][:] = 99.0
+        assert not np.any(toy.scale.data == 99.0)
+
+    def test_strict_missing_key_rejected(self):
+        toy = _Toy()
+        state = toy.state_dict()
+        del state["scale"]
+        with pytest.raises(CheckpointError):
+            toy.load_state_dict(state)
+
+    def test_non_strict_allows_partial(self):
+        toy = _Toy()
+        state = {"scale": np.full(3, 7.0, dtype=np.float32)}
+        toy.load_state_dict(state, strict=False)
+        assert np.allclose(toy.scale.data, 7.0)
+
+    def test_shape_mismatch_rejected(self):
+        toy = _Toy()
+        state = toy.state_dict()
+        state["scale"] = np.zeros(5, dtype=np.float32)
+        with pytest.raises(CheckpointError):
+            toy.load_state_dict(state)
+
+
+class TestZeroGrad:
+    def test_clears_all_gradients(self):
+        toy = _Toy()
+        out = toy(Tensor(np.ones((2, 3), dtype=np.float32)))
+        out.sum().backward()
+        assert toy.inner.weight.grad is not None
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())

@@ -1,0 +1,200 @@
+"""Value and gradient checks for the composite functional layer."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+from tests.conftest import finite_difference_gradient
+
+
+def _grad_check(build, shape, seed=0, atol=2e-3):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape).astype(np.float32)
+    x = Tensor(data, requires_grad=True)
+    build(x).backward()
+
+    def scalar(values):
+        return build(Tensor(values.astype(np.float32))).item()
+
+    numeric = finite_difference_gradient(scalar, data)
+    assert np.allclose(x.grad, numeric, atol=atol)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 7)).astype(np.float32))
+        out = F.softmax(x)
+        assert F.ensure_probability_simplex(out.data)
+
+    def test_shift_invariance(self):
+        x = np.random.default_rng(1).normal(size=(2, 5)).astype(np.float32)
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        assert np.allclose(a, b, atol=1e-5)
+
+    def test_extreme_values_stable(self):
+        x = Tensor(np.array([[1000.0, 0.0, -1000.0]], dtype=np.float32))
+        out = F.softmax(x).data
+        assert np.isfinite(out).all()
+        assert np.isclose(out.sum(), 1.0)
+
+    def test_grad(self):
+        _grad_check(lambda x: (F.softmax(x) ** 2).sum(), (3, 5))
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(np.random.default_rng(2).normal(size=(3, 6)).astype(np.float32))
+        assert np.allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-5
+        )
+
+    def test_log_softmax_grad(self):
+        _grad_check(lambda x: F.log_softmax(x)[0, 0], (2, 4))
+
+
+class TestActivations:
+    def test_gelu_matches_erf_formula(self):
+        data = np.linspace(-3, 3, 13).astype(np.float32)
+        expected = data * 0.5 * (1 + special.erf(data / np.sqrt(2)))
+        out = F.gelu(Tensor(data)).data
+        assert np.allclose(out, expected, atol=1e-6)
+
+    def test_gelu_grad(self):
+        _grad_check(lambda x: F.gelu(x).sum(), (10,))
+
+    def test_gelu_tanh_close_to_exact(self):
+        data = np.linspace(-3, 3, 25).astype(np.float32)
+        exact = F.gelu(Tensor(data)).data
+        approx = F.gelu_tanh(Tensor(data)).data
+        assert np.abs(exact - approx).max() < 5e-3
+
+    def test_silu_values(self):
+        assert np.isclose(F.silu(Tensor([0.0])).data[0], 0.0)
+        assert F.silu(Tensor([10.0])).data[0] == pytest.approx(10.0, abs=1e-3)
+
+    def test_silu_grad(self):
+        _grad_check(lambda x: F.silu(x).sum(), (8,))
+
+
+class TestNorms:
+    def test_layer_norm_zero_mean_unit_var(self):
+        x = Tensor(np.random.default_rng(3).normal(2.0, 5.0, size=(6, 16)).astype(np.float32))
+        weight = Tensor(np.ones(16, dtype=np.float32))
+        bias = Tensor(np.zeros(16, dtype=np.float32))
+        out = F.layer_norm(x, weight, bias).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        assert np.allclose(out.var(axis=-1), 1.0, atol=1e-2)
+
+    def test_layer_norm_affine(self):
+        x = Tensor(np.random.default_rng(4).normal(size=(2, 8)).astype(np.float32))
+        weight = Tensor(np.full(8, 2.0, dtype=np.float32))
+        bias = Tensor(np.full(8, 1.0, dtype=np.float32))
+        out = F.layer_norm(x, weight, bias).data
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-4)
+
+    def test_layer_norm_grad(self):
+        weight = Tensor(np.ones(6, dtype=np.float32))
+        bias = Tensor(np.zeros(6, dtype=np.float32))
+        _grad_check(lambda x: (F.layer_norm(x, weight, bias) ** 2).sum(), (3, 6))
+
+    def test_rms_norm_scale(self):
+        x = Tensor(np.full((2, 4), 3.0, dtype=np.float32))
+        weight = Tensor(np.ones(4, dtype=np.float32))
+        out = F.rms_norm(x, weight).data
+        assert np.allclose(out, 1.0, atol=1e-3)
+
+    def test_rms_norm_grad(self):
+        weight = Tensor(np.ones(5, dtype=np.float32))
+        _grad_check(lambda x: (F.rms_norm(x, weight) ** 2).sum(), (2, 5))
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        rng = np.random.default_rng(5)
+        logits = rng.normal(size=(4, 6)).astype(np.float32)
+        targets = np.array([0, 3, 5, 1])
+        loss = F.cross_entropy(Tensor(logits), targets).item()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        manual = -log_probs[np.arange(4), targets].mean()
+        assert np.isclose(loss, manual, atol=1e-5)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -20.0, dtype=np.float32)
+        logits[0, 1] = 20.0
+        logits[1, 2] = 20.0
+        loss = F.cross_entropy(Tensor(logits), np.array([1, 2])).item()
+        assert loss < 1e-3
+
+    def test_ignore_index(self):
+        rng = np.random.default_rng(6)
+        logits = rng.normal(size=(3, 4)).astype(np.float32)
+        full = F.cross_entropy(Tensor(logits[:2]), np.array([1, 2])).item()
+        masked = F.cross_entropy(
+            Tensor(logits), np.array([1, 2, -1]), ignore_index=-1
+        ).item()
+        assert np.isclose(full, masked, atol=1e-5)
+
+    def test_all_ignored_rejected(self):
+        with pytest.raises(ShapeError):
+            F.cross_entropy(
+                Tensor(np.zeros((2, 3), dtype=np.float32)),
+                np.array([-1, -1]),
+                ignore_index=-1,
+            )
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            F.cross_entropy(Tensor(np.zeros((2, 3, 4), dtype=np.float32)), np.array([0, 1]))
+
+    def test_grad(self):
+        targets = np.array([2, 0, 1])
+        _grad_check(lambda x: F.cross_entropy(x, targets), (3, 4))
+
+
+class TestSequenceLogLikelihood:
+    def test_matches_manual_sum(self):
+        rng = np.random.default_rng(7)
+        logits = rng.normal(size=(2, 4, 5)).astype(np.float32)
+        targets = rng.integers(0, 5, size=(2, 4))
+        got = F.sequence_log_likelihood(Tensor(logits), targets)
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        manual = log_probs[
+            np.arange(2)[:, None], np.arange(4)[None, :], targets
+        ].sum(axis=-1)
+        assert np.allclose(got, manual, atol=1e-5)
+
+    def test_mask_selects_positions(self):
+        rng = np.random.default_rng(8)
+        logits = rng.normal(size=(1, 3, 4)).astype(np.float32)
+        targets = np.array([[0, 1, 2]])
+        mask = np.array([[0.0, 1.0, 0.0]])
+        masked = F.sequence_log_likelihood(Tensor(logits), targets, mask=mask)
+        full = F.sequence_log_likelihood(Tensor(logits), targets)
+        assert masked[0] > full[0]  # dropping negative terms raises the sum
+
+    def test_rejects_2d_logits(self):
+        with pytest.raises(ShapeError):
+            F.sequence_log_likelihood(
+                Tensor(np.zeros((2, 3), dtype=np.float32)), np.zeros((2, 3), dtype=int)
+            )
+
+
+class TestDropout:
+    def test_identity_in_eval(self):
+        x = Tensor(np.ones((3, 3), dtype=np.float32))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_preserves_expectation(self):
+        rng = np.random.default_rng(9)
+        x = Tensor(np.ones((200, 200), dtype=np.float32))
+        out = F.dropout(x, 0.3, rng, training=True)
+        assert np.isclose(out.data.mean(), 1.0, atol=0.02)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ShapeError):
+            F.dropout(Tensor([1.0]), 1.5, np.random.default_rng(0), training=True)

@@ -1,0 +1,109 @@
+"""Property-based tests (hypothesis) for autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+_dims = st.integers(min_value=1, max_value=6)
+
+
+def _random_array(rng_seed, shape):
+    return np.random.default_rng(rng_seed).normal(size=shape).astype(np.float32)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=_dims, cols=_dims, seed=st.integers(0, 2**16))
+def test_sum_gradient_is_ones(rows, cols, seed):
+    x = Tensor(_random_array(seed, (rows, cols)), requires_grad=True)
+    x.sum().backward()
+    assert np.allclose(x.grad, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=_dims, cols=_dims, seed=st.integers(0, 2**16))
+def test_add_commutes(rows, cols, seed):
+    a = Tensor(_random_array(seed, (rows, cols)))
+    b = Tensor(_random_array(seed + 1, (rows, cols)))
+    assert np.allclose((a + b).data, (b + a).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=_dims, k=_dims, n=_dims, seed=st.integers(0, 2**16))
+def test_matmul_matches_numpy(m, k, n, seed):
+    a = _random_array(seed, (m, k))
+    b = _random_array(seed + 1, (k, n))
+    out = (Tensor(a) @ Tensor(b)).data
+    assert np.allclose(out, a @ b, atol=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=_dims, k=_dims, n=_dims, seed=st.integers(0, 2**16))
+def test_matmul_gradient_shapes(m, k, n, seed):
+    a = Tensor(_random_array(seed, (m, k)), requires_grad=True)
+    b = Tensor(_random_array(seed + 1, (k, n)), requires_grad=True)
+    (a @ b).sum().backward()
+    assert a.grad.shape == a.shape
+    assert b.grad.shape == b.shape
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=_dims, cols=st.integers(2, 8), seed=st.integers(0, 2**16))
+def test_softmax_is_distribution(rows, cols, seed):
+    x = Tensor(_random_array(seed, (rows, cols)) * 10)
+    out = F.softmax(x).data
+    assert (out >= 0).all()
+    assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=_dims, cols=st.integers(2, 8), seed=st.integers(0, 2**16))
+def test_softmax_gradient_rows_sum_to_zero(rows, cols, seed):
+    """d/dx of any function of softmax has zero row-sum gradient component
+    only for linear functionals; here check the simplex-tangency property:
+    the Jacobian-vector product with a constant vector is zero."""
+    x = Tensor(_random_array(seed, (rows, cols)), requires_grad=True)
+    F.softmax(x).sum().backward()
+    # softmax rows sum to 1 regardless of x, so the gradient of their sum is 0.
+    assert np.allclose(x.grad, 0.0, atol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    shape=st.tuples(_dims, _dims, _dims),
+    seed=st.integers(0, 2**16),
+)
+def test_reshape_roundtrip_gradient(shape, seed):
+    x = Tensor(_random_array(seed, shape), requires_grad=True)
+    flat = int(np.prod(shape))
+    y = x.reshape(flat).reshape(shape)
+    (y * 2.0).sum().backward()
+    assert np.allclose(x.grad, 2.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=_dims, cols=_dims, seed=st.integers(0, 2**16))
+def test_transpose_involution(rows, cols, seed):
+    x = Tensor(_random_array(seed, (rows, cols)))
+    assert np.array_equal(x.T.T.data, x.data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 10), seed=st.integers(0, 2**16))
+def test_cross_entropy_nonnegative(n, seed):
+    rng = np.random.default_rng(seed)
+    logits = Tensor(rng.normal(size=(n, 5)).astype(np.float32))
+    targets = rng.integers(0, 5, size=n)
+    assert F.cross_entropy(logits, targets).item() >= 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 8), seed=st.integers(0, 2**16))
+def test_log_likelihood_upper_bound_zero(n, seed):
+    rng = np.random.default_rng(seed)
+    logits = Tensor(rng.normal(size=(1, n, 6)).astype(np.float32))
+    targets = rng.integers(0, 6, size=(1, n))
+    ll = F.sequence_log_likelihood(logits, targets)
+    assert ll[0] <= 1e-6

@@ -1,0 +1,75 @@
+"""Tests for seeded generators and initializers."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import random as trandom
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = trandom.generator(42).random(5)
+        b = trandom.generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = trandom.generator(1).random(5)
+        b = trandom.generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_split_children_independent(self):
+        children = trandom.split(trandom.generator(0), 3)
+        draws = [c.random(4) for c in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+
+class TestInitializers:
+    def test_normal_statistics(self):
+        rng = trandom.generator(0)
+        t = trandom.normal(rng, (200, 200), std=0.02)
+        assert t.requires_grad
+        assert abs(float(t.data.std()) - 0.02) < 0.002
+
+    def test_uniform_bounds(self):
+        rng = trandom.generator(1)
+        t = trandom.uniform(rng, (100, 100), low=-0.1, high=0.1)
+        assert t.data.min() >= -0.1
+        assert t.data.max() <= 0.1
+
+    def test_xavier_bound_formula(self):
+        rng = trandom.generator(2)
+        t = trandom.xavier_uniform(rng, (64, 256))
+        bound = np.sqrt(6.0 / (64 + 256))
+        assert np.abs(t.data).max() <= bound + 1e-6
+
+    def test_kaiming_std(self):
+        rng = trandom.generator(3)
+        t = trandom.kaiming_normal(rng, (400, 100))
+        assert abs(float(t.data.std()) - np.sqrt(2.0 / 400)) < 0.01
+
+    def test_zeros_ones(self):
+        assert np.all(trandom.zeros((2, 2)).data == 0.0)
+        assert np.all(trandom.ones((2, 2)).data == 1.0)
+
+    def test_dtype_is_float32(self):
+        rng = trandom.generator(4)
+        assert trandom.normal(rng, (2, 2)).data.dtype == np.float32
+
+
+class TestOrthonormalColumns:
+    def test_columns_are_orthonormal(self):
+        rng = trandom.generator(5)
+        q = trandom.orthonormal_columns(rng, 10, 4)
+        assert q.shape == (10, 4)
+        assert np.allclose(q.T @ q, np.eye(4), atol=1e-10)
+
+    def test_square_case(self):
+        rng = trandom.generator(6)
+        q = trandom.orthonormal_columns(rng, 5, 5)
+        assert np.allclose(q.T @ q, np.eye(5), atol=1e-10)
+
+    def test_too_many_columns_rejected(self):
+        rng = trandom.generator(7)
+        with pytest.raises(ValueError):
+            trandom.orthonormal_columns(rng, 3, 5)

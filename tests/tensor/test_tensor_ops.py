@@ -1,0 +1,296 @@
+"""Gradient and value checks for every primitive tensor op."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GradientError, ShapeError
+from repro.tensor import Tensor
+from tests.conftest import finite_difference_gradient
+
+
+def _check_grad(build, shape, seed=0, atol=2e-3):
+    """Compare autograd to finite differences for a scalar-valued ``build``."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape).astype(np.float32)
+    x = Tensor(data, requires_grad=True)
+    out = build(x)
+    out.backward()
+
+    def scalar(values):
+        return build(Tensor(values.astype(np.float32))).item()
+
+    numeric = finite_difference_gradient(scalar, data)
+    assert x.grad is not None
+    assert np.allclose(x.grad, numeric, atol=atol), (
+        f"max err {np.abs(x.grad - numeric).max()}"
+    )
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        assert np.allclose(out.data, [4.0, 6.0])
+
+    def test_add_grad(self):
+        _check_grad(lambda x: (x + x * 2.0).sum(), (3, 4))
+
+    def test_add_broadcast_grad(self):
+        rng = np.random.default_rng(0)
+        bias = Tensor(rng.normal(size=(4,)).astype(np.float32), requires_grad=True)
+        x = Tensor(rng.normal(size=(3, 4)).astype(np.float32), requires_grad=True)
+        (x + bias).sum().backward()
+        assert bias.grad.shape == (4,)
+        assert np.allclose(bias.grad, 3.0)
+
+    def test_radd_scalar(self):
+        out = 2.0 + Tensor([1.0])
+        assert np.allclose(out.data, [3.0])
+
+    def test_sub(self):
+        out = Tensor([5.0]) - Tensor([2.0])
+        assert np.allclose(out.data, [3.0])
+
+    def test_rsub(self):
+        out = 1.0 - Tensor([3.0])
+        assert np.allclose(out.data, [-2.0])
+
+    def test_neg_grad(self):
+        _check_grad(lambda x: (-x).sum(), (5,))
+
+    def test_mul_grad(self):
+        _check_grad(lambda x: (x * x).sum(), (4, 2))
+
+    def test_mul_broadcast(self):
+        scale = Tensor(np.float32(2.5), requires_grad=True)
+        x = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        (x * scale).sum().backward()
+        assert np.allclose(scale.grad, 6.0)
+
+    def test_div_grad(self):
+        _check_grad(lambda x: (x / (x * x + 2.0)).sum(), (3, 3))
+
+    def test_rtruediv(self):
+        out = 6.0 / Tensor([2.0, 3.0])
+        assert np.allclose(out.data, [3.0, 2.0])
+
+    def test_pow_grad(self):
+        _check_grad(lambda x: (x**3).sum(), (4,))
+
+    def test_pow_tensor_exponent_rejected(self):
+        with pytest.raises(ShapeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+
+class TestTranscendental:
+    def test_exp_grad(self):
+        _check_grad(lambda x: x.exp().sum(), (3, 2))
+
+    def test_log_grad(self):
+        rng = np.random.default_rng(3)
+        data = (rng.random((4,)).astype(np.float32) + 0.5)
+        x = Tensor(data, requires_grad=True)
+        x.log().sum().backward()
+        assert np.allclose(x.grad, 1.0 / data, atol=1e-4)
+
+    def test_tanh_grad(self):
+        _check_grad(lambda x: x.tanh().sum(), (4, 4))
+
+    def test_sigmoid_values(self):
+        out = Tensor([0.0]).sigmoid()
+        assert np.allclose(out.data, [0.5])
+
+    def test_sigmoid_grad(self):
+        _check_grad(lambda x: x.sigmoid().sum(), (6,))
+
+    def test_relu(self):
+        x = Tensor([-1.0, 0.5], requires_grad=True)
+        out = x.relu()
+        assert np.allclose(out.data, [0.0, 0.5])
+        out.sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0])
+
+    def test_sqrt(self):
+        out = Tensor([4.0, 9.0]).sqrt()
+        assert np.allclose(out.data, [2.0, 3.0])
+
+
+class TestMatmul:
+    def test_2d_values(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[1.0, 0.0], [0.0, 1.0]])
+        assert np.allclose((a @ b).data, a.data)
+
+    def test_2d_grads(self):
+        rng = np.random.default_rng(7)
+        a = Tensor(rng.normal(size=(3, 4)).astype(np.float32), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 5)).astype(np.float32), requires_grad=True)
+        (a @ b).sum().backward()
+        assert np.allclose(a.grad, np.ones((3, 5)) @ b.data.T, atol=1e-5)
+        assert np.allclose(b.grad, a.data.T @ np.ones((3, 5)), atol=1e-5)
+
+    def test_batched_against_finite_difference(self):
+        rng = np.random.default_rng(8)
+        fixed = Tensor(rng.normal(size=(2, 4, 3)).astype(np.float32))
+
+        def build(x):
+            return (x @ fixed).sum()
+
+        _check_grad(build, (2, 3, 4), seed=9)
+
+    def test_broadcast_weight_grad(self):
+        rng = np.random.default_rng(10)
+        x = Tensor(rng.normal(size=(2, 5, 3)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 4)).astype(np.float32), requires_grad=True)
+        (x @ w).sum().backward()
+        assert w.grad.shape == (3, 4)
+        expected = np.einsum("bij,bik->jk", x.data, np.ones((2, 5, 4)))
+        assert np.allclose(w.grad, expected, atol=1e-4)
+
+    def test_vector_matrix(self):
+        v = Tensor(np.array([1.0, 2.0], dtype=np.float32), requires_grad=True)
+        m = Tensor(np.eye(2, dtype=np.float32) * 3.0, requires_grad=True)
+        out = v @ m
+        assert out.shape == (2,)
+        out.sum().backward()
+        assert np.allclose(v.grad, [3.0, 3.0])
+
+    def test_matrix_vector(self):
+        m = Tensor(np.ones((3, 2), dtype=np.float32), requires_grad=True)
+        v = Tensor(np.array([1.0, 2.0], dtype=np.float32), requires_grad=True)
+        out = m @ v
+        assert out.shape == (3,)
+        out.sum().backward()
+        assert np.allclose(v.grad, [3.0, 3.0])
+
+    def test_vector_vector_rejected(self):
+        with pytest.raises(ShapeError):
+            Tensor([1.0, 2.0]) @ Tensor([3.0, 4.0])
+
+
+class TestReductions:
+    def test_sum_axis(self):
+        x = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        assert np.allclose(x.sum(axis=0).data, [3.0, 5.0, 7.0])
+
+    def test_sum_keepdims_grad(self):
+        _check_grad(lambda x: (x.sum(axis=1, keepdims=True) * x).sum(), (3, 4))
+
+    def test_mean(self):
+        x = Tensor(np.arange(4, dtype=np.float32))
+        assert np.isclose(x.mean().item(), 1.5)
+
+    def test_mean_axis_grad(self):
+        _check_grad(lambda x: (x.mean(axis=-1) ** 2).sum(), (4, 5))
+
+    def test_max_values(self):
+        x = Tensor([[1.0, 5.0], [7.0, 2.0]])
+        assert np.allclose(x.max(axis=1).data, [5.0, 7.0])
+
+    def test_max_grad_flows_to_argmax(self):
+        x = Tensor([[1.0, 5.0, 2.0]], requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        x = Tensor([[3.0, 3.0]], requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.isclose(x.grad.sum(), 1.0)
+
+
+class TestShape:
+    def test_reshape_grad(self):
+        _check_grad(lambda x: (x.reshape(6) ** 2).sum(), (2, 3))
+
+    def test_reshape_tuple_arg(self):
+        x = Tensor(np.zeros((2, 3), dtype=np.float32))
+        assert x.reshape((3, 2)).shape == (3, 2)
+
+    def test_transpose_default(self):
+        x = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+        assert x.T.shape == (4, 3, 2)
+
+    def test_transpose_axes_grad(self):
+        fixed = Tensor(np.random.default_rng(0).normal(size=(2, 4, 3)).astype(np.float32))
+        _check_grad(lambda x: (x.transpose(0, 2, 1) * fixed).sum(), (2, 3, 4))
+
+    def test_swapaxes(self):
+        x = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+        assert x.swapaxes(1, 2).shape == (2, 4, 3)
+
+    def test_getitem_slice_grad(self):
+        x = Tensor(np.arange(10, dtype=np.float32), requires_grad=True)
+        x[2:5].sum().backward()
+        expected = np.zeros(10)
+        expected[2:5] = 1.0
+        assert np.allclose(x.grad, expected)
+
+    def test_getitem_fancy_repeated_indices_accumulate(self):
+        x = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+        ids = np.array([1, 1, 2])
+        x[ids].sum().backward()
+        assert np.allclose(x.grad, [0.0, 2.0, 1.0])
+
+    def test_concatenate_values_and_grads(self):
+        a = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.zeros((2, 3), dtype=np.float32), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * 2.0).sum().backward()
+        assert np.allclose(a.grad, 2.0)
+        assert np.allclose(b.grad, 2.0)
+
+    def test_masked_fill(self):
+        x = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        mask = np.array([[True, False], [False, True]])
+        out = x.masked_fill(mask, -5.0)
+        assert np.allclose(out.data, [[-5.0, 1.0], [1.0, -5.0]])
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0 - mask)
+
+
+class TestBackwardMechanics:
+    def test_scalar_backward_default_seed(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x * 3.0).sum().backward()
+        assert np.allclose(x.grad, [3.0])
+
+    def test_nonscalar_backward_requires_grad_arg(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(GradientError):
+            (x * 2.0).backward()
+
+    def test_wrong_seed_shape_rejected(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(GradientError):
+            (x * 2.0).backward(np.ones(3, dtype=np.float32))
+
+    def test_reused_tensor_accumulates(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x * 2.0 + x * 3.0
+        y.sum().backward()
+        assert np.allclose(x.grad, [5.0])
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x.detach() * 2.0).sum().backward()
+        assert x.grad is None
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        a = x * 2.0
+        (a + a * 3.0).sum().backward()
+        assert np.allclose(x.grad, [8.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor([1.0], requires_grad=True)
+        out = x
+        for _ in range(3000):
+            out = out + 0.0
+        out.sum().backward()
+        assert np.allclose(x.grad, [1.0])

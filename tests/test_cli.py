@@ -1,0 +1,53 @@
+"""The ``repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestCommands:
+    def test_experiments_lists_artifacts(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for artifact in ("table1", "fig9", "fig12", "ext-finetune"):
+            assert artifact in out
+
+    def test_run_table(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "O(2^37)" in out
+
+    def test_run_with_unknown_experiment(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["run", "fig99"])
+
+    def test_run_accuracy_experiment_with_limit(self, capsys, trained_llama):
+        assert main(["run", "fig7", "--limit", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate accuracy" in out
+
+    def test_eval_command(self, capsys, trained_llama):
+        assert main(["eval", "--limit", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "arc_easy" in out and "mean" in out
+
+    def test_train_loads_cached(self, capsys, trained_llama):
+        assert main(["train", "--model", "tiny-llama"]) == 0
+        assert "tiny-llama ready" in capsys.readouterr().out

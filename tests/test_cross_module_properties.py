@@ -1,0 +1,107 @@
+"""Cross-module property tests: invariants that tie subsystems together."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decomposition import (
+    DecompositionConfig,
+    design_space_size,
+    factorized_parameters,
+)
+from repro.hwmodel import build_workload, split_tensor_parallel
+from repro.models import LLAMA2_7B, get_config
+from repro.models.params import decomposed_parameters, total_parameters
+
+_layers = st.lists(st.integers(0, 31), min_size=1, max_size=8, unique=True)
+_roles = st.lists(
+    st.sampled_from(LLAMA2_7B.tensor_roles), min_size=1, max_size=7, unique=True
+)
+_rank = st.integers(1, 64)
+
+
+@settings(max_examples=60, deadline=None)
+@given(layers=_layers, roles=_roles, rank=_rank)
+def test_random_uniform_configs_are_valid(layers, roles, rank):
+    """Every in-range uniform γ satisfies Proposition 3.1."""
+    config = DecompositionConfig.uniform(layers, roles, rank=rank)
+    assert config.is_valid(LLAMA2_7B)
+    assert len(list(config.pairs())) == len(set(layers)) * len(set(roles))
+
+
+@settings(max_examples=60, deadline=None)
+@given(layers=_layers, roles=_roles, rank=st.integers(1, 128))
+def test_analytic_reduction_matches_per_tensor_sums(layers, roles, rank):
+    """Model-level decomposed parameter counts equal the sum of per-tensor
+    compression formulas — two independent accounting paths agree."""
+    before = total_parameters(LLAMA2_7B)
+    after = decomposed_parameters(LLAMA2_7B, layers, roles, rank)
+    expected_delta = 0
+    for _ in sorted(set(layers)):
+        for role in dict.fromkeys(roles):
+            height, width = LLAMA2_7B.tensor_shape(role)
+            expected_delta += height * width - factorized_parameters(height, width, rank)
+    assert before - after == expected_delta
+
+
+@settings(max_examples=30, deadline=None)
+@given(layers=_layers, roles=_roles)
+def test_workload_weight_bytes_track_parameter_savings(layers, roles):
+    """The hardware workload's weight traffic shrinks by exactly the FP16
+    bytes of the parameters the decomposition removes (matmul weights)."""
+    config = DecompositionConfig.uniform(layers, roles, rank=1)
+    dense = build_workload(LLAMA2_7B, 1, 128)
+    treated = build_workload(LLAMA2_7B, 1, 128, decomposition=config)
+    param_delta = total_parameters(LLAMA2_7B) - decomposed_parameters(
+        LLAMA2_7B, layers, roles, 1
+    )
+    byte_delta = dense.weight_bytes - treated.weight_bytes
+    assert byte_delta == pytest.approx(2.0 * param_delta, rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_layers=st.integers(1, 12),
+    n_tensors=st.integers(1, 7),
+    ranks=st.integers(1, 100),
+)
+def test_design_space_formula_structure(n_layers, n_tensors, ranks):
+    """Theorem 3.2 sanity: adding a layer more than doubles the non-identity
+    space; rank choices scale it linearly."""
+    base = design_space_size(n_layers, n_tensors, ranks) - 1
+    more_layers = design_space_size(n_layers + 1, n_tensors, ranks) - 1
+    more_ranks = design_space_size(n_layers, n_tensors, ranks + 1) - 1
+    assert more_layers > 2 * base - 1
+    assert more_ranks == base // ranks * (ranks + 1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_gpus=st.integers(1, 8), layers=_layers)
+def test_tensor_parallel_conserves_totals(n_gpus, layers):
+    """Sharding splits work without creating or destroying any of it."""
+    config = DecompositionConfig.uniform(layers, ("w_q",), rank=1)
+    workload = build_workload(LLAMA2_7B, 2, 64, decomposition=config)
+    sharded = split_tensor_parallel(workload, n_gpus)
+    assert sharded.flops * n_gpus == pytest.approx(workload.flops, rel=1e-12)
+    assert sharded.weight_bytes * n_gpus == pytest.approx(
+        workload.weight_bytes, rel=1e-12
+    )
+    assert sharded.n_kernels == workload.n_kernels
+
+
+@settings(max_examples=20, deadline=None)
+@given(rank=st.integers(1, 32), seed=st.integers(0, 2**16))
+def test_factorized_linear_parameter_invariant(rank, seed):
+    """A FactorizedLinear's live parameter count always matches the
+    compression formula used by the analytic accounting."""
+    from repro.nn import FactorizedLinear
+
+    rng = np.random.default_rng(seed)
+    height, width = 48, 80
+    layer = FactorizedLinear(
+        rng.normal(size=(height, rank)),
+        rng.normal(size=(rank, rank)),
+        rng.normal(size=(rank, width)),
+    )
+    assert layer.num_weight_parameters() == factorized_parameters(height, width, rank)

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs end to end.
+
+The heavy examples get tiny parameters; all rely on the cached pretrained
+model, so the suite stays fast after the first session.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run(name: str, argv=()):
+    saved = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = saved
+
+
+class TestExamples:
+    def test_quickstart(self, trained_llama, capsys):
+        _run("quickstart.py")
+        out = capsys.readouterr().out
+        assert "baseline accuracy" in out
+        assert "fewer parameters" in out
+
+    def test_design_space_tour(self, capsys):
+        _run("design_space_tour.py")
+        out = capsys.readouterr().out
+        assert "O(2^37)" in out
+        assert "Theorem 3.2 predicts" in out
+
+    def test_hardware_projection(self, capsys):
+        _run("hardware_projection.py")
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "power-trace" in out
+
+    def test_compress_and_evaluate(self, trained_llama, capsys):
+        _run("compress_and_evaluate.py", ["10"])
+        out = capsys.readouterr().out
+        assert "headline" in out
+
+    def test_train_tiny_llama(self, capsys):
+        _run("train_tiny_llama.py", ["3"])
+        out = capsys.readouterr().out
+        assert "trained 3 steps" in out
+
+    def test_generation_demo(self, trained_llama, capsys):
+        _run("generation_demo.py")
+        out = capsys.readouterr().out
+        assert "asking the trained tiny Llama" in out
+        assert "tok/s" in out
+
+    def test_compression_comparison(self, trained_llama, capsys):
+        _run("compression_comparison.py", ["10"])
+        out = capsys.readouterr().out
+        assert "int8 quant" in out
+        assert "accuracy by method" in out

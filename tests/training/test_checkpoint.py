@@ -1,0 +1,49 @@
+"""Checkpoint round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.models import build_model
+from repro.training import load_checkpoint, save_checkpoint
+
+
+class TestCheckpoint:
+    def test_round_trip_weights(self, tmp_path, micro_llama, tokenizer):
+        path = tmp_path / "model.npz"
+        save_checkpoint(path, micro_llama, tokenizer)
+        restored, restored_tok = load_checkpoint(path)
+        tokens = np.random.default_rng(0).integers(1, tokenizer.vocab_size, size=(2, 6))
+        assert np.allclose(
+            restored(tokens).data, micro_llama(tokens).data, atol=1e-6
+        )
+        assert restored_tok.state() == tokenizer.state()
+
+    def test_round_trip_config(self, tmp_path, micro_llama, micro_llama_config):
+        path = tmp_path / "model.npz"
+        save_checkpoint(path, micro_llama)
+        restored, tok = load_checkpoint(path)
+        assert restored.config == micro_llama_config
+        assert tok is None
+
+    def test_bert_round_trip(self, tmp_path, micro_bert, tokenizer):
+        path = tmp_path / "bert.npz"
+        save_checkpoint(path, micro_bert, tokenizer)
+        restored, _ = load_checkpoint(path)
+        tokens = np.random.default_rng(1).integers(1, tokenizer.vocab_size, size=(1, 5))
+        assert np.allclose(restored(tokens).data, micro_bert(tokens).data, atol=1e-6)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_non_checkpoint_npz_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_creates_parent_directories(self, tmp_path, micro_llama):
+        path = tmp_path / "deep" / "nested" / "model.npz"
+        save_checkpoint(path, micro_llama)
+        assert path.exists()

@@ -1,0 +1,39 @@
+"""Gradient accumulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.training import TrainConfig, train_causal_lm
+
+
+class TestGradAccumulation:
+    def test_invalid_accumulation_rejected(self):
+        with pytest.raises(ConfigError):
+            TrainConfig(grad_accumulation=0)
+
+    def test_training_runs_and_converges(self, micro_llama, tokenizer, corpus):
+        config = TrainConfig(
+            steps=20, batch_size=8, grad_accumulation=4, lr=3e-3, warmup_steps=2
+        )
+        log = train_causal_lm(micro_llama, tokenizer, corpus[:200], config)
+        assert len(log.losses) == 20
+        assert np.mean(log.losses[-5:]) < np.mean(log.losses[:5])
+
+    def test_accumulated_loss_comparable_to_big_batch(
+        self, micro_llama_config, tokenizer, corpus
+    ):
+        """4x8 accumulated micro-batches should train about as well as one
+        batch of 32 (identical expected gradient)."""
+        from repro.models import build_model
+
+        results = []
+        for batch_size, accumulation in ((32, 1), (8, 4)):
+            model = build_model(micro_llama_config, rng=np.random.default_rng(0))
+            config = TrainConfig(
+                steps=30, batch_size=batch_size, grad_accumulation=accumulation,
+                lr=3e-3, warmup_steps=3, seed=9,
+            )
+            log = train_causal_lm(model, tokenizer, corpus[:300], config)
+            results.append(log.smoothed_final_loss(10))
+        assert results[1] == pytest.approx(results[0], abs=0.5)

@@ -1,0 +1,123 @@
+"""Optimizers: analytic single steps and convergence on a quadratic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+from repro.training import SGD, Adam, AdamW
+
+
+def _quadratic_param(start=5.0):
+    return Parameter(np.array([start], dtype=np.float32))
+
+
+def _step_quadratic(optimizer, param, n_steps):
+    for _ in range(n_steps):
+        optimizer.zero_grad()
+        loss = (param * param).sum()
+        loss.backward()
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_single_step_matches_formula(self):
+        param = _quadratic_param(2.0)
+        optimizer = SGD([param], lr=0.1)
+        _step_quadratic(optimizer, param, 1)
+        # grad of x^2 at 2 is 4 -> x = 2 - 0.1*4 = 1.6
+        assert param.data[0] == pytest.approx(1.6, abs=1e-6)
+
+    def test_converges_on_quadratic(self):
+        param = _quadratic_param()
+        assert abs(_step_quadratic(SGD([param], lr=0.1), param, 100)) < 1e-4
+
+    def test_momentum_accelerates(self):
+        plain, heavy = _quadratic_param(), _quadratic_param()
+        after_plain = abs(_step_quadratic(SGD([plain], lr=0.01), plain, 20))
+        after_momentum = abs(
+            _step_quadratic(SGD([heavy], lr=0.01, momentum=0.9), heavy, 20)
+        )
+        assert after_momentum < after_plain
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ConfigError):
+            SGD([_quadratic_param()], lr=0.1, momentum=1.0)
+
+    def test_skips_parameters_without_grad(self):
+        param = _quadratic_param()
+        optimizer = SGD([param], lr=0.1)
+        optimizer.step()  # no backward called
+        assert param.data[0] == 5.0
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        """With bias correction, Adam's first step is ~lr * sign(grad)."""
+        param = _quadratic_param(1.0)
+        optimizer = Adam([param], lr=0.05)
+        _step_quadratic(optimizer, param, 1)
+        assert param.data[0] == pytest.approx(1.0 - 0.05, abs=1e-4)
+
+    def test_converges_on_quadratic(self):
+        param = _quadratic_param()
+        assert abs(_step_quadratic(Adam([param], lr=0.3), param, 200)) < 1e-2
+
+    def test_invalid_betas(self):
+        with pytest.raises(ConfigError):
+            Adam([_quadratic_param()], betas=(1.0, 0.999))
+
+    def test_coupled_weight_decay_acts_through_gradient(self):
+        """With zero loss gradient, coupled decay still moves the weight
+        (it is folded into the gradient before the adaptive step)."""
+        param = Parameter(np.array([3.0], dtype=np.float32))
+        optimizer = Adam([param], lr=0.01, weight_decay=0.5)
+        param.grad = np.zeros(1, dtype=np.float32)
+        optimizer.step()
+        assert 0 < param.data[0] < 3.0
+
+
+class TestAdamW:
+    def test_decay_shrinks_weights_even_without_loss_gradient(self):
+        param = Parameter(np.array([3.0], dtype=np.float32))
+        optimizer = AdamW([param], lr=0.1, weight_decay=0.5)
+        # Provide a zero gradient so only the decoupled decay acts.
+        param.grad = np.zeros(1, dtype=np.float32)
+        optimizer.step()
+        assert 0 < param.data[0] < 3.0
+
+    def test_converges(self):
+        param = _quadratic_param()
+        assert abs(_step_quadratic(AdamW([param], lr=0.3), param, 200)) < 5e-2
+
+
+class TestOptimizerBase:
+    def test_no_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ConfigError):
+            SGD([_quadratic_param()], lr=0.0)
+
+    def test_clip_grad_norm_scales(self):
+        param = Parameter(np.array([3.0, 4.0], dtype=np.float32))
+        param.grad = np.array([3.0, 4.0], dtype=np.float32)
+        optimizer = SGD([param], lr=0.1)
+        norm = optimizer.clip_grad_norm(1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, abs=1e-5)
+
+    def test_clip_noop_below_threshold(self):
+        param = Parameter(np.array([0.3], dtype=np.float32))
+        param.grad = np.array([0.3], dtype=np.float32)
+        SGD([param], lr=0.1).clip_grad_norm(10.0)
+        assert param.grad[0] == pytest.approx(0.3)
+
+    def test_zero_grad(self):
+        param = _quadratic_param()
+        param.grad = np.ones(1, dtype=np.float32)
+        SGD([param], lr=0.1).zero_grad()
+        assert param.grad is None

@@ -1,0 +1,137 @@
+"""LR schedules, the trainers, and MLM masking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+from repro.training import (
+    ConstantLR,
+    SGD,
+    TrainConfig,
+    WarmupCosine,
+    mask_tokens,
+    train_causal_lm,
+    train_masked_lm,
+)
+
+
+def _optimizer(lr=1.0):
+    return SGD([Parameter(np.zeros(1, dtype=np.float32))], lr=lr)
+
+
+class TestSchedulers:
+    def test_constant(self):
+        scheduler = ConstantLR(_optimizer(0.5))
+        assert scheduler.step() == 0.5
+        assert scheduler.step() == 0.5
+
+    def test_warmup_ramps_linearly(self):
+        scheduler = WarmupCosine(_optimizer(1.0), warmup_steps=10, total_steps=100)
+        lrs = [scheduler.step() for _ in range(10)]
+        assert lrs[0] == pytest.approx(0.1)
+        assert lrs[-1] == pytest.approx(1.0)
+        assert all(b >= a for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_decays_to_min(self):
+        scheduler = WarmupCosine(
+            _optimizer(1.0), warmup_steps=0, total_steps=50, min_lr=0.1
+        )
+        for _ in range(50):
+            last = scheduler.step()
+        assert last == pytest.approx(0.1, abs=1e-6)
+
+    def test_updates_optimizer_lr(self):
+        optimizer = _optimizer(1.0)
+        scheduler = WarmupCosine(optimizer, warmup_steps=2, total_steps=10)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.5)
+
+    def test_warmup_longer_than_total_rejected(self):
+        with pytest.raises(ConfigError):
+            WarmupCosine(_optimizer(), warmup_steps=10, total_steps=10)
+
+
+class TestCausalTrainer:
+    def test_loss_decreases(self, micro_llama, tokenizer, corpus):
+        config = TrainConfig(steps=25, batch_size=16, lr=3e-3, warmup_steps=2)
+        log = train_causal_lm(micro_llama, tokenizer, corpus[:300], config)
+        first = np.mean(log.losses[:5])
+        last = np.mean(log.losses[-5:])
+        assert last < first
+        assert log.steps == 25
+        assert log.seconds > 0
+
+    def test_model_left_in_eval_mode(self, micro_llama, tokenizer, corpus):
+        config = TrainConfig(steps=2, batch_size=4, warmup_steps=1)
+        train_causal_lm(micro_llama, tokenizer, corpus[:50], config)
+        assert not micro_llama.training
+
+    def test_deterministic_given_seed(self, micro_llama_config, tokenizer, corpus):
+        from repro.models import build_model
+
+        losses = []
+        for _ in range(2):
+            model = build_model(micro_llama_config, rng=np.random.default_rng(0))
+            config = TrainConfig(steps=5, batch_size=8, warmup_steps=1, seed=3)
+            log = train_causal_lm(model, tokenizer, corpus[:100], config)
+            losses.append(log.losses)
+        assert losses[0] == losses[1]
+
+    def test_empty_corpus_rejected(self, micro_llama, tokenizer):
+        with pytest.raises(ConfigError):
+            train_causal_lm(micro_llama, tokenizer, [], TrainConfig(steps=1, warmup_steps=0))
+
+    def test_final_loss_accessors(self, micro_llama, tokenizer, corpus):
+        config = TrainConfig(steps=3, batch_size=4, warmup_steps=1)
+        log = train_causal_lm(micro_llama, tokenizer, corpus[:50], config)
+        assert log.final_loss == log.losses[-1]
+        assert np.isfinite(log.smoothed_final_loss())
+
+
+class TestMaskedTrainer:
+    def test_loss_decreases(self, micro_bert, tokenizer, corpus):
+        config = TrainConfig(steps=25, batch_size=16, lr=3e-3, warmup_steps=2)
+        log = train_masked_lm(micro_bert, tokenizer, corpus[:300], config)
+        assert np.mean(log.losses[-5:]) < np.mean(log.losses[:5])
+
+    def test_invalid_mask_prob(self, micro_bert, tokenizer, corpus):
+        with pytest.raises(ConfigError):
+            train_masked_lm(
+                micro_bert, tokenizer, corpus[:10],
+                TrainConfig(steps=1, warmup_steps=0), mask_prob=0.0,
+            )
+
+
+class TestMaskTokens:
+    def test_masked_positions_have_targets(self, tokenizer):
+        rng = np.random.default_rng(0)
+        ids = rng.integers(5, 50, size=(4, 10))
+        real = np.ones_like(ids, dtype=bool)
+        corrupted, targets = mask_tokens(ids, real, tokenizer, rng, mask_prob=0.3)
+        masked = corrupted == tokenizer.mask_id
+        assert masked.any()
+        assert np.array_equal(targets[masked], ids[masked])
+        assert np.all(targets[~masked] == -1)
+
+    def test_bos_never_masked(self, tokenizer):
+        rng = np.random.default_rng(1)
+        ids = np.full((2, 6), 7, dtype=np.int64)
+        real = np.ones_like(ids, dtype=bool)
+        corrupted, _ = mask_tokens(ids, real, tokenizer, rng, mask_prob=0.99)
+        assert np.all(corrupted[:, 0] == 7)
+
+    def test_at_least_one_mask_guaranteed(self, tokenizer):
+        rng = np.random.default_rng(2)
+        ids = np.full((1, 4), 9, dtype=np.int64)
+        real = np.ones_like(ids, dtype=bool)
+        corrupted, _ = mask_tokens(ids, real, tokenizer, rng, mask_prob=1e-9)
+        assert (corrupted == tokenizer.mask_id).sum() >= 1
+
+    def test_padding_never_masked(self, tokenizer):
+        rng = np.random.default_rng(3)
+        ids = np.full((1, 6), 9, dtype=np.int64)
+        real = np.ones_like(ids, dtype=bool)
+        real[0, 3:] = False
+        corrupted, _ = mask_tokens(ids, real, tokenizer, rng, mask_prob=0.99)
+        assert np.all(corrupted[0, 3:] == 9)
