@@ -6,8 +6,8 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.analysis.macs import model_macs
-from repro.analysis.vision import resnet50_macs, resnet50_params, resnet50_size_bytes
-from repro.decomposition.space import design_space_log2, format_scale
+from repro.analysis.vision import resnet50_macs, resnet50_size_bytes
+from repro.decomposition.space import format_scale
 from repro.models import get_config
 from repro.models.params import (
     BYTES_PER_PARAM_FP16,

@@ -8,6 +8,10 @@ Commands
 - ``repro train [--model tiny-llama|tiny-bert]`` — (re)train and cache the
   tiny model checkpoints.
 - ``repro eval [--limit N]`` — evaluate the cached tiny Llama on the suite.
+- ``repro serve-bench [--variants dense,pr33,...]`` — replay a synthetic
+  Poisson trace through the continuous-batching engine for each model
+  variant and report TTFT/throughput percentiles next to the analytic
+  hardware-model projection.
 """
 
 from __future__ import annotations
@@ -75,6 +79,54 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_range(text: str, flag: str):
+    try:
+        low, _, high = text.partition(":")
+        return (int(low), int(high if high else low))
+    except ValueError:
+        raise SystemExit(f"{flag} expects LOW:HIGH (e.g. 8:32), got {text!r}")
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.models import build_model, get_config
+    from repro.serving import EngineConfig, poisson_trace, run_serve_bench
+
+    config = get_config(args.model)
+    model = build_model(config, rng=np.random.default_rng(args.seed))
+    model.eval()
+    trace = poisson_trace(
+        args.requests,
+        rate_rps=args.rate,
+        vocab_size=config.vocab_size,
+        prompt_len=_parse_range(args.prompt_len, "--prompt-len"),
+        new_tokens=_parse_range(args.new_tokens, "--new-tokens"),
+        seed=args.seed,
+    )
+    engine_config = EngineConfig(
+        max_batch=args.max_batch,
+        token_budget=args.token_budget,
+        n_blocks=args.blocks,
+        block_tokens=args.block_tokens,
+    )
+    variants = [spec.strip() for spec in args.variants.split(",") if spec.strip()]
+    report = run_serve_bench(
+        model, variants, trace, engine_config=engine_config, gpu_name=args.gpu
+    )
+    print(report.table())
+    print()
+    for result in report.results:
+        if result.spec != "dense" and "dense" in variants:
+            print(
+                f"{result.spec}: measured decode speedup over dense "
+                f"{report.speedup_over_dense(result.spec):.2f}x "
+                f"(hwmodel projects {result.projected_tokens_per_s:,.0f} tok/s "
+                f"at batch {result.projection.batch})"
+            )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -119,6 +171,28 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = sub.add_parser("eval", help="evaluate the cached tiny Llama")
     evaluate.add_argument("--limit", type=int, default=None)
     evaluate.set_defaults(func=_cmd_eval)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="replay a Poisson trace through the serving engine per variant",
+    )
+    serve.add_argument("--model", default="serve-llama")
+    serve.add_argument(
+        "--variants",
+        default="dense,pr33",
+        help="comma-separated specs: dense, pr<NN> (Table 4), rank<K>",
+    )
+    serve.add_argument("--requests", type=int, default=32)
+    serve.add_argument("--rate", type=float, default=50.0, help="arrivals per second")
+    serve.add_argument("--prompt-len", default="8:32", help="prompt length LOW:HIGH")
+    serve.add_argument("--new-tokens", default="4:16", help="generation budget LOW:HIGH")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--gpu", default="a100-80gb", help="GPU spec for the projection")
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument("--token-budget", type=int, default=64)
+    serve.add_argument("--blocks", type=int, default=256)
+    serve.add_argument("--block-tokens", type=int, default=16)
+    serve.set_defaults(func=_cmd_serve_bench)
 
     report = sub.add_parser(
         "report", help="regenerate every artifact into a markdown report"

@@ -26,7 +26,7 @@ Design choices mirror the difficulty gradient of the paper's benchmarks:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

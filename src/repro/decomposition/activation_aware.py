@@ -16,7 +16,7 @@ Pipeline: record per-channel input scales on a calibration corpus
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 import numpy as np
 

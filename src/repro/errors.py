@@ -37,3 +37,11 @@ class HardwareModelError(ReproError, ValueError):
 
 class CheckpointError(ReproError, IOError):
     """A model checkpoint could not be saved or restored."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """The serving engine was driven with invalid requests or state."""
+
+
+class PoolExhaustedError(ServingError):
+    """The preallocated KV-cache block pool has no free blocks left."""

@@ -18,6 +18,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.data import World, build_corpus, corpus_vocabulary
+from repro.errors import CheckpointError
 from repro.eval import WordTokenizer
 from repro.models import BertModel, LlamaModel, build_model, get_config
 from repro.training import (
@@ -66,16 +67,36 @@ def _checkpoint_path(name: str) -> Path:
     return cache_dir() / f"{name}-v{DATA_VERSION}.npz"
 
 
+def _load_cached(path: Path, tokenizer: WordTokenizer):
+    """Load a cached checkpoint, or None when absent/stale/corrupt.
+
+    A corrupt file (e.g. truncated by a killed process before saves became
+    atomic) is deleted so the caller falls through to retraining.
+    """
+    if not path.exists():
+        return None
+    try:
+        model, saved_tokenizer = load_checkpoint(path)
+    except CheckpointError:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    if saved_tokenizer is None or saved_tokenizer.state() != tokenizer.state():
+        return None
+    model.eval()
+    return model
+
+
 @lru_cache(maxsize=None)
 def pretrained_tiny_llama(verbose: bool = False) -> Tuple[LlamaModel, WordTokenizer]:
     """The trained tiny Llama used by every accuracy experiment."""
     path = _checkpoint_path("tiny-llama")
     tokenizer = get_tokenizer()
-    if path.exists():
-        model, saved_tokenizer = load_checkpoint(path)
-        if saved_tokenizer is not None and saved_tokenizer.state() == tokenizer.state():
-            model.eval()
-            return model, tokenizer
+    model = _load_cached(path, tokenizer)
+    if model is not None:
+        return model, tokenizer
     config = get_config("tiny-llama").with_vocab(tokenizer.vocab_size)
     model = build_model(config, rng=np.random.default_rng(INIT_SEED))
     train_causal_lm(model, tokenizer, list(get_corpus()), LLAMA_TRAIN, verbose=verbose)
@@ -88,11 +109,9 @@ def pretrained_tiny_bert(verbose: bool = False) -> Tuple[BertModel, WordTokenize
     """The trained tiny BERT used by the encoder-side sensitivity study."""
     path = _checkpoint_path("tiny-bert")
     tokenizer = get_tokenizer()
-    if path.exists():
-        model, saved_tokenizer = load_checkpoint(path)
-        if saved_tokenizer is not None and saved_tokenizer.state() == tokenizer.state():
-            model.eval()
-            return model, tokenizer
+    model = _load_cached(path, tokenizer)
+    if model is not None:
+        return model, tokenizer
     config = get_config("tiny-bert").with_vocab(tokenizer.vocab_size)
     model = build_model(config, rng=np.random.default_rng(INIT_SEED))
     train_masked_lm(model, tokenizer, list(get_corpus()), BERT_TRAIN, verbose=verbose)

@@ -11,7 +11,7 @@ savings track latency savings — the paper's matching ~0.5 %/1 % ratios.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

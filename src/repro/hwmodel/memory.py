@@ -9,7 +9,7 @@ reduction rather than a full 1 %.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Optional
 
 from repro.decomposition.config import DecompositionConfig
 from repro.errors import HardwareModelError

@@ -11,7 +11,7 @@ savings are smaller than parameter savings (the paper's ~0.5 % latency per
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.decomposition.config import DecompositionConfig
 from repro.errors import HardwareModelError

@@ -19,6 +19,7 @@ from repro.models.registry import (
     LLAMA2_13B,
     LLAMA2_70B,
     PAPER_SCALE_MODELS,
+    SERVE_LLAMA,
     TINY_BERT,
     TINY_LLAMA,
     TINY_MODELS,
@@ -61,4 +62,5 @@ __all__ = [
     "BERT_LARGE",
     "TINY_LLAMA",
     "TINY_BERT",
+    "SERVE_LLAMA",
 ]

@@ -9,7 +9,7 @@ decomposable weight tensor carries one of the paper's role names
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -170,6 +170,38 @@ class LlamaModel(Module):
             next_token = int(np.argmax(logits.data[0, -1]))
             tokens = np.concatenate([tokens, [[next_token]]], axis=1)
         return tokens[0]
+
+    def forward_ragged(
+        self,
+        tokens: np.ndarray,
+        caches,
+        new_lengths,
+    ) -> Tensor:
+        """Cached forward over a ragged batch of independent sequences.
+
+        ``tokens`` is a right-padded (B, T_max) batch where row ``b``
+        contributes ``new_lengths[b]`` valid new positions appended to
+        ``caches[b]`` (a :class:`~repro.nn.kv_cache.ModelKVCache`-compatible
+        per-sequence cache, e.g. a block-pool backed one).  Rows may sit at
+        different depths; each attends its own history only.  Returns
+        (B, T_max, vocab) logits — row ``b`` is valid up to position
+        ``new_lengths[b] - 1``; padded positions hold garbage.
+
+        This is the forward pass the continuous-batching engine in
+        :mod:`repro.serving` drives: prefill chunks and single-token decode
+        steps of different requests share one batched pass.
+        """
+        from repro.nn.kv_cache import RaggedModelCaches
+
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ConfigError(f"expected (B, T) token ids, got shape {tokens.shape}")
+        if tokens.shape[0] != len(caches):
+            raise ConfigError(
+                f"need one cache per row: {tokens.shape[0]} rows, {len(caches)} caches"
+            )
+        ragged = RaggedModelCaches(list(caches), new_lengths)
+        return self._forward_with_cache(tokens, ragged)
 
     def _forward_with_cache(self, tokens: np.ndarray, cache) -> Tensor:
         """Forward over new ``tokens`` only, extending ``cache`` in place."""

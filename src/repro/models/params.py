@@ -9,7 +9,7 @@ hardware model's memory footprints.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Tuple
 
 from repro.decomposition.metrics import factorized_parameters
 from repro.errors import ConfigError

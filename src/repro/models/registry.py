@@ -10,6 +10,10 @@ Two groups:
 - **Tiny** configs (``tiny-llama``, ``tiny-bert``) with the same topology
   and tensor roles, small enough to train from scratch in NumPy.  All
   accuracy experiments run on these.
+- ``serve-llama``: a mid-size GQA config for the serving benchmark — wide
+  enough (dim 384) that rank-1 factorized matmuls beat dense GEMMs in
+  NumPy, so measured decode speedups point the same way as the paper's
+  A100 results, yet small enough to replay traces in seconds.
 """
 
 from __future__ import annotations
@@ -109,6 +113,20 @@ TINY_LLAMA = _register(
         n_heads=4,
         mlp_hidden=176,
         max_seq_len=192,
+    )
+)
+
+SERVE_LLAMA = _register(
+    ModelConfig(
+        name="serve-llama",
+        family="llama",
+        vocab_size=TINY_PLACEHOLDER_VOCAB,
+        dim=384,
+        n_layers=6,
+        n_heads=6,
+        n_kv_heads=3,
+        mlp_hidden=1024,
+        max_seq_len=256,
     )
 )
 

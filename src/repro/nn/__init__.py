@@ -3,7 +3,12 @@
 from repro.nn.attention import MultiHeadAttention, causal_mask
 from repro.nn.embedding import Embedding, PositionalEmbedding
 from repro.nn.factorized import FactorizedLinear
-from repro.nn.kv_cache import LayerKVCache, ModelKVCache
+from repro.nn.kv_cache import (
+    LayerKVCache,
+    ModelKVCache,
+    RaggedLayerCaches,
+    RaggedModelCaches,
+)
 from repro.nn.linear import Linear
 from repro.nn.mlp import GeluMLP, SwiGluMLP
 from repro.nn.module import Module, ModuleList, Parameter
@@ -25,6 +30,8 @@ __all__ = [
     "causal_mask",
     "LayerKVCache",
     "ModelKVCache",
+    "RaggedLayerCaches",
+    "RaggedModelCaches",
     "GeluMLP",
     "SwiGluMLP",
 ]

@@ -12,6 +12,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.nn.kv_cache import RaggedLayerCaches
 from repro.nn.linear import Linear
 from repro.nn.module import Module
 from repro.nn.rope import RotaryEmbedding
@@ -105,9 +106,18 @@ class MultiHeadAttention(Module):
         previously processed positions; when given, ``x`` contains only the
         *new* positions, the cache is extended in place, and gradients do
         not flow into cached history (inference-only path).
+
+        ``cache`` may instead be a
+        :class:`~repro.nn.kv_cache.RaggedLayerCaches` bundling one cache per
+        batch row, in which case ``x`` is a right-padded batch of new
+        positions for *independent* sequences at different depths (the
+        continuous-batching path); padded slots produce garbage that the
+        caller discards.
         """
         if x.ndim != 3:
             raise ShapeError(f"attention expects (B, T, D), got {x.shape}")
+        if isinstance(cache, RaggedLayerCaches):
+            return self._forward_ragged(x, cache)
         batch, seq_len, _ = x.shape
         offset = 0 if cache is None else cache.seq_len
         q = self._split_heads(self.w_q(x), batch, seq_len, self.n_heads)
@@ -139,4 +149,59 @@ class MultiHeadAttention(Module):
         weights = F.softmax(scores, axis=-1)
         context = weights @ v
         merged = context.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.dim)
+        return self.w_so(merged)
+
+    def _forward_ragged(self, x: Tensor, ragged: RaggedLayerCaches) -> Tensor:
+        """Batched attention over independent sequences of unequal depth.
+
+        Row ``b`` of ``x`` holds ``ragged.new_lengths[b]`` valid new
+        positions (right-padded to the batch maximum) for a sequence whose
+        cache already stores ``ragged.offsets[b]`` positions.  Each row's
+        valid prefix is appended to its own cache; attention then runs as
+        one padded batched softmax with a combined causal + ragged-length
+        mask.  Outputs at padded slots are garbage by construction.
+        """
+        if not self.causal:
+            raise ShapeError("ragged cached attention requires a causal decoder")
+        batch, max_new, _ = x.shape
+        if len(ragged) != batch:
+            raise ShapeError(
+                f"ragged batch mismatch: {batch} rows, {len(ragged)} caches"
+            )
+        lengths = ragged.new_lengths
+        if np.any(lengths < 1) or np.any(lengths > max_new):
+            raise ShapeError(
+                f"row lengths {lengths} out of range [1, {max_new}]"
+            )
+        offsets = ragged.offsets
+        q = self._split_heads(self.w_q(x), batch, max_new, self.n_heads)
+        k = self._split_heads(self.w_k(x), batch, max_new, self.n_kv_heads)
+        v = self._split_heads(self.w_v(x), batch, max_new, self.n_kv_heads)
+        if self.rope is not None:
+            q = self.rope.apply(q, offset=offsets)
+            k = self.rope.apply(k, offset=offsets)
+        totals = offsets + lengths
+        max_total = int(totals.max())
+        full_k = np.zeros(
+            (batch, self.n_kv_heads, max_total, self.head_dim), dtype=np.float32
+        )
+        full_v = np.zeros_like(full_k)
+        for row, cache in enumerate(ragged.caches):
+            valid = int(lengths[row])
+            row_keys, row_values = cache.append(
+                k.data[row : row + 1, :, :valid], v.data[row : row + 1, :, :valid]
+            )
+            full_k[row, :, : totals[row]] = row_keys[0]
+            full_v[row, :, : totals[row]] = row_values[0]
+        keys = self._expand_kv(Tensor(full_k))
+        values = self._expand_kv(Tensor(full_v))
+        scale = 1.0 / float(np.sqrt(self.head_dim))
+        scores = (q @ keys.transpose(0, 1, 3, 2)) * scale  # (B, H, T, max_total)
+        key_pos = np.arange(max_total, dtype=np.int64)[None, None, :]
+        query_pos = offsets[:, None, None] + np.arange(max_new, dtype=np.int64)[None, :, None]
+        invalid = (key_pos > query_pos) | (key_pos >= totals[:, None, None])
+        scores = scores.masked_fill(invalid[:, None, :, :], _NEG_INF)
+        weights = F.softmax(scores, axis=-1)
+        context = weights @ values
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, max_new, self.dim)
         return self.w_so(merged)

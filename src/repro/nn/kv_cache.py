@@ -1,30 +1,82 @@
-"""Key/value cache for incremental autoregressive decoding.
+"""Key/value caches for incremental autoregressive decoding.
 
 One :class:`LayerKVCache` per decoder layer stores the keys and values of
 all previously processed positions (post-RoPE, pre-GQA-expansion), so each
 new token costs one forward pass over a single position instead of the
 whole context.
+
+Storage is a preallocated buffer grown by geometric doubling: appending a
+token is an O(1) amortized copy into the next free slots, and ``append``
+returns zero-copy *views* of the valid prefix.  (The original implementation
+re-``np.concatenate``-d the whole history every token — O(T^2) over a
+generation.)
+
+:class:`RaggedLayerCaches` / :class:`RaggedModelCaches` bundle several
+independent per-sequence caches into one batch object so a single forward
+pass can serve sequences of different lengths — the interface the
+continuous-batching engine in :mod:`repro.serving` drives.  Any object with
+the ``seq_len`` / ``append`` contract (e.g. the block-pool backed caches in
+:mod:`repro.serving.pool`) can participate.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ShapeError
+
+_INITIAL_CAPACITY = 16
 
 
 class LayerKVCache:
     """Grows along the sequence axis as tokens are appended."""
 
     def __init__(self) -> None:
-        self.keys: Optional[np.ndarray] = None    # (B, H_kv, T, Dh)
-        self.values: Optional[np.ndarray] = None
+        self._keys: Optional[np.ndarray] = None    # (B, H_kv, capacity, Dh)
+        self._values: Optional[np.ndarray] = None
+        self._len = 0
 
     @property
     def seq_len(self) -> int:
-        return 0 if self.keys is None else self.keys.shape[2]
+        return self._len
+
+    @property
+    def capacity(self) -> int:
+        """Currently allocated sequence slots (grows geometrically)."""
+        return 0 if self._keys is None else self._keys.shape[2]
+
+    @property
+    def keys(self) -> Optional[np.ndarray]:
+        """View of the valid (B, H_kv, seq_len, Dh) key prefix."""
+        if self._len == 0:
+            return None
+        return self._keys[:, :, : self._len]
+
+    @property
+    def values(self) -> Optional[np.ndarray]:
+        if self._len == 0:
+            return None
+        return self._values[:, :, : self._len]
+
+    def _ensure_capacity(self, extra: int) -> None:
+        needed = self._len + extra
+        capacity = self.capacity
+        if needed <= capacity:
+            return
+        new_capacity = max(capacity, _INITIAL_CAPACITY)
+        while new_capacity < needed:
+            new_capacity *= 2
+        batch, heads, _, head_dim = self._keys.shape
+        grown_keys = np.empty(
+            (batch, heads, new_capacity, head_dim), dtype=self._keys.dtype
+        )
+        grown_values = np.empty_like(grown_keys)
+        grown_keys[:, :, : self._len] = self._keys[:, :, : self._len]
+        grown_values[:, :, : self._len] = self._values[:, :, : self._len]
+        self._keys = grown_keys
+        self._values = grown_values
 
     def append(self, keys: np.ndarray, values: np.ndarray) -> tuple:
         """Append new positions; returns the full (keys, values) so far."""
@@ -35,16 +87,23 @@ class LayerKVCache:
                 f"cache entries must be matching (B, H, T, Dh); got "
                 f"{keys.shape} / {values.shape}"
             )
-        if self.keys is None:
-            self.keys = keys.copy()
-            self.values = values.copy()
+        new_tokens = keys.shape[2]
+        if self._keys is None:
+            batch, heads, _, head_dim = keys.shape
+            capacity = max(new_tokens, _INITIAL_CAPACITY)
+            self._keys = np.empty((batch, heads, capacity, head_dim), dtype=keys.dtype)
+            self._values = np.empty_like(self._keys)
         else:
-            if keys.shape[:2] != self.keys.shape[:2] or keys.shape[3] != self.keys.shape[3]:
+            stored = self._keys.shape
+            if keys.shape[:2] != stored[:2] or keys.shape[3] != stored[3]:
                 raise ShapeError(
-                    f"cache shape mismatch: stored {self.keys.shape}, new {keys.shape}"
+                    f"cache shape mismatch: stored "
+                    f"{(stored[0], stored[1], self._len, stored[3])}, new {keys.shape}"
                 )
-            self.keys = np.concatenate([self.keys, keys], axis=2)
-            self.values = np.concatenate([self.values, values], axis=2)
+            self._ensure_capacity(new_tokens)
+        self._keys[:, :, self._len : self._len + new_tokens] = keys
+        self._values[:, :, self._len : self._len + new_tokens] = values
+        self._len += new_tokens
         return self.keys, self.values
 
 
@@ -62,6 +121,63 @@ class ModelKVCache:
 
     def __getitem__(self, index: int) -> LayerKVCache:
         return self.layers[index]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+
+class RaggedLayerCaches:
+    """One decoder layer's caches for a *batch* of independent sequences.
+
+    Row ``b`` of the batched input contributes ``new_lengths[b]`` valid
+    (right-padded) positions which are appended to ``caches[b]``; each
+    sequence keeps its own history length, so the batch is "ragged".
+    :class:`~repro.nn.attention.MultiHeadAttention` dispatches on this type
+    to run the padded batched attention path.
+    """
+
+    def __init__(self, caches: Sequence[object], new_lengths: np.ndarray) -> None:
+        self.caches = list(caches)
+        self.new_lengths = np.asarray(new_lengths, dtype=np.int64)
+        if self.new_lengths.ndim != 1 or len(self.caches) != self.new_lengths.shape[0]:
+            raise ShapeError(
+                f"need one cache per row: {len(self.caches)} caches, "
+                f"lengths shape {self.new_lengths.shape}"
+            )
+        if len(self.caches) == 0:
+            raise ShapeError("ragged batch must contain at least one sequence")
+        if np.any(self.new_lengths < 0):
+            raise ShapeError("new_lengths must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.caches)
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """Per-row history length (absolute position of each row's first
+        new token)."""
+        return np.asarray([cache.seq_len for cache in self.caches], dtype=np.int64)
+
+
+class RaggedModelCaches:
+    """Batch view over per-sequence :class:`ModelKVCache`-compatible caches.
+
+    Exposes ``.layers`` like :class:`ModelKVCache` so the model's cached
+    forward loop works unchanged.
+    """
+
+    def __init__(self, caches: Sequence[object], new_lengths: np.ndarray) -> None:
+        if not caches:
+            raise ShapeError("ragged batch must contain at least one sequence")
+        n_layers = len(caches[0].layers)
+        for cache in caches:
+            if len(cache.layers) != n_layers:
+                raise ShapeError("all sequence caches must have the same layer count")
+        self.sequences = list(caches)
+        self.layers: List[RaggedLayerCaches] = [
+            RaggedLayerCaches([cache.layers[i] for cache in caches], new_lengths)
+            for i in range(n_layers)
+        ]
 
     def __len__(self) -> int:
         return len(self.layers)

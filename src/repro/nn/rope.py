@@ -30,25 +30,47 @@ class RotaryEmbedding:
         self._cos = np.cos(angles).astype(np.float32)
         self._sin = np.sin(angles).astype(np.float32)
 
-    def apply(self, x: Tensor, offset: int = 0) -> Tensor:
+    def apply(self, x: Tensor, offset=0) -> Tensor:
         """Rotate a (B, H, T, Dh) tensor by absolute positions.
 
         ``offset`` shifts the position index — used by incremental decoding
-        where ``x`` holds tokens starting at position ``offset``.
+        where ``x`` holds tokens starting at position ``offset``.  It may be
+        a scalar (all rows share the offset) or a length-B integer array of
+        per-row offsets (ragged batched decoding, where each sequence sits
+        at a different depth).  In the per-row case, positions of *padded*
+        tail slots may exceed the table; they are clamped, since their
+        values are masked out downstream anyway.
         """
         if x.ndim != 4:
             raise ShapeError(f"RoPE expects (B, H, T, Dh), got {x.shape}")
-        _, _, seq_len, dim = x.shape
+        batch, _, seq_len, dim = x.shape
         if dim != self.head_dim:
             raise ShapeError(f"head_dim mismatch: table {self.head_dim}, input {dim}")
-        if offset < 0 or offset + seq_len > self.max_seq_len:
-            raise ShapeError(
-                f"positions [{offset}, {offset + seq_len}) exceed RoPE table "
-                f"{self.max_seq_len}"
-            )
         half = dim // 2
-        cos = Tensor(self._cos[offset : offset + seq_len][None, None, :, :])
-        sin = Tensor(self._sin[offset : offset + seq_len][None, None, :, :])
+        if np.ndim(offset) == 0:
+            offset = int(offset)
+            if offset < 0 or offset + seq_len > self.max_seq_len:
+                raise ShapeError(
+                    f"positions [{offset}, {offset + seq_len}) exceed RoPE table "
+                    f"{self.max_seq_len}"
+                )
+            cos = Tensor(self._cos[offset : offset + seq_len][None, None, :, :])
+            sin = Tensor(self._sin[offset : offset + seq_len][None, None, :, :])
+        else:
+            offsets = np.asarray(offset, dtype=np.int64)
+            if offsets.shape != (batch,):
+                raise ShapeError(
+                    f"per-row offsets must have shape ({batch},), got {offsets.shape}"
+                )
+            if np.any(offsets < 0) or np.any(offsets >= self.max_seq_len):
+                raise ShapeError(
+                    f"row offsets {offsets} exceed RoPE table {self.max_seq_len}"
+                )
+            positions = offsets[:, None] + np.arange(seq_len, dtype=np.int64)[None, :]
+            positions = np.minimum(positions, self.max_seq_len - 1)
+            # (B, T, half) tables broadcast over the head axis.
+            cos = Tensor(self._cos[positions][:, None, :, :])
+            sin = Tensor(self._sin[positions][:, None, :, :])
         x1 = x[:, :, :, :half]
         x2 = x[:, :, :, half:]
         rotated_first = x1 * cos - x2 * sin

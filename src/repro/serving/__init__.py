@@ -1,0 +1,62 @@
+"""In-process serving subsystem: continuous batching over pooled KV blocks.
+
+The paper characterizes decomposition's latency/energy/memory effects in a
+*serving* setting (Figures 10-12).  This package provides the measurement
+substrate: an iteration-level scheduler (:class:`InferenceEngine`) that
+mixes prefill chunks and decode steps in one ragged batch per step, a
+preallocated block-based KV-cache pool shared across requests
+(:class:`KVBlockPool`), a lazy registry of decomposed model variants
+(:class:`VariantRegistry`), and a trace-replay benchmark
+(:func:`run_serve_bench`) that pairs measured throughput with the analytic
+roofline projection from :mod:`repro.hwmodel`.
+"""
+
+from repro.serving.bench import (
+    ServeBenchReport,
+    VariantBenchResult,
+    bench_variant,
+    replay_trace,
+    run_serve_bench,
+)
+from repro.serving.engine import EngineConfig, InferenceEngine, StepReport
+from repro.serving.metrics import EngineMetrics, SampleStats
+from repro.serving.pool import KVBlockPool, PooledLayerCache, PooledSequenceCache
+from repro.serving.request import (
+    ACTIVE_STATES,
+    TERMINAL_STATES,
+    GenerationRequest,
+    GenerationResult,
+    RequestState,
+)
+from repro.serving.trace import TraceRequest, poisson_trace
+from repro.serving.variants import (
+    ModelVariant,
+    VariantRegistry,
+    parse_variant_spec,
+)
+
+__all__ = [
+    "ACTIVE_STATES",
+    "TERMINAL_STATES",
+    "EngineConfig",
+    "EngineMetrics",
+    "GenerationRequest",
+    "GenerationResult",
+    "InferenceEngine",
+    "KVBlockPool",
+    "ModelVariant",
+    "PooledLayerCache",
+    "PooledSequenceCache",
+    "RequestState",
+    "SampleStats",
+    "ServeBenchReport",
+    "StepReport",
+    "TraceRequest",
+    "VariantBenchResult",
+    "VariantRegistry",
+    "bench_variant",
+    "parse_variant_spec",
+    "poisson_trace",
+    "replay_trace",
+    "run_serve_bench",
+]

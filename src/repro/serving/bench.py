@@ -1,0 +1,198 @@
+"""Trace replay and the serve-bench harness.
+
+``replay_trace`` drives an :class:`~repro.serving.engine.InferenceEngine`
+through a synthetic arrival trace on a *virtual clock*: requests are
+submitted when the clock passes their arrival time, every engine step's
+wall-clock model time advances the clock, and when the engine goes idle the
+clock jumps to the next arrival.  Nothing sleeps, so the benchmark runs at
+full speed while latency metrics (TTFT, queue wait, e2e) remain meaningful
+load-dependent quantities.
+
+``run_serve_bench`` replays the *same* trace against several model variants
+(dense and decomposed) and pairs each measured result with the analytic
+:func:`~repro.hwmodel.generation.generation_profile` projection, mirroring
+how the paper contrasts measured serving latency with the roofline model's
+prediction (Sections 2.2 and 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ServingError
+from repro.hwmodel.device import GPUSpec, get_gpu
+from repro.hwmodel.generation import GenerationProfile, generation_profile
+from repro.serving.engine import EngineConfig, InferenceEngine
+from repro.serving.request import GenerationRequest
+from repro.serving.trace import TraceRequest
+from repro.serving.variants import ModelVariant, VariantRegistry
+
+
+def replay_trace(
+    engine: InferenceEngine,
+    trace: Sequence[TraceRequest],
+    max_steps: int = 1000000,
+) -> List[GenerationRequest]:
+    """Replay ``trace`` through ``engine`` on a virtual clock.
+
+    Returns the engine's request objects in trace order, all terminal.
+    """
+    pending = sorted(trace, key=lambda r: r.arrival_time)
+    submitted: List[GenerationRequest] = []
+    now = 0.0
+    cursor = 0
+    steps = 0
+    while cursor < len(pending) or engine.has_work:
+        while cursor < len(pending) and pending[cursor].arrival_time <= now:
+            arrival = pending[cursor]
+            submitted.append(
+                engine.submit(
+                    arrival.prompt,
+                    arrival.max_new_tokens,
+                    now=arrival.arrival_time,
+                )
+            )
+            cursor += 1
+        if not engine.has_work:
+            if cursor >= len(pending):
+                break
+            now = pending[cursor].arrival_time  # idle: jump to next arrival
+            continue
+        report = engine.step(now)
+        now += report.duration_s
+        steps += 1
+        if steps > max_steps:
+            raise ServingError(f"trace replay exceeded {max_steps} steps")
+    return submitted
+
+
+@dataclass(frozen=True)
+class VariantBenchResult:
+    """Measured + projected serving behaviour of one model variant."""
+
+    spec: str
+    parameter_reduction: float
+    n_requests: int
+    finished: int
+    rejected: int
+    preemptions: int
+    ttft_p50_s: float
+    ttft_p95_s: float
+    queue_wait_p50_s: float
+    e2e_p95_s: float
+    decode_tokens_per_s: float
+    overall_tokens_per_s: float
+    mean_decode_batch: float
+    projection: GenerationProfile
+
+    @property
+    def projected_tokens_per_s(self) -> float:
+        return self.projection.tokens_per_second
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.spec:>8}  pr={100 * self.parameter_reduction:5.1f}%  "
+            f"ok={self.finished}/{self.n_requests}  "
+            f"ttft p50={1e3 * self.ttft_p50_s:7.1f}ms p95={1e3 * self.ttft_p95_s:7.1f}ms  "
+            f"decode={self.decode_tokens_per_s:8.1f} tok/s  "
+            f"projected={self.projected_tokens_per_s:10.0f} tok/s"
+        )
+
+
+@dataclass(frozen=True)
+class ServeBenchReport:
+    """Side-by-side serve-bench results for every requested variant."""
+
+    model: str
+    gpu: str
+    n_requests: int
+    results: List[VariantBenchResult]
+
+    def result_for(self, spec: str) -> VariantBenchResult:
+        for result in self.results:
+            if result.spec == spec:
+                return result
+        raise ServingError(f"no result for variant {spec!r}")
+
+    def speedup_over_dense(self, spec: str) -> float:
+        """Measured decode-throughput ratio of ``spec`` over ``dense``."""
+        dense = self.result_for("dense")
+        other = self.result_for(spec)
+        if dense.decode_tokens_per_s == 0.0:
+            return 0.0
+        return other.decode_tokens_per_s / dense.decode_tokens_per_s
+
+    def table(self) -> str:
+        header = (
+            f"serve-bench: {self.model} on {self.gpu} projection, "
+            f"{self.n_requests} requests"
+        )
+        lines = [header, "-" * len(header)]
+        lines.extend(result.summary_line() for result in self.results)
+        return "\n".join(lines)
+
+
+def bench_variant(
+    variant: ModelVariant,
+    trace: Sequence[TraceRequest],
+    engine_config: Optional[EngineConfig] = None,
+    gpu: Optional[GPUSpec] = None,
+) -> VariantBenchResult:
+    """Replay ``trace`` against one variant and attach the hwmodel projection."""
+    gpu = gpu or get_gpu("a100-80gb")
+    engine = InferenceEngine(variant.model, config=engine_config)
+    replay_trace(engine, trace)
+    metrics = engine.metrics
+
+    mean_prompt = max(1, round(sum(t.prompt.size for t in trace) / len(trace)))
+    mean_new = max(1, round(sum(t.max_new_tokens for t in trace) / len(trace)))
+    batch = max(1, round(metrics.mean_decode_batch))
+    projection = generation_profile(
+        variant.model.config,
+        gpu,
+        batch=batch,
+        prompt_len=mean_prompt,
+        new_tokens=mean_new,
+        decomposition=variant.decomposition,
+    )
+    return VariantBenchResult(
+        spec=variant.spec,
+        parameter_reduction=variant.parameter_reduction,
+        n_requests=len(trace),
+        finished=metrics.finished,
+        rejected=metrics.rejected,
+        preemptions=metrics.preemptions,
+        ttft_p50_s=metrics.ttft_s.p50,
+        ttft_p95_s=metrics.ttft_s.p95,
+        queue_wait_p50_s=metrics.queue_wait_s.p50,
+        e2e_p95_s=metrics.e2e_s.p95,
+        decode_tokens_per_s=metrics.decode_tokens_per_s,
+        overall_tokens_per_s=metrics.overall_tokens_per_s,
+        mean_decode_batch=metrics.mean_decode_batch,
+        projection=projection,
+    )
+
+
+def run_serve_bench(
+    base_model,
+    variant_specs: Sequence[str],
+    trace: Sequence[TraceRequest],
+    engine_config: Optional[EngineConfig] = None,
+    gpu_name: str = "a100-80gb",
+) -> ServeBenchReport:
+    """Replay one trace against every variant of ``base_model``."""
+    if not variant_specs:
+        raise ServingError("at least one variant spec is required")
+    gpu = get_gpu(gpu_name)
+    registry = VariantRegistry(base_model)
+    results = [
+        bench_variant(registry.get(spec), trace, engine_config=engine_config, gpu=gpu)
+        for spec in variant_specs
+    ]
+    return ServeBenchReport(
+        model=base_model.config.name,
+        gpu=gpu_name,
+        n_requests=len(trace),
+        results=results,
+    )

@@ -1,0 +1,382 @@
+"""In-process continuous-batching inference engine.
+
+Iteration-level scheduling in the style of Orca/vLLM: every call to
+:meth:`InferenceEngine.step` assembles one ragged batch mixing *prefill
+chunks* of newly admitted requests with *single-token decode steps* of all
+running requests, bounded by a per-step token budget, and runs it through
+the model's ragged cached forward in a single pass.  KV state lives in a
+shared preallocated :class:`~repro.serving.pool.KVBlockPool`; when it runs
+dry the youngest running request is preempted (blocks released, tokens
+kept) and later re-prefilled, so results are unchanged.
+
+The engine is clock-agnostic: callers pass ``now`` into :meth:`submit` /
+:meth:`step`, and the step's *measured* model time advances whatever clock
+the caller maintains (the benchmark replays a Poisson trace on a virtual
+clock driven by real compute durations).  Deadlines, TTFT, and queue waits
+are all expressed on that clock.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import PoolExhaustedError, ServingError
+from repro.serving.metrics import EngineMetrics
+from repro.serving.pool import KVBlockPool
+from repro.serving.request import (
+    ACTIVE_STATES,
+    GenerationRequest,
+    GenerationResult,
+    RequestState,
+)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine sizing knobs."""
+
+    max_batch: int = 16         # max concurrently running requests
+    token_budget: int = 64      # max tokens processed per step (prefill + decode)
+    n_blocks: int = 256         # KV pool size, in blocks
+    block_tokens: int = 16      # token slots per block
+    max_queue: int = 4096       # admission queue bound
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0 or self.token_budget <= 0:
+            raise ServingError("max_batch and token_budget must be positive")
+        if self.token_budget < self.max_batch:
+            raise ServingError(
+                "token_budget must be >= max_batch so every running request "
+                "can decode one token per step"
+            )
+        if self.max_queue <= 0:
+            raise ServingError("max_queue must be positive")
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """What one engine iteration did."""
+
+    now: float
+    duration_s: float
+    decode_rows: int
+    prefill_rows: int
+    prefill_tokens: int
+    finished: Tuple[int, ...] = ()
+
+    @property
+    def n_rows(self) -> int:
+        return self.decode_rows + self.prefill_rows
+
+    @property
+    def idle(self) -> bool:
+        return self.n_rows == 0
+
+
+class InferenceEngine:
+    """Continuous-batching greedy-decoding engine over one model."""
+
+    def __init__(
+        self,
+        model,
+        config: Optional[EngineConfig] = None,
+        timer: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.model = model
+        self.model.eval()
+        self.config = config or EngineConfig()
+        self.timer = timer
+        self.pool = KVBlockPool(
+            model.config,
+            n_blocks=self.config.n_blocks,
+            block_tokens=self.config.block_tokens,
+        )
+        self.metrics = EngineMetrics()
+        self._queue: Deque[GenerationRequest] = deque()
+        self._running: List[GenerationRequest] = []
+        self._requests: Dict[int, GenerationRequest] = {}
+        self._next_id = 0
+
+    # -- submission --------------------------------------------------------
+    def submit(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        stop_token: Optional[int] = None,
+        deadline: Optional[float] = None,
+        now: float = 0.0,
+    ) -> GenerationRequest:
+        """Enqueue a request; may reject it immediately (graceful refusal).
+
+        Rejection reasons: the prompt + generation budget cannot fit the
+        model's context window, could never fit the KV pool, or the queue
+        is full.  Rejected requests carry ``finish_reason`` and never raise.
+        """
+        request = GenerationRequest(
+            request_id=self._next_id,
+            prompt=prompt,
+            max_new_tokens=max_new_tokens,
+            stop_token=stop_token,
+            deadline=deadline,
+            arrival_time=now,
+        )
+        self._next_id += 1
+        self._requests[request.request_id] = request
+        total = request.prompt.size + request.max_new_tokens
+        if total > self.model.config.max_seq_len:
+            self._reject(request, now, "context-overflow")
+        elif not self.pool.fits(total):
+            self._reject(request, now, "exceeds-pool")
+        elif len(self._queue) >= self.config.max_queue:
+            self._reject(request, now, "queue-full")
+        else:
+            self._queue.append(request)
+        return request
+
+    def cancel(self, request_id: int, now: float = 0.0) -> bool:
+        """Cancel a queued or running request; returns False if terminal."""
+        request = self._requests[request_id]
+        if request.done:
+            return False
+        self._terminate(request, now, RequestState.CANCELLED, "cancelled")
+        return True
+
+    # -- state -------------------------------------------------------------
+    @property
+    def has_work(self) -> bool:
+        return bool(self._queue) or bool(self._running)
+
+    @property
+    def n_running(self) -> int:
+        return len(self._running)
+
+    @property
+    def n_queued(self) -> int:
+        return len(self._queue)
+
+    def request(self, request_id: int) -> GenerationRequest:
+        return self._requests[request_id]
+
+    def results(self) -> List[GenerationResult]:
+        """Results of every terminal request, in submission order."""
+        return [
+            request.result()
+            for request_id, request in sorted(self._requests.items())
+            if request.done
+        ]
+
+    # -- the engine loop ---------------------------------------------------
+    def step(self, now: float = 0.0) -> StepReport:
+        """Run one continuous-batching iteration at virtual time ``now``."""
+        self._expire_deadlines(now)
+        rows = self._schedule(now)
+        if not rows:
+            return StepReport(
+                now=now, duration_s=0.0, decode_rows=0, prefill_rows=0,
+                prefill_tokens=0,
+            )
+        started = self.timer()
+        lengths = np.asarray([chunk.size for _, chunk in rows], dtype=np.int64)
+        batch = np.zeros((len(rows), int(lengths.max())), dtype=np.int64)
+        for index, (_, chunk) in enumerate(rows):
+            batch[index, : chunk.size] = chunk
+        caches = [request.cache for request, _ in rows]
+        logits = self.model.forward_ragged(batch, caches, lengths)
+        duration = max(self.timer() - started, 1e-9)
+        completion = now + duration
+
+        decode_rows = sum(1 for request, _ in rows if request.state is RequestState.DECODE)
+        prefill_rows = len(rows) - decode_rows
+        prefill_tokens = int(
+            sum(
+                chunk.size
+                for request, chunk in rows
+                if request.state is not RequestState.DECODE
+            )
+        )
+        finished: List[int] = []
+        for index, (request, chunk) in enumerate(rows):
+            covered = request.cache.seq_len  # advanced by the forward pass
+            if covered < request.prefix.size:
+                continue  # mid-prefill: more prompt chunks to come
+            token = int(np.argmax(logits.data[index, int(lengths[index]) - 1]))
+            self._append_token(request, token, completion)
+            if request.done:
+                finished.append(request.request_id)
+        self._running = [r for r in self._running if r.state in ACTIVE_STATES]
+        self.metrics.record_step(duration, decode_rows, prefill_rows, prefill_tokens)
+        return StepReport(
+            now=now,
+            duration_s=duration,
+            decode_rows=decode_rows,
+            prefill_rows=prefill_rows,
+            prefill_tokens=prefill_tokens,
+            finished=tuple(finished),
+        )
+
+    def run_until_idle(self, now: float = 0.0, max_steps: int = 100000) -> float:
+        """Step until all submitted work is terminal; returns the final time."""
+        steps = 0
+        while self.has_work:
+            report = self.step(now)
+            now += report.duration_s
+            steps += 1
+            if steps > max_steps:
+                raise ServingError(f"engine failed to drain within {max_steps} steps")
+        return now
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, now: float) -> List[Tuple[GenerationRequest, np.ndarray]]:
+        """Pick this step's rows: running requests first, then admissions."""
+        rows: List[Tuple[GenerationRequest, np.ndarray]] = []
+        scheduled = set()  # ids already placed in rows: never preempt these
+        budget = self.config.token_budget
+        preempted: List[GenerationRequest] = []
+        for request in list(self._running):
+            if request.state not in ACTIVE_STATES:
+                continue  # preempted earlier in this very scheduling pass
+            if budget <= 0:
+                break
+            prefix = request.prefix
+            remaining = prefix[request.cache.seq_len :]
+            take = min(remaining.size, budget)
+            if take == 0:
+                raise ServingError(
+                    f"request {request.request_id} scheduled with empty chunk"
+                )
+            if not self._reserve_with_preemption(request, take, scheduled, preempted):
+                continue  # request itself was preempted
+            rows.append((request, remaining[:take]))
+            scheduled.add(request.request_id)
+            budget -= take
+        self._requeue(preempted)
+
+        while budget > 0 and self._queue and self._active_count() < self.config.max_batch:
+            request = self._queue[0]
+            take = min(request.prefix.size, budget)
+            cache = self.pool.allocate_sequence()
+            try:
+                cache.reserve(take)
+            except PoolExhaustedError:
+                cache.free()
+                break  # pool pressure: leave queued, try next step
+            self._queue.popleft()
+            request.cache = cache
+            request.state = RequestState.PREFILL
+            if request.first_scheduled_time is None:
+                request.first_scheduled_time = now
+            self._running.append(request)
+            rows.append((request, request.prefix[:take]))
+            budget -= take
+        return rows
+
+    def _active_count(self) -> int:
+        return sum(1 for r in self._running if r.state in ACTIVE_STATES)
+
+    def _reserve_with_preemption(
+        self,
+        request: GenerationRequest,
+        tokens: int,
+        scheduled: set,
+        preempted: List[GenerationRequest],
+    ) -> bool:
+        """Reserve cache slots, preempting younger requests on pool pressure.
+
+        Victims are drawn youngest-first from running requests not yet
+        scheduled into this step (rows already built must keep their
+        reserved blocks).  Returns False when ``request`` itself had to be
+        preempted because no other victim remained.
+        """
+        while True:
+            try:
+                request.cache.reserve(tokens)
+                return True
+            except PoolExhaustedError:
+                victim = self._youngest_running(exclude=request, scheduled=scheduled)
+                if victim is None:
+                    self._preempt(request, preempted)
+                    return False
+                self._preempt(victim, preempted)
+
+    def _youngest_running(self, exclude: GenerationRequest, scheduled: set):
+        for candidate in reversed(self._running):
+            if (
+                candidate is exclude
+                or candidate.request_id in scheduled
+                or candidate.state not in ACTIVE_STATES
+            ):
+                continue
+            return candidate
+        return None
+
+    def _preempt(
+        self, request: GenerationRequest, preempted: List[GenerationRequest]
+    ) -> None:
+        request.cache.free()
+        request.cache = None
+        request.state = RequestState.QUEUED
+        request.preemptions += 1
+        self.metrics.preemptions += 1
+        preempted.append(request)
+
+    def _requeue(self, preempted: List[GenerationRequest]) -> None:
+        if not preempted:
+            return
+        self._running = [r for r in self._running if r.state in ACTIVE_STATES]
+        # Preempted requests go back to the queue head in arrival order so
+        # they are re-admitted before newer traffic.
+        ordered = sorted(
+            preempted, key=lambda r: (r.arrival_time, r.request_id), reverse=True
+        )
+        for request in ordered:
+            self._queue.appendleft(request)
+
+    # -- token/terminal bookkeeping ---------------------------------------
+    def _append_token(
+        self, request: GenerationRequest, token: int, completion: float
+    ) -> None:
+        request.generated.append(token)
+        if request.first_token_time is None:
+            request.first_token_time = completion
+        request.state = RequestState.DECODE
+        if request.stop_token is not None and token == request.stop_token:
+            self._terminate(request, completion, RequestState.FINISHED, "stop-token")
+        elif request.n_generated >= request.max_new_tokens:
+            self._terminate(request, completion, RequestState.FINISHED, "max-tokens")
+
+    def _expire_deadlines(self, now: float) -> None:
+        for request in list(self._queue) + list(self._running):
+            if request.done or request.deadline is None:
+                continue
+            if now > request.deadline:
+                self._terminate(request, now, RequestState.CANCELLED, "deadline")
+
+    def _reject(self, request: GenerationRequest, now: float, reason: str) -> None:
+        self._terminate(request, now, RequestState.REJECTED, reason)
+
+    def _terminate(
+        self,
+        request: GenerationRequest,
+        now: float,
+        state: RequestState,
+        reason: str,
+    ) -> None:
+        if request.cache is not None:
+            request.cache.free()
+            request.cache = None
+        was_queued = request.state is RequestState.QUEUED
+        request.state = state
+        request.finish_reason = reason
+        request.finish_time = now
+        if was_queued and request in self._queue:
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                pass
+        self._running = [r for r in self._running if r.state in ACTIVE_STATES]
+        self.metrics.record_terminal(request)

@@ -1,0 +1,150 @@
+"""Serving metrics: latency distributions and throughput accounting.
+
+Mirrors the quantities the paper measures while serving (Figures 10-12
+read latency/energy/memory during generation): time-to-first-token, queue
+wait, end-to-end latency (p50/p95), and decode throughput.  Decode
+throughput is computed over *pure decode* steps only (steps that carried no
+prefill rows), so chunked prefill work cannot inflate or dilute it; the
+blended tokens/s over all steps is reported separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+class SampleStats:
+    """Streaming collection of latency samples with percentile queries."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self._samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile; 0.0 when no samples were recorded."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+
+@dataclass
+class EngineMetrics:
+    """Aggregate counters for one engine's lifetime."""
+
+    ttft_s: SampleStats = field(default_factory=SampleStats)
+    queue_wait_s: SampleStats = field(default_factory=SampleStats)
+    e2e_s: SampleStats = field(default_factory=SampleStats)
+
+    steps: int = 0
+    decode_steps: int = 0          # steps with decode rows only
+    prefill_steps: int = 0         # steps with prefill rows only
+    mixed_steps: int = 0           # steps carrying both
+    total_step_s: float = 0.0
+    decode_step_s: float = 0.0     # time spent in pure decode steps
+    decode_tokens: int = 0         # all decode tokens
+    pure_decode_tokens: int = 0    # decode tokens produced in pure decode steps
+    prefill_tokens: int = 0
+    peak_batch: int = 0
+
+    finished: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    preemptions: int = 0
+
+    def record_step(
+        self,
+        duration_s: float,
+        decode_rows: int,
+        prefill_rows: int,
+        prefill_tokens: int,
+    ) -> None:
+        self.steps += 1
+        self.total_step_s += duration_s
+        self.decode_tokens += decode_rows
+        self.prefill_tokens += prefill_tokens
+        self.peak_batch = max(self.peak_batch, decode_rows + prefill_rows)
+        if decode_rows and prefill_rows:
+            self.mixed_steps += 1
+        elif decode_rows:
+            self.decode_steps += 1
+            self.decode_step_s += duration_s
+            self.pure_decode_tokens += decode_rows
+        elif prefill_rows:
+            self.prefill_steps += 1
+
+    def record_terminal(self, request) -> None:
+        from repro.serving.request import RequestState
+
+        if request.state is RequestState.FINISHED:
+            self.finished += 1
+            if request.ttft_s is not None:
+                self.ttft_s.add(request.ttft_s)
+            if request.queue_wait_s is not None:
+                self.queue_wait_s.add(request.queue_wait_s)
+            if request.e2e_s is not None:
+                self.e2e_s.add(request.e2e_s)
+        elif request.state is RequestState.CANCELLED:
+            self.cancelled += 1
+        elif request.state is RequestState.REJECTED:
+            self.rejected += 1
+
+    # -- throughput --------------------------------------------------------
+    @property
+    def decode_tokens_per_s(self) -> float:
+        """Tokens/s over pure decode steps (the paper's decode regime)."""
+        if self.decode_step_s == 0.0:
+            return 0.0
+        return self.pure_decode_tokens / self.decode_step_s
+
+    @property
+    def overall_tokens_per_s(self) -> float:
+        """Generated + prefilled tokens over total engine compute time."""
+        if self.total_step_s == 0.0:
+            return 0.0
+        return (self.decode_tokens + self.prefill_tokens) / self.total_step_s
+
+    @property
+    def mean_decode_batch(self) -> float:
+        """Average decode rows per pure decode step."""
+        if self.decode_steps == 0:
+            return 0.0
+        return self.pure_decode_tokens / self.decode_steps
+
+    def summary(self) -> str:
+        return (
+            f"finished={self.finished} cancelled={self.cancelled} "
+            f"rejected={self.rejected} preemptions={self.preemptions} | "
+            f"steps={self.steps} decode_batch={self.mean_decode_batch:.1f} | "
+            f"ttft p50={1e3 * self.ttft_s.p50:.1f}ms p95={1e3 * self.ttft_s.p95:.1f}ms | "
+            f"decode {self.decode_tokens_per_s:.0f} tok/s "
+            f"overall {self.overall_tokens_per_s:.0f} tok/s"
+        )

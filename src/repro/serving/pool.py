@@ -1,0 +1,249 @@
+"""Preallocated block-based KV-cache pool shared across requests.
+
+The paper's serving-side memory argument (Section 2.2, Figure 12) is that
+decode-phase state — the KV cache — dominates GPU memory at realistic batch
+sizes.  Production engines therefore never allocate per-request contiguous
+caches; they carve a fixed arena into fixed-size *blocks* of token slots
+and hand blocks to requests on demand (vLLM's PagedAttention).  This module
+is the NumPy analogue:
+
+- :class:`KVBlockPool` owns one preallocated array per side (K/V) holding
+  ``n_blocks`` blocks of ``block_tokens`` token slots for *every* layer, so
+  a block id is valid across layers and one allocation covers the whole
+  model.
+- :class:`PooledSequenceCache` is a per-request view: an ordered block
+  table plus per-layer write cursors.  Its layers satisfy the same
+  ``seq_len`` / ``append -> (keys, values)`` contract as
+  :class:`~repro.nn.kv_cache.LayerKVCache`, so attention code is oblivious
+  to the pooling.
+
+Capacity is *reserved* ahead of a forward pass (``reserve``) so admission
+control and preemption decisions happen in the scheduler, not mid-layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import PoolExhaustedError, ServingError, ShapeError
+from repro.models.config import ModelConfig
+
+
+class KVBlockPool:
+    """A fixed arena of KV-cache blocks shared by all in-flight requests."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        n_blocks: int = 256,
+        block_tokens: int = 16,
+        dtype=np.float32,
+    ) -> None:
+        if n_blocks <= 0 or block_tokens <= 0:
+            raise ServingError("n_blocks and block_tokens must be positive")
+        self.config = config
+        self.n_blocks = int(n_blocks)
+        self.block_tokens = int(block_tokens)
+        self.kv_heads = config.kv_heads
+        self.head_dim = config.head_dim
+        self.dtype = np.dtype(dtype)
+        shape = (
+            config.n_layers,
+            self.n_blocks,
+            self.kv_heads,
+            self.block_tokens,
+            self.head_dim,
+        )
+        self.keys = np.zeros(shape, dtype=self.dtype)
+        self.values = np.zeros(shape, dtype=self.dtype)
+        # LIFO free list: recently released blocks are reused first (warm).
+        self._free: List[int] = list(range(self.n_blocks - 1, -1, -1))
+
+    # -- accounting --------------------------------------------------------
+    @property
+    def available_blocks(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_blocks(self) -> int:
+        return self.n_blocks - len(self._free)
+
+    @property
+    def utilization(self) -> float:
+        return self.used_blocks / self.n_blocks
+
+    def blocks_for_tokens(self, tokens: int) -> int:
+        """Blocks needed to hold ``tokens`` cache slots."""
+        if tokens <= 0:
+            return 0
+        return -(-tokens // self.block_tokens)
+
+    def fits(self, tokens: int) -> bool:
+        """Whether a sequence of ``tokens`` positions could *ever* be held."""
+        return self.blocks_for_tokens(tokens) <= self.n_blocks
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self.keys.nbytes + self.values.nbytes
+
+    # -- block management --------------------------------------------------
+    def allocate(self, n: int) -> List[int]:
+        if n < 0:
+            raise ServingError("cannot allocate a negative block count")
+        if n > len(self._free):
+            raise PoolExhaustedError(
+                f"need {n} blocks, {len(self._free)}/{self.n_blocks} free"
+            )
+        taken = self._free[-n:] if n else []
+        del self._free[len(self._free) - n :]
+        return taken
+
+    def release(self, blocks: List[int]) -> None:
+        for block in blocks:
+            if not 0 <= block < self.n_blocks:
+                raise ServingError(f"block id {block} outside pool")
+        self._free.extend(blocks)
+        if len(self._free) > self.n_blocks:
+            raise ServingError("double release detected: free list overflow")
+
+    def allocate_sequence(self) -> "PooledSequenceCache":
+        """A fresh zero-length per-request cache drawing from this pool."""
+        return PooledSequenceCache(self)
+
+
+class PooledLayerCache:
+    """One layer's cache slots of one sequence, backed by pool blocks.
+
+    Satisfies the :class:`~repro.nn.kv_cache.LayerKVCache` contract used by
+    :class:`~repro.nn.attention.MultiHeadAttention`.
+    """
+
+    def __init__(self, sequence: "PooledSequenceCache", layer: int) -> None:
+        self._sequence = sequence
+        self._layer = layer
+        self._len = 0
+
+    @property
+    def seq_len(self) -> int:
+        return self._len
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> tuple:
+        """Append new positions; returns the full (keys, values) so far."""
+        sequence = self._sequence
+        pool = sequence.pool
+        keys = np.asarray(keys)
+        values = np.asarray(values)
+        if keys.ndim != 4 or values.shape != keys.shape:
+            raise ShapeError(
+                f"cache entries must be matching (B, H, T, Dh); got "
+                f"{keys.shape} / {values.shape}"
+            )
+        batch, heads, new_tokens, head_dim = keys.shape
+        if batch != 1 or heads != pool.kv_heads or head_dim != pool.head_dim:
+            raise ShapeError(
+                f"pooled cache expects (1, {pool.kv_heads}, T, {pool.head_dim}); "
+                f"got {keys.shape}"
+            )
+        if sequence.closed:
+            raise ServingError("cannot append to a freed sequence cache")
+        if self._len + new_tokens > sequence.capacity:
+            raise PoolExhaustedError(
+                f"append of {new_tokens} exceeds reserved capacity "
+                f"{sequence.capacity} (len {self._len}); call reserve() first"
+            )
+        block_size = pool.block_tokens
+        written = 0
+        while written < new_tokens:
+            position = self._len + written
+            block = sequence.block_table[position // block_size]
+            slot = position % block_size
+            take = min(block_size - slot, new_tokens - written)
+            pool.keys[self._layer, block, :, slot : slot + take] = keys[
+                0, :, written : written + take
+            ]
+            pool.values[self._layer, block, :, slot : slot + take] = values[
+                0, :, written : written + take
+            ]
+            written += take
+        self._len += new_tokens
+        return self._gather()
+
+    def _gather(self) -> tuple:
+        """Contiguous (1, H, seq_len, Dh) copies of the blocked history."""
+        sequence = self._sequence
+        pool = sequence.pool
+        total = self._len
+        out_keys = np.empty(
+            (1, pool.kv_heads, total, pool.head_dim), dtype=pool.dtype
+        )
+        out_values = np.empty_like(out_keys)
+        block_size = pool.block_tokens
+        for index in range(pool.blocks_for_tokens(total)):
+            block = sequence.block_table[index]
+            start = index * block_size
+            take = min(block_size, total - start)
+            out_keys[0, :, start : start + take] = pool.keys[
+                self._layer, block, :, :take
+            ]
+            out_values[0, :, start : start + take] = pool.values[
+                self._layer, block, :, :take
+            ]
+        return out_keys, out_values
+
+
+class PooledSequenceCache:
+    """Per-request cache: a block table plus one layer cache per layer.
+
+    Structurally compatible with :class:`~repro.nn.kv_cache.ModelKVCache`
+    (``.layers``, ``.seq_len``), so it can be passed to the model's cached
+    forward paths directly.
+    """
+
+    def __init__(self, pool: KVBlockPool) -> None:
+        self.pool = pool
+        self.block_table: List[int] = []
+        self.closed = False
+        self.layers: List[PooledLayerCache] = [
+            PooledLayerCache(self, layer) for layer in range(pool.config.n_layers)
+        ]
+
+    @property
+    def seq_len(self) -> int:
+        return self.layers[0].seq_len
+
+    @property
+    def capacity(self) -> int:
+        """Token slots currently reserved for this sequence."""
+        return len(self.block_table) * self.pool.block_tokens
+
+    def __getitem__(self, index: int) -> PooledLayerCache:
+        return self.layers[index]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def reserve(self, new_tokens: int) -> None:
+        """Ensure capacity for ``new_tokens`` more positions.
+
+        Raises :class:`PoolExhaustedError` (allocating nothing) when the
+        pool cannot supply the missing blocks — the scheduler's signal to
+        stop admitting or to preempt.
+        """
+        if self.closed:
+            raise ServingError("cannot reserve on a freed sequence cache")
+        if new_tokens < 0:
+            raise ServingError("new_tokens must be non-negative")
+        needed = self.pool.blocks_for_tokens(self.seq_len + new_tokens)
+        missing = needed - len(self.block_table)
+        if missing > 0:
+            self.block_table.extend(self.pool.allocate(missing))
+
+    def free(self) -> None:
+        """Return every block to the pool; the cache becomes unusable."""
+        if self.closed:
+            return
+        self.pool.release(self.block_table)
+        self.block_table = []
+        self.closed = True

@@ -1,0 +1,66 @@
+"""Synthetic request traces for the serving benchmark.
+
+Arrivals follow a Poisson process (exponential inter-arrival gaps at a
+given rate); prompt lengths and generation budgets are drawn uniformly from
+caller-supplied ranges, and prompt tokens uniformly from the model's
+vocabulary.  Everything is driven by a seeded generator, so the same trace
+can be replayed against every model variant for an apples-to-apples
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ServingError
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One arrival in a synthetic trace."""
+
+    arrival_time: float
+    prompt: np.ndarray
+    max_new_tokens: int
+
+
+def poisson_trace(
+    n_requests: int,
+    rate_rps: float,
+    vocab_size: int,
+    prompt_len: Tuple[int, int] = (8, 32),
+    new_tokens: Tuple[int, int] = (4, 16),
+    seed: int = 0,
+) -> List[TraceRequest]:
+    """A Poisson-arrival trace of ``n_requests`` random-token requests.
+
+    ``prompt_len`` and ``new_tokens`` are inclusive ``(low, high)`` ranges.
+    """
+    if n_requests <= 0:
+        raise ServingError("n_requests must be positive")
+    if rate_rps <= 0:
+        raise ServingError("rate_rps must be positive")
+    if vocab_size <= 0:
+        raise ServingError("vocab_size must be positive")
+    for name, (low, high) in (("prompt_len", prompt_len), ("new_tokens", new_tokens)):
+        if low <= 0 or high < low:
+            raise ServingError(f"{name} range must satisfy 0 < low <= high")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate_rps, size=n_requests)
+    arrivals = np.cumsum(gaps)
+    trace: List[TraceRequest] = []
+    for index in range(n_requests):
+        length = int(rng.integers(prompt_len[0], prompt_len[1] + 1))
+        budget = int(rng.integers(new_tokens[0], new_tokens[1] + 1))
+        prompt = rng.integers(0, vocab_size, size=length, dtype=np.int64)
+        trace.append(
+            TraceRequest(
+                arrival_time=float(arrivals[index]),
+                prompt=prompt,
+                max_new_tokens=budget,
+            )
+        )
+    return trace

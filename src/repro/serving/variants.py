@@ -1,0 +1,108 @@
+"""Model-variant registry: named decomposition recipes over one base model.
+
+A *variant spec* is a short string naming how the base model's weights are
+(or are not) decomposed before serving:
+
+- ``"dense"`` — the base model unchanged (identity configuration);
+- ``"pr<NN>"`` — the paper's Table 4 recipe for an ``NN``-percent
+  parameter-reduction target, scaled to the base model's depth
+  (rank 1, all tensors — Section 3.4's best scheme);
+- ``"rank<K>"`` — uniform rank ``K`` across *all* layers and tensors.
+
+The registry materializes variants lazily: each spec gets its own freshly
+built model sharing the base weights (copied via ``state_dict``) with
+:func:`~repro.decomposition.apply.decompose_model` applied, so several
+variants can be benchmarked side by side without mutating the base model.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.decomposition.apply import DecompositionReport, decompose_model
+from repro.decomposition.config import DecompositionConfig
+from repro.decomposition.recipes import PAPER_TABLE4, scale_recipe
+from repro.errors import ServingError
+from repro.models import build_model
+from repro.models.config import ModelConfig
+
+_PR_PATTERN = re.compile(r"^pr(\d+)$")
+_RANK_PATTERN = re.compile(r"^rank(\d+)$")
+
+
+def parse_variant_spec(spec: str, config: ModelConfig) -> DecompositionConfig:
+    """Translate a variant spec string into a :class:`DecompositionConfig`."""
+    spec = spec.strip().lower()
+    if spec == "dense":
+        return DecompositionConfig.identity()
+    match = _PR_PATTERN.match(spec)
+    if match:
+        percent = int(match.group(1))
+        if percent not in PAPER_TABLE4:
+            raise ServingError(
+                f"no Table 4 recipe for {percent}%; "
+                f"available: {sorted(PAPER_TABLE4)}"
+            )
+        layers = scale_recipe(PAPER_TABLE4[percent], config.n_layers)
+        return DecompositionConfig.all_tensors(config, layers, rank=1)
+    match = _RANK_PATTERN.match(spec)
+    if match:
+        rank = int(match.group(1))
+        return DecompositionConfig.all_tensors(
+            config, range(config.n_layers), rank=rank
+        )
+    raise ServingError(
+        f"unknown variant spec {spec!r}; expected 'dense', 'pr<NN>', or 'rank<K>'"
+    )
+
+
+@dataclass
+class ModelVariant:
+    """A materialized (possibly decomposed) copy of the base model."""
+
+    spec: str
+    model: object
+    decomposition: DecompositionConfig
+    report: Optional[DecompositionReport]  # None for the dense variant
+
+    @property
+    def parameter_reduction(self) -> float:
+        return 0.0 if self.report is None else self.report.parameter_reduction
+
+    def describe(self) -> str:
+        if self.report is None:
+            return f"{self.spec}: dense baseline ({self.model.num_parameters():,} params)"
+        return f"{self.spec}: {self.report.summary()}"
+
+
+class VariantRegistry:
+    """Lazily materializes decomposed variants of one base model."""
+
+    def __init__(self, base_model) -> None:
+        self.base_model = base_model
+        self.config: ModelConfig = base_model.config
+        self._variants: Dict[str, ModelVariant] = {}
+
+    def specs(self) -> List[str]:
+        """Specs materialized so far, in materialization order."""
+        return list(self._variants)
+
+    def get(self, spec: str) -> ModelVariant:
+        key = spec.strip().lower()
+        if key not in self._variants:
+            self._variants[key] = self._materialize(key)
+        return self._variants[key]
+
+    def _materialize(self, spec: str) -> ModelVariant:
+        decomposition = parse_variant_spec(spec, self.config)
+        model = build_model(self.config)
+        model.load_state_dict(self.base_model.state_dict())
+        model.eval()
+        report = None
+        if not decomposition.is_identity:
+            report = decompose_model(model, decomposition)
+        return ModelVariant(
+            spec=spec, model=model, decomposition=decomposition, report=report
+        )

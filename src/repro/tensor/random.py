@@ -7,7 +7,7 @@ experiments are reproducible bit-for-bit from a single seed.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

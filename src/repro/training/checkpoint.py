@@ -1,8 +1,17 @@
-"""Checkpointing: model weights + tokenizer vocabulary in one ``.npz``."""
+"""Checkpointing: model weights + tokenizer vocabulary in one ``.npz``.
+
+Saves are atomic (written to a temporary file in the target directory and
+``os.replace``-d into place), so a crash mid-write can never leave a
+truncated checkpoint behind; corrupt or non-checkpoint files surface as
+:class:`~repro.errors.CheckpointError` rather than raw ``zipfile`` noise.
+"""
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import zipfile
 from pathlib import Path
 from typing import Optional, Tuple
 
@@ -28,7 +37,20 @@ def save_checkpoint(
     if tokenizer is not None:
         vocab_json = json.dumps(tokenizer.state())
         arrays[_VOCAB_KEY] = np.frombuffer(vocab_json.encode(), dtype=np.uint8)
-    np.savez_compressed(path, **arrays)
+    # Write-then-rename: readers only ever see complete checkpoints.
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
 
 
 def _config_dict(config: ModelConfig) -> dict:
@@ -43,7 +65,11 @@ def load_checkpoint(path) -> Tuple[object, Optional[WordTokenizer]]:
     path = Path(path)
     if not path.exists():
         raise CheckpointError(f"checkpoint not found: {path}")
-    with np.load(path, allow_pickle=False) as data:
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as exc:
+        raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+    with data:
         if _CONFIG_KEY not in data:
             raise CheckpointError(f"{path} is not a repro checkpoint (missing config)")
         config_json = bytes(data[_CONFIG_KEY]).decode()

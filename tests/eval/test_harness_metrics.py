@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import EvaluationError
-from repro.eval import SuiteResult, evaluate_suite
+from repro.eval import evaluate_suite
 from repro.eval.metrics import (
     accuracy,
     accuracy_stderr,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data.world import CITIES, COUNTRIES, SCRIPTS
+from repro.data.world import COUNTRIES, SCRIPTS
 from repro.eval import BENCHMARK_NAMES, PAPER_TABLE3, build_suite, build_task
 from repro.eval.task import GenerativeTask, MultipleChoiceTask
 from repro.eval.tasks import (

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.decomposition import DecompositionConfig, table4_layers
-from repro.hwmodel import ServingConfig, sweep_batch_sizes, sweep_gpus
+from repro.hwmodel import sweep_batch_sizes, sweep_gpus
 from repro.models import LLAMA2_7B
 
 

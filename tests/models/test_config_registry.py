@@ -77,6 +77,13 @@ class TestRegistry:
         with pytest.raises(ConfigError):
             get_config("gpt-5")
 
+    def test_serve_llama_registered_with_gqa(self):
+        config = get_config("serve-llama")
+        assert config.family == "llama"
+        assert config.dim == 384
+        assert config.kv_heads < config.n_heads  # grouped-query attention
+        assert config.head_dim * config.n_heads == config.dim
+
     def test_published_hyperparameters(self):
         assert LLAMA2_7B.n_layers == 32
         assert LLAMA2_7B.dim == 4096

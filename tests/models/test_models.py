@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.models import BertModel, LlamaModel, build_model, get_config
-from repro.nn import FactorizedLinear, Linear
+from repro.nn import Linear
 
 
 class TestLlamaModel:

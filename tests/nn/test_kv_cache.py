@@ -4,7 +4,15 @@ import numpy as np
 import pytest
 
 from repro.errors import ShapeError
-from repro.nn import LayerKVCache, ModelKVCache, MultiHeadAttention, RotaryEmbedding, causal_mask
+from repro.nn import (
+    LayerKVCache,
+    ModelKVCache,
+    MultiHeadAttention,
+    RaggedLayerCaches,
+    RaggedModelCaches,
+    RotaryEmbedding,
+    causal_mask,
+)
 from repro.tensor import Tensor
 
 
@@ -46,12 +54,79 @@ class TestLayerKVCache:
         with pytest.raises(ShapeError):
             cache.append(np.zeros((1, 3, 1, 4)), np.zeros((1, 3, 1, 4)))
 
+    def test_capacity_grows_geometrically_not_per_append(self):
+        cache = LayerKVCache()
+        k = np.zeros((1, 2, 1, 4), dtype=np.float32)
+        cache.append(k, k)
+        first_capacity = cache.capacity
+        assert first_capacity >= 16  # preallocated beyond the first token
+        for _ in range(first_capacity - 1):
+            cache.append(k, k)
+        assert cache.capacity == first_capacity  # no growth while it fits
+        cache.append(k, k)
+        assert cache.capacity >= 2 * first_capacity  # doubled, not +1
+
+    def test_append_returns_views_not_copies(self):
+        cache = LayerKVCache()
+        k = np.arange(8, dtype=np.float32).reshape(1, 2, 1, 4)
+        keys, values = cache.append(k, k)
+        assert keys.base is not None  # a view into the preallocated buffer
+        np.testing.assert_array_equal(keys, k)
+        np.testing.assert_array_equal(cache.keys, k)
+        np.testing.assert_array_equal(cache.values, k)
+
+    def test_empty_cache_exposes_none(self):
+        cache = LayerKVCache()
+        assert cache.seq_len == 0
+        assert cache.keys is None
+        assert cache.values is None
+
+    def test_history_survives_buffer_growth(self):
+        cache = LayerKVCache()
+        rng = np.random.default_rng(6)
+        chunks = [
+            rng.normal(size=(1, 2, n, 4)).astype(np.float32) for n in (3, 30, 50)
+        ]
+        for chunk in chunks:
+            keys, _ = cache.append(chunk, chunk)
+        expected = np.concatenate(chunks, axis=2)
+        np.testing.assert_array_equal(keys, expected)
+
+    def test_batch_and_head_dim_mismatch_rejected(self):
+        cache = LayerKVCache()
+        cache.append(np.zeros((1, 2, 1, 4)), np.zeros((1, 2, 1, 4)))
+        with pytest.raises(ShapeError):
+            cache.append(np.zeros((2, 2, 1, 4)), np.zeros((2, 2, 1, 4)))
+        with pytest.raises(ShapeError):
+            cache.append(np.zeros((1, 2, 1, 8)), np.zeros((1, 2, 1, 8)))
+
     def test_model_cache_indexing(self):
         cache = ModelKVCache(3)
         assert len(cache) == 3
         assert cache.seq_len == 0
         with pytest.raises(ShapeError):
             ModelKVCache(0)
+
+
+class TestRaggedWrappers:
+    def test_layer_offsets_reflect_per_cache_depths(self):
+        caches = [LayerKVCache(), LayerKVCache()]
+        k = np.zeros((1, 2, 3, 4), dtype=np.float32)
+        caches[0].append(k, k)
+        ragged = RaggedLayerCaches(caches, np.array([2, 1]))
+        assert len(ragged) == 2
+        np.testing.assert_array_equal(ragged.offsets, [3, 0])
+        np.testing.assert_array_equal(ragged.new_lengths, [2, 1])
+
+    def test_model_wrapper_builds_layer_views(self):
+        caches = [ModelKVCache(2), ModelKVCache(2)]
+        ragged = RaggedModelCaches(caches, np.array([1, 1]))
+        assert len(ragged.layers) == 2
+        assert all(isinstance(layer, RaggedLayerCaches) for layer in ragged.layers)
+
+    def test_length_count_must_match_caches(self):
+        with pytest.raises(ShapeError):
+            RaggedLayerCaches([LayerKVCache()], np.array([1, 2]))
 
 
 class TestIncrementalAttention:

@@ -1,0 +1,32 @@
+"""Fixtures for the serving tests: one small shared Llama."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.models.config import ModelConfig
+
+
+@pytest.fixture(scope="session")
+def smoke_config() -> ModelConfig:
+    """Small enough to step in milliseconds, deep enough to be honest (GQA)."""
+    return ModelConfig(
+        name="smoke-llama",
+        family="llama",
+        vocab_size=128,
+        dim=32,
+        n_layers=3,
+        n_heads=4,
+        n_kv_heads=2,
+        mlp_hidden=64,
+        max_seq_len=96,
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke_model(smoke_config):
+    model = build_model(smoke_config, rng=np.random.default_rng(0))
+    model.eval()
+    return model

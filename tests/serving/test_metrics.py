@@ -1,0 +1,63 @@
+"""Latency statistics and throughput accounting."""
+
+import pytest
+
+from repro.serving import EngineMetrics, SampleStats
+
+
+class TestSampleStats:
+    def test_empty_is_zero(self):
+        stats = SampleStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.p50 == 0.0
+        assert stats.maximum == 0.0
+
+    def test_percentiles_nearest_rank(self):
+        stats = SampleStats()
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            stats.add(value)
+        assert stats.p50 == 3.0
+        assert stats.p95 == 5.0
+        assert stats.percentile(0.0) == 1.0
+        assert stats.mean == pytest.approx(3.0)
+        assert stats.maximum == 5.0
+
+    def test_percentile_validates_range(self):
+        stats = SampleStats()
+        stats.add(1.0)
+        with pytest.raises(ValueError):
+            stats.percentile(101.0)
+
+
+class TestEngineMetrics:
+    def test_step_classification(self):
+        metrics = EngineMetrics()
+        metrics.record_step(0.1, decode_rows=4, prefill_rows=0, prefill_tokens=0)
+        metrics.record_step(0.2, decode_rows=0, prefill_rows=2, prefill_tokens=20)
+        metrics.record_step(0.3, decode_rows=1, prefill_rows=1, prefill_tokens=8)
+        assert metrics.steps == 3
+        assert metrics.decode_steps == 1
+        assert metrics.prefill_steps == 1
+        assert metrics.mixed_steps == 1
+        assert metrics.peak_batch == 4
+
+    def test_decode_throughput_uses_pure_decode_steps_only(self):
+        metrics = EngineMetrics()
+        metrics.record_step(0.5, decode_rows=10, prefill_rows=0, prefill_tokens=0)
+        # A slow mixed step must not dilute decode throughput.
+        metrics.record_step(5.0, decode_rows=1, prefill_rows=3, prefill_tokens=60)
+        assert metrics.decode_tokens_per_s == pytest.approx(20.0)
+        assert metrics.mean_decode_batch == pytest.approx(10.0)
+
+    def test_overall_throughput_counts_everything(self):
+        metrics = EngineMetrics()
+        metrics.record_step(1.0, decode_rows=5, prefill_rows=1, prefill_tokens=15)
+        assert metrics.overall_tokens_per_s == pytest.approx(20.0)
+
+    def test_empty_metrics_safe(self):
+        metrics = EngineMetrics()
+        assert metrics.decode_tokens_per_s == 0.0
+        assert metrics.overall_tokens_per_s == 0.0
+        assert metrics.mean_decode_batch == 0.0
+        assert "finished=0" in metrics.summary()

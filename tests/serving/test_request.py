@@ -1,0 +1,80 @@
+"""Request lifecycle, validation, and timing bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import GenerationRequest, RequestState
+
+
+def make_request(**overrides):
+    defaults = dict(
+        request_id=0,
+        prompt=np.array([1, 2, 3]),
+        max_new_tokens=4,
+        arrival_time=1.0,
+    )
+    defaults.update(overrides)
+    return GenerationRequest(**defaults)
+
+
+class TestValidation:
+    def test_empty_prompt_rejected(self):
+        with pytest.raises(ServingError):
+            make_request(prompt=np.array([], dtype=np.int64))
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ServingError):
+            make_request(max_new_tokens=0)
+
+    def test_prompt_flattened_to_int64(self):
+        request = make_request(prompt=[[4, 5]])
+        assert request.prompt.dtype == np.int64
+        assert request.prompt.shape == (2,)
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        request = make_request()
+        assert request.state is RequestState.QUEUED
+        assert not request.done
+        assert request.n_generated == 0
+        np.testing.assert_array_equal(request.prefix, request.prompt)
+
+    def test_prefix_includes_generated(self):
+        request = make_request()
+        request.generated.extend([7, 8])
+        np.testing.assert_array_equal(request.prefix, [1, 2, 3, 7, 8])
+        np.testing.assert_array_equal(request.tokens, request.prefix)
+
+    def test_result_requires_terminal_state(self):
+        request = make_request()
+        with pytest.raises(ServingError):
+            request.result()
+        request.state = RequestState.FINISHED
+        request.finish_reason = "max-tokens"
+        result = request.result()
+        assert result.ok
+        assert result.finish_reason == "max-tokens"
+
+    def test_rejected_result_not_ok(self):
+        request = make_request()
+        request.state = RequestState.REJECTED
+        assert not request.result().ok
+
+
+class TestTiming:
+    def test_unscheduled_timings_are_none(self):
+        request = make_request()
+        assert request.queue_wait_s is None
+        assert request.ttft_s is None
+        assert request.e2e_s is None
+
+    def test_timings_relative_to_arrival(self):
+        request = make_request(arrival_time=2.0)
+        request.first_scheduled_time = 2.5
+        request.first_token_time = 3.0
+        request.finish_time = 4.0
+        assert request.queue_wait_s == pytest.approx(0.5)
+        assert request.ttft_s == pytest.approx(1.0)
+        assert request.e2e_s == pytest.approx(2.0)

@@ -1,0 +1,100 @@
+"""Synthetic traces and the serve-bench harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    EngineConfig,
+    InferenceEngine,
+    poisson_trace,
+    replay_trace,
+    run_serve_bench,
+)
+
+
+class TestPoissonTrace:
+    def test_deterministic_for_seed(self):
+        first = poisson_trace(5, 10.0, vocab_size=64, seed=3)
+        second = poisson_trace(5, 10.0, vocab_size=64, seed=3)
+        for a, b in zip(first, second):
+            assert a.arrival_time == b.arrival_time
+            np.testing.assert_array_equal(a.prompt, b.prompt)
+
+    def test_arrivals_sorted_and_positive(self):
+        trace = poisson_trace(20, 100.0, vocab_size=64, seed=0)
+        arrivals = [t.arrival_time for t in trace]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0.0
+
+    def test_ranges_respected(self):
+        trace = poisson_trace(
+            30, 50.0, vocab_size=16, prompt_len=(3, 5), new_tokens=(2, 2), seed=1
+        )
+        for request in trace:
+            assert 3 <= request.prompt.size <= 5
+            assert request.max_new_tokens == 2
+            assert request.prompt.max() < 16
+
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            poisson_trace(0, 1.0, vocab_size=8)
+        with pytest.raises(ServingError):
+            poisson_trace(1, -1.0, vocab_size=8)
+        with pytest.raises(ServingError):
+            poisson_trace(1, 1.0, vocab_size=8, prompt_len=(5, 2))
+
+
+class TestReplayTrace:
+    def test_all_requests_reach_terminal_state(self, smoke_model, smoke_config):
+        trace = poisson_trace(8, 200.0, vocab_size=smoke_config.vocab_size, seed=2)
+        engine = InferenceEngine(
+            smoke_model,
+            EngineConfig(max_batch=4, token_budget=32, n_blocks=32, block_tokens=8),
+        )
+        requests = replay_trace(engine, trace)
+        assert len(requests) == len(trace)
+        assert all(r.done for r in requests)
+        assert not engine.has_work
+        assert engine.pool.used_blocks == 0
+
+    def test_latencies_on_virtual_clock(self, smoke_model, smoke_config):
+        trace = poisson_trace(6, 100.0, vocab_size=smoke_config.vocab_size, seed=4)
+        engine = InferenceEngine(
+            smoke_model,
+            EngineConfig(max_batch=4, token_budget=32, n_blocks=32, block_tokens=8),
+        )
+        requests = replay_trace(engine, trace)
+        for request in requests:
+            assert request.ttft_s is not None and request.ttft_s >= 0.0
+            assert request.e2e_s >= request.ttft_s
+
+
+class TestRunServeBench:
+    def test_reports_all_variants_with_projection(self, smoke_model):
+        trace = poisson_trace(
+            6, 100.0, vocab_size=smoke_model.config.vocab_size, seed=5
+        )
+        config = EngineConfig(max_batch=4, token_budget=32, n_blocks=32, block_tokens=8)
+        report = run_serve_bench(
+            smoke_model, ["dense", "rank1"], trace, engine_config=config
+        )
+        assert [r.spec for r in report.results] == ["dense", "rank1"]
+        dense = report.result_for("dense")
+        assert dense.finished == 6
+        assert dense.decode_tokens_per_s > 0.0
+        assert dense.projection.tokens_per_second > 0.0
+        assert report.speedup_over_dense("rank1") > 0.0
+        table = report.table()
+        assert "dense" in table and "rank1" in table
+
+    def test_requires_a_variant(self, smoke_model):
+        with pytest.raises(ServingError):
+            run_serve_bench(smoke_model, [], [])
+
+    def test_unknown_variant_in_lookup(self, smoke_model):
+        trace = poisson_trace(2, 100.0, vocab_size=smoke_model.config.vocab_size)
+        config = EngineConfig(max_batch=2, token_budget=16, n_blocks=16, block_tokens=8)
+        report = run_serve_bench(smoke_model, ["dense"], trace, engine_config=config)
+        with pytest.raises(ServingError):
+            report.result_for("pr33")

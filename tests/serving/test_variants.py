@@ -1,0 +1,67 @@
+"""Variant spec parsing and the lazy variant registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import VariantRegistry, parse_variant_spec
+
+
+class TestParseVariantSpec:
+    def test_dense_is_identity(self, smoke_config):
+        assert parse_variant_spec("dense", smoke_config).is_identity
+
+    def test_pr_spec_scales_table4(self, smoke_config):
+        config = parse_variant_spec("pr33", smoke_config)
+        assert not config.is_identity
+        assert config.rank == 1
+        assert config.roles == smoke_config.tensor_roles
+        assert all(0 <= layer < smoke_config.n_layers for layer in config.layers)
+
+    def test_rank_spec_covers_all_layers(self, smoke_config):
+        config = parse_variant_spec("rank2", smoke_config)
+        assert config.layers == tuple(range(smoke_config.n_layers))
+        assert config.rank == 2
+
+    def test_spec_is_case_and_space_insensitive(self, smoke_config):
+        assert parse_variant_spec(" Dense ", smoke_config).is_identity
+
+    def test_unknown_spec_rejected(self, smoke_config):
+        with pytest.raises(ServingError):
+            parse_variant_spec("turbo", smoke_config)
+
+    def test_unknown_pr_target_rejected(self, smoke_config):
+        with pytest.raises(ServingError):
+            parse_variant_spec("pr37", smoke_config)
+
+
+class TestVariantRegistry:
+    def test_dense_variant_shares_weights_not_identity(self, smoke_model):
+        registry = VariantRegistry(smoke_model)
+        variant = registry.get("dense")
+        assert variant.model is not smoke_model
+        assert variant.report is None
+        assert variant.parameter_reduction == 0.0
+        base = smoke_model.state_dict()
+        copy = variant.model.state_dict()
+        for key in base:
+            np.testing.assert_array_equal(base[key], copy[key])
+
+    def test_decomposed_variant_reduces_parameters(self, smoke_model):
+        registry = VariantRegistry(smoke_model)
+        variant = registry.get("pr33")
+        assert variant.report is not None
+        assert variant.parameter_reduction > 0.0
+        assert variant.model.num_parameters() < smoke_model.num_parameters()
+        # The base model must be untouched by the surgery.
+        assert smoke_model.num_parameters() == registry.get("dense").model.num_parameters()
+
+    def test_variants_cached_by_spec(self, smoke_model):
+        registry = VariantRegistry(smoke_model)
+        assert registry.get("pr33") is registry.get(" PR33 ")
+        assert registry.specs() == ["pr33"]
+
+    def test_describe_mentions_spec(self, smoke_model):
+        registry = VariantRegistry(smoke_model)
+        assert "dense" in registry.get("dense").describe()
+        assert "decomposed" in registry.get("rank1").describe()

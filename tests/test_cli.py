@@ -51,3 +51,31 @@ class TestCommands:
     def test_train_loads_cached(self, capsys, trained_llama):
         assert main(["train", "--model", "tiny-llama"]) == 0
         assert "tiny-llama ready" in capsys.readouterr().out
+
+    def test_serve_bench_smoke(self, capsys):
+        assert main([
+            "serve-bench",
+            "--model", "tiny-llama",
+            "--variants", "dense,pr33",
+            "--requests", "8",
+            "--prompt-len", "4:12",
+            "--new-tokens", "2:5",
+            "--max-batch", "4",
+            "--token-budget", "24",
+            "--blocks", "32",
+            "--block-tokens", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serve-bench: tiny-llama" in out
+        assert "dense" in out and "pr33" in out
+        assert "measured decode speedup over dense" in out
+
+    def test_serve_bench_bad_range(self):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--prompt-len", "banana"])
+
+    def test_serve_bench_unknown_variant(self):
+        from repro.errors import ServingError
+
+        with pytest.raises(ServingError):
+            main(["serve-bench", "--requests", "2", "--variants", "warp9"])

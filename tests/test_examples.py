@@ -57,6 +57,12 @@ class TestExamples:
         assert "asking the trained tiny Llama" in out
         assert "tok/s" in out
 
+    def test_serving_benchmark(self, capsys):
+        _run("serving_benchmark.py", ["10"])
+        out = capsys.readouterr().out
+        assert "serve-bench: serve-llama" in out
+        assert "measured decode speedup over dense" in out
+
     def test_compression_comparison(self, trained_llama, capsys):
         _run("compression_comparison.py", ["10"])
         out = capsys.readouterr().out

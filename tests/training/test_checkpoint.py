@@ -47,3 +47,77 @@ class TestCheckpoint:
         path = tmp_path / "deep" / "nested" / "model.npz"
         save_checkpoint(path, micro_llama)
         assert path.exists()
+
+
+class TestCorruptionRobustness:
+    def test_truncated_file_raises_checkpoint_error(self, tmp_path, micro_llama):
+        """A partially written npz must surface as CheckpointError, not
+        zipfile.BadZipFile (the failure mode of a killed training run)."""
+        path = tmp_path / "model.npz"
+        save_checkpoint(path, micro_llama)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_garbage_file_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "model.npz"
+        path.write_bytes(b"this was never an npz archive")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_save_leaves_no_temp_files(self, tmp_path, micro_llama):
+        path = tmp_path / "model.npz"
+        save_checkpoint(path, micro_llama)
+        save_checkpoint(path, micro_llama)  # overwrite goes through rename too
+        assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+
+    def test_failed_save_preserves_existing_checkpoint(self, tmp_path, micro_llama):
+        """The write-then-rename protocol must never clobber a good file."""
+        path = tmp_path / "model.npz"
+        save_checkpoint(path, micro_llama)
+        good = path.read_bytes()
+
+        class Boom:
+            def __array__(self, dtype=None):
+                raise RuntimeError("boom mid-serialization")
+
+        class Unserializable:
+            def state_dict(self):
+                return {"weight": Boom()}
+
+            config = micro_llama.config
+
+        with pytest.raises(RuntimeError):
+            save_checkpoint(path, Unserializable())
+        assert path.read_bytes() == good
+        assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+
+
+class TestCorruptCacheRecovery:
+    def test_load_cached_deletes_corrupt_and_returns_none(self, tmp_path, tokenizer):
+        from repro.experiments.pretrained import _load_cached
+
+        path = tmp_path / "tiny-llama-v99.npz"
+        path.write_bytes(b"truncated garbage")
+        assert _load_cached(path, tokenizer) is None
+        assert not path.exists()
+
+    def test_load_cached_rejects_stale_tokenizer(self, tmp_path, micro_llama, tokenizer):
+        from repro.experiments.pretrained import _load_cached
+
+        path = tmp_path / "model.npz"
+        save_checkpoint(path, micro_llama)  # saved without a tokenizer
+        assert _load_cached(path, tokenizer) is None
+        assert path.exists()  # intact files are kept
+
+    def test_load_cached_returns_model_in_eval_mode(
+        self, tmp_path, micro_llama, tokenizer
+    ):
+        from repro.experiments.pretrained import _load_cached
+
+        path = tmp_path / "model.npz"
+        save_checkpoint(path, micro_llama, tokenizer)
+        model = _load_cached(path, tokenizer)
+        assert model is not None
+        assert not model.training
