@@ -8,10 +8,13 @@ Commands
 - ``repro train [--model tiny-llama|tiny-bert]`` — (re)train and cache the
   tiny model checkpoints.
 - ``repro eval [--limit N]`` — evaluate the cached tiny Llama on the suite.
-- ``repro serve-bench [--variants dense,pr33,...]`` — replay a synthetic
-  Poisson trace through the continuous-batching engine for each model
-  variant and report TTFT/throughput percentiles next to the analytic
-  hardware-model projection.
+- ``repro serve-bench [--variants dense,pr33,...] [--tp N] [--json PATH]``
+  — replay a synthetic Poisson trace through the continuous-batching
+  engine for each model variant and report TTFT/throughput percentiles
+  next to the analytic hardware-model projection.  ``--tp N`` runs each
+  variant tensor-parallel over N ranks (identical logits by construction)
+  and prints measured vs analytic collective traffic; ``--json`` dumps the
+  full report.
 """
 
 from __future__ import annotations
@@ -112,7 +115,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     variants = [spec.strip() for spec in args.variants.split(",") if spec.strip()]
     report = run_serve_bench(
-        model, variants, trace, engine_config=engine_config, gpu_name=args.gpu
+        model,
+        variants,
+        trace,
+        engine_config=engine_config,
+        gpu_name=args.gpu,
+        tp=args.tp,
+        seed=args.seed,
     )
     print(report.table())
     print()
@@ -124,6 +133,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 f"(hwmodel projects {result.projected_tokens_per_s:,.0f} tok/s "
                 f"at batch {result.projection.batch})"
             )
+    if args.json:
+        import json
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"wrote {path}")
     return 0
 
 
@@ -192,6 +208,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--token-budget", type=int, default=64)
     serve.add_argument("--blocks", type=int, default=256)
     serve.add_argument("--block-tokens", type=int, default=16)
+    serve.add_argument(
+        "--tp",
+        type=int,
+        default=1,
+        help="tensor-parallel degree: run each variant sharded over N ranks",
+    )
+    serve.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="dump the full metrics/projection report as JSON",
+    )
     serve.set_defaults(func=_cmd_serve_bench)
 
     report = sub.add_parser(

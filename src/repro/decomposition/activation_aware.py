@@ -40,10 +40,17 @@ class _RecordingLinear(Module):
         self.count = 0
 
     def forward(self, x: Tensor) -> Tensor:
+        self._record(x)
+        return self.inner(x)
+
+    def forward_blocked(self, x: Tensor, edges) -> Tensor:
+        self._record(x)
+        return self.inner.forward_blocked(x, edges)
+
+    def _record(self, x: Tensor) -> None:
         flat = np.abs(x.data.reshape(-1, x.shape[-1]))
         self.sum_abs += flat.sum(axis=0)
         self.count += flat.shape[0]
-        return self.inner(x)
 
     def scales(self) -> np.ndarray:
         if self.count == 0:

@@ -45,3 +45,7 @@ class ServingError(ReproError, RuntimeError):
 
 class PoolExhaustedError(ServingError):
     """The preallocated KV-cache block pool has no free blocks left."""
+
+
+class ParallelError(ReproError, RuntimeError):
+    """The tensor-parallel runtime was misconfigured or a rank failed."""

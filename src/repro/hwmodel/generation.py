@@ -19,15 +19,21 @@ from repro.hwmodel.device import GPUSpec
 from repro.hwmodel.energy import energy_joules
 from repro.hwmodel.memory import kv_cache_bytes, memory_footprint
 from repro.hwmodel.profiler import ServingConfig
-from repro.hwmodel.roofline import memory_bound_fraction, workload_latency
+from repro.hwmodel.roofline import (
+    memory_bound_fraction,
+    tp_allreduce_seconds,
+    workload_latency,
+)
 from repro.hwmodel.workload import (
     BYTES_FP16,
     Op,
     Workload,
     build_workload,
+    split_tensor_parallel,
     _factorized_ops,
     _linear_op,
     _norm_op,
+    _role_parallelism,
 )
 from repro.models.config import ModelConfig
 
@@ -68,20 +74,34 @@ def decode_workload(
                     )
                 )
             else:
-                workload.ops.append(_linear_op(f"{prefix}.{role}", tokens, height, width))
+                mode, shard_dim = _role_parallelism(config, role)
+                workload.ops.append(
+                    _linear_op(f"{prefix}.{role}", tokens, height, width, mode, shard_dim)
+                )
         # Attention against the KV cache: q (1 token) vs K/V (context_len).
         kv_bytes = 2.0 * batch * context_len * config.kv_dim * BYTES_FP16
         attn_flops = 2.0 * 2.0 * batch * config.n_heads * context_len * config.head_dim
         score_bytes = 2.0 * batch * config.n_heads * context_len * BYTES_FP16
         workload.ops.append(
-            Op(f"{prefix}.attn_kv", attn_flops, 0.0, kv_bytes + score_bytes)
+            Op(
+                f"{prefix}.attn_kv",
+                attn_flops,
+                0.0,
+                kv_bytes + score_bytes,
+                "sharded",
+                config.n_heads,
+            )
         )
         workload.ops.append(_norm_op(f"{prefix}.mlp_norm", tokens, config.dim))
         workload.ops.append(
             Op(f"{prefix}.elementwise", 0.0, 0.0, float(4 * tokens * config.dim * BYTES_FP16))
         )
     workload.ops.append(_norm_op("final_norm", tokens, config.dim))
-    workload.ops.append(_linear_op("lm_head", tokens, config.dim, config.vocab_size))
+    workload.ops.append(
+        _linear_op(
+            "lm_head", tokens, config.dim, config.vocab_size, "column", config.vocab_size
+        )
+    )
     return workload
 
 
@@ -120,21 +140,37 @@ def generation_profile(
     decomposition: Optional[DecompositionConfig] = None,
     n_gpus: int = 1,
 ) -> GenerationProfile:
-    """Profile prefill + ``new_tokens`` decode steps on one GPU (or an
-    even tensor-parallel split across ``n_gpus``)."""
+    """Profile prefill + ``new_tokens`` decode steps on one GPU or under a
+    Megatron tensor-parallel split across ``n_gpus``.
+
+    Multi-GPU latency is *not* single-GPU latency divided by ``n_gpus``:
+    each workload is sharded op by op (:func:`split_tensor_parallel`, which
+    leaves norms/embeddings/residual work replicated) and charged two ring
+    all-reduces per layer over NVLink, so the speedup is sublinear —
+    increasingly so at decode batch sizes where the activation payload is
+    tiny but the per-collective launch overhead is not.
+    """
     if new_tokens <= 0:
         raise HardwareModelError("new_tokens must be positive")
     prefill = build_workload(config, batch, prompt_len, decomposition=decomposition)
-    prefill_s = workload_latency(prefill, gpu) / n_gpus
+    comm_prefill = tp_allreduce_seconds(
+        config.dim, config.n_layers, batch * prompt_len, gpu, n_gpus
+    )
+    prefill_s = (
+        workload_latency(split_tensor_parallel(prefill, n_gpus), gpu) + comm_prefill
+    )
 
     # Decode latency varies with context length only through the KV-cache
     # term; sample a few context lengths and use the trapezoid average.
     contexts = [prompt_len, prompt_len + new_tokens // 2, prompt_len + new_tokens]
+    comm_step = tp_allreduce_seconds(config.dim, config.n_layers, batch, gpu, n_gpus)
     step_latencies = []
     bound_fractions = []
     for context in contexts:
         step = decode_workload(config, batch, context, decomposition=decomposition)
-        step_latencies.append(workload_latency(step, gpu) / n_gpus)
+        step_latencies.append(
+            workload_latency(split_tensor_parallel(step, n_gpus), gpu) + comm_step
+        )
         bound_fractions.append(memory_bound_fraction(step, gpu))
     mean_step = (
         0.25 * step_latencies[0] + 0.5 * step_latencies[1] + 0.25 * step_latencies[2]

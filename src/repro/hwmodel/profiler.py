@@ -33,8 +33,12 @@ from repro.errors import HardwareModelError
 from repro.hwmodel.device import GPUSpec, get_gpu
 from repro.hwmodel.energy import energy_joules
 from repro.hwmodel.memory import MemoryFootprint, memory_footprint
-from repro.hwmodel.roofline import memory_bound_fraction, workload_latency
-from repro.hwmodel.workload import BYTES_FP16, build_workload, split_tensor_parallel
+from repro.hwmodel.roofline import (
+    memory_bound_fraction,
+    tp_allreduce_seconds,
+    workload_latency,
+)
+from repro.hwmodel.workload import build_workload, split_tensor_parallel
 from repro.models.config import ModelConfig
 
 
@@ -96,19 +100,6 @@ class ProfileResult:
         return self.memory.total / 1024**3
 
 
-def _allreduce_seconds(
-    config: ModelConfig, gpu: GPUSpec, batch: int, seq_len: int, n_gpus: int
-) -> float:
-    """Tensor-parallel communication: two all-reduces per layer (attention
-    output + MLP output) of the residual activation, ring-style."""
-    if n_gpus == 1:
-        return 0.0
-    payload = batch * seq_len * config.dim * BYTES_FP16
-    ring_factor = 2.0 * (n_gpus - 1) / n_gpus
-    per_allreduce = payload * ring_factor / (gpu.nvlink_bandwidth_gbs * 1e9)
-    return 2.0 * config.n_layers * (per_allreduce + gpu.kernel_overhead_s)
-
-
 def device_latency(
     config: ModelConfig,
     serving: ServingConfig,
@@ -126,8 +117,12 @@ def device_latency(
     )
     sharded = split_tensor_parallel(workload, serving.n_gpus)
     latency = workload_latency(sharded, gpu)
-    latency += _allreduce_seconds(
-        config, gpu, serving.per_gpu_batch, serving.seq_len, serving.n_gpus
+    latency += tp_allreduce_seconds(
+        config.dim,
+        config.n_layers,
+        serving.per_gpu_batch * serving.seq_len,
+        gpu,
+        serving.n_gpus,
     )
     return latency
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.hwmodel.device import GPUSpec
-from repro.hwmodel.workload import Op, Workload
+from repro.hwmodel.workload import BYTES_FP16, Op, Workload
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,29 @@ def memory_bound_fraction(workload: Workload, gpu: GPUSpec) -> float:
         return 0.0
     bound = sum(t.latency_s for t in timings if t.memory_bound)
     return bound / total
+
+
+def allreduce_seconds(payload_bytes: float, gpu: GPUSpec, n_gpus: int) -> float:
+    """Ring all-reduce time for one ``payload_bytes`` tensor across
+    ``n_gpus`` over NVLink: each GPU moves ``2 (P-1)/P`` of the payload at
+    the per-direction link bandwidth, plus one launch overhead."""
+    if n_gpus <= 1:
+        return 0.0
+    ring_factor = 2.0 * (n_gpus - 1) / n_gpus
+    wire_s = payload_bytes * ring_factor / (gpu.nvlink_bandwidth_gbs * 1e9)
+    return wire_s + gpu.kernel_overhead_s
+
+
+def tp_allreduce_seconds(
+    dim: int, n_layers: int, batch_tokens: int, gpu: GPUSpec, n_gpus: int
+) -> float:
+    """Megatron tensor-parallel communication for one forward pass: two
+    all-reduces per layer (attention output and MLP output) of the
+    (batch_tokens, dim) residual activation."""
+    if n_gpus <= 1:
+        return 0.0
+    payload = float(batch_tokens * dim * BYTES_FP16)
+    return 2.0 * n_layers * allreduce_seconds(payload, gpu, n_gpus)
 
 
 def achieved_flops(workload: Workload, gpu: GPUSpec) -> float:

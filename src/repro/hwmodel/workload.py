@@ -22,12 +22,31 @@ BYTES_FP16 = 2
 
 @dataclass(frozen=True)
 class Op:
-    """One kernel: a GEMM or a streaming (elementwise/normalization) op."""
+    """One kernel: a GEMM or a streaming (elementwise/normalization) op.
+
+    ``parallelism`` declares how the op behaves under Megatron-style tensor
+    parallelism and ``shard_dim`` gives the size of the axis it shards
+    along (its finest semantically splittable unit — heads for attention,
+    columns/rows for MLP and LM head, the rank for factor chains):
+
+    - ``"replicated"``: every GPU does the whole op (norms, embeddings,
+      residual elementwise on the replicated hidden state).
+    - ``"column"``: output columns shard; the input activation is
+      replicated, the output is 1/P of the columns.
+    - ``"row"``: input rows shard; the input activation is 1/P, the output
+      (a partial sum to be all-reduced) is full width.
+    - ``"sharded"``: both activations shard (attention score/context
+      batched matmuls, which split cleanly by head).
+    """
 
     name: str
     flops: float             # multiply-accumulate counted as 2 FLOPs
     weight_bytes: float      # parameter traffic (read once per pass)
     activation_bytes: float  # input + output activation traffic
+    parallelism: str = "replicated"
+    shard_dim: int = 0
+    act_in_bytes: float = 0.0   # input share of activation_bytes (GEMMs)
+    act_out_bytes: float = 0.0  # output share of activation_bytes (GEMMs)
 
     @property
     def total_bytes(self) -> float:
@@ -39,6 +58,20 @@ class Op:
         if self.total_bytes == 0:
             return float("inf")
         return self.flops / self.total_bytes
+
+    def shard_share(self, n_gpus: int) -> float:
+        """The bottleneck GPU's share of this op under ``n_gpus``-way TP.
+
+        Whole units of ``shard_dim`` are distributed, so the largest shard
+        carries ``ceil(shard_dim / n_gpus)`` of them — exactly ``1/P`` only
+        when the dimension divides evenly.  A rank-1 factor chain
+        (``shard_dim == 1``) cannot shard at all and stays replicated,
+        which is why decomposed variants scale *worse* under TP.
+        """
+        if self.parallelism == "replicated" or self.shard_dim <= 0:
+            return 1.0
+        units = -(-self.shard_dim // n_gpus)  # ceil division
+        return min(1.0, units / self.shard_dim)
 
 
 @dataclass
@@ -72,22 +105,64 @@ class Workload:
 
 
 def _linear_op(
-    name: str, batch_tokens: int, in_features: int, out_features: int
+    name: str,
+    batch_tokens: int,
+    in_features: int,
+    out_features: int,
+    parallelism: str = "replicated",
+    shard_dim: int = 0,
 ) -> Op:
     flops = 2.0 * batch_tokens * in_features * out_features
     weight_bytes = float(in_features * out_features * BYTES_FP16)
-    activation_bytes = float(batch_tokens * (in_features + out_features) * BYTES_FP16)
-    return Op(name, flops, weight_bytes, activation_bytes)
+    act_in = float(batch_tokens * in_features * BYTES_FP16)
+    act_out = float(batch_tokens * out_features * BYTES_FP16)
+    return Op(
+        name,
+        flops,
+        weight_bytes,
+        act_in + act_out,
+        parallelism=parallelism,
+        shard_dim=shard_dim,
+        act_in_bytes=act_in,
+        act_out_bytes=act_out,
+    )
+
+
+def _role_parallelism(config: ModelConfig, role: str) -> Tuple[str, int]:
+    """How a role's GEMM shards: Megatron column/row parallel + granularity.
+
+    Q/K/V and FFN-in are column-parallel (Q by query head, K/V by KV
+    head); the attention output and FFN-down are row-parallel (their input
+    axis is what shards).  The granularity is the finest splittable unit:
+    heads for attention projections, individual columns/rows for the MLP.
+    """
+    if role == "w_q":
+        return ("column", config.n_heads)
+    if role in ("w_k", "w_v"):
+        return ("column", config.kv_heads)
+    if role == "w_so":
+        return ("row", config.n_heads)
+    if role in ("w_g", "w_u", "w_int"):
+        return ("column", config.mlp_hidden)
+    if role in ("w_d", "w_out"):
+        return ("row", config.mlp_hidden)
+    raise HardwareModelError(f"no tensor-parallel layout for role {role!r}")
 
 
 def _factorized_ops(
     name: str, batch_tokens: int, in_features: int, out_features: int, rank: int
 ) -> List[Op]:
-    """The three GEMMs of a Tucker-2 decomposed linear layer."""
+    """The three GEMMs of a Tucker-2 decomposed linear layer.
+
+    The factor chain shards along its contraction-free rank axis: U1
+    column-parallel over rank, the core fully sharded, U2 row-parallel over
+    rank.  All three bottom out at ``shard_dim=rank``, so low-rank chains
+    (rank < n_gpus) stop sharding — decomposition trades away TP scaling.
+    """
     return [
-        _linear_op(f"{name}.u1", batch_tokens, in_features, rank),
-        _linear_op(f"{name}.core", batch_tokens, rank, rank),
-        _linear_op(f"{name}.u2", batch_tokens, rank, out_features),
+        _linear_op(f"{name}.u1", batch_tokens, in_features, rank, "column", rank),
+        _linear_op(f"{name}.core", batch_tokens, rank, rank, "sharded", rank),
+        _linear_op(f"{name}.u2", batch_tokens, rank, out_features, "row", rank),
     ]
 
 
@@ -103,9 +178,9 @@ def _attention_bmm_ops(
     context_bytes = score_bytes
     softmax_bytes = float(2 * batch * n_heads * seq_len * seq_len * BYTES_FP16)
     return [
-        Op(f"{name}.qk", score_flops, 0.0, score_bytes),
-        Op(f"{name}.softmax", 0.0, 0.0, softmax_bytes),
-        Op(f"{name}.pv", context_flops, 0.0, context_bytes),
+        Op(f"{name}.qk", score_flops, 0.0, score_bytes, "sharded", n_heads),
+        Op(f"{name}.softmax", 0.0, 0.0, softmax_bytes, "sharded", n_heads),
+        Op(f"{name}.pv", context_flops, 0.0, context_bytes, "sharded", n_heads),
     ]
 
 
@@ -152,7 +227,10 @@ def build_workload(
                     )
                 )
             else:
-                workload.ops.append(_linear_op(f"{prefix}.{role}", tokens, height, width))
+                mode, shard_dim = _role_parallelism(config, role)
+                workload.ops.append(
+                    _linear_op(f"{prefix}.{role}", tokens, height, width, mode, shard_dim)
+                )
         workload.ops.extend(
             _attention_bmm_ops(f"{prefix}.attn", batch, seq_len, config.n_heads, config.head_dim)
         )
@@ -168,16 +246,56 @@ def build_workload(
         )
 
     workload.ops.append(_norm_op("final_norm", tokens, config.dim))
-    workload.ops.append(_linear_op("lm_head", tokens, config.dim, config.vocab_size))
+    workload.ops.append(
+        _linear_op(
+            "lm_head", tokens, config.dim, config.vocab_size, "column", config.vocab_size
+        )
+    )
     return workload
 
 
-def split_tensor_parallel(workload: Workload, n_gpus: int) -> Workload:
-    """Shard a workload across ``n_gpus`` (Megatron-style tensor parallel).
+def _shard_op(op: Op, n_gpus: int) -> Op:
+    """One op as seen by the bottleneck GPU under ``n_gpus``-way TP."""
+    share = op.shard_share(n_gpus)
+    if share >= 1.0:
+        return op
+    if op.parallelism == "column":
+        # Input activation replicated, weight and output columns sharded.
+        act_in, act_out = op.act_in_bytes, op.act_out_bytes * share
+    elif op.parallelism == "row":
+        # Input rows sharded; output is a full-width partial sum.
+        act_in, act_out = op.act_in_bytes * share, op.act_out_bytes
+    else:  # "sharded": both sides split (head-parallel bmm, core GEMM)
+        act_in, act_out = op.act_in_bytes * share, op.act_out_bytes * share
+    if op.act_in_bytes or op.act_out_bytes:
+        activation_bytes = act_in + act_out
+    else:
+        activation_bytes = op.activation_bytes * share
+        act_in = act_out = 0.0
+    return Op(
+        op.name,
+        op.flops * share,
+        op.weight_bytes * share,
+        activation_bytes,
+        parallelism=op.parallelism,
+        shard_dim=op.shard_dim,
+        act_in_bytes=act_in,
+        act_out_bytes=act_out,
+    )
 
-    GEMM FLOPs and weight bytes divide evenly; attention and elementwise
-    traffic also shard by heads/columns.  Communication cost is added by the
-    profiler, not here.
+
+def split_tensor_parallel(workload: Workload, n_gpus: int) -> Workload:
+    """The bottleneck GPU's workload under Megatron-style tensor parallelism.
+
+    Each op shards according to its declared ``parallelism``: GEMM FLOPs and
+    weight bytes scale by :meth:`Op.shard_share` (a ceil-division share, so
+    uneven dimensions leave one GPU with more than 1/P), while activation
+    traffic keeps its replicated side full-size — a column-parallel GEMM
+    still reads the whole input, a row-parallel GEMM still writes a
+    full-width partial sum.  Replicated ops (norms, embeddings, residual
+    elementwise on the replicated hidden state) are untouched: they are the
+    Amdahl floor that keeps TP speedups sublinear.  Communication cost is
+    added by the profiler, not here.
     """
     if n_gpus <= 0:
         raise HardwareModelError("n_gpus must be positive")
@@ -189,12 +307,5 @@ def split_tensor_parallel(workload: Workload, n_gpus: int) -> Workload:
         seq_len=workload.seq_len,
     )
     for op in workload.ops:
-        sharded.ops.append(
-            Op(
-                op.name,
-                op.flops / n_gpus,
-                op.weight_bytes / n_gpus,
-                op.activation_bytes / n_gpus,
-            )
-        )
+        sharded.ops.append(_shard_op(op, n_gpus))
     return sharded

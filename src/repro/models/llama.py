@@ -25,6 +25,7 @@ from repro.nn import (
     RotaryEmbedding,
     SwiGluMLP,
 )
+from repro.nn.linear import block_edges, blocked_project
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
 
@@ -50,7 +51,9 @@ class LlamaBlock(Module):
             n_kv_heads=config.kv_heads,
         )
         self.mlp_norm = RMSNorm(config.dim)
-        self.mlp = SwiGluMLP(config.dim, config.mlp_hidden, rng=rng)
+        self.mlp = SwiGluMLP(
+            config.dim, config.mlp_hidden, rng=rng, n_blocks=config.n_heads
+        )
 
     def forward(
         self, x: Tensor, pad_mask: Optional[np.ndarray] = None, cache=None
@@ -88,6 +91,10 @@ class LlamaModel(Module):
         self.lm_head = None if config.tie_lm_head else Linear(
             config.dim, config.vocab_size, bias=False, rng=rng
         )
+        # The LM head projects in n_heads column blocks over the vocabulary
+        # — the fixed reduction layout the tensor-parallel executor
+        # reproduces when vocab blocks are sharded across ranks.
+        self._vocab_edges = block_edges(config.vocab_size, config.n_heads)
 
     @property
     def n_layers(self) -> int:
@@ -101,12 +108,17 @@ class LlamaModel(Module):
         x = self.embed(tokens)
         for block in self.blocks:
             x = block(x, pad_mask=pad_mask)
+        return self.logits_from_hidden(x)
+
+    def logits_from_hidden(self, x: Tensor) -> Tensor:
+        """Final norm + (blocked) LM-head projection of (B, T, D) hidden
+        states, shared by the plain and cached forward paths."""
         x = self.final_norm(x)
         if self.lm_head is not None:
-            return self.lm_head(x)
+            return self.lm_head.forward_blocked(x, self._vocab_edges)
         batch, seq_len, _ = x.shape
         flat = x.reshape(batch * seq_len, self.config.dim)
-        logits = flat @ self.embed.weight.T
+        logits = blocked_project(flat, self.embed.weight.T, self._vocab_edges)
         return logits.reshape(batch, seq_len, self.config.vocab_size)
 
     def loss(self, tokens: np.ndarray, loss_mask: Optional[np.ndarray] = None) -> Tensor:
@@ -208,13 +220,7 @@ class LlamaModel(Module):
         x = self.embed(np.asarray(tokens))
         for block, layer_cache in zip(self.blocks, cache.layers):
             x = block(x, cache=layer_cache)
-        x = self.final_norm(x)
-        if self.lm_head is not None:
-            return self.lm_head(x)
-        batch, seq_len, _ = x.shape
-        flat = x.reshape(batch * seq_len, self.config.dim)
-        logits = flat @ self.embed.weight.T
-        return logits.reshape(batch, seq_len, self.config.vocab_size)
+        return self.logits_from_hidden(x)
 
     def _greedy_generate_recompute(
         self, prompt: np.ndarray, max_new_tokens: int, stop_token: Optional[int]

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.nn.kv_cache import RaggedLayerCaches
-from repro.nn.linear import Linear
+from repro.nn.linear import Linear, block_edges
 from repro.nn.module import Module
 from repro.nn.rope import RotaryEmbedding
 from repro.tensor import functional as F
@@ -80,17 +80,33 @@ class MultiHeadAttention(Module):
         self.w_k = Linear(dim, kv_dim, bias=bias, rng=rng)
         self.w_v = Linear(dim, kv_dim, bias=bias, rng=rng)
         self.w_so = Linear(dim, dim, bias=bias, rng=rng)
+        # Fixed reduction layout: Q/K/V project one head at a time and the
+        # output projection runs in n_heads column blocks, so the
+        # tensor-parallel executor (repro.parallel), which computes the same
+        # blocks head-sharded, matches this forward bit for bit.
+        self._q_edges = block_edges(dim, self.n_heads)
+        self._kv_edges = block_edges(kv_dim, self.n_kv_heads)
+        self._out_edges = block_edges(dim, self.n_heads)
 
     def _split_heads(self, x: Tensor, batch: int, seq_len: int, n_heads: int) -> Tensor:
         return x.reshape(batch, seq_len, n_heads, self.head_dim).transpose(0, 2, 1, 3)
 
     def _expand_kv(self, x: Tensor) -> Tensor:
-        """Repeat each KV head to serve its group of query heads (GQA)."""
+        """Repeat each KV head to serve its group of query heads (GQA).
+
+        Built from basic head slices concatenated along the head axis (not
+        a fancy-indexed copy): concatenation guarantees a C-ordered result,
+        so the batched matmuls that follow see the same memory layout —
+        and produce the same bytes — whether computed over all heads here
+        or over a head subset on one tensor-parallel rank.
+        """
         if self.n_kv_heads == self.n_heads:
             return x
         groups = self.n_heads // self.n_kv_heads
-        index = np.repeat(np.arange(self.n_kv_heads), groups)
-        return x[:, index, :, :]
+        parts = []
+        for head in range(self.n_kv_heads):
+            parts.extend([x[:, head : head + 1]] * groups)
+        return Tensor.concatenate(parts, axis=1)
 
     def forward(
         self,
@@ -120,9 +136,15 @@ class MultiHeadAttention(Module):
             return self._forward_ragged(x, cache)
         batch, seq_len, _ = x.shape
         offset = 0 if cache is None else cache.seq_len
-        q = self._split_heads(self.w_q(x), batch, seq_len, self.n_heads)
-        k = self._split_heads(self.w_k(x), batch, seq_len, self.n_kv_heads)
-        v = self._split_heads(self.w_v(x), batch, seq_len, self.n_kv_heads)
+        q = self._split_heads(
+            self.w_q.forward_blocked(x, self._q_edges), batch, seq_len, self.n_heads
+        )
+        k = self._split_heads(
+            self.w_k.forward_blocked(x, self._kv_edges), batch, seq_len, self.n_kv_heads
+        )
+        v = self._split_heads(
+            self.w_v.forward_blocked(x, self._kv_edges), batch, seq_len, self.n_kv_heads
+        )
         if self.rope is not None:
             q = self.rope.apply(q, offset=offset)
             k = self.rope.apply(k, offset=offset)
@@ -149,7 +171,7 @@ class MultiHeadAttention(Module):
         weights = F.softmax(scores, axis=-1)
         context = weights @ v
         merged = context.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.dim)
-        return self.w_so(merged)
+        return self.w_so.forward_blocked(merged, self._out_edges)
 
     def _forward_ragged(self, x: Tensor, ragged: RaggedLayerCaches) -> Tensor:
         """Batched attention over independent sequences of unequal depth.
@@ -174,9 +196,15 @@ class MultiHeadAttention(Module):
                 f"row lengths {lengths} out of range [1, {max_new}]"
             )
         offsets = ragged.offsets
-        q = self._split_heads(self.w_q(x), batch, max_new, self.n_heads)
-        k = self._split_heads(self.w_k(x), batch, max_new, self.n_kv_heads)
-        v = self._split_heads(self.w_v(x), batch, max_new, self.n_kv_heads)
+        q = self._split_heads(
+            self.w_q.forward_blocked(x, self._q_edges), batch, max_new, self.n_heads
+        )
+        k = self._split_heads(
+            self.w_k.forward_blocked(x, self._kv_edges), batch, max_new, self.n_kv_heads
+        )
+        v = self._split_heads(
+            self.w_v.forward_blocked(x, self._kv_edges), batch, max_new, self.n_kv_heads
+        )
         if self.rope is not None:
             q = self.rope.apply(q, offset=offsets)
             k = self.rope.apply(k, offset=offsets)
@@ -204,4 +232,4 @@ class MultiHeadAttention(Module):
         weights = F.softmax(scores, axis=-1)
         context = weights @ values
         merged = context.transpose(0, 2, 1, 3).reshape(batch, max_new, self.dim)
-        return self.w_so(merged)
+        return self.w_so.forward_blocked(merged, self._out_edges)

@@ -12,12 +12,12 @@ approximation.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import DecompositionError
-from repro.nn.linear import Linear
+from repro.nn.linear import Linear, blocked_project
 from repro.nn.module import Module, Parameter
 from repro.tensor.tensor import Tensor
 
@@ -33,9 +33,12 @@ class FactorizedLinear(Module):
         bias: Optional[np.ndarray] = None,
     ) -> None:
         super().__init__()
-        u1 = np.asarray(u1, dtype=np.float32)
-        core = np.asarray(core, dtype=np.float32)
-        u2 = np.asarray(u2, dtype=np.float32)
+        # SVD-derived factors arrive Fortran-ordered; BLAS results are not
+        # layout-invariant, so normalize to C order here — the layout the
+        # tensor-parallel executor's chunk copies will also have.
+        u1 = np.ascontiguousarray(u1, dtype=np.float32)
+        core = np.ascontiguousarray(core, dtype=np.float32)
+        u2 = np.ascontiguousarray(u2, dtype=np.float32)
         if u1.ndim != 2 or core.ndim != 2 or u2.ndim != 2:
             raise DecompositionError("factors must be matrices")
         if u1.shape[1] != core.shape[0] or core.shape[1] != u2.shape[0]:
@@ -51,7 +54,29 @@ class FactorizedLinear(Module):
         self.bias = Parameter(bias, name="bias") if bias is not None else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = ((x @ self.u1) @ self.core) @ self.u2
+        out = self.prefix(x) @ self.u2
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def prefix(self, x: Tensor) -> Tensor:
+        """The shared low-rank prefix ``(x @ U1) @ core``.
+
+        Under tensor parallelism U1 and the core are replicated (their
+        contraction axes cannot shard below the rank), so every rank
+        computes this identical prefix before projecting its own column
+        blocks of U2.
+        """
+        return (x @ self.u1) @ self.core
+
+    def forward_blocked(self, x: Tensor, edges: Sequence[Tuple[int, int]]) -> Tensor:
+        """Like :meth:`forward`, with the U2 GEMM column-blocked.
+
+        Same reduction-layout contract as :meth:`Linear.forward_blocked`:
+        the ``edges`` partition the *output* width, so sharded executors
+        holding contiguous U2 column blocks reproduce these bytes exactly.
+        """
+        out = blocked_project(self.prefix(x), self.u2, edges)
         if self.bias is not None:
             out = out + self.bias
         return out

@@ -3,17 +3,67 @@
 The weight is stored as (in_features, out_features), matching the paper's
 H x W orientation for decomposition: the Tucker-2 factorization produces
 ``W ~= U1 @ core @ U2`` with U1 (H, PR), core (PR, PR), U2 (PR, W).
+
+Blocked projection
+------------------
+:func:`block_edges` / :func:`blocked_project` compute a projection one
+contiguous *column block* at a time.  This fixes the floating-point
+reduction granularity of every GEMM: a block's result depends only on the
+(in, block) weight slice, never on which other columns share the kernel
+call.  BLAS output is not invariant under column partitioning, so fixing
+the block layout in the canonical single-process forward is what lets the
+tensor-parallel executor in :mod:`repro.parallel` — which computes the same
+blocks distributed across ranks and concatenates — reproduce the canonical
+logits *bit for bit*.  Only basic slices (``W[:, a:b]`` views) are used;
+fancy-indexed copies may change memory order and therefore GEMM results.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import ShapeError
 from repro.nn.module import Module, Parameter
 from repro.tensor import random as trandom
 from repro.tensor.tensor import Tensor
+
+
+def block_edges(width: int, n_blocks: int) -> List[Tuple[int, int]]:
+    """Split ``[0, width)`` into ``n_blocks`` contiguous spans.
+
+    Sizes differ by at most one (larger blocks first, matching
+    ``np.array_split``).  When ``n_blocks`` exceeds ``width`` the block
+    count is clamped so no span is empty.
+    """
+    if width <= 0 or n_blocks <= 0:
+        raise ShapeError(f"width {width} and n_blocks {n_blocks} must be positive")
+    n_blocks = min(n_blocks, width)
+    base, extra = divmod(width, n_blocks)
+    edges: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(n_blocks):
+        stop = start + base + (1 if index < extra else 0)
+        edges.append((start, stop))
+        start = stop
+    return edges
+
+
+def blocked_project(x: Tensor, weight: Tensor, edges: Sequence[Tuple[int, int]]) -> Tensor:
+    """``x @ weight`` computed one column block at a time.
+
+    Each block is an independent GEMM against the basic-slice view
+    ``weight[:, a:b]``; the blocks are concatenated along the last axis.
+    With a single block this is exactly ``x @ weight``.  The block
+    decomposition — not just the result — is the contract: any executor
+    that computes the same blocks (in any order, on any rank) and
+    concatenates them reproduces these bytes exactly.
+    """
+    if len(edges) == 1:
+        return x @ weight
+    parts = [x @ weight[:, a:b] for a, b in edges]
+    return Tensor.concatenate(parts, axis=-1)
 
 
 class Linear(Module):
@@ -50,6 +100,18 @@ class Linear(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def forward_blocked(self, x: Tensor, edges: Sequence[Tuple[int, int]]) -> Tensor:
+        """Projection with a fixed column-block reduction layout.
+
+        The bias (if any) is added full-width after concatenation; element
+        wise addition is positionally exact, so blocking only the GEMMs is
+        enough for bit-reproducibility under sharding.
+        """
+        out = blocked_project(x, self.weight, edges)
         if self.bias is not None:
             out = out + self.bias
         return out

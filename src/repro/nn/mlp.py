@@ -12,7 +12,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nn.linear import Linear
+from repro.nn.linear import Linear, block_edges
 from repro.nn.module import Module
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
@@ -38,20 +38,33 @@ class GeluMLP(Module):
 
 
 class SwiGluMLP(Module):
-    """Llama's gated feed-forward: ``W_D(silu(W_G(x)) * W_U(x))``."""
+    """Llama's gated feed-forward: ``W_D(silu(W_G(x)) * W_U(x))``.
+
+    ``n_blocks`` fixes the column-block reduction layout of all three
+    GEMMs (see :func:`~repro.nn.linear.blocked_project`); Llama blocks pass
+    ``config.n_heads`` so the MLP shards along the same block grid as
+    attention under tensor parallelism.  The default of 1 keeps the plain
+    single-GEMM layout.
+    """
 
     def __init__(
         self,
         dim: int,
         hidden_dim: int,
         rng: Optional[np.random.Generator] = None,
+        n_blocks: int = 1,
     ) -> None:
         super().__init__()
         self.dim = int(dim)
         self.hidden_dim = int(hidden_dim)
+        self.n_blocks = int(n_blocks)
         self.w_g = Linear(dim, hidden_dim, bias=False, rng=rng)
         self.w_u = Linear(dim, hidden_dim, bias=False, rng=rng)
         self.w_d = Linear(hidden_dim, dim, bias=False, rng=rng)
+        self._hidden_edges = block_edges(hidden_dim, self.n_blocks)
+        self._out_edges = block_edges(dim, self.n_blocks)
 
     def forward(self, x: Tensor) -> Tensor:
-        return self.w_d(F.silu(self.w_g(x)) * self.w_u(x))
+        gate = self.w_g.forward_blocked(x, self._hidden_edges)
+        up = self.w_u.forward_blocked(x, self._hidden_edges)
+        return self.w_d.forward_blocked(F.silu(gate) * up, self._out_edges)

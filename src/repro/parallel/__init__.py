@@ -1,0 +1,40 @@
+"""Tensor-parallel execution backend (multi-rank, bit-exact).
+
+Public surface:
+
+- :class:`DeviceMesh` / :func:`shard_model` — partition a Llama model
+  Megatron-style along the canonical block grids.
+- :class:`LocalGroup` / :class:`ProcessGroup` — interchangeable collective
+  backends (threads + shared heap, spawned processes + shared memory)
+  with a fixed reduction order.
+- :class:`ShardedLlama` — thread-backed model facade (serving-capable).
+- :class:`ProcessShardedLlama` — process-backed model facade.
+- :func:`analytic_comm` — exact projection of the executor's collective
+  traffic, validated byte-for-byte against measured :class:`CommStats`.
+"""
+
+from repro.parallel.accounting import CommProjection, analytic_comm, gathered_width
+from repro.parallel.collectives import CommStats, LocalGroup
+from repro.parallel.executor import RankExecutor
+from repro.parallel.mesh import DeviceMesh, validate_mesh
+from repro.parallel.local import ShardedKVPool, ShardedLlama, ShardedSequenceCache
+from repro.parallel.process import ProcessGroup, ProcessShardedLlama
+from repro.parallel.sharding import RankShard, shard_model
+
+__all__ = [
+    "CommProjection",
+    "CommStats",
+    "DeviceMesh",
+    "LocalGroup",
+    "ProcessGroup",
+    "ProcessShardedLlama",
+    "RankExecutor",
+    "RankShard",
+    "ShardedKVPool",
+    "ShardedLlama",
+    "ShardedSequenceCache",
+    "analytic_comm",
+    "gathered_width",
+    "shard_model",
+    "validate_mesh",
+]

@@ -1,0 +1,187 @@
+"""Collective communication with interchangeable backends.
+
+Both backends expose the same four collectives — ``all_gather``,
+``all_reduce``, ``broadcast``, ``barrier`` — with a *fixed reduction
+order*: contributions are always combined rank 0 first, rank P-1 last,
+regardless of arrival order.  Floating-point addition is not associative,
+so this ordering (not just the math) is part of the contract that makes
+results bit-identical across world sizes and backends.
+
+- :class:`LocalGroup` runs ranks as threads of one process, synchronized
+  by a :class:`threading.Barrier`.  Deterministic and cheap — the backend
+  the test-suite equality sweeps and the serving engine use.
+- :class:`ProcessGroup` (in :mod:`repro.parallel.process`) runs ranks as
+  spawned processes exchanging payloads through POSIX shared memory.
+
+Every collective also updates a :class:`CommStats` ledger.  ``wire_bytes``
+counts bytes that would cross GPU interconnect links: for an all-gather of
+a ``payload`` result, every rank must receive all chunks it does not own,
+totalling ``(P-1) * payload`` across the group — an identity that holds
+regardless of how unevenly the chunks split, which is what lets the
+measured ledger agree *exactly* with the analytic projection.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ParallelError
+
+
+@dataclass
+class CommStats:
+    """Ledger of collective traffic, in the units the hardware model uses."""
+
+    calls: int = 0
+    payload_bytes: int = 0  # full (post-collective) tensor bytes
+    wire_bytes: int = 0     # bytes crossing interconnect links
+    elapsed_s: float = 0.0  # wall time rank 0 spent inside collectives
+
+    def record(self, payload: int, wire: int, elapsed: float = 0.0) -> None:
+        self.calls += 1
+        self.payload_bytes += payload
+        self.wire_bytes += wire
+        self.elapsed_s += elapsed
+
+    def snapshot(self) -> dict:
+        return {
+            "calls": self.calls,
+            "payload_bytes": self.payload_bytes,
+            "wire_bytes": self.wire_bytes,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def gather_wire_bytes(payload_bytes: int, world_size: int) -> int:
+    """Interconnect bytes for one all-gather with a ``payload_bytes``
+    result: each of the P ranks receives everything but its own chunk."""
+    return (world_size - 1) * payload_bytes
+
+
+def reduce_wire_bytes(payload_bytes: int, world_size: int) -> int:
+    """Ring all-reduce moves ``2 (P-1)/P`` of the payload per rank;
+    summed over ranks that is ``2 (P-1)`` payloads."""
+    return 2 * (world_size - 1) * payload_bytes
+
+
+def fixed_order_sum(parts: List[np.ndarray]) -> np.ndarray:
+    """Sum contributions rank 0 first — the deterministic reduction order
+    shared by every backend."""
+    total = parts[0].copy()
+    for part in parts[1:]:
+        total += part
+    return total
+
+
+class LocalGroup:
+    """In-process collective group: one thread per rank, shared memory.
+
+    Collectives are three-phase: (1) every rank deposits its contribution
+    and waits; (2) rank 0 combines in fixed rank order and publishes, all
+    wait; (3) every rank reads the shared result and waits once more so
+    the slots can be reused.  The returned array is shared read-only by
+    all ranks — callers must not mutate it.
+    """
+
+    def __init__(self, world_size: int) -> None:
+        if world_size <= 0:
+            raise ParallelError(f"world_size must be positive, got {world_size}")
+        self.world_size = int(world_size)
+        self.stats = CommStats()
+        self._slots: List[Optional[np.ndarray]] = [None] * self.world_size
+        self._result: Optional[np.ndarray] = None
+        if self.world_size > 1:
+            self._barrier = threading.Barrier(self.world_size)
+
+    # -- lifecycle ---------------------------------------------------------
+    def abort(self) -> None:
+        """Break peers out of a pending barrier after a rank failed."""
+        if self.world_size > 1:
+            self._barrier.abort()
+
+    def reset(self) -> None:
+        """Make the group usable again after :meth:`abort`."""
+        if self.world_size > 1:
+            self._barrier.reset()
+        self._slots = [None] * self.world_size
+
+    def _wait(self) -> None:
+        try:
+            self._barrier.wait()
+        except threading.BrokenBarrierError as exc:
+            raise ParallelError("collective aborted: a peer rank failed") from exc
+
+    # -- collectives -------------------------------------------------------
+    def barrier(self, rank: int) -> None:
+        if self.world_size > 1:
+            self._wait()
+
+    def all_gather(self, rank: int, array: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Concatenate per-rank arrays along ``axis``, rank 0 first."""
+        if self.world_size == 1:
+            self.stats.record(array.nbytes, 0)
+            return array
+        started = time.perf_counter()
+        self._slots[rank] = array
+        self._wait()
+        if rank == 0:
+            result = np.concatenate(self._slots, axis=axis)
+            self._result = result
+            self.stats.record(
+                result.nbytes,
+                gather_wire_bytes(result.nbytes, self.world_size),
+                time.perf_counter() - started,
+            )
+        self._wait()
+        result = self._result
+        self._wait()  # all ranks hold the result; slots are reusable
+        return result
+
+    def all_reduce(self, rank: int, array: np.ndarray) -> np.ndarray:
+        """Element-wise sum across ranks, combined in fixed rank order."""
+        if self.world_size == 1:
+            self.stats.record(array.nbytes, 0)
+            return array
+        started = time.perf_counter()
+        self._slots[rank] = array
+        self._wait()
+        if rank == 0:
+            result = fixed_order_sum(self._slots)
+            self._result = result
+            self.stats.record(
+                result.nbytes,
+                reduce_wire_bytes(result.nbytes, self.world_size),
+                time.perf_counter() - started,
+            )
+        self._wait()
+        result = self._result
+        self._wait()
+        return result
+
+    def broadcast(self, rank: int, array: Optional[np.ndarray], root: int = 0) -> np.ndarray:
+        """Distribute ``root``'s array to every rank."""
+        if self.world_size == 1:
+            if array is None:
+                raise ParallelError("broadcast root must supply an array")
+            self.stats.record(array.nbytes, 0)
+            return array
+        started = time.perf_counter()
+        if rank == root:
+            if array is None:
+                raise ParallelError("broadcast root must supply an array")
+            self._result = array
+        self._wait()
+        result = self._result
+        if rank == 0:
+            self.stats.record(
+                result.nbytes,
+                (self.world_size - 1) * result.nbytes,
+                time.perf_counter() - started,
+            )
+        self._wait()
+        return result

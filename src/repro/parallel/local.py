@@ -1,0 +1,226 @@
+"""Thread-backed tensor-parallel Llama: the deterministic local backend.
+
+:class:`ShardedLlama` wraps a canonical model as ``world_size`` rank
+executors driven by a persistent thread pool over a
+:class:`~repro.parallel.collectives.LocalGroup`.  It quacks like the model
+where the serving engine needs it to — ``config``, ``eval()``,
+``forward``/``forward_ragged``, plus a ``make_kv_pool`` hook that gives
+the engine *per-rank* KV pools holding only each rank's covering KV heads.
+
+Exact-equality contract: for identical inputs (and identical per-sequence
+cache histories), ``ShardedLlama(model, P).forward(x)`` returns the same
+bytes as ``model.forward(x)`` for every valid ``P`` — see
+:mod:`repro.parallel.executor` for why.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ParallelError
+from repro.parallel.accounting import CommProjection, analytic_comm
+from repro.parallel.collectives import CommStats, LocalGroup
+from repro.parallel.executor import RankExecutor
+from repro.parallel.mesh import DeviceMesh
+from repro.parallel.sharding import RankShard, shard_model
+from repro.serving.pool import KVBlockPool
+from repro.tensor.tensor import Tensor
+
+
+class ShardedSequenceCache:
+    """One request's KV state split across per-rank pools.
+
+    Mirrors the :class:`~repro.serving.pool.PooledSequenceCache` surface
+    the engine drives (``seq_len`` / ``reserve`` / ``free``).  The per-rank
+    pools share one block geometry and receive every operation in the same
+    order, so reservations succeed or exhaust symmetrically.
+    """
+
+    def __init__(self, rank_caches: Sequence[object]) -> None:
+        self.rank_caches = list(rank_caches)
+
+    @property
+    def seq_len(self) -> int:
+        return self.rank_caches[0].seq_len
+
+    @property
+    def closed(self) -> bool:
+        return self.rank_caches[0].closed
+
+    def reserve(self, new_tokens: int) -> None:
+        for cache in self.rank_caches:
+            cache.reserve(new_tokens)
+
+    def free(self) -> None:
+        for cache in self.rank_caches:
+            cache.free()
+
+
+class ShardedKVPool:
+    """Facade over one :class:`KVBlockPool` per rank.
+
+    Each rank's pool stores only that rank's covering KV heads, so total
+    cache memory is ~1/P per rank (slightly above when GQA covers
+    overlap).  Admission-control queries delegate to rank 0 — all pools
+    share the same block geometry.
+    """
+
+    def __init__(self, shards: Sequence[RankShard], n_blocks: int, block_tokens: int) -> None:
+        self.pools: List[KVBlockPool] = [
+            KVBlockPool(
+                shard.config,
+                n_blocks=n_blocks,
+                block_tokens=block_tokens,
+                kv_heads=shard.n_kv_heads,
+            )
+            for shard in shards
+        ]
+
+    @property
+    def n_blocks(self) -> int:
+        return self.pools[0].n_blocks
+
+    @property
+    def block_tokens(self) -> int:
+        return self.pools[0].block_tokens
+
+    @property
+    def available_blocks(self) -> int:
+        return self.pools[0].available_blocks
+
+    @property
+    def used_blocks(self) -> int:
+        return self.pools[0].used_blocks
+
+    @property
+    def utilization(self) -> float:
+        return self.pools[0].utilization
+
+    @property
+    def bytes_allocated(self) -> int:
+        return sum(pool.bytes_allocated for pool in self.pools)
+
+    def blocks_for_tokens(self, tokens: int) -> int:
+        return self.pools[0].blocks_for_tokens(tokens)
+
+    def fits(self, tokens: int) -> bool:
+        return self.pools[0].fits(tokens)
+
+    def allocate_sequence(self) -> ShardedSequenceCache:
+        return ShardedSequenceCache([pool.allocate_sequence() for pool in self.pools])
+
+
+class ShardedLlama:
+    """Tensor-parallel execution of a Llama model on thread ranks."""
+
+    def __init__(self, model, world_size: int) -> None:
+        self.config = model.config
+        self.mesh = DeviceMesh(world_size)
+        self.world_size = int(world_size)
+        self.shards = shard_model(model, self.mesh)
+        self.group = LocalGroup(world_size)
+        self.executors = [
+            RankExecutor(shard, self.group, shard.rank) for shard in self.shards
+        ]
+        self._pool = ThreadPoolExecutor(
+            max_workers=world_size, thread_name_prefix="tp-rank"
+        )
+        self.padded_tokens = 0   # total padded tokens across forward calls
+        self.forward_calls = 0
+
+    # -- model facade ------------------------------------------------------
+    def eval(self) -> "ShardedLlama":
+        return self
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False)
+
+    def _run(self, fn) -> List[object]:
+        """Run ``fn(rank)`` on every rank in lockstep; propagate failures.
+
+        On any rank's exception the group barrier is aborted so peers
+        blocked in a collective fail fast; the first *causal* exception
+        (not the secondary broken-barrier ones) is re-raised.
+        """
+        futures = [self._pool.submit(self._guard, fn, rank) for rank in range(self.world_size)]
+        results: List[object] = []
+        causal: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except ParallelError as exc:
+                results.append(None)
+                if causal is None and "aborted" not in str(exc):
+                    causal = exc
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                results.append(None)
+                if causal is None:
+                    causal = exc
+        if causal is not None:
+            self.group.reset()
+            raise causal
+        return results
+
+    def _guard(self, fn, rank: int):
+        try:
+            return fn(rank)
+        except BaseException:
+            self.group.abort()
+            raise
+
+    def forward(self, tokens: np.ndarray, pad_mask: Optional[np.ndarray] = None) -> Tensor:
+        tokens = np.asarray(tokens)
+        self._account(tokens.shape[0] * tokens.shape[1])
+        results = self._run(
+            lambda rank: self.executors[rank].forward(tokens, pad_mask=pad_mask)
+        )
+        return results[0]
+
+    def __call__(self, tokens: np.ndarray, pad_mask: Optional[np.ndarray] = None) -> Tensor:
+        return self.forward(tokens, pad_mask=pad_mask)
+
+    def forward_ragged(
+        self,
+        tokens: np.ndarray,
+        caches: Sequence[ShardedSequenceCache],
+        new_lengths,
+    ) -> Tensor:
+        tokens = np.asarray(tokens)
+        lengths = np.asarray(new_lengths, dtype=np.int64)
+        self._account(tokens.shape[0] * tokens.shape[1])
+        results = self._run(
+            lambda rank: self.executors[rank].forward_ragged(
+                tokens, [cache.rank_caches[rank] for cache in caches], lengths
+            )
+        )
+        return results[0]
+
+    # -- serving hooks -----------------------------------------------------
+    def make_kv_pool(self, n_blocks: int, block_tokens: int) -> ShardedKVPool:
+        return ShardedKVPool(self.shards, n_blocks=n_blocks, block_tokens=block_tokens)
+
+    def make_cache(self) -> ShardedSequenceCache:
+        """A growable (non-pooled) per-sequence cache, one slice per rank."""
+        from repro.nn.kv_cache import ModelKVCache
+
+        return ShardedSequenceCache(
+            [ModelKVCache(self.config.n_layers) for _ in range(self.world_size)]
+        )
+
+    # -- communication accounting -----------------------------------------
+    def _account(self, padded: int) -> None:
+        self.padded_tokens += int(padded)
+        self.forward_calls += 1
+
+    def comm_stats(self) -> CommStats:
+        return self.group.stats
+
+    def comm_projection(self) -> CommProjection:
+        """Analytic traffic for the forward calls issued so far — must
+        match :meth:`comm_stats` byte for byte."""
+        return analytic_comm(
+            self.config, self.padded_tokens, self.world_size, self.forward_calls
+        )

@@ -1,0 +1,84 @@
+"""Device mesh: which ranks own which blocks of each sharded dimension.
+
+The canonical single-process model computes every projection in a fixed
+column-block grid (:func:`repro.nn.linear.block_edges`): per query head for
+W_Q, per KV head for W_K/W_V, and an ``n_heads``-block grid over the output
+width of W_SO / the MLP / the LM head.  Tensor parallelism assigns each
+rank a *contiguous run of whole blocks*; because a block's GEMM result
+depends only on its own weight slice, any such assignment reproduces the
+canonical bytes exactly once the per-rank results are concatenated in rank
+order.
+
+GQA couples query and KV ownership: a rank holding query heads ``[a, b)``
+needs the KV heads covering them (``[a // g, ceil(b / g))`` for group size
+``g``).  Covering ranges of adjacent ranks may overlap at a shared KV head;
+the overlapped head is *replicated* — both ranks project it from the same
+replicated input with the same weights, bit-identically — so GQA costs no
+extra communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ParallelError
+from repro.models.config import ModelConfig
+from repro.nn.linear import block_edges
+
+Span = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class DeviceMesh:
+    """A 1-D tensor-parallel mesh of ``world_size`` ranks."""
+
+    world_size: int
+
+    def __post_init__(self) -> None:
+        if self.world_size <= 0:
+            raise ParallelError(f"world_size must be positive, got {self.world_size}")
+
+    def block_spans(self, n_blocks: int) -> List[Span]:
+        """Assign ``n_blocks`` grid blocks to ranks as contiguous runs.
+
+        Uses the same largest-first split as :func:`block_edges`, so rank
+        loads differ by at most one block.  Every rank owns at least one
+        block; sharding a grid finer than the mesh is an error.
+        """
+        if n_blocks < self.world_size:
+            raise ParallelError(
+                f"cannot shard {n_blocks} blocks across {self.world_size} ranks"
+            )
+        return block_edges(n_blocks, self.world_size)
+
+    def head_span(self, n_heads: int, rank: int) -> Span:
+        """Query heads ``[start, stop)`` owned by ``rank``."""
+        return self.block_spans(n_heads)[rank]
+
+    @staticmethod
+    def kv_cover(q_span: Span, group: int) -> Span:
+        """KV heads covering a run of query heads under GQA group size
+        ``group`` (1 for MHA).  May overlap neighboring ranks' covers."""
+        start, stop = q_span
+        return (start // group, -(-stop // group))
+
+
+def validate_mesh(config: ModelConfig, mesh: DeviceMesh) -> None:
+    """Check that ``config`` can shard across ``mesh``.
+
+    Every sharded grid — attention heads, the MLP block grid, the vocab
+    block grid — must have at least one block per rank.
+    """
+    grids = {
+        "attention heads": config.n_heads,
+        "kv heads after GQA cover": config.n_heads,  # q grid dominates
+        "mlp blocks": len(block_edges(config.mlp_hidden, config.n_heads)),
+        "vocab blocks": len(block_edges(config.vocab_size, config.n_heads)),
+        "output blocks": len(block_edges(config.dim, config.n_heads)),
+    }
+    for name, blocks in grids.items():
+        if blocks < mesh.world_size:
+            raise ParallelError(
+                f"{config.name}: {name} ({blocks}) < world_size {mesh.world_size}"
+            )

@@ -1,0 +1,353 @@
+"""Spawned-process tensor-parallel backend over POSIX shared memory.
+
+Each rank is a real OS process (``multiprocessing`` spawn start method, so
+no state leaks through fork) running the same :class:`RankExecutor` as the
+threaded backend, but its collectives move payloads through
+``multiprocessing.shared_memory`` segments instead of a shared heap:
+
+    1. every rank writes its contribution into its own per-call segment
+       (a small shape header + float32 payload) and hits the barrier;
+    2. every rank maps all peers' segments and combines them *itself* in
+       fixed rank order — identical code on identical bytes, so all ranks
+       hold bit-identical results without a designated root;
+    3. a second barrier, then each rank unlinks its own segment.
+
+The parent process never touches activation data; it only drives workers
+over command pipes (forward / ragged-forward / free / stats / close).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ParallelError
+from repro.parallel.collectives import (
+    CommStats,
+    fixed_order_sum,
+    gather_wire_bytes,
+    reduce_wire_bytes,
+)
+from repro.parallel.mesh import DeviceMesh
+from repro.parallel.sharding import RankShard, shard_model
+from repro.tensor.tensor import Tensor
+
+_HEADER_SLOTS = 8  # int64 slots: ndim + up to 7 dims
+_HEADER_BYTES = _HEADER_SLOTS * 8
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Map a peer's segment without adopting cleanup responsibility.
+
+    On Python >= 3.13 ``track=False`` skips resource-tracker registration.
+    Earlier versions register the attachment, which is harmless here:
+    spawned ranks share the parent's tracker process, so the owner's
+    ``unlink()`` removes the single tracked entry for everyone.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+class ProcessGroup:
+    """Shared-memory collectives for one spawned rank.
+
+    Constructed *inside* each worker around a shared
+    ``multiprocessing.Barrier``.  Ranks call collectives in lockstep (the
+    executor's schedule is deterministic), so a per-rank call counter
+    yields matching segment names without any coordination.
+    """
+
+    def __init__(self, rank: int, world_size: int, barrier, session: str) -> None:
+        self.rank = int(rank)
+        self.world_size = int(world_size)
+        self._barrier = barrier
+        self._session = session
+        self._call = 0
+        self.stats = CommStats()
+
+    def _name(self, call: int, rank: int) -> str:
+        return f"{self._session}c{call}r{rank}"
+
+    def _publish(self, call: int, array: np.ndarray) -> shared_memory.SharedMemory:
+        array = np.ascontiguousarray(array, dtype=np.float32)
+        segment = shared_memory.SharedMemory(
+            name=self._name(call, self.rank),
+            create=True,
+            size=_HEADER_BYTES + max(array.nbytes, 1),
+        )
+        header = np.frombuffer(segment.buf, dtype=np.int64, count=_HEADER_SLOTS)
+        header[0] = array.ndim
+        header[1 : 1 + array.ndim] = array.shape
+        del header  # views must die before the segment can close
+        if array.size:
+            flat = np.frombuffer(
+                segment.buf, dtype=np.float32, count=array.size, offset=_HEADER_BYTES
+            )
+            flat[:] = array.ravel()
+            del flat
+        return segment
+
+    def _read_peer(self, call: int, rank: int) -> np.ndarray:
+        segment = _attach(self._name(call, rank))
+        try:
+            header = np.frombuffer(segment.buf, dtype=np.int64, count=_HEADER_SLOTS)
+            shape = tuple(int(d) for d in header[1 : 1 + int(header[0])])
+            del header
+            size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            flat = np.frombuffer(
+                segment.buf, dtype=np.float32, count=size, offset=_HEADER_BYTES
+            )
+            data = flat.reshape(shape).copy()
+            del flat  # views must die before the segment can close
+            return data
+        finally:
+            segment.close()
+
+    def _exchange(self, array: np.ndarray) -> List[np.ndarray]:
+        """One publish/map round; returns all contributions in rank order."""
+        self._call += 1
+        call = self._call
+        own = self._publish(call, array)
+        self._barrier.wait()
+        parts: List[np.ndarray] = []
+        for rank in range(self.world_size):
+            if rank == self.rank:
+                parts.append(np.ascontiguousarray(array, dtype=np.float32))
+            else:
+                parts.append(self._read_peer(call, rank))
+        self._barrier.wait()
+        own.close()
+        own.unlink()
+        return parts
+
+    # -- collectives -------------------------------------------------------
+    def barrier(self, rank: int) -> None:
+        if self.world_size > 1:
+            self._barrier.wait()
+
+    def all_gather(self, rank: int, array: np.ndarray, axis: int = -1) -> np.ndarray:
+        if self.world_size == 1:
+            self.stats.record(array.nbytes, 0)
+            return array
+        started = time.perf_counter()
+        parts = self._exchange(array)
+        result = np.concatenate(parts, axis=axis)
+        self.stats.record(
+            result.nbytes,
+            gather_wire_bytes(result.nbytes, self.world_size),
+            time.perf_counter() - started,
+        )
+        return result
+
+    def all_reduce(self, rank: int, array: np.ndarray) -> np.ndarray:
+        if self.world_size == 1:
+            self.stats.record(array.nbytes, 0)
+            return array
+        started = time.perf_counter()
+        parts = self._exchange(array)
+        result = fixed_order_sum(parts)
+        self.stats.record(
+            result.nbytes,
+            reduce_wire_bytes(result.nbytes, self.world_size),
+            time.perf_counter() - started,
+        )
+        return result
+
+    def broadcast(self, rank: int, array: Optional[np.ndarray], root: int = 0) -> np.ndarray:
+        if self.world_size == 1:
+            if array is None:
+                raise ParallelError("broadcast root must supply an array")
+            self.stats.record(array.nbytes, 0)
+            return array
+        contribution = array if rank == root else np.zeros((1,), dtype=np.float32)
+        parts = self._exchange(np.asarray(contribution, dtype=np.float32))
+        result = parts[root]
+        if rank == 0:
+            self.stats.record(
+                result.nbytes, (self.world_size - 1) * result.nbytes
+            )
+        return result
+
+
+def _worker_main(rank: int, shard: RankShard, barrier, session: str, conn) -> None:
+    """Worker loop: build an executor, serve commands until ``close``."""
+    from repro.nn.kv_cache import ModelKVCache
+    from repro.parallel.executor import RankExecutor
+
+    group = ProcessGroup(rank, shard.world_size, barrier, session)
+    executor = RankExecutor(shard, group, rank)
+    caches: Dict[int, ModelKVCache] = {}
+    while True:
+        command = conn.recv()
+        kind = command[0]
+        try:
+            if kind == "close":
+                conn.send(("ok", None))
+                return
+            if kind == "forward":
+                _, tokens, pad_mask = command
+                logits = executor.forward(tokens, pad_mask=pad_mask)
+                conn.send(("ok", logits.data if rank == 0 else None))
+            elif kind == "ragged":
+                _, tokens, seq_ids, lengths = command
+                for seq_id in seq_ids:
+                    if seq_id not in caches:
+                        caches[seq_id] = ModelKVCache(shard.config.n_layers)
+                logits = executor.forward_ragged(
+                    tokens, [caches[seq_id] for seq_id in seq_ids], lengths
+                )
+                conn.send(("ok", logits.data if rank == 0 else None))
+            elif kind == "free":
+                _, seq_ids = command
+                for seq_id in seq_ids:
+                    caches.pop(seq_id, None)
+                conn.send(("ok", None))
+            elif kind == "stats":
+                conn.send(("ok", group.stats.snapshot()))
+            else:
+                conn.send(("error", f"unknown command {kind!r}"))
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            return
+
+
+class ProcessShardedLlama:
+    """Parent-side handle driving one spawned worker per rank.
+
+    Runs the same :class:`RankExecutor` numerics as the threaded
+    :class:`~repro.parallel.local.ShardedLlama`, but across real process
+    boundaries — the backend that exercises serialization, the spawn start
+    method, and shared-memory data movement.  Use as a context manager (or
+    call :meth:`close`) to shut workers down.
+    """
+
+    _SESSIONS = 0
+
+    def __init__(self, model, world_size: int) -> None:
+        self.config = model.config
+        self.world_size = int(world_size)
+        shards = shard_model(model, DeviceMesh(world_size))
+        context = mp.get_context("spawn")
+        ProcessShardedLlama._SESSIONS += 1
+        session = f"repro{os.getpid()}s{ProcessShardedLlama._SESSIONS}"
+        # Keep the barrier referenced: Process.start() drops its args, and
+        # losing the last reference would sem_unlink the named semaphore
+        # before slow-booting spawned children rebuild it.
+        self._barrier = context.Barrier(world_size) if world_size > 1 else None
+        barrier = self._barrier
+        self._conns = []
+        self._procs = []
+        self._next_seq = 0
+        self._closed = False
+        for shard in shards:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(shard.rank, shard, barrier, session, child_conn),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(process)
+
+    # -- lifecycle ---------------------------------------------------------
+    def __enter__(self) -> "ProcessShardedLlama":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                if conn.poll(5.0):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+        for process in self._procs:
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()
+
+    def eval(self) -> "ProcessShardedLlama":
+        return self
+
+    # -- command fan-out ---------------------------------------------------
+    def _command(self, command: tuple):
+        if self._closed:
+            raise ParallelError("backend already closed")
+        for conn in self._conns:
+            conn.send(command)
+        replies = []
+        for rank, conn in enumerate(self._conns):
+            status, value = conn.recv()
+            if status != "ok":
+                self.close()
+                raise ParallelError(f"rank {rank} failed: {value}")
+            replies.append(value)
+        return replies
+
+    # -- model facade ------------------------------------------------------
+    def forward(self, tokens: np.ndarray, pad_mask: Optional[np.ndarray] = None) -> Tensor:
+        tokens = np.asarray(tokens)
+        replies = self._command(("forward", tokens, pad_mask))
+        return Tensor(replies[0])
+
+    def __call__(self, tokens: np.ndarray, pad_mask: Optional[np.ndarray] = None) -> Tensor:
+        return self.forward(tokens, pad_mask=pad_mask)
+
+    def make_cache(self) -> "ProcessSequenceCache":
+        seq_id = self._next_seq
+        self._next_seq += 1
+        return ProcessSequenceCache(self, seq_id)
+
+    def forward_ragged(
+        self,
+        tokens: np.ndarray,
+        caches: Sequence["ProcessSequenceCache"],
+        new_lengths,
+    ) -> Tensor:
+        tokens = np.asarray(tokens)
+        lengths = np.asarray(new_lengths, dtype=np.int64)
+        seq_ids = [cache.seq_id for cache in caches]
+        replies = self._command(("ragged", tokens, seq_ids, lengths))
+        for cache, extra in zip(caches, lengths):
+            cache._len += int(extra)
+        return Tensor(replies[0])
+
+    def comm_stats(self) -> CommStats:
+        """Rank 0's ledger (wire totals already count the whole group)."""
+        snapshot = self._command(("stats",))[0]
+        return CommStats(**snapshot)
+
+
+class ProcessSequenceCache:
+    """Parent-side mirror of one sequence's worker-resident KV caches."""
+
+    def __init__(self, backend: ProcessShardedLlama, seq_id: int) -> None:
+        self._backend = backend
+        self.seq_id = seq_id
+        self._len = 0
+
+    @property
+    def seq_len(self) -> int:
+        return self._len
+
+    def free(self) -> None:
+        self._backend._command(("free", [self.seq_id]))

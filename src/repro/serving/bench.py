@@ -17,7 +17,7 @@ prediction (Sections 2.2 and 4.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.errors import ServingError
@@ -85,6 +85,9 @@ class VariantBenchResult:
     overall_tokens_per_s: float
     mean_decode_batch: float
     projection: GenerationProfile
+    tp: int = 1
+    comm: Optional[dict] = None          # measured vs analytic collective traffic
+    metrics_snapshot: dict = field(default_factory=dict)
 
     @property
     def projected_tokens_per_s(self) -> float:
@@ -99,6 +102,45 @@ class VariantBenchResult:
             f"projected={self.projected_tokens_per_s:10.0f} tok/s"
         )
 
+    def comm_line(self) -> Optional[str]:
+        """Measured all-gather bytes next to the analytic projection."""
+        if self.comm is None:
+            return None
+        measured = self.comm["measured"]
+        analytic = self.comm["analytic"]
+        verdict = "exact" if self.comm["bytes_match"] else "MISMATCH"
+        return (
+            f"{self.spec:>8}  tp={self.tp}  comm measured: "
+            f"{measured['payload_bytes']:,} B payload / "
+            f"{measured['wire_bytes']:,} B wire / {measured['calls']} calls  "
+            f"analytic: {analytic['payload_bytes']:,} B / "
+            f"{analytic['wire_bytes']:,} B / {analytic['calls']} calls  "
+            f"[{verdict}]"
+        )
+
+    def to_dict(self) -> dict:
+        payload = {
+            "spec": self.spec,
+            "parameter_reduction": self.parameter_reduction,
+            "n_requests": self.n_requests,
+            "finished": self.finished,
+            "rejected": self.rejected,
+            "preemptions": self.preemptions,
+            "ttft_p50_s": self.ttft_p50_s,
+            "ttft_p95_s": self.ttft_p95_s,
+            "queue_wait_p50_s": self.queue_wait_p50_s,
+            "e2e_p95_s": self.e2e_p95_s,
+            "decode_tokens_per_s": self.decode_tokens_per_s,
+            "overall_tokens_per_s": self.overall_tokens_per_s,
+            "mean_decode_batch": self.mean_decode_batch,
+            "tp": self.tp,
+            "projection": asdict(self.projection),
+            "projected_tokens_per_s": self.projected_tokens_per_s,
+            "comm": self.comm,
+            "metrics": self.metrics_snapshot,
+        }
+        return payload
+
 
 @dataclass(frozen=True)
 class ServeBenchReport:
@@ -108,6 +150,8 @@ class ServeBenchReport:
     gpu: str
     n_requests: int
     results: List[VariantBenchResult]
+    tp: int = 1
+    seed: Optional[int] = None
 
     def result_for(self, spec: str) -> VariantBenchResult:
         for result in self.results:
@@ -124,13 +168,29 @@ class ServeBenchReport:
         return other.decode_tokens_per_s / dense.decode_tokens_per_s
 
     def table(self) -> str:
+        tp_note = f", tp={self.tp}" if self.tp > 1 else ""
         header = (
             f"serve-bench: {self.model} on {self.gpu} projection, "
-            f"{self.n_requests} requests"
+            f"{self.n_requests} requests{tp_note}"
         )
         lines = [header, "-" * len(header)]
         lines.extend(result.summary_line() for result in self.results)
+        comm_lines = [line for line in
+                      (result.comm_line() for result in self.results) if line]
+        if comm_lines:
+            lines.append("")
+            lines.extend(comm_lines)
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "gpu": self.gpu,
+            "n_requests": self.n_requests,
+            "tp": self.tp,
+            "seed": self.seed,
+            "results": [result.to_dict() for result in self.results],
+        }
 
 
 def bench_variant(
@@ -138,12 +198,46 @@ def bench_variant(
     trace: Sequence[TraceRequest],
     engine_config: Optional[EngineConfig] = None,
     gpu: Optional[GPUSpec] = None,
+    tp: int = 1,
 ) -> VariantBenchResult:
-    """Replay ``trace`` against one variant and attach the hwmodel projection."""
+    """Replay ``trace`` against one variant and attach the hwmodel projection.
+
+    With ``tp > 1`` the variant runs under the tensor-parallel executor
+    (:class:`~repro.parallel.local.ShardedLlama`, which produces identical
+    logits by construction) and the result carries the measured collective
+    traffic next to the analytic projection — they must agree byte for byte.
+    """
     gpu = gpu or get_gpu("a100-80gb")
-    engine = InferenceEngine(variant.model, config=engine_config)
-    replay_trace(engine, trace)
-    metrics = engine.metrics
+    serving_model = variant.model
+    sharded = None
+    if tp > 1:
+        from repro.parallel import ShardedLlama
+
+        sharded = ShardedLlama(variant.model, tp)
+        serving_model = sharded
+    try:
+        engine = InferenceEngine(serving_model, config=engine_config)
+        replay_trace(engine, trace)
+        metrics = engine.metrics
+        comm = None
+        if sharded is not None:
+            measured = sharded.comm_stats().snapshot()
+            analytic = sharded.comm_projection()
+            comm = {
+                "world_size": tp,
+                "measured": measured,
+                "analytic": analytic.to_dict(),
+                "bytes_match": (
+                    measured["payload_bytes"] == analytic.payload_bytes
+                    and measured["wire_bytes"] == analytic.wire_bytes
+                    and measured["calls"] == analytic.calls
+                ),
+                "projected_latency_s": analytic.latency_s(gpu),
+                "measured_elapsed_s": measured["elapsed_s"],
+            }
+    finally:
+        if sharded is not None:
+            sharded.close()
 
     mean_prompt = max(1, round(sum(t.prompt.size for t in trace) / len(trace)))
     mean_new = max(1, round(sum(t.max_new_tokens for t in trace) / len(trace)))
@@ -155,6 +249,7 @@ def bench_variant(
         prompt_len=mean_prompt,
         new_tokens=mean_new,
         decomposition=variant.decomposition,
+        n_gpus=tp,
     )
     return VariantBenchResult(
         spec=variant.spec,
@@ -171,6 +266,9 @@ def bench_variant(
         overall_tokens_per_s=metrics.overall_tokens_per_s,
         mean_decode_batch=metrics.mean_decode_batch,
         projection=projection,
+        tp=tp,
+        comm=comm,
+        metrics_snapshot=metrics.snapshot(),
     )
 
 
@@ -180,14 +278,20 @@ def run_serve_bench(
     trace: Sequence[TraceRequest],
     engine_config: Optional[EngineConfig] = None,
     gpu_name: str = "a100-80gb",
+    tp: int = 1,
+    seed: Optional[int] = None,
 ) -> ServeBenchReport:
     """Replay one trace against every variant of ``base_model``."""
     if not variant_specs:
         raise ServingError("at least one variant spec is required")
+    if tp < 1:
+        raise ServingError(f"tensor-parallel degree must be >= 1, got {tp}")
     gpu = get_gpu(gpu_name)
     registry = VariantRegistry(base_model)
     results = [
-        bench_variant(registry.get(spec), trace, engine_config=engine_config, gpu=gpu)
+        bench_variant(
+            registry.get(spec), trace, engine_config=engine_config, gpu=gpu, tp=tp
+        )
         for spec in variant_specs
     ]
     return ServeBenchReport(
@@ -195,4 +299,6 @@ def run_serve_bench(
         gpu=gpu_name,
         n_requests=len(trace),
         results=results,
+        tp=tp,
+        seed=seed,
     )

@@ -91,11 +91,20 @@ class InferenceEngine:
         self.model.eval()
         self.config = config or EngineConfig()
         self.timer = timer
-        self.pool = KVBlockPool(
-            model.config,
-            n_blocks=self.config.n_blocks,
-            block_tokens=self.config.block_tokens,
-        )
+        # Tensor-parallel model facades supply their own pool holding one
+        # KV slice per rank; a plain model gets the shared single pool.
+        pool_factory = getattr(model, "make_kv_pool", None)
+        if pool_factory is not None:
+            self.pool = pool_factory(
+                n_blocks=self.config.n_blocks,
+                block_tokens=self.config.block_tokens,
+            )
+        else:
+            self.pool = KVBlockPool(
+                model.config,
+                n_blocks=self.config.n_blocks,
+                block_tokens=self.config.block_tokens,
+            )
         self.metrics = EngineMetrics()
         self._queue: Deque[GenerationRequest] = deque()
         self._running: List[GenerationRequest] = []

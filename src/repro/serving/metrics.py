@@ -55,6 +55,26 @@ class SampleStats:
     def maximum(self) -> float:
         return max(self._samples) if self._samples else 0.0
 
+    # -- (de)serialization -------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-serializable form: summary quantiles plus the raw samples
+        (kept so a restored instance answers every percentile query)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "max": self.maximum,
+            "samples": list(self._samples),
+        }
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "SampleStats":
+        stats = cls()
+        for value in payload.get("samples", []):
+            stats.add(value)
+        return stats
+
 
 @dataclass
 class EngineMetrics:
@@ -138,6 +158,36 @@ class EngineMetrics:
         if self.decode_steps == 0:
             return 0.0
         return self.pure_decode_tokens / self.decode_steps
+
+    # -- (de)serialization -------------------------------------------------
+    _COUNTER_FIELDS = (
+        "steps", "decode_steps", "prefill_steps", "mixed_steps",
+        "total_step_s", "decode_step_s", "decode_tokens",
+        "pure_decode_tokens", "prefill_tokens", "peak_batch",
+        "finished", "cancelled", "rejected", "preemptions",
+    )
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every counter and latency distribution
+        (plus derived throughputs, for human readers of the report)."""
+        payload = {name: getattr(self, name) for name in self._COUNTER_FIELDS}
+        payload["ttft_s"] = self.ttft_s.snapshot()
+        payload["queue_wait_s"] = self.queue_wait_s.snapshot()
+        payload["e2e_s"] = self.e2e_s.snapshot()
+        payload["decode_tokens_per_s"] = self.decode_tokens_per_s
+        payload["overall_tokens_per_s"] = self.overall_tokens_per_s
+        payload["mean_decode_batch"] = self.mean_decode_batch
+        return payload
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "EngineMetrics":
+        metrics = cls()
+        for name in cls._COUNTER_FIELDS:
+            setattr(metrics, name, payload[name])
+        metrics.ttft_s = SampleStats.from_snapshot(payload["ttft_s"])
+        metrics.queue_wait_s = SampleStats.from_snapshot(payload["queue_wait_s"])
+        metrics.e2e_s = SampleStats.from_snapshot(payload["e2e_s"])
+        return metrics
 
     def summary(self) -> str:
         return (

@@ -40,13 +40,20 @@ class KVBlockPool:
         n_blocks: int = 256,
         block_tokens: int = 16,
         dtype=np.float32,
+        kv_heads: Optional[int] = None,
     ) -> None:
+        """``kv_heads`` overrides the model's KV head count — a
+        tensor-parallel rank pools only its covering KV-head slice."""
         if n_blocks <= 0 or block_tokens <= 0:
             raise ServingError("n_blocks and block_tokens must be positive")
+        if kv_heads is not None and not 0 < kv_heads <= config.kv_heads:
+            raise ServingError(
+                f"kv_heads override {kv_heads} outside (0, {config.kv_heads}]"
+            )
         self.config = config
         self.n_blocks = int(n_blocks)
         self.block_tokens = int(block_tokens)
-        self.kv_heads = config.kv_heads
+        self.kv_heads = int(kv_heads) if kv_heads is not None else config.kv_heads
         self.head_dim = config.head_dim
         self.dtype = np.dtype(dtype)
         shape = (

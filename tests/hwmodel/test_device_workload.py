@@ -100,11 +100,54 @@ class TestWorkload:
 
 
 class TestTensorParallel:
-    def test_shards_divide_evenly(self):
+    def test_gemm_flops_divide_evenly(self):
+        """Every FLOP lives in a shardable GEMM/bmm, and Llama-2-7B's head,
+        MLP, and vocab dimensions all divide by 4 — so total FLOPs split
+        exactly even though norms and residual work replicate."""
         workload = build_workload(LLAMA2_7B, 4, 128)
         sharded = split_tensor_parallel(workload, 4)
         assert sharded.flops == pytest.approx(workload.flops / 4)
-        assert sharded.weight_bytes == pytest.approx(workload.weight_bytes / 4)
+
+    def test_replicated_weights_exceed_even_split(self):
+        """Norm weights replicate on every GPU: per-GPU weight traffic is
+        strictly more than total/P, but only by the tiny norm share."""
+        workload = build_workload(LLAMA2_7B, 4, 128)
+        sharded = split_tensor_parallel(workload, 4)
+        even = workload.weight_bytes / 4
+        assert sharded.weight_bytes > even
+        assert sharded.weight_bytes == pytest.approx(even, rel=1e-3)
+
+    def test_column_parallel_keeps_full_input_activation(self):
+        """A column-parallel GEMM reads the replicated input on every GPU,
+        so its sharded activation traffic exceeds activation/P."""
+        workload = build_workload(LLAMA2_7B, 1, 128)
+        sharded = split_tensor_parallel(workload, 4)
+        by_name = {op.name: op for op in sharded.ops}
+        original = {op.name: op for op in workload.ops}
+        op = by_name["layer0.w_q"]
+        ref = original["layer0.w_q"]
+        assert op.parallelism == "column"
+        assert op.act_in_bytes == ref.act_in_bytes  # replicated input
+        assert op.act_out_bytes == pytest.approx(ref.act_out_bytes / 4)
+        assert op.weight_bytes == pytest.approx(ref.weight_bytes / 4)
+
+    def test_rank1_factorized_ops_replicate(self):
+        """A rank-1 factor chain has no shardable axis: its three GEMMs run
+        whole on every GPU — decomposition trades away TP scaling."""
+        config = DecompositionConfig.uniform([0], ("w_q",), rank=1)
+        workload = build_workload(LLAMA2_7B, 1, 128, decomposition=config)
+        sharded = split_tensor_parallel(workload, 4)
+        original = {op.name: op for op in workload.ops}
+        for op in sharded.ops:
+            if op.name.startswith("layer0.w_q."):
+                assert op.flops == original[op.name].flops
+                assert op.weight_bytes == original[op.name].weight_bytes
+
+    def test_kernel_count_preserved(self):
+        workload = build_workload(LLAMA2_7B, 2, 64)
+        sharded = split_tensor_parallel(workload, 4)
+        assert sharded.n_kernels == workload.n_kernels
+        assert [op.name for op in sharded.ops] == [op.name for op in workload.ops]
 
     def test_single_gpu_identity(self):
         workload = build_workload(LLAMA2_7B, 1, 128)

@@ -81,6 +81,28 @@ class TestGenerationProfile:
         multi = generation_profile(LLAMA2_7B, A100_80GB, 1, 128, 32, n_gpus=4)
         assert multi.total_s < single.total_s
 
+    def test_tensor_parallel_speedup_is_sublinear(self):
+        """Regression for the old ``latency / n_gpus`` shortcut: norms and
+        residual work replicate and every layer pays two all-reduces, so
+        4-way TP must deliver strictly less than a 4x speedup."""
+        single = generation_profile(LLAMA2_7B, A100_80GB, 1, 128, 32, n_gpus=1)
+        multi = generation_profile(LLAMA2_7B, A100_80GB, 1, 128, 32, n_gpus=4)
+        speedup = single.total_s / multi.total_s
+        assert 1.0 < speedup < 4.0
+        # Both phases individually fall short of linear: prefill because its
+        # replicated norm/residual traffic grows with token count, decode
+        # because each step pays 2*n_layers collective launches.
+        assert single.prefill_s / multi.prefill_s < 4.0
+        assert single.decode_s / multi.decode_s < 4.0
+
+    def test_tensor_parallel_comm_grows_with_gpu_count(self):
+        """Per-step all-reduce cost rises with world size: at fixed tiny
+        payload, going 2 -> 8 GPUs cannot scale decode linearly."""
+        two = generation_profile(LLAMA2_7B, A100_80GB, 1, 128, 32, n_gpus=2)
+        eight = generation_profile(LLAMA2_7B, A100_80GB, 1, 128, 32, n_gpus=8)
+        assert eight.decode_s < two.decode_s  # still faster overall...
+        assert two.decode_s / eight.decode_s < 4.0  # ...but far from 4x
+
     def test_invalid_new_tokens(self):
         with pytest.raises(HardwareModelError):
             generation_profile(LLAMA2_7B, A100_80GB, new_tokens=0)

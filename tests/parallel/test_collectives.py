@@ -1,0 +1,159 @@
+"""Collective semantics: fixed reduction order, stats ledger, aborts."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel.collectives import (
+    CommStats,
+    LocalGroup,
+    fixed_order_sum,
+    gather_wire_bytes,
+    reduce_wire_bytes,
+)
+
+
+def run_ranks(group, fn):
+    """Run ``fn(rank)`` on one thread per rank; return results in rank order
+    or raise the first failure."""
+    results = [None] * group.world_size
+    errors = []
+
+    def target(rank):
+        try:
+            results[rank] = fn(rank)
+        except BaseException as exc:  # noqa: BLE001 - collected for assertion
+            errors.append(exc)
+            group.abort()
+
+    threads = [
+        threading.Thread(target=target, args=(rank,))
+        for rank in range(group.world_size)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return results
+
+
+class TestHelpers:
+    def test_fixed_order_sum_is_left_to_right(self):
+        # Floating point addition is not associative: the fixed order must
+        # match a plain left-to-right loop, not a pairwise tree.
+        parts = [np.array([1e8], dtype=np.float32),
+                 np.array([-1e8], dtype=np.float32),
+                 np.array([1.0], dtype=np.float32),
+                 np.array([0.25], dtype=np.float32)]
+        expected = ((parts[0] + parts[1]) + parts[2]) + parts[3]
+        np.testing.assert_array_equal(fixed_order_sum(parts), expected)
+
+    def test_fixed_order_sum_does_not_mutate_inputs(self):
+        parts = [np.ones(3, dtype=np.float32), np.ones(3, dtype=np.float32)]
+        fixed_order_sum(parts)
+        np.testing.assert_array_equal(parts[0], np.ones(3, dtype=np.float32))
+
+    def test_wire_byte_identities(self):
+        assert gather_wire_bytes(1000, 4) == 3000
+        assert gather_wire_bytes(1000, 1) == 0
+        assert reduce_wire_bytes(1000, 4) == 6000
+
+    def test_stats_record_and_snapshot(self):
+        stats = CommStats()
+        stats.record(100, 300, 0.5)
+        stats.record(50, 150)
+        assert stats.calls == 2
+        assert stats.payload_bytes == 150
+        assert stats.wire_bytes == 450
+        snap = stats.snapshot()
+        assert snap == {
+            "calls": 2,
+            "payload_bytes": 150,
+            "wire_bytes": 450,
+            "elapsed_s": 0.5,
+        }
+        # snapshot round-trips through the constructor (the process backend
+        # ships stats across the pipe this way)
+        assert CommStats(**snap).snapshot() == snap
+
+
+class TestLocalGroup:
+    def test_world_size_must_be_positive(self):
+        with pytest.raises(ParallelError):
+            LocalGroup(0)
+
+    def test_all_gather_concatenates_in_rank_order(self):
+        group = LocalGroup(3)
+        # Uneven chunks: 1, 2, and 3 columns.
+        chunks = [np.full((2, width), rank, dtype=np.float32)
+                  for rank, width in enumerate((1, 2, 3))]
+        results = run_ranks(group, lambda rank: group.all_gather(rank, chunks[rank]))
+        expected = np.concatenate(chunks, axis=-1)
+        for result in results:
+            np.testing.assert_array_equal(result, expected)
+        assert group.stats.calls == 1
+        assert group.stats.payload_bytes == expected.nbytes
+        assert group.stats.wire_bytes == 2 * expected.nbytes
+
+    def test_all_reduce_uses_fixed_rank_order(self):
+        group = LocalGroup(4)
+        parts = [np.array([1e8], dtype=np.float32),
+                 np.array([-1e8], dtype=np.float32),
+                 np.array([1.0], dtype=np.float32),
+                 np.array([0.25], dtype=np.float32)]
+        results = run_ranks(group, lambda rank: group.all_reduce(rank, parts[rank]))
+        expected = fixed_order_sum(parts)
+        for result in results:
+            np.testing.assert_array_equal(result, expected)
+        assert group.stats.wire_bytes == 2 * 3 * expected.nbytes
+
+    def test_broadcast_from_nonzero_root(self):
+        group = LocalGroup(3)
+        payload = np.arange(6, dtype=np.float32).reshape(2, 3)
+        results = run_ranks(
+            group,
+            lambda rank: group.broadcast(
+                rank, payload if rank == 2 else None, root=2
+            ),
+        )
+        for result in results:
+            np.testing.assert_array_equal(result, payload)
+
+    def test_world_size_one_fast_paths(self):
+        group = LocalGroup(1)
+        array = np.ones((3, 4), dtype=np.float32)
+        assert group.all_gather(0, array) is array
+        assert group.all_reduce(0, array) is array
+        assert group.broadcast(0, array) is array
+        group.barrier(0)
+        assert group.stats.calls == 3
+        assert group.stats.wire_bytes == 0  # nothing crosses a link
+
+    def test_world_size_one_broadcast_requires_array(self):
+        with pytest.raises(ParallelError):
+            LocalGroup(1).broadcast(0, None)
+
+    def test_abort_releases_blocked_peers(self):
+        group = LocalGroup(2)
+
+        def worker(rank):
+            if rank == 1:
+                raise RuntimeError("rank 1 exploded")
+            return group.all_gather(rank, np.ones(2, dtype=np.float32))
+
+        # Rank 0 blocks in the collective until rank 1's failure aborts the
+        # barrier; run_ranks re-raises the causal error, not a hang.
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_ranks(group, worker)
+
+    def test_reset_makes_group_usable_after_abort(self):
+        group = LocalGroup(2)
+        group.abort()
+        group.reset()
+        chunks = [np.full(2, rank, dtype=np.float32) for rank in range(2)]
+        results = run_ranks(group, lambda rank: group.all_gather(rank, chunks[rank]))
+        np.testing.assert_array_equal(results[0], np.array([0, 0, 1, 1], dtype=np.float32))

