@@ -20,6 +20,7 @@ import numpy as np
 from repro.errors import EvaluationError
 from repro.eval.metrics import accuracy, accuracy_stderr, exact_match
 from repro.eval.tokenizer import WordTokenizer
+from repro.runtime.decode import DecodeSession
 from repro.tensor.functional import sequence_log_likelihood
 
 
@@ -242,9 +243,18 @@ class GenerativeTask(Task):
 
     def predict(self, model, tokenizer: WordTokenizer, item: GenerativeItem) -> str:
         prompt_ids = np.asarray(tokenizer.encode(item.prompt, add_bos=True))
-        generated = model.greedy_generate(
-            prompt_ids, self.max_new_tokens, stop_token=tokenizer.eos_id
-        )
+        # The same runtime DecodeSession the serving engine's decode
+        # stepping is built on (and model.greedy_generate delegates to);
+        # models without the cached-decoding surface (test stubs) keep the
+        # plain greedy_generate entry point.
+        if DecodeSession.supports(model):
+            generated = DecodeSession(model).generate(
+                prompt_ids, self.max_new_tokens, stop_token=tokenizer.eos_id
+            )
+        else:
+            generated = model.greedy_generate(
+                prompt_ids, self.max_new_tokens, stop_token=tokenizer.eos_id
+            )
         new_tokens = generated[len(prompt_ids) :]
         words = tokenizer.decode(new_tokens).split()
         return words[0] if words else ""

@@ -29,13 +29,29 @@ from repro.hwmodel.workload import (
     Op,
     Workload,
     build_workload,
+    op_from_spec,
     split_tensor_parallel,
-    _factorized_ops,
-    _linear_op,
-    _norm_op,
-    _role_parallelism,
 )
 from repro.models.config import ModelConfig
+from repro.runtime.program import ATTN_KINDS, ATTN_SCORES, build_model_program
+
+
+def _decode_attention_op(
+    layer, batch: int, context_len: int, kv_dim: int
+) -> Op:
+    """Attention against the KV cache: q (1 token) vs K/V (context_len)."""
+    spec = layer.attention
+    kv_bytes = 2.0 * batch * context_len * kv_dim * BYTES_FP16
+    attn_flops = 2.0 * 2.0 * batch * spec.n_heads * context_len * spec.head_dim
+    score_bytes = 2.0 * batch * spec.n_heads * context_len * BYTES_FP16
+    return Op(
+        f"layer{layer.index}.attn_kv",
+        attn_flops,
+        0.0,
+        kv_bytes + score_bytes,
+        "sharded",
+        spec.n_heads,
+    )
 
 
 def decode_workload(
@@ -46,62 +62,27 @@ def decode_workload(
 ) -> Workload:
     """One decode step: a single new token per sequence.
 
-    GEMMs run on ``batch`` tokens; attention reads the full KV cache of
-    ``context_len`` positions.
+    Walks the same :class:`~repro.runtime.program.ModelProgram` as
+    :func:`~repro.hwmodel.workload.build_workload`, with one substitution:
+    the three prefill attention batched matmuls become a single
+    ``attn_kv`` op that reads the full KV cache of ``context_len``
+    positions for one new query token.
     """
     if batch <= 0 or context_len <= 0:
         raise HardwareModelError("batch and context_len must be positive")
-    decomposed_pairs = {}
-    if decomposition is not None and not decomposition.is_identity:
-        decomposition.validate(config)
-        decomposed_pairs = decomposition.pruned_rank_set()
-
-    tokens = batch  # one new token per sequence
+    program = build_model_program(config, decomposition)
     workload = Workload(model=f"{config.name}/decode", batch=batch, seq_len=1)
-    workload.ops.append(
-        Op("embed", 0.0, 0.0, float(tokens * config.dim * 2 * BYTES_FP16))
-    )
-    for layer in range(config.n_layers):
-        prefix = f"layer{layer}"
-        workload.ops.append(_norm_op(f"{prefix}.attn_norm", tokens, config.dim))
-        for role in config.tensor_roles:
-            height, width = config.tensor_shape(role)
-            key = (layer, role)
-            if key in decomposed_pairs:
-                workload.ops.extend(
-                    _factorized_ops(
-                        f"{prefix}.{role}", tokens, height, width, decomposed_pairs[key]
+    workload.ops.extend(op_from_spec(spec, batch, 1) for spec in program.prologue)
+    for layer in program.layers:
+        for spec in layer.ops:
+            if spec.kind in ATTN_KINDS:
+                if spec.kind == ATTN_SCORES:
+                    workload.ops.append(
+                        _decode_attention_op(layer, batch, context_len, config.kv_dim)
                     )
-                )
-            else:
-                mode, shard_dim = _role_parallelism(config, role)
-                workload.ops.append(
-                    _linear_op(f"{prefix}.{role}", tokens, height, width, mode, shard_dim)
-                )
-        # Attention against the KV cache: q (1 token) vs K/V (context_len).
-        kv_bytes = 2.0 * batch * context_len * config.kv_dim * BYTES_FP16
-        attn_flops = 2.0 * 2.0 * batch * config.n_heads * context_len * config.head_dim
-        score_bytes = 2.0 * batch * config.n_heads * context_len * BYTES_FP16
-        workload.ops.append(
-            Op(
-                f"{prefix}.attn_kv",
-                attn_flops,
-                0.0,
-                kv_bytes + score_bytes,
-                "sharded",
-                config.n_heads,
-            )
-        )
-        workload.ops.append(_norm_op(f"{prefix}.mlp_norm", tokens, config.dim))
-        workload.ops.append(
-            Op(f"{prefix}.elementwise", 0.0, 0.0, float(4 * tokens * config.dim * BYTES_FP16))
-        )
-    workload.ops.append(_norm_op("final_norm", tokens, config.dim))
-    workload.ops.append(
-        _linear_op(
-            "lm_head", tokens, config.dim, config.vocab_size, "column", config.vocab_size
-        )
-    )
+                continue
+            workload.ops.append(op_from_spec(spec, batch, 1))
+    workload.ops.extend(op_from_spec(spec, batch, 1) for spec in program.epilogue)
     return workload
 
 

@@ -1,21 +1,34 @@
-"""Extract an operator-level workload from a model configuration.
+"""Map the executed layer program to an operator-level cost workload.
 
 Each transformer forward pass is flattened into a list of :class:`Op`
-records (FLOPs, weight bytes, activation bytes).  Decomposed tensors
-contribute three smaller GEMMs instead of one dense GEMM — including their
-extra kernel launches and activation traffic, which is why measured latency
-savings are smaller than parameter savings (the paper's ~0.5 % latency per
-1 % parameters).
+records (FLOPs, weight bytes, activation bytes) by walking the *same*
+:class:`~repro.runtime.program.ModelProgram` the runtime driver executes —
+the analytic projection can therefore never drift from the executed code.
+Decomposed tensors contribute three smaller GEMMs instead of one dense GEMM
+— including their extra kernel launches and activation traffic, which is
+why measured latency savings are smaller than parameter savings (the
+paper's ~0.5 % latency per 1 % parameters).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.decomposition.config import DecompositionConfig
 from repro.errors import HardwareModelError
 from repro.models.config import ModelConfig
+from repro.runtime.program import (
+    ATTN_CONTEXT,
+    ATTN_SCORES,
+    ATTN_SOFTMAX,
+    ELEMENTWISE,
+    EMBED,
+    NORM,
+    PROJ,
+    OpSpec,
+    build_model_program,
+)
 
 BYTES_FP16 = 2
 
@@ -128,64 +141,50 @@ def _linear_op(
     )
 
 
-def _role_parallelism(config: ModelConfig, role: str) -> Tuple[str, int]:
-    """How a role's GEMM shards: Megatron column/row parallel + granularity.
-
-    Q/K/V and FFN-in are column-parallel (Q by query head, K/V by KV
-    head); the attention output and FFN-down are row-parallel (their input
-    axis is what shards).  The granularity is the finest splittable unit:
-    heads for attention projections, individual columns/rows for the MLP.
-    """
-    if role == "w_q":
-        return ("column", config.n_heads)
-    if role in ("w_k", "w_v"):
-        return ("column", config.kv_heads)
-    if role == "w_so":
-        return ("row", config.n_heads)
-    if role in ("w_g", "w_u", "w_int"):
-        return ("column", config.mlp_hidden)
-    if role in ("w_d", "w_out"):
-        return ("row", config.mlp_hidden)
-    raise HardwareModelError(f"no tensor-parallel layout for role {role!r}")
-
-
-def _factorized_ops(
-    name: str, batch_tokens: int, in_features: int, out_features: int, rank: int
-) -> List[Op]:
-    """The three GEMMs of a Tucker-2 decomposed linear layer.
-
-    The factor chain shards along its contraction-free rank axis: U1
-    column-parallel over rank, the core fully sharded, U2 row-parallel over
-    rank.  All three bottom out at ``shard_dim=rank``, so low-rank chains
-    (rank < n_gpus) stop sharding — decomposition trades away TP scaling.
-    """
-    return [
-        _linear_op(f"{name}.u1", batch_tokens, in_features, rank, "column", rank),
-        _linear_op(f"{name}.core", batch_tokens, rank, rank, "sharded", rank),
-        _linear_op(f"{name}.u2", batch_tokens, rank, out_features, "row", rank),
-    ]
-
-
-def _attention_bmm_ops(
-    name: str, batch: int, seq_len: int, n_heads: int, head_dim: int
-) -> List[Op]:
-    """QK^T and PV batched matmuls (no weights, pure activation traffic)."""
-    score_flops = 2.0 * batch * n_heads * seq_len * seq_len * head_dim
-    score_bytes = float(
-        batch * n_heads * (2 * seq_len * head_dim + seq_len * seq_len) * BYTES_FP16
-    )
-    context_flops = 2.0 * batch * n_heads * seq_len * seq_len * head_dim
-    context_bytes = score_bytes
-    softmax_bytes = float(2 * batch * n_heads * seq_len * seq_len * BYTES_FP16)
-    return [
-        Op(f"{name}.qk", score_flops, 0.0, score_bytes, "sharded", n_heads),
-        Op(f"{name}.softmax", 0.0, 0.0, softmax_bytes, "sharded", n_heads),
-        Op(f"{name}.pv", context_flops, 0.0, context_bytes, "sharded", n_heads),
-    ]
-
-
 def _norm_op(name: str, batch_tokens: int, dim: int) -> Op:
     return Op(name, 0.0, float(dim * BYTES_FP16), float(2 * batch_tokens * dim * BYTES_FP16))
+
+
+def op_from_spec(spec: OpSpec, batch: int, seq_len: int) -> Op:
+    """Cost one program op for a concrete (batch, seq_len).
+
+    This is the entire bridge between the executed layer program and the
+    analytic model: GEMMs charge 2·t·in·out FLOPs plus weight and
+    activation traffic, the attention batched matmuls charge head-parallel
+    score/context work with no weights, and norms/embeddings/residual
+    elementwise ops are pure streaming traffic.
+    """
+    tokens = batch * seq_len
+    if spec.kind == PROJ:
+        return _linear_op(
+            spec.name,
+            tokens,
+            spec.in_features,
+            spec.out_features,
+            spec.parallelism,
+            spec.shard_dim,
+        )
+    if spec.kind == NORM:
+        return _norm_op(spec.name, tokens, spec.in_features)
+    if spec.kind == EMBED:
+        # Embedding lookup: streams one row per token.
+        return Op(spec.name, 0.0, 0.0, float(tokens * spec.in_features * 2 * BYTES_FP16))
+    if spec.kind == ELEMENTWISE:
+        # Residual adds and activation functions: streaming traffic.
+        return Op(spec.name, 0.0, 0.0, float(4 * tokens * spec.in_features * BYTES_FP16))
+    # Attention batched matmuls: no weights, pure activation traffic,
+    # head-parallel (in_features = head_dim, shard_dim = n_heads).
+    n_heads, head_dim = spec.shard_dim, spec.in_features
+    if spec.kind == ATTN_SOFTMAX:
+        softmax_bytes = float(2 * batch * n_heads * seq_len * seq_len * BYTES_FP16)
+        return Op(spec.name, 0.0, 0.0, softmax_bytes, "sharded", n_heads)
+    if spec.kind in (ATTN_SCORES, ATTN_CONTEXT):
+        bmm_flops = 2.0 * batch * n_heads * seq_len * seq_len * head_dim
+        bmm_bytes = float(
+            batch * n_heads * (2 * seq_len * head_dim + seq_len * seq_len) * BYTES_FP16
+        )
+        return Op(spec.name, bmm_flops, 0.0, bmm_bytes, "sharded", n_heads)
+    raise HardwareModelError(f"no cost model for op kind {spec.kind!r}")
 
 
 def build_workload(
@@ -194,63 +193,22 @@ def build_workload(
     seq_len: int,
     decomposition: Optional[DecompositionConfig] = None,
 ) -> Workload:
-    """Flatten one forward pass into ops, honoring a decomposition γ."""
+    """Flatten one forward pass into ops, honoring a decomposition γ.
+
+    The op list is obtained by walking
+    :func:`repro.runtime.program.build_model_program` — the same program
+    the runtime driver executes — and costing each :class:`OpSpec` with
+    :func:`op_from_spec`.
+    """
     if batch <= 0 or seq_len <= 0:
         raise HardwareModelError("batch and seq_len must be positive")
     if seq_len > config.max_seq_len:
         raise HardwareModelError(
             f"seq_len {seq_len} exceeds model max {config.max_seq_len}"
         )
-    decomposed_pairs: Dict[Tuple[int, str], int] = {}
-    if decomposition is not None and not decomposition.is_identity:
-        decomposition.validate(config)
-        decomposed_pairs = decomposition.pruned_rank_set()
-
-    tokens = batch * seq_len
+    program = build_model_program(config, decomposition)
     workload = Workload(model=config.name, batch=batch, seq_len=seq_len)
-
-    # Embedding lookup: streams one row per token.
-    workload.ops.append(
-        Op("embed", 0.0, 0.0, float(tokens * config.dim * 2 * BYTES_FP16))
-    )
-
-    for layer in range(config.n_layers):
-        prefix = f"layer{layer}"
-        workload.ops.append(_norm_op(f"{prefix}.attn_norm", tokens, config.dim))
-        for role in config.tensor_roles:
-            height, width = config.tensor_shape(role)
-            key = (layer, role)
-            if key in decomposed_pairs:
-                workload.ops.extend(
-                    _factorized_ops(
-                        f"{prefix}.{role}", tokens, height, width, decomposed_pairs[key]
-                    )
-                )
-            else:
-                mode, shard_dim = _role_parallelism(config, role)
-                workload.ops.append(
-                    _linear_op(f"{prefix}.{role}", tokens, height, width, mode, shard_dim)
-                )
-        workload.ops.extend(
-            _attention_bmm_ops(f"{prefix}.attn", batch, seq_len, config.n_heads, config.head_dim)
-        )
-        workload.ops.append(_norm_op(f"{prefix}.mlp_norm", tokens, config.dim))
-        # Residual adds and activation functions: streaming traffic.
-        workload.ops.append(
-            Op(
-                f"{prefix}.elementwise",
-                0.0,
-                0.0,
-                float(4 * tokens * config.dim * BYTES_FP16),
-            )
-        )
-
-    workload.ops.append(_norm_op("final_norm", tokens, config.dim))
-    workload.ops.append(
-        _linear_op(
-            "lm_head", tokens, config.dim, config.vocab_size, "column", config.vocab_size
-        )
-    )
+    workload.ops.extend(op_from_spec(spec, batch, seq_len) for spec in program.all_ops())
     return workload
 
 

@@ -12,8 +12,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ShapeError
 from repro.models.config import BERT_TENSOR_ROLES, ModelConfig
+from repro.runtime.program import build_model_program
 from repro.nn import (
     Embedding,
     GeluMLP,
@@ -73,11 +74,21 @@ class BertModel(Module):
     def n_layers(self) -> int:
         return self.config.n_layers
 
+    @property
+    def program(self):
+        """The :class:`~repro.runtime.program.ModelProgram` this model runs.
+
+        The encoder shares the attention kernels with the decoder through
+        :class:`~repro.nn.attention.MultiHeadAttention`; the program is the
+        shape-level description the hardware model walks.
+        """
+        return build_model_program(self.config)
+
     def forward(self, tokens: np.ndarray, pad_mask: Optional[np.ndarray] = None) -> Tensor:
         """Map (B, T) token ids to (B, T, vocab) MLM logits."""
         tokens = np.asarray(tokens)
         if tokens.ndim != 2:
-            raise ConfigError(f"expected (B, T) token ids, got shape {tokens.shape}")
+            raise ShapeError(f"expected (B, T) token ids, got shape {tokens.shape}")
         _, seq_len = tokens.shape
         x = self.embed(tokens) + self.pos_embed(seq_len)
         x = self.embed_norm(x)

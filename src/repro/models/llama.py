@@ -5,6 +5,12 @@ blocks of pre-RMSNorm self-attention with RoPE followed by pre-RMSNorm
 SwiGLU MLP, final RMSNorm, and an (untied by default) LM head.  Every
 decomposable weight tensor carries one of the paper's role names
 (``w_q, w_k, w_v, w_so, w_g, w_u, w_d``).
+
+All forward flavors (stateless, KV-cached, ragged continuous-batching) and
+the greedy generation loop are executed by the shared runtime layer
+(:mod:`repro.runtime`): the model owns weights and wires them into a
+:class:`~repro.runtime.context.CanonicalBlocksContext`, and the runtime
+driver runs the layer program over it.
 """
 
 from __future__ import annotations
@@ -25,7 +31,12 @@ from repro.nn import (
     RotaryEmbedding,
     SwiGluMLP,
 )
+from repro.nn.kv_cache import ModelKVCache
 from repro.nn.linear import block_edges, blocked_project
+from repro.runtime.context import CanonicalBlocksContext
+from repro.runtime.decode import DecodeSession
+from repro.runtime.driver import ModelRuntime
+from repro.runtime.program import build_model_program
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
 
@@ -95,20 +106,31 @@ class LlamaModel(Module):
         # — the fixed reduction layout the tensor-parallel executor
         # reproduces when vocab blocks are sharded across ranks.
         self._vocab_edges = block_edges(config.vocab_size, config.n_heads)
+        # The shared runtime: the layer program describes this model's ops;
+        # the canonical context executes them through the block modules (so
+        # decomposition swaps and autograd keep working unchanged).
+        self.runtime = ModelRuntime(
+            build_model_program(config),
+            CanonicalBlocksContext(
+                self.blocks,
+                embed=self.embed,
+                logits_fn=self.logits_from_hidden,
+                rope=rope,
+            ),
+        )
 
     @property
     def n_layers(self) -> int:
         return self.config.n_layers
 
+    @property
+    def program(self):
+        """The :class:`~repro.runtime.program.ModelProgram` this model runs."""
+        return self.runtime.program
+
     def forward(self, tokens: np.ndarray, pad_mask: Optional[np.ndarray] = None) -> Tensor:
         """Map (B, T) token ids to (B, T, vocab) logits."""
-        tokens = np.asarray(tokens)
-        if tokens.ndim != 2:
-            raise ConfigError(f"expected (B, T) token ids, got shape {tokens.shape}")
-        x = self.embed(tokens)
-        for block in self.blocks:
-            x = block(x, pad_mask=pad_mask)
-        return self.logits_from_hidden(x)
+        return self.runtime.forward(tokens, pad_mask=pad_mask)
 
     def logits_from_hidden(self, x: Tensor) -> Tensor:
         """Final norm + (blocked) LM-head projection of (B, T, D) hidden
@@ -145,6 +167,19 @@ class LlamaModel(Module):
             raise ConfigError(f"layer {layer} out of range [0, {self.n_layers})")
         return self.blocks[layer].tensor_slot(role)
 
+    # -- cached decoding surface (what DecodeSession drives) ---------------
+    def make_cache(self) -> ModelKVCache:
+        """A fresh whole-model KV cache for incremental decoding."""
+        return ModelKVCache(self.n_layers)
+
+    def forward_cached(self, tokens: np.ndarray, cache) -> Tensor:
+        """Forward over new ``tokens`` only, extending ``cache`` in place."""
+        return self.runtime.forward_cached(np.asarray(tokens), cache)
+
+    # Kept under its historical name for callers of the pre-runtime API.
+    def _forward_with_cache(self, tokens: np.ndarray, cache) -> Tensor:
+        return self.forward_cached(tokens, cache)
+
     def greedy_generate(
         self,
         prompt: np.ndarray,
@@ -154,34 +189,14 @@ class LlamaModel(Module):
     ) -> np.ndarray:
         """Greedy decoding used by the GSM8K-style generative benchmark.
 
-        With ``use_cache`` (default) the prompt is prefetched once and each
+        With ``use_cache`` (default) the prompt is prefilled once and each
         new token runs a single-position forward pass against the KV cache;
         without it, the full window is recomputed per token (kept as the
         reference implementation — both paths produce identical tokens).
         """
-        if not use_cache:
-            return self._greedy_generate_recompute(prompt, max_new_tokens, stop_token)
-        from repro.nn.kv_cache import ModelKVCache
-
-        tokens = np.asarray(prompt).reshape(1, -1)
-        window = tokens[:, -self.config.max_seq_len :]
-        cache = ModelKVCache(self.n_layers)
-        logits = self._forward_with_cache(window, cache)
-        next_token = int(np.argmax(logits.data[0, -1]))
-        tokens = np.concatenate([tokens, [[next_token]]], axis=1)
-        for _ in range(max_new_tokens - 1):
-            if stop_token is not None and next_token == stop_token:
-                break
-            if cache.seq_len >= self.config.max_seq_len:
-                # Context full: fall back to windowed recomputation.
-                remaining = max_new_tokens - (tokens.shape[1] - len(np.asarray(prompt)))
-                return self._greedy_generate_recompute(
-                    tokens[0], remaining, stop_token
-                )
-            logits = self._forward_with_cache(tokens[:, -1:], cache)
-            next_token = int(np.argmax(logits.data[0, -1]))
-            tokens = np.concatenate([tokens, [[next_token]]], axis=1)
-        return tokens[0]
+        return DecodeSession(self).generate(
+            prompt, max_new_tokens, stop_token=stop_token, use_cache=use_cache
+        )
 
     def forward_ragged(
         self,
@@ -203,34 +218,4 @@ class LlamaModel(Module):
         :mod:`repro.serving` drives: prefill chunks and single-token decode
         steps of different requests share one batched pass.
         """
-        from repro.nn.kv_cache import RaggedModelCaches
-
-        tokens = np.asarray(tokens)
-        if tokens.ndim != 2:
-            raise ConfigError(f"expected (B, T) token ids, got shape {tokens.shape}")
-        if tokens.shape[0] != len(caches):
-            raise ConfigError(
-                f"need one cache per row: {tokens.shape[0]} rows, {len(caches)} caches"
-            )
-        ragged = RaggedModelCaches(list(caches), new_lengths)
-        return self._forward_with_cache(tokens, ragged)
-
-    def _forward_with_cache(self, tokens: np.ndarray, cache) -> Tensor:
-        """Forward over new ``tokens`` only, extending ``cache`` in place."""
-        x = self.embed(np.asarray(tokens))
-        for block, layer_cache in zip(self.blocks, cache.layers):
-            x = block(x, cache=layer_cache)
-        return self.logits_from_hidden(x)
-
-    def _greedy_generate_recompute(
-        self, prompt: np.ndarray, max_new_tokens: int, stop_token: Optional[int]
-    ) -> np.ndarray:
-        tokens = np.asarray(prompt).reshape(1, -1)
-        for _ in range(max_new_tokens):
-            window = tokens[:, -self.config.max_seq_len :]
-            logits = self.forward(window)
-            next_token = int(np.argmax(logits.data[0, -1]))
-            tokens = np.concatenate([tokens, [[next_token]]], axis=1)
-            if stop_token is not None and next_token == stop_token:
-                break
-        return tokens[0]
+        return self.runtime.forward_ragged(tokens, caches, new_lengths)

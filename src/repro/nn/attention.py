@@ -2,7 +2,10 @@
 
 The four projection weights (W_Q, W_K, W_V, W_SO in the paper's Figure 4)
 are separate :class:`Linear` modules so that the decomposition machinery can
-target each of them individually.
+target each of them individually.  The attention math itself lives in the
+shared runtime kernels (:mod:`repro.runtime.driver`); this module owns the
+weights, the block-grid reduction layout, and the geometry, and runs the
+kernels through a single-layer execution context.
 """
 
 from __future__ import annotations
@@ -12,26 +15,16 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ShapeError
-from repro.nn.kv_cache import RaggedLayerCaches
 from repro.nn.linear import Linear, block_edges
 from repro.nn.module import Module
 from repro.nn.rope import RotaryEmbedding
-from repro.tensor import functional as F
+from repro.runtime.context import AttentionModuleContext
+from repro.runtime.driver import NEG_INF, attention as _attention_kernel, causal_mask
 from repro.tensor.tensor import Tensor
 
-_NEG_INF = -1e9
+_NEG_INF = NEG_INF
 
-
-def causal_mask(seq_len: int, offset: int = 0) -> np.ndarray:
-    """Boolean mask that is True at disallowed (future) positions.
-
-    Shape (seq_len, offset + seq_len): query position i (absolute position
-    ``offset + i``) may attend keys at absolute positions <= offset + i.
-    """
-    total = offset + seq_len
-    query_pos = offset + np.arange(seq_len)[:, None]
-    key_pos = np.arange(total)[None, :]
-    return key_pos > query_pos
+__all__ = ["MultiHeadAttention", "causal_mask"]
 
 
 class MultiHeadAttention(Module):
@@ -87,26 +80,7 @@ class MultiHeadAttention(Module):
         self._q_edges = block_edges(dim, self.n_heads)
         self._kv_edges = block_edges(kv_dim, self.n_kv_heads)
         self._out_edges = block_edges(dim, self.n_heads)
-
-    def _split_heads(self, x: Tensor, batch: int, seq_len: int, n_heads: int) -> Tensor:
-        return x.reshape(batch, seq_len, n_heads, self.head_dim).transpose(0, 2, 1, 3)
-
-    def _expand_kv(self, x: Tensor) -> Tensor:
-        """Repeat each KV head to serve its group of query heads (GQA).
-
-        Built from basic head slices concatenated along the head axis (not
-        a fancy-indexed copy): concatenation guarantees a C-ordered result,
-        so the batched matmuls that follow see the same memory layout —
-        and produce the same bytes — whether computed over all heads here
-        or over a head subset on one tensor-parallel rank.
-        """
-        if self.n_kv_heads == self.n_heads:
-            return x
-        groups = self.n_heads // self.n_kv_heads
-        parts = []
-        for head in range(self.n_kv_heads):
-            parts.extend([x[:, head : head + 1]] * groups)
-        return Tensor.concatenate(parts, axis=1)
+        self._runtime_ctx = AttentionModuleContext(self)
 
     def forward(
         self,
@@ -130,106 +104,6 @@ class MultiHeadAttention(Module):
         continuous-batching path); padded slots produce garbage that the
         caller discards.
         """
-        if x.ndim != 3:
-            raise ShapeError(f"attention expects (B, T, D), got {x.shape}")
-        if isinstance(cache, RaggedLayerCaches):
-            return self._forward_ragged(x, cache)
-        batch, seq_len, _ = x.shape
-        offset = 0 if cache is None else cache.seq_len
-        q = self._split_heads(
-            self.w_q.forward_blocked(x, self._q_edges), batch, seq_len, self.n_heads
+        return _attention_kernel(
+            self._runtime_ctx, 0, x, pad_mask=pad_mask, cache=cache
         )
-        k = self._split_heads(
-            self.w_k.forward_blocked(x, self._kv_edges), batch, seq_len, self.n_kv_heads
-        )
-        v = self._split_heads(
-            self.w_v.forward_blocked(x, self._kv_edges), batch, seq_len, self.n_kv_heads
-        )
-        if self.rope is not None:
-            q = self.rope.apply(q, offset=offset)
-            k = self.rope.apply(k, offset=offset)
-        if cache is not None:
-            full_k, full_v = cache.append(k.data, v.data)
-            k, v = Tensor(full_k), Tensor(full_v)
-        k = self._expand_kv(k)
-        v = self._expand_kv(v)
-        scale = 1.0 / float(np.sqrt(self.head_dim))
-        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
-        # A single cached decode step attends everything before it — no mask.
-        if self.causal and (seq_len > 1 or cache is None):
-            scores = scores.masked_fill(
-                causal_mask(seq_len, offset=offset)[None, None, :, :], _NEG_INF
-            )
-        if pad_mask is not None:
-            pad_mask = np.asarray(pad_mask, dtype=bool)
-            expected = (batch, offset + seq_len if cache is not None else seq_len)
-            if pad_mask.shape != expected:
-                raise ShapeError(
-                    f"pad_mask shape {pad_mask.shape} != {expected}"
-                )
-            scores = scores.masked_fill(pad_mask[:, None, None, :], _NEG_INF)
-        weights = F.softmax(scores, axis=-1)
-        context = weights @ v
-        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.dim)
-        return self.w_so.forward_blocked(merged, self._out_edges)
-
-    def _forward_ragged(self, x: Tensor, ragged: RaggedLayerCaches) -> Tensor:
-        """Batched attention over independent sequences of unequal depth.
-
-        Row ``b`` of ``x`` holds ``ragged.new_lengths[b]`` valid new
-        positions (right-padded to the batch maximum) for a sequence whose
-        cache already stores ``ragged.offsets[b]`` positions.  Each row's
-        valid prefix is appended to its own cache; attention then runs as
-        one padded batched softmax with a combined causal + ragged-length
-        mask.  Outputs at padded slots are garbage by construction.
-        """
-        if not self.causal:
-            raise ShapeError("ragged cached attention requires a causal decoder")
-        batch, max_new, _ = x.shape
-        if len(ragged) != batch:
-            raise ShapeError(
-                f"ragged batch mismatch: {batch} rows, {len(ragged)} caches"
-            )
-        lengths = ragged.new_lengths
-        if np.any(lengths < 1) or np.any(lengths > max_new):
-            raise ShapeError(
-                f"row lengths {lengths} out of range [1, {max_new}]"
-            )
-        offsets = ragged.offsets
-        q = self._split_heads(
-            self.w_q.forward_blocked(x, self._q_edges), batch, max_new, self.n_heads
-        )
-        k = self._split_heads(
-            self.w_k.forward_blocked(x, self._kv_edges), batch, max_new, self.n_kv_heads
-        )
-        v = self._split_heads(
-            self.w_v.forward_blocked(x, self._kv_edges), batch, max_new, self.n_kv_heads
-        )
-        if self.rope is not None:
-            q = self.rope.apply(q, offset=offsets)
-            k = self.rope.apply(k, offset=offsets)
-        totals = offsets + lengths
-        max_total = int(totals.max())
-        full_k = np.zeros(
-            (batch, self.n_kv_heads, max_total, self.head_dim), dtype=np.float32
-        )
-        full_v = np.zeros_like(full_k)
-        for row, cache in enumerate(ragged.caches):
-            valid = int(lengths[row])
-            row_keys, row_values = cache.append(
-                k.data[row : row + 1, :, :valid], v.data[row : row + 1, :, :valid]
-            )
-            full_k[row, :, : totals[row]] = row_keys[0]
-            full_v[row, :, : totals[row]] = row_values[0]
-        keys = self._expand_kv(Tensor(full_k))
-        values = self._expand_kv(Tensor(full_v))
-        scale = 1.0 / float(np.sqrt(self.head_dim))
-        scores = (q @ keys.transpose(0, 1, 3, 2)) * scale  # (B, H, T, max_total)
-        key_pos = np.arange(max_total, dtype=np.int64)[None, None, :]
-        query_pos = offsets[:, None, None] + np.arange(max_new, dtype=np.int64)[None, :, None]
-        invalid = (key_pos > query_pos) | (key_pos >= totals[:, None, None])
-        scores = scores.masked_fill(invalid[:, None, :, :], _NEG_INF)
-        weights = F.softmax(scores, axis=-1)
-        context = weights @ values
-        merged = context.transpose(0, 2, 1, 3).reshape(batch, max_new, self.dim)
-        return self.w_so.forward_blocked(merged, self._out_edges)

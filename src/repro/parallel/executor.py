@@ -1,11 +1,13 @@
 """Rank-local forward execution of a sharded Llama.
 
-Each rank re-runs the canonical forward with two substitutions: it computes
-only *its* column blocks of every projection, and it all-gathers where the
-canonical code concatenates blocks.  Everything else — RMSNorm, RoPE,
-softmax, SiLU, residual adds — is the identical elementwise code on the
-identical replicated tensors, so the gathered hidden state after every
-sublayer matches the canonical bytes exactly:
+Each rank runs the *same* runtime driver (:func:`repro.runtime.driver.run_model`)
+as the canonical model, through a :class:`ShardedContext` with two
+substitutions: ``project`` computes only the rank's column blocks of every
+projection, and ``gather`` is a real all-gather where the canonical context's
+is the identity.  Everything else — RMSNorm, RoPE, softmax, SiLU, residual
+adds — is the identical elementwise code on the identical replicated
+tensors, so the gathered hidden state after every sublayer matches the
+canonical bytes exactly:
 
     per layer:  gather(merged attention heads)   payload (B, T, dim)
                 gather(W_SO output blocks)       payload (B, T, dim)
@@ -21,15 +23,16 @@ that the KV cache shards by *covering* heads, slightly above 1/P.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ParallelError
-from repro.nn.attention import _NEG_INF, causal_mask
-from repro.nn.kv_cache import RaggedLayerCaches
+from repro.nn.kv_cache import RaggedModelCaches
 from repro.nn.rope import RotaryEmbedding
-from repro.parallel.sharding import LayerShard, ProjectionShard, RankShard
+from repro.parallel.sharding import ProjectionShard, RankShard
+from repro.runtime.context import ExecutionContext, expand_kv_heads
+from repro.runtime.driver import run_model
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
 
@@ -57,8 +60,83 @@ def project(shard: ProjectionShard, x: Tensor) -> Tensor:
     return out
 
 
+class ShardedContext(ExecutionContext):
+    """One rank's view of the model for the shared runtime driver.
+
+    Geometry attributes are rank-local (this rank's query-head run and its
+    covering KV heads); ``gather`` reassembles full-width activations over
+    the collective group in the fixed canonical block order.
+    """
+
+    causal = True
+
+    def __init__(self, shard: RankShard, group, rank: int) -> None:
+        config = shard.config
+        self.shard = shard
+        self.group = group
+        self.rank = rank
+        self.n_layers = len(shard.layers)
+        self.n_q_heads = shard.n_q_heads
+        self.n_kv_heads = shard.n_kv_heads
+        self.head_dim = config.head_dim
+        self.kv_group = config.n_heads // config.kv_heads
+        self._rope = RotaryEmbedding(
+            config.head_dim, config.max_seq_len, theta=config.rope_theta
+        )
+
+    def embed(self, tokens) -> Tensor:
+        return Tensor(self.shard.embed)[np.asarray(tokens)]
+
+    def norm(self, layer: int, which: str, x: Tensor) -> Tensor:
+        shard = self.shard.layers[layer]
+        weight = shard.attn_norm if which == "attn" else shard.mlp_norm
+        return F.rms_norm(x, Tensor(weight), eps=_RMS_EPS)
+
+    def project(self, layer: int, role: str, x: Tensor) -> Tensor:
+        return project(getattr(self.shard.layers[layer], role), x)
+
+    def rope(self, x: Tensor, offset) -> Tensor:
+        return self._rope.apply(x, offset=offset)
+
+    def expand_kv(self, x: Tensor) -> Tensor:
+        # For global query head h the canonical expansion selects KV head
+        # h // group; the same selection runs against the rank-local KV
+        # tensor (offset by the cover start), producing exactly the
+        # canonical expanded tensor's [q_start, q_stop) head slice.
+        return expand_kv_heads(
+            x,
+            self.n_q_heads,
+            self.kv_group,
+            q_start=self.shard.q_span[0],
+            kv_start=self.shard.kv_span[0],
+        )
+
+    def gather(self, local: Tensor) -> Tensor:
+        return Tensor(self.group.all_gather(self.rank, local.data, axis=-1))
+
+    def logits(self, x: Tensor) -> Tensor:
+        x = F.rms_norm(x, Tensor(self.shard.final_norm), eps=_RMS_EPS)
+        if self.shard.lm_head is not None:
+            return self.gather(project(self.shard.lm_head, x))
+        # Tied head: slice the full transposed embedding with the rank's
+        # GLOBAL vocab edges — byte-compatible with the canonical
+        # ``blocked_project(flat, embed.T, vocab_edges)``.
+        batch, seq_len, dim = x.shape
+        flat = x.reshape(batch * seq_len, dim)
+        table = Tensor(self.shard.embed).T
+        parts = [flat @ table[:, a:b] for a, b in self.shard.vocab_edges]
+        local = parts[0] if len(parts) == 1 else Tensor.concatenate(parts, axis=-1)
+        local = local.reshape(batch, seq_len, self.shard.vocab_hi - self.shard.vocab_lo)
+        return self.gather(local)
+
+
 class RankExecutor:
-    """Drives one rank's slice of the model through a collective group."""
+    """Drives one rank's slice of the model through a collective group.
+
+    A thin facade over the shared runtime driver: both forward flavors are
+    :func:`repro.runtime.driver.run_model` over this rank's
+    :class:`ShardedContext`.
+    """
 
     def __init__(self, shard: RankShard, group, rank: int) -> None:
         if rank != shard.rank:
@@ -66,47 +144,17 @@ class RankExecutor:
         self.shard = shard
         self.group = group
         self.rank = rank
-        config = shard.config
-        self.head_dim = config.head_dim
-        self.kv_group = config.n_heads // config.kv_heads
-        self.rope = RotaryEmbedding(
-            config.head_dim, config.max_seq_len, theta=config.rope_theta
-        )
-        self.scale = 1.0 / float(np.sqrt(config.head_dim))
+        self.context = ShardedContext(shard, group, rank)
 
-    # -- head bookkeeping --------------------------------------------------
-    def _split_heads(self, x: Tensor, batch: int, seq_len: int, n_heads: int) -> Tensor:
-        return x.reshape(batch, seq_len, n_heads, self.head_dim).transpose(0, 2, 1, 3)
-
-    def _expand_kv(self, x: Tensor) -> Tensor:
-        """GQA expansion restricted to this rank's query heads.
-
-        For global query head ``h`` the canonical expansion selects KV head
-        ``h // group``; here the same selection runs against the rank-local
-        KV tensor (offset by the cover start), producing exactly the
-        canonical expanded tensor's ``[q_start, q_stop)`` head slice.
-        """
-        if self.kv_group == 1:
-            return x
-        q_start, q_stop = self.shard.q_span
-        kv_start = self.shard.kv_span[0]
-        parts = []
-        for head in range(q_start, q_stop):
-            local = head // self.kv_group - kv_start
-            parts.append(x[:, local : local + 1])
-        return Tensor.concatenate(parts, axis=1)
-
-    def _gather(self, local: Tensor) -> Tensor:
-        return Tensor(self.group.all_gather(self.rank, local.data, axis=-1))
-
-    # -- forward passes ----------------------------------------------------
     def forward(self, tokens: np.ndarray, pad_mask: Optional[np.ndarray] = None) -> Tensor:
         """Full uncached forward: (B, T) ids -> replicated (B, T, vocab)."""
-        x = Tensor(self.shard.embed)[np.asarray(tokens)]
-        for layer in self.shard.layers:
-            x = x + self._attention(layer, F.rms_norm(x, Tensor(layer.attn_norm), eps=_RMS_EPS), pad_mask)
-            x = x + self._mlp(layer, F.rms_norm(x, Tensor(layer.mlp_norm), eps=_RMS_EPS))
-        return self._logits(x)
+        return run_model(self.context, tokens, pad_mask=pad_mask)
+
+    def forward_cached(self, tokens: np.ndarray, cache) -> Tensor:
+        """Forward over new ``tokens`` only, extending the rank-local
+        ``cache`` (a :class:`~repro.nn.kv_cache.ModelKVCache` holding this
+        rank's covering KV heads) in place."""
+        return run_model(self.context, tokens, caches=cache)
 
     def forward_ragged(
         self,
@@ -117,109 +165,9 @@ class RankExecutor:
         """Ragged cached forward over this rank's KV-head slice.
 
         ``caches`` are per-sequence caches holding this rank's covering KV
-        heads; one :class:`RaggedLayerCaches` bundle per layer mirrors the
-        canonical continuous-batching path.
+        heads; the driver bundles one
+        :class:`~repro.nn.kv_cache.RaggedLayerCaches` per layer, mirroring
+        the canonical continuous-batching path.
         """
-        tokens = np.asarray(tokens)
-        x = Tensor(self.shard.embed)[tokens]
-        for index, layer in enumerate(self.shard.layers):
-            ragged = RaggedLayerCaches(
-                [cache.layers[index] for cache in caches], new_lengths
-            )
-            normed = F.rms_norm(x, Tensor(layer.attn_norm), eps=_RMS_EPS)
-            x = x + self._attention_ragged(layer, normed, ragged)
-            x = x + self._mlp(layer, F.rms_norm(x, Tensor(layer.mlp_norm), eps=_RMS_EPS))
-        return self._logits(x)
-
-    # -- sublayers ---------------------------------------------------------
-    def _attention(
-        self, layer: LayerShard, h: Tensor, pad_mask: Optional[np.ndarray]
-    ) -> Tensor:
-        batch, seq_len, _ = h.shape
-        n_q = self.shard.n_q_heads
-        n_kv = self.shard.n_kv_heads
-        q = self._split_heads(project(layer.w_q, h), batch, seq_len, n_q)
-        k = self._split_heads(project(layer.w_k, h), batch, seq_len, n_kv)
-        v = self._split_heads(project(layer.w_v, h), batch, seq_len, n_kv)
-        q = self.rope.apply(q, offset=0)
-        k = self.rope.apply(k, offset=0)
-        k = self._expand_kv(k)
-        v = self._expand_kv(v)
-        scores = (q @ k.transpose(0, 1, 3, 2)) * self.scale
-        scores = scores.masked_fill(
-            causal_mask(seq_len)[None, None, :, :], _NEG_INF
-        )
-        if pad_mask is not None:
-            pad_mask = np.asarray(pad_mask, dtype=bool)
-            scores = scores.masked_fill(pad_mask[:, None, None, :], _NEG_INF)
-        weights = F.softmax(scores, axis=-1)
-        context = weights @ v
-        merged_local = context.transpose(0, 2, 1, 3).reshape(
-            batch, seq_len, n_q * self.head_dim
-        )
-        merged = self._gather(merged_local)
-        return self._gather(project(layer.w_so, merged))
-
-    def _attention_ragged(
-        self, layer: LayerShard, h: Tensor, ragged: RaggedLayerCaches
-    ) -> Tensor:
-        batch, max_new, _ = h.shape
-        n_q = self.shard.n_q_heads
-        n_kv = self.shard.n_kv_heads
-        lengths = ragged.new_lengths
-        offsets = ragged.offsets
-        q = self._split_heads(project(layer.w_q, h), batch, max_new, n_q)
-        k = self._split_heads(project(layer.w_k, h), batch, max_new, n_kv)
-        v = self._split_heads(project(layer.w_v, h), batch, max_new, n_kv)
-        q = self.rope.apply(q, offset=offsets)
-        k = self.rope.apply(k, offset=offsets)
-        totals = offsets + lengths
-        max_total = int(totals.max())
-        full_k = np.zeros((batch, n_kv, max_total, self.head_dim), dtype=np.float32)
-        full_v = np.zeros_like(full_k)
-        for row, cache in enumerate(ragged.caches):
-            valid = int(lengths[row])
-            row_keys, row_values = cache.append(
-                k.data[row : row + 1, :, :valid], v.data[row : row + 1, :, :valid]
-            )
-            full_k[row, :, : totals[row]] = row_keys[0]
-            full_v[row, :, : totals[row]] = row_values[0]
-        keys = self._expand_kv(Tensor(full_k))
-        values = self._expand_kv(Tensor(full_v))
-        scores = (q @ keys.transpose(0, 1, 3, 2)) * self.scale
-        key_pos = np.arange(max_total, dtype=np.int64)[None, None, :]
-        query_pos = (
-            offsets[:, None, None]
-            + np.arange(max_new, dtype=np.int64)[None, :, None]
-        )
-        invalid = (key_pos > query_pos) | (key_pos >= totals[:, None, None])
-        scores = scores.masked_fill(invalid[:, None, :, :], _NEG_INF)
-        weights = F.softmax(scores, axis=-1)
-        context = weights @ values
-        merged_local = context.transpose(0, 2, 1, 3).reshape(
-            batch, max_new, n_q * self.head_dim
-        )
-        merged = self._gather(merged_local)
-        return self._gather(project(layer.w_so, merged))
-
-    def _mlp(self, layer: LayerShard, h: Tensor) -> Tensor:
-        gate = project(layer.w_g, h)
-        up = project(layer.w_u, h)
-        hidden = self._gather(F.silu(gate) * up)
-        return self._gather(project(layer.w_d, hidden))
-
-    def _logits(self, x: Tensor) -> Tensor:
-        x = F.rms_norm(x, Tensor(self.shard.final_norm), eps=_RMS_EPS)
-        if self.shard.lm_head is not None:
-            local = project(self.shard.lm_head, x)
-            return self._gather(local)
-        # Tied head: slice the full transposed embedding with the rank's
-        # GLOBAL vocab edges — byte-compatible with the canonical
-        # ``blocked_project(flat, embed.T, vocab_edges)``.
-        batch, seq_len, dim = x.shape
-        flat = x.reshape(batch * seq_len, dim)
-        table = Tensor(self.shard.embed).T
-        parts = [flat @ table[:, a:b] for a, b in self.shard.vocab_edges]
-        local = parts[0] if len(parts) == 1 else Tensor.concatenate(parts, axis=-1)
-        local = local.reshape(batch, seq_len, self.shard.vocab_hi - self.shard.vocab_lo)
-        return self._gather(local)
+        ragged = RaggedModelCaches(list(caches), new_lengths)
+        return run_model(self.context, tokens, caches=ragged)

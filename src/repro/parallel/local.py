@@ -198,6 +198,22 @@ class ShardedLlama:
         )
         return results[0]
 
+    def forward_cached(self, tokens: np.ndarray, cache: ShardedSequenceCache) -> Tensor:
+        """Forward over new ``tokens`` only, extending ``cache`` in place.
+
+        With :meth:`make_cache` this completes the cached-decoding surface
+        the runtime :class:`~repro.runtime.decode.DecodeSession` drives, so
+        greedy generation runs tensor-parallel without code changes.
+        """
+        tokens = np.asarray(tokens)
+        self._account(tokens.shape[0] * tokens.shape[1])
+        results = self._run(
+            lambda rank: self.executors[rank].forward_cached(
+                tokens, cache.rank_caches[rank]
+            )
+        )
+        return results[0]
+
     # -- serving hooks -----------------------------------------------------
     def make_kv_pool(self, n_blocks: int, block_tokens: int) -> ShardedKVPool:
         return ShardedKVPool(self.shards, n_blocks=n_blocks, block_tokens=block_tokens)

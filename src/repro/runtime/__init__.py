@@ -1,0 +1,57 @@
+"""repro.runtime — the shared layer-program execution layer.
+
+One :class:`ModelProgram` (declarative: named ops, shapes, roles, sharding
+layouts) is consumed by two walkers that can therefore never drift apart:
+the execution driver (:func:`run_model` over an :class:`ExecutionContext`)
+and the analytic hardware model (:mod:`repro.hwmodel.workload`).  One
+:class:`DecodeSession` owns the greedy generation loop every frontend
+(model API, evaluation harness, serving engine, tensor-parallel facade)
+drives.
+"""
+
+from repro.runtime.context import (
+    AttentionModuleContext,
+    CanonicalBlocksContext,
+    ExecutionContext,
+    expand_kv_heads,
+)
+from repro.runtime.decode import DecodeSession, DecodeState
+from repro.runtime.driver import (
+    ModelRuntime,
+    attention,
+    causal_mask,
+    run_layer,
+    run_model,
+    swiglu_mlp,
+)
+from repro.runtime.program import (
+    AttentionSpec,
+    LayerProgram,
+    ModelProgram,
+    OpSpec,
+    build_layer_program,
+    build_model_program,
+    role_parallelism,
+)
+
+__all__ = [
+    "AttentionModuleContext",
+    "AttentionSpec",
+    "CanonicalBlocksContext",
+    "DecodeSession",
+    "DecodeState",
+    "ExecutionContext",
+    "LayerProgram",
+    "ModelProgram",
+    "ModelRuntime",
+    "OpSpec",
+    "attention",
+    "build_layer_program",
+    "build_model_program",
+    "causal_mask",
+    "expand_kv_heads",
+    "role_parallelism",
+    "run_layer",
+    "run_model",
+    "swiglu_mlp",
+]

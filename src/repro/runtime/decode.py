@@ -1,0 +1,162 @@
+"""The one greedy-decoding loop shared by evaluation and serving.
+
+:class:`DecodeState` is the per-sequence token bookkeeping — greedy
+selection, stop-token and budget termination — that used to be duplicated
+between ``LlamaModel.greedy_generate`` and the serving engine's
+``_append_token``.  :class:`DecodeSession` is the full generation loop
+(prefill once into a KV cache, decode one position at a time, fall back to
+windowed recomputation when the context window fills) that
+``LlamaModel.greedy_generate``, the GSM8K-style generative evaluation
+harness, and the tensor-parallel facade all drive.
+
+The session runs against any model exposing the cached-decoding surface::
+
+    config.max_seq_len
+    forward(tokens)                  # full stateless forward
+    forward_cached(tokens, cache)    # extend `cache` with new positions
+    make_cache()                     # fresh whole-model KV cache
+
+which :class:`~repro.models.llama.LlamaModel` and
+:class:`~repro.parallel.local.ShardedLlama` both provide.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+
+FINISH_STOP_TOKEN = "stop-token"
+FINISH_MAX_TOKENS = "max-tokens"
+
+
+class DecodeState:
+    """Greedy token selection + termination bookkeeping for one sequence.
+
+    ``tokens`` may be a caller-owned list (the serving engine passes the
+    request's ``generated`` list) so appends are visible to both sides
+    without copying.
+    """
+
+    __slots__ = ("max_new_tokens", "stop_token", "tokens", "finish_reason")
+
+    def __init__(
+        self,
+        max_new_tokens: int,
+        stop_token: Optional[int] = None,
+        tokens: Optional[List[int]] = None,
+    ) -> None:
+        self.max_new_tokens = int(max_new_tokens)
+        self.stop_token = None if stop_token is None else int(stop_token)
+        self.tokens = tokens if tokens is not None else []
+        self.finish_reason: Optional[str] = None
+
+    @staticmethod
+    def select(logits_row: np.ndarray) -> int:
+        """Greedy (argmax) token choice from one position's logits."""
+        return int(np.argmax(logits_row))
+
+    @property
+    def n_generated(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def done(self) -> bool:
+        return self.finish_reason is not None
+
+    def append(self, token: int) -> Optional[str]:
+        """Record one generated token; returns the finish reason if this
+        token terminates the sequence (stop token wins over the budget)."""
+        token = int(token)
+        self.tokens.append(token)
+        if self.stop_token is not None and token == self.stop_token:
+            self.finish_reason = FINISH_STOP_TOKEN
+        elif len(self.tokens) >= self.max_new_tokens:
+            self.finish_reason = FINISH_MAX_TOKENS
+        return self.finish_reason
+
+
+def _as_prompt_row(prompt: np.ndarray) -> np.ndarray:
+    """Validate and shape a prompt to one (1, T) row of token ids."""
+    tokens = np.asarray(prompt)
+    if tokens.ndim == 1:
+        return tokens.reshape(1, -1)
+    if tokens.ndim == 2 and tokens.shape[0] == 1:
+        return tokens
+    raise ShapeError(
+        f"prompt must be 1-D or a single (1, T) row, got shape {tokens.shape}"
+    )
+
+
+class DecodeSession:
+    """Greedy generation loop over one cached-decoding model."""
+
+    def __init__(self, model) -> None:
+        if not self.supports(model):
+            raise ConfigError(
+                "DecodeSession needs a model with forward_cached() and "
+                f"make_cache(); got {type(model).__name__}"
+            )
+        self.model = model
+
+    @staticmethod
+    def supports(model) -> bool:
+        """Whether ``model`` exposes the cached-decoding surface."""
+        return hasattr(model, "forward_cached") and hasattr(model, "make_cache")
+
+    def generate(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        stop_token: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> np.ndarray:
+        """Greedily extend ``prompt`` by up to ``max_new_tokens`` tokens.
+
+        With ``use_cache`` (default) the prompt is prefilled once and each
+        new token runs a single-position forward pass against the KV cache;
+        without it, the full window is recomputed per token (kept as the
+        reference implementation — both paths produce identical tokens).
+        """
+        tokens = _as_prompt_row(prompt)
+        if not use_cache:
+            return self._generate_recompute(tokens, max_new_tokens, stop_token)
+        window_limit = self.model.config.max_seq_len
+        cache = self.model.make_cache()
+        state = DecodeState(max_new_tokens, stop_token)
+        logits = self.model.forward_cached(tokens[:, -window_limit:], cache)
+        next_token = state.select(logits.data[0, -1])
+        state.append(next_token)
+        tokens = np.concatenate([tokens, [[next_token]]], axis=1)
+        while not state.done:
+            if cache.seq_len >= window_limit:
+                # Context full: fall back to windowed recomputation for the
+                # part of the generation budget not yet spent.
+                remaining = max_new_tokens - state.n_generated
+                return self._generate_recompute(tokens, remaining, stop_token)
+            logits = self.model.forward_cached(tokens[:, -1:], cache)
+            next_token = state.select(logits.data[0, -1])
+            state.append(next_token)
+            tokens = np.concatenate([tokens, [[next_token]]], axis=1)
+        return tokens[0]
+
+    def _generate_recompute(
+        self,
+        tokens: np.ndarray,
+        max_new_tokens: int,
+        stop_token: Optional[int],
+    ) -> np.ndarray:
+        tokens = _as_prompt_row(tokens)
+        if max_new_tokens < 1:
+            return tokens[0]
+        window_limit = self.model.config.max_seq_len
+        state = DecodeState(max_new_tokens, stop_token)
+        while not state.done:
+            window = tokens[:, -window_limit:]
+            logits = self.model.forward(window)
+            next_token = state.select(logits.data[0, -1])
+            state.append(next_token)
+            tokens = np.concatenate([tokens, [[next_token]]], axis=1)
+        return tokens[0]

@@ -1,0 +1,282 @@
+"""The layer program: one declarative description of a transformer layer.
+
+A :class:`ModelProgram` is the single source of truth for what one forward
+pass computes: every named op (projections with their tensor roles and
+block grids, attention batched matmuls, norms, streaming elementwise work)
+with its shapes and Megatron-style sharding layout.  Two very different
+consumers walk the same program:
+
+- the execution driver (:mod:`repro.runtime.driver`), which runs the ops
+  against an :class:`~repro.runtime.context.ExecutionContext` (dense or
+  factorized weights, cached or not, canonical or mesh-sharded);
+- the analytic hardware model (:mod:`repro.hwmodel.workload`), which maps
+  each op to FLOP/byte counts for the roofline projection.
+
+Because both derive from this one object, the projection can never drift
+from the executed code: decomposing a tensor changes the program, and both
+the runtime and the hwmodel see the change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - layering: runtime sits below models
+    from repro.models.config import ModelConfig
+
+# Op kinds.  ``proj`` is a GEMM against a weight tensor (dense layers emit
+# one, factorized layers three: ``.u1`` / ``.core`` / ``.u2``); the
+# ``attn_*`` kinds are the weightless batched matmuls and softmax of
+# self-attention; ``norm``, ``embed``, and ``elementwise`` are streaming.
+PROJ = "proj"
+NORM = "norm"
+EMBED = "embed"
+ELEMENTWISE = "elementwise"
+ATTN_SCORES = "attn_scores"
+ATTN_SOFTMAX = "attn_softmax"
+ATTN_CONTEXT = "attn_context"
+
+ATTN_KINDS = (ATTN_SCORES, ATTN_SOFTMAX, ATTN_CONTEXT)
+OP_KINDS = (PROJ, NORM, EMBED, ELEMENTWISE) + ATTN_KINDS
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One named op of the layer program (shape-level, batch-free).
+
+    ``parallelism`` / ``shard_dim`` declare the op's Megatron-style layout
+    (see :class:`repro.hwmodel.workload.Op` for the vocabulary); the walker
+    in :mod:`repro.hwmodel.workload` combines these with a concrete
+    (batch, seq_len) to produce FLOP/byte counts.
+
+    For ``proj`` ops ``in_features``/``out_features`` are the GEMM shape
+    and ``role`` names the paper tensor (``w_q`` … ``w_d``/``w_out``) the
+    weight fills — the key execution contexts use to locate weights.  For
+    attention ops ``in_features`` carries the head dim and ``shard_dim``
+    the head count.  For ``norm``/``embed``/``elementwise`` ops
+    ``in_features`` is the normalized/streamed width.
+    """
+
+    name: str
+    kind: str
+    role: str = ""
+    in_features: int = 0
+    out_features: int = 0
+    parallelism: str = "replicated"
+    shard_dim: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise ConfigError(f"unknown op kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class AttentionSpec:
+    """Canonical attention geometry of one layer."""
+
+    n_heads: int
+    n_kv_heads: int
+    head_dim: int
+    causal: bool
+    rope: bool
+
+    @property
+    def kv_group(self) -> int:
+        """Query heads served by each KV head (1 = no GQA)."""
+        return self.n_heads // self.n_kv_heads
+
+
+@dataclass(frozen=True)
+class LayerProgram:
+    """One transformer layer as an ordered tuple of named ops."""
+
+    index: int
+    attention: AttentionSpec
+    attn_roles: Tuple[str, ...]
+    mlp_roles: Tuple[str, ...]
+    ops: Tuple[OpSpec, ...]
+
+    @property
+    def roles(self) -> Tuple[str, ...]:
+        return self.attn_roles + self.mlp_roles
+
+    def projections(self) -> Iterator[OpSpec]:
+        for op in self.ops:
+            if op.kind == PROJ:
+                yield op
+
+
+@dataclass(frozen=True)
+class ModelProgram:
+    """A full forward pass: prologue, layers, epilogue."""
+
+    config: ModelConfig
+    prologue: Tuple[OpSpec, ...]
+    layers: Tuple[LayerProgram, ...]
+    epilogue: Tuple[OpSpec, ...]
+    decomposed: Dict[Tuple[int, str], int] = field(default_factory=dict)
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    def all_ops(self) -> Iterator[OpSpec]:
+        """Every op of the pass in execution order."""
+        yield from self.prologue
+        for layer in self.layers:
+            yield from layer.ops
+        yield from self.epilogue
+
+    @property
+    def n_ops(self) -> int:
+        return sum(1 for _ in self.all_ops())
+
+
+def role_parallelism(config: ModelConfig, role: str) -> Tuple[str, int]:
+    """How a role's GEMM shards: Megatron column/row parallel + granularity.
+
+    Q/K/V and FFN-in are column-parallel (Q by query head, K/V by KV
+    head); the attention output and FFN-down are row-parallel (their input
+    axis is what shards).  The granularity is the finest splittable unit:
+    heads for attention projections, individual columns/rows for the MLP.
+    """
+    if role == "w_q":
+        return ("column", config.n_heads)
+    if role in ("w_k", "w_v"):
+        return ("column", config.kv_heads)
+    if role == "w_so":
+        return ("row", config.n_heads)
+    if role in ("w_g", "w_u", "w_int"):
+        return ("column", config.mlp_hidden)
+    if role in ("w_d", "w_out"):
+        return ("row", config.mlp_hidden)
+    raise ConfigError(f"no tensor-parallel layout for role {role!r}")
+
+
+def _projection_specs(
+    name: str,
+    role: str,
+    height: int,
+    width: int,
+    mode: str,
+    shard_dim: int,
+    rank: Optional[int],
+) -> Tuple[OpSpec, ...]:
+    """One dense GEMM, or the three GEMMs of a Tucker-2 factor chain.
+
+    The factor chain shards along its contraction-free rank axis: U1
+    column-parallel over rank, the core fully sharded, U2 row-parallel over
+    rank.  All three bottom out at ``shard_dim=rank``, so low-rank chains
+    (rank < n_gpus) stop sharding — decomposition trades away TP scaling.
+    """
+    if rank is None:
+        return (OpSpec(name, PROJ, role, height, width, mode, shard_dim),)
+    return (
+        OpSpec(f"{name}.u1", PROJ, role, height, rank, "column", rank),
+        OpSpec(f"{name}.core", PROJ, role, rank, rank, "sharded", rank),
+        OpSpec(f"{name}.u2", PROJ, role, rank, width, "row", rank),
+    )
+
+
+def build_layer_program(
+    config: ModelConfig,
+    index: int,
+    decomposed: Optional[Dict[Tuple[int, str], int]] = None,
+) -> LayerProgram:
+    """The op list of decoder/encoder layer ``index`` under a rank set."""
+    from repro.models.config import ATTENTION_ROLES
+
+    decomposed = decomposed or {}
+    prefix = f"layer{index}"
+    attention = AttentionSpec(
+        n_heads=config.n_heads,
+        n_kv_heads=config.kv_heads if config.family == "llama" else config.n_heads,
+        head_dim=config.head_dim,
+        causal=config.family == "llama",
+        rope=config.family == "llama",
+    )
+    attn_roles = tuple(r for r in config.tensor_roles if r in ATTENTION_ROLES)
+    mlp_roles = tuple(r for r in config.tensor_roles if r not in ATTENTION_ROLES)
+
+    ops = [OpSpec(f"{prefix}.attn_norm", NORM, in_features=config.dim)]
+    for role in config.tensor_roles:
+        height, width = config.tensor_shape(role)
+        mode, shard_dim = role_parallelism(config, role)
+        ops.extend(
+            _projection_specs(
+                f"{prefix}.{role}",
+                role,
+                height,
+                width,
+                mode,
+                shard_dim,
+                decomposed.get((index, role)),
+            )
+        )
+    for suffix, kind in (
+        ("qk", ATTN_SCORES),
+        ("softmax", ATTN_SOFTMAX),
+        ("pv", ATTN_CONTEXT),
+    ):
+        ops.append(
+            OpSpec(
+                f"{prefix}.attn.{suffix}",
+                kind,
+                in_features=config.head_dim,
+                parallelism="sharded",
+                shard_dim=config.n_heads,
+            )
+        )
+    ops.append(OpSpec(f"{prefix}.mlp_norm", NORM, in_features=config.dim))
+    # Residual adds and activation functions: streaming traffic only.
+    ops.append(OpSpec(f"{prefix}.elementwise", ELEMENTWISE, in_features=config.dim))
+    return LayerProgram(
+        index=index,
+        attention=attention,
+        attn_roles=attn_roles,
+        mlp_roles=mlp_roles,
+        ops=tuple(ops),
+    )
+
+
+def build_model_program(config: ModelConfig, decomposition=None) -> ModelProgram:
+    """Flatten one forward pass of ``config`` into a :class:`ModelProgram`.
+
+    ``decomposition`` is an optional
+    :class:`~repro.decomposition.config.DecompositionConfig`; decomposed
+    (layer, role) pairs contribute their three-GEMM factor chain instead of
+    one dense GEMM, exactly as the executed
+    :class:`~repro.nn.factorized.FactorizedLinear` does.
+    """
+    decomposed: Dict[Tuple[int, str], int] = {}
+    if decomposition is not None and not decomposition.is_identity:
+        decomposition.validate(config)
+        decomposed = decomposition.pruned_rank_set()
+
+    prologue = (OpSpec("embed", EMBED, in_features=config.dim),)
+    layers = tuple(
+        build_layer_program(config, index, decomposed)
+        for index in range(config.n_layers)
+    )
+    epilogue = (
+        OpSpec("final_norm", NORM, in_features=config.dim),
+        OpSpec(
+            "lm_head",
+            PROJ,
+            role="lm_head",
+            in_features=config.dim,
+            out_features=config.vocab_size,
+            parallelism="column",
+            shard_dim=config.vocab_size,
+        ),
+    )
+    return ModelProgram(
+        config=config,
+        prologue=prologue,
+        layers=layers,
+        epilogue=epilogue,
+        decomposed=decomposed,
+    )

@@ -26,6 +26,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import PoolExhaustedError, ServingError
+from repro.runtime.decode import DecodeState
 from repro.serving.metrics import EngineMetrics
 from repro.serving.pool import KVBlockPool
 from repro.serving.request import (
@@ -213,7 +214,7 @@ class InferenceEngine:
             covered = request.cache.seq_len  # advanced by the forward pass
             if covered < request.prefix.size:
                 continue  # mid-prefill: more prompt chunks to come
-            token = int(np.argmax(logits.data[index, int(lengths[index]) - 1]))
+            token = DecodeState.select(logits.data[index, int(lengths[index]) - 1])
             self._append_token(request, token, completion)
             if request.done:
                 finished.append(request.request_id)
@@ -349,14 +350,15 @@ class InferenceEngine:
     def _append_token(
         self, request: GenerationRequest, token: int, completion: float
     ) -> None:
-        request.generated.append(token)
+        # Termination policy lives in the runtime's DecodeState (shared with
+        # the greedy-generation loop); the engine only maps the finish
+        # reason onto the request lifecycle.
+        reason = request.decode.append(token)
         if request.first_token_time is None:
             request.first_token_time = completion
         request.state = RequestState.DECODE
-        if request.stop_token is not None and token == request.stop_token:
-            self._terminate(request, completion, RequestState.FINISHED, "stop-token")
-        elif request.n_generated >= request.max_new_tokens:
-            self._terminate(request, completion, RequestState.FINISHED, "max-tokens")
+        if reason is not None:
+            self._terminate(request, completion, RequestState.FINISHED, reason)
 
     def _expire_deadlines(self, now: float) -> None:
         for request in list(self._queue) + list(self._running):

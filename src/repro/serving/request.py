@@ -22,6 +22,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import ServingError
+from repro.runtime.decode import DecodeState
 
 
 class RequestState(enum.Enum):
@@ -64,6 +65,12 @@ class GenerationRequest:
             raise ServingError("prompt must contain at least one token")
         if self.max_new_tokens <= 0:
             raise ServingError("max_new_tokens must be positive")
+        # The runtime's shared token bookkeeping (greedy selection, stop
+        # token, budget), wrapping this request's own ``generated`` list so
+        # both sides see every append.
+        self.decode = DecodeState(
+            self.max_new_tokens, self.stop_token, tokens=self.generated
+        )
 
     # -- token bookkeeping -------------------------------------------------
     @property

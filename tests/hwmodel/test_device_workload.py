@@ -157,3 +157,73 @@ class TestTensorParallel:
         workload = build_workload(LLAMA2_7B, 1, 128)
         with pytest.raises(HardwareModelError):
             split_tensor_parallel(workload, 0)
+
+
+class TestProgramDerivedWorkload:
+    """The workload is now produced by walking the executed layer program.
+
+    The totals below were captured from the hand-rolled pre-refactor
+    ``build_workload`` — the program walk must reproduce them bit for bit,
+    so the analytic projection provably did not drift during the refactor.
+    """
+
+    GOLDEN = {
+        ("serve-llama", 1, 64): (1308622848.0, 19867392.0, 30205696.0, 81),
+        ("serve-llama", 4, 128): (10770972672.0, 19867392.0, 112011008.0, 81),
+        ("bert-base", 1, 64): (14023065600.0, 216789504.0, 261295872.0, 147),
+        ("bert-base", 2, 128): (56696242176.0, 216789504.0, 413689344.0, 147),
+        ("llama2-7b", 1, 512): (6903086186496.0, 13214687232.0, 19585048576.0, 419),
+        ("tiny-llama", 2, 32): (87556096.0, 1272960.0, 5237888.0, 159),
+    }
+
+    @pytest.mark.parametrize("key", sorted(GOLDEN))
+    def test_dense_totals_match_pre_refactor(self, key):
+        name, batch, seq_len = key
+        workload = build_workload(get_config(name), batch, seq_len)
+        assert (
+            workload.flops,
+            workload.weight_bytes,
+            workload.total_bytes,
+            workload.n_kernels,
+        ) == self.GOLDEN[key]
+
+    def test_decomposed_totals_match_pre_refactor(self):
+        config = get_config("serve-llama")
+        dec = DecompositionConfig.uniform(
+            range(config.n_layers), config.tensor_roles, rank=8
+        )
+        workload = build_workload(config, 2, 48, decomposition=dec)
+        assert (
+            workload.flops,
+            workload.weight_bytes,
+            workload.total_bytes,
+            workload.n_kernels,
+        ) == (144433152.0, 1072128.0, 16395264.0, 165)
+        sharded = split_tensor_parallel(workload, 2)
+        assert (sharded.flops, sharded.total_bytes) == (72216576.0, 14137728.0)
+
+    def test_partial_decomposition_matches_pre_refactor(self):
+        config = get_config("serve-llama")
+        dec = DecompositionConfig.uniform([0], ["w_q", "w_d"], rank=4)
+        workload = build_workload(config, 1, 16, decomposition=dec)
+        assert (
+            workload.flops,
+            workload.weight_bytes,
+            workload.total_bytes,
+            workload.n_kernels,
+        ) == (303055872.0, 18803520.0, 21167936.0, 85)
+
+    def test_workload_ops_mirror_program_ops(self):
+        """One Op per program OpSpec, in execution order, same names."""
+        from repro.runtime import build_model_program
+
+        config = get_config("serve-llama")
+        dec = DecompositionConfig.uniform([1], ["w_u"], rank=4)
+        program = build_model_program(config, dec)
+        workload = build_workload(config, 2, 16, decomposition=dec)
+        assert [op.name for op in workload.ops] == [
+            spec.name for spec in program.all_ops()
+        ]
+        assert [(op.parallelism, op.shard_dim) for op in workload.ops] == [
+            (spec.parallelism, spec.shard_dim) for spec in program.all_ops()
+        ]

@@ -113,9 +113,9 @@ class TestForwardRagged:
             )
 
     def test_validates_cache_count(self, micro_llama):
-        from repro.errors import ConfigError
+        from repro.errors import ShapeError
 
-        with pytest.raises(ConfigError):
+        with pytest.raises(ShapeError):
             micro_llama.forward_ragged(
                 np.zeros((2, 3), dtype=np.int64),
                 [ModelKVCache(micro_llama.config.n_layers)],

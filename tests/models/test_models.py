@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ShapeError
 from repro.models import BertModel, LlamaModel, build_model, get_config
 from repro.nn import Linear
 
@@ -15,7 +15,7 @@ class TestLlamaModel:
         assert logits.shape == (2, 7, tokenizer.vocab_size)
 
     def test_rejects_1d_tokens(self, micro_llama):
-        with pytest.raises(ConfigError):
+        with pytest.raises(ShapeError):
             micro_llama(np.array([1, 2, 3]))
 
     def test_loss_positive_and_finite(self, micro_llama, tokenizer):

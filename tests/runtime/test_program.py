@@ -1,0 +1,119 @@
+"""Layer-program structure: the single source of truth both walkers share."""
+
+import pytest
+
+from repro.decomposition import DecompositionConfig
+from repro.errors import ConfigError
+from repro.models import get_config
+from repro.runtime import build_model_program, role_parallelism
+from repro.runtime.program import ATTN_KINDS, NORM, PROJ
+
+
+LLAMA = get_config("tiny-llama")
+BERT = get_config("tiny-bert")
+
+
+class TestProgramStructure:
+    def test_op_count_per_layer(self):
+        """attn_norm + 7 role GEMMs + 3 attention bmms + mlp_norm + elementwise."""
+        program = build_model_program(LLAMA)
+        for layer in program.layers:
+            assert len(layer.ops) == 1 + len(LLAMA.tensor_roles) + 3 + 1 + 1
+        assert program.n_ops == 1 + LLAMA.n_layers * 13 + 2
+
+    def test_execution_order_names(self):
+        program = build_model_program(LLAMA)
+        names = [op.name for op in program.all_ops()]
+        assert names[0] == "embed"
+        assert names[-2:] == ["final_norm", "lm_head"]
+        layer0 = names[1 : 1 + 13]
+        assert layer0[0] == "layer0.attn_norm"
+        assert layer0[1:8] == [f"layer0.{role}" for role in LLAMA.tensor_roles]
+        assert layer0[8:11] == ["layer0.attn.qk", "layer0.attn.softmax", "layer0.attn.pv"]
+        assert layer0[11:] == ["layer0.mlp_norm", "layer0.elementwise"]
+
+    def test_projection_shapes_match_config(self):
+        program = build_model_program(LLAMA)
+        for spec in program.layers[0].projections():
+            height, width = LLAMA.tensor_shape(spec.role)
+            assert (spec.in_features, spec.out_features) == (height, width)
+
+    def test_attention_geometry(self):
+        llama = build_model_program(LLAMA).layers[0].attention
+        assert llama.causal and llama.rope
+        assert llama.n_kv_heads == LLAMA.kv_heads
+        assert llama.kv_group == LLAMA.n_heads // LLAMA.kv_heads
+        bert = build_model_program(BERT).layers[0].attention
+        assert not bert.causal and not bert.rope
+        assert bert.n_kv_heads == BERT.n_heads
+
+    def test_attention_ops_head_parallel(self):
+        program = build_model_program(LLAMA)
+        attn_ops = [op for op in program.layers[0].ops if op.kind in ATTN_KINDS]
+        assert len(attn_ops) == 3
+        for op in attn_ops:
+            assert op.parallelism == "sharded"
+            assert op.shard_dim == LLAMA.n_heads
+            assert op.in_features == LLAMA.head_dim
+
+    def test_role_split(self):
+        layer = build_model_program(LLAMA).layers[0]
+        assert set(layer.attn_roles) == {"w_q", "w_k", "w_v", "w_so"}
+        assert set(layer.mlp_roles) == {"w_g", "w_u", "w_d"}
+        assert layer.roles == layer.attn_roles + layer.mlp_roles
+
+
+class TestDecomposedProgram:
+    def test_factor_chain_replaces_dense_gemm(self):
+        dec = DecompositionConfig.uniform([0], ["w_q"], rank=2)
+        program = build_model_program(LLAMA, dec)
+        names = [op.name for op in program.layers[0].ops if op.kind == PROJ]
+        assert "layer0.w_q" not in names
+        assert names[:3] == ["layer0.w_q.u1", "layer0.w_q.core", "layer0.w_q.u2"]
+        chain = [op for op in program.layers[0].ops if op.role == "w_q"]
+        height, width = LLAMA.tensor_shape("w_q")
+        assert [(op.in_features, op.out_features) for op in chain] == [
+            (height, 2), (2, 2), (2, width)
+        ]
+        # Low-rank chains bottom out at shard_dim=rank: no TP scaling left.
+        assert all(op.shard_dim == 2 for op in chain)
+        # Untouched layers keep their dense GEMMs.
+        assert any(op.name == "layer1.w_q" for op in program.layers[1].ops)
+
+    def test_decomposed_pairs_recorded(self):
+        dec = DecompositionConfig.uniform(range(LLAMA.n_layers), ["w_d"], rank=3)
+        program = build_model_program(LLAMA, dec)
+        assert program.decomposed == {
+            (layer, "w_d"): 3 for layer in range(LLAMA.n_layers)
+        }
+        # Each decomposed pair swaps 1 GEMM for 3: +2 ops apiece.
+        dense = build_model_program(LLAMA)
+        assert program.n_ops == dense.n_ops + 2 * LLAMA.n_layers
+
+
+class TestRoleParallelism:
+    def test_megatron_layout(self):
+        assert role_parallelism(LLAMA, "w_q") == ("column", LLAMA.n_heads)
+        assert role_parallelism(LLAMA, "w_k") == ("column", LLAMA.kv_heads)
+        assert role_parallelism(LLAMA, "w_so") == ("row", LLAMA.n_heads)
+        assert role_parallelism(LLAMA, "w_g") == ("column", LLAMA.mlp_hidden)
+        assert role_parallelism(LLAMA, "w_d") == ("row", LLAMA.mlp_hidden)
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ConfigError):
+            role_parallelism(LLAMA, "w_nope")
+
+
+class TestModelsExposeProgram:
+    def test_llama_and_bert_program_property(self, micro_llama, micro_bert):
+        for model in (micro_llama, micro_bert):
+            program = model.program
+            assert program.n_layers == model.config.n_layers
+            assert [op.kind for op in program.epilogue] == [NORM, PROJ]
+
+    def test_llama_runtime_is_bound_to_program(self, micro_llama):
+        """The model's forward driver and the hwmodel walk the same object."""
+        from repro.runtime import ModelRuntime
+
+        assert isinstance(micro_llama.runtime, ModelRuntime)
+        assert micro_llama.runtime.program.n_layers == micro_llama.config.n_layers
