@@ -14,7 +14,11 @@ Commands
   next to the analytic hardware-model projection.  ``--tp N`` runs each
   variant tensor-parallel over N ranks (identical logits by construction)
   and prints measured vs analytic collective traffic; ``--json`` dumps the
-  full report.
+  full report; ``--profile`` attaches the fast path's op-level profiler.
+- ``repro bench-decode [--variants dense,rank1,...] [--tp 1,2]
+  [--json PATH]`` — measure prefill/decode tokens-per-second of the
+  Tensor-graph driver vs. the no-grad fast path per variant and
+  tensor-parallel degree, verifying bit-identical logits along the way.
 """
 
 from __future__ import annotations
@@ -122,6 +126,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         gpu_name=args.gpu,
         tp=args.tp,
         seed=args.seed,
+        profile=args.profile,
     )
     print(report.table())
     print()
@@ -140,6 +145,40 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         path = Path(args.json)
         path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
         print(f"wrote {path}")
+    return 0
+
+
+def _cmd_bench_decode(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.models import build_model, get_config
+    from repro.runtime.benchmark import run_decode_bench
+
+    config = get_config(args.model)
+    model = build_model(config, rng=np.random.default_rng(args.seed))
+    model.eval()
+    variants = [spec.strip() for spec in args.variants.split(",") if spec.strip()]
+    tp_degrees = [int(t) for t in args.tp.split(",") if t.strip()]
+    report = run_decode_bench(
+        model,
+        variant_specs=variants,
+        tp_degrees=tp_degrees,
+        prompt_tokens=args.prompt_tokens,
+        new_tokens=args.new_tokens,
+        seed=args.seed,
+        profile=args.profile,
+    )
+    print(report.table())
+    if args.json:
+        import json
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"wrote {path}")
+    if not report.all_bit_identical:
+        print("ERROR: fast-path logits diverged from the Tensor-graph driver")
+        return 1
     return 0
 
 
@@ -220,7 +259,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="dump the full metrics/projection report as JSON",
     )
+    serve.add_argument(
+        "--profile",
+        action="store_true",
+        help="record and print the fast path's per-op wall-time profile",
+    )
     serve.set_defaults(func=_cmd_serve_bench)
+
+    bench_decode = sub.add_parser(
+        "bench-decode",
+        help="measure Tensor-path vs fast-path prefill/decode throughput",
+    )
+    bench_decode.add_argument("--model", default="serve-llama")
+    bench_decode.add_argument(
+        "--variants",
+        default="dense,rank1,rank8",
+        help="comma-separated specs: dense, rank<K>, pr<NN>",
+    )
+    bench_decode.add_argument(
+        "--tp", default="1,2", help="comma-separated tensor-parallel degrees"
+    )
+    bench_decode.add_argument("--prompt-tokens", type=int, default=32)
+    bench_decode.add_argument("--new-tokens", type=int, default=48)
+    bench_decode.add_argument("--seed", type=int, default=0)
+    bench_decode.add_argument(
+        "--json", default=None, metavar="PATH", help="dump the report as JSON"
+    )
+    bench_decode.add_argument(
+        "--profile",
+        action="store_true",
+        help="record and print the fast path's per-op wall-time profile",
+    )
+    bench_decode.set_defaults(func=_cmd_bench_decode)
 
     report = sub.add_parser(
         "report", help="regenerate every artifact into a markdown report"

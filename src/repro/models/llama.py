@@ -116,6 +116,9 @@ class LlamaModel(Module):
                 embed=self.embed,
                 logits_fn=self.logits_from_hidden,
                 rope=rope,
+                final_norm=self.final_norm,
+                lm_head=self.lm_head,
+                vocab_edges=self._vocab_edges,
             ),
         )
 

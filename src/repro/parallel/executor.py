@@ -31,7 +31,7 @@ from repro.errors import ParallelError
 from repro.nn.kv_cache import RaggedModelCaches
 from repro.nn.rope import RotaryEmbedding
 from repro.parallel.sharding import ProjectionShard, RankShard
-from repro.runtime.context import ExecutionContext, expand_kv_heads
+from repro.runtime.context import ExecutionContext, expand_kv_heads, kv_expand_plan
 from repro.runtime.driver import run_model
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
@@ -69,6 +69,7 @@ class ShardedContext(ExecutionContext):
     """
 
     causal = True
+    fast_kind = "sharded"
 
     def __init__(self, shard: RankShard, group, rank: int) -> None:
         config = shard.config
@@ -80,6 +81,12 @@ class ShardedContext(ExecutionContext):
         self.n_kv_heads = shard.n_kv_heads
         self.head_dim = config.head_dim
         self.kv_group = config.n_heads // config.kv_heads
+        self._kv_plan = kv_expand_plan(
+            self.n_q_heads,
+            self.kv_group,
+            q_start=shard.q_span[0],
+            kv_start=shard.kv_span[0],
+        )
         self._rope = RotaryEmbedding(
             config.head_dim, config.max_seq_len, theta=config.rope_theta
         )
@@ -109,6 +116,7 @@ class ShardedContext(ExecutionContext):
             self.kv_group,
             q_start=self.shard.q_span[0],
             kv_start=self.shard.kv_span[0],
+            plan=self._kv_plan,
         )
 
     def gather(self, local: Tensor) -> Tensor:

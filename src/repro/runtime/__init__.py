@@ -14,6 +14,7 @@ from repro.runtime.context import (
     CanonicalBlocksContext,
     ExecutionContext,
     expand_kv_heads,
+    kv_expand_plan,
 )
 from repro.runtime.decode import DecodeSession, DecodeState
 from repro.runtime.driver import (
@@ -24,6 +25,8 @@ from repro.runtime.driver import (
     run_model,
     swiglu_mlp,
 )
+from repro.runtime.profiler import OpProfiler
+from repro.runtime.workspace import Workspace
 from repro.runtime.program import (
     AttentionSpec,
     LayerProgram,
@@ -44,12 +47,15 @@ __all__ = [
     "LayerProgram",
     "ModelProgram",
     "ModelRuntime",
+    "OpProfiler",
     "OpSpec",
+    "Workspace",
     "attention",
     "build_layer_program",
     "build_model_program",
     "causal_mask",
     "expand_kv_heads",
+    "kv_expand_plan",
     "role_parallelism",
     "run_layer",
     "run_model",

@@ -1,0 +1,271 @@
+"""The ``repro bench-decode`` measurement harness.
+
+Measures prefill and decode tokens/sec for the Tensor-graph driver and the
+no-grad fast path (:mod:`repro.runtime.fastpath`) over the same model,
+across weight variants (dense / decomposed) and tensor-parallel degrees,
+and checks the bit-for-bit contract on the way: the generated tokens, the
+prefill logits, and the final-step logits of the two paths must be
+byte-identical, or the cell is flagged and the report fails.
+
+Timing methodology: each (variant, tp, path) cell first runs one full
+untimed generation to warm the BLAS threads and the fast path's workspace
+arena (first-touch allocations are real but happen once per shape, not per
+step), then times one prefill of ``prompt_tokens`` positions and
+``new_tokens - 1`` single-position cached decode steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.runtime import fastpath
+
+DEFAULT_VARIANTS = ("dense", "rank1", "rank8")
+DEFAULT_TP = (1, 2)
+
+
+@dataclass(frozen=True)
+class PathTiming:
+    """One execution path's measured throughput."""
+
+    prefill_tokens_per_s: float
+    decode_tokens_per_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "prefill_tokens_per_s": self.prefill_tokens_per_s,
+            "decode_tokens_per_s": self.decode_tokens_per_s,
+        }
+
+
+@dataclass(frozen=True)
+class DecodeBenchCell:
+    """Fast vs. Tensor path for one (variant, tensor-parallel degree)."""
+
+    spec: str
+    tp: int
+    tensor: PathTiming
+    fast: PathTiming
+    bit_identical: bool
+    profile: Optional[str] = None
+
+    @property
+    def prefill_speedup(self) -> float:
+        if self.tensor.prefill_tokens_per_s == 0.0:
+            return 0.0
+        return self.fast.prefill_tokens_per_s / self.tensor.prefill_tokens_per_s
+
+    @property
+    def decode_speedup(self) -> float:
+        if self.tensor.decode_tokens_per_s == 0.0:
+            return 0.0
+        return self.fast.decode_tokens_per_s / self.tensor.decode_tokens_per_s
+
+    def summary_line(self) -> str:
+        verdict = "exact" if self.bit_identical else "LOGITS MISMATCH"
+        return (
+            f"{self.spec:>8} tp={self.tp}  "
+            f"prefill {self.tensor.prefill_tokens_per_s:8.1f} -> "
+            f"{self.fast.prefill_tokens_per_s:8.1f} tok/s "
+            f"({self.prefill_speedup:4.2f}x)  "
+            f"decode {self.tensor.decode_tokens_per_s:7.1f} -> "
+            f"{self.fast.decode_tokens_per_s:7.1f} tok/s "
+            f"({self.decode_speedup:4.2f}x)  [{verdict}]"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec,
+            "tp": self.tp,
+            "tensor": self.tensor.to_dict(),
+            "fast": self.fast.to_dict(),
+            "prefill_speedup": self.prefill_speedup,
+            "decode_speedup": self.decode_speedup,
+            "bit_identical": self.bit_identical,
+            "profile": self.profile,
+        }
+
+
+@dataclass(frozen=True)
+class DecodeBenchReport:
+    """All measured cells plus the run's configuration."""
+
+    model: str
+    prompt_tokens: int
+    new_tokens: int
+    seed: int
+    cells: List[DecodeBenchCell] = field(default_factory=list)
+
+    @property
+    def all_bit_identical(self) -> bool:
+        return all(cell.bit_identical for cell in self.cells)
+
+    @property
+    def min_decode_speedup(self) -> float:
+        return min(cell.decode_speedup for cell in self.cells)
+
+    def table(self) -> str:
+        header = (
+            f"bench-decode: {self.model}, prompt={self.prompt_tokens}, "
+            f"new={self.new_tokens} (Tensor path -> fast path)"
+        )
+        lines = [header, "-" * len(header)]
+        lines.extend(cell.summary_line() for cell in self.cells)
+        profiled = [cell for cell in self.cells if cell.profile]
+        for cell in profiled:
+            lines.append("")
+            lines.append(f"op profile — {cell.spec} tp={cell.tp} (fast path):")
+            lines.append(cell.profile)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "prompt_tokens": self.prompt_tokens,
+            "new_tokens": self.new_tokens,
+            "seed": self.seed,
+            "all_bit_identical": self.all_bit_identical,
+            "min_decode_speedup": self.min_decode_speedup,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+
+def _timed_generation(runner, prompt: np.ndarray, new_tokens: int):
+    """One prefill + greedy decode loop; returns timings and outputs."""
+    cache = runner.make_cache()
+    start = perf_counter()
+    logits = runner.forward_cached(prompt, cache)
+    prefill_s = perf_counter() - start
+    prefill_logits = logits.data.copy()
+    tokens = [int(np.argmax(logits.data[0, -1]))]
+    step = np.empty((1, 1), dtype=np.int64)
+    start = perf_counter()
+    for _ in range(new_tokens - 1):
+        step[0, 0] = tokens[-1]
+        logits = runner.forward_cached(step, cache)
+        tokens.append(int(np.argmax(logits.data[0, -1])))
+    decode_s = perf_counter() - start
+    return prefill_s, decode_s, tokens, prefill_logits, logits.data.copy()
+
+
+def _bench_path(runner, prompt: np.ndarray, new_tokens: int):
+    _timed_generation(runner, prompt, new_tokens)  # warmup: arena + BLAS
+    prefill_s, decode_s, tokens, first, last = _timed_generation(
+        runner, prompt, new_tokens
+    )
+    timing = PathTiming(
+        prefill_tokens_per_s=prompt.shape[1] / max(prefill_s, 1e-12),
+        decode_tokens_per_s=max(new_tokens - 1, 1) / max(decode_s, 1e-12),
+    )
+    return timing, tokens, first, last
+
+
+def _bench_cell(
+    variant, tp: int, prompt: np.ndarray, new_tokens: int, profile: bool
+) -> DecodeBenchCell:
+    runner = variant.model
+    sharded = None
+    if tp > 1:
+        from repro.parallel import ShardedLlama
+
+        sharded = ShardedLlama(variant.model, tp)
+        runner = sharded
+    try:
+        with fastpath.disabled():
+            tensor_timing, t_tokens, t_first, t_last = _bench_path(
+                runner, prompt, new_tokens
+            )
+        profiler = None
+        if profile:
+            context = (
+                sharded.executors[0].context
+                if sharded is not None
+                else variant.model.runtime.context
+            )
+            profiler = fastpath.enable_profiling(context)
+        fast_timing, f_tokens, f_first, f_last = _bench_path(
+            runner, prompt, new_tokens
+        )
+        profile_table = None
+        if profiler is not None:
+            profile_table = profiler.table()
+            fastpath.disable_profiling(
+                sharded.executors[0].context
+                if sharded is not None
+                else variant.model.runtime.context
+            )
+        bit_identical = (
+            t_tokens == f_tokens
+            and np.array_equal(t_first, f_first)
+            and np.array_equal(t_last, f_last)
+        )
+    finally:
+        if sharded is not None:
+            sharded.close()
+    return DecodeBenchCell(
+        spec=variant.spec,
+        tp=tp,
+        tensor=tensor_timing,
+        fast=fast_timing,
+        bit_identical=bit_identical,
+        profile=profile_table,
+    )
+
+
+def run_decode_bench(
+    base_model,
+    variant_specs: Sequence[str] = DEFAULT_VARIANTS,
+    tp_degrees: Sequence[int] = DEFAULT_TP,
+    prompt_tokens: int = 32,
+    new_tokens: int = 48,
+    seed: int = 0,
+    profile: bool = False,
+) -> DecodeBenchReport:
+    """Benchmark fast-path vs. Tensor-path generation over ``base_model``.
+
+    ``base_model`` must be an eval-mode :class:`~repro.models.llama.LlamaModel`;
+    ``variant_specs`` use the serve-bench registry grammar (``dense``,
+    ``rank<K>``, ``pr<NN>``).  With ``profile`` the fast run of every cell
+    records an op-level profile (rank 0's when ``tp > 1``).
+    """
+    # Imported lazily: the runtime layer must not depend on serving at
+    # import time.
+    from repro.serving.variants import VariantRegistry
+
+    if not variant_specs:
+        raise ConfigError("at least one variant spec is required")
+    if prompt_tokens < 1 or new_tokens < 2:
+        raise ConfigError(
+            f"need prompt_tokens >= 1 and new_tokens >= 2, got "
+            f"{prompt_tokens} and {new_tokens}"
+        )
+    rng = np.random.default_rng(seed)
+    prompt = rng.integers(
+        0, base_model.config.vocab_size, size=(1, prompt_tokens), dtype=np.int64
+    )
+    registry = VariantRegistry(base_model)
+    cells = []
+    for spec in variant_specs:
+        variant = registry.get(spec)
+        for tp in tp_degrees:
+            cells.append(_bench_cell(variant, tp, prompt, new_tokens, profile))
+    return DecodeBenchReport(
+        model=base_model.config.name,
+        prompt_tokens=prompt_tokens,
+        new_tokens=new_tokens,
+        seed=seed,
+        cells=cells,
+    )
+
+
+__all__ = [
+    "DecodeBenchCell",
+    "DecodeBenchReport",
+    "PathTiming",
+    "run_decode_bench",
+]

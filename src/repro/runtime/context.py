@@ -25,12 +25,27 @@ from repro.errors import ConfigError
 from repro.tensor.tensor import Tensor
 
 
+def kv_expand_plan(
+    n_q_heads: int, kv_group: int, q_start: int = 0, kv_start: int = 0
+) -> tuple:
+    """The local KV head index serving each query head, precomputed.
+
+    The head-to-head wiring depends only on the context's geometry, so
+    every context materializes this once at construction instead of
+    re-deriving it (and re-slicing per head) on every attention call.
+    """
+    return tuple(
+        head // kv_group - kv_start for head in range(q_start, q_start + n_q_heads)
+    )
+
+
 def expand_kv_heads(
     x: Tensor,
     n_q_heads: int,
     kv_group: int,
     q_start: int = 0,
     kv_start: int = 0,
+    plan: Optional[tuple] = None,
 ) -> Tensor:
     """Repeat each KV head to serve its group of query heads (GQA).
 
@@ -40,13 +55,15 @@ def expand_kv_heads(
     produce the same bytes — whether computed over all heads (canonical,
     ``q_start == kv_start == 0``) or over one rank's head run (``q_start``
     the rank's first query head, ``kv_start`` its first covering KV head).
+
+    ``plan`` is an optional precomputed :func:`kv_expand_plan`; passing it
+    skips the per-call index derivation.
     """
     if kv_group == 1:
         return x
-    parts = []
-    for head in range(q_start, q_start + n_q_heads):
-        local = head // kv_group - kv_start
-        parts.append(x[:, local : local + 1])
+    if plan is None:
+        plan = kv_expand_plan(n_q_heads, kv_group, q_start, kv_start)
+    parts = [x[:, local : local + 1] for local in plan]
     return Tensor.concatenate(parts, axis=1)
 
 
@@ -84,7 +101,12 @@ class ExecutionContext:
 
     def expand_kv(self, x: Tensor) -> Tensor:
         """GQA expansion restricted to this context's query heads."""
-        return expand_kv_heads(x, self.n_q_heads, self.kv_group)
+        return expand_kv_heads(
+            x,
+            self.n_q_heads,
+            self.kv_group,
+            plan=getattr(self, "_kv_plan", None),
+        )
 
     def gather(self, x: Tensor) -> Tensor:
         """Reassemble a sharded activation (identity on a single device)."""
@@ -110,8 +132,18 @@ class CanonicalBlocksContext(ExecutionContext):
     """
 
     causal = True
+    fast_kind = "canonical"
 
-    def __init__(self, blocks, embed=None, logits_fn=None, rope=None) -> None:
+    def __init__(
+        self,
+        blocks,
+        embed=None,
+        logits_fn=None,
+        rope=None,
+        final_norm=None,
+        lm_head=None,
+        vocab_edges=None,
+    ) -> None:
         self.blocks = list(blocks)
         if not self.blocks:
             raise ConfigError("context needs at least one decoder block")
@@ -121,9 +153,17 @@ class CanonicalBlocksContext(ExecutionContext):
         self.n_kv_heads = attn.n_kv_heads
         self.head_dim = attn.head_dim
         self.kv_group = attn.n_heads // attn.n_kv_heads
+        self._kv_plan = kv_expand_plan(self.n_q_heads, self.kv_group)
         self._embed = embed
         self._logits_fn = logits_fn
         self._rope = rope if rope is not None else attn.rope
+        # Structured head description for the no-grad fast path (see
+        # repro.runtime.fastpath).  ``logits_fn`` stays authoritative for
+        # the Tensor-graph path; without these the context simply never
+        # takes the fast path.
+        self._final_norm = final_norm
+        self._lm_head = lm_head
+        self._head_edges = tuple(vocab_edges) if vocab_edges else ()
 
     def embed(self, tokens) -> Tensor:
         if self._embed is None:
@@ -178,6 +218,7 @@ class AttentionModuleContext(ExecutionContext):
         self.n_kv_heads = attn.n_kv_heads
         self.head_dim = attn.head_dim
         self.kv_group = attn.n_heads // attn.n_kv_heads
+        self._kv_plan = kv_expand_plan(self.n_q_heads, self.kv_group)
         self.causal = attn.causal
 
     def project(self, layer: int, role: str, x: Tensor) -> Tensor:
@@ -204,4 +245,5 @@ __all__ = [
     "CanonicalBlocksContext",
     "ExecutionContext",
     "expand_kv_heads",
+    "kv_expand_plan",
 ]

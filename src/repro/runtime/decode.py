@@ -90,6 +90,37 @@ def _as_prompt_row(prompt: np.ndarray) -> np.ndarray:
     )
 
 
+class _TokenRow:
+    """One (1, T) token row backed by geometrically grown capacity.
+
+    The generation loop extends the row by one token per step; growing with
+    ``np.concatenate`` would copy the whole history every step (O(T^2) over
+    a generation).  Doubling capacity amortizes to O(T), the same strategy
+    :class:`~repro.nn.kv_cache.LayerKVCache` uses for KV entries.
+    """
+
+    __slots__ = ("_buf", "_len")
+
+    def __init__(self, row: np.ndarray, reserve: int) -> None:
+        length = row.shape[1]
+        self._buf = np.empty((1, length + max(int(reserve), 1)), dtype=np.int64)
+        self._buf[:, :length] = row
+        self._len = length
+
+    @property
+    def row(self) -> np.ndarray:
+        """The live (1, T) view of the tokens so far."""
+        return self._buf[:, : self._len]
+
+    def append(self, token: int) -> None:
+        if self._len == self._buf.shape[1]:
+            grown = np.empty((1, 2 * self._buf.shape[1]), dtype=np.int64)
+            grown[:, : self._len] = self._buf
+            self._buf = grown
+        self._buf[0, self._len] = token
+        self._len += 1
+
+
 class DecodeSession:
     """Greedy generation loop over one cached-decoding model."""
 
@@ -126,21 +157,22 @@ class DecodeSession:
         window_limit = self.model.config.max_seq_len
         cache = self.model.make_cache()
         state = DecodeState(max_new_tokens, stop_token)
+        row = _TokenRow(tokens, reserve=max_new_tokens)
         logits = self.model.forward_cached(tokens[:, -window_limit:], cache)
         next_token = state.select(logits.data[0, -1])
         state.append(next_token)
-        tokens = np.concatenate([tokens, [[next_token]]], axis=1)
+        row.append(next_token)
         while not state.done:
             if cache.seq_len >= window_limit:
                 # Context full: fall back to windowed recomputation for the
                 # part of the generation budget not yet spent.
                 remaining = max_new_tokens - state.n_generated
-                return self._generate_recompute(tokens, remaining, stop_token)
-            logits = self.model.forward_cached(tokens[:, -1:], cache)
+                return self._generate_recompute(row.row, remaining, stop_token)
+            logits = self.model.forward_cached(row.row[:, -1:], cache)
             next_token = state.select(logits.data[0, -1])
             state.append(next_token)
-            tokens = np.concatenate([tokens, [[next_token]]], axis=1)
-        return tokens[0]
+            row.append(next_token)
+        return row.row[0].copy()
 
     def _generate_recompute(
         self,
@@ -153,10 +185,11 @@ class DecodeSession:
             return tokens[0]
         window_limit = self.model.config.max_seq_len
         state = DecodeState(max_new_tokens, stop_token)
+        row = _TokenRow(tokens, reserve=max_new_tokens)
         while not state.done:
-            window = tokens[:, -window_limit:]
+            window = row.row[:, -window_limit:]
             logits = self.model.forward(window)
             next_token = state.select(logits.data[0, -1])
             state.append(next_token)
-            tokens = np.concatenate([tokens, [[next_token]]], axis=1)
-        return tokens[0]
+            row.append(next_token)
+        return row.row[0].copy()

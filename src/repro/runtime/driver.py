@@ -21,6 +21,7 @@ same math lived in six hand-rolled copies that repeatedly drifted apart.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
@@ -37,16 +38,29 @@ if TYPE_CHECKING:  # pragma: no cover - layering: runtime sits below nn/models
 NEG_INF = -1e9
 
 
+@lru_cache(maxsize=256)
+def _causal_mask_cached(seq_len: int, offset: int) -> np.ndarray:
+    total = offset + seq_len
+    query_pos = offset + np.arange(seq_len)[:, None]
+    key_pos = np.arange(total)[None, :]
+    mask = key_pos > query_pos
+    # Cached arrays are shared across every layer of every step that hits
+    # the same (seq_len, offset); freezing them keeps sharing safe.
+    mask.setflags(write=False)
+    return mask
+
+
 def causal_mask(seq_len: int, offset: int = 0) -> np.ndarray:
     """Boolean mask that is True at disallowed (future) positions.
 
     Shape (seq_len, offset + seq_len): query position i (absolute position
     ``offset + i``) may attend keys at absolute positions <= offset + i.
+
+    Results are LRU-cached by ``(seq_len, offset)`` — a decode loop asks
+    for the same handful of masks once per layer per step — and returned
+    read-only.  Callers needing a private writable copy must ``.copy()``.
     """
-    total = offset + seq_len
-    query_pos = offset + np.arange(seq_len)[:, None]
-    key_pos = np.arange(total)[None, :]
-    return key_pos > query_pos
+    return _causal_mask_cached(int(seq_len), int(offset))
 
 
 def _split_heads(x: Tensor, batch: int, seq_len: int, n_heads: int, head_dim: int) -> Tensor:
@@ -234,9 +248,19 @@ def run_model(
     :class:`~repro.nn.kv_cache.RaggedModelCaches` for the
     continuous-batching ragged path.
     """
+    # Imported here, not at module level, so the fast path stays an
+    # implementation detail of this dispatch (and to keep import order
+    # within the package trivial).
+    from repro.runtime import fastpath
+
     tokens = np.asarray(tokens)
     if tokens.ndim != 2:
         raise ShapeError(f"expected (B, T) token ids, got shape {tokens.shape}")
+    state = fastpath.active_state(ctx)
+    if state is not None:
+        return Tensor(
+            fastpath.run_model_fast(state, tokens, pad_mask=pad_mask, caches=caches)
+        )
     x = ctx.embed(tokens)
     for layer in range(ctx.n_layers):
         cache = None if caches is None else caches.layers[layer]
@@ -260,6 +284,35 @@ class ModelRuntime:
             )
         self.program = program
         self.context = context
+
+    def enable_profiling(self):
+        """Attach (or return) the op-level profiler for fast-path forwards.
+
+        Returns the :class:`~repro.runtime.profiler.OpProfiler` accumulating
+        per-op wall time / call counts / arena bytes.  Profiling only
+        records ops executed on the no-grad fast path; Tensor-graph
+        forwards are unaffected.
+        """
+        from repro.runtime import fastpath
+
+        return fastpath.enable_profiling(self.context)
+
+    def disable_profiling(self) -> None:
+        from repro.runtime import fastpath
+
+        fastpath.disable_profiling(self.context)
+
+    @property
+    def profiler(self):
+        """The attached profiler, or None."""
+        return self.context.__dict__.get("_fast_profiler")
+
+    @property
+    def workspace(self):
+        """The fast path's buffer arena, once a fast forward has run."""
+        from repro.runtime import fastpath
+
+        return fastpath.workspace_of(self.context)
 
     def forward(
         self, tokens: np.ndarray, pad_mask: Optional[np.ndarray] = None

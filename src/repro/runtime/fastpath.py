@@ -1,0 +1,766 @@
+"""No-grad inference fast path for the runtime driver.
+
+:func:`repro.runtime.driver.run_model` dispatches here when gradients
+cannot be needed: the kernels below execute the same layer schedule as the
+Tensor-graph driver directly on raw ``np.ndarray``s — no autograd nodes,
+no backward closures, and (after warmup) no per-step allocation, since
+every intermediate is written with ``out=`` into a
+:class:`~repro.runtime.workspace.Workspace` buffer.
+
+Selection rule
+--------------
+A context takes the fast path when all of the following hold:
+
+- the module-level switch is enabled (see :func:`disabled`);
+- the context declares a ``fast_kind`` (``"canonical"`` for
+  :class:`~repro.runtime.context.CanonicalBlocksContext` built with an
+  output head, ``"sharded"`` for the tensor-parallel rank context);
+- for canonical contexts, the model is in eval mode (``module.eval()``)
+  and every projection is a recognized ``Linear`` / ``FactorizedLinear``
+  flavor.  Training forwards (``model.train()``) always keep the
+  Tensor-graph path so autograd works unchanged.
+
+Weight arrays are *referenced*, never copied, so in-place optimizer
+updates are picked up automatically; a cheap id-based signature is checked
+per forward so decomposition swaps (``Linear`` -> ``FactorizedLinear``)
+and ``load_state_dict`` rebinds trigger a rebuild of the cached views.
+
+Bit-for-bit contract
+--------------------
+Every kernel mirrors the Tensor path's exact NumPy op sequence: identical
+ufuncs in identical order with identical float32 scalar operands, GEMMs
+against the *same* weight views (layouts included — BLAS results are not
+layout-invariant), and ``out=`` targets whose 2-D cores keep BLAS-
+compatible strides so NumPy never falls back to its differently-ordered
+non-BLAS loop.  Logits from this path are byte-identical to the Tensor
+driver across all three cache regimes and all world sizes; the identity
+sweep in ``tests/runtime/test_fastpath.py`` enforces it.
+
+The returned logits array is always freshly allocated (callers hold it
+across steps); everything else lives in the arena.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.runtime.profiler import OpProfiler
+from repro.runtime.workspace import Workspace
+
+NEG_INF = -1e9  # matches repro.runtime.driver.NEG_INF
+_NEG_INF32 = np.asarray(NEG_INF, dtype=np.float32)
+_RMS_EPS = 1e-6  # matches repro.parallel.executor._RMS_EPS
+
+_ENABLED = True
+
+
+@contextmanager
+def disabled():
+    """Force the Tensor-graph path (used by benchmarks and identity tests)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+def enable_profiling(ctx) -> OpProfiler:
+    """Attach (or return) the :class:`OpProfiler` recording ``ctx``'s ops."""
+    profiler = ctx.__dict__.get("_fast_profiler")
+    if profiler is None:
+        profiler = OpProfiler()
+        ctx._fast_profiler = profiler
+    return profiler
+
+
+def disable_profiling(ctx) -> None:
+    ctx.__dict__.pop("_fast_profiler", None)
+
+
+def workspace_of(ctx) -> Optional[Workspace]:
+    """The context's arena, once a fast forward has run (else None)."""
+    state = ctx.__dict__.get("_fast_state")
+    return None if state is None else state.ws
+
+
+# ---------------------------------------------------------------------------
+# Extracted weight views
+# ---------------------------------------------------------------------------
+
+class FastProjection:
+    """One role's weight views in the canonical blocked layout."""
+
+    __slots__ = ("weight", "edges", "bias", "u1", "core")
+
+    def __init__(self, weight, edges, bias=None, u1=None, core=None) -> None:
+        self.weight = weight      # dense weight, or U2 for a factor chain
+        self.edges = tuple(edges)
+        self.bias = bias
+        self.u1 = u1
+        self.core = core
+
+
+class FastLayer:
+    __slots__ = ("attn_norm", "attn_eps", "mlp_norm", "mlp_eps", "proj")
+
+    def __init__(self, attn_norm, attn_eps, mlp_norm, mlp_eps, proj) -> None:
+        self.attn_norm = attn_norm
+        self.attn_eps = attn_eps
+        self.mlp_norm = mlp_norm
+        self.mlp_eps = mlp_eps
+        self.proj = proj          # role -> FastProjection
+
+
+class FastHead:
+    """Final norm + LM head: a blocked projection or a tied-table slice."""
+
+    __slots__ = ("norm", "eps", "proj", "tied", "edges", "width")
+
+    def __init__(self, norm, eps, proj=None, tied=None, edges=(), width=0) -> None:
+        self.norm = norm
+        self.eps = eps
+        self.proj = proj          # FastProjection (untied head)
+        self.tied = tied          # (D, V)-transposed embedding view (tied head)
+        self.edges = tuple(edges)
+        self.width = width
+
+
+class FastState:
+    """Everything one context needs to run the no-graph kernels."""
+
+    __slots__ = (
+        "ctx", "sig", "ws", "embed_table", "embed_checked", "layers", "head",
+        "rope", "gather", "plan", "scale", "inv_dim", "n_layers", "n_q_heads",
+        "n_kv_heads", "head_dim", "kv_group", "causal",
+    )
+
+    def __init__(self, ctx, sig, ws, embed_table, embed_checked, layers, head,
+                 rope, gather, plan) -> None:
+        self.ctx = ctx
+        self.sig = sig
+        self.ws = ws
+        self.embed_table = embed_table
+        self.embed_checked = embed_checked
+        self.layers: List[FastLayer] = layers
+        self.head: FastHead = head
+        self.rope = rope
+        self.gather: Optional[Callable] = gather
+        self.plan: Tuple[int, ...] = plan
+        self.n_layers = ctx.n_layers
+        self.n_q_heads = ctx.n_q_heads
+        self.n_kv_heads = ctx.n_kv_heads
+        self.head_dim = ctx.head_dim
+        self.kv_group = ctx.kv_group
+        self.causal = ctx.causal
+        # float32 constants mirroring the Tensor path's scalar coercions
+        self.scale = np.float32(1.0 / float(np.sqrt(ctx.head_dim)))
+        self.inv_dim = np.float32(1.0 / embed_table.shape[1])
+
+
+_CANONICAL_ROLES = (
+    ("w_q", "attn", "_q_edges"),
+    ("w_k", "attn", "_kv_edges"),
+    ("w_v", "attn", "_kv_edges"),
+    ("w_so", "attn", "_out_edges"),
+    ("w_g", "mlp", "_hidden_edges"),
+    ("w_u", "mlp", "_hidden_edges"),
+    ("w_d", "mlp", "_out_edges"),
+)
+
+
+def _module_sig(module) -> Optional[tuple]:
+    """Identity tuple of a Linear/FactorizedLinear flavor (None: unknown)."""
+    bias = getattr(module, "bias", None)
+    bias_id = 0 if bias is None else id(bias.data)
+    u1 = getattr(module, "u1", None)
+    if u1 is not None:
+        return (id(module), id(u1.data), id(module.core.data),
+                id(module.u2.data), bias_id)
+    weight = getattr(module, "weight", None)
+    if weight is None:
+        return None
+    return (id(module), id(weight.data), bias_id)
+
+
+def _canonical_signature(ctx) -> Optional[tuple]:
+    """Cheap per-forward eligibility + invalidation key (None: Tensor path)."""
+    blocks = ctx.blocks
+    if getattr(blocks[0], "training", True):
+        return None
+    if ctx._embed is None or ctx._final_norm is None or not ctx._head_edges:
+        return None
+    try:
+        parts = [id(ctx._embed.weight.data), id(ctx._final_norm.weight.data)]
+        head = ctx._lm_head
+        if head is not None:
+            sig = _module_sig(head)
+            if sig is None:
+                return None
+            parts.extend(sig)
+        for block in blocks:
+            parts.append(id(block.attn_norm.weight.data))
+            parts.append(id(block.mlp_norm.weight.data))
+            for role, owner_name, _ in _CANONICAL_ROLES:
+                sig = _module_sig(getattr(getattr(block, owner_name), role))
+                if sig is None:
+                    return None
+                parts.extend(sig)
+    except AttributeError:
+        return None
+    return tuple(parts)
+
+
+def _fast_projection(module, edges) -> FastProjection:
+    bias = getattr(module, "bias", None)
+    bias_arr = None if bias is None else bias.data
+    if getattr(module, "u1", None) is not None:
+        return FastProjection(module.u2.data, edges, bias_arr,
+                              u1=module.u1.data, core=module.core.data)
+    return FastProjection(module.weight.data, edges, bias_arr)
+
+
+def _build_canonical(ctx, sig, ws) -> Optional[FastState]:
+    layers = []
+    for block in ctx.blocks:
+        proj = {}
+        for role, owner_name, edges_attr in _CANONICAL_ROLES:
+            owner = getattr(block, owner_name)
+            proj[role] = _fast_projection(getattr(owner, role),
+                                          getattr(owner, edges_attr))
+        layers.append(FastLayer(
+            block.attn_norm.weight.data, np.float32(block.attn_norm.eps),
+            block.mlp_norm.weight.data, np.float32(block.mlp_norm.eps),
+            proj,
+        ))
+    final_norm = ctx._final_norm
+    if ctx._lm_head is not None:
+        head = FastHead(final_norm.weight.data, np.float32(final_norm.eps),
+                        proj=_fast_projection(ctx._lm_head, ctx._head_edges))
+    else:
+        tied = ctx._embed.weight.data.T
+        head = FastHead(final_norm.weight.data, np.float32(final_norm.eps),
+                        tied=tied, edges=ctx._head_edges, width=tied.shape[1])
+    return FastState(
+        ctx, sig, ws,
+        embed_table=ctx._embed.weight.data, embed_checked=True,
+        layers=layers, head=head, rope=ctx._rope, gather=None,
+        plan=ctx._kv_plan,
+    )
+
+
+def _build_sharded(ctx, sig, ws) -> FastState:
+    shard = ctx.shard
+    layers = []
+    for layer_shard in shard.layers:
+        proj = {}
+        for role in ("w_q", "w_k", "w_v", "w_so", "w_g", "w_u", "w_d"):
+            ps = getattr(layer_shard, role)
+            if ps.factorized:
+                proj[role] = FastProjection(ps.weight, ps.edges, ps.bias,
+                                            u1=ps.u1, core=ps.core)
+            else:
+                proj[role] = FastProjection(ps.weight, ps.edges, ps.bias)
+        layers.append(FastLayer(
+            layer_shard.attn_norm, np.float32(_RMS_EPS),
+            layer_shard.mlp_norm, np.float32(_RMS_EPS),
+            proj,
+        ))
+    if shard.lm_head is not None:
+        head_proj = shard.lm_head
+        if head_proj.factorized:
+            proj = FastProjection(head_proj.weight, head_proj.edges,
+                                  head_proj.bias, u1=head_proj.u1,
+                                  core=head_proj.core)
+        else:
+            proj = FastProjection(head_proj.weight, head_proj.edges,
+                                  head_proj.bias)
+        head = FastHead(shard.final_norm, np.float32(_RMS_EPS), proj=proj)
+    else:
+        # Tied head: GLOBAL vocab edges slice the full transposed table;
+        # the rank's output chunk is packed contiguously (executor layout).
+        head = FastHead(shard.final_norm, np.float32(_RMS_EPS),
+                        tied=shard.embed.T, edges=shard.vocab_edges,
+                        width=shard.vocab_hi - shard.vocab_lo)
+    group, rank = ctx.group, ctx.rank
+
+    def gather(array: np.ndarray) -> np.ndarray:
+        return group.all_gather(rank, array, axis=-1)
+
+    return FastState(
+        ctx, sig, ws,
+        embed_table=shard.embed, embed_checked=False,
+        layers=layers, head=head, rope=ctx._rope, gather=gather,
+        plan=ctx._kv_plan,
+    )
+
+
+def active_state(ctx) -> Optional[FastState]:
+    """The context's (possibly rebuilt) fast state, or None for Tensor path."""
+    if not _ENABLED:
+        return None
+    kind = getattr(ctx, "fast_kind", None)
+    if kind is None:
+        return None
+    state = ctx.__dict__.get("_fast_state")
+    if kind == "canonical":
+        sig = _canonical_signature(ctx)
+        if sig is None:
+            return None
+        if state is not None and state.sig == sig:
+            return state
+        ws = Workspace() if state is None else state.ws
+        state = _build_canonical(ctx, sig, ws)
+    elif kind == "sharded":
+        if state is not None:
+            return state
+        state = _build_sharded(ctx, ("sharded",), Workspace())
+    else:
+        return None
+    if state is not None:
+        ctx._fast_state = state
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Profiling regions
+# ---------------------------------------------------------------------------
+
+class _Region:
+    """Null-safe op-region timer; near-free when no profiler is attached."""
+
+    __slots__ = ("prof", "ws", "_t0", "_b0")
+
+    def __init__(self, prof, ws) -> None:
+        self.prof = prof
+        self.ws = ws
+        self._t0 = 0.0
+        self._b0 = 0
+
+    def start(self) -> None:
+        if self.prof is not None:
+            self._b0 = self.ws.bytes_allocated
+            self._t0 = perf_counter()
+
+    def stop(self, name: str) -> None:
+        if self.prof is not None:
+            self.prof.add(name, perf_counter() - self._t0,
+                          self.ws.bytes_allocated - self._b0)
+
+
+# ---------------------------------------------------------------------------
+# Kernels — each mirrors the Tensor path's numpy op stream exactly
+# ---------------------------------------------------------------------------
+
+def _blocked_into(x: np.ndarray, weight: np.ndarray, edges, out: np.ndarray) -> None:
+    """``blocked_project`` into ``out``: one GEMM per column block.
+
+    Writing each block straight into ``out[..., a:b]`` is value-identical
+    to fresh-array-then-concatenate: the slice keeps a unit inner stride,
+    so BLAS runs with a wider ldc — and sgemm results are ldc-independent.
+    """
+    if len(edges) == 1:
+        np.matmul(x, weight, out=out)
+        return
+    for a, b in edges:
+        np.matmul(x, weight[:, a:b], out=out[..., a:b])
+
+
+def _project(state: FastState, layer: int, role: str, x: np.ndarray,
+             name: str, region: _Region) -> np.ndarray:
+    p = state.layers[layer].proj[role]
+    ws = state.ws
+    region.start()
+    if p.u1 is not None:
+        low = ws.buf(name + ".r1", x.shape[:-1] + (p.u1.shape[1],))
+        np.matmul(x, p.u1, out=low)
+        mid = ws.buf(name + ".r2", x.shape[:-1] + (p.core.shape[1],))
+        np.matmul(low, p.core, out=mid)
+        x = mid
+    out = ws.buf(name, x.shape[:-1] + (p.weight.shape[1],))
+    _blocked_into(x, p.weight, p.edges, out)
+    if p.bias is not None:
+        np.add(out, p.bias, out=out)
+    region.stop(f"layer{layer}.{role}")
+    return out
+
+
+def _rms_norm(state: FastState, x: np.ndarray, weight: np.ndarray,
+              eps: np.float32) -> np.ndarray:
+    # Mirrors F.rms_norm: x * ((x*x).mean(-1, keepdims) + eps)**-0.5 * w,
+    # with mean computed as sum * float32(1/D) exactly like Tensor.mean.
+    ws = state.ws
+    squares = ws.buf("norm.sq", x.shape)
+    np.multiply(x, x, out=squares)
+    stat = ws.buf("norm.stat", x.shape[:-1] + (1,))
+    np.sum(squares, axis=-1, keepdims=True, out=stat)
+    np.multiply(stat, state.inv_dim, out=stat)
+    np.add(stat, eps, out=stat)
+    np.power(stat, -0.5, out=stat)
+    out = ws.buf("normed", x.shape)
+    np.multiply(x, stat, out=out)
+    np.multiply(out, weight, out=out)
+    return out
+
+
+def _embed(state: FastState, ids: np.ndarray, region: _Region) -> np.ndarray:
+    region.start()
+    table = state.embed_table
+    if state.embed_checked:
+        # Mirrors Embedding.forward's validation, messages included.
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise ShapeError(f"embedding ids must be integers, got {ids.dtype}")
+        n = table.shape[0]
+        if ids.min(initial=0) < 0 or ids.max(initial=0) >= n:
+            raise ShapeError(
+                f"embedding ids out of range [0, {n}): "
+                f"[{ids.min()}, {ids.max()}]"
+            )
+    out = state.ws.buf("x", ids.shape + (table.shape[1],))
+    np.take(table, ids, axis=0, out=out)
+    region.stop("embed")
+    return out
+
+
+def _rope_apply(state: FastState, x: np.ndarray, offset, name: str) -> np.ndarray:
+    # Mirrors RotaryEmbedding.apply: same table views/gathers, and the
+    # rotation as mul/mul/sub + mul/mul/add (a - b == a + (-b) bitwise).
+    rope = state.rope
+    if rope is None:
+        return x
+    ws = state.ws
+    batch, _, seq_len, dim = x.shape
+    half = dim // 2
+    if np.ndim(offset) == 0:
+        offset = int(offset)
+        if offset < 0 or offset + seq_len > rope.max_seq_len:
+            raise ShapeError(
+                f"positions [{offset}, {offset + seq_len}) exceed RoPE table "
+                f"{rope.max_seq_len}"
+            )
+        cos = rope._cos[offset : offset + seq_len][None, None, :, :]
+        sin = rope._sin[offset : offset + seq_len][None, None, :, :]
+    else:
+        offsets = np.asarray(offset, dtype=np.int64)
+        if offsets.shape != (batch,):
+            raise ShapeError(
+                f"per-row offsets must have shape ({batch},), got {offsets.shape}"
+            )
+        if np.any(offsets < 0) or np.any(offsets >= rope.max_seq_len):
+            raise ShapeError(
+                f"row offsets {offsets} exceed RoPE table {rope.max_seq_len}"
+            )
+        positions = offsets[:, None] + np.arange(seq_len, dtype=np.int64)[None, :]
+        np.minimum(positions, rope.max_seq_len - 1, out=positions)
+        cos = ws.buf("rope.cos", (batch, seq_len, half))
+        sin = ws.buf("rope.sin", (batch, seq_len, half))
+        np.take(rope._cos, positions, axis=0, out=cos)
+        np.take(rope._sin, positions, axis=0, out=sin)
+        cos = cos[:, None, :, :]
+        sin = sin[:, None, :, :]
+    out = ws.buf(name, x.shape)
+    scratch = ws.buf("rope.tmp", x.shape[:-1] + (half,))
+    x1 = x[..., :half]
+    x2 = x[..., half:]
+    first = out[..., :half]
+    second = out[..., half:]
+    np.multiply(x1, cos, out=first)
+    np.multiply(x2, sin, out=scratch)
+    np.subtract(first, scratch, out=first)
+    np.multiply(x2, cos, out=second)
+    np.multiply(x1, sin, out=scratch)
+    np.add(second, scratch, out=second)
+    return out
+
+
+def _expand_kv(state: FastState, x: np.ndarray, name: str) -> np.ndarray:
+    # The expansion *plan* (which local KV head serves each query head) is
+    # hoisted to context construction; here it drives plain head copies
+    # into a capacity-backed buffer — value-identical to the Tensor path's
+    # slice-concatenate, which also materializes a (B, Hq, T, Dh) copy.
+    if state.kv_group == 1:
+        return x
+    batch, _, total, head_dim = x.shape
+    out = state.ws.seq_buf(name, (batch, state.n_q_heads, total, head_dim), axis=2)
+    for q_head, local in enumerate(state.plan):
+        out[:, q_head] = x[:, local]
+    return out
+
+
+def _softmax_inplace(state: FastState, scores: np.ndarray) -> None:
+    # Mirrors F.softmax: subtract running max (x + (-max) == x - max
+    # bitwise), exp, divide by the sum.  Reductions run over the
+    # contiguous last axis exactly as on a fresh array.
+    stat = state.ws.buf("softmax.stat", scores.shape[:-1] + (1,))
+    np.max(scores, axis=-1, keepdims=True, out=stat)
+    np.subtract(scores, stat, out=scores)
+    np.exp(scores, out=scores)
+    np.sum(scores, axis=-1, keepdims=True, out=stat)
+    np.divide(scores, stat, out=scores)
+
+
+def _split_heads(x: np.ndarray, batch: int, seq_len: int, n_heads: int,
+                 head_dim: int) -> np.ndarray:
+    return x.reshape(batch, seq_len, n_heads, head_dim).transpose(0, 2, 1, 3)
+
+
+def _finish_attention(state: FastState, layer: int, scores: np.ndarray,
+                      values: np.ndarray, batch: int, seq_len: int,
+                      region: _Region) -> np.ndarray:
+    ws = state.ws
+    head_dim = state.head_dim
+    context = ws.buf("attn.ctx", (batch, state.n_q_heads, seq_len, head_dim))
+    region.start()
+    np.matmul(scores, values, out=context)
+    region.stop(f"layer{layer}.attn.pv")
+    region.start()
+    merged = ws.buf("attn.merged", (batch, seq_len, state.n_q_heads * head_dim))
+    np.copyto(merged.reshape(batch, seq_len, state.n_q_heads, head_dim),
+              context.transpose(0, 2, 1, 3))
+    if state.gather is not None:
+        merged = state.gather(merged)
+    region.stop(f"layer{layer}.attn.merge")
+    out = _project(state, layer, "w_so", merged, "attn.out", region)
+    if state.gather is not None:
+        out = state.gather(out)
+    return out
+
+
+def _attention_dense(state: FastState, layer: int, x: np.ndarray,
+                     pad_mask, cache, region: _Region) -> np.ndarray:
+    from repro.runtime.driver import causal_mask
+
+    ws = state.ws
+    batch, seq_len, _ = x.shape
+    offset = 0 if cache is None else cache.seq_len
+    head_dim = state.head_dim
+    q = _project(state, layer, "w_q", x, "q", region)
+    k = _project(state, layer, "w_k", x, "k", region)
+    v = _project(state, layer, "w_v", x, "v", region)
+    qh = _split_heads(q, batch, seq_len, state.n_q_heads, head_dim)
+    kh = _split_heads(k, batch, seq_len, state.n_kv_heads, head_dim)
+    vh = _split_heads(v, batch, seq_len, state.n_kv_heads, head_dim)
+    region.start()
+    qh = _rope_apply(state, qh, offset, "q.rot")
+    kh = _rope_apply(state, kh, offset, "k.rot")
+    region.stop(f"layer{layer}.attn.rope")
+    if cache is not None:
+        region.start()
+        keys, values = cache.append(kh, vh)
+        region.stop(f"layer{layer}.attn.cache")
+    else:
+        keys, values = kh, vh
+    total = offset + seq_len
+    region.start()
+    keys = _expand_kv(state, keys, "k.exp")
+    values = _expand_kv(state, values, "v.exp")
+    region.stop(f"layer{layer}.attn.expand")
+    scores = ws.seq_buf("scores", (batch, state.n_q_heads, seq_len, total), axis=3)
+    region.start()
+    np.matmul(qh, keys.transpose(0, 1, 3, 2), out=scores)
+    np.multiply(scores, state.scale, out=scores)
+    region.stop(f"layer{layer}.attn.qk")
+    region.start()
+    # A single cached decode step attends everything before it — no mask.
+    if state.causal and (seq_len > 1 or cache is None):
+        mask = causal_mask(seq_len, offset=offset)
+        np.copyto(scores, _NEG_INF32, where=mask[None, None, :, :])
+    if pad_mask is not None:
+        pad = np.asarray(pad_mask, dtype=bool)
+        expected = (batch, offset + seq_len if cache is not None else seq_len)
+        if pad.shape != expected:
+            raise ShapeError(f"pad_mask shape {pad.shape} != {expected}")
+        np.copyto(scores, _NEG_INF32, where=pad[:, None, None, :])
+    _softmax_inplace(state, scores)
+    region.stop(f"layer{layer}.attn.softmax")
+    return _finish_attention(state, layer, scores, values, batch, seq_len, region)
+
+
+def _attention_ragged(state: FastState, layer: int, x: np.ndarray,
+                      ragged, region: _Region) -> np.ndarray:
+    if not state.causal:
+        raise ShapeError("ragged cached attention requires a causal decoder")
+    ws = state.ws
+    batch, max_new, _ = x.shape
+    if len(ragged) != batch:
+        raise ShapeError(
+            f"ragged batch mismatch: {batch} rows, {len(ragged)} caches"
+        )
+    lengths = ragged.new_lengths
+    if np.any(lengths < 1) or np.any(lengths > max_new):
+        raise ShapeError(f"row lengths {lengths} out of range [1, {max_new}]")
+    offsets = ragged.offsets
+    head_dim = state.head_dim
+    q = _project(state, layer, "w_q", x, "q", region)
+    k = _project(state, layer, "w_k", x, "k", region)
+    v = _project(state, layer, "w_v", x, "v", region)
+    qh = _split_heads(q, batch, max_new, state.n_q_heads, head_dim)
+    kh = _split_heads(k, batch, max_new, state.n_kv_heads, head_dim)
+    vh = _split_heads(v, batch, max_new, state.n_kv_heads, head_dim)
+    region.start()
+    qh = _rope_apply(state, qh, offsets, "q.rot")
+    kh = _rope_apply(state, kh, offsets, "k.rot")
+    region.stop(f"layer{layer}.attn.rope")
+    totals = offsets + lengths
+    max_total = int(totals.max())
+    # zero=True: freshly grown capacity starts as exact 0.0f (never NaN
+    # garbage).  Stale finite values beyond a row's extent are harmless:
+    # those key positions are masked, their softmax weight underflows to
+    # exactly 0.0, and 0.0 * finite == 0.0 bit for bit.
+    full_k = ws.seq_buf("ragged.k", (batch, state.n_kv_heads, max_total, head_dim),
+                        axis=2, zero=True)
+    full_v = ws.seq_buf("ragged.v", (batch, state.n_kv_heads, max_total, head_dim),
+                        axis=2, zero=True)
+    region.start()
+    for row, cache in enumerate(ragged.caches):
+        valid = int(lengths[row])
+        row_keys, row_values = cache.append(
+            kh[row : row + 1, :, :valid], vh[row : row + 1, :, :valid]
+        )
+        full_k[row, :, : totals[row]] = row_keys[0]
+        full_v[row, :, : totals[row]] = row_values[0]
+    region.stop(f"layer{layer}.attn.cache")
+    region.start()
+    keys = _expand_kv(state, full_k, "k.exp")
+    values = _expand_kv(state, full_v, "v.exp")
+    region.stop(f"layer{layer}.attn.expand")
+    scores = ws.seq_buf("scores", (batch, state.n_q_heads, max_new, max_total),
+                        axis=3)
+    region.start()
+    np.matmul(qh, keys.transpose(0, 1, 3, 2), out=scores)
+    np.multiply(scores, state.scale, out=scores)
+    region.stop(f"layer{layer}.attn.qk")
+    region.start()
+    key_pos = np.arange(max_total, dtype=np.int64)[None, None, :]
+    query_pos = (
+        offsets[:, None, None] + np.arange(max_new, dtype=np.int64)[None, :, None]
+    )
+    invalid = (key_pos > query_pos) | (key_pos >= totals[:, None, None])
+    np.copyto(scores, _NEG_INF32, where=invalid[:, None, :, :])
+    _softmax_inplace(state, scores)
+    region.stop(f"layer{layer}.attn.softmax")
+    return _finish_attention(state, layer, scores, values, batch, max_new, region)
+
+
+def _swiglu_mlp(state: FastState, layer: int, x: np.ndarray,
+                region: _Region) -> np.ndarray:
+    gate = _project(state, layer, "w_g", x, "mlp.gate", region)
+    up = _project(state, layer, "w_u", x, "mlp.up", region)
+    region.start()
+    # Mirrors F.silu(gate) * up: sigmoid as 1/(1 + exp(-g)), then g * sig,
+    # then * up — same ufuncs, same order.
+    act = state.ws.buf("mlp.act", gate.shape)
+    np.negative(gate, out=act)
+    np.exp(act, out=act)
+    np.add(act, 1.0, out=act)
+    np.divide(1.0, act, out=act)
+    np.multiply(gate, act, out=act)
+    np.multiply(act, up, out=act)
+    region.stop(f"layer{layer}.mlp.act")
+    hidden = state.gather(act) if state.gather is not None else act
+    out = _project(state, layer, "w_d", hidden, "mlp.out", region)
+    return state.gather(out) if state.gather is not None else out
+
+
+def _run_layer(state: FastState, layer: int, x: np.ndarray, pad_mask, cache,
+               region: _Region) -> np.ndarray:
+    from repro.nn.kv_cache import RaggedLayerCaches
+
+    lay = state.layers[layer]
+    region.start()
+    normed = _rms_norm(state, x, lay.attn_norm, lay.attn_eps)
+    region.stop(f"layer{layer}.attn_norm")
+    if isinstance(cache, RaggedLayerCaches):
+        attn_out = _attention_ragged(state, layer, normed, cache, region)
+    else:
+        attn_out = _attention_dense(state, layer, normed, pad_mask, cache, region)
+    ws = state.ws
+    region.start()
+    mid = ws.buf("stream.mid", x.shape)
+    np.add(x, attn_out, out=mid)
+    region.stop(f"layer{layer}.residual")
+    region.start()
+    normed = _rms_norm(state, mid, lay.mlp_norm, lay.mlp_eps)
+    region.stop(f"layer{layer}.mlp_norm")
+    mlp_out = _swiglu_mlp(state, layer, normed, region)
+    region.start()
+    out = ws.buf("stream.out", x.shape)
+    np.add(mid, mlp_out, out=out)
+    region.stop(f"layer{layer}.residual")
+    return out
+
+
+def _logits(state: FastState, x: np.ndarray, region: _Region) -> np.ndarray:
+    ws = state.ws
+    head = state.head
+    region.start()
+    normed = _rms_norm(state, x, head.norm, head.eps)
+    region.stop("final_norm")
+    batch, seq_len, dim = x.shape
+    region.start()
+    if head.proj is not None:
+        p = head.proj
+        hidden = normed
+        if p.u1 is not None:
+            low = ws.buf("lm_head.r1", hidden.shape[:-1] + (p.u1.shape[1],))
+            np.matmul(hidden, p.u1, out=low)
+            mid = ws.buf("lm_head.r2", hidden.shape[:-1] + (p.core.shape[1],))
+            np.matmul(low, p.core, out=mid)
+            hidden = mid
+        width = p.weight.shape[1]
+        if state.gather is None:
+            out = np.empty((batch, seq_len, width), dtype=np.float32)
+        else:
+            out = ws.buf("lm_head.local", (batch, seq_len, width))
+        _blocked_into(hidden, p.weight, p.edges, out)
+        if p.bias is not None:
+            np.add(out, p.bias, out=out)
+        result = out if state.gather is None else state.gather(out)
+    else:
+        # Tied head: GEMMs against the same transposed-table views the
+        # Tensor path slices (identical memory layout, identical bytes).
+        flat = normed.reshape(batch * seq_len, dim)
+        if state.gather is None:
+            out = np.empty((batch * seq_len, head.width), dtype=np.float32)
+        else:
+            out = ws.buf("lm_head.local", (batch * seq_len, head.width))
+        position = 0
+        for a, b in head.edges:
+            np.matmul(flat, head.tied[:, a:b],
+                      out=out[:, position : position + (b - a)])
+            position += b - a
+        result = out.reshape(batch, seq_len, head.width)
+        if state.gather is not None:
+            result = state.gather(result)
+    region.stop("lm_head")
+    return result
+
+
+def run_model_fast(state: FastState, tokens: np.ndarray, pad_mask=None,
+                   caches=None) -> np.ndarray:
+    """(B, T) ids -> freshly allocated (B, T, vocab) logits, no autograd."""
+    region = _Region(state.ctx.__dict__.get("_fast_profiler"), state.ws)
+    x = _embed(state, tokens, region)
+    for layer in range(state.n_layers):
+        cache = None if caches is None else caches.layers[layer]
+        x = _run_layer(state, layer, x, pad_mask, cache, region)
+    return _logits(state, x, region)
+
+
+__all__ = [
+    "FastState",
+    "OpProfiler",
+    "Workspace",
+    "active_state",
+    "disable_profiling",
+    "disabled",
+    "enable_profiling",
+    "run_model_fast",
+    "workspace_of",
+]

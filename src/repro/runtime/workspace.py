@@ -1,0 +1,104 @@
+"""Preallocated buffer arena for the inference fast path.
+
+The fast-path kernels in :mod:`repro.runtime.fastpath` never allocate
+result arrays in the hot loop: every intermediate — projection outputs,
+rotated queries, attention scores, softmax statistics — is written with
+``out=`` into a named buffer owned by a :class:`Workspace`.  Buffers are
+keyed by ``(name, shape, dtype)``, so a steady-state decode loop (constant
+shapes step after step) touches only existing memory; a new shape (the
+prefill, a differently composed ragged batch) materializes its own buffer
+once and reuses it from then on.
+
+Sequence-length-dependent buffers go through :meth:`Workspace.seq_buf`,
+which backs the designated axis with geometrically grown capacity (the
+same strategy as :class:`~repro.nn.kv_cache.LayerKVCache`) and returns an
+exact-shape basic-slice view.  Views keep the backing buffer's unit inner
+stride, so the GEMMs writing into them stay on the BLAS path — the bit
+pattern of every result is identical to a freshly allocated output.
+
+``allocations`` / ``bytes_allocated`` count *backing-array* creations
+only.  They are the regression surface for the zero-allocation-per-step
+contract: once the decode loop is warm, both counters must stop moving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+_INITIAL_CAPACITY = 32
+
+
+class Workspace:
+    """Named reusable buffers with allocation accounting."""
+
+    __slots__ = ("_exact", "_grown", "allocations", "bytes_allocated")
+
+    def __init__(self) -> None:
+        self._exact: Dict[tuple, np.ndarray] = {}
+        self._grown: Dict[tuple, np.ndarray] = {}
+        self.allocations = 0
+        self.bytes_allocated = 0
+
+    def _allocate(self, shape: Tuple[int, ...], dtype, zero: bool) -> np.ndarray:
+        array = np.zeros(shape, dtype=dtype) if zero else np.empty(shape, dtype=dtype)
+        self.allocations += 1
+        self.bytes_allocated += array.nbytes
+        return array
+
+    def buf(self, name: str, shape: Tuple[int, ...], dtype=np.float32) -> np.ndarray:
+        """The exact-shape buffer registered under ``(name, shape, dtype)``.
+
+        Contents are whatever the previous use left behind; every caller
+        must fully overwrite the region it reads back.
+        """
+        key = (name, shape, np.dtype(dtype).str)
+        array = self._exact.get(key)
+        if array is None:
+            array = self._allocate(shape, dtype, zero=False)
+            self._exact[key] = array
+        return array
+
+    def seq_buf(
+        self,
+        name: str,
+        shape: Tuple[int, ...],
+        axis: int,
+        dtype=np.float32,
+        zero: bool = False,
+    ) -> np.ndarray:
+        """A ``shape``-d view of a buffer grown geometrically along ``axis``.
+
+        ``zero`` zero-fills the backing array at (re)allocation only: grown
+        regions start as exact 0.0f, never ``np.empty`` garbage.  Stale
+        values from earlier (shorter) uses are *not* re-zeroed — callers
+        relying on zeros beyond their write extent must mask those
+        positions downstream (the ragged attention path does: masked
+        positions get an exact-zero softmax weight, and ``0.0 * finite``
+        is exactly ``0.0``, so stale finite values cannot perturb a bit).
+        """
+        axis = axis % len(shape)
+        fixed = shape[:axis] + shape[axis + 1 :]
+        key = (name, fixed, axis, np.dtype(dtype).str)
+        needed = shape[axis]
+        array = self._grown.get(key)
+        if array is None or array.shape[axis] < needed:
+            capacity = _INITIAL_CAPACITY if array is None else array.shape[axis]
+            while capacity < needed:
+                capacity *= 2
+            full = shape[:axis] + (capacity,) + shape[axis + 1 :]
+            array = self._allocate(full, dtype, zero=zero)
+            self._grown[key] = array
+        index = (slice(None),) * axis + (slice(0, needed),)
+        return array[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"Workspace(buffers={len(self._exact) + len(self._grown)}, "
+            f"allocations={self.allocations}, "
+            f"bytes={self.bytes_allocated:,})"
+        )
+
+
+__all__ = ["Workspace"]

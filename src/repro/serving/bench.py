@@ -88,6 +88,7 @@ class VariantBenchResult:
     tp: int = 1
     comm: Optional[dict] = None          # measured vs analytic collective traffic
     metrics_snapshot: dict = field(default_factory=dict)
+    profile: Optional[str] = None        # rendered op-level profile (``--profile``)
 
     @property
     def projected_tokens_per_s(self) -> float:
@@ -138,6 +139,7 @@ class VariantBenchResult:
             "projected_tokens_per_s": self.projected_tokens_per_s,
             "comm": self.comm,
             "metrics": self.metrics_snapshot,
+            "profile": self.profile,
         }
         return payload
 
@@ -180,6 +182,11 @@ class ServeBenchReport:
         if comm_lines:
             lines.append("")
             lines.extend(comm_lines)
+        for result in self.results:
+            if result.profile:
+                lines.append("")
+                lines.append(f"op profile — {result.spec} (fast path):")
+                lines.append(result.profile)
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -199,6 +206,7 @@ def bench_variant(
     engine_config: Optional[EngineConfig] = None,
     gpu: Optional[GPUSpec] = None,
     tp: int = 1,
+    profile: bool = False,
 ) -> VariantBenchResult:
     """Replay ``trace`` against one variant and attach the hwmodel projection.
 
@@ -206,6 +214,8 @@ def bench_variant(
     (:class:`~repro.parallel.local.ShardedLlama`, which produces identical
     logits by construction) and the result carries the measured collective
     traffic next to the analytic projection — they must agree byte for byte.
+    With ``profile``, the inference fast path records a per-op wall-time /
+    allocation profile of the whole replay (rank 0's when ``tp > 1``).
     """
     gpu = gpu or get_gpu("a100-80gb")
     serving_model = variant.model
@@ -216,9 +226,25 @@ def bench_variant(
         sharded = ShardedLlama(variant.model, tp)
         serving_model = sharded
     try:
+        profiler = None
+        if profile:
+            from repro.runtime import fastpath
+
+            profiled_context = (
+                sharded.executors[0].context
+                if sharded is not None
+                else variant.model.runtime.context
+            )
+            profiler = fastpath.enable_profiling(profiled_context)
         engine = InferenceEngine(serving_model, config=engine_config)
         replay_trace(engine, trace)
         metrics = engine.metrics
+        profile_table = None
+        if profiler is not None:
+            from repro.runtime import fastpath
+
+            profile_table = profiler.table()
+            fastpath.disable_profiling(profiled_context)
         comm = None
         if sharded is not None:
             measured = sharded.comm_stats().snapshot()
@@ -269,6 +295,7 @@ def bench_variant(
         tp=tp,
         comm=comm,
         metrics_snapshot=metrics.snapshot(),
+        profile=profile_table,
     )
 
 
@@ -280,6 +307,7 @@ def run_serve_bench(
     gpu_name: str = "a100-80gb",
     tp: int = 1,
     seed: Optional[int] = None,
+    profile: bool = False,
 ) -> ServeBenchReport:
     """Replay one trace against every variant of ``base_model``."""
     if not variant_specs:
@@ -290,7 +318,12 @@ def run_serve_bench(
     registry = VariantRegistry(base_model)
     results = [
         bench_variant(
-            registry.get(spec), trace, engine_config=engine_config, gpu=gpu, tp=tp
+            registry.get(spec),
+            trace,
+            engine_config=engine_config,
+            gpu=gpu,
+            tp=tp,
+            profile=profile,
         )
         for spec in variant_specs
     ]

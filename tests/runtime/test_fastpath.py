@@ -1,0 +1,321 @@
+"""Bit-for-bit identity and zero-allocation contracts of the fast path.
+
+The no-grad executor in :mod:`repro.runtime.fastpath` must be
+indistinguishable from the Tensor-graph driver at the byte level: every
+test here compares the two paths on the *same* model with
+``np.testing.assert_array_equal`` — never ``allclose`` — across weight
+flavors (dense / tied / decomposed), cache regimes (stateless / shared KV
+cache / ragged), and world sizes (1 / 2).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.decomposition import DecompositionConfig, decompose_model
+from repro.errors import ShapeError
+from repro.models import build_model
+from repro.models.config import ModelConfig
+from repro.nn import ModelKVCache
+from repro.runtime import OpProfiler, Workspace, causal_mask, fastpath
+from repro.runtime.decode import _TokenRow
+
+TINY = ModelConfig(
+    name="tiny-fast",
+    family="llama",
+    vocab_size=97,
+    dim=32,
+    n_layers=2,
+    n_heads=4,
+    mlp_hidden=40,
+    max_seq_len=64,
+    n_kv_heads=2,
+)
+
+FLAVORS = ("dense", "tied", "decomposed")
+WORLD_SIZES = (1, 2)
+
+
+def build_tiny(flavor: str):
+    config = replace(TINY, tie_lm_head=(flavor == "tied"))
+    model = build_model(config, rng=np.random.default_rng(0))
+    model.eval()
+    if flavor == "decomposed":
+        decompose_model(
+            model,
+            DecompositionConfig(
+                layers=(0,), roles=("w_q", "w_u", "w_d"), rank=4
+            ),
+        )
+        model.eval()
+    return model
+
+
+def make_runner(model, world_size: int):
+    if world_size == 1:
+        return model, None
+    from repro.parallel import ShardedLlama
+
+    sharded = ShardedLlama(model, world_size)
+    return sharded, sharded
+
+
+def tokens_for(config, batch, seq_len, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, config.vocab_size, size=(batch, seq_len), dtype=np.int64)
+
+
+@pytest.mark.parametrize("flavor", FLAVORS)
+@pytest.mark.parametrize("world_size", WORLD_SIZES)
+class TestFastPathIdentity:
+    def test_stateless_forward_bit_equal(self, flavor, world_size):
+        model = build_tiny(flavor)
+        runner, sharded = make_runner(model, world_size)
+        try:
+            tokens = tokens_for(model.config, 2, 9)
+            with fastpath.disabled():
+                reference = runner.forward(tokens).data
+            fast = runner.forward(tokens).data
+            np.testing.assert_array_equal(reference, fast)
+        finally:
+            if sharded is not None:
+                sharded.close()
+
+    def test_cached_prefill_and_decode_bit_equal(self, flavor, world_size):
+        model = build_tiny(flavor)
+        runner, sharded = make_runner(model, world_size)
+        try:
+            tokens = tokens_for(model.config, 1, 8)
+            with fastpath.disabled():
+                ref_cache = runner.make_cache()
+                ref_prefill = runner.forward_cached(tokens[:, :6], ref_cache).data
+                ref_steps = [
+                    runner.forward_cached(tokens[:, i : i + 1], ref_cache).data
+                    for i in range(6, 8)
+                ]
+            cache = runner.make_cache()
+            np.testing.assert_array_equal(
+                ref_prefill, runner.forward_cached(tokens[:, :6], cache).data
+            )
+            for i, reference in zip(range(6, 8), ref_steps):
+                fast = runner.forward_cached(tokens[:, i : i + 1], cache).data
+                np.testing.assert_array_equal(reference, fast)
+        finally:
+            if sharded is not None:
+                sharded.close()
+
+    def test_ragged_bit_equal(self, flavor, world_size):
+        model = build_tiny(flavor)
+        if world_size == 1:
+            forward_ragged = model.runtime.forward_ragged
+
+            def make_row_cache():
+                return ModelKVCache(model.config.n_layers)
+
+            sharded = None
+        else:
+            from repro.parallel import ShardedLlama
+
+            sharded = ShardedLlama(model, world_size)
+            forward_ragged = sharded.forward_ragged
+            make_row_cache = sharded.make_cache
+        try:
+            step = tokens_for(model.config, 2, 3)
+            lengths = np.array([3, 2])
+            with fastpath.disabled():
+                reference = forward_ragged(
+                    step, [make_row_cache() for _ in range(2)], lengths
+                ).data
+            fast = forward_ragged(
+                step, [make_row_cache() for _ in range(2)], lengths
+            ).data
+            for row, valid in enumerate(lengths):
+                # Padded tail positions are garbage by contract in both paths.
+                np.testing.assert_array_equal(
+                    reference[row, :valid], fast[row, :valid]
+                )
+        finally:
+            if sharded is not None:
+                sharded.close()
+
+
+class TestFastPathSelection:
+    def test_training_mode_keeps_tensor_path(self):
+        model = build_tiny("dense")
+        model.train()
+        assert fastpath.active_state(model.runtime.context) is None
+        model.eval()
+        assert fastpath.active_state(model.runtime.context) is not None
+
+    def test_decomposition_swap_invalidates_state(self):
+        model = build_tiny("dense")
+        before = fastpath.active_state(model.runtime.context)
+        decompose_model(
+            model, DecompositionConfig(layers=(0,), roles=("w_q",), rank=2)
+        )
+        model.eval()
+        after = fastpath.active_state(model.runtime.context)
+        assert after is not None and after is not before
+        assert after.layers[0].proj["w_q"].u1 is not None
+
+    def test_disabled_context_manager_restores(self):
+        model = build_tiny("dense")
+        with fastpath.disabled():
+            assert fastpath.active_state(model.runtime.context) is None
+        assert fastpath.active_state(model.runtime.context) is not None
+
+    def test_fast_logits_require_no_grad_semantics(self):
+        model = build_tiny("dense")
+        logits = model.forward(tokens_for(model.config, 1, 4))
+        assert logits._backward is None and not logits.requires_grad
+
+
+class TestZeroAllocationDecode:
+    def test_warm_decode_loop_allocates_nothing(self):
+        model = build_tiny("dense")
+        tokens = tokens_for(model.config, 1, 6)
+        cache = model.make_cache()
+        model.forward_cached(tokens, cache)
+        step = tokens[:, :1]
+        # Warm past the seq_buf capacity boundaries (scores grow with the
+        # cache) before snapshotting the counters.
+        for _ in range(40):
+            model.forward_cached(step, cache)
+        workspace = model.runtime.workspace
+        assert workspace is not None and workspace.allocations > 0
+        allocations = workspace.allocations
+        nbytes = workspace.bytes_allocated
+        for _ in range(10):
+            model.forward_cached(step, cache)
+        assert workspace.allocations == allocations
+        assert workspace.bytes_allocated == nbytes
+
+    def test_ragged_steady_state_allocates_nothing(self):
+        model = build_tiny("dense")
+        caches = [ModelKVCache(model.config.n_layers) for _ in range(2)]
+        step = tokens_for(model.config, 2, 1)
+        lengths = np.array([1, 1])
+        for _ in range(40):
+            model.runtime.forward_ragged(step, caches, lengths)
+        workspace = model.runtime.workspace
+        allocations = workspace.allocations
+        for _ in range(10):
+            model.runtime.forward_ragged(step, caches, lengths)
+        assert workspace.allocations == allocations
+
+
+class TestFastPathErrors:
+    def test_ragged_length_errors_survive_fast_path(self):
+        model = build_tiny("dense")
+        assert fastpath.active_state(model.runtime.context) is not None
+        step = np.ones((2, 3), dtype=np.int64)
+        caches = [ModelKVCache(model.config.n_layers) for _ in range(2)]
+        with pytest.raises(ShapeError, match="out of range"):
+            model.runtime.forward_ragged(step, caches, np.array([3, 4]))
+
+    def test_embedding_range_error_survives_fast_path(self):
+        model = build_tiny("dense")
+        bad = np.full((1, 3), model.config.vocab_size, dtype=np.int64)
+        with pytest.raises(ShapeError, match="out of range"):
+            model.forward(bad)
+
+    def test_pad_mask_shape_error_survives_fast_path(self):
+        model = build_tiny("dense")
+        tokens = tokens_for(model.config, 2, 4)
+        with pytest.raises(ShapeError, match="pad_mask"):
+            model.forward(tokens, pad_mask=np.zeros((2, 5), dtype=bool))
+
+    def test_rope_overflow_error_survives_fast_path(self):
+        model = build_tiny("dense")
+        cache = model.make_cache()
+        step = tokens_for(model.config, 1, 1)
+        model.forward_cached(tokens_for(model.config, 1, TINY.max_seq_len), cache)
+        with pytest.raises(ShapeError, match="RoPE"):
+            model.forward_cached(step, cache)
+
+
+class TestCausalMaskCache:
+    def test_same_key_returns_same_readonly_array(self):
+        first = causal_mask(5, offset=3)
+        second = causal_mask(5, offset=3)
+        assert first is second
+        assert not first.flags.writeable
+
+    def test_mask_values_unchanged(self):
+        mask = causal_mask(3, offset=2)
+        total = 5
+        expected = np.arange(total)[None, :] > (2 + np.arange(3)[:, None])
+        np.testing.assert_array_equal(mask, expected)
+
+
+class TestWorkspace:
+    def test_buf_reuses_by_name_shape_dtype(self):
+        workspace = Workspace()
+        a = workspace.buf("x", (2, 3))
+        b = workspace.buf("x", (2, 3))
+        c = workspace.buf("x", (2, 4))
+        assert a is b and a is not c
+        assert workspace.allocations == 2
+
+    def test_seq_buf_grows_geometrically(self):
+        workspace = Workspace()
+        view = workspace.seq_buf("s", (2, 5), axis=1)
+        assert view.shape == (2, 5)
+        backing_allocs = workspace.allocations
+        # within capacity: no new backing array
+        workspace.seq_buf("s", (2, 30), axis=1)
+        assert workspace.allocations == backing_allocs
+        workspace.seq_buf("s", (2, 33), axis=1)
+        assert workspace.allocations == backing_allocs + 1
+
+    def test_seq_buf_zero_fills_on_allocation(self):
+        workspace = Workspace()
+        view = workspace.seq_buf("z", (2, 4), axis=1, zero=True)
+        np.testing.assert_array_equal(view, np.zeros((2, 4), dtype=np.float32))
+
+
+class TestOpProfiler:
+    def test_records_fast_path_ops(self):
+        model = build_tiny("dense")
+        profiler = model.runtime.enable_profiling()
+        model.forward(tokens_for(model.config, 1, 5))
+        assert isinstance(profiler, OpProfiler)
+        ops = profiler.to_dict()
+        assert "layer0.w_q" in ops and "lm_head" in ops
+        assert ops["layer0.w_q"]["calls"] == 1
+        rolled = profiler.rollup()
+        assert rolled["w_q"]["calls"] == model.config.n_layers
+        assert "w_q" in profiler.table()
+        model.runtime.disable_profiling()
+        assert model.runtime.profiler is None
+
+    def test_warm_loop_bytes_column_goes_to_zero(self):
+        model = build_tiny("dense")
+        cache = model.make_cache()
+        tokens = tokens_for(model.config, 1, 4)
+        model.forward_cached(tokens, cache)
+        for _ in range(40):
+            model.forward_cached(tokens[:, :1], cache)
+        profiler = model.runtime.enable_profiling()
+        for _ in range(5):
+            model.forward_cached(tokens[:, :1], cache)
+        assert all(rec["bytes"] == 0 for rec in profiler.to_dict().values())
+
+
+class TestTokenRow:
+    def test_append_growth_preserves_tokens(self):
+        row = _TokenRow(np.array([[3, 1, 4]]), reserve=2)
+        buffer_before = row._buf
+        for token in range(20):
+            row.append(token)
+        assert row._buf is not buffer_before  # grew past the reserve
+        np.testing.assert_array_equal(
+            row.row[0], np.array([3, 1, 4] + list(range(20)))
+        )
+
+    def test_row_is_view_until_growth(self):
+        row = _TokenRow(np.array([[7]]), reserve=8)
+        view = row.row
+        row.append(9)
+        assert row.row.base is view.base
