@@ -19,6 +19,12 @@ Commands
   [--json PATH]`` — measure prefill/decode tokens-per-second of the
   Tensor-graph driver vs. the no-grad fast path per variant and
   tensor-parallel degree, verifying bit-identical logits along the way.
+  With ``--speculative`` it instead benchmarks speculative decoding:
+  low-rank drafters (``--drafters``) propose ``--spec-k`` tokens per cycle
+  on a spectrum-shaped model, the dense model verifies, and every cell
+  checks token identity with dense greedy decoding while reporting the
+  measured acceptance rate and effective tokens/s.  ``serve-bench
+  --speculative DRAFTER[:K]`` serves a whole Poisson trace that way.
 """
 
 from __future__ import annotations
@@ -111,11 +117,23 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         new_tokens=_parse_range(args.new_tokens, "--new-tokens"),
         seed=args.seed,
     )
+    drafter_spec = None
+    spec_k = 4
+    if args.speculative:
+        drafter_spec, _, k_text = args.speculative.partition(":")
+        if k_text:
+            try:
+                spec_k = int(k_text)
+            except ValueError:
+                raise SystemExit(
+                    f"--speculative expects DRAFTER[:K], got {args.speculative!r}"
+                )
     engine_config = EngineConfig(
         max_batch=args.max_batch,
         token_budget=args.token_budget,
         n_blocks=args.blocks,
         block_tokens=args.block_tokens,
+        spec_k=spec_k,
     )
     variants = [spec.strip() for spec in args.variants.split(",") if spec.strip()]
     report = run_serve_bench(
@@ -127,6 +145,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         tp=args.tp,
         seed=args.seed,
         profile=args.profile,
+        drafter_spec=drafter_spec,
     )
     print(report.table())
     print()
@@ -152,13 +171,38 @@ def _cmd_bench_decode(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.models import build_model, get_config
-    from repro.runtime.benchmark import run_decode_bench
+    from repro.runtime.benchmark import run_decode_bench, run_spec_bench
 
     config = get_config(args.model)
     model = build_model(config, rng=np.random.default_rng(args.seed))
     model.eval()
-    variants = [spec.strip() for spec in args.variants.split(",") if spec.strip()]
     tp_degrees = [int(t) for t in args.tp.split(",") if t.strip()]
+    if args.speculative:
+        drafters = [d.strip() for d in args.drafters.split(",") if d.strip()]
+        k_values = [int(k) for k in args.spec_k.split(",") if k.strip()]
+        report = run_spec_bench(
+            model,
+            drafter_specs=drafters,
+            k_values=k_values,
+            tp_degrees=tp_degrees,
+            prompt_tokens=args.prompt_tokens,
+            new_tokens=args.new_tokens,
+            seed=args.seed,
+            decay=args.spec_decay,
+        )
+        print(report.table())
+        if args.json:
+            import json
+            from pathlib import Path
+
+            path = Path(args.json)
+            path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+            print(f"wrote {path}")
+        if not report.all_tokens_match:
+            print("ERROR: speculative output diverged from dense greedy decoding")
+            return 1
+        return 0
+    variants = [spec.strip() for spec in args.variants.split(",") if spec.strip()]
     report = run_decode_bench(
         model,
         variant_specs=variants,
@@ -264,6 +308,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record and print the fast path's per-op wall-time profile",
     )
+    serve.add_argument(
+        "--speculative",
+        default=None,
+        metavar="DRAFTER[:K]",
+        help=(
+            "serve every request speculatively: the variant verifies K "
+            "(default 4) drafts per cycle from this drafter spec, e.g. "
+            "rank8 or rank1:8"
+        ),
+    )
     serve.set_defaults(func=_cmd_serve_bench)
 
     bench_decode = sub.add_parser(
@@ -289,6 +343,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="record and print the fast path's per-op wall-time profile",
+    )
+    bench_decode.add_argument(
+        "--speculative",
+        action="store_true",
+        help=(
+            "benchmark speculative decoding instead: low-rank drafters "
+            "propose tokens, the dense model verifies (token-identical by "
+            "contract); reports acceptance rate and effective tok/s vs the "
+            "dense fast path"
+        ),
+    )
+    bench_decode.add_argument(
+        "--drafters",
+        default="rank8,rank1",
+        help="comma-separated drafter specs for --speculative",
+    )
+    bench_decode.add_argument(
+        "--spec-k",
+        default="4",
+        help="comma-separated draft lengths K for --speculative",
+    )
+    bench_decode.add_argument(
+        "--spec-decay",
+        type=float,
+        default=0.5,
+        help=(
+            "singular-spectrum decay imposed on the benchmark model's "
+            "weights (trained-weight regime; 0 disables shaping)"
+        ),
     )
     bench_decode.set_defaults(func=_cmd_bench_decode)
 

@@ -15,6 +15,7 @@ from repro.decomposition.apply import (
     decompose_model,
     decomposed,
     restore,
+    shape_model_spectrum,
 )
 from repro.decomposition.config import DecompositionConfig
 from repro.decomposition.cp import CPResult, cp_als, cp_matrix, cp_parameters, khatri_rao
@@ -64,6 +65,7 @@ from repro.decomposition.space import (
 from repro.decomposition.svd import (
     best_rank_k_approximation,
     effective_rank,
+    impose_spectrum,
     randomized_svd,
     singular_values,
     truncated_svd,
@@ -94,6 +96,7 @@ __all__ = [
     "decompose_model",
     "decomposed",
     "restore",
+    "shape_model_spectrum",
     "tucker2",
     "hoi",
     "hosvd",
@@ -107,6 +110,7 @@ __all__ = [
     "best_rank_k_approximation",
     "singular_values",
     "effective_rank",
+    "impose_spectrum",
     "compression_ratio",
     "factorized_parameters",
     "dense_parameters",

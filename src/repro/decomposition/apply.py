@@ -122,6 +122,35 @@ def decompose_model(model, config: DecompositionConfig) -> DecompositionReport:
     return report
 
 
+def shape_model_spectrum(model, decay: float = 0.5) -> int:
+    """Impose an exponentially decaying singular spectrum on every
+    decomposable weight of ``model``, in place; returns the tensor count.
+
+    See :func:`~repro.decomposition.svd.impose_spectrum` — this puts a
+    randomly initialized model into the "draftable" regime where its
+    low-rank variants track it closely, as trained weights do.  Must run
+    *before* any variant is materialized (slots must still hold dense
+    :class:`~repro.nn.Linear` layers).
+    """
+    from repro.decomposition.svd import impose_spectrum
+
+    shaped = 0
+    for layer in range(model.config.n_layers):
+        for role in model.tensor_roles:
+            owner, attribute = model.tensor_slot(layer, role)
+            module = getattr(owner, attribute)
+            if not isinstance(module, Linear):
+                raise DecompositionError(
+                    f"tensor slot ({layer}, {role}) holds "
+                    f"{type(module).__name__}; shape the spectrum before "
+                    "decomposing"
+                )
+            weight = module.weight.data
+            weight[...] = impose_spectrum(weight, decay).astype(weight.dtype)
+            shaped += 1
+    return shaped
+
+
 def restore(model, report: DecompositionReport) -> None:
     """Undo :func:`decompose_model`, reinstating the original dense layers."""
     for (layer, role), original in report._originals.items():

@@ -189,6 +189,7 @@ class LlamaModel(Module):
         max_new_tokens: int,
         stop_token: Optional[int] = None,
         use_cache: bool = True,
+        speculative=None,
     ) -> np.ndarray:
         """Greedy decoding used by the GSM8K-style generative benchmark.
 
@@ -196,9 +197,16 @@ class LlamaModel(Module):
         new token runs a single-position forward pass against the KV cache;
         without it, the full window is recomputed per token (kept as the
         reference implementation — both paths produce identical tokens).
+        ``speculative`` (a drafter model or
+        :class:`~repro.runtime.speculative.SpeculativeConfig`) switches to
+        the drafter/verifier loop; the output tokens are unchanged.
         """
         return DecodeSession(self).generate(
-            prompt, max_new_tokens, stop_token=stop_token, use_cache=use_cache
+            prompt,
+            max_new_tokens,
+            stop_token=stop_token,
+            use_cache=use_cache,
+            speculative=speculative,
         )
 
     def forward_ragged(

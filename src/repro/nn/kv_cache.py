@@ -106,6 +106,22 @@ class LayerKVCache:
         self._len += new_tokens
         return self.keys, self.values
 
+    def truncate(self, length: int) -> None:
+        """Roll the cache back to its first ``length`` positions.
+
+        Speculative decoding appends draft positions optimistically and
+        discards the rejected suffix; truncation is O(1) — the buffer keeps
+        its capacity and later appends overwrite the abandoned slots.
+        """
+        length = int(length)
+        if length < 0:
+            raise ShapeError(f"cannot truncate to negative length {length}")
+        if length > self._len:
+            raise ShapeError(
+                f"cannot truncate to {length}: cache holds {self._len} positions"
+            )
+        self._len = length
+
 
 class ModelKVCache:
     """Per-layer caches plus the global position counter."""
@@ -118,6 +134,11 @@ class ModelKVCache:
     @property
     def seq_len(self) -> int:
         return self.layers[0].seq_len
+
+    def truncate(self, length: int) -> None:
+        """Roll every layer back to ``length`` positions (draft rollback)."""
+        for layer in self.layers:
+            layer.truncate(length)
 
     def __getitem__(self, index: int) -> LayerKVCache:
         return self.layers[index]

@@ -54,6 +54,16 @@ class ShardedSequenceCache:
         for cache in self.rank_caches:
             cache.reserve(new_tokens)
 
+    def truncate(self, length: int) -> None:
+        """Roll every rank's cache slice back to ``length`` positions.
+
+        Ranks receive identical append/truncate sequences, so the slices
+        stay in lockstep — the speculative rollback works under tensor
+        parallelism exactly as it does canonically.
+        """
+        for cache in self.rank_caches:
+            cache.truncate(length)
+
     def free(self) -> None:
         for cache in self.rank_caches:
             cache.free()

@@ -26,6 +26,11 @@ from repro.runtime.driver import (
     swiglu_mlp,
 )
 from repro.runtime.profiler import OpProfiler
+from repro.runtime.speculative import (
+    SpecStats,
+    SpeculativeConfig,
+    SpeculativeSession,
+)
 from repro.runtime.workspace import Workspace
 from repro.runtime.program import (
     AttentionSpec,
@@ -49,6 +54,9 @@ __all__ = [
     "ModelRuntime",
     "OpProfiler",
     "OpSpec",
+    "SpecStats",
+    "SpeculativeConfig",
+    "SpeculativeSession",
     "Workspace",
     "attention",
     "build_layer_program",

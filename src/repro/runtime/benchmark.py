@@ -263,9 +263,236 @@ def run_decode_bench(
     )
 
 
+DEFAULT_DRAFTERS = ("rank8", "rank1")
+DEFAULT_SPEC_K = (4,)
+DEFAULT_SPEC_DECAY = 0.5
+
+
+@dataclass(frozen=True)
+class SpecBenchCell:
+    """One measured (drafter, K, tensor-parallel degree) speculative cell."""
+
+    drafter: str
+    k: int
+    tp: int
+    tokens_match: bool                # identical to dense greedy output
+    acceptance_rate: float
+    drafted: int
+    accepted: int
+    baseline_tokens_per_s: float      # dense fast-path generation at this tp
+    effective_tokens_per_s: float     # speculative committed tokens per sec
+
+    @property
+    def speedup(self) -> float:
+        if self.baseline_tokens_per_s == 0.0:
+            return 0.0
+        return self.effective_tokens_per_s / self.baseline_tokens_per_s
+
+    def summary_line(self) -> str:
+        verdict = "exact" if self.tokens_match else "TOKEN MISMATCH"
+        return (
+            f"{self.drafter:>8} K={self.k} tp={self.tp}  "
+            f"accept {self.acceptance_rate:5.1%} ({self.accepted}/{self.drafted})  "
+            f"effective {self.effective_tokens_per_s:7.1f} tok/s vs dense "
+            f"{self.baseline_tokens_per_s:7.1f} tok/s "
+            f"({self.speedup:4.2f}x)  [{verdict}]"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "drafter": self.drafter,
+            "k": self.k,
+            "tp": self.tp,
+            "tokens_match": self.tokens_match,
+            "acceptance_rate": self.acceptance_rate,
+            "drafted": self.drafted,
+            "accepted": self.accepted,
+            "baseline_tokens_per_s": self.baseline_tokens_per_s,
+            "effective_tokens_per_s": self.effective_tokens_per_s,
+            "speedup": self.speedup,
+        }
+
+
+@dataclass(frozen=True)
+class SpecBenchReport:
+    """Speculative-decoding measurement across drafters, K, and tp."""
+
+    model: str
+    prompt_tokens: int
+    new_tokens: int
+    seed: int
+    decay: float
+    cells: List[SpecBenchCell] = field(default_factory=list)
+
+    @property
+    def all_tokens_match(self) -> bool:
+        return all(cell.tokens_match for cell in self.cells)
+
+    @property
+    def max_acceptance_rate(self) -> float:
+        return max((cell.acceptance_rate for cell in self.cells), default=0.0)
+
+    @property
+    def best_speedup_tp1(self) -> float:
+        """Best effective speedup over the dense fast path at tp=1 — the
+        number the acceptance criterion gates on."""
+        tp1 = [cell.speedup for cell in self.cells if cell.tp == 1]
+        return max(tp1) if tp1 else 0.0
+
+    def table(self) -> str:
+        header = (
+            f"bench-decode --speculative: {self.model}, "
+            f"prompt={self.prompt_tokens}, new={self.new_tokens}, "
+            f"spectrum decay={self.decay} (drafter drafts, dense verifies)"
+        )
+        lines = [header, "-" * len(header)]
+        lines.extend(cell.summary_line() for cell in self.cells)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "prompt_tokens": self.prompt_tokens,
+            "new_tokens": self.new_tokens,
+            "seed": self.seed,
+            "decay": self.decay,
+            "all_tokens_match": self.all_tokens_match,
+            "max_acceptance_rate": self.max_acceptance_rate,
+            "best_speedup_tp1": self.best_speedup_tp1,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+
+_TIMING_REPEATS = 5  # best-of-N: one 48-token generate is noise-dominated
+
+
+def _timed_cell(verifier, drafter, k: int, prompt: np.ndarray, new_tokens: int):
+    """Best-of-N timing of the dense and speculative arms, *interleaved*.
+
+    Returns ``(reference, tokens, baseline_tok_s, effective_tok_s, stats)``.
+    The two arms alternate inside one measurement window so that
+    machine-speed drift (single-CPU CI runners throttle unpredictably on
+    hundreds-of-ms scales) hits both equally and cancels out of the
+    speedup ratio; timing them minutes apart makes the ratio noise, not
+    measurement.  Each arm keeps its best (minimum-wall) repeat.
+    """
+    from repro.runtime.decode import DecodeSession
+    from repro.runtime.speculative import SpeculativeSession
+
+    dense = DecodeSession(verifier)
+    dense.generate(prompt, new_tokens)  # warmup: arena + BLAS
+    SpeculativeSession(verifier, drafter, k=k).generate(prompt, new_tokens)
+    dense_wall = spec_wall = float("inf")
+    for _ in range(_TIMING_REPEATS):
+        start = perf_counter()
+        reference = dense.generate(prompt, new_tokens)
+        dense_wall = min(dense_wall, max(perf_counter() - start, 1e-12))
+        session = SpeculativeSession(verifier, drafter, k=k)
+        start = perf_counter()
+        tokens = session.generate(prompt, new_tokens)
+        spec_wall = min(spec_wall, max(perf_counter() - start, 1e-12))
+    return (
+        reference,
+        tokens,
+        new_tokens / dense_wall,
+        new_tokens / spec_wall,
+        session.stats,
+    )
+
+
+def run_spec_bench(
+    base_model,
+    drafter_specs: Sequence[str] = DEFAULT_DRAFTERS,
+    k_values: Sequence[int] = DEFAULT_SPEC_K,
+    tp_degrees: Sequence[int] = (1,),
+    prompt_tokens: int = 32,
+    new_tokens: int = 48,
+    seed: int = 0,
+    decay: float = DEFAULT_SPEC_DECAY,
+) -> SpecBenchReport:
+    """Measure speculative decoding against the dense fast-path baseline.
+
+    The benchmark runs on a *spectrum-shaped* clone of ``base_model``:
+    every decomposable weight is rebuilt with exponentially decaying
+    singular values (``decay`` per index), the regime trained transformer
+    weights live in and the one where a low-rank drafter tracks the dense
+    model closely enough to pay for itself.  (On raw random weights every
+    drafter's acceptance rate is ~0 — measurable, but it characterizes the
+    initialization, not the method.)  The dense baseline and all verifier
+    forwards run the same shaped clone, so token identity is still checked
+    end to end: each cell's speculative output must equal the dense greedy
+    output of the same model.
+    """
+    from repro.decomposition.apply import shape_model_spectrum
+    from repro.models import build_model
+    from repro.serving.variants import VariantRegistry
+
+    if not drafter_specs:
+        raise ConfigError("at least one drafter spec is required")
+    if not k_values or any(k < 1 for k in k_values):
+        raise ConfigError(f"k values must be >= 1, got {list(k_values)}")
+    if prompt_tokens < 1 or new_tokens < 2:
+        raise ConfigError(
+            f"need prompt_tokens >= 1 and new_tokens >= 2, got "
+            f"{prompt_tokens} and {new_tokens}"
+        )
+    shaped = build_model(base_model.config)
+    shaped.load_state_dict(base_model.state_dict())
+    shape_model_spectrum(shaped, decay)
+    shaped.eval()
+    registry = VariantRegistry(shaped)
+    rng = np.random.default_rng(seed)
+    prompt = rng.integers(
+        0, base_model.config.vocab_size, size=(1, prompt_tokens), dtype=np.int64
+    )
+    cells = []
+    for tp in tp_degrees:
+        verifier = shaped
+        sharded = None
+        if tp > 1:
+            from repro.parallel import ShardedLlama
+
+            sharded = ShardedLlama(shaped, tp)
+            verifier = sharded
+        try:
+            for spec in drafter_specs:
+                drafter = registry.get(spec).model
+                for k in k_values:
+                    reference, tokens, baseline, effective, stats = _timed_cell(
+                        verifier, drafter, k, prompt, new_tokens
+                    )
+                    cells.append(
+                        SpecBenchCell(
+                            drafter=spec,
+                            k=k,
+                            tp=tp,
+                            tokens_match=bool(np.array_equal(tokens, reference)),
+                            acceptance_rate=stats.acceptance_rate,
+                            drafted=stats.drafted,
+                            accepted=stats.accepted,
+                            baseline_tokens_per_s=baseline,
+                            effective_tokens_per_s=effective,
+                        )
+                    )
+        finally:
+            if sharded is not None:
+                sharded.close()
+    return SpecBenchReport(
+        model=base_model.config.name,
+        prompt_tokens=prompt_tokens,
+        new_tokens=new_tokens,
+        seed=seed,
+        decay=decay,
+        cells=cells,
+    )
+
+
 __all__ = [
     "DecodeBenchCell",
     "DecodeBenchReport",
     "PathTiming",
+    "SpecBenchCell",
+    "SpecBenchReport",
     "run_decode_bench",
+    "run_spec_bench",
 ]

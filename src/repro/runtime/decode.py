@@ -131,6 +131,9 @@ class DecodeSession:
                 f"make_cache(); got {type(model).__name__}"
             )
         self.model = model
+        # Populated by generate(speculative=...) with the cycle counters of
+        # the most recent speculative run.
+        self.spec_stats = None
 
     @staticmethod
     def supports(model) -> bool:
@@ -143,6 +146,7 @@ class DecodeSession:
         max_new_tokens: int,
         stop_token: Optional[int] = None,
         use_cache: bool = True,
+        speculative=None,
     ) -> np.ndarray:
         """Greedily extend ``prompt`` by up to ``max_new_tokens`` tokens.
 
@@ -150,7 +154,30 @@ class DecodeSession:
         new token runs a single-position forward pass against the KV cache;
         without it, the full window is recomputed per token (kept as the
         reference implementation — both paths produce identical tokens).
+
+        ``speculative`` — a
+        :class:`~repro.runtime.speculative.SpeculativeConfig` or a bare
+        drafter model — routes the generation through the drafter/verifier
+        loop instead; the tokens are guaranteed identical, only the forward
+        schedule changes.  Counters land on ``self.spec_stats``.
         """
+        if speculative is not None:
+            if not use_cache:
+                raise ConfigError(
+                    "speculative decoding requires the cached decode path "
+                    "(use_cache=True)"
+                )
+            from repro.runtime.speculative import SpeculativeConfig, SpeculativeSession
+
+            config = (
+                speculative
+                if isinstance(speculative, SpeculativeConfig)
+                else SpeculativeConfig(speculative)
+            )
+            session = SpeculativeSession.from_config(self.model, config)
+            out = session.generate(prompt, max_new_tokens, stop_token=stop_token)
+            self.spec_stats = session.stats
+            return out
         tokens = _as_prompt_row(prompt)
         if not use_cache:
             return self._generate_recompute(tokens, max_new_tokens, stop_token)

@@ -33,10 +33,13 @@ def replay_trace(
     engine: InferenceEngine,
     trace: Sequence[TraceRequest],
     max_steps: int = 1000000,
+    speculative: bool = False,
 ) -> List[GenerationRequest]:
     """Replay ``trace`` through ``engine`` on a virtual clock.
 
     Returns the engine's request objects in trace order, all terminal.
+    With ``speculative`` every request decodes through the engine's
+    drafter/verifier loop (the engine must have been built with a drafter).
     """
     pending = sorted(trace, key=lambda r: r.arrival_time)
     submitted: List[GenerationRequest] = []
@@ -51,6 +54,7 @@ def replay_trace(
                     arrival.prompt,
                     arrival.max_new_tokens,
                     now=arrival.arrival_time,
+                    speculative=speculative,
                 )
             )
             cursor += 1
@@ -89,19 +93,31 @@ class VariantBenchResult:
     comm: Optional[dict] = None          # measured vs analytic collective traffic
     metrics_snapshot: dict = field(default_factory=dict)
     profile: Optional[str] = None        # rendered op-level profile (``--profile``)
+    drafter: Optional[str] = None        # drafter spec when serving speculatively
+    spec_acceptance_rate: float = 0.0
+    spec_drafted: int = 0
+    spec_accepted: int = 0
+    spec_fallbacks: int = 0
 
     @property
     def projected_tokens_per_s(self) -> float:
         return self.projection.tokens_per_second
 
     def summary_line(self) -> str:
-        return (
+        line = (
             f"{self.spec:>8}  pr={100 * self.parameter_reduction:5.1f}%  "
             f"ok={self.finished}/{self.n_requests}  "
             f"ttft p50={1e3 * self.ttft_p50_s:7.1f}ms p95={1e3 * self.ttft_p95_s:7.1f}ms  "
             f"decode={self.decode_tokens_per_s:8.1f} tok/s  "
             f"projected={self.projected_tokens_per_s:10.0f} tok/s"
         )
+        if self.drafter is not None:
+            line += (
+                f"  spec[{self.drafter}] accept={self.spec_acceptance_rate:5.1%}"
+                f" ({self.spec_accepted}/{self.spec_drafted},"
+                f" fallbacks={self.spec_fallbacks})"
+            )
+        return line
 
     def comm_line(self) -> Optional[str]:
         """Measured all-gather bytes next to the analytic projection."""
@@ -140,6 +156,11 @@ class VariantBenchResult:
             "comm": self.comm,
             "metrics": self.metrics_snapshot,
             "profile": self.profile,
+            "drafter": self.drafter,
+            "spec_acceptance_rate": self.spec_acceptance_rate,
+            "spec_drafted": self.spec_drafted,
+            "spec_accepted": self.spec_accepted,
+            "spec_fallbacks": self.spec_fallbacks,
         }
         return payload
 
@@ -207,6 +228,7 @@ def bench_variant(
     gpu: Optional[GPUSpec] = None,
     tp: int = 1,
     profile: bool = False,
+    drafter: Optional[ModelVariant] = None,
 ) -> VariantBenchResult:
     """Replay ``trace`` against one variant and attach the hwmodel projection.
 
@@ -216,6 +238,10 @@ def bench_variant(
     traffic next to the analytic projection — they must agree byte for byte.
     With ``profile``, the inference fast path records a per-op wall-time /
     allocation profile of the whole replay (rank 0's when ``tp > 1``).
+    With ``drafter``, the variant *verifies* that drafter's speculative
+    proposals: every request decodes through the engine's speculative mode
+    (``engine_config.spec_k`` drafts per cycle) and the result carries the
+    measured acceptance rate; committed tokens still equal plain decoding.
     """
     gpu = gpu or get_gpu("a100-80gb")
     serving_model = variant.model
@@ -236,8 +262,12 @@ def bench_variant(
                 else variant.model.runtime.context
             )
             profiler = fastpath.enable_profiling(profiled_context)
-        engine = InferenceEngine(serving_model, config=engine_config)
-        replay_trace(engine, trace)
+        engine = InferenceEngine(
+            serving_model,
+            config=engine_config,
+            drafter=None if drafter is None else drafter.model,
+        )
+        replay_trace(engine, trace, speculative=drafter is not None)
         metrics = engine.metrics
         profile_table = None
         if profiler is not None:
@@ -296,6 +326,11 @@ def bench_variant(
         comm=comm,
         metrics_snapshot=metrics.snapshot(),
         profile=profile_table,
+        drafter=None if drafter is None else drafter.spec,
+        spec_acceptance_rate=metrics.spec_acceptance_rate,
+        spec_drafted=metrics.spec_drafted,
+        spec_accepted=metrics.spec_accepted,
+        spec_fallbacks=metrics.spec_fallbacks,
     )
 
 
@@ -308,14 +343,21 @@ def run_serve_bench(
     tp: int = 1,
     seed: Optional[int] = None,
     profile: bool = False,
+    drafter_spec: Optional[str] = None,
 ) -> ServeBenchReport:
-    """Replay one trace against every variant of ``base_model``."""
+    """Replay one trace against every variant of ``base_model``.
+
+    ``drafter_spec`` (e.g. ``"rank8"``) serves every variant speculatively:
+    the variant verifies drafts from that (shared-registry) drafter model,
+    and each result row reports the measured acceptance rate.
+    """
     if not variant_specs:
         raise ServingError("at least one variant spec is required")
     if tp < 1:
         raise ServingError(f"tensor-parallel degree must be >= 1, got {tp}")
     gpu = get_gpu(gpu_name)
     registry = VariantRegistry(base_model)
+    drafter = None if drafter_spec is None else registry.get(drafter_spec)
     results = [
         bench_variant(
             registry.get(spec),
@@ -324,6 +366,7 @@ def run_serve_bench(
             gpu=gpu,
             tp=tp,
             profile=profile,
+            drafter=drafter,
         )
         for spec in variant_specs
     ]

@@ -46,6 +46,8 @@ class EngineConfig:
     n_blocks: int = 256         # KV pool size, in blocks
     block_tokens: int = 16      # token slots per block
     max_queue: int = 4096       # admission queue bound
+    spec_k: int = 4             # draft tokens per speculative cycle
+    spec_blocks: Optional[int] = None  # drafter KV pool size (None: n_blocks)
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0 or self.token_budget <= 0:
@@ -57,6 +59,10 @@ class EngineConfig:
             )
         if self.max_queue <= 0:
             raise ServingError("max_queue must be positive")
+        if self.spec_k < 1:
+            raise ServingError("spec_k must be >= 1")
+        if self.spec_blocks is not None and self.spec_blocks <= 0:
+            raise ServingError("spec_blocks must be positive when set")
 
 
 @dataclass(frozen=True)
@@ -69,6 +75,9 @@ class StepReport:
     prefill_rows: int
     prefill_tokens: int
     finished: Tuple[int, ...] = ()
+    committed: int = 0       # tokens emitted this step (all rows)
+    spec_drafted: int = 0    # drafter proposals verified this step
+    spec_accepted: int = 0   # proposals accepted this step
 
     @property
     def n_rows(self) -> int:
@@ -87,30 +96,42 @@ class InferenceEngine:
         model,
         config: Optional[EngineConfig] = None,
         timer: Callable[[], float] = time.perf_counter,
+        drafter=None,
     ) -> None:
+        """``drafter`` — an optional cheaper model (canonically a decomposed
+        variant of ``model``) enabling per-request speculative decoding via
+        ``submit(..., speculative=True)``.  It gets its own KV pool
+        (``config.spec_blocks`` blocks) so draft state never competes with
+        verifier admission control."""
         self.model = model
         self.model.eval()
         self.config = config or EngineConfig()
         self.timer = timer
         # Tensor-parallel model facades supply their own pool holding one
         # KV slice per rank; a plain model gets the shared single pool.
-        pool_factory = getattr(model, "make_kv_pool", None)
-        if pool_factory is not None:
-            self.pool = pool_factory(
-                n_blocks=self.config.n_blocks,
-                block_tokens=self.config.block_tokens,
-            )
-        else:
-            self.pool = KVBlockPool(
-                model.config,
-                n_blocks=self.config.n_blocks,
-                block_tokens=self.config.block_tokens,
+        self.pool = self._make_pool(model, self.config.n_blocks)
+        self.drafter = drafter
+        self.draft_pool = None
+        if drafter is not None:
+            drafter.eval()
+            self.draft_pool = self._make_pool(
+                drafter, self.config.spec_blocks or self.config.n_blocks
             )
         self.metrics = EngineMetrics()
         self._queue: Deque[GenerationRequest] = deque()
         self._running: List[GenerationRequest] = []
         self._requests: Dict[int, GenerationRequest] = {}
         self._next_id = 0
+
+    def _make_pool(self, model, n_blocks: int):
+        pool_factory = getattr(model, "make_kv_pool", None)
+        if pool_factory is not None:
+            return pool_factory(
+                n_blocks=n_blocks, block_tokens=self.config.block_tokens
+            )
+        return KVBlockPool(
+            model.config, n_blocks=n_blocks, block_tokens=self.config.block_tokens
+        )
 
     # -- submission --------------------------------------------------------
     def submit(
@@ -120,13 +141,24 @@ class InferenceEngine:
         stop_token: Optional[int] = None,
         deadline: Optional[float] = None,
         now: float = 0.0,
+        speculative: bool = False,
     ) -> GenerationRequest:
         """Enqueue a request; may reject it immediately (graceful refusal).
 
         Rejection reasons: the prompt + generation budget cannot fit the
         model's context window, could never fit the KV pool, or the queue
         is full.  Rejected requests carry ``finish_reason`` and never raise.
+
+        ``speculative=True`` decodes this request through the engine's
+        drafter/verifier loop — same tokens, fewer verifier-bound steps.
+        Requesting it on an engine built without a drafter is a
+        configuration error and raises.
         """
+        if speculative and self.drafter is None:
+            raise ServingError(
+                "speculative submission requires an engine drafter; "
+                "construct InferenceEngine(model, drafter=...)"
+            )
         request = GenerationRequest(
             request_id=self._next_id,
             prompt=prompt,
@@ -134,6 +166,7 @@ class InferenceEngine:
             stop_token=stop_token,
             deadline=deadline,
             arrival_time=now,
+            speculative=speculative,
         )
         self._next_id += 1
         self._requests[request.request_id] = request
@@ -191,10 +224,13 @@ class InferenceEngine:
                 prefill_tokens=0,
             )
         started = self.timer()
-        lengths = np.asarray([chunk.size for _, chunk in rows], dtype=np.int64)
+        # Draft phase (speculative rows only): drafter forwards happen here
+        # so their cost lands inside the step's measured duration.
+        feeds, draft_counts = self._draft_extend(rows)
+        lengths = np.asarray([feed.size for feed in feeds], dtype=np.int64)
         batch = np.zeros((len(rows), int(lengths.max())), dtype=np.int64)
-        for index, (_, chunk) in enumerate(rows):
-            batch[index, : chunk.size] = chunk
+        for index, feed in enumerate(feeds):
+            batch[index, : feed.size] = feed
         caches = [request.cache for request, _ in rows]
         logits = self.model.forward_ragged(batch, caches, lengths)
         duration = max(self.timer() - started, 1e-9)
@@ -210,16 +246,45 @@ class InferenceEngine:
             )
         )
         finished: List[int] = []
+        committed = 0
+        decode_committed = 0  # tokens from rows already decoding (metrics)
+        spec_drafted = 0
+        spec_accepted = 0
         for index, (request, chunk) in enumerate(rows):
-            covered = request.cache.seq_len  # advanced by the forward pass
+            drafted = draft_counts[index]
+            # The forward advanced the cache over the chunk *and* any draft
+            # positions; prefix coverage is measured without the drafts.
+            covered = request.cache.seq_len - drafted
             if covered < request.prefix.size:
                 continue  # mid-prefill: more prompt chunks to come
-            token = DecodeState.select(logits.data[index, int(lengths[index]) - 1])
-            self._append_token(request, token, completion)
+            was_decode = request.state is RequestState.DECODE
+            base = int(lengths[index]) - drafted - 1
+            if drafted == 0:
+                token = DecodeState.select(logits.data[index, base])
+                self._append_token(request, token, completion)
+                emitted = 1
+            else:
+                accepted, emitted = self._accept_drafts(
+                    request, logits.data[index], base, completion
+                )
+                spec_drafted += drafted
+                spec_accepted += accepted
+                self.metrics.spec_steps += 1
+                self.metrics.spec_drafted += drafted
+                self.metrics.spec_accepted += accepted
+            committed += emitted
+            if was_decode:
+                decode_committed += emitted
             if request.done:
                 finished.append(request.request_id)
         self._running = [r for r in self._running if r.state in ACTIVE_STATES]
-        self.metrics.record_step(duration, decode_rows, prefill_rows, prefill_tokens)
+        self.metrics.record_step(
+            duration,
+            decode_rows,
+            prefill_rows,
+            prefill_tokens,
+            decode_tokens=decode_committed,
+        )
         return StepReport(
             now=now,
             duration_s=duration,
@@ -227,6 +292,9 @@ class InferenceEngine:
             prefill_rows=prefill_rows,
             prefill_tokens=prefill_tokens,
             finished=tuple(finished),
+            committed=committed,
+            spec_drafted=spec_drafted,
+            spec_accepted=spec_accepted,
         )
 
     def run_until_idle(self, now: float = 0.0, max_steps: int = 100000) -> float:
@@ -329,10 +397,22 @@ class InferenceEngine:
     ) -> None:
         request.cache.free()
         request.cache = None
+        self._drop_draft_state(request)
         request.state = RequestState.QUEUED
         request.preemptions += 1
         self.metrics.preemptions += 1
         preempted.append(request)
+
+    def _drop_draft_state(self, request: GenerationRequest) -> None:
+        """Release a request's drafter-side state (preemption/termination).
+
+        The drafter cache is rebuilt from the prefix on the next
+        speculative cycle, so dropping it never changes outputs.
+        """
+        if request.draft_cache is not None:
+            request.draft_cache.free()
+            request.draft_cache = None
+        request.pending_drafts = []
 
     def _requeue(self, preempted: List[GenerationRequest]) -> None:
         if not preempted:
@@ -345,6 +425,119 @@ class InferenceEngine:
         )
         for request in ordered:
             self._queue.appendleft(request)
+
+    # -- speculative decoding ---------------------------------------------
+    def _draft_extend(
+        self, rows: List[Tuple[GenerationRequest, np.ndarray]]
+    ) -> Tuple[List[np.ndarray], List[int]]:
+        """Extend speculative rows' feeds with drafter proposals.
+
+        Only rows whose chunk completes the prefix this step can speculate
+        (mid-prefill rows have no next-token position to draft from), and
+        drafts spend the step's leftover token budget — speculation never
+        displaces scheduled prefill/decode work.  Returns the per-row feed
+        arrays and draft counts; non-speculative rows pass through.
+        """
+        feeds: List[np.ndarray] = [chunk for _, chunk in rows]
+        counts = [0] * len(rows)
+        if self.drafter is None:
+            return feeds, counts
+        leftover = self.config.token_budget - int(sum(chunk.size for _, chunk in rows))
+        for index, (request, chunk) in enumerate(rows):
+            if leftover <= 0:
+                break
+            if not request.speculative:
+                continue
+            if request.cache.seq_len + chunk.size < request.prefix.size:
+                continue  # still mid-prefill after this step
+            k = min(
+                self.config.spec_k,
+                leftover,
+                # Leave room for the verifier's correction token.
+                request.max_new_tokens - request.decode.n_generated - 1,
+            )
+            if k <= 0:
+                continue
+            drafts = self._draft_tokens(request, chunk, k)
+            if not drafts:
+                continue  # pool pressure: plain decode this step
+            request.pending_drafts = drafts
+            feeds[index] = np.concatenate(
+                [chunk, np.asarray(drafts, dtype=np.int64)]
+            )
+            counts[index] = len(drafts)
+            leftover -= len(drafts)
+        return feeds, counts
+
+    def _draft_tokens(
+        self, request: GenerationRequest, chunk: np.ndarray, k: int
+    ) -> List[int]:
+        """Run the drafter ``k`` greedy steps ahead for one request.
+
+        Reserves verifier capacity for the draft positions (they are
+        appended optimistically during the verify forward) and drafter
+        capacity for the uncovered prefix suffix plus ``k - 1`` proposals.
+        Either reservation failing falls back to plain decode for this step
+        — reservations are atomic, so no state needs unwinding.
+        """
+        try:
+            request.cache.reserve(chunk.size + k)
+        except PoolExhaustedError:
+            self.metrics.spec_fallbacks += 1
+            return []
+        try:
+            if request.draft_cache is None:
+                request.draft_cache = self.draft_pool.allocate_sequence()
+            suffix = request.prefix[request.draft_cache.seq_len :]
+            request.draft_cache.reserve(suffix.size + k - 1)
+        except PoolExhaustedError:
+            self.metrics.spec_fallbacks += 1
+            return []
+        drafts: List[int] = []
+        feed = suffix.reshape(1, -1)
+        for _ in range(k):
+            logits = self.drafter.forward_cached(feed, request.draft_cache)
+            token = DecodeState.select(logits.data[0, -1])
+            drafts.append(token)
+            feed = np.array([[token]], dtype=np.int64)
+        return drafts
+
+    def _accept_drafts(
+        self,
+        request: GenerationRequest,
+        row_logits: np.ndarray,
+        base: int,
+        completion: float,
+    ) -> Tuple[int, int]:
+        """Accept the longest matching draft prefix; roll both caches back.
+
+        ``base`` is the logits index of the prefix-final token, so
+        ``row_logits[base + i]`` is the verifier's greedy choice given the
+        prefix plus the first ``i`` drafts.  Returns (accepted, emitted).
+        """
+        drafts = request.pending_drafts
+        request.pending_drafts = []
+        prefix_len = request.prefix.size
+        targets = np.argmax(row_logits[base : base + len(drafts) + 1], axis=-1)
+        accepted = 0
+        while accepted < len(drafts) and drafts[accepted] == int(targets[accepted]):
+            accepted += 1
+        # Rejected draft KV must not survive: the verifier keeps exactly the
+        # committed prefix (minus the trailing token fed next step), the
+        # drafter at most that.  Pooled caches return surplus blocks here.
+        request.cache.truncate(prefix_len + accepted)
+        request.draft_cache.truncate(
+            min(request.draft_cache.seq_len, prefix_len + accepted)
+        )
+        emitted = 0
+        for token in drafts[:accepted]:
+            self._append_token(request, token, completion)
+            emitted += 1
+            if request.done:
+                return accepted, emitted
+        self._append_token(request, int(targets[accepted]), completion)
+        emitted += 1
+        return accepted, emitted
 
     # -- token/terminal bookkeeping ---------------------------------------
     def _append_token(
@@ -380,6 +573,7 @@ class InferenceEngine:
         if request.cache is not None:
             request.cache.free()
             request.cache = None
+        self._drop_draft_state(request)
         was_queued = request.state is RequestState.QUEUED
         request.state = state
         request.finish_reason = reason

@@ -11,7 +11,7 @@ blended tokens/s over all steps is reported separately.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 
 class SampleStats:
@@ -100,16 +100,27 @@ class EngineMetrics:
     rejected: int = 0
     preemptions: int = 0
 
+    # Speculative decoding: drafted/accepted counted over verify cycles.
+    spec_steps: int = 0        # verify cycles (one batched verifier pass per row)
+    spec_drafted: int = 0      # drafter proposals scored by the verifier
+    spec_accepted: int = 0     # proposals matching the verifier's greedy choice
+    spec_fallbacks: int = 0    # cycles skipped on pool pressure (plain decode)
+
     def record_step(
         self,
         duration_s: float,
         decode_rows: int,
         prefill_rows: int,
         prefill_tokens: int,
+        decode_tokens: Optional[int] = None,
     ) -> None:
+        """``decode_tokens`` overrides the tokens-emitted count for steps
+        that commit more than one token per decode row (speculative
+        acceptance); it defaults to one token per decode row."""
+        emitted = decode_rows if decode_tokens is None else int(decode_tokens)
         self.steps += 1
         self.total_step_s += duration_s
-        self.decode_tokens += decode_rows
+        self.decode_tokens += emitted
         self.prefill_tokens += prefill_tokens
         self.peak_batch = max(self.peak_batch, decode_rows + prefill_rows)
         if decode_rows and prefill_rows:
@@ -117,7 +128,7 @@ class EngineMetrics:
         elif decode_rows:
             self.decode_steps += 1
             self.decode_step_s += duration_s
-            self.pure_decode_tokens += decode_rows
+            self.pure_decode_tokens += emitted
         elif prefill_rows:
             self.prefill_steps += 1
 
@@ -154,10 +165,17 @@ class EngineMetrics:
 
     @property
     def mean_decode_batch(self) -> float:
-        """Average decode rows per pure decode step."""
+        """Average decode tokens per pure decode step."""
         if self.decode_steps == 0:
             return 0.0
         return self.pure_decode_tokens / self.decode_steps
+
+    @property
+    def spec_acceptance_rate(self) -> float:
+        """Accepted over drafted proposals; 0.0 before any speculation."""
+        if self.spec_drafted == 0:
+            return 0.0
+        return self.spec_accepted / self.spec_drafted
 
     # -- (de)serialization -------------------------------------------------
     _COUNTER_FIELDS = (
@@ -165,6 +183,7 @@ class EngineMetrics:
         "total_step_s", "decode_step_s", "decode_tokens",
         "pure_decode_tokens", "prefill_tokens", "peak_batch",
         "finished", "cancelled", "rejected", "preemptions",
+        "spec_steps", "spec_drafted", "spec_accepted", "spec_fallbacks",
     )
 
     def snapshot(self) -> dict:
@@ -177,20 +196,23 @@ class EngineMetrics:
         payload["decode_tokens_per_s"] = self.decode_tokens_per_s
         payload["overall_tokens_per_s"] = self.overall_tokens_per_s
         payload["mean_decode_batch"] = self.mean_decode_batch
+        payload["spec_acceptance_rate"] = self.spec_acceptance_rate
         return payload
 
     @classmethod
     def from_snapshot(cls, payload: dict) -> "EngineMetrics":
+        # Missing counters keep their defaults so snapshots written before a
+        # counter existed (e.g. pre-speculation BENCH JSON) still load.
         metrics = cls()
         for name in cls._COUNTER_FIELDS:
-            setattr(metrics, name, payload[name])
+            setattr(metrics, name, payload.get(name, getattr(metrics, name)))
         metrics.ttft_s = SampleStats.from_snapshot(payload["ttft_s"])
         metrics.queue_wait_s = SampleStats.from_snapshot(payload["queue_wait_s"])
         metrics.e2e_s = SampleStats.from_snapshot(payload["e2e_s"])
         return metrics
 
     def summary(self) -> str:
-        return (
+        text = (
             f"finished={self.finished} cancelled={self.cancelled} "
             f"rejected={self.rejected} preemptions={self.preemptions} | "
             f"steps={self.steps} decode_batch={self.mean_decode_batch:.1f} | "
@@ -198,3 +220,10 @@ class EngineMetrics:
             f"decode {self.decode_tokens_per_s:.0f} tok/s "
             f"overall {self.overall_tokens_per_s:.0f} tok/s"
         )
+        if self.spec_steps:
+            text += (
+                f" | spec accept={self.spec_acceptance_rate:.2f} "
+                f"({self.spec_accepted}/{self.spec_drafted}, "
+                f"fallbacks={self.spec_fallbacks})"
+            )
+        return text

@@ -136,6 +136,22 @@ class PooledLayerCache:
     def seq_len(self) -> int:
         return self._len
 
+    def truncate(self, length: int) -> None:
+        """Roll this layer back to ``length`` positions (draft rollback).
+
+        Per-layer lengths only; block bookkeeping lives on the sequence —
+        callers go through :meth:`PooledSequenceCache.truncate`, which also
+        returns surplus blocks to the pool.
+        """
+        length = int(length)
+        if length < 0:
+            raise ShapeError(f"cannot truncate to negative length {length}")
+        if length > self._len:
+            raise ShapeError(
+                f"cannot truncate to {length}: cache holds {self._len} positions"
+            )
+        self._len = length
+
     def append(self, keys: np.ndarray, values: np.ndarray) -> tuple:
         """Append new positions; returns the full (keys, values) so far."""
         sequence = self._sequence
@@ -246,6 +262,23 @@ class PooledSequenceCache:
         missing = needed - len(self.block_table)
         if missing > 0:
             self.block_table.extend(self.pool.allocate(missing))
+
+    def truncate(self, length: int) -> None:
+        """Roll every layer back to ``length`` positions and return the
+        blocks beyond the surviving prefix to the pool.
+
+        This is the speculative-decoding rollback: draft positions appended
+        optimistically past the accepted prefix are discarded, and the pool
+        accounting stays tight — a rejected draft never strands a block.
+        """
+        if self.closed:
+            raise ServingError("cannot truncate a freed sequence cache")
+        for layer in self.layers:
+            layer.truncate(length)
+        keep = self.pool.blocks_for_tokens(length)
+        if keep < len(self.block_table):
+            self.pool.release(self.block_table[keep:])
+            del self.block_table[keep:]
 
     def free(self) -> None:
         """Return every block to the pool; the cache becomes unusable."""

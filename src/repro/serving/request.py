@@ -48,10 +48,16 @@ class GenerationRequest:
     stop_token: Optional[int] = None
     deadline: Optional[float] = None
     arrival_time: float = 0.0
+    speculative: bool = False
 
     state: RequestState = RequestState.QUEUED
     generated: List[int] = field(default_factory=list)
     cache: Optional[object] = None  # PooledSequenceCache while active
+    # Speculative-mode state: the drafter's own KV cache for this request
+    # and the draft tokens proposed for the in-flight verify step.  Both are
+    # dropped on preemption/termination alongside the main cache.
+    draft_cache: Optional[object] = None
+    pending_drafts: List[int] = field(default_factory=list)
     finish_reason: str = ""
     preemptions: int = 0
 

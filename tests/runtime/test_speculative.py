@@ -1,0 +1,325 @@
+"""Exact-equivalence lockdown for speculative decoding.
+
+The contract under test: :class:`SpeculativeSession` emits **token-for-token
+identical** output to dense greedy decoding for every drafter, every ``K``,
+every cache regime, and every world size.  A drafter may only change the
+forward schedule (and the acceptance rate) — never a single token.
+
+The sweep crosses seeded random prompts x prompt lengths (including
+``(1, T)`` row prompts and window-overflow) x K in {1, 2, 4, 8} x
+dense/rank1/rank8 drafters x stateless/cached references x world size 1/2.
+A rigged drafter then fuzzes every rejection position 0..K to hit each
+rollback path deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import build_model
+from repro.models.config import ModelConfig
+from repro.parallel import ShardedLlama
+from repro.runtime import DecodeSession, SpecStats, SpeculativeConfig, SpeculativeSession
+from repro.serving import VariantRegistry
+
+VOCAB = 128
+CONFIG = ModelConfig(
+    name="spec-llama",
+    family="llama",
+    vocab_size=VOCAB,
+    dim=32,
+    n_layers=3,
+    n_heads=4,
+    n_kv_heads=2,
+    mlp_hidden=64,
+    max_seq_len=96,
+)
+
+DRAFTER_SPECS = ("dense", "rank1", "rank8")
+K_VALUES = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def verifier():
+    model = build_model(CONFIG, rng=np.random.default_rng(0))
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def drafters(verifier):
+    registry = VariantRegistry(verifier)
+    return {spec: registry.get(spec).model for spec in DRAFTER_SPECS}
+
+
+def random_prompt(rng, length):
+    return rng.integers(0, VOCAB, size=length, dtype=np.int64)
+
+
+def assert_spec_matches_dense(verifier, drafter, prompt, max_new, k, stop_token=None):
+    """One cell of the sweep: speculative == cached dense == stateless dense."""
+    cached = verifier.greedy_generate(
+        prompt, max_new, stop_token=stop_token, use_cache=True
+    )
+    stateless = verifier.greedy_generate(
+        prompt, max_new, stop_token=stop_token, use_cache=False
+    )
+    np.testing.assert_array_equal(cached, stateless)
+    session = SpeculativeSession(verifier, drafter, k=k)
+    got = session.generate(prompt, max_new, stop_token=stop_token)
+    np.testing.assert_array_equal(got, cached)
+    return session
+
+
+class TestEquivalenceSweep:
+    @pytest.mark.parametrize("spec", DRAFTER_SPECS)
+    @pytest.mark.parametrize("k", K_VALUES)
+    def test_matches_dense_greedy(self, verifier, drafters, spec, k):
+        rng = np.random.default_rng(1000 * k + len(spec))
+        for length in (1, 2, 7, 19):
+            prompt = random_prompt(rng, length)
+            assert_spec_matches_dense(verifier, drafters[spec], prompt, 16, k)
+
+    @pytest.mark.parametrize("spec", DRAFTER_SPECS)
+    def test_row_prompt_shape(self, verifier, drafters, spec):
+        """(1, T) row prompts are accepted identically to flat prompts."""
+        rng = np.random.default_rng(7)
+        flat = random_prompt(rng, 9)
+        row = flat.reshape(1, -1)
+        session = SpeculativeSession(verifier, drafters[spec], k=4)
+        from_row = session.generate(row, 12)
+        expected = verifier.greedy_generate(flat, 12)
+        np.testing.assert_array_equal(from_row, expected)
+
+    @pytest.mark.parametrize("k", K_VALUES)
+    def test_window_overflow_falls_back_identically(self, verifier, drafters, k):
+        """Generation past max_seq_len hits the same windowed-recompute
+        fallback at the same token as the dense loop."""
+        rng = np.random.default_rng(11)
+        prompt = random_prompt(rng, CONFIG.max_seq_len - 5)
+        max_new = 12  # crosses the window edge mid-generation
+        for spec in ("dense", "rank8"):
+            assert_spec_matches_dense(verifier, drafters[spec], prompt, max_new, k)
+
+    def test_prompt_longer_than_window(self, verifier, drafters):
+        rng = np.random.default_rng(13)
+        prompt = random_prompt(rng, CONFIG.max_seq_len + 10)
+        assert_spec_matches_dense(verifier, drafters["rank8"], prompt, 6, 4)
+
+    @pytest.mark.parametrize("spec", DRAFTER_SPECS)
+    def test_stop_token_honoured_mid_draft(self, verifier, drafters, spec):
+        """A stop token landing inside an accepted draft block ends the
+        output at exactly the dense stopping point."""
+        rng = np.random.default_rng(17)
+        prompt = random_prompt(rng, 6)
+        reference = verifier.greedy_generate(prompt, 16)
+        generated = reference[len(prompt):]
+        # Stop on each generated token in turn: every cut point must match.
+        for stop in dict.fromkeys(int(t) for t in generated):
+            assert_spec_matches_dense(
+                verifier, drafters[spec], prompt, 16, 4, stop_token=stop
+            )
+
+    def test_zero_and_tiny_budgets(self, verifier, drafters):
+        rng = np.random.default_rng(19)
+        prompt = random_prompt(rng, 5)
+        for max_new in (1, 2, 3):
+            assert_spec_matches_dense(verifier, drafters["rank1"], prompt, max_new, 8)
+
+    def test_decode_session_speculative_kwarg(self, verifier, drafters):
+        """The DecodeSession/greedy_generate wiring routes through the
+        speculative loop and records stats, with identical tokens."""
+        rng = np.random.default_rng(23)
+        prompt = random_prompt(rng, 8)
+        expected = verifier.greedy_generate(prompt, 12)
+        session = DecodeSession(verifier)
+        assert session.spec_stats is None
+        got = session.generate(prompt, 12, speculative=drafters["rank8"])
+        np.testing.assert_array_equal(got, expected)
+        assert session.spec_stats is not None
+        assert session.spec_stats.committed == 12
+
+        via_model = verifier.greedy_generate(
+            prompt, 12, speculative=SpeculativeConfig(drafters["rank8"], k=2)
+        )
+        np.testing.assert_array_equal(via_model, expected)
+
+
+class TestTensorParallel:
+    @pytest.mark.parametrize("k", (2, 4))
+    def test_sharded_verifier(self, verifier, drafters, k):
+        """World size 2: a TP-sharded verifier with a canonical drafter."""
+        sharded = ShardedLlama(verifier, 2)
+        try:
+            rng = np.random.default_rng(29)
+            for spec in ("rank1", "rank8"):
+                prompt = random_prompt(rng, 10)
+                expected = verifier.greedy_generate(prompt, 12)
+                session = SpeculativeSession(sharded, drafters[spec], k=k)
+                got = session.generate(prompt, 12)
+                np.testing.assert_array_equal(got, expected)
+        finally:
+            sharded.close()
+
+    def test_sharded_drafter(self, verifier, drafters):
+        """The drafter itself may be TP-sharded; rollback fans out per rank."""
+        sharded_drafter = ShardedLlama(drafters["rank8"], 2)
+        try:
+            rng = np.random.default_rng(31)
+            prompt = random_prompt(rng, 9)
+            expected = verifier.greedy_generate(prompt, 12)
+            session = SpeculativeSession(verifier, sharded_drafter, k=4)
+            got = session.generate(prompt, 12)
+            np.testing.assert_array_equal(got, expected)
+        finally:
+            sharded_drafter.close()
+
+
+class RiggedDrafter:
+    """Wraps a model; flips the greedy choice at scripted draft-call indices.
+
+    Flipping call ``i`` makes draft ``i`` (cycle-local within the first
+    cycle) disagree with the verifier, forcing rejection at a chosen
+    position — a deterministic probe of every rollback path.
+    """
+
+    def __init__(self, base, flip_calls):
+        self.base = base
+        self.config = base.config
+        self.flip_calls = set(flip_calls)
+        self.calls = 0
+
+    def make_cache(self):
+        return self.base.make_cache()
+
+    def forward_cached(self, tokens, cache):
+        logits = self.base.forward_cached(tokens, cache)
+        if self.calls in self.flip_calls:
+            data = logits.data
+            top = int(np.argmax(data[0, -1]))
+            data[0, -1, top] = data[0, -1].min() - 1.0
+        self.calls += 1
+        return logits
+
+
+class TestRejectionPositions:
+    @pytest.mark.parametrize("reject_at", (0, 1, 2, 3))
+    def test_every_rejection_position(self, verifier, reject_at):
+        """Rejecting the drafts at position 0..K-1 of the first cycle (and
+        accepting everything elsewhere) still reproduces dense greedy."""
+        k = 4
+        rng = np.random.default_rng(37)
+        prompt = random_prompt(rng, 8)
+        expected = verifier.greedy_generate(prompt, 14)
+        drafter = RiggedDrafter(verifier, {reject_at})
+        session = SpeculativeSession(verifier, drafter, k=k)
+        got = session.generate(prompt, 14)
+        np.testing.assert_array_equal(got, expected)
+        # One sabotaged proposal rejects position reject_at and discards the
+        # k - reject_at - 1 drafts behind it; every other cycle is the dense
+        # model drafting for itself, so nothing else is rejected.
+        assert session.stats.drafted - session.stats.accepted == k - reject_at
+
+    def test_seeded_rejection_fuzz(self, verifier):
+        """Random flip sets over many cycles: rollback keeps both caches
+        consistent no matter where rejections land."""
+        rng = np.random.default_rng(41)
+        for trial in range(8):
+            k = int(rng.integers(1, 9))
+            length = int(rng.integers(1, 24))
+            prompt = random_prompt(rng, length)
+            n_flips = int(rng.integers(0, 12))
+            flips = set(rng.integers(0, 40, size=n_flips).tolist())
+            expected = verifier.greedy_generate(prompt, 16)
+            session = SpeculativeSession(verifier, RiggedDrafter(verifier, flips), k=k)
+            got = session.generate(prompt, 16)
+            np.testing.assert_array_equal(got, expected)
+
+    def test_all_rejected_drafter_still_exact(self, verifier):
+        """A drafter wrong on every call degenerates to one-token-per-cycle
+        dense decoding: acceptance 0.0, output unchanged."""
+        rng = np.random.default_rng(43)
+        prompt = random_prompt(rng, 7)
+        expected = verifier.greedy_generate(prompt, 10)
+        drafter = RiggedDrafter(verifier, range(10_000))
+        session = SpeculativeSession(verifier, drafter, k=4)
+        got = session.generate(prompt, 10)
+        np.testing.assert_array_equal(got, expected)
+        assert session.stats.accepted == 0
+        assert session.stats.acceptance_rate == 0.0
+        assert session.stats.committed == 10
+
+
+class TestStats:
+    def test_dense_drafter_accepts_everything(self, verifier, drafters):
+        """The dense model drafting for itself is always right: acceptance
+        is exactly 1.0 and every cycle commits k+1 tokens."""
+        rng = np.random.default_rng(47)
+        prompt = random_prompt(rng, 6)
+        session = assert_spec_matches_dense(verifier, drafters["dense"], prompt, 15, 4)
+        stats = session.stats
+        assert stats.acceptance_rate == 1.0
+        assert stats.accepted == stats.drafted
+        assert stats.committed == 15
+        assert stats.draft_forwards == stats.drafted
+        # 15 tokens: 1 from prefill, then cycles of k+1=5 -> 2 full cycles
+        # plus a final budget-clamped cycle.
+        assert stats.verify_steps == 3
+
+    def test_k1_pins_draft_count(self, verifier, drafters):
+        rng = np.random.default_rng(53)
+        prompt = random_prompt(rng, 5)
+        session = assert_spec_matches_dense(verifier, drafters["dense"], prompt, 9, 1)
+        # k=1 with budget 9: first token from prefill, then 4 cycles of
+        # draft-1/commit-2; every cycle drafts exactly one token.
+        assert session.stats.drafted == session.stats.verify_steps
+        assert session.stats.committed == 9
+
+    def test_empty_stats_rate_is_zero(self):
+        assert SpecStats().acceptance_rate == 0.0
+
+    def test_reset_and_round_trip(self):
+        stats = SpecStats(drafted=8, accepted=6, committed=10, verify_steps=3,
+                          draft_forwards=8)
+        payload = stats.as_dict()
+        assert payload["acceptance_rate"] == pytest.approx(0.75)
+        assert payload["drafted"] == 8
+        stats.reset()
+        assert stats.as_dict()["acceptance_rate"] == 0.0
+        assert stats.drafted == 0
+
+    def test_stats_accumulate_across_generates(self, verifier, drafters):
+        session = SpeculativeSession(verifier, drafters["dense"], k=2)
+        prompt = np.array([3, 1, 4], dtype=np.int64)
+        session.generate(prompt, 5)
+        first = session.stats.committed
+        session.generate(prompt, 5)
+        assert session.stats.committed == 2 * first
+
+
+class TestValidation:
+    def test_k_must_be_positive(self, verifier, drafters):
+        with pytest.raises(ConfigError):
+            SpeculativeConfig(drafters["dense"], k=0)
+        with pytest.raises(ConfigError):
+            SpeculativeSession(verifier, drafters["dense"], k=-1)
+
+    def test_drafter_needs_cached_surface(self, verifier):
+        with pytest.raises(ConfigError):
+            SpeculativeConfig(object())
+        with pytest.raises(ConfigError):
+            SpeculativeSession(verifier, object())
+
+    def test_verifier_needs_cached_surface(self, verifier, drafters):
+        with pytest.raises(ConfigError):
+            SpeculativeSession(object(), drafters["dense"])
+
+    def test_speculative_requires_cache_path(self, verifier, drafters):
+        session = DecodeSession(verifier)
+        with pytest.raises(ConfigError):
+            session.generate(
+                np.array([1, 2, 3]), 4,
+                use_cache=False, speculative=drafters["dense"],
+            )

@@ -145,3 +145,78 @@ class TestEngineMetrics:
         metrics.queue_wait_s.add(0.01)
         text = json.dumps(metrics.snapshot())
         assert "decode_tokens_per_s" in text
+
+
+class TestSpeculativeMetrics:
+    def test_acceptance_rate_pinned_values(self):
+        metrics = EngineMetrics()
+        assert metrics.spec_acceptance_rate == 0.0  # nothing drafted yet
+
+        # All accepted over three K=4 cycles: exactly 1.0.
+        metrics.spec_steps, metrics.spec_drafted, metrics.spec_accepted = 3, 12, 12
+        assert metrics.spec_acceptance_rate == 1.0
+
+        # All rejected: exactly 0.0 (corrections never count as drafts).
+        metrics.spec_accepted = 0
+        assert metrics.spec_acceptance_rate == 0.0
+
+        # K=1 half right.
+        metrics.spec_drafted, metrics.spec_accepted = 2, 1
+        assert metrics.spec_acceptance_rate == pytest.approx(0.5)
+
+    def test_record_step_decode_tokens_override(self):
+        """Speculative steps commit more than one token per decode row; the
+        override feeds both the overall and pure-decode token counters."""
+        metrics = EngineMetrics()
+        metrics.record_step(0.5, decode_rows=2, prefill_rows=0,
+                            prefill_tokens=0, decode_tokens=7)
+        assert metrics.decode_tokens == 7
+        assert metrics.pure_decode_tokens == 7
+        assert metrics.decode_tokens_per_s == pytest.approx(14.0)
+        # Default (no override) stays one token per row.
+        metrics.record_step(0.5, decode_rows=3, prefill_rows=0, prefill_tokens=0)
+        assert metrics.decode_tokens == 10
+
+    def test_spec_counters_round_trip(self):
+        metrics = EngineMetrics()
+        metrics.record_step(0.2, decode_rows=2, prefill_rows=0,
+                            prefill_tokens=0, decode_tokens=5)
+        metrics.spec_steps = 2
+        metrics.spec_drafted = 8
+        metrics.spec_accepted = 3
+        metrics.spec_fallbacks = 1
+
+        restored = EngineMetrics.from_snapshot(metrics.snapshot())
+        assert restored.spec_steps == 2
+        assert restored.spec_drafted == 8
+        assert restored.spec_accepted == 3
+        assert restored.spec_fallbacks == 1
+        assert restored.spec_acceptance_rate == pytest.approx(3 / 8)
+        assert restored.summary() == metrics.summary()
+
+    def test_snapshot_includes_acceptance_rate(self):
+        metrics = EngineMetrics()
+        metrics.spec_drafted, metrics.spec_accepted = 4, 3
+        assert metrics.snapshot()["spec_acceptance_rate"] == pytest.approx(0.75)
+
+    def test_pre_speculation_snapshot_still_loads(self):
+        """BENCH JSON written before the spec counters existed must load
+        with the counters at their defaults."""
+        metrics = EngineMetrics()
+        metrics.record_step(0.1, decode_rows=1, prefill_rows=0, prefill_tokens=0)
+        payload = metrics.snapshot()
+        for name in ("spec_steps", "spec_drafted", "spec_accepted",
+                     "spec_fallbacks", "spec_acceptance_rate"):
+            del payload[name]
+        restored = EngineMetrics.from_snapshot(payload)
+        assert restored.spec_drafted == 0
+        assert restored.spec_acceptance_rate == 0.0
+        assert "spec accept" not in restored.summary()
+
+    def test_summary_gains_spec_section_only_when_speculating(self):
+        metrics = EngineMetrics()
+        assert "spec accept" not in metrics.summary()
+        metrics.spec_steps, metrics.spec_drafted, metrics.spec_accepted = 1, 4, 4
+        metrics.spec_fallbacks = 2
+        summary = metrics.summary()
+        assert "spec accept=1.00 (4/4, fallbacks=2)" in summary
