@@ -8,13 +8,21 @@ Commands
 - ``repro train [--model tiny-llama|tiny-bert]`` — (re)train and cache the
   tiny model checkpoints.
 - ``repro eval [--limit N]`` — evaluate the cached tiny Llama on the suite.
-- ``repro serve-bench [--variants dense,pr33,...] [--tp N] [--json PATH]``
-  — replay a synthetic Poisson trace through the continuous-batching
-  engine for each model variant and report TTFT/throughput percentiles
-  next to the analytic hardware-model projection.  ``--tp N`` runs each
-  variant tensor-parallel over N ranks (identical logits by construction)
-  and prints measured vs analytic collective traffic; ``--json`` dumps the
-  full report; ``--profile`` attaches the fast path's op-level profiler.
+- ``repro serve-bench [--variants dense,pr33,...] [--trace FAMILY]
+  [--tp N] [--json PATH]`` — replay a synthetic trace through the
+  continuous-batching engine for each model variant and report
+  TTFT/throughput percentiles (plus prefix-sharing hit rate / prefill
+  tokens saved) next to the analytic hardware-model projection.
+  ``--trace`` picks the arrival/length family (poisson, diurnal, bursty,
+  heavy-tail, or the shared-prefix tenant mix ``prefix``); ``--tp N``
+  runs each variant tensor-parallel over N ranks (identical logits by
+  construction) and prints measured vs analytic collective traffic;
+  ``--no-prefix-sharing`` serves from per-request pools instead of the
+  paged KV store; ``--verify-identity`` re-replays on the unshared
+  engine and fails on any token mismatch; ``--run-dir``/``--run-name``
+  persist the run as manifest.json / metrics.jsonl / summary.json
+  (bit-identically replayable); ``--json`` dumps the full report;
+  ``--profile`` attaches the fast path's op-level profiler.
 - ``repro bench-decode [--variants dense,rank1,...] [--tp 1,2]
   [--json PATH]`` — measure prefill/decode tokens-per-second of the
   Tensor-graph driver vs. the no-grad fast path per variant and
@@ -100,23 +108,72 @@ def _parse_range(text: str, flag: str):
         raise SystemExit(f"{flag} expects LOW:HIGH (e.g. 8:32), got {text!r}")
 
 
+def _trace_params(args: argparse.Namespace) -> dict:
+    """Family-specific generator params from CLI flags (manifest-ready)."""
+    new_tokens = list(_parse_range(args.new_tokens, "--new-tokens"))
+    prompt_len = list(_parse_range(args.prompt_len, "--prompt-len"))
+    if args.trace == "poisson":
+        return {"prompt_len": prompt_len, "new_tokens": new_tokens}
+    if args.trace == "diurnal":
+        return {
+            "prompt_len": prompt_len,
+            "new_tokens": new_tokens,
+            "peak_ratio": args.peak_ratio,
+            "period_s": args.period,
+        }
+    if args.trace == "bursty":
+        return {
+            "prompt_len": prompt_len,
+            "new_tokens": new_tokens,
+            "burst_factor": args.burst_factor,
+        }
+    if args.trace == "heavy-tail":
+        return {
+            "prompt_len": prompt_len,
+            "new_tokens": new_tokens,
+            "sigma": args.sigma,
+        }
+    if args.trace == "prefix":
+        return {
+            "n_tenants": args.tenants,
+            "prefix_tokens": args.prefix_tokens,
+            "suffix_len": list(_parse_range(args.suffix_len, "--suffix-len")),
+            "new_tokens": new_tokens,
+            "zipf_alpha": args.zipf_alpha,
+        }
+    raise SystemExit(f"unknown trace family {args.trace!r}")
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import dataclasses
+
     import numpy as np
 
     from repro.models import build_model, get_config
-    from repro.serving import EngineConfig, poisson_trace, run_serve_bench
+    from repro.serving import (
+        EngineConfig,
+        run_serve_bench,
+        trace_from_manifest,
+        trace_manifest,
+        trace_stats,
+        write_run_artifact,
+    )
 
     config = get_config(args.model)
     model = build_model(config, rng=np.random.default_rng(args.seed))
     model.eval()
-    trace = poisson_trace(
+    # Build the trace *through* its manifest description so the recorded
+    # run replays bit-identically (one seeded Generator end to end).
+    trace_spec = trace_manifest(
+        args.trace,
         args.requests,
-        rate_rps=args.rate,
-        vocab_size=config.vocab_size,
-        prompt_len=_parse_range(args.prompt_len, "--prompt-len"),
-        new_tokens=_parse_range(args.new_tokens, "--new-tokens"),
-        seed=args.seed,
+        args.rate,
+        config.vocab_size,
+        args.seed,
+        **_trace_params(args),
     )
+    trace = trace_from_manifest({"trace": trace_spec})
+    trace_info = {"family": args.trace, "stats": trace_stats(trace)}
     drafter_spec = None
     spec_k = 4
     if args.speculative:
@@ -134,6 +191,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         n_blocks=args.blocks,
         block_tokens=args.block_tokens,
         spec_k=spec_k,
+        prefix_sharing=not args.no_prefix_sharing,
     )
     variants = [spec.strip() for spec in args.variants.split(",") if spec.strip()]
     report = run_serve_bench(
@@ -146,6 +204,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         profile=args.profile,
         drafter_spec=drafter_spec,
+        verify_identity=args.verify_identity,
+        trace_info=trace_info,
     )
     print(report.table())
     print()
@@ -164,6 +224,33 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         path = Path(args.json)
         path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
         print(f"wrote {path}")
+    if args.run_dir or args.run_name:
+        from pathlib import Path
+
+        run_dir = (
+            Path(args.run_dir)
+            if args.run_dir
+            else Path("benchmarks") / "runs" / args.run_name
+        )
+        manifest = {
+            "name": run_dir.name,
+            "model": args.model,
+            "variants": variants,
+            "gpu": args.gpu,
+            "tp": args.tp,
+            "seed": args.seed,
+            "speculative": args.speculative,
+            "verify_identity": args.verify_identity,
+            "engine": dataclasses.asdict(engine_config),
+            "trace": trace_spec,
+        }
+        write_run_artifact(run_dir, manifest, report)
+        print(f"wrote run artifact {run_dir}/")
+    if args.verify_identity and not all(
+        result.tokens_match_unshared for result in report.results
+    ):
+        print("ERROR: paged-engine output diverged from the unshared engine")
+        return 1
     return 0
 
 
@@ -285,6 +372,45 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rate", type=float, default=50.0, help="arrivals per second")
     serve.add_argument("--prompt-len", default="8:32", help="prompt length LOW:HIGH")
     serve.add_argument("--new-tokens", default="4:16", help="generation budget LOW:HIGH")
+    serve.add_argument(
+        "--trace",
+        default="poisson",
+        choices=("poisson", "diurnal", "bursty", "heavy-tail", "prefix"),
+        help="trace family shaping arrivals/lengths (see EXPERIMENTS.md)",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=4,
+        help="prefix trace: number of tenants with distinct shared prefixes",
+    )
+    serve.add_argument(
+        "--prefix-tokens", type=int, default=32,
+        help="prefix trace: shared prefix length per tenant "
+             "(align to --block-tokens for full sharing)",
+    )
+    serve.add_argument(
+        "--suffix-len", default="4:12",
+        help="prefix trace: private suffix length LOW:HIGH",
+    )
+    serve.add_argument(
+        "--zipf-alpha", type=float, default=1.0,
+        help="prefix trace: tenant popularity skew (0 = uniform)",
+    )
+    serve.add_argument(
+        "--burst-factor", type=float, default=8.0,
+        help="bursty trace: rate multiplier inside bursts",
+    )
+    serve.add_argument(
+        "--peak-ratio", type=float, default=4.0,
+        help="diurnal trace: peak-to-trough arrival-rate ratio",
+    )
+    serve.add_argument(
+        "--period", type=float, default=10.0,
+        help="diurnal trace: seconds per compressed day",
+    )
+    serve.add_argument(
+        "--sigma", type=float, default=0.8,
+        help="heavy-tail trace: log-normal length spread",
+    )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--gpu", default="a100-80gb", help="GPU spec for the projection")
     serve.add_argument("--max-batch", type=int, default=8)
@@ -307,6 +433,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="record and print the fast path's per-op wall-time profile",
+    )
+    serve.add_argument(
+        "--no-prefix-sharing",
+        action="store_true",
+        help="serve from per-request block pools instead of the paged "
+             "prefix-sharing KV store",
+    )
+    serve.add_argument(
+        "--verify-identity",
+        action="store_true",
+        help="re-replay each variant on the unshared engine and fail "
+             "unless every request's tokens match exactly",
+    )
+    serve.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="persist manifest.json/metrics.jsonl/summary.json to DIR",
+    )
+    serve.add_argument(
+        "--run-name",
+        default=None,
+        metavar="NAME",
+        help="persist the run artifact to benchmarks/runs/NAME/",
     )
     serve.add_argument(
         "--speculative",

@@ -140,6 +140,15 @@ class ModelKVCache:
         for layer in self.layers:
             layer.truncate(length)
 
+    def note_tokens(self, tokens) -> None:
+        """Scheduler token-note protocol: a no-op for growable caches.
+
+        Sequence caches that share state across requests (the paged store
+        in :mod:`repro.serving.paged`) use the noted token ids to key
+        their prefix index; a private cache has nothing to index.  Part of
+        the common cache contract so schedulers can note unconditionally.
+        """
+
     def __getitem__(self, index: int) -> LayerKVCache:
         return self.layers[index]
 

@@ -17,7 +17,12 @@ from repro.parallel.accounting import CommProjection, analytic_comm, gathered_wi
 from repro.parallel.collectives import CommStats, LocalGroup
 from repro.parallel.executor import RankExecutor
 from repro.parallel.mesh import DeviceMesh, validate_mesh
-from repro.parallel.local import ShardedKVPool, ShardedLlama, ShardedSequenceCache
+from repro.parallel.local import (
+    ShardedKVPool,
+    ShardedLlama,
+    ShardedPagedStore,
+    ShardedSequenceCache,
+)
 from repro.parallel.process import ProcessGroup, ProcessShardedLlama
 from repro.parallel.sharding import RankShard, shard_model
 
@@ -32,6 +37,7 @@ __all__ = [
     "RankShard",
     "ShardedKVPool",
     "ShardedLlama",
+    "ShardedPagedStore",
     "ShardedSequenceCache",
     "analytic_comm",
     "gathered_width",

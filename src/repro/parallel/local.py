@@ -26,6 +26,7 @@ from repro.parallel.collectives import CommStats, LocalGroup
 from repro.parallel.executor import RankExecutor
 from repro.parallel.mesh import DeviceMesh
 from repro.parallel.sharding import RankShard, shard_model
+from repro.serving.paged import PagedKVStore
 from repro.serving.pool import KVBlockPool
 from repro.tensor.tensor import Tensor
 
@@ -53,6 +54,14 @@ class ShardedSequenceCache:
     def reserve(self, new_tokens: int) -> None:
         for cache in self.rank_caches:
             cache.reserve(new_tokens)
+
+    def note_tokens(self, tokens) -> None:
+        """Fan the scheduler's token note out to every rank's slice (paged
+        stores key their radix index on it; growable caches ignore it)."""
+        for cache in self.rank_caches:
+            note = getattr(cache, "note_tokens", None)
+            if note is not None:
+                note(tokens)
 
     def truncate(self, length: int) -> None:
         """Roll every rank's cache slice back to ``length`` positions.
@@ -121,6 +130,58 @@ class ShardedKVPool:
 
     def allocate_sequence(self) -> ShardedSequenceCache:
         return ShardedSequenceCache([pool.allocate_sequence() for pool in self.pools])
+
+
+class ShardedPagedStore(ShardedKVPool):
+    """Per-rank :class:`~repro.serving.paged.PagedKVStore` facade.
+
+    Every rank's store receives the identical operation sequence (acquire
+    keys, token notes, append sizes, truncations, frees), and the radix
+    walk is deterministic, so all ranks make the same sharing decisions —
+    a prefix shared on rank 0 is shared on every rank.  Sharing telemetry
+    delegates to rank 0.
+    """
+
+    def __init__(self, shards: Sequence[RankShard], n_blocks: int, block_tokens: int) -> None:
+        self.pools: List[PagedKVStore] = [
+            PagedKVStore(
+                shard.config,
+                n_blocks=n_blocks,
+                block_tokens=block_tokens,
+                kv_heads=shard.n_kv_heads,
+            )
+            for shard in shards
+        ]
+
+    def acquire_sequence(self, tokens=None) -> ShardedSequenceCache:
+        caches = [pool.acquire_sequence(tokens) for pool in self.pools]
+        lengths = {cache.seq_len for cache in caches}
+        if len(lengths) != 1:
+            raise ParallelError(
+                f"rank paged stores diverged: shared prefix lengths {sorted(lengths)}"
+            )
+        return ShardedSequenceCache(caches)
+
+    # -- sharing telemetry (rank 0; identical on every rank) ---------------
+    @property
+    def prefix_lookups(self) -> int:
+        return self.pools[0].prefix_lookups
+
+    @property
+    def prefix_hits(self) -> int:
+        return self.pools[0].prefix_hits
+
+    @property
+    def shared_tokens(self) -> int:
+        return self.pools[0].shared_tokens
+
+    @property
+    def cow_forks(self) -> int:
+        return self.pools[0].cow_forks
+
+    @property
+    def evictions(self) -> int:
+        return self.pools[0].evictions
 
 
 class ShardedLlama:
@@ -225,8 +286,13 @@ class ShardedLlama:
         return results[0]
 
     # -- serving hooks -----------------------------------------------------
-    def make_kv_pool(self, n_blocks: int, block_tokens: int) -> ShardedKVPool:
-        return ShardedKVPool(self.shards, n_blocks=n_blocks, block_tokens=block_tokens)
+    def make_kv_pool(
+        self, n_blocks: int, block_tokens: int, paged: bool = False
+    ) -> ShardedKVPool:
+        """Per-rank KV pools; ``paged`` selects the prefix-sharing store so
+        TP engines share prefixes exactly like single-rank ones."""
+        cls = ShardedPagedStore if paged else ShardedKVPool
+        return cls(self.shards, n_blocks=n_blocks, block_tokens=block_tokens)
 
     def make_cache(self) -> ShardedSequenceCache:
         """A growable (non-pooled) per-sequence cache, one slice per rank."""

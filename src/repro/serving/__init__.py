@@ -11,15 +11,23 @@ preallocated block-based KV-cache pool shared across requests
 roofline projection from :mod:`repro.hwmodel`.
 """
 
+from repro.serving.artifacts import (
+    load_run,
+    trace_from_manifest,
+    trace_manifest,
+    write_run_artifact,
+)
 from repro.serving.bench import (
     ServeBenchReport,
     VariantBenchResult,
     bench_variant,
     replay_trace,
+    request_records,
     run_serve_bench,
 )
 from repro.serving.engine import EngineConfig, InferenceEngine, StepReport
 from repro.serving.metrics import EngineMetrics, SampleStats
+from repro.serving.paged import PagedKVStore, PagedLayerCache, PagedSequenceCache
 from repro.serving.pool import KVBlockPool, PooledLayerCache, PooledSequenceCache
 from repro.serving.request import (
     ACTIVE_STATES,
@@ -28,7 +36,17 @@ from repro.serving.request import (
     GenerationResult,
     RequestState,
 )
-from repro.serving.trace import TraceRequest, poisson_trace
+from repro.serving.trace import (
+    TRACE_FAMILIES,
+    TraceRequest,
+    bursty_trace,
+    diurnal_trace,
+    heavy_tail_trace,
+    make_trace,
+    poisson_trace,
+    shared_prefix_trace,
+    trace_stats,
+)
 from repro.serving.variants import (
     ModelVariant,
     VariantRegistry,
@@ -38,6 +56,7 @@ from repro.serving.variants import (
 __all__ = [
     "ACTIVE_STATES",
     "TERMINAL_STATES",
+    "TRACE_FAMILIES",
     "EngineConfig",
     "EngineMetrics",
     "GenerationRequest",
@@ -45,6 +64,9 @@ __all__ = [
     "InferenceEngine",
     "KVBlockPool",
     "ModelVariant",
+    "PagedKVStore",
+    "PagedLayerCache",
+    "PagedSequenceCache",
     "PooledLayerCache",
     "PooledSequenceCache",
     "RequestState",
@@ -55,8 +77,19 @@ __all__ = [
     "VariantBenchResult",
     "VariantRegistry",
     "bench_variant",
+    "bursty_trace",
+    "diurnal_trace",
+    "heavy_tail_trace",
+    "load_run",
+    "make_trace",
     "parse_variant_spec",
     "poisson_trace",
     "replay_trace",
+    "request_records",
     "run_serve_bench",
+    "shared_prefix_trace",
+    "trace_from_manifest",
+    "trace_manifest",
+    "trace_stats",
+    "write_run_artifact",
 ]

@@ -1,0 +1,134 @@
+"""Persistent serve-bench run artifacts.
+
+Every ``repro serve-bench`` invocation can persist itself as a run
+directory::
+
+    benchmarks/runs/<name>/
+        manifest.json    # everything needed to reproduce the run:
+                         #   model, variants, engine config, tp, gpu,
+                         #   the trace description (family + params + seed)
+        metrics.jsonl    # raw per-request samples, one JSON object per
+                         #   line, tagged with the variant that served it
+        summary.json     # the aggregate ServeBenchReport (percentiles,
+                         #   throughput, prefix stats, identity verdict)
+
+The split keeps the summary small and diff-able while the raw samples stay
+greppable/streamable; and because **all** trace randomness flows through
+one seeded :class:`numpy.random.Generator` recorded in the manifest,
+:func:`trace_from_manifest` rebuilds the exact trace bit for bit — a run
+directory is a complete, replayable experiment record.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.errors import ServingError
+from repro.serving.bench import ServeBenchReport
+from repro.serving.trace import TraceRequest, make_trace
+
+MANIFEST_NAME = "manifest.json"
+METRICS_NAME = "metrics.jsonl"
+SUMMARY_NAME = "summary.json"
+
+
+def trace_manifest(
+    family: str,
+    n_requests: int,
+    rate_rps: float,
+    vocab_size: int,
+    seed: int,
+    **params,
+) -> dict:
+    """The manifest's trace section: exactly :func:`make_trace`'s inputs."""
+    return {
+        "family": family,
+        "n_requests": int(n_requests),
+        "rate_rps": float(rate_rps),
+        "vocab_size": int(vocab_size),
+        "seed": int(seed),
+        "params": dict(params),
+    }
+
+
+def trace_from_manifest(manifest: dict) -> List[TraceRequest]:
+    """Rebuild a run's trace, bit-identically, from its manifest."""
+    try:
+        spec = manifest["trace"] if "trace" in manifest else manifest
+        return make_trace(
+            spec["family"],
+            spec["n_requests"],
+            spec["rate_rps"],
+            spec["vocab_size"],
+            seed=spec["seed"],
+            **spec.get("params", {}),
+        )
+    except KeyError as missing:
+        raise ServingError(f"manifest trace section missing key {missing}") from None
+
+
+def write_run_artifact(
+    run_dir, manifest: dict, report: ServeBenchReport
+) -> Path:
+    """Persist one serve-bench run as ``<run_dir>/{manifest,metrics,summary}``.
+
+    ``manifest`` must carry a ``"trace"`` section (see
+    :func:`trace_manifest`) so the run can be replayed.  Raw per-request
+    samples are moved out of the summary into ``metrics.jsonl``; the
+    summary keeps only aggregates.
+    """
+    if "trace" not in manifest:
+        raise ServingError("run manifest must include a 'trace' section")
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+
+    (run_dir / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
+
+    summary = report.to_dict()
+    lines = []
+    for result in summary["results"]:
+        for record in result.pop("requests"):
+            lines.append(json.dumps({"variant": result["spec"], **record}))
+    (run_dir / METRICS_NAME).write_text(
+        "\n".join(lines) + ("\n" if lines else "")
+    )
+    (run_dir / SUMMARY_NAME).write_text(json.dumps(summary, indent=2) + "\n")
+    return run_dir
+
+
+def load_run(run_dir) -> Tuple[dict, dict, List[dict]]:
+    """Read a run directory back: (manifest, summary, per-request records)."""
+    run_dir = Path(run_dir)
+    for name in (MANIFEST_NAME, SUMMARY_NAME, METRICS_NAME):
+        if not (run_dir / name).exists():
+            raise ServingError(f"run directory {run_dir} is missing {name}")
+    manifest = json.loads((run_dir / MANIFEST_NAME).read_text())
+    summary = json.loads((run_dir / SUMMARY_NAME).read_text())
+    records = [
+        json.loads(line)
+        for line in (run_dir / METRICS_NAME).read_text().splitlines()
+        if line.strip()
+    ]
+    return manifest, summary, records
+
+
+def records_by_variant(records: List[dict]) -> Dict[str, List[dict]]:
+    """Group ``metrics.jsonl`` records by the variant that served them."""
+    grouped: Dict[str, List[dict]] = {}
+    for record in records:
+        grouped.setdefault(record["variant"], []).append(record)
+    return grouped
+
+
+__all__ = [
+    "MANIFEST_NAME",
+    "METRICS_NAME",
+    "SUMMARY_NAME",
+    "load_run",
+    "records_by_variant",
+    "trace_from_manifest",
+    "trace_manifest",
+    "write_run_artifact",
+]

@@ -17,8 +17,10 @@ prediction (Sections 2.2 and 4.3).
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.errors import ServingError
 from repro.hwmodel.device import GPUSpec, get_gpu
@@ -71,6 +73,28 @@ def replay_trace(
     return submitted
 
 
+def request_records(requests: Sequence[GenerationRequest]) -> List[dict]:
+    """JSON-ready per-request samples (one ``metrics.jsonl`` line each)."""
+    records = []
+    for request in requests:
+        records.append(
+            {
+                "request_id": request.request_id,
+                "state": request.state.value,
+                "arrival_time_s": request.arrival_time,
+                "prompt_tokens": int(request.prompt.size),
+                "n_generated": request.n_generated,
+                "generated": [int(t) for t in request.generated],
+                "preemptions": request.preemptions,
+                "queue_wait_s": request.queue_wait_s,
+                "ttft_s": request.ttft_s,
+                "e2e_s": request.e2e_s,
+                "finish_reason": request.finish_reason,
+            }
+        )
+    return records
+
+
 @dataclass(frozen=True)
 class VariantBenchResult:
     """Measured + projected serving behaviour of one model variant."""
@@ -83,6 +107,7 @@ class VariantBenchResult:
     preemptions: int
     ttft_p50_s: float
     ttft_p95_s: float
+    ttft_p99_s: float
     queue_wait_p50_s: float
     e2e_p95_s: float
     decode_tokens_per_s: float
@@ -98,6 +123,16 @@ class VariantBenchResult:
     spec_drafted: int = 0
     spec_accepted: int = 0
     spec_fallbacks: int = 0
+    # Cross-request prefix sharing (paged store; zero when disabled).
+    prefix_lookups: int = 0
+    prefix_hits: int = 0
+    prefix_hit_rate: float = 0.0
+    prefill_tokens_saved: int = 0
+    # Per-request samples of the replay (metrics.jsonl lines).
+    requests: List[dict] = field(default_factory=list)
+    # ``--verify-identity``: None = not checked, else tokens matched the
+    # per-request-pool (unshared) engine on every request.
+    tokens_match_unshared: Optional[bool] = None
 
     @property
     def projected_tokens_per_s(self) -> float:
@@ -117,6 +152,13 @@ class VariantBenchResult:
                 f" ({self.spec_accepted}/{self.spec_drafted},"
                 f" fallbacks={self.spec_fallbacks})"
             )
+        if self.prefix_lookups:
+            line += (
+                f"  prefix hit={self.prefix_hit_rate:5.1%}"
+                f" saved={self.prefill_tokens_saved} tok"
+            )
+        if self.tokens_match_unshared is not None:
+            line += "  [identity ok]" if self.tokens_match_unshared else "  [DIVERGED]"
         return line
 
     def comm_line(self) -> Optional[str]:
@@ -145,6 +187,7 @@ class VariantBenchResult:
             "preemptions": self.preemptions,
             "ttft_p50_s": self.ttft_p50_s,
             "ttft_p95_s": self.ttft_p95_s,
+            "ttft_p99_s": self.ttft_p99_s,
             "queue_wait_p50_s": self.queue_wait_p50_s,
             "e2e_p95_s": self.e2e_p95_s,
             "decode_tokens_per_s": self.decode_tokens_per_s,
@@ -161,6 +204,12 @@ class VariantBenchResult:
             "spec_drafted": self.spec_drafted,
             "spec_accepted": self.spec_accepted,
             "spec_fallbacks": self.spec_fallbacks,
+            "prefix_lookups": self.prefix_lookups,
+            "prefix_hits": self.prefix_hits,
+            "prefix_hit_rate": self.prefix_hit_rate,
+            "prefill_tokens_saved": self.prefill_tokens_saved,
+            "requests": self.requests,
+            "tokens_match_unshared": self.tokens_match_unshared,
         }
         return payload
 
@@ -175,6 +224,9 @@ class ServeBenchReport:
     results: List[VariantBenchResult]
     tp: int = 1
     seed: Optional[int] = None
+    # Trace provenance: family name, generator params, shape summary
+    # (what a run manifest needs to replay the trace bit-identically).
+    trace_info: Optional[dict] = None
 
     def result_for(self, spec: str) -> VariantBenchResult:
         for result in self.results:
@@ -192,9 +244,11 @@ class ServeBenchReport:
 
     def table(self) -> str:
         tp_note = f", tp={self.tp}" if self.tp > 1 else ""
+        family = (self.trace_info or {}).get("family")
+        trace_note = f", {family} trace" if family else ""
         header = (
             f"serve-bench: {self.model} on {self.gpu} projection, "
-            f"{self.n_requests} requests{tp_note}"
+            f"{self.n_requests} requests{trace_note}{tp_note}"
         )
         lines = [header, "-" * len(header)]
         lines.extend(result.summary_line() for result in self.results)
@@ -217,33 +271,21 @@ class ServeBenchReport:
             "n_requests": self.n_requests,
             "tp": self.tp,
             "seed": self.seed,
+            "trace_info": self.trace_info,
             "results": [result.to_dict() for result in self.results],
         }
 
 
-def bench_variant(
+def _replay_once(
     variant: ModelVariant,
     trace: Sequence[TraceRequest],
-    engine_config: Optional[EngineConfig] = None,
-    gpu: Optional[GPUSpec] = None,
-    tp: int = 1,
-    profile: bool = False,
-    drafter: Optional[ModelVariant] = None,
-) -> VariantBenchResult:
-    """Replay ``trace`` against one variant and attach the hwmodel projection.
-
-    With ``tp > 1`` the variant runs under the tensor-parallel executor
-    (:class:`~repro.parallel.local.ShardedLlama`, which produces identical
-    logits by construction) and the result carries the measured collective
-    traffic next to the analytic projection — they must agree byte for byte.
-    With ``profile``, the inference fast path records a per-op wall-time /
-    allocation profile of the whole replay (rank 0's when ``tp > 1``).
-    With ``drafter``, the variant *verifies* that drafter's speculative
-    proposals: every request decodes through the engine's speculative mode
-    (``engine_config.spec_k`` drafts per cycle) and the result carries the
-    measured acceptance rate; committed tokens still equal plain decoding.
-    """
-    gpu = gpu or get_gpu("a100-80gb")
+    engine_config: Optional[EngineConfig],
+    gpu: GPUSpec,
+    tp: int,
+    profile: bool,
+    drafter: Optional[ModelVariant],
+):
+    """One full trace replay; returns (metrics, requests, comm, profile)."""
     serving_model = variant.model
     sharded = None
     if tp > 1:
@@ -267,7 +309,7 @@ def bench_variant(
             config=engine_config,
             drafter=None if drafter is None else drafter.model,
         )
-        replay_trace(engine, trace, speculative=drafter is not None)
+        requests = replay_trace(engine, trace, speculative=drafter is not None)
         metrics = engine.metrics
         profile_table = None
         if profiler is not None:
@@ -294,6 +336,53 @@ def bench_variant(
     finally:
         if sharded is not None:
             sharded.close()
+    return metrics, requests, comm, profile_table
+
+
+def bench_variant(
+    variant: ModelVariant,
+    trace: Sequence[TraceRequest],
+    engine_config: Optional[EngineConfig] = None,
+    gpu: Optional[GPUSpec] = None,
+    tp: int = 1,
+    profile: bool = False,
+    drafter: Optional[ModelVariant] = None,
+    verify_identity: bool = False,
+) -> VariantBenchResult:
+    """Replay ``trace`` against one variant and attach the hwmodel projection.
+
+    With ``tp > 1`` the variant runs under the tensor-parallel executor
+    (:class:`~repro.parallel.local.ShardedLlama`, which produces identical
+    logits by construction) and the result carries the measured collective
+    traffic next to the analytic projection — they must agree byte for byte.
+    With ``profile``, the inference fast path records a per-op wall-time /
+    allocation profile of the whole replay (rank 0's when ``tp > 1``).
+    With ``drafter``, the variant *verifies* that drafter's speculative
+    proposals: every request decodes through the engine's speculative mode
+    (``engine_config.spec_k`` drafts per cycle) and the result carries the
+    measured acceptance rate; committed tokens still equal plain decoding.
+    With ``verify_identity``, the same trace is replayed a second time on
+    the per-request-pool engine (``prefix_sharing=False``) and every
+    request's tokens are compared — the paged store's token-for-token
+    exactness contract, checked end to end.
+    """
+    gpu = gpu or get_gpu("a100-80gb")
+    metrics, requests, comm, profile_table = _replay_once(
+        variant, trace, engine_config, gpu, tp, profile, drafter
+    )
+    tokens_match: Optional[bool] = None
+    if verify_identity:
+        baseline_config = replace(
+            engine_config if engine_config is not None else EngineConfig(),
+            prefix_sharing=False,
+        )
+        _, baseline, _, _ = _replay_once(
+            variant, trace, baseline_config, gpu, tp, False, drafter
+        )
+        tokens_match = len(requests) == len(baseline) and all(
+            ours.state is theirs.state and np.array_equal(ours.tokens, theirs.tokens)
+            for ours, theirs in zip(requests, baseline)
+        )
 
     mean_prompt = max(1, round(sum(t.prompt.size for t in trace) / len(trace)))
     mean_new = max(1, round(sum(t.max_new_tokens for t in trace) / len(trace)))
@@ -316,6 +405,7 @@ def bench_variant(
         preemptions=metrics.preemptions,
         ttft_p50_s=metrics.ttft_s.p50,
         ttft_p95_s=metrics.ttft_s.p95,
+        ttft_p99_s=metrics.ttft_s.p99,
         queue_wait_p50_s=metrics.queue_wait_s.p50,
         e2e_p95_s=metrics.e2e_s.p95,
         decode_tokens_per_s=metrics.decode_tokens_per_s,
@@ -331,6 +421,12 @@ def bench_variant(
         spec_drafted=metrics.spec_drafted,
         spec_accepted=metrics.spec_accepted,
         spec_fallbacks=metrics.spec_fallbacks,
+        prefix_lookups=metrics.prefix_lookups,
+        prefix_hits=metrics.prefix_hits,
+        prefix_hit_rate=metrics.prefix_hit_rate,
+        prefill_tokens_saved=metrics.prefill_tokens_saved,
+        requests=request_records(requests),
+        tokens_match_unshared=tokens_match,
     )
 
 
@@ -344,12 +440,17 @@ def run_serve_bench(
     seed: Optional[int] = None,
     profile: bool = False,
     drafter_spec: Optional[str] = None,
+    verify_identity: bool = False,
+    trace_info: Optional[dict] = None,
 ) -> ServeBenchReport:
     """Replay one trace against every variant of ``base_model``.
 
     ``drafter_spec`` (e.g. ``"rank8"``) serves every variant speculatively:
     the variant verifies drafts from that (shared-registry) drafter model,
     and each result row reports the measured acceptance rate.
+    ``verify_identity`` re-replays each variant on the unshared engine and
+    records per-request token identity; ``trace_info`` carries the trace's
+    family/params/shape provenance into the report (and run manifest).
     """
     if not variant_specs:
         raise ServingError("at least one variant spec is required")
@@ -367,6 +468,7 @@ def run_serve_bench(
             tp=tp,
             profile=profile,
             drafter=drafter,
+            verify_identity=verify_identity,
         )
         for spec in variant_specs
     ]
@@ -377,4 +479,5 @@ def run_serve_bench(
         results=results,
         tp=tp,
         seed=seed,
+        trace_info=trace_info,
     )

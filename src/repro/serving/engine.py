@@ -28,6 +28,7 @@ import numpy as np
 from repro.errors import PoolExhaustedError, ServingError
 from repro.runtime.decode import DecodeState
 from repro.serving.metrics import EngineMetrics
+from repro.serving.paged import PagedKVStore
 from repro.serving.pool import KVBlockPool
 from repro.serving.request import (
     ACTIVE_STATES,
@@ -48,6 +49,11 @@ class EngineConfig:
     max_queue: int = 4096       # admission queue bound
     spec_k: int = 4             # draft tokens per speculative cycle
     spec_blocks: Optional[int] = None  # drafter KV pool size (None: n_blocks)
+    # Cross-request prefix sharing: KV state lives in one global paged
+    # store with a radix index over token ids, so requests with a common
+    # prefix skip its prefill and share pages copy-on-write.  Off falls
+    # back to the per-request block pool (the identity baseline).
+    prefix_sharing: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0 or self.token_budget <= 0:
@@ -109,13 +115,20 @@ class InferenceEngine:
         self.timer = timer
         # Tensor-parallel model facades supply their own pool holding one
         # KV slice per rank; a plain model gets the shared single pool.
-        self.pool = self._make_pool(model, self.config.n_blocks)
+        # With prefix sharing the pool is a paged store whose radix index
+        # lets admission reuse already-computed prefixes.
+        self.pool = self._make_pool(
+            model, self.config.n_blocks, paged=self.config.prefix_sharing
+        )
         self.drafter = drafter
         self.draft_pool = None
         if drafter is not None:
             drafter.eval()
+            # The drafter's KV is private per request and rebuilt from the
+            # prefix after preemption — never shared, so it stays a plain
+            # per-request pool.
             self.draft_pool = self._make_pool(
-                drafter, self.config.spec_blocks or self.config.n_blocks
+                drafter, self.config.spec_blocks or self.config.n_blocks, paged=False
             )
         self.metrics = EngineMetrics()
         self._queue: Deque[GenerationRequest] = deque()
@@ -123,11 +136,15 @@ class InferenceEngine:
         self._requests: Dict[int, GenerationRequest] = {}
         self._next_id = 0
 
-    def _make_pool(self, model, n_blocks: int):
+    def _make_pool(self, model, n_blocks: int, paged: bool = False):
         pool_factory = getattr(model, "make_kv_pool", None)
         if pool_factory is not None:
             return pool_factory(
-                n_blocks=n_blocks, block_tokens=self.config.block_tokens
+                n_blocks=n_blocks, block_tokens=self.config.block_tokens, paged=paged
+            )
+        if paged:
+            return PagedKVStore(
+                model.config, n_blocks=n_blocks, block_tokens=self.config.block_tokens
             )
         return KVBlockPool(
             model.config, n_blocks=n_blocks, block_tokens=self.config.block_tokens
@@ -227,6 +244,12 @@ class InferenceEngine:
         # Draft phase (speculative rows only): drafter forwards happen here
         # so their cost lands inside the step's measured duration.
         feeds, draft_counts = self._draft_extend(rows)
+        # Paged caches index sealed pages by token ids; tell each cache
+        # what the forward is about to append (chunk + any draft tokens).
+        for (request, _), feed in zip(rows, feeds):
+            note = getattr(request.cache, "note_tokens", None)
+            if note is not None:
+                note(feed)
         lengths = np.asarray([feed.size for feed in feeds], dtype=np.int64)
         batch = np.zeros((len(rows), int(lengths.max())), dtype=np.int64)
         for index, feed in enumerate(feeds):
@@ -336,20 +359,36 @@ class InferenceEngine:
 
         while budget > 0 and self._queue and self._active_count() < self.config.max_batch:
             request = self._queue[0]
-            take = min(request.prefix.size, budget)
-            cache = self.pool.allocate_sequence()
+            prefix = request.prefix
+            # Admission reserves *new* pages only: a paged store seeds the
+            # cache with the longest indexed prefix (page-aligned, always
+            # leaving >= 1 token to feed), so prefill covers just the
+            # uncovered suffix.  Re-admission after preemption re-links the
+            # same way — recompute-style preemption becomes mostly free.
+            acquire = getattr(self.pool, "acquire_sequence", None)
+            if acquire is not None:
+                cache = acquire(prefix)
+            else:
+                cache = self.pool.allocate_sequence()
+            shared = cache.seq_len
+            take = min(prefix.size - shared, budget)
             try:
                 cache.reserve(take)
             except PoolExhaustedError:
                 cache.free()
                 break  # pool pressure: leave queued, try next step
             self._queue.popleft()
+            if acquire is not None:
+                self.metrics.prefix_lookups += 1
+                if shared:
+                    self.metrics.prefix_hits += 1
+                    self.metrics.prefill_tokens_saved += shared
             request.cache = cache
             request.state = RequestState.PREFILL
             if request.first_scheduled_time is None:
                 request.first_scheduled_time = now
             self._running.append(request)
-            rows.append((request, request.prefix[:take]))
+            rows.append((request, prefix[shared : shared + take]))
             budget -= take
         return rows
 

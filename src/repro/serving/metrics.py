@@ -52,6 +52,10 @@ class SampleStats:
         return self.percentile(95.0)
 
     @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    @property
     def maximum(self) -> float:
         return max(self._samples) if self._samples else 0.0
 
@@ -64,6 +68,7 @@ class SampleStats:
             "mean": self.mean,
             "p50": self.p50,
             "p95": self.p95,
+            "p99": self.p99,
             "max": self.maximum,
             "samples": list(self._samples),
         }
@@ -105,6 +110,11 @@ class EngineMetrics:
     spec_drafted: int = 0      # drafter proposals scored by the verifier
     spec_accepted: int = 0     # proposals matching the verifier's greedy choice
     spec_fallbacks: int = 0    # cycles skipped on pool pressure (plain decode)
+
+    # Cross-request prefix sharing (paged KV store admissions only).
+    prefix_lookups: int = 0         # admissions that consulted the radix index
+    prefix_hits: int = 0            # admissions seeded with >= 1 shared page
+    prefill_tokens_saved: int = 0   # prompt tokens served from shared pages
 
     def record_step(
         self,
@@ -177,6 +187,13 @@ class EngineMetrics:
             return 0.0
         return self.spec_accepted / self.spec_drafted
 
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Admissions seeded from the index over all paged admissions."""
+        if self.prefix_lookups == 0:
+            return 0.0
+        return self.prefix_hits / self.prefix_lookups
+
     # -- (de)serialization -------------------------------------------------
     _COUNTER_FIELDS = (
         "steps", "decode_steps", "prefill_steps", "mixed_steps",
@@ -184,6 +201,7 @@ class EngineMetrics:
         "pure_decode_tokens", "prefill_tokens", "peak_batch",
         "finished", "cancelled", "rejected", "preemptions",
         "spec_steps", "spec_drafted", "spec_accepted", "spec_fallbacks",
+        "prefix_lookups", "prefix_hits", "prefill_tokens_saved",
     )
 
     def snapshot(self) -> dict:
@@ -197,6 +215,7 @@ class EngineMetrics:
         payload["overall_tokens_per_s"] = self.overall_tokens_per_s
         payload["mean_decode_batch"] = self.mean_decode_batch
         payload["spec_acceptance_rate"] = self.spec_acceptance_rate
+        payload["prefix_hit_rate"] = self.prefix_hit_rate
         return payload
 
     @classmethod
@@ -225,5 +244,11 @@ class EngineMetrics:
                 f" | spec accept={self.spec_acceptance_rate:.2f} "
                 f"({self.spec_accepted}/{self.spec_drafted}, "
                 f"fallbacks={self.spec_fallbacks})"
+            )
+        if self.prefix_lookups:
+            text += (
+                f" | prefix hit={self.prefix_hit_rate:.2f} "
+                f"({self.prefix_hits}/{self.prefix_lookups}, "
+                f"saved {self.prefill_tokens_saved} prefill tokens)"
             )
         return text

@@ -247,6 +247,13 @@ class PooledSequenceCache:
     def __len__(self) -> int:
         return len(self.layers)
 
+    def note_tokens(self, tokens) -> None:
+        """Scheduler token-note protocol: a no-op here.
+
+        The paged store (:mod:`repro.serving.paged`) keys its radix index
+        on the noted ids; a private block pool has nothing to index.
+        """
+
     def reserve(self, new_tokens: int) -> None:
         """Ensure capacity for ``new_tokens`` more positions.
 

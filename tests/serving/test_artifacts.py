@@ -1,0 +1,131 @@
+"""Run artifacts: manifest/metrics/summary round-trip and trace replay."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    EngineConfig,
+    load_run,
+    shared_prefix_trace,
+    trace_from_manifest,
+    trace_manifest,
+    write_run_artifact,
+)
+from repro.serving.artifacts import records_by_variant
+from repro.serving.bench import run_serve_bench
+
+
+@pytest.fixture(scope="module")
+def report(smoke_model, smoke_config):
+    trace = shared_prefix_trace(
+        8,
+        rate_rps=100.0,
+        vocab_size=smoke_config.vocab_size,
+        n_tenants=2,
+        prefix_tokens=16,
+        seed=3,
+    )
+    return run_serve_bench(
+        smoke_model,
+        ["dense", "rank8"],
+        trace,
+        engine_config=EngineConfig(
+            max_batch=4, token_budget=32, n_blocks=32, block_tokens=8
+        ),
+        seed=3,
+        trace_info={"family": "prefix"},
+    )
+
+
+@pytest.fixture()
+def manifest():
+    return {
+        "name": "test-run",
+        "model": "smoke-llama",
+        "seed": 3,
+        "trace": trace_manifest(
+            "prefix", 8, 100.0, 128, 3, n_tenants=2, prefix_tokens=16
+        ),
+    }
+
+
+class TestWriteAndLoad:
+    def test_round_trip(self, tmp_path, manifest, report):
+        run_dir = write_run_artifact(tmp_path / "run", manifest, report)
+        assert (run_dir / "manifest.json").exists()
+        assert (run_dir / "metrics.jsonl").exists()
+        assert (run_dir / "summary.json").exists()
+        loaded_manifest, summary, records = load_run(run_dir)
+        assert loaded_manifest == manifest
+        assert summary["model"] == report.model
+        assert summary["trace_info"]["family"] == "prefix"
+        # One metrics line per (variant, request); none left in the summary.
+        assert len(records) == 2 * 8
+        for result in summary["results"]:
+            assert "requests" not in result
+            assert result["prefix_lookups"] >= 0
+        grouped = records_by_variant(records)
+        assert sorted(grouped) == ["dense", "rank8"]
+        assert all(len(rows) == 8 for rows in grouped.values())
+        for row in records:
+            assert {"request_id", "generated", "ttft_s"} <= set(row)
+
+    def test_metrics_jsonl_is_line_delimited(self, tmp_path, manifest, report):
+        run_dir = write_run_artifact(tmp_path / "run", manifest, report)
+        lines = (run_dir / "metrics.jsonl").read_text().splitlines()
+        assert all(json.loads(line) for line in lines)
+
+    def test_manifest_without_trace_rejected(self, tmp_path, report):
+        with pytest.raises(ServingError, match="trace"):
+            write_run_artifact(tmp_path / "run", {"name": "x"}, report)
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(ServingError, match="missing"):
+            load_run(tmp_path)
+
+
+class TestTraceReplay:
+    def test_manifest_replays_bit_identical(self, manifest):
+        first = trace_from_manifest(manifest)
+        second = trace_from_manifest(manifest)
+        assert len(first) == 8
+        for x, y in zip(first, second):
+            assert x.arrival_time == y.arrival_time
+            np.testing.assert_array_equal(x.prompt, y.prompt)
+            assert x.max_new_tokens == y.max_new_tokens
+            assert x.tenant == y.tenant
+
+    def test_replay_survives_json_round_trip(self, tmp_path, manifest, report):
+        """Params serialized to disk (tuples become lists) must still
+        rebuild the identical trace."""
+        run_dir = write_run_artifact(tmp_path / "run", manifest, report)
+        loaded, _, _ = load_run(run_dir)
+        original = trace_from_manifest(manifest)
+        replayed = trace_from_manifest(loaded)
+        for x, y in zip(original, replayed):
+            assert x.arrival_time == y.arrival_time
+            np.testing.assert_array_equal(x.prompt, y.prompt)
+
+    def test_missing_trace_key_raises(self):
+        with pytest.raises(ServingError, match="missing key"):
+            trace_from_manifest({"trace": {"family": "prefix"}})
+
+
+class TestReferenceRun:
+    """The checked-in reference run must stay loadable and replayable."""
+
+    REFERENCE = "benchmarks/runs/prefix-share-reference"
+
+    def test_reference_run_loads_and_replays(self):
+        manifest, summary, records = load_run(self.REFERENCE)
+        trace = trace_from_manifest(manifest)
+        assert len(trace) == manifest["trace"]["n_requests"]
+        assert summary["results"], "reference summary has no results"
+        result = summary["results"][0]
+        assert result["tokens_match_unshared"] is True
+        assert result["prefix_hits"] > 0
+        assert result["prefill_tokens_saved"] > 0
+        assert records, "reference run has no per-request records"

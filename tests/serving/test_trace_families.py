@@ -1,0 +1,136 @@
+"""Production-shaped trace families: determinism and shape properties."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    TRACE_FAMILIES,
+    bursty_trace,
+    diurnal_trace,
+    heavy_tail_trace,
+    make_trace,
+    poisson_trace,
+    shared_prefix_trace,
+    trace_stats,
+)
+
+VOCAB = 128
+
+
+def arrivals(trace):
+    return np.asarray([t.arrival_time for t in trace])
+
+
+class TestEveryFamily:
+    @pytest.mark.parametrize("family", sorted(TRACE_FAMILIES))
+    def test_deterministic_for_seed(self, family):
+        a = make_trace(family, 40, 30.0, VOCAB, seed=5)
+        b = make_trace(family, 40, 30.0, VOCAB, seed=5)
+        c = make_trace(family, 40, 30.0, VOCAB, seed=6)
+        for x, y in zip(a, b):
+            assert x.arrival_time == y.arrival_time
+            np.testing.assert_array_equal(x.prompt, y.prompt)
+            assert x.max_new_tokens == y.max_new_tokens
+        assert any(
+            x.arrival_time != y.arrival_time or not np.array_equal(x.prompt, y.prompt)
+            for x, y in zip(a, c)
+        )
+
+    @pytest.mark.parametrize("family", sorted(TRACE_FAMILIES))
+    def test_well_formed(self, family):
+        trace = make_trace(family, 40, 30.0, VOCAB, seed=1)
+        assert len(trace) == 40
+        times = arrivals(trace)
+        assert np.all(np.diff(times) >= 0) and np.all(times > 0)
+        for request in trace:
+            assert request.prompt.size >= 1
+            assert request.max_new_tokens >= 1
+            assert request.prompt.min() >= 0 and request.prompt.max() < VOCAB
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ServingError, match="unknown trace family"):
+            make_trace("tsunami", 10, 1.0, VOCAB)
+
+    @pytest.mark.parametrize("family", sorted(TRACE_FAMILIES))
+    def test_validation_rejects_bad_rate(self, family):
+        with pytest.raises(ServingError):
+            make_trace(family, 10, 0.0, VOCAB)
+
+
+class TestShapes:
+    def test_poisson_gap_cv_near_one(self):
+        stats = trace_stats(poisson_trace(400, 50.0, VOCAB, seed=0))
+        assert 0.8 < stats["gap_cv"] < 1.25
+
+    def test_bursty_gaps_overdispersed(self):
+        trace = bursty_trace(400, 20.0, VOCAB, burst_factor=10.0, seed=0)
+        stats = trace_stats(trace)
+        assert stats["gap_cv"] > 1.3, "bursty trace should beat Poisson dispersion"
+
+    def test_diurnal_rate_swings(self):
+        trace = diurnal_trace(
+            600, 20.0, VOCAB, peak_ratio=6.0, period_s=4.0, seed=0
+        )
+        times = arrivals(trace)
+        # Arrival counts per phase bucket: peaks must dominate troughs.
+        phase = (times % 4.0) / 4.0
+        peak = np.sum((phase > 0.3) & (phase < 0.7))  # cos minimum at 0.5
+        trough = np.sum((phase < 0.2) | (phase > 0.8))
+        assert peak > 2 * trough
+
+    def test_heavy_tail_lengths_skewed(self):
+        trace = heavy_tail_trace(
+            500, 50.0, VOCAB, prompt_len=(4, 64), sigma=1.0, seed=0
+        )
+        lengths = np.asarray([t.prompt.size for t in trace])
+        assert np.mean(lengths) > np.median(lengths), "tail should pull the mean up"
+        assert lengths.min() >= 4 and lengths.max() <= 64
+
+    def test_prefix_trace_shares_tenant_prefixes(self):
+        trace = shared_prefix_trace(
+            100, 50.0, VOCAB, n_tenants=3, prefix_tokens=16, seed=0
+        )
+        by_tenant = {}
+        for request in trace:
+            by_tenant.setdefault(request.tenant, []).append(request.prompt[:16])
+        assert set(by_tenant) <= {0, 1, 2} and len(by_tenant) > 1
+        for prompts in by_tenant.values():
+            for prompt in prompts[1:]:
+                np.testing.assert_array_equal(prompt, prompts[0])
+
+    def test_prefix_trace_zipf_skews_popularity(self):
+        trace = shared_prefix_trace(
+            300, 50.0, VOCAB, n_tenants=4, zipf_alpha=1.5, seed=0
+        )
+        counts = np.bincount([t.tenant for t in trace], minlength=4)
+        assert counts[0] > counts[-1], "tenant 0 should dominate under Zipf"
+
+    def test_stats_summary_fields(self):
+        stats = trace_stats(shared_prefix_trace(50, 25.0, VOCAB, seed=2))
+        assert stats["n_requests"] == 50
+        assert stats["n_tenants"] >= 1
+        assert stats["prompt_mean"] > 0 and stats["span_s"] > 0
+
+
+class TestSharedGenerator:
+    def test_one_generator_threads_through(self):
+        """Passing an rng draws from it (stateful), while seed= alone is
+        reproducible — the single-Generator contract."""
+        rng = np.random.default_rng(0)
+        first = poisson_trace(10, 10.0, VOCAB, rng=rng)
+        second = poisson_trace(10, 10.0, VOCAB, rng=rng)
+        assert any(
+            x.arrival_time != y.arrival_time for x, y in zip(first, second)
+        ), "shared generator must advance across calls"
+        again = poisson_trace(10, 10.0, VOCAB, rng=np.random.default_rng(0))
+        for x, y in zip(first, again):
+            assert x.arrival_time == y.arrival_time
+            np.testing.assert_array_equal(x.prompt, y.prompt)
+
+    def test_seed_equals_fresh_generator(self):
+        a = make_trace("bursty", 20, 15.0, VOCAB, seed=42)
+        b = make_trace("bursty", 20, 15.0, VOCAB, rng=np.random.default_rng(42))
+        for x, y in zip(a, b):
+            assert x.arrival_time == y.arrival_time
+            np.testing.assert_array_equal(x.prompt, y.prompt)
