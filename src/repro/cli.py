@@ -20,9 +20,17 @@ Commands
   ``--no-prefix-sharing`` serves from per-request pools instead of the
   paged KV store; ``--verify-identity`` re-replays on the unshared
   engine and fails on any token mismatch; ``--run-dir``/``--run-name``
-  persist the run as manifest.json / metrics.jsonl / summary.json
-  (bit-identically replayable); ``--json`` dumps the full report;
-  ``--profile`` attaches the fast path's op-level profiler.
+  persist the run as manifest.json / metrics.jsonl / summary.json /
+  report.md (bit-identically replayable); ``--json`` dumps the full
+  report; ``--profile`` attaches the fast path's op-level profiler.
+  ``--router slo`` turns the variant list into a quality ladder (best
+  first), tags trace requests with QoS classes (``--qos-mix`` reweights
+  the default gold/interactive/batch split), and appends an adaptively
+  routed replay whose goodput is compared against every fixed variant;
+  ``--degrade-at``/``--upgrade-at``/``--dwell`` set the router's
+  hysteresis.  Whenever a run persists evidence (``--json`` or a run
+  dir) one summary line is appended to ``benchmarks/trajectory.jsonl``
+  (``--trajectory`` overrides the path, ``--no-trajectory`` disables).
 - ``repro bench-decode [--variants dense,rank1,...] [--tp 1,2]
   [--json PATH]`` — measure prefill/decode tokens-per-second of the
   Tensor-graph driver vs. the no-grad fast path per variant and
@@ -144,6 +152,39 @@ def _trace_params(args: argparse.Namespace) -> dict:
     raise SystemExit(f"unknown trace family {args.trace!r}")
 
 
+def _parse_qos_mix(text: str, defaults) -> list:
+    import dataclasses
+
+    by_name = {cls.name: cls for cls in defaults}
+    classes = []
+    for item in text.split(","):
+        name, sep, share_text = item.strip().partition("=")
+        if name not in by_name:
+            raise SystemExit(
+                f"--qos-mix: unknown QoS class {name!r}; known: {sorted(by_name)}"
+            )
+        try:
+            share = float(share_text) if sep else None
+        except ValueError:
+            share = None
+        if share is None or share <= 0:
+            raise SystemExit(
+                f"--qos-mix expects NAME=SHARE with SHARE > 0, got {item!r}"
+            )
+        classes.append(dataclasses.replace(by_name[name], share=share))
+    return classes
+
+
+def _maybe_append_trajectory(args: argparse.Namespace, entry: dict) -> None:
+    """Append one ledger line when the run persisted evidence."""
+    if args.no_trajectory:
+        return
+    from repro.serving import append_trajectory
+
+    path = append_trajectory(entry, path=args.trajectory)
+    print(f"appended trajectory line to {path}")
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     import dataclasses
 
@@ -151,7 +192,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     from repro.models import build_model, get_config
     from repro.serving import (
+        DEFAULT_QOS_CLASSES,
         EngineConfig,
+        RouterConfig,
         run_serve_bench,
         trace_from_manifest,
         trace_manifest,
@@ -162,6 +205,28 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     config = get_config(args.model)
     model = build_model(config, rng=np.random.default_rng(args.seed))
     model.eval()
+    variants_text = args.variants
+    if variants_text is None:
+        variants_text = "dense,rank8,rank1" if args.router else "dense,pr33"
+    qos_classes = None
+    if args.qos_mix:
+        qos_classes = _parse_qos_mix(args.qos_mix, DEFAULT_QOS_CLASSES)
+    router_config = None
+    if args.router:
+        try:
+            router_config = RouterConfig(
+                degrade_at=args.degrade_at,
+                upgrade_at=args.upgrade_at,
+                dwell_steps=args.dwell,
+            )
+        except Exception as error:
+            raise SystemExit(str(error))
+    trace_params = _trace_params(args)
+    if args.router or args.qos_mix:
+        # QoS tags ride inside the trace (and therefore the manifest), so
+        # recorded routed runs replay with identical class assignments.
+        mix_classes = qos_classes or list(DEFAULT_QOS_CLASSES)
+        trace_params["qos_mix"] = {cls.name: cls.share for cls in mix_classes}
     # Build the trace *through* its manifest description so the recorded
     # run replays bit-identically (one seeded Generator end to end).
     trace_spec = trace_manifest(
@@ -170,7 +235,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         args.rate,
         config.vocab_size,
         args.seed,
-        **_trace_params(args),
+        **trace_params,
     )
     trace = trace_from_manifest({"trace": trace_spec})
     trace_info = {"family": args.trace, "stats": trace_stats(trace)}
@@ -193,7 +258,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         spec_k=spec_k,
         prefix_sharing=not args.no_prefix_sharing,
     )
-    variants = [spec.strip() for spec in args.variants.split(",") if spec.strip()]
+    variants = [spec.strip() for spec in variants_text.split(",") if spec.strip()]
     report = run_serve_bench(
         model,
         variants,
@@ -206,6 +271,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         drafter_spec=drafter_spec,
         verify_identity=args.verify_identity,
         trace_info=trace_info,
+        router=args.router,
+        qos_classes=qos_classes,
+        router_config=router_config,
     )
     print(report.table())
     print()
@@ -241,6 +309,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "speculative": args.speculative,
             "verify_identity": args.verify_identity,
+            "router": args.router,
+            "router_config": (
+                dataclasses.asdict(router_config) if router_config else None
+            ),
             "engine": dataclasses.asdict(engine_config),
             "trace": trace_spec,
         }
@@ -251,6 +323,30 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     ):
         print("ERROR: paged-engine output diverged from the unshared engine")
         return 1
+    if args.json or args.run_dir or args.run_name:
+        entry = {
+            "bench": "serve-bench",
+            "model": args.model,
+            "trace": args.trace,
+            "tp": args.tp,
+            "requests": args.requests,
+            "variants": variants,
+            "decode_tokens_per_s": {
+                result.spec: round(result.decode_tokens_per_s, 2)
+                for result in report.results
+            },
+        }
+        goodput_rates = {
+            result.spec: round(result.goodput["rate"], 4)
+            for result in report.results
+            if result.goodput
+        }
+        if goodput_rates:
+            entry["goodput_rates"] = goodput_rates
+        comparison = report.goodput_vs_fixed()
+        if comparison:
+            entry["goodput_vs_fixed"] = comparison
+        _maybe_append_trajectory(args, entry)
     return 0
 
 
@@ -288,6 +384,17 @@ def _cmd_bench_decode(args: argparse.Namespace) -> int:
         if not report.all_tokens_match:
             print("ERROR: speculative output diverged from dense greedy decoding")
             return 1
+        if args.json:
+            _maybe_append_trajectory(
+                args,
+                {
+                    "bench": "bench-decode-spec",
+                    "model": args.model,
+                    "cells": len(report.cells),
+                    "max_acceptance_rate": round(report.max_acceptance_rate, 4),
+                    "best_speedup_tp1": round(report.best_speedup_tp1, 3),
+                },
+            )
         return 0
     variants = [spec.strip() for spec in args.variants.split(",") if spec.strip()]
     report = run_decode_bench(
@@ -310,6 +417,22 @@ def _cmd_bench_decode(args: argparse.Namespace) -> int:
     if not report.all_bit_identical:
         print("ERROR: fast-path logits diverged from the Tensor-graph driver")
         return 1
+    if args.json:
+        _maybe_append_trajectory(
+            args,
+            {
+                "bench": "bench-decode",
+                "model": args.model,
+                "cells": len(report.cells),
+                "decode_tokens_per_s": {
+                    f"{cell.spec}/tp{cell.tp}": round(
+                        cell.fast.decode_tokens_per_s, 1
+                    )
+                    for cell in report.cells
+                },
+                "min_decode_speedup": round(report.min_decode_speedup, 3),
+            },
+        )
     return 0
 
 
@@ -365,8 +488,43 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--model", default="serve-llama")
     serve.add_argument(
         "--variants",
-        default="dense,pr33",
-        help="comma-separated specs: dense, pr<NN> (Table 4), rank<K>",
+        default=None,
+        help=(
+            "comma-separated specs: dense, pr<NN> (Table 4), rank<K> "
+            "(default dense,pr33; with --router the quality ladder "
+            "dense,rank8,rank1, best quality first)"
+        ),
+    )
+    serve.add_argument(
+        "--router",
+        choices=("slo",),
+        default=None,
+        help=(
+            "add an adaptively routed replay: requests carry QoS classes "
+            "and the router walks the variant ladder under load "
+            "(goodput is compared against every fixed variant)"
+        ),
+    )
+    serve.add_argument(
+        "--qos-mix",
+        default=None,
+        metavar="NAME=SHARE,...",
+        help=(
+            "reweight the default QoS classes (gold, interactive, batch), "
+            "e.g. gold=0.5,batch=0.5 — omitted classes are dropped"
+        ),
+    )
+    serve.add_argument(
+        "--degrade-at", type=int, default=5,
+        help="router: degrade one ladder level when backlog reaches N",
+    )
+    serve.add_argument(
+        "--upgrade-at", type=int, default=1,
+        help="router: upgrade one ladder level when backlog falls to N",
+    )
+    serve.add_argument(
+        "--dwell", type=int, default=3,
+        help="router: minimum engine steps between level changes",
     )
     serve.add_argument("--requests", type=int, default=32)
     serve.add_argument("--rate", type=float, default=50.0, help="arrivals per second")
@@ -468,6 +626,17 @@ def build_parser() -> argparse.ArgumentParser:
             "rank8 or rank1:8"
         ),
     )
+    serve.add_argument(
+        "--trajectory",
+        default=None,
+        metavar="PATH",
+        help="performance-ledger path (default benchmarks/trajectory.jsonl)",
+    )
+    serve.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="do not append a summary line to the performance ledger",
+    )
     serve.set_defaults(func=_cmd_serve_bench)
 
     bench_decode = sub.add_parser(
@@ -522,6 +691,17 @@ def build_parser() -> argparse.ArgumentParser:
             "singular-spectrum decay imposed on the benchmark model's "
             "weights (trained-weight regime; 0 disables shaping)"
         ),
+    )
+    bench_decode.add_argument(
+        "--trajectory",
+        default=None,
+        metavar="PATH",
+        help="performance-ledger path (default benchmarks/trajectory.jsonl)",
+    )
+    bench_decode.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="do not append a summary line to the performance ledger",
     )
     bench_decode.set_defaults(func=_cmd_bench_decode)
 

@@ -73,6 +73,14 @@ class ShardedSequenceCache:
         for cache in self.rank_caches:
             cache.truncate(length)
 
+    def freeze_sealing(self) -> None:
+        """Fan a variant hot-swap's seal freeze out to every rank's slice
+        (growable caches have nothing to freeze and are skipped)."""
+        for cache in self.rank_caches:
+            freeze = getattr(cache, "freeze_sealing", None)
+            if freeze is not None:
+                freeze()
+
     def free(self) -> None:
         for cache in self.rank_caches:
             cache.free()
@@ -153,8 +161,10 @@ class ShardedPagedStore(ShardedKVPool):
             for shard in shards
         ]
 
-    def acquire_sequence(self, tokens=None) -> ShardedSequenceCache:
-        caches = [pool.acquire_sequence(tokens) for pool in self.pools]
+    def acquire_sequence(self, tokens=None, namespace=None) -> ShardedSequenceCache:
+        caches = [
+            pool.acquire_sequence(tokens, namespace=namespace) for pool in self.pools
+        ]
         lengths = {cache.seq_len for cache in caches}
         if len(lengths) != 1:
             raise ParallelError(

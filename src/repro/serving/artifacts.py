@@ -11,19 +11,30 @@ directory::
                          #   line, tagged with the variant that served it
         summary.json     # the aggregate ServeBenchReport (percentiles,
                          #   throughput, prefix stats, identity verdict)
+        report.md        # human-readable rendering: variant table,
+                         #   per-QoS-class percentiles, router decisions
+        router.jsonl     # router decision log (routed runs only),
+                         #   one decision per line
 
 The split keeps the summary small and diff-able while the raw samples stay
 greppable/streamable; and because **all** trace randomness flows through
 one seeded :class:`numpy.random.Generator` recorded in the manifest,
 :func:`trace_from_manifest` rebuilds the exact trace bit for bit — a run
 directory is a complete, replayable experiment record.
+
+Separately, :func:`append_trajectory` keeps the repo's long-lived perf
+ledger (``benchmarks/trajectory.jsonl``): every bench invocation appends
+one summary line (date, commit, model, tokens/s, goodput), so performance
+evidence survives in-repo rather than only as ephemeral CI artifacts.
 """
 
 from __future__ import annotations
 
+import datetime as _datetime
 import json
+import subprocess
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ServingError
 from repro.serving.bench import ServeBenchReport
@@ -32,6 +43,11 @@ from repro.serving.trace import TraceRequest, make_trace
 MANIFEST_NAME = "manifest.json"
 METRICS_NAME = "metrics.jsonl"
 SUMMARY_NAME = "summary.json"
+REPORT_NAME = "report.md"
+ROUTER_LOG_NAME = "router.jsonl"
+
+#: Default location of the repo-persistent performance ledger.
+TRAJECTORY_PATH = Path("benchmarks") / "trajectory.jsonl"
 
 
 def trace_manifest(
@@ -77,7 +93,9 @@ def write_run_artifact(
     ``manifest`` must carry a ``"trace"`` section (see
     :func:`trace_manifest`) so the run can be replayed.  Raw per-request
     samples are moved out of the summary into ``metrics.jsonl``; the
-    summary keeps only aggregates.
+    summary keeps only aggregates.  A human-readable ``report.md`` is
+    rendered alongside, and routed runs additionally get the router's
+    decision log as ``router.jsonl``.
     """
     if "trace" not in manifest:
         raise ServingError("run manifest must include a 'trace' section")
@@ -95,7 +113,183 @@ def write_run_artifact(
         "\n".join(lines) + ("\n" if lines else "")
     )
     (run_dir / SUMMARY_NAME).write_text(json.dumps(summary, indent=2) + "\n")
+    (run_dir / REPORT_NAME).write_text(render_report(manifest, summary))
+    decision_lines = [
+        json.dumps({"variant": result["spec"], **decision})
+        for result in summary["results"]
+        if result.get("router")
+        for decision in result["router"].get("decisions", [])
+    ]
+    if decision_lines:
+        (run_dir / ROUTER_LOG_NAME).write_text("\n".join(decision_lines) + "\n")
     return run_dir
+
+
+def _ms(value) -> str:
+    return "-" if value is None else f"{1e3 * float(value):.1f}"
+
+
+def _pct(value) -> str:
+    return "-" if value is None else f"{100.0 * float(value):.1f}%"
+
+
+def render_report(manifest: dict, summary: dict) -> str:
+    """Markdown rendering of one run: what a human reads first.
+
+    Works from the same dicts the JSON artifacts persist (``summary`` with
+    per-request records already moved out), so it can also be regenerated
+    offline from a loaded run directory.
+    """
+    trace = manifest.get("trace", {})
+    lines: List[str] = []
+    lines.append(f"# serve-bench run: {summary.get('model', '?')}")
+    lines.append("")
+    lines.append(
+        f"- **gpu projection:** {summary.get('gpu', '?')} · **tp:** "
+        f"{summary.get('tp', 1)} · **seed:** {summary.get('seed')}"
+    )
+    if trace:
+        lines.append(
+            f"- **trace:** {trace.get('family', '?')} · "
+            f"{trace.get('n_requests', '?')} requests @ "
+            f"{trace.get('rate_rps', '?')} rps (seed {trace.get('seed', '?')})"
+        )
+    qos_info = summary.get("qos_info")
+    if qos_info:
+        classes = ", ".join(
+            f"{cls['name']} (floor {cls['quality_floor']}, "
+            f"slo {_ms(cls.get('ttft_slo_s'))}ms)"
+            for cls in qos_info.get("classes", [])
+        )
+        lines.append(
+            f"- **qos:** unit TTFT {_ms(qos_info.get('unit_ttft_s'))}ms · {classes}"
+        )
+    lines.append("")
+
+    lines.append("## Variants")
+    lines.append("")
+    lines.append(
+        "| variant | pr % | finished | ttft p50 (ms) | ttft p95 (ms) "
+        "| decode tok/s | goodput |"
+    )
+    lines.append("|---|---|---|---|---|---|---|")
+    for result in summary.get("results", []):
+        goodput = result.get("goodput")
+        goodput_cell = (
+            f"{goodput['good']}/{goodput['eligible']} ({_pct(goodput['rate'])})"
+            if goodput
+            else "-"
+        )
+        lines.append(
+            f"| {result['spec']} "
+            f"| {100.0 * result.get('parameter_reduction', 0.0):.1f} "
+            f"| {result.get('finished', 0)}/{result.get('n_requests', 0)} "
+            f"| {_ms(result.get('ttft_p50_s'))} "
+            f"| {_ms(result.get('ttft_p95_s'))} "
+            f"| {result.get('decode_tokens_per_s', 0.0):.1f} "
+            f"| {goodput_cell} |"
+        )
+    comparison = summary.get("goodput_vs_fixed")
+    if comparison:
+        verdict = "beats" if comparison.get("beats_best_fixed") else "TRAILS"
+        lines.append("")
+        lines.append(
+            f"**Goodput:** routed {_pct(comparison['routed'])} {verdict} the best "
+            f"fixed variant ({_pct(comparison['best_fixed'])}; worst "
+            f"{_pct(comparison['worst_fixed'])})."
+        )
+    lines.append("")
+
+    class_rows: List[str] = []
+    for result in summary.get("results", []):
+        goodput = result.get("goodput")
+        if not goodput:
+            continue
+        for name, per in sorted(goodput.get("per_class", {}).items()):
+            class_rows.append(
+                f"| {result['spec']} | {name} "
+                f"| {per.get('quality_floor') or '-'} "
+                f"| {_ms(per.get('ttft_slo_s'))} "
+                f"| {per.get('good', 0)}/{per.get('eligible', 0)} "
+                f"| {per.get('slo_violations', 0)} "
+                f"| {per.get('quality_violations', 0)} "
+                f"| {_ms(per.get('ttft_p50_s'))} "
+                f"| {_ms(per.get('ttft_p95_s'))} |"
+            )
+    if class_rows:
+        lines.append("## Per-class outcomes")
+        lines.append("")
+        lines.append(
+            "| variant | class | floor | slo (ms) | good | slo miss "
+            "| floor miss | ttft p50 (ms) | ttft p95 (ms) |"
+        )
+        lines.append("|---|---|---|---|---|---|---|---|---|")
+        lines.extend(class_rows)
+        lines.append("")
+
+    for result in summary.get("results", []):
+        router = result.get("router")
+        if not router:
+            continue
+        lines.append("## Router decisions")
+        lines.append("")
+        lines.append(
+            f"Ladder {' > '.join(router.get('ladder', []))} · "
+            f"{router.get('downgrades', 0)} downgrades, "
+            f"{router.get('upgrades', 0)} upgrades, "
+            f"{router.get('swaps', 0)} mid-flight hot-swaps."
+        )
+        decisions = router.get("decisions", [])
+        if decisions:
+            lines.append("")
+            lines.append("| step | t (s) | action | from | to | queue | running |")
+            lines.append("|---|---|---|---|---|---|---|")
+            for decision in decisions:
+                lines.append(
+                    f"| {decision.get('step')} | {decision.get('now', 0.0):.3f} "
+                    f"| {decision.get('action')} | {decision.get('from')} "
+                    f"| {decision.get('to')} | {decision.get('queue_depth')} "
+                    f"| {decision.get('running')} |"
+                )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _git_commit() -> Optional[str]:
+    """Short commit hash of the working tree, or None outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def append_trajectory(entry: dict, path=None) -> Path:
+    """Append one summary line to the repo's performance ledger.
+
+    Stamps the entry with today's date and the current short commit hash
+    (callers may pre-set either key to override), then appends it as one
+    JSON line to ``path`` (default :data:`TRAJECTORY_PATH`), creating
+    parent directories as needed.  Append-only by design: the ledger is a
+    time series, never rewritten.
+    """
+    path = TRAJECTORY_PATH if path is None else Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    stamped = {
+        "date": _datetime.date.today().isoformat(),
+        "commit": _git_commit(),
+        **entry,
+    }
+    with path.open("a") as handle:
+        handle.write(json.dumps(stamped) + "\n")
+    return path
 
 
 def load_run(run_dir) -> Tuple[dict, dict, List[dict]]:
@@ -125,9 +319,14 @@ def records_by_variant(records: List[dict]) -> Dict[str, List[dict]]:
 __all__ = [
     "MANIFEST_NAME",
     "METRICS_NAME",
+    "REPORT_NAME",
+    "ROUTER_LOG_NAME",
     "SUMMARY_NAME",
+    "TRAJECTORY_PATH",
+    "append_trajectory",
     "load_run",
     "records_by_variant",
+    "render_report",
     "trace_from_manifest",
     "trace_manifest",
     "write_run_artifact",

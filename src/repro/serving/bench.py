@@ -18,7 +18,7 @@ prediction (Sections 2.2 and 4.3).
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -26,9 +26,22 @@ from repro.errors import ServingError
 from repro.hwmodel.device import GPUSpec, get_gpu
 from repro.hwmodel.generation import GenerationProfile, generation_profile
 from repro.serving.engine import EngineConfig, InferenceEngine
+from repro.serving.qos import (
+    DEFAULT_QOS_CLASSES,
+    QUALITY_LADDER,
+    QoSClass,
+    RankRouter,
+    RouterConfig,
+    calibrate_unit,
+    goodput_summary,
+    qos_catalog,
+)
 from repro.serving.request import GenerationRequest
 from repro.serving.trace import TraceRequest
 from repro.serving.variants import ModelVariant, VariantRegistry
+
+#: Result-row spec name for the adaptively routed replay.
+ROUTER_SPEC = "slo-router"
 
 
 def replay_trace(
@@ -36,12 +49,17 @@ def replay_trace(
     trace: Sequence[TraceRequest],
     max_steps: int = 1000000,
     speculative: bool = False,
+    catalog: Optional[Dict[str, QoSClass]] = None,
 ) -> List[GenerationRequest]:
     """Replay ``trace`` through ``engine`` on a virtual clock.
 
     Returns the engine's request objects in trace order, all terminal.
     With ``speculative`` every request decodes through the engine's
     drafter/verifier loop (the engine must have been built with a drafter).
+    ``catalog`` maps trace QoS tags to resolved
+    :class:`~repro.serving.qos.QoSClass` objects; without one, tags are
+    ignored (the fixed-variant baselines and QoS runs replay the identical
+    submission sequence either way).
     """
     pending = sorted(trace, key=lambda r: r.arrival_time)
     submitted: List[GenerationRequest] = []
@@ -51,12 +69,22 @@ def replay_trace(
     while cursor < len(pending) or engine.has_work:
         while cursor < len(pending) and pending[cursor].arrival_time <= now:
             arrival = pending[cursor]
+            qos = None
+            if catalog is not None and arrival.qos is not None:
+                try:
+                    qos = catalog[arrival.qos]
+                except KeyError:
+                    raise ServingError(
+                        f"trace request tagged with unknown QoS class "
+                        f"{arrival.qos!r}; catalog has {sorted(catalog)}"
+                    ) from None
             submitted.append(
                 engine.submit(
                     arrival.prompt,
                     arrival.max_new_tokens,
                     now=arrival.arrival_time,
                     speculative=speculative,
+                    qos=qos,
                 )
             )
             cursor += 1
@@ -90,6 +118,11 @@ def request_records(requests: Sequence[GenerationRequest]) -> List[dict]:
                 "ttft_s": request.ttft_s,
                 "e2e_s": request.e2e_s,
                 "finish_reason": request.finish_reason,
+                "qos": request.qos_name,
+                "ttft_slo_s": request.ttft_slo_s,
+                "slo_met": request.slo_met,
+                "variants": request.served_variants,
+                "swaps": request.swaps,
             }
         )
     return records
@@ -133,6 +166,12 @@ class VariantBenchResult:
     # ``--verify-identity``: None = not checked, else tokens matched the
     # per-request-pool (unshared) engine on every request.
     tokens_match_unshared: Optional[bool] = None
+    # QoS scoring (None when the trace carries no QoS catalog): the
+    # goodput summary dict from repro.serving.qos.goodput_summary.
+    goodput: Optional[dict] = None
+    # Router provenance, ROUTER_SPEC rows only: ladder, config, decision
+    # log, downgrade/upgrade counts, hot-swap count.
+    router: Optional[dict] = None
 
     @property
     def projected_tokens_per_s(self) -> float:
@@ -156,6 +195,16 @@ class VariantBenchResult:
             line += (
                 f"  prefix hit={self.prefix_hit_rate:5.1%}"
                 f" saved={self.prefill_tokens_saved} tok"
+            )
+        if self.goodput is not None:
+            line += (
+                f"  goodput={self.goodput['good']}/{self.goodput['eligible']}"
+                f" ({self.goodput['rate']:5.1%})"
+            )
+        if self.router is not None:
+            line += (
+                f"  router[down={self.router['downgrades']}"
+                f" up={self.router['upgrades']} swaps={self.router['swaps']}]"
             )
         if self.tokens_match_unshared is not None:
             line += "  [identity ok]" if self.tokens_match_unshared else "  [DIVERGED]"
@@ -210,6 +259,8 @@ class VariantBenchResult:
             "prefill_tokens_saved": self.prefill_tokens_saved,
             "requests": self.requests,
             "tokens_match_unshared": self.tokens_match_unshared,
+            "goodput": self.goodput,
+            "router": self.router,
         }
         return payload
 
@@ -227,12 +278,40 @@ class ServeBenchReport:
     # Trace provenance: family name, generator params, shape summary
     # (what a run manifest needs to replay the trace bit-identically).
     trace_info: Optional[dict] = None
+    # QoS provenance when the run scored goodput: resolved class catalog,
+    # the calibrated SLO unit, and the router ladder/config used.
+    qos_info: Optional[dict] = None
 
     def result_for(self, spec: str) -> VariantBenchResult:
         for result in self.results:
             if result.spec == spec:
                 return result
         raise ServingError(f"no result for variant {spec!r}")
+
+    def goodput_vs_fixed(self) -> Optional[dict]:
+        """Routed goodput next to every fixed-variant baseline's.
+
+        None unless the run carried a router row and scored goodput.
+        """
+        routed = next(
+            (r for r in self.results if r.spec == ROUTER_SPEC and r.goodput), None
+        )
+        if routed is None:
+            return None
+        fixed = {
+            r.spec: r.goodput["rate"]
+            for r in self.results
+            if r.spec != ROUTER_SPEC and r.goodput is not None
+        }
+        if not fixed:
+            return None
+        return {
+            "routed": routed.goodput["rate"],
+            "fixed": fixed,
+            "best_fixed": max(fixed.values()),
+            "worst_fixed": min(fixed.values()),
+            "beats_best_fixed": routed.goodput["rate"] > max(fixed.values()),
+        }
 
     def speedup_over_dense(self, spec: str) -> float:
         """Measured decode-throughput ratio of ``spec`` over ``dense``."""
@@ -257,6 +336,15 @@ class ServeBenchReport:
         if comm_lines:
             lines.append("")
             lines.extend(comm_lines)
+        comparison = self.goodput_vs_fixed()
+        if comparison is not None:
+            verdict = "beats" if comparison["beats_best_fixed"] else "TRAILS"
+            lines.append("")
+            lines.append(
+                f"goodput: routed {comparison['routed']:.1%} {verdict} best "
+                f"fixed {comparison['best_fixed']:.1%} "
+                f"(worst fixed {comparison['worst_fixed']:.1%})"
+            )
         for result in self.results:
             if result.profile:
                 lines.append("")
@@ -272,6 +360,8 @@ class ServeBenchReport:
             "tp": self.tp,
             "seed": self.seed,
             "trace_info": self.trace_info,
+            "qos_info": self.qos_info,
+            "goodput_vs_fixed": self.goodput_vs_fixed(),
             "results": [result.to_dict() for result in self.results],
         }
 
@@ -284,6 +374,7 @@ def _replay_once(
     tp: int,
     profile: bool,
     drafter: Optional[ModelVariant],
+    catalog: Optional[Dict[str, QoSClass]] = None,
 ):
     """One full trace replay; returns (metrics, requests, comm, profile)."""
     serving_model = variant.model
@@ -309,7 +400,9 @@ def _replay_once(
             config=engine_config,
             drafter=None if drafter is None else drafter.model,
         )
-        requests = replay_trace(engine, trace, speculative=drafter is not None)
+        requests = replay_trace(
+            engine, trace, speculative=drafter is not None, catalog=catalog
+        )
         metrics = engine.metrics
         profile_table = None
         if profiler is not None:
@@ -339,6 +432,29 @@ def _replay_once(
     return metrics, requests, comm, profile_table
 
 
+def _goodput_dict(
+    records: List[dict],
+    catalog: Dict[str, QoSClass],
+    ladder: Sequence[str],
+    metrics,
+    default_spec: Optional[str] = None,
+) -> dict:
+    """Goodput summary enriched with per-class latency/SLO context."""
+    summary = goodput_summary(
+        records, catalog, ladder, default_spec=default_spec
+    ).to_dict()
+    for name, per in summary["per_class"].items():
+        cls_metrics = metrics.qos_classes.get(name)
+        if cls_metrics is not None:
+            per["ttft_p50_s"] = cls_metrics.ttft_s.p50
+            per["ttft_p95_s"] = cls_metrics.ttft_s.p95
+            per["deadline_missed"] = cls_metrics.deadline_missed
+        cls = catalog.get(name)
+        per["ttft_slo_s"] = cls.ttft_slo_s if cls is not None else None
+        per["quality_floor"] = cls.quality_floor if cls is not None else None
+    return summary
+
+
 def bench_variant(
     variant: ModelVariant,
     trace: Sequence[TraceRequest],
@@ -348,6 +464,8 @@ def bench_variant(
     profile: bool = False,
     drafter: Optional[ModelVariant] = None,
     verify_identity: bool = False,
+    catalog: Optional[Dict[str, QoSClass]] = None,
+    ladder: Sequence[str] = QUALITY_LADDER,
 ) -> VariantBenchResult:
     """Replay ``trace`` against one variant and attach the hwmodel projection.
 
@@ -365,10 +483,14 @@ def bench_variant(
     the per-request-pool engine (``prefix_sharing=False``) and every
     request's tokens are compared — the paged store's token-for-token
     exactness contract, checked end to end.
+    With ``catalog``, trace QoS tags become per-request SLOs and the
+    result carries a goodput summary — this fixed variant stands in as
+    every request's served quality, so floors above it are scored as
+    quality violations (the baseline the router is judged against).
     """
     gpu = gpu or get_gpu("a100-80gb")
     metrics, requests, comm, profile_table = _replay_once(
-        variant, trace, engine_config, gpu, tp, profile, drafter
+        variant, trace, engine_config, gpu, tp, profile, drafter, catalog
     )
     tokens_match: Optional[bool] = None
     if verify_identity:
@@ -377,7 +499,7 @@ def bench_variant(
             prefix_sharing=False,
         )
         _, baseline, _, _ = _replay_once(
-            variant, trace, baseline_config, gpu, tp, False, drafter
+            variant, trace, baseline_config, gpu, tp, False, drafter, catalog
         )
         tokens_match = len(requests) == len(baseline) and all(
             ours.state is theirs.state and np.array_equal(ours.tokens, theirs.tokens)
@@ -395,6 +517,12 @@ def bench_variant(
         new_tokens=mean_new,
         decomposition=variant.decomposition,
         n_gpus=tp,
+    )
+    records = request_records(requests)
+    goodput = (
+        _goodput_dict(records, catalog, ladder, metrics, default_spec=variant.spec)
+        if catalog is not None
+        else None
     )
     return VariantBenchResult(
         spec=variant.spec,
@@ -425,8 +553,106 @@ def bench_variant(
         prefix_hits=metrics.prefix_hits,
         prefix_hit_rate=metrics.prefix_hit_rate,
         prefill_tokens_saved=metrics.prefill_tokens_saved,
-        requests=request_records(requests),
+        requests=records,
         tokens_match_unshared=tokens_match,
+        goodput=goodput,
+    )
+
+
+def bench_routed(
+    registry: VariantRegistry,
+    ladder: Sequence[str],
+    trace: Sequence[TraceRequest],
+    catalog: Dict[str, QoSClass],
+    engine_config: Optional[EngineConfig] = None,
+    gpu: Optional[GPUSpec] = None,
+    tp: int = 1,
+    router_config: Optional[RouterConfig] = None,
+    drafter: Optional[ModelVariant] = None,
+) -> VariantBenchResult:
+    """Replay ``trace`` on the adaptively routed engine (one result row).
+
+    The whole quality ladder is resident (``registry`` should be
+    ``share_base=True`` so extra rungs cost only their factor deltas), the
+    router walks it with load, and the result scores goodput from each
+    request's *actual* served-variant history plus the router's decision
+    log.  Collective-traffic accounting is per model facade and a routed
+    step mixes facades, so the comm measured-vs-analytic comparison is not
+    reported for routed rows.
+    """
+    gpu = gpu or get_gpu("a100-80gb")
+    ladder = tuple(ladder)
+    router = RankRouter(ladder, router_config)
+    variants = {spec: registry.get(spec) for spec in ladder}
+    serving: Dict[str, object] = {}
+    facades: List[object] = []
+    try:
+        if tp > 1:
+            from repro.parallel import ShardedLlama
+
+            for spec in ladder:
+                facade = ShardedLlama(variants[spec].model, tp)
+                facades.append(facade)
+                serving[spec] = facade
+        else:
+            serving = {spec: variants[spec].model for spec in ladder}
+        engine = InferenceEngine(
+            None,
+            config=engine_config,
+            drafter=None if drafter is None else drafter.model,
+            router=router,
+            variants=serving,
+        )
+        requests = replay_trace(
+            engine, trace, speculative=drafter is not None, catalog=catalog
+        )
+        metrics = engine.metrics
+    finally:
+        for facade in facades:
+            facade.close()
+    records = request_records(requests)
+    dense = variants[ladder[0]]
+    mean_prompt = max(1, round(sum(t.prompt.size for t in trace) / len(trace)))
+    mean_new = max(1, round(sum(t.max_new_tokens for t in trace) / len(trace)))
+    projection = generation_profile(
+        dense.model.config,
+        gpu,
+        batch=max(1, round(metrics.mean_decode_batch)),
+        prompt_len=mean_prompt,
+        new_tokens=mean_new,
+        decomposition=dense.decomposition,
+        n_gpus=tp,
+    )
+    return VariantBenchResult(
+        spec=ROUTER_SPEC,
+        parameter_reduction=0.0,
+        n_requests=len(trace),
+        finished=metrics.finished,
+        rejected=metrics.rejected,
+        preemptions=metrics.preemptions,
+        ttft_p50_s=metrics.ttft_s.p50,
+        ttft_p95_s=metrics.ttft_s.p95,
+        ttft_p99_s=metrics.ttft_s.p99,
+        queue_wait_p50_s=metrics.queue_wait_s.p50,
+        e2e_p95_s=metrics.e2e_s.p95,
+        decode_tokens_per_s=metrics.decode_tokens_per_s,
+        overall_tokens_per_s=metrics.overall_tokens_per_s,
+        mean_decode_batch=metrics.mean_decode_batch,
+        projection=projection,
+        tp=tp,
+        metrics_snapshot=metrics.snapshot(),
+        drafter=None if drafter is None else drafter.spec,
+        spec_acceptance_rate=metrics.spec_acceptance_rate,
+        spec_drafted=metrics.spec_drafted,
+        spec_accepted=metrics.spec_accepted,
+        spec_fallbacks=metrics.spec_fallbacks,
+        prefix_lookups=metrics.prefix_lookups,
+        prefix_hits=metrics.prefix_hits,
+        prefix_hit_rate=metrics.prefix_hit_rate,
+        prefill_tokens_saved=metrics.prefill_tokens_saved,
+        requests=records,
+        goodput=_goodput_dict(records, catalog, ladder, metrics),
+        router=dict(router.snapshot(), swaps=metrics.variant_swaps),
     )
 
 
@@ -442,6 +668,9 @@ def run_serve_bench(
     drafter_spec: Optional[str] = None,
     verify_identity: bool = False,
     trace_info: Optional[dict] = None,
+    router: Optional[str] = None,
+    qos_classes: Optional[Sequence[QoSClass]] = None,
+    router_config: Optional[RouterConfig] = None,
 ) -> ServeBenchReport:
     """Replay one trace against every variant of ``base_model``.
 
@@ -451,14 +680,54 @@ def run_serve_bench(
     ``verify_identity`` re-replays each variant on the unshared engine and
     records per-request token identity; ``trace_info`` carries the trace's
     family/params/shape provenance into the report (and run manifest).
+
+    ``router="slo"`` appends an adaptively routed replay of the identical
+    trace: ``variant_specs`` becomes the quality ladder (order best first),
+    the QoS catalog (``qos_classes``, default the three-tier gold /
+    interactive / batch split) is resolved against the unloaded TTFT of
+    ``variant_specs[0]`` measured on this machine, every fixed row gains a
+    goodput score as the baseline, and the routed row carries the router's
+    decision log.  ``qos_classes`` without a router just scores the fixed
+    replays.
     """
     if not variant_specs:
         raise ServingError("at least one variant spec is required")
     if tp < 1:
         raise ServingError(f"tensor-parallel degree must be >= 1, got {tp}")
+    if router is not None and router != "slo":
+        raise ServingError(f"unknown router {router!r}; only 'slo' exists")
+    if router is not None and profile:
+        raise ServingError("op profiling is per-variant; not supported with --router")
     gpu = get_gpu(gpu_name)
-    registry = VariantRegistry(base_model)
+    # Hot-swap layout when the whole ladder must be resident at once.
+    registry = VariantRegistry(base_model, share_base=router is not None)
     drafter = None if drafter_spec is None else registry.get(drafter_spec)
+    specs = [spec.strip().lower() for spec in variant_specs]
+    catalog = None
+    qos_info = None
+    ladder: Sequence[str] = QUALITY_LADDER
+    if router is not None or qos_classes is not None:
+        classes = (
+            tuple(qos_classes) if qos_classes is not None else DEFAULT_QOS_CLASSES
+        )
+        # SLO unit: the first spec (canonically dense) served alone,
+        # measured on this machine so unit-denominated SLOs are portable.
+        unit = calibrate_unit(registry.get(specs[0]).model, trace, engine_config)
+        catalog = qos_catalog(classes, unit_s=unit)
+        ladder = tuple(specs)
+        if router is not None:
+            for cls in catalog.values():
+                if cls.quality_floor not in ladder:
+                    raise ServingError(
+                        f"QoS class {cls.name!r} floor {cls.quality_floor!r} "
+                        f"is not among the ladder variants {ladder}"
+                    )
+        qos_info = {
+            "unit_ttft_s": unit,
+            "classes": [cls.to_dict() for cls in catalog.values()],
+            "ladder": list(ladder),
+            "router": router,
+        }
     results = [
         bench_variant(
             registry.get(spec),
@@ -469,9 +738,25 @@ def run_serve_bench(
             profile=profile,
             drafter=drafter,
             verify_identity=verify_identity,
+            catalog=catalog,
+            ladder=ladder,
         )
-        for spec in variant_specs
+        for spec in specs
     ]
+    if router is not None:
+        results.append(
+            bench_routed(
+                registry,
+                ladder,
+                trace,
+                catalog,
+                engine_config=engine_config,
+                gpu=gpu,
+                tp=tp,
+                router_config=router_config,
+                drafter=drafter,
+            )
+        )
     return ServeBenchReport(
         model=base_model.config.name,
         gpu=gpu_name,
@@ -480,4 +765,5 @@ def run_serve_bench(
         tp=tp,
         seed=seed,
         trace_info=trace_info,
+        qos_info=qos_info,
     )

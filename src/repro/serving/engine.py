@@ -84,6 +84,7 @@ class StepReport:
     committed: int = 0       # tokens emitted this step (all rows)
     spec_drafted: int = 0    # drafter proposals verified this step
     spec_accepted: int = 0   # proposals accepted this step
+    swaps: int = 0           # mid-flight variant hot-swaps this step
 
     @property
     def n_rows(self) -> int:
@@ -95,7 +96,18 @@ class StepReport:
 
 
 class InferenceEngine:
-    """Continuous-batching greedy-decoding engine over one model."""
+    """Continuous-batching greedy-decoding engine over one model.
+
+    With a ``router`` and a ``variants`` map the engine becomes
+    *multi-variant*: each step the router picks, per request, the cheapest
+    decomposed variant satisfying the request's quality floor at current
+    load, and the step's ragged forward is grouped by variant.  KV caches
+    hold variant-agnostic token state, so a running request's variant can
+    change between steps with no recomputation (factor-structured weight
+    hot-swap); only *sealing* new shared pages is frozen after a mid-decode
+    swap, because a sealed page advertises "computed by the admission
+    variant" to future prefix matches.
+    """
 
     def __init__(
         self,
@@ -103,12 +115,35 @@ class InferenceEngine:
         config: Optional[EngineConfig] = None,
         timer: Callable[[], float] = time.perf_counter,
         drafter=None,
+        router=None,
+        variants: Optional[Dict[str, object]] = None,
     ) -> None:
         """``drafter`` — an optional cheaper model (canonically a decomposed
         variant of ``model``) enabling per-request speculative decoding via
         ``submit(..., speculative=True)``.  It gets its own KV pool
         (``config.spec_blocks`` blocks) so draft state never competes with
-        verifier admission control."""
+        verifier admission control.
+
+        ``router`` — a :class:`~repro.serving.qos.RankRouter` (or scripted
+        double) enabling adaptive variant routing; requires ``variants``
+        mapping every ladder spec to a servable model.  ``model`` may be
+        None in that case (the ladder's best variant anchors the pool)."""
+        if router is not None:
+            if not variants:
+                raise ServingError("a routed engine needs a variants map")
+            missing = [spec for spec in router.ladder if spec not in variants]
+            if missing:
+                raise ServingError(
+                    f"variants map missing ladder specs: {missing}"
+                )
+            if model is None:
+                model = variants[router.ladder[0]]
+        elif variants:
+            raise ServingError("variants without a router have no effect")
+        self.router = router
+        self.variants: Dict[str, object] = dict(variants or {})
+        for variant_model in self.variants.values():
+            variant_model.eval()
         self.model = model
         self.model.eval()
         self.config = config or EngineConfig()
@@ -150,6 +185,9 @@ class InferenceEngine:
             model.config, n_blocks=n_blocks, block_tokens=self.config.block_tokens
         )
 
+    def _model_for(self, spec: Optional[str]):
+        return self.model if spec is None else self.variants[spec]
+
     # -- submission --------------------------------------------------------
     def submit(
         self,
@@ -159,6 +197,7 @@ class InferenceEngine:
         deadline: Optional[float] = None,
         now: float = 0.0,
         speculative: bool = False,
+        qos=None,
     ) -> GenerationRequest:
         """Enqueue a request; may reject it immediately (graceful refusal).
 
@@ -170,12 +209,29 @@ class InferenceEngine:
         drafter/verifier loop — same tokens, fewer verifier-bound steps.
         Requesting it on an engine built without a drafter is a
         configuration error and raises.
+
+        ``qos`` — an optional :class:`~repro.serving.qos.QoSClass` tagging
+        the request with a TTFT SLO (measured, soft) and a quality floor
+        (enforced: the router never serves it below that variant).  A hard
+        ``deadline_s`` on the class becomes this request's deadline unless
+        an explicit one is given.  Floors require a routed engine.
         """
         if speculative and self.drafter is None:
             raise ServingError(
                 "speculative submission requires an engine drafter; "
                 "construct InferenceEngine(model, drafter=...)"
             )
+        if qos is not None:
+            if qos.ttft_slo_s is None and qos.ttft_slo_units is not None:
+                raise ServingError(
+                    f"QoS class {qos.name!r} SLO is unresolved; call "
+                    ".resolve(unit_s) or qos_catalog(..., unit_s=...) first"
+                )
+            if self.router is not None:
+                # Fail fast on floors the ladder cannot satisfy.
+                self.router.variant_for(qos.quality_floor)
+            if deadline is None and qos.deadline_s is not None:
+                deadline = now + qos.deadline_s
         request = GenerationRequest(
             request_id=self._next_id,
             prompt=prompt,
@@ -184,6 +240,9 @@ class InferenceEngine:
             deadline=deadline,
             arrival_time=now,
             speculative=speculative,
+            qos_name=qos.name if qos is not None else None,
+            quality_floor=qos.quality_floor if qos is not None else None,
+            ttft_slo_s=qos.ttft_slo_s if qos is not None else None,
         )
         self._next_id += 1
         self._requests[request.request_id] = request
@@ -234,12 +293,17 @@ class InferenceEngine:
     def step(self, now: float = 0.0) -> StepReport:
         """Run one continuous-batching iteration at virtual time ``now``."""
         self._expire_deadlines(now)
+        if self.router is not None:
+            # Load is observed before admissions so the router reacts to
+            # the backlog the step is about to face.
+            self.router.observe(now, len(self._queue), self._active_count())
         rows = self._schedule(now)
         if not rows:
             return StepReport(
                 now=now, duration_s=0.0, decode_rows=0, prefill_rows=0,
                 prefill_tokens=0,
             )
+        swaps = self._apply_routing(rows) if self.router is not None else 0
         started = self.timer()
         # Draft phase (speculative rows only): drafter forwards happen here
         # so their cost lands inside the step's measured duration.
@@ -251,12 +315,10 @@ class InferenceEngine:
             if note is not None:
                 note(feed)
         lengths = np.asarray([feed.size for feed in feeds], dtype=np.int64)
-        batch = np.zeros((len(rows), int(lengths.max())), dtype=np.int64)
-        for index, feed in enumerate(feeds):
-            batch[index, : feed.size] = feed
-        caches = [request.cache for request, _ in rows]
-        logits = self.model.forward_ragged(batch, caches, lengths)
+        row_logits = self._forward_rows(rows, feeds, lengths)
         duration = max(self.timer() - started, 1e-9)
+        if self.router is not None:
+            self.router.note_step(duration)
         completion = now + duration
 
         decode_rows = sum(1 for request, _ in rows if request.state is RequestState.DECODE)
@@ -283,12 +345,12 @@ class InferenceEngine:
             was_decode = request.state is RequestState.DECODE
             base = int(lengths[index]) - drafted - 1
             if drafted == 0:
-                token = DecodeState.select(logits.data[index, base])
+                token = DecodeState.select(row_logits[index][base])
                 self._append_token(request, token, completion)
                 emitted = 1
             else:
                 accepted, emitted = self._accept_drafts(
-                    request, logits.data[index], base, completion
+                    request, row_logits[index], base, completion
                 )
                 spec_drafted += drafted
                 spec_accepted += accepted
@@ -318,6 +380,7 @@ class InferenceEngine:
             committed=committed,
             spec_drafted=spec_drafted,
             spec_accepted=spec_accepted,
+            swaps=swaps,
         )
 
     def run_until_idle(self, now: float = 0.0, max_steps: int = 100000) -> float:
@@ -330,6 +393,55 @@ class InferenceEngine:
             if steps > max_steps:
                 raise ServingError(f"engine failed to drain within {max_steps} steps")
         return now
+
+    # -- adaptive routing --------------------------------------------------
+    def _apply_routing(self, rows: List[Tuple[GenerationRequest, np.ndarray]]) -> int:
+        """Re-map every scheduled row to the router's current choice.
+
+        A change on a live cache is a *hot-swap*: the KV state carries over
+        untouched (token state is variant-agnostic), but the cache stops
+        sealing new shared pages — sealed pages advertise "computed by the
+        admission-namespace variant" to future prefix matches, which would
+        no longer hold.  Returns the number of swaps applied this step.
+        """
+        swaps = 0
+        for request, _ in rows:
+            spec = self.router.variant_for(request.quality_floor)
+            if request.assign_variant(spec):
+                swaps += 1
+                self.metrics.variant_swaps += 1
+                freeze = getattr(request.cache, "freeze_sealing", None)
+                if freeze is not None:
+                    freeze()
+        return swaps
+
+    def _forward_rows(
+        self,
+        rows: List[Tuple[GenerationRequest, np.ndarray]],
+        feeds: List[np.ndarray],
+        lengths: np.ndarray,
+    ) -> List[np.ndarray]:
+        """Run the step's rows through their models; per-row logits back.
+
+        Rows sharing a variant batch into one ragged forward (a router-less
+        engine is the degenerate single group), and results scatter back
+        into row order so the commit loop stays group-agnostic.
+        """
+        groups: Dict[Optional[str], List[int]] = {}
+        for index, (request, _) in enumerate(rows):
+            groups.setdefault(request.variant, []).append(index)
+        row_logits: List[np.ndarray] = [None] * len(rows)  # type: ignore[list-item]
+        for spec, indices in groups.items():
+            model = self._model_for(spec)
+            group_lengths = lengths[indices]
+            batch = np.zeros((len(indices), int(group_lengths.max())), dtype=np.int64)
+            for position, index in enumerate(indices):
+                batch[position, : feeds[index].size] = feeds[index]
+            caches = [rows[index][0].cache for index in indices]
+            logits = model.forward_ragged(batch, caches, group_lengths)
+            for position, index in enumerate(indices):
+                row_logits[index] = logits.data[position]
+        return row_logits
 
     # -- scheduling --------------------------------------------------------
     def _schedule(self, now: float) -> List[Tuple[GenerationRequest, np.ndarray]]:
@@ -365,9 +477,24 @@ class InferenceEngine:
             # leaving >= 1 token to feed), so prefill covers just the
             # uncovered suffix.  Re-admission after preemption re-links the
             # same way — recompute-style preemption becomes mostly free.
+            if self.router is not None:
+                # Admission assignment: the variant that will compute this
+                # cache's KV, and therefore the prefix-sharing namespace it
+                # may match/seal pages in (cross-variant page reuse would
+                # silently violate quality floors).
+                if request.assign_variant(
+                    self.router.variant_for(request.quality_floor)
+                ):
+                    # Re-admission after preemption under a different level:
+                    # counts as a swap, but the fresh cache is computed
+                    # entirely by the new variant, so sealing stays enabled.
+                    self.metrics.variant_swaps += 1
             acquire = getattr(self.pool, "acquire_sequence", None)
             if acquire is not None:
-                cache = acquire(prefix)
+                if self.router is not None:
+                    cache = acquire(prefix, namespace=request.variant)
+                else:
+                    cache = acquire(prefix)
             else:
                 cache = self.pool.allocate_sequence()
             shared = cache.seq_len

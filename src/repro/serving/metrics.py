@@ -11,7 +11,7 @@ blended tokens/s over all steps is reported separately.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 
 class SampleStats:
@@ -82,6 +82,43 @@ class SampleStats:
 
 
 @dataclass
+class QoSClassMetrics:
+    """Per-QoS-class terminal breakdown (one instance per class name).
+
+    ``deadline_missed`` splits out the cancellations caused by the hard
+    per-request deadline; ``slo_met``/``slo_missed`` score finished
+    requests against the class's soft TTFT SLO (requests without one are
+    counted in neither).
+    """
+
+    finished: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    deadline_missed: int = 0
+    slo_met: int = 0
+    slo_missed: int = 0
+    ttft_s: SampleStats = field(default_factory=SampleStats)
+
+    _COUNTER_FIELDS = (
+        "finished", "cancelled", "rejected",
+        "deadline_missed", "slo_met", "slo_missed",
+    )
+
+    def snapshot(self) -> dict:
+        payload = {name: getattr(self, name) for name in self._COUNTER_FIELDS}
+        payload["ttft_s"] = self.ttft_s.snapshot()
+        return payload
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "QoSClassMetrics":
+        metrics = cls()
+        for name in cls._COUNTER_FIELDS:
+            setattr(metrics, name, payload.get(name, getattr(metrics, name)))
+        metrics.ttft_s = SampleStats.from_snapshot(payload.get("ttft_s", {}))
+        return metrics
+
+
+@dataclass
 class EngineMetrics:
     """Aggregate counters for one engine's lifetime."""
 
@@ -115,6 +152,11 @@ class EngineMetrics:
     prefix_lookups: int = 0         # admissions that consulted the radix index
     prefix_hits: int = 0            # admissions seeded with >= 1 shared page
     prefill_tokens_saved: int = 0   # prompt tokens served from shared pages
+
+    # Adaptive rank routing: mid-flight variant hot-swaps plus per-class
+    # terminal/SLO breakdowns keyed by QoS class name.
+    variant_swaps: int = 0
+    qos_classes: Dict[str, QoSClassMetrics] = field(default_factory=dict)
 
     def record_step(
         self,
@@ -157,6 +199,25 @@ class EngineMetrics:
             self.cancelled += 1
         elif request.state is RequestState.REJECTED:
             self.rejected += 1
+        qos_name = getattr(request, "qos_name", None)
+        if qos_name is None:
+            return
+        per_class = self.qos_classes.setdefault(qos_name, QoSClassMetrics())
+        if request.state is RequestState.FINISHED:
+            per_class.finished += 1
+            if request.ttft_s is not None:
+                per_class.ttft_s.add(request.ttft_s)
+            slo_met = getattr(request, "slo_met", None)
+            if slo_met is True:
+                per_class.slo_met += 1
+            elif slo_met is False:
+                per_class.slo_missed += 1
+        elif request.state is RequestState.CANCELLED:
+            per_class.cancelled += 1
+            if request.finish_reason == "deadline":
+                per_class.deadline_missed += 1
+        elif request.state is RequestState.REJECTED:
+            per_class.rejected += 1
 
     # -- throughput --------------------------------------------------------
     @property
@@ -202,6 +263,7 @@ class EngineMetrics:
         "finished", "cancelled", "rejected", "preemptions",
         "spec_steps", "spec_drafted", "spec_accepted", "spec_fallbacks",
         "prefix_lookups", "prefix_hits", "prefill_tokens_saved",
+        "variant_swaps",
     )
 
     def snapshot(self) -> dict:
@@ -216,6 +278,11 @@ class EngineMetrics:
         payload["mean_decode_batch"] = self.mean_decode_batch
         payload["spec_acceptance_rate"] = self.spec_acceptance_rate
         payload["prefix_hit_rate"] = self.prefix_hit_rate
+        if self.qos_classes:
+            payload["qos_classes"] = {
+                name: metrics.snapshot()
+                for name, metrics in sorted(self.qos_classes.items())
+            }
         return payload
 
     @classmethod
@@ -228,6 +295,11 @@ class EngineMetrics:
         metrics.ttft_s = SampleStats.from_snapshot(payload["ttft_s"])
         metrics.queue_wait_s = SampleStats.from_snapshot(payload["queue_wait_s"])
         metrics.e2e_s = SampleStats.from_snapshot(payload["e2e_s"])
+        # Snapshots written before QoS routing carry no per-class section.
+        metrics.qos_classes = {
+            name: QoSClassMetrics.from_snapshot(sub)
+            for name, sub in payload.get("qos_classes", {}).items()
+        }
         return metrics
 
     def summary(self) -> str:
@@ -251,4 +323,10 @@ class EngineMetrics:
                 f"({self.prefix_hits}/{self.prefix_lookups}, "
                 f"saved {self.prefill_tokens_saved} prefill tokens)"
             )
+        if self.qos_classes:
+            parts = [
+                f"{name}:{metrics.slo_met}/{metrics.finished} slo"
+                for name, metrics in sorted(self.qos_classes.items())
+            ]
+            text += f" | swaps={self.variant_swaps} qos[{' '.join(parts)}]"
         return text

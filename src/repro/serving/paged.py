@@ -119,6 +119,11 @@ class PagedKVStore:
         self._free: List[int] = list(range(self.n_blocks - 1, -1, -1))
         self._ref: List[int] = [0] * self.n_blocks
         self._root = _RadixNode((), -1, None)
+        # Variant-namespaced radix roots: sealed KV is a function of the
+        # *computing model*, not just the token ids, so an adaptively
+        # routed engine indexes each variant's pages under its own root —
+        # a dense-floor request must never be served rank-1-computed pages.
+        self._namespace_roots: Dict[str, _RadixNode] = {}
         self._nodes: Dict[int, _RadixNode] = {}  # sealed page id -> node
         self._tick = 0
         # -- sharing telemetry (per store lifetime) ------------------------
@@ -234,7 +239,19 @@ class PagedKVStore:
         self._tick += 1
         node.touch = self._tick
 
-    def match_pages(self, tokens) -> Tuple[List[int], _RadixNode]:
+    def root_for(self, namespace: Optional[str]) -> _RadixNode:
+        """The radix root for a sharing namespace (None: the default)."""
+        if namespace is None:
+            return self._root
+        root = self._namespace_roots.get(namespace)
+        if root is None:
+            root = _RadixNode((), -1, None)
+            self._namespace_roots[namespace] = root
+        return root
+
+    def match_pages(
+        self, tokens, root: Optional[_RadixNode] = None
+    ) -> Tuple[List[int], _RadixNode]:
         """Longest full-page chain in the index matching ``tokens``.
 
         The match is capped at ``len(tokens) - 1`` positions: the engine
@@ -244,7 +261,7 @@ class PagedKVStore:
         """
         ids = [int(t) for t in np.asarray(tokens).reshape(-1)]
         max_pages = max(0, (len(ids) - 1) // self.block_tokens)
-        node = self._root
+        node = self._root if root is None else root
         pages: List[int] = []
         for index in range(max_pages):
             key = tuple(ids[index * self.block_tokens : (index + 1) * self.block_tokens])
@@ -308,13 +325,22 @@ class PagedKVStore:
         self._remove_node(node)
 
     # -- sequences ---------------------------------------------------------
-    def acquire_sequence(self, tokens=None) -> "PagedSequenceCache":
+    def acquire_sequence(
+        self, tokens=None, namespace: Optional[str] = None
+    ) -> "PagedSequenceCache":
         """A sequence cache pre-seeded with the longest indexed prefix of
-        ``tokens`` (no tokens: a fresh empty cache)."""
+        ``tokens`` (no tokens: a fresh empty cache).
+
+        ``namespace`` confines matching *and* future sealing to one radix
+        root — the routed engine passes the computing variant's spec so
+        prefixes are only ever shared between requests served by the same
+        weights.
+        """
+        root = self.root_for(namespace)
         if tokens is None or np.asarray(tokens).size == 0:
-            return PagedSequenceCache(self, [], [], self._root)
+            return PagedSequenceCache(self, [], [], root, root=root)
         ids = [int(t) for t in np.asarray(tokens).reshape(-1)]
-        pages, node = self.match_pages(ids)
+        pages, node = self.match_pages(ids, root=root)
         self.prefix_lookups += 1
         if pages:
             self.prefix_hits += 1
@@ -322,7 +348,7 @@ class PagedKVStore:
         for page in pages:
             self._ref[page] += 1
         shared = len(pages) * self.block_tokens
-        return PagedSequenceCache(self, pages, ids[:shared], node)
+        return PagedSequenceCache(self, pages, ids[:shared], node, root=root)
 
     def allocate_sequence(self) -> "PagedSequenceCache":
         """Pool-compatible alias: a fresh cache with no prefix lookup."""
@@ -455,6 +481,7 @@ class PagedSequenceCache:
         block_table: List[int],
         tokens: List[int],
         parent_node: _RadixNode,
+        root: Optional[_RadixNode] = None,
     ) -> None:
         self.store = store
         self.block_table = list(block_table)
@@ -462,7 +489,9 @@ class PagedSequenceCache:
         shared = len(self.block_table) * store.block_tokens
         self._tokens: List[int] = list(tokens)
         self._parent_node = parent_node
+        self._root = root if root is not None else store._root
         self._sealed_pages = len(self.block_table)
+        self._seal_frozen = False
         self.layers: List[PagedLayerCache] = [
             PagedLayerCache(self, layer, shared)
             for layer in range(store.config.n_layers)
@@ -548,7 +577,7 @@ class PagedSequenceCache:
         self._parent_node = (
             store._nodes[self.block_table[self._sealed_pages - 1]]
             if self._sealed_pages > 0
-            else store._root
+            else self._root
         )
 
     def free(self) -> None:
@@ -563,6 +592,18 @@ class PagedSequenceCache:
         self.closed = True
 
     # -- sealing -----------------------------------------------------------
+    def freeze_sealing(self) -> None:
+        """Permanently stop this cache from sealing new pages.
+
+        The routed engine calls this on a mid-flight variant hot-swap: a
+        sealed page advertises "KV computed by this namespace's variant"
+        to future prefix matches, and positions appended after the swap
+        were computed by a *different* variant.  Pages sealed before the
+        freeze are pure admission-variant content (sealing is strictly
+        front-to-back) and stay shared.
+        """
+        self._seal_frozen = True
+
     def _maybe_seal(self) -> None:
         """Seal every page all layers have fully written and whose token
         ids are known, chaining each into the radix index.
@@ -572,6 +613,8 @@ class PagedSequenceCache:
         onto the existing page and the duplicate freed — N concurrent
         identical prefills converge to one physical copy.
         """
+        if self._seal_frozen:
+            return
         store = self.store
         page_size = store.block_tokens
         min_len = min(layer._len for layer in self.layers)

@@ -1,0 +1,510 @@
+"""SLO-aware adaptive rank routing: QoS classes and the load-aware router.
+
+The paper characterizes a *static* accuracy-efficiency trade-off across
+decomposition ranks; the serving stack holds the resulting variants side by
+side (:mod:`repro.serving.variants`).  This module makes that trade-off
+curve an **operating** curve the engine walks at runtime:
+
+- A :class:`QoSClass` names what a request is entitled to: a latency SLO on
+  time-to-first-token plus a *quality floor* — the cheapest decomposed
+  variant the request may ever be served by (``"dense"`` means never
+  degrade).
+- A :class:`RankRouter` watches engine load (queue depth, projected TTFT
+  from an EMA of step durations) and maintains one global *pressure level*
+  that indexes a quality ladder ordered best-to-cheapest (canonically
+  ``dense > rank8 > rank1``).  Each request is served by
+  ``ladder[min(level, floor_index)]`` — the cheapest variant the current
+  load calls for that still satisfies the request's floor.  Hysteresis
+  (separate degrade/upgrade water marks plus a minimum dwell between level
+  changes) keeps the router from thrashing across a burst boundary.
+- **Goodput** is the metric the subsystem is judged by: the number of
+  requests that finished, met their TTFT SLO, *and* were only ever served
+  at or above their quality floor.  A fixed cheap variant forfeits every
+  request whose floor it violates; a fixed dense variant forfeits SLOs
+  under load.  The router exists to beat both.
+
+SLOs can be written in absolute (virtual-clock) seconds or in *units* of
+the unloaded dense TTFT measured by :func:`calibrate_unit`, which keeps
+one QoS catalog meaningful across machines of different speeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServingError
+
+#: Default quality ladder, best quality first.  Index 0 is full quality;
+#: every later entry trades accuracy for cheaper decode (the paper's
+#: trade-off curve, ordered).
+QUALITY_LADDER: Tuple[str, ...] = ("dense", "rank8", "rank1")
+
+
+def ladder_index(ladder: Sequence[str], spec: Optional[str]) -> int:
+    """Position of ``spec`` on the ladder; unknown specs rank *below* the
+    cheapest rung (they satisfy no floor)."""
+    if spec is None:
+        return len(ladder)
+    try:
+        return list(ladder).index(spec)
+    except ValueError:
+        return len(ladder)
+
+
+@dataclass(frozen=True)
+class QoSClass:
+    """One service class: latency SLO plus a minimum-quality tier.
+
+    ``ttft_slo_units`` expresses the SLO as a multiple of the unloaded
+    dense TTFT (see :func:`calibrate_unit`); ``ttft_slo_s`` overrides it
+    with absolute virtual-clock seconds.  ``deadline_s`` optionally adds a
+    *hard* per-request deadline (arrival-relative) enforced by the engine's
+    existing cancellation path; the SLO itself is soft — measured, not
+    enforced.  ``share`` weights trace sampling in
+    :func:`repro.serving.trace.make_trace`'s ``qos_mix``.
+    """
+
+    name: str
+    quality_floor: str
+    ttft_slo_units: Optional[float] = None
+    ttft_slo_s: Optional[float] = None
+    deadline_s: Optional[float] = None
+    share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServingError("QoS class needs a name")
+        if self.share <= 0:
+            raise ServingError(f"QoS class {self.name!r} share must be positive")
+        for label, value in (
+            ("ttft_slo_units", self.ttft_slo_units),
+            ("ttft_slo_s", self.ttft_slo_s),
+            ("deadline_s", self.deadline_s),
+        ):
+            if value is not None and value <= 0:
+                raise ServingError(f"QoS class {self.name!r} {label} must be positive")
+
+    def resolve(self, unit_s: Optional[float]) -> "QoSClass":
+        """A copy with the SLO pinned to absolute seconds.
+
+        Absolute ``ttft_slo_s`` wins; otherwise units are scaled by
+        ``unit_s`` (the calibrated unloaded dense TTFT).
+        """
+        if self.ttft_slo_s is not None or self.ttft_slo_units is None:
+            return self
+        if unit_s is None or unit_s <= 0:
+            raise ServingError(
+                f"QoS class {self.name!r} has a unit-denominated SLO but no "
+                "calibration unit; run calibrate_unit() first"
+            )
+        return replace(self, ttft_slo_s=self.ttft_slo_units * unit_s)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "quality_floor": self.quality_floor,
+            "ttft_slo_units": self.ttft_slo_units,
+            "ttft_slo_s": self.ttft_slo_s,
+            "deadline_s": self.deadline_s,
+            "share": self.share,
+        }
+
+
+#: The default three-tier catalog.  Shares sum to 1; floors span the whole
+#: ladder so every fixed-variant baseline forfeits *some* class (dense by
+#: SLO under load, rank8/rank1 by quality floor), which is exactly the
+#: regime where adaptive routing pays.
+DEFAULT_QOS_CLASSES: Tuple[QoSClass, ...] = (
+    QoSClass("gold", quality_floor="dense", ttft_slo_units=15.0, share=0.25),
+    QoSClass("interactive", quality_floor="rank8", ttft_slo_units=12.0, share=0.35),
+    QoSClass("batch", quality_floor="rank1", ttft_slo_units=40.0, share=0.4),
+)
+
+
+def qos_catalog(
+    classes: Sequence[QoSClass] = DEFAULT_QOS_CLASSES,
+    unit_s: Optional[float] = None,
+) -> Dict[str, QoSClass]:
+    """Name-keyed catalog with every unit-denominated SLO resolved."""
+    catalog: Dict[str, QoSClass] = {}
+    for cls in classes:
+        if cls.name in catalog:
+            raise ServingError(f"duplicate QoS class {cls.name!r}")
+        catalog[cls.name] = cls.resolve(unit_s) if unit_s is not None else cls
+    return catalog
+
+
+def qos_mix(classes: Sequence[QoSClass] = DEFAULT_QOS_CLASSES) -> Dict[str, float]:
+    """The trace-sampling mix implied by the classes' shares."""
+    return {cls.name: cls.share for cls in classes}
+
+
+# -- the router -------------------------------------------------------------
+@dataclass(frozen=True)
+class RouterConfig:
+    """Hysteresis knobs for :class:`RankRouter`.
+
+    The router degrades one ladder level when the request backlog (queued
+    plus running) reaches ``degrade_at`` and upgrades one level when it
+    falls back to ``upgrade_at``; the gap between the two water marks plus
+    a minimum dwell of ``dwell_steps`` engine steps between consecutive
+    level changes is what prevents thrash at a burst boundary.
+    """
+
+    degrade_at: int = 5
+    upgrade_at: int = 1
+    dwell_steps: int = 3
+    ema_alpha: float = 0.2  # step-duration EMA weight (TTFT projection)
+
+    def __post_init__(self) -> None:
+        if self.degrade_at <= self.upgrade_at:
+            raise ServingError(
+                "degrade_at must exceed upgrade_at (the hysteresis band)"
+            )
+        if self.upgrade_at < 0 or self.dwell_steps < 1:
+            raise ServingError("upgrade_at must be >= 0 and dwell_steps >= 1")
+        if not 0.0 < self.ema_alpha <= 1.0:
+            raise ServingError("ema_alpha must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class RouterDecision:
+    """One level change, as logged into the run artifacts."""
+
+    step: int
+    now: float
+    action: str          # "degrade" | "upgrade"
+    from_spec: str
+    to_spec: str
+    queue_depth: int
+    running: int
+    projected_ttft_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "step": self.step,
+            "now": self.now,
+            "action": self.action,
+            "from": self.from_spec,
+            "to": self.to_spec,
+            "queue_depth": self.queue_depth,
+            "running": self.running,
+            "projected_ttft_s": self.projected_ttft_s,
+        }
+
+
+class RankRouter:
+    """Load-aware pressure level over a quality ladder, with hysteresis.
+
+    The engine calls :meth:`observe` once per step (before scheduling) and
+    :meth:`note_step` after each step's measured duration; requests are
+    mapped through :meth:`variant_for` at admission and again every step,
+    so a running request's decode variant can change between steps (the
+    factor-structured hot-swap — KV state is variant-agnostic, so no
+    recomputation happens on a swap).
+    """
+
+    def __init__(
+        self,
+        ladder: Sequence[str] = QUALITY_LADDER,
+        config: Optional[RouterConfig] = None,
+    ) -> None:
+        ladder = tuple(ladder)
+        if len(ladder) < 2:
+            raise ServingError("router ladder needs at least two variants")
+        if len(set(ladder)) != len(ladder):
+            raise ServingError(f"router ladder has duplicates: {ladder}")
+        self.ladder = ladder
+        self.config = config or RouterConfig()
+        self.level = 0
+        self.decisions: List[RouterDecision] = []
+        self._steps = 0
+        self._last_change = -self.config.dwell_steps  # first change is free
+        self._ema_step_s = 0.0
+
+    # -- mapping -----------------------------------------------------------
+    def variant_for(self, floor: Optional[str] = None) -> str:
+        """Cheapest ladder variant satisfying ``floor`` at current load.
+
+        ``floor=None`` (no QoS class) accepts any quality.  A floor not on
+        the ladder is a configuration error.
+        """
+        if floor is None:
+            return self.ladder[self.level]
+        index = ladder_index(self.ladder, floor)
+        if index >= len(self.ladder):
+            raise ServingError(
+                f"quality floor {floor!r} is not on the ladder {self.ladder}"
+            )
+        return self.ladder[min(self.level, index)]
+
+    # -- load tracking -----------------------------------------------------
+    def projected_ttft_s(self, backlog: int) -> float:
+        """Pessimistic queue-drain estimate: backlog serial step times."""
+        return backlog * self._ema_step_s
+
+    def observe(
+        self, now: float, queue_depth: int, running: int
+    ) -> Optional[RouterDecision]:
+        """Update the pressure level from current load; returns the level
+        change made this step, if any (at most one per dwell window)."""
+        self._steps += 1
+        backlog = queue_depth + running
+        if self._steps - self._last_change < self.config.dwell_steps:
+            return None
+        action = None
+        if backlog >= self.config.degrade_at and self.level < len(self.ladder) - 1:
+            action, target = "degrade", self.level + 1
+        elif backlog <= self.config.upgrade_at and self.level > 0:
+            action, target = "upgrade", self.level - 1
+        if action is None:
+            return None
+        decision = RouterDecision(
+            step=self._steps,
+            now=now,
+            action=action,
+            from_spec=self.ladder[self.level],
+            to_spec=self.ladder[target],
+            queue_depth=queue_depth,
+            running=running,
+            projected_ttft_s=self.projected_ttft_s(backlog),
+        )
+        self.level = target
+        self._last_change = self._steps
+        self.decisions.append(decision)
+        return decision
+
+    def note_step(self, duration_s: float) -> None:
+        alpha = self.config.ema_alpha
+        if self._ema_step_s == 0.0:
+            self._ema_step_s = duration_s
+        else:
+            self._ema_step_s += alpha * (duration_s - self._ema_step_s)
+
+    # -- telemetry ---------------------------------------------------------
+    @property
+    def downgrades(self) -> int:
+        return sum(1 for d in self.decisions if d.action == "degrade")
+
+    @property
+    def upgrades(self) -> int:
+        return sum(1 for d in self.decisions if d.action == "upgrade")
+
+    def snapshot(self) -> dict:
+        return {
+            "ladder": list(self.ladder),
+            "config": {
+                "degrade_at": self.config.degrade_at,
+                "upgrade_at": self.config.upgrade_at,
+                "dwell_steps": self.config.dwell_steps,
+                "ema_alpha": self.config.ema_alpha,
+            },
+            "level": self.level,
+            "downgrades": self.downgrades,
+            "upgrades": self.upgrades,
+            "decisions": [d.to_dict() for d in self.decisions],
+        }
+
+
+class ScriptedRouter:
+    """A router double that replays a fixed level schedule.
+
+    ``levels[i]`` is the pressure level after the ``i``-th
+    :meth:`observe` call (clamped to the last entry once exhausted).  Load
+    inputs are ignored, which makes swap points — and therefore the whole
+    per-step variant schedule — deterministic regardless of measured step
+    durations; this is what the hot-swap exactness tests replay against.
+    """
+
+    def __init__(self, ladder: Sequence[str], levels: Sequence[int]) -> None:
+        self.ladder = tuple(ladder)
+        if not levels:
+            raise ServingError("scripted router needs at least one level")
+        for level in levels:
+            if not 0 <= level < len(self.ladder):
+                raise ServingError(f"scripted level {level} outside ladder")
+        self._levels = list(levels)
+        self.level = self._levels[0]
+        self.decisions: List[RouterDecision] = []
+        self._steps = 0
+
+    def variant_for(self, floor: Optional[str] = None) -> str:
+        if floor is None:
+            return self.ladder[self.level]
+        index = ladder_index(self.ladder, floor)
+        if index >= len(self.ladder):
+            raise ServingError(
+                f"quality floor {floor!r} is not on the ladder {self.ladder}"
+            )
+        return self.ladder[min(self.level, index)]
+
+    def observe(self, now, queue_depth, running) -> Optional[RouterDecision]:
+        previous = self.level
+        index = min(self._steps, len(self._levels) - 1)
+        self.level = self._levels[index]
+        self._steps += 1
+        if self.level == previous:
+            return None
+        decision = RouterDecision(
+            step=self._steps,
+            now=now,
+            action="degrade" if self.level > previous else "upgrade",
+            from_spec=self.ladder[previous],
+            to_spec=self.ladder[self.level],
+            queue_depth=queue_depth,
+            running=running,
+            projected_ttft_s=0.0,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def note_step(self, duration_s: float) -> None:
+        pass
+
+    @property
+    def downgrades(self) -> int:
+        return sum(1 for d in self.decisions if d.action == "degrade")
+
+    @property
+    def upgrades(self) -> int:
+        return sum(1 for d in self.decisions if d.action == "upgrade")
+
+    def snapshot(self) -> dict:
+        return {
+            "ladder": list(self.ladder),
+            "config": {"scripted_levels": self._levels},
+            "level": self.level,
+            "downgrades": self.downgrades,
+            "upgrades": self.upgrades,
+            "decisions": [d.to_dict() for d in self.decisions],
+        }
+
+
+# -- goodput ----------------------------------------------------------------
+@dataclass
+class GoodputSummary:
+    """Requests meeting their SLO at or above their quality floor."""
+
+    eligible: int = 0
+    good: int = 0
+    slo_violations: int = 0
+    quality_violations: int = 0
+    not_finished: int = 0
+    per_class: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def rate(self) -> float:
+        return self.good / self.eligible if self.eligible else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "eligible": self.eligible,
+            "good": self.good,
+            "rate": self.rate,
+            "slo_violations": self.slo_violations,
+            "quality_violations": self.quality_violations,
+            "not_finished": self.not_finished,
+            "per_class": self.per_class,
+        }
+
+
+def goodput_summary(
+    records: Sequence[dict],
+    catalog: Dict[str, QoSClass],
+    ladder: Sequence[str] = QUALITY_LADDER,
+    default_spec: Optional[str] = None,
+) -> GoodputSummary:
+    """Score per-request replay records (see ``request_records``) against a
+    QoS catalog.
+
+    A record is *good* when it finished, its TTFT met the class SLO, and
+    every variant that ever served it sits at or above the class's quality
+    floor.  Records whose engine ran without a router carry no per-request
+    variant history; ``default_spec`` (the fixed variant replayed) stands
+    in for it.  Requests without a QoS tag count as eligible and are held
+    only to finishing (no SLO, no floor).
+    """
+    summary = GoodputSummary()
+    for record in records:
+        qos_name = record.get("qos")
+        cls = catalog.get(qos_name) if qos_name else None
+        if qos_name and cls is None:
+            raise ServingError(f"record tagged with unknown QoS class {qos_name!r}")
+        served = record.get("variants") or ([default_spec] if default_spec else [])
+        per = summary.per_class.setdefault(
+            qos_name or "untagged",
+            {"eligible": 0, "good": 0, "slo_violations": 0, "quality_violations": 0},
+        )
+        summary.eligible += 1
+        per["eligible"] += 1
+        if record.get("state") != "finished":
+            summary.not_finished += 1
+            continue
+        ok = True
+        if cls is not None and cls.ttft_slo_s is not None:
+            ttft = record.get("ttft_s")
+            if ttft is None or ttft > cls.ttft_slo_s:
+                summary.slo_violations += 1
+                per["slo_violations"] += 1
+                ok = False
+        if cls is not None:
+            floor = ladder_index(ladder, cls.quality_floor)
+            worst = max((ladder_index(ladder, spec) for spec in served), default=0)
+            if worst > floor:
+                summary.quality_violations += 1
+                per["quality_violations"] += 1
+                ok = False
+        if ok:
+            summary.good += 1
+            per["good"] += 1
+    return summary
+
+
+# -- calibration ------------------------------------------------------------
+def calibrate_unit(model, trace, engine_config=None, repeats: int = 3) -> float:
+    """Unloaded dense TTFT: the first trace request served alone.
+
+    One request on a fresh engine has no queueing component, so its TTFT is
+    pure model time — the natural unit for machine-independent SLOs.  The
+    probe is repeated and the median taken: the very first pass through a
+    model pays one-time warmup costs (allocator, caches) that would
+    otherwise inflate every SLO derived from the unit.
+    """
+    from repro.serving.engine import InferenceEngine
+
+    if not trace:
+        raise ServingError("cannot calibrate against an empty trace")
+    if repeats < 1:
+        raise ServingError("calibration needs at least one probe")
+    probe = trace[0]
+    samples = []
+    for _ in range(repeats):
+        engine = InferenceEngine(model, config=engine_config)
+        request = engine.submit(probe.prompt, probe.max_new_tokens, now=0.0)
+        engine.run_until_idle()
+        if request.ttft_s is None:
+            raise ServingError(
+                f"calibration request ended {request.state.value} "
+                f"({request.finish_reason}); cannot derive an SLO unit"
+            )
+        samples.append(request.ttft_s)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+__all__ = [
+    "DEFAULT_QOS_CLASSES",
+    "QUALITY_LADDER",
+    "GoodputSummary",
+    "QoSClass",
+    "RankRouter",
+    "RouterConfig",
+    "RouterDecision",
+    "ScriptedRouter",
+    "calibrate_unit",
+    "goodput_summary",
+    "ladder_index",
+    "qos_catalog",
+    "qos_mix",
+]

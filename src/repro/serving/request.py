@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -60,6 +60,18 @@ class GenerationRequest:
     pending_drafts: List[int] = field(default_factory=list)
     finish_reason: str = ""
     preemptions: int = 0
+
+    # QoS / adaptive-routing state.  ``variant`` is the spec currently
+    # serving this request (None on a router-less engine); every assignment
+    # change is journalled into ``variant_history`` as
+    # ``(n_generated_at_assignment, spec)`` so tests and goodput accounting
+    # can reconstruct the exact per-token variant schedule.
+    qos_name: Optional[str] = None
+    quality_floor: Optional[str] = None
+    ttft_slo_s: Optional[float] = None
+    variant: Optional[str] = None
+    variant_history: List[Tuple[int, str]] = field(default_factory=list)
+    swaps: int = 0
 
     first_scheduled_time: Optional[float] = None
     first_token_time: Optional[float] = None
@@ -124,6 +136,35 @@ class GenerationRequest:
             return None
         return self.finish_time - self.arrival_time
 
+    @property
+    def slo_met(self) -> Optional[bool]:
+        """Did the first token land within the class SLO?  None without one."""
+        if self.ttft_slo_s is None:
+            return None
+        if self.ttft_s is None:
+            return False
+        return self.ttft_s <= self.ttft_slo_s
+
+    @property
+    def served_variants(self) -> List[str]:
+        """Distinct variant specs that ever served this request, in order."""
+        seen: List[str] = []
+        for _, spec in self.variant_history:
+            if not seen or seen[-1] != spec:
+                seen.append(spec)
+        return seen
+
+    def assign_variant(self, spec: str) -> bool:
+        """Record a router assignment; returns True when it was a *swap*
+        (the request was already being served by a different variant)."""
+        swapped = self.variant is not None and self.variant != spec
+        if self.variant != spec:
+            self.variant_history.append((self.n_generated, spec))
+            self.variant = spec
+        if swapped:
+            self.swaps += 1
+        return swapped
+
     def result(self) -> "GenerationResult":
         if not self.done:
             raise ServingError(
@@ -140,6 +181,11 @@ class GenerationRequest:
             queue_wait_s=self.queue_wait_s,
             ttft_s=self.ttft_s,
             e2e_s=self.e2e_s,
+            qos=self.qos_name,
+            ttft_slo_s=self.ttft_slo_s,
+            slo_met=self.slo_met,
+            variants=tuple(self.served_variants),
+            swaps=self.swaps,
         )
 
 
@@ -157,6 +203,11 @@ class GenerationResult:
     queue_wait_s: Optional[float]
     ttft_s: Optional[float]
     e2e_s: Optional[float]
+    qos: Optional[str] = None
+    ttft_slo_s: Optional[float] = None
+    slo_met: Optional[bool] = None
+    variants: Tuple[str, ...] = ()
+    swaps: int = 0
 
     @property
     def ok(self) -> bool:

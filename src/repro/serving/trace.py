@@ -26,7 +26,7 @@ manifest records — so any trace replays bit-identically from its manifest.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -42,6 +42,7 @@ class TraceRequest:
     prompt: np.ndarray
     max_new_tokens: int
     tenant: Optional[int] = None   # prefix-family tenant id (None elsewhere)
+    qos: Optional[str] = None      # QoS class name (``qos_mix`` sampling)
 
 
 def _resolve_rng(rng: Optional[np.random.Generator], seed: int) -> np.random.Generator:
@@ -309,6 +310,28 @@ TRACE_FAMILIES = {
 }
 
 
+def assign_qos(
+    trace: List[TraceRequest],
+    mix: Dict[str, float],
+    rng: np.random.Generator,
+) -> List[TraceRequest]:
+    """Tag each request with a QoS class sampled from ``mix`` (name ->
+    weight).  Sampling consumes the same generator as the trace itself, so
+    a manifest replay reproduces the class assignment bit for bit."""
+    if not mix:
+        raise ServingError("qos mix must name at least one class")
+    names = list(mix)
+    weights = np.asarray([mix[name] for name in names], dtype=np.float64)
+    if np.any(weights <= 0):
+        raise ServingError(f"qos mix weights must be positive: {mix}")
+    weights /= weights.sum()
+    picks = rng.choice(len(names), size=len(trace), p=weights)
+    return [
+        replace(request, qos=names[int(pick)])
+        for request, pick in zip(trace, picks)
+    ]
+
+
 def make_trace(
     family: str,
     n_requests: int,
@@ -316,13 +339,16 @@ def make_trace(
     vocab_size: int,
     seed: int = 0,
     rng: Optional[np.random.Generator] = None,
+    qos_mix: Optional[Dict[str, float]] = None,
     **params,
 ) -> List[TraceRequest]:
     """Build a trace from a ``(family, params)`` description.
 
     This is the manifest replay entry point: a serve-bench run records
     exactly these arguments in ``manifest.json``, and feeding them back
-    reproduces the trace bit for bit.
+    reproduces the trace bit for bit.  ``qos_mix`` (class name -> weight)
+    additionally samples a QoS class per request, drawn from the same
+    generator stream after the family's own draws.
     """
     try:
         generator = TRACE_FAMILIES[family]
@@ -330,9 +356,11 @@ def make_trace(
         raise ServingError(
             f"unknown trace family {family!r}; have {sorted(TRACE_FAMILIES)}"
         ) from None
-    return generator(
-        n_requests, rate_rps, vocab_size, seed=seed, rng=rng, **params
-    )
+    rng = _resolve_rng(rng, seed)
+    trace = generator(n_requests, rate_rps, vocab_size, rng=rng, **params)
+    if qos_mix is not None:
+        trace = assign_qos(trace, qos_mix, rng)
+    return trace
 
 
 def trace_stats(trace: List[TraceRequest]) -> Dict[str, float]:
@@ -348,6 +376,7 @@ def trace_stats(trace: List[TraceRequest]) -> Dict[str, float]:
         float(gaps.std() / gaps.mean()) if gaps.size and gaps.mean() > 0 else 0.0
     )
     tenants = {t.tenant for t in trace if t.tenant is not None}
+    qos_classes = {t.qos for t in trace if t.qos is not None}
     return {
         "n_requests": len(trace),
         "span_s": span,
@@ -358,12 +387,14 @@ def trace_stats(trace: List[TraceRequest]) -> Dict[str, float]:
         "new_tokens_mean": float(budgets.mean()),
         "gap_cv": burstiness,  # coefficient of variation; 1.0 == Poisson
         "n_tenants": len(tenants),
+        "n_qos_classes": len(qos_classes),
     }
 
 
 __all__ = [
     "TRACE_FAMILIES",
     "TraceRequest",
+    "assign_qos",
     "bursty_trace",
     "diurnal_trace",
     "heavy_tail_trace",

@@ -13,6 +13,17 @@ The registry materializes variants lazily: each spec gets its own freshly
 built model sharing the base weights (copied via ``state_dict``) with
 :func:`~repro.decomposition.apply.decompose_model` applied, so several
 variants can be benchmarked side by side without mutating the base model.
+
+With ``share_base=True`` the registry materializes *hot-swappable*
+variants instead: every undecomposed parameter aliases the base model's
+array (zero copy), and only the factor-structured U·Γ·V replacements are
+private (:class:`~repro.nn.factorized.FactorizedLinear` re-lays factors
+out C-contiguously, which makes them fresh arrays by construction).
+Holding the whole quality ladder resident then costs one dense model plus
+the factor deltas — the LoTR-style layout that lets the serving engine
+switch a live request's decode variant between steps without checkpoint
+reloads.  Each :class:`ModelVariant` records its ``private_bytes`` (what a
+hot-swap actually touches) next to the full dense footprint.
 """
 
 from __future__ import annotations
@@ -66,6 +77,9 @@ class ModelVariant:
     model: object
     decomposition: DecompositionConfig
     report: Optional[DecompositionReport]  # None for the dense variant
+    shares_base: bool = False
+    private_bytes: int = 0   # parameter bytes not aliased from the base
+    total_bytes: int = 0     # full parameter footprint of this variant
 
     @property
     def parameter_reduction(self) -> float:
@@ -78,10 +92,19 @@ class ModelVariant:
 
 
 class VariantRegistry:
-    """Lazily materializes decomposed variants of one base model."""
+    """Lazily materializes decomposed variants of one base model.
 
-    def __init__(self, base_model) -> None:
+    ``share_base=True`` switches to the hot-swap layout: undecomposed
+    parameters alias the base arrays instead of copying them, so the
+    marginal memory of each extra ladder variant is just its factor
+    deltas (``ModelVariant.private_bytes``).  Aliasing is read-only by
+    contract — serving never mutates weights — and decomposition replaces
+    target modules wholesale, so the base model is never written through.
+    """
+
+    def __init__(self, base_model, share_base: bool = False) -> None:
         self.base_model = base_model
+        self.share_base = share_base
         self.config: ModelConfig = base_model.config
         self._variants: Dict[str, ModelVariant] = {}
 
@@ -95,14 +118,35 @@ class VariantRegistry:
             self._variants[key] = self._materialize(key)
         return self._variants[key]
 
+    def ladder(self, specs) -> Dict[str, object]:
+        """Materialize a whole quality ladder: spec -> servable model."""
+        return {spec: self.get(spec).model for spec in specs}
+
     def _materialize(self, spec: str) -> ModelVariant:
         decomposition = parse_variant_spec(spec, self.config)
         model = build_model(self.config)
-        model.load_state_dict(self.base_model.state_dict())
+        if self.share_base:
+            base_params = dict(self.base_model.named_parameters())
+            for name, param in model.named_parameters():
+                param.data = base_params[name].data
+        else:
+            model.load_state_dict(self.base_model.state_dict())
         model.eval()
         report = None
         if not decomposition.is_identity:
             report = decompose_model(model, decomposition)
+        base_ids = {id(p.data) for _, p in self.base_model.named_parameters()}
+        private = total = 0
+        for _, param in model.named_parameters():
+            total += param.data.nbytes
+            if id(param.data) not in base_ids:
+                private += param.data.nbytes
         return ModelVariant(
-            spec=spec, model=model, decomposition=decomposition, report=report
+            spec=spec,
+            model=model,
+            decomposition=decomposition,
+            report=report,
+            shares_base=self.share_base,
+            private_bytes=private if self.share_base else total,
+            total_bytes=total,
         )

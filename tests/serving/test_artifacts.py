@@ -129,3 +129,146 @@ class TestReferenceRun:
         assert result["prefix_hits"] > 0
         assert result["prefill_tokens_saved"] > 0
         assert records, "reference run has no per-request records"
+
+    ROUTED_REFERENCE = "benchmarks/runs/slo-router-reference"
+
+    def test_routed_reference_run_loads_and_replays(self):
+        manifest, summary, records = load_run(self.ROUTED_REFERENCE)
+        trace = trace_from_manifest(manifest)
+        assert len(trace) == manifest["trace"]["n_requests"]
+        assert manifest["router"] == "slo"
+        vs_fixed = summary["goodput_vs_fixed"]
+        assert vs_fixed["beats_best_fixed"] is True
+        assert vs_fixed["routed"] > vs_fixed["best_fixed"]
+        assert any(record.get("qos") for record in records)
+
+
+@pytest.fixture(scope="module")
+def routed_report(smoke_model, smoke_config):
+    from repro.serving import RouterConfig, make_trace
+
+    trace = make_trace(
+        "bursty",
+        10,
+        150.0,
+        smoke_config.vocab_size,
+        seed=4,
+        prompt_len=(6, 12),
+        new_tokens=(4, 8),
+        qos_mix={"gold": 0.3, "interactive": 0.3, "batch": 0.4},
+    )
+    return run_serve_bench(
+        smoke_model,
+        ["dense", "rank8", "rank1"],
+        trace,
+        engine_config=EngineConfig(
+            max_batch=4, token_budget=32, n_blocks=48, block_tokens=8
+        ),
+        seed=4,
+        router="slo",
+        # Hair-trigger hysteresis so even this tiny burst produces a
+        # decision log to persist.
+        router_config=RouterConfig(degrade_at=2, upgrade_at=0, dwell_steps=1),
+        trace_info={"family": "bursty"},
+    )
+
+
+@pytest.fixture()
+def routed_manifest():
+    return {
+        "name": "routed-run",
+        "model": "smoke-llama",
+        "seed": 4,
+        "router": "slo",
+        "trace": trace_manifest(
+            "bursty",
+            10,
+            150.0,
+            128,
+            4,
+            prompt_len=[6, 12],
+            new_tokens=[4, 8],
+            qos_mix={"gold": 0.3, "interactive": 0.3, "batch": 0.4},
+        ),
+    }
+
+
+class TestReportRendering:
+    def test_report_md_written(self, tmp_path, manifest, report):
+        run_dir = write_run_artifact(tmp_path / "run", manifest, report)
+        text = (run_dir / "report.md").read_text()
+        assert "# serve-bench run: smoke-llama" in text
+        assert "| dense " in text
+        # An unrouted run renders no router/QoS sections.
+        assert "Router decisions" not in text
+        assert not (run_dir / "router.jsonl").exists()
+
+    def test_routed_run_gets_router_log_and_sections(
+        self, tmp_path, routed_manifest, routed_report
+    ):
+        run_dir = write_run_artifact(
+            tmp_path / "run", routed_manifest, routed_report
+        )
+        text = (run_dir / "report.md").read_text()
+        assert "## Per-class outcomes" in text
+        assert "## Router decisions" in text
+        assert "slo-router" in text
+        assert "**Goodput:**" in text
+        decisions = [
+            json.loads(line)
+            for line in (run_dir / "router.jsonl").read_text().splitlines()
+            if line.strip()
+        ]
+        assert decisions, "routed run must persist its decision log"
+        assert all(d["variant"] == "slo-router" for d in decisions)
+        assert {"action", "from", "to", "step"} <= set(decisions[0])
+
+    def test_routed_summary_round_trips(
+        self, tmp_path, routed_manifest, routed_report
+    ):
+        run_dir = write_run_artifact(
+            tmp_path / "run", routed_manifest, routed_report
+        )
+        _, summary, records = load_run(run_dir)
+        assert summary["qos_info"]["ladder"] == ["dense", "rank8", "rank1"]
+        assert summary["goodput_vs_fixed"] is not None
+        routed_rows = [
+            r for r in summary["results"] if r["spec"] == "slo-router"
+        ]
+        assert routed_rows and routed_rows[0]["goodput"]["eligible"] == 10
+        assert any(record.get("qos") for record in records)
+
+    def test_load_run_tolerates_missing_new_files(self, tmp_path, manifest, report):
+        """Pre-QoS run directories have no report.md/router.jsonl."""
+        run_dir = write_run_artifact(tmp_path / "run", manifest, report)
+        (run_dir / "report.md").unlink()
+        loaded_manifest, summary, records = load_run(run_dir)
+        assert loaded_manifest["name"] == manifest["name"]
+        assert summary["results"]
+
+
+class TestTrajectory:
+    def test_append_creates_and_stamps(self, tmp_path):
+        from repro.serving import append_trajectory
+
+        path = tmp_path / "nested" / "trajectory.jsonl"
+        append_trajectory({"bench": "serve-bench", "model": "m"}, path=path)
+        append_trajectory({"bench": "bench-decode", "date": "2001-01-01"}, path=path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["bench"] == "serve-bench"
+        assert lines[0]["date"]  # stamped
+        assert "commit" in lines[0]
+        # Caller-provided stamps win.
+        assert lines[1]["date"] == "2001-01-01"
+
+    def test_repo_ledger_is_valid_jsonl(self):
+        """The checked-in ledger must stay parseable line by line."""
+        from pathlib import Path
+
+        from repro.serving.artifacts import TRAJECTORY_PATH
+
+        assert Path(TRAJECTORY_PATH).exists()
+        for line in Path(TRAJECTORY_PATH).read_text().splitlines():
+            entry = json.loads(line)
+            assert "bench" in entry and "date" in entry

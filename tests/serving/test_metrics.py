@@ -220,3 +220,100 @@ class TestSpeculativeMetrics:
         metrics.spec_fallbacks = 2
         summary = metrics.summary()
         assert "spec accept=1.00 (4/4, fallbacks=2)" in summary
+
+
+class TestQoSClassMetrics:
+    def make_request(self, state, qos_name="gold", ttft=0.1, slo=0.5,
+                     finish_reason=None):
+        from repro.serving import GenerationRequest, RequestState
+        import numpy as np
+
+        request = GenerationRequest(
+            request_id=0,
+            prompt=np.arange(4),
+            max_new_tokens=2,
+            qos_name=qos_name,
+            ttft_slo_s=slo,
+        )
+        request.state = RequestState[state.upper()]
+        request.finish_reason = finish_reason
+        if state == "finished":
+            request.first_token_time = ttft
+            request.finish_time = ttft + 0.05
+        return request
+
+    def test_per_class_breakdown(self):
+        metrics = EngineMetrics()
+        metrics.record_terminal(self.make_request("finished", ttft=0.1))
+        metrics.record_terminal(self.make_request("finished", ttft=0.9))
+        metrics.record_terminal(
+            self.make_request("cancelled", finish_reason="deadline")
+        )
+        metrics.record_terminal(
+            self.make_request("cancelled", qos_name="batch", finish_reason="user")
+        )
+        metrics.record_terminal(self.make_request("finished", qos_name=None))
+        gold = metrics.qos_classes["gold"]
+        assert gold.finished == 2
+        assert gold.slo_met == 1
+        assert gold.slo_missed == 1
+        assert gold.cancelled == 1
+        assert gold.deadline_missed == 1
+        batch = metrics.qos_classes["batch"]
+        assert batch.cancelled == 1
+        assert batch.deadline_missed == 0
+        # Untagged requests never open a class bucket.
+        assert set(metrics.qos_classes) == {"gold", "batch"}
+
+    def test_requests_without_slo_score_neither(self):
+        metrics = EngineMetrics()
+        metrics.record_terminal(self.make_request("finished", slo=None))
+        gold = metrics.qos_classes["gold"]
+        assert gold.finished == 1
+        assert gold.slo_met == 0 and gold.slo_missed == 0
+
+    def test_snapshot_round_trip(self):
+        metrics = EngineMetrics()
+        metrics.variant_swaps = 3
+        metrics.record_terminal(self.make_request("finished", ttft=0.1))
+        metrics.record_terminal(
+            self.make_request("cancelled", finish_reason="deadline")
+        )
+        restored = EngineMetrics.from_snapshot(metrics.snapshot())
+        assert restored.variant_swaps == 3
+        gold = restored.qos_classes["gold"]
+        assert gold.finished == 1
+        assert gold.deadline_missed == 1
+        assert gold.ttft_s.p50 == pytest.approx(0.1)
+        assert restored.summary() == metrics.summary()
+
+    def test_pre_qos_snapshot_still_loads(self):
+        """Run summaries written before the QoS subsystem existed must load
+        with swaps at zero and no class buckets."""
+        metrics = EngineMetrics()
+        metrics.record_step(0.1, decode_rows=1, prefill_rows=0, prefill_tokens=0)
+        payload = metrics.snapshot()
+        payload.pop("variant_swaps", None)
+        payload.pop("qos_classes", None)
+        restored = EngineMetrics.from_snapshot(payload)
+        assert restored.variant_swaps == 0
+        assert restored.qos_classes == {}
+        assert "qos[" not in restored.summary()
+
+    def test_snapshot_omits_empty_qos_section(self):
+        assert "qos_classes" not in EngineMetrics().snapshot()
+
+    def test_summary_gains_qos_section(self):
+        metrics = EngineMetrics()
+        metrics.variant_swaps = 2
+        metrics.record_terminal(self.make_request("finished", ttft=0.1))
+        assert "qos[" in metrics.summary()
+        assert "swaps=2" in metrics.summary()
+
+    def test_partial_class_snapshot_defaults(self):
+        from repro.serving import QoSClassMetrics
+
+        restored = QoSClassMetrics.from_snapshot({"finished": 4})
+        assert restored.finished == 4
+        assert restored.deadline_missed == 0
+        assert restored.ttft_s.count == 0

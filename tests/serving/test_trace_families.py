@@ -134,3 +134,61 @@ class TestSharedGenerator:
         for x, y in zip(a, b):
             assert x.arrival_time == y.arrival_time
             np.testing.assert_array_equal(x.prompt, y.prompt)
+
+
+class TestQoSAssignment:
+    MIX = {"gold": 0.25, "interactive": 0.35, "batch": 0.4}
+
+    def test_untagged_by_default(self):
+        trace = make_trace("poisson", 10, 20.0, VOCAB, seed=0)
+        assert all(t.qos is None for t in trace)
+
+    def test_mix_tags_every_request(self):
+        trace = make_trace("poisson", 60, 20.0, VOCAB, seed=0, qos_mix=self.MIX)
+        assert all(t.qos in self.MIX for t in trace)
+        seen = {t.qos for t in trace}
+        assert seen == set(self.MIX)
+
+    def test_tagging_is_deterministic_for_seed(self):
+        a = make_trace("bursty", 40, 30.0, VOCAB, seed=5, qos_mix=self.MIX)
+        b = make_trace("bursty", 40, 30.0, VOCAB, seed=5, qos_mix=self.MIX)
+        assert [t.qos for t in a] == [t.qos for t in b]
+
+    def test_tagging_leaves_arrivals_and_prompts_unchanged(self):
+        """QoS sampling consumes the rng *after* the family draws, so a
+        tagged trace is the untagged trace plus labels."""
+        plain = make_trace("bursty", 40, 30.0, VOCAB, seed=5)
+        tagged = make_trace("bursty", 40, 30.0, VOCAB, seed=5, qos_mix=self.MIX)
+        for x, y in zip(plain, tagged):
+            assert x.arrival_time == y.arrival_time
+            np.testing.assert_array_equal(x.prompt, y.prompt)
+            assert x.max_new_tokens == y.max_new_tokens
+
+    def test_shares_respected_roughly(self):
+        trace = make_trace(
+            "poisson", 400, 20.0, VOCAB, seed=1, qos_mix=self.MIX
+        )
+        share = sum(1 for t in trace if t.qos == "batch") / len(trace)
+        assert 0.3 < share < 0.5
+
+    def test_explicit_assign_qos(self):
+        from repro.serving import assign_qos
+
+        trace = make_trace("poisson", 10, 20.0, VOCAB, seed=0)
+        tagged = assign_qos(trace, {"gold": 1.0}, np.random.default_rng(0))
+        assert all(t.qos == "gold" for t in tagged)
+        assert all(t.qos is None for t in trace)  # input untouched
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ServingError):
+            make_trace("poisson", 4, 20.0, VOCAB, seed=0, qos_mix={})
+        with pytest.raises(ServingError):
+            make_trace(
+                "poisson", 4, 20.0, VOCAB, seed=0, qos_mix={"gold": -1.0}
+            )
+
+    def test_stats_count_classes(self):
+        trace = make_trace("poisson", 30, 20.0, VOCAB, seed=0, qos_mix=self.MIX)
+        assert trace_stats(trace)["n_qos_classes"] == len(self.MIX)
+        untagged = make_trace("poisson", 30, 20.0, VOCAB, seed=0)
+        assert trace_stats(untagged)["n_qos_classes"] == 0

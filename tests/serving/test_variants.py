@@ -65,3 +65,53 @@ class TestVariantRegistry:
         registry = VariantRegistry(smoke_model)
         assert "dense" in registry.get("dense").describe()
         assert "decomposed" in registry.get("rank1").describe()
+
+
+class TestSharedBaseRegistry:
+    def test_dense_variant_aliases_base_arrays(self, smoke_model):
+        registry = VariantRegistry(smoke_model, share_base=True)
+        variant = registry.get("dense")
+        base = dict(smoke_model.named_parameters())
+        for name, param in variant.model.named_parameters():
+            assert np.shares_memory(param.data, base[name].data), name
+        assert variant.shares_base is True
+        assert variant.private_bytes == 0
+        assert variant.total_bytes > 0
+
+    def test_decomposed_factors_are_private(self, smoke_model):
+        registry = VariantRegistry(smoke_model, share_base=True)
+        variant = registry.get("rank8")
+        base_ids = {
+            id(p.data) for _, p in smoke_model.named_parameters()
+        }
+        private = [
+            name
+            for name, p in variant.model.named_parameters()
+            if id(p.data) not in base_ids
+        ]
+        assert private, "decomposition must introduce private factor arrays"
+        assert 0 < variant.private_bytes < variant.total_bytes
+
+    def test_ladder_materializes_all_specs(self, smoke_model):
+        registry = VariantRegistry(smoke_model, share_base=True)
+        ladder = registry.ladder(("dense", "rank8", "rank1"))
+        assert set(ladder) == {"dense", "rank8", "rank1"}
+        assert ladder["dense"] is registry.get("dense").model
+
+    def test_shared_base_variants_stay_logit_identical_to_copies(self, smoke_model):
+        """Aliasing is an optimization: decomposition on a shared-base
+        variant must give the same logits as on a state_dict copy."""
+        shared = VariantRegistry(smoke_model, share_base=True).get("rank1")
+        copied = VariantRegistry(smoke_model, share_base=False).get("rank1")
+        tokens = np.arange(6, dtype=np.int64)[None, :] % 11
+        np.testing.assert_allclose(
+            shared.model.forward(tokens).data,
+            copied.model.forward(tokens).data,
+            rtol=1e-6,
+            atol=1e-7,
+        )
+
+    def test_copy_registry_reports_full_private_bytes(self, smoke_model):
+        variant = VariantRegistry(smoke_model, share_base=False).get("dense")
+        assert variant.shares_base is False
+        assert variant.private_bytes == variant.total_bytes
