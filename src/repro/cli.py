@@ -9,14 +9,17 @@ Commands
   tiny model checkpoints.
 - ``repro eval [--limit N]`` — evaluate the cached tiny Llama on the suite.
 - ``repro serve-bench [--variants dense,pr33,...] [--trace FAMILY]
-  [--tp N] [--json PATH]`` — replay a synthetic trace through the
-  continuous-batching engine for each model variant and report
+  [--tp N] [--pp P] [--json PATH]`` — replay a synthetic trace through
+  the continuous-batching engine for each model variant and report
   TTFT/throughput percentiles (plus prefix-sharing hit rate / prefill
   tokens saved) next to the analytic hardware-model projection.
   ``--trace`` picks the arrival/length family (poisson, diurnal, bursty,
   heavy-tail, or the shared-prefix tenant mix ``prefix``); ``--tp N``
   runs each variant tensor-parallel over N ranks (identical logits by
   construction) and prints measured vs analytic collective traffic;
+  ``--pp P`` stacks pipeline parallelism on top — layers split into P
+  stages on a P x N device grid, with measured vs analytic P2P traffic
+  reported per channel;
   ``--no-prefix-sharing`` serves from per-request pools instead of the
   paged KV store; ``--verify-identity`` re-replays on the unshared
   engine and fails on any token mismatch; ``--run-dir``/``--run-name``
@@ -28,7 +31,8 @@ Commands
   the default gold/interactive/batch split), and appends an adaptively
   routed replay whose goodput is compared against every fixed variant;
   ``--degrade-at``/``--upgrade-at``/``--dwell`` set the router's
-  hysteresis.  Whenever a run persists evidence (``--json`` or a run
+  hysteresis (``--watermark projected`` switches the signal to projected
+  TTFT seconds via ``--degrade-ttft``/``--upgrade-ttft``).  Whenever a run persists evidence (``--json`` or a run
   dir) one summary line is appended to ``benchmarks/trajectory.jsonl``
   (``--trajectory`` overrides the path, ``--no-trajectory`` disables).
 - ``repro bench-decode [--variants dense,rank1,...] [--tp 1,2]
@@ -218,6 +222,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 degrade_at=args.degrade_at,
                 upgrade_at=args.upgrade_at,
                 dwell_steps=args.dwell,
+                watermark=args.watermark,
+                degrade_ttft_s=args.degrade_ttft,
+                upgrade_ttft_s=args.upgrade_ttft,
             )
         except Exception as error:
             raise SystemExit(str(error))
@@ -241,14 +248,19 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     trace_info = {"family": args.trace, "stats": trace_stats(trace)}
     drafter_spec = None
     spec_k = 4
+    spec_adaptive = False
     if args.speculative:
         drafter_spec, _, k_text = args.speculative.partition(":")
-        if k_text:
+        if k_text == "auto":
+            # Acceptance-aware draft length: K adapts per request inside
+            # [1, spec_k] from an EMA of observed acceptance rates.
+            spec_adaptive = True
+        elif k_text:
             try:
                 spec_k = int(k_text)
             except ValueError:
                 raise SystemExit(
-                    f"--speculative expects DRAFTER[:K], got {args.speculative!r}"
+                    f"--speculative expects DRAFTER[:K|:auto], got {args.speculative!r}"
                 )
     engine_config = EngineConfig(
         max_batch=args.max_batch,
@@ -256,6 +268,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         n_blocks=args.blocks,
         block_tokens=args.block_tokens,
         spec_k=spec_k,
+        spec_adaptive=spec_adaptive,
         prefix_sharing=not args.no_prefix_sharing,
     )
     variants = [spec.strip() for spec in variants_text.split(",") if spec.strip()]
@@ -266,6 +279,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         engine_config=engine_config,
         gpu_name=args.gpu,
         tp=args.tp,
+        pp=args.pp,
         seed=args.seed,
         profile=args.profile,
         drafter_spec=drafter_spec,
@@ -306,6 +320,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "variants": variants,
             "gpu": args.gpu,
             "tp": args.tp,
+            "pp": args.pp,
             "seed": args.seed,
             "speculative": args.speculative,
             "verify_identity": args.verify_identity,
@@ -329,6 +344,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "model": args.model,
             "trace": args.trace,
             "tp": args.tp,
+            "pp": args.pp,
             "requests": args.requests,
             "variants": variants,
             "decode_tokens_per_s": {
@@ -526,6 +542,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--dwell", type=int, default=3,
         help="router: minimum engine steps between level changes",
     )
+    serve.add_argument(
+        "--watermark",
+        choices=("backlog", "projected"),
+        default="backlog",
+        help=(
+            "router watermark signal: integer backlog marks (--degrade-at/"
+            "--upgrade-at) or projected TTFT seconds (--degrade-ttft/"
+            "--upgrade-ttft)"
+        ),
+    )
+    serve.add_argument(
+        "--degrade-ttft", type=float, default=0.5,
+        help="projected watermark: degrade when projected TTFT exceeds S seconds",
+    )
+    serve.add_argument(
+        "--upgrade-ttft", type=float, default=0.1,
+        help="projected watermark: upgrade when projected TTFT falls below S seconds",
+    )
     serve.add_argument("--requests", type=int, default=32)
     serve.add_argument("--rate", type=float, default=50.0, help="arrivals per second")
     serve.add_argument("--prompt-len", default="8:32", help="prompt length LOW:HIGH")
@@ -582,6 +616,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="tensor-parallel degree: run each variant sharded over N ranks",
     )
     serve.add_argument(
+        "--pp",
+        type=int,
+        default=1,
+        help=(
+            "pipeline-parallel depth: partition each variant's layers over "
+            "P stages (composes with --tp into a P x N device grid)"
+        ),
+    )
+    serve.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -619,11 +662,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--speculative",
         default=None,
-        metavar="DRAFTER[:K]",
+        metavar="DRAFTER[:K|:auto]",
         help=(
             "serve every request speculatively: the variant verifies K "
             "(default 4) drafts per cycle from this drafter spec, e.g. "
-            "rank8 or rank1:8"
+            "rank8 or rank1:8; ':auto' adapts K per request from the "
+            "observed acceptance rate"
         ),
     )
     serve.add_argument(

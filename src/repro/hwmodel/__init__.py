@@ -46,11 +46,18 @@ from repro.hwmodel.roofline import (
     OpTiming,
     achieved_flops,
     memory_bound_fraction,
+    pipeline_p2p_seconds,
     time_op,
     time_workload,
     workload_latency,
 )
-from repro.hwmodel.workload import Op, Workload, build_workload, split_tensor_parallel
+from repro.hwmodel.workload import (
+    Op,
+    Workload,
+    build_workload,
+    split_tensor_parallel,
+    stage_workloads,
+)
 
 __all__ = [
     "GPUSpec",
@@ -63,7 +70,9 @@ __all__ = [
     "Op",
     "Workload",
     "build_workload",
+    "stage_workloads",
     "split_tensor_parallel",
+    "pipeline_p2p_seconds",
     "OpTiming",
     "time_op",
     "time_workload",

@@ -11,7 +11,7 @@ the compute-bound prefill and the bandwidth-bound decode phase.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 from repro.decomposition.config import DecompositionConfig
 from repro.errors import HardwareModelError
@@ -21,6 +21,7 @@ from repro.hwmodel.memory import kv_cache_bytes, memory_footprint
 from repro.hwmodel.profiler import ServingConfig
 from repro.hwmodel.roofline import (
     memory_bound_fraction,
+    pipeline_p2p_seconds,
     tp_allreduce_seconds,
     workload_latency,
 )
@@ -33,7 +34,12 @@ from repro.hwmodel.workload import (
     split_tensor_parallel,
 )
 from repro.models.config import ModelConfig
-from repro.runtime.program import ATTN_KINDS, ATTN_SCORES, build_model_program
+from repro.runtime.program import (
+    ATTN_KINDS,
+    ATTN_SCORES,
+    build_model_program,
+    partition_program,
+)
 
 
 def _decode_attention_op(
@@ -59,6 +65,9 @@ def decode_workload(
     batch: int,
     context_len: int,
     decomposition: Optional[DecompositionConfig] = None,
+    pp: int = 1,
+    stage: Optional[int] = None,
+    cut_points: Optional[tuple] = None,
 ) -> Workload:
     """One decode step: a single new token per sequence.
 
@@ -66,12 +75,26 @@ def decode_workload(
     :func:`~repro.hwmodel.workload.build_workload`, with one substitution:
     the three prefill attention batched matmuls become a single
     ``attn_kv`` op that reads the full KV cache of ``context_len``
-    positions for one new query token.
+    positions for one new query token.  With ``pp > 1`` the walk covers
+    only pipeline ``stage``'s sub-program (its layer slice, plus the
+    embedding on stage 0 and the head on the last stage) — each stage
+    reads only its own layers' KV cache.
     """
     if batch <= 0 or context_len <= 0:
         raise HardwareModelError("batch and context_len must be positive")
     program = build_model_program(config, decomposition)
-    workload = Workload(model=f"{config.name}/decode", batch=batch, seq_len=1)
+    name = f"{config.name}/decode"
+    if pp > 1 or stage is not None:
+        if stage is None:
+            raise HardwareModelError(
+                f"pp={pp} needs a stage index: the decode step is per stage"
+            )
+        stages = partition_program(program, pp, cut_points)
+        if not 0 <= stage < len(stages):
+            raise HardwareModelError(f"stage {stage} outside 0..{len(stages) - 1}")
+        program = stages[stage]
+        name = f"{config.name}/decode-stage{stage}of{pp}"
+    workload = Workload(model=name, batch=batch, seq_len=1)
     workload.ops.extend(op_from_spec(spec, batch, 1) for spec in program.prologue)
     for layer in program.layers:
         for spec in layer.ops:
@@ -100,6 +123,13 @@ class GenerationProfile:
     energy_j: float
     decode_memory_bound_fraction: float
     kv_cache_gb: float
+    # Pipeline-parallel shape: 1F1B prefill over ``microbatches`` chunks
+    # leaves (pp-1)/(M+pp-1) of the stage-slots idle when stages balance;
+    # ``pipeline_bubble_fraction`` is the imbalance-aware value computed
+    # from the actual per-stage latencies (0.0 when pp == 1).
+    pp: int = 1
+    microbatches: int = 1
+    pipeline_bubble_fraction: float = 0.0
 
     @property
     def total_s(self) -> float:
@@ -112,6 +142,14 @@ class GenerationProfile:
         return self.batch * self.new_tokens / self.decode_s
 
 
+def _stage_layer_counts(config: ModelConfig, pp: int, cut_points) -> List[int]:
+    """Layers per pipeline stage, honoring an explicit cut override."""
+    from repro.parallel.mesh import DeviceMesh
+
+    spans = DeviceMesh(tp=1, pp=pp).stage_spans(config.n_layers, cut_points)
+    return [hi - lo for lo, hi in spans]
+
+
 def generation_profile(
     config: ModelConfig,
     gpu: GPUSpec,
@@ -120,44 +158,97 @@ def generation_profile(
     new_tokens: int = 128,
     decomposition: Optional[DecompositionConfig] = None,
     n_gpus: int = 1,
+    pp: int = 1,
+    microbatches: Optional[int] = None,
+    cut_points: Optional[tuple] = None,
 ) -> GenerationProfile:
     """Profile prefill + ``new_tokens`` decode steps on one GPU or under a
-    Megatron tensor-parallel split across ``n_gpus``.
+    (``pp`` pipeline stages) x (``n_gpus``-way tensor shards) grid.
 
-    Multi-GPU latency is *not* single-GPU latency divided by ``n_gpus``:
-    each workload is sharded op by op (:func:`split_tensor_parallel`, which
-    leaves norms/embeddings/residual work replicated) and charged two ring
-    all-reduces per layer over NVLink, so the speedup is sublinear —
-    increasingly so at decode batch sizes where the activation payload is
+    Multi-GPU latency is *not* single-GPU latency divided by the device
+    count: each workload is sharded op by op (:func:`split_tensor_parallel`,
+    which leaves norms/embeddings/residual work replicated) and charged two
+    ring all-reduces per layer over NVLink, so the TP speedup is sublinear
+    — increasingly so at decode batch sizes where the activation payload is
     tiny but the per-collective launch overhead is not.
+
+    The pipeline axis follows the executor's schedule: prefill runs 1F1B
+    over ``microbatches`` row-chunks (default ``min(pp, batch)``) so the
+    critical path is one traversal of all stages plus ``M - 1`` repeats of
+    the slowest stage, while decode is strictly sequential per token — each
+    new token must cross every stage, so pp adds hop latency to decode
+    instead of speeding it up (the classic PP decode weakness the paper's
+    memory-bound argument predicts).
     """
     if new_tokens <= 0:
         raise HardwareModelError("new_tokens must be positive")
-    prefill = build_workload(config, batch, prompt_len, decomposition=decomposition)
-    comm_prefill = tp_allreduce_seconds(
-        config.dim, config.n_layers, batch * prompt_len, gpu, n_gpus
+    if pp < 1:
+        raise HardwareModelError(f"pipeline depth must be >= 1, got {pp}")
+    n_microbatches = (
+        max(1, min(pp, batch)) if microbatches is None else max(1, int(microbatches))
     )
+    stage_layers = _stage_layer_counts(config, pp, cut_points)
+
+    # Prefill: per-stage full-batch latencies, 1F1B-combined.  A microbatch
+    # is 1/M of the rows, so stage s costs L_s / M per chunk; the critical
+    # path walks every stage once, then repeats the bottleneck stage M - 1
+    # times, plus the serial P2P hops of the first traversal.
+    stage_lats = []
+    for stage in range(pp):
+        workload = build_workload(
+            config, batch, prompt_len, decomposition=decomposition,
+            pp=pp, stage=stage if pp > 1 else None, cut_points=cut_points,
+        )
+        stage_lats.append(
+            workload_latency(split_tensor_parallel(workload, n_gpus), gpu)
+            + tp_allreduce_seconds(
+                config.dim, stage_layers[stage], batch * prompt_len, gpu, n_gpus
+            )
+        )
+    chunk_tokens = batch * prompt_len / n_microbatches
     prefill_s = (
-        workload_latency(split_tensor_parallel(prefill, n_gpus), gpu) + comm_prefill
+        (sum(stage_lats) + (n_microbatches - 1) * max(stage_lats)) / n_microbatches
+        + pipeline_p2p_seconds(config.dim, chunk_tokens, gpu, pp)
     )
+    # Idle stage-slots over the 1F1B schedule; reduces to the textbook
+    # (pp-1)/(M+pp-1) when the stages balance exactly.
+    bubble = 0.0
+    if pp > 1:
+        compute_span = (
+            sum(stage_lats) + (n_microbatches - 1) * max(stage_lats)
+        ) / n_microbatches
+        bubble = max(0.0, 1.0 - sum(stage_lats) / (pp * compute_span))
 
     # Decode latency varies with context length only through the KV-cache
     # term; sample a few context lengths and use the trapezoid average.
+    # Summing per-stage latencies (plus each stage's allreduce share and
+    # the serial hops) models the sequential token walk across stages.
     contexts = [prompt_len, prompt_len + new_tokens // 2, prompt_len + new_tokens]
     comm_step = tp_allreduce_seconds(config.dim, config.n_layers, batch, gpu, n_gpus)
+    hop_step = pipeline_p2p_seconds(config.dim, batch, gpu, pp)
     step_latencies = []
     bound_fractions = []
     for context in contexts:
-        step = decode_workload(config, batch, context, decomposition=decomposition)
-        step_latencies.append(
-            workload_latency(split_tensor_parallel(step, n_gpus), gpu) + comm_step
-        )
-        bound_fractions.append(memory_bound_fraction(step, gpu))
+        stage_steps = []
+        fractions = []
+        for stage in range(pp):
+            step = decode_workload(
+                config, batch, context, decomposition=decomposition,
+                pp=pp, stage=stage if pp > 1 else None, cut_points=cut_points,
+            )
+            stage_steps.append(
+                workload_latency(split_tensor_parallel(step, n_gpus), gpu)
+            )
+            fractions.append(memory_bound_fraction(step, gpu))
+        step_latencies.append(sum(stage_steps) + comm_step + hop_step)
+        bound_fractions.append(sum(fractions) / len(fractions))
     mean_step = (
         0.25 * step_latencies[0] + 0.5 * step_latencies[1] + 0.25 * step_latencies[2]
     )
     decode_s = mean_step * new_tokens
-    energy = energy_joules(prefill_s + decode_s, gpu, utilization=1.0, n_gpus=n_gpus)
+    energy = energy_joules(
+        prefill_s + decode_s, gpu, utilization=1.0, n_gpus=n_gpus * pp
+    )
     kv_gb = kv_cache_bytes(config, batch, prompt_len + new_tokens) / 1024**3
     return GenerationProfile(
         model=config.name,
@@ -170,4 +261,7 @@ def generation_profile(
         energy_j=energy,
         decode_memory_bound_fraction=float(sum(bound_fractions) / len(bound_fractions)),
         kv_cache_gb=kv_gb,
+        pp=pp,
+        microbatches=n_microbatches,
+        pipeline_bubble_fraction=bubble,
     )

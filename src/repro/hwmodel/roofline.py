@@ -83,6 +83,21 @@ def tp_allreduce_seconds(
     return 2.0 * n_layers * allreduce_seconds(payload, gpu, n_gpus)
 
 
+def pipeline_p2p_seconds(
+    dim: int, batch_tokens: int, gpu: GPUSpec, pp: int
+) -> float:
+    """Pipeline-parallel activation hand-off: crossing ``pp - 1`` stage
+    boundaries ships the (batch_tokens, dim) hidden block one hop each, at
+    per-direction NVLink bandwidth plus one launch per hop.  Unlike the
+    tensor-parallel all-reduces this cost sits on the critical path exactly
+    once per traversal — a microbatch (or decode token) pays it serially."""
+    if pp <= 1:
+        return 0.0
+    payload = float(batch_tokens * dim * BYTES_FP16)
+    hop_s = payload / (gpu.nvlink_bandwidth_gbs * 1e9) + gpu.kernel_overhead_s
+    return (pp - 1) * hop_s
+
+
 def achieved_flops(workload: Workload, gpu: GPUSpec) -> float:
     """FLOP/s the workload sustains end to end (for MFU-style reporting)."""
     latency = workload_latency(workload, gpu)

@@ -28,6 +28,7 @@ from repro.runtime.program import (
     PROJ,
     OpSpec,
     build_model_program,
+    partition_program,
 )
 
 BYTES_FP16 = 2
@@ -192,6 +193,9 @@ def build_workload(
     batch: int,
     seq_len: int,
     decomposition: Optional[DecompositionConfig] = None,
+    pp: int = 1,
+    stage: Optional[int] = None,
+    cut_points: Optional[tuple] = None,
 ) -> Workload:
     """Flatten one forward pass into ops, honoring a decomposition γ.
 
@@ -199,6 +203,13 @@ def build_workload(
     :func:`repro.runtime.program.build_model_program` — the same program
     the runtime driver executes — and costing each :class:`OpSpec` with
     :func:`op_from_spec`.
+
+    With ``pp > 1`` the program is first cut into pipeline stages
+    (:func:`repro.runtime.program.partition_program`, honoring
+    ``cut_points``) and the returned workload covers only sub-program
+    ``stage`` — the embedding prologue on stage 0, the final-norm/LM-head
+    epilogue on the last stage, each stage's own layer run in between —
+    exactly what that stage's GPUs execute.
     """
     if batch <= 0 or seq_len <= 0:
         raise HardwareModelError("batch and seq_len must be positive")
@@ -207,9 +218,46 @@ def build_workload(
             f"seq_len {seq_len} exceeds model max {config.max_seq_len}"
         )
     program = build_model_program(config, decomposition)
-    workload = Workload(model=config.name, batch=batch, seq_len=seq_len)
-    workload.ops.extend(op_from_spec(spec, batch, seq_len) for spec in program.all_ops())
+    if pp <= 1 and stage is None:
+        workload = Workload(model=config.name, batch=batch, seq_len=seq_len)
+        workload.ops.extend(
+            op_from_spec(spec, batch, seq_len) for spec in program.all_ops()
+        )
+        return workload
+    if stage is None:
+        raise HardwareModelError(
+            f"pp={pp} needs a stage index: the workload is per stage"
+        )
+    stages = partition_program(program, pp, cut_points)
+    if not 0 <= stage < len(stages):
+        raise HardwareModelError(f"stage {stage} outside 0..{len(stages) - 1}")
+    sub = stages[stage]
+    workload = Workload(
+        model=f"{config.name}/stage{stage}of{pp}", batch=batch, seq_len=seq_len
+    )
+    workload.ops.extend(op_from_spec(spec, batch, seq_len) for spec in sub.all_ops())
     return workload
+
+
+def stage_workloads(
+    config: ModelConfig,
+    batch: int,
+    seq_len: int,
+    decomposition: Optional[DecompositionConfig] = None,
+    pp: int = 1,
+    cut_points: Optional[tuple] = None,
+) -> List[Workload]:
+    """One workload per pipeline stage; their ops concatenate to the full
+    pass (the stages tile the program exactly once)."""
+    if pp <= 1:
+        return [build_workload(config, batch, seq_len, decomposition)]
+    return [
+        build_workload(
+            config, batch, seq_len, decomposition,
+            pp=pp, stage=stage, cut_points=cut_points,
+        )
+        for stage in range(pp)
+    ]
 
 
 def _shard_op(op: Op, n_gpus: int) -> Op:

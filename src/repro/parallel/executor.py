@@ -32,7 +32,7 @@ from repro.nn.kv_cache import RaggedModelCaches
 from repro.nn.rope import RotaryEmbedding
 from repro.parallel.sharding import ProjectionShard, RankShard
 from repro.runtime.context import ExecutionContext, expand_kv_heads, kv_expand_plan
-from repro.runtime.driver import run_model
+from repro.runtime.driver import run_head, run_model
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
 
@@ -81,6 +81,10 @@ class ShardedContext(ExecutionContext):
         self.n_kv_heads = shard.n_kv_heads
         self.head_dim = config.head_dim
         self.kv_group = config.n_heads // config.kv_heads
+        # Pipeline placement: middle stages neither embed nor project
+        # logits — they map replicated hidden states to hidden states.
+        self.has_embedding = shard.has_embedding
+        self.has_head = shard.has_head
         self._kv_plan = kv_expand_plan(
             self.n_q_heads,
             self.kv_group,
@@ -92,6 +96,10 @@ class ShardedContext(ExecutionContext):
         )
 
     def embed(self, tokens) -> Tensor:
+        if self.shard.embed is None:
+            raise ParallelError(
+                f"stage {self.shard.stage} holds no embedding table"
+            )
         return Tensor(self.shard.embed)[np.asarray(tokens)]
 
     def norm(self, layer: int, which: str, x: Tensor) -> Tensor:
@@ -123,6 +131,10 @@ class ShardedContext(ExecutionContext):
         return Tensor(self.group.all_gather(self.rank, local.data, axis=-1))
 
     def logits(self, x: Tensor) -> Tensor:
+        if not self.has_head:
+            raise ParallelError(
+                f"stage {self.shard.stage} holds no output head"
+            )
         x = F.rms_norm(x, Tensor(self.shard.final_norm), eps=_RMS_EPS)
         if self.shard.lm_head is not None:
             return self.gather(project(self.shard.lm_head, x))
@@ -154,28 +166,64 @@ class RankExecutor:
         self.rank = rank
         self.context = ShardedContext(shard, group, rank)
 
-    def forward(self, tokens: np.ndarray, pad_mask: Optional[np.ndarray] = None) -> Tensor:
-        """Full uncached forward: (B, T) ids -> replicated (B, T, vocab)."""
-        return run_model(self.context, tokens, pad_mask=pad_mask)
+    def forward(
+        self,
+        tokens: np.ndarray,
+        pad_mask: Optional[np.ndarray] = None,
+        hidden: Optional[np.ndarray] = None,
+        skip_head: bool = False,
+    ) -> Tensor:
+        """Full uncached forward: (B, T) ids -> replicated (B, T, vocab).
 
-    def forward_cached(self, tokens: np.ndarray, cache) -> Tensor:
+        On a non-first pipeline stage ``hidden`` carries the previous
+        stage's replicated (B, T, dim) output in place of the embedding;
+        a non-last stage returns the hidden state instead of logits, as
+        does a last stage when ``skip_head`` defers the epilogue to one
+        full-batch :meth:`head_only` call.
+        """
+        return run_model(
+            self.context, tokens, pad_mask=pad_mask, hidden=hidden,
+            skip_head=skip_head,
+        )
+
+    def forward_cached(
+        self, tokens: np.ndarray, cache, hidden: Optional[np.ndarray] = None
+    ) -> Tensor:
         """Forward over new ``tokens`` only, extending the rank-local
         ``cache`` (a :class:`~repro.nn.kv_cache.ModelKVCache` holding this
         rank's covering KV heads) in place."""
-        return run_model(self.context, tokens, caches=cache)
+        return run_model(self.context, tokens, caches=cache, hidden=hidden)
 
     def forward_ragged(
         self,
         tokens: np.ndarray,
         caches: Sequence[object],
         new_lengths: np.ndarray,
+        hidden: Optional[np.ndarray] = None,
+        pad_to: int = 0,
+        skip_head: bool = False,
     ) -> Tensor:
         """Ragged cached forward over this rank's KV-head slice.
 
         ``caches`` are per-sequence caches holding this rank's covering KV
         heads; the driver bundles one
         :class:`~repro.nn.kv_cache.RaggedLayerCaches` per layer, mirroring
-        the canonical continuous-batching path.
+        the canonical continuous-batching path.  ``pad_to`` floors the
+        padded KV width (see :class:`RaggedModelCaches`) so a pipeline's
+        row-microbatches stay bit-identical to the full-batch pass.
         """
-        ragged = RaggedModelCaches(list(caches), new_lengths)
-        return run_model(self.context, tokens, caches=ragged)
+        ragged = RaggedModelCaches(list(caches), new_lengths, pad_to=pad_to)
+        return run_model(
+            self.context, tokens, caches=ragged, hidden=hidden,
+            skip_head=skip_head,
+        )
+
+    def head_only(self, hidden: np.ndarray) -> Tensor:
+        """Final norm + LM head (+ logits gather) over a full hidden batch.
+
+        The completion of a ``skip_head`` forward: the head GEMM against
+        the transposed tied-embedding view is the one kernel whose
+        low-order bits depend on the row count, so a chunked pipeline runs
+        it exactly once with the canonical batch.
+        """
+        return run_head(self.context, hidden)

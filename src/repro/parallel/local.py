@@ -1,27 +1,44 @@
-"""Thread-backed tensor-parallel Llama: the deterministic local backend.
+"""Thread-backed 2-D parallel Llama: the deterministic local backend.
 
-:class:`ShardedLlama` wraps a canonical model as ``world_size`` rank
-executors driven by a persistent thread pool over a
-:class:`~repro.parallel.collectives.LocalGroup`.  It quacks like the model
-where the serving engine needs it to — ``config``, ``eval()``,
-``forward``/``forward_ragged``, plus a ``make_kv_pool`` hook that gives
-the engine *per-rank* KV pools holding only each rank's covering KV heads.
+:class:`ShardedLlama` wraps a canonical model as a ``pp x tp`` grid of
+rank executors driven by a persistent thread pool.  Each pipeline stage
+owns a contiguous run of decoder layers and is internally tensor-sharded
+over its own :class:`~repro.parallel.collectives.LocalGroup`; stage
+boundaries are crossed by point-to-point ``send``/``recv`` of the
+replicated hidden state (activations flow forward only — inference).  It
+quacks like the model where the serving engine needs it to — ``config``,
+``eval()``, ``forward``/``forward_ragged``, plus a ``make_kv_pool`` hook
+that gives the engine per-grid-cell KV pools holding only each cell's
+covering KV heads *and* its stage's layers.
+
+Pipelining: prefill batches are split into up to ``pp`` row-microbatches
+that stream through the stages 1F1B-style — the blocking lane queues let
+stage 0 start microbatch ``m+1`` while stage 1 still runs ``m`` — and
+decode tokens travel the pipe one hop per step.  Row-splitting is
+bit-exact (BLAS GEMMs over row subsets reproduce the full-batch bytes)
+and the ragged attention pads every microbatch to the whole batch's
+maximum KV width, so chunking never perturbs a reduction.
 
 Exact-equality contract: for identical inputs (and identical per-sequence
-cache histories), ``ShardedLlama(model, P).forward(x)`` returns the same
-bytes as ``model.forward(x)`` for every valid ``P`` — see
+cache histories), ``ShardedLlama(model, tp, pp=pp).forward(x)`` returns
+the same bytes as ``model.forward(x)`` for every valid grid — see
 :mod:`repro.parallel.executor` for why.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ParallelError
-from repro.parallel.accounting import CommProjection, analytic_comm
+from repro.nn.linear import block_edges
+from repro.parallel.accounting import (
+    CommProjection,
+    analytic_comm,
+    analytic_p2p,
+)
 from repro.parallel.collectives import CommStats, LocalGroup
 from repro.parallel.executor import RankExecutor
 from repro.parallel.mesh import DeviceMesh
@@ -102,6 +119,7 @@ class ShardedKVPool:
                 n_blocks=n_blocks,
                 block_tokens=block_tokens,
                 kv_heads=shard.n_kv_heads,
+                n_layers=shard.n_stage_layers,
             )
             for shard in shards
         ]
@@ -157,6 +175,7 @@ class ShardedPagedStore(ShardedKVPool):
                 n_blocks=n_blocks,
                 block_tokens=block_tokens,
                 kv_heads=shard.n_kv_heads,
+                n_layers=shard.n_stage_layers,
             )
             for shard in shards
         ]
@@ -195,22 +214,52 @@ class ShardedPagedStore(ShardedKVPool):
 
 
 class ShardedLlama:
-    """Tensor-parallel execution of a Llama model on thread ranks."""
+    """2-D (pipeline x tensor) parallel execution on thread ranks.
 
-    def __init__(self, model, world_size: int) -> None:
+    ``tp`` is the tensor-parallel degree within each stage (the historical
+    second positional argument, so ``ShardedLlama(model, P)`` still means
+    ``P`` tensor shards in one stage); ``pp`` adds pipeline stages.  Flat
+    grid rank ``r = stage * tp + tp_rank`` indexes ``shards`` /
+    ``executors`` and every :class:`ShardedSequenceCache`.
+    """
+
+    def __init__(
+        self,
+        model,
+        tp: int = 1,
+        pp: int = 1,
+        cut_points: Optional[Tuple[int, ...]] = None,
+        microbatches: Optional[int] = None,
+    ) -> None:
         self.config = model.config
-        self.mesh = DeviceMesh(world_size)
-        self.world_size = int(world_size)
-        self.shards = shard_model(model, self.mesh)
-        self.group = LocalGroup(world_size)
+        self.mesh = DeviceMesh(tp, pp)
+        self.tp = self.mesh.tp
+        self.pp = self.mesh.pp
+        self.world_size = self.mesh.world_size
+        self.cut_points = tuple(cut_points) if cut_points is not None else None
+        self._microbatches = microbatches
+        self.shards = shard_model(model, self.mesh, cut_points=self.cut_points)
+        # All collective groups feed one shared ledger so ``comm_stats``
+        # sees the whole grid: one TP group per stage (all-gathers), plus a
+        # grid-wide lane group for stage-boundary P2P when pp > 1.
+        self.stats = CommStats()
+        self.stage_groups = [
+            LocalGroup(self.tp, stats=self.stats) for _ in range(self.pp)
+        ]
+        self.group = self.stage_groups[0]
+        self.pipe = (
+            LocalGroup(self.world_size, stats=self.stats) if self.pp > 1 else None
+        )
         self.executors = [
-            RankExecutor(shard, self.group, shard.rank) for shard in self.shards
+            RankExecutor(shard, self.stage_groups[shard.stage], shard.rank)
+            for shard in self.shards
         ]
         self._pool = ThreadPoolExecutor(
-            max_workers=world_size, thread_name_prefix="tp-rank"
+            max_workers=self.world_size, thread_name_prefix="mesh-rank"
         )
-        self.padded_tokens = 0   # total padded tokens across forward calls
-        self.forward_calls = 0
+        self.padded_tokens = 0     # total padded tokens across forward calls
+        self.forward_calls = 0     # logical forwards (engine steps)
+        self.microbatch_passes = 0  # pipeline passes (chunks) issued
 
     # -- model facade ------------------------------------------------------
     def eval(self) -> "ShardedLlama":
@@ -219,12 +268,18 @@ class ShardedLlama:
     def close(self) -> None:
         self._pool.shutdown(wait=False)
 
-    def _run(self, fn) -> List[object]:
-        """Run ``fn(rank)`` on every rank in lockstep; propagate failures.
+    def _all_groups(self) -> List[LocalGroup]:
+        groups = list(self.stage_groups)
+        if self.pipe is not None:
+            groups.append(self.pipe)
+        return groups
 
-        On any rank's exception the group barrier is aborted so peers
-        blocked in a collective fail fast; the first *causal* exception
-        (not the secondary broken-barrier ones) is re-raised.
+    def _run(self, fn) -> List[object]:
+        """Run ``fn(rank)`` on every grid rank in lockstep; propagate failures.
+
+        On any rank's exception every group is aborted so peers blocked in
+        a collective or a P2P recv fail fast; the first *causal* exception
+        (not the secondary broken-barrier/aborted-recv ones) is re-raised.
         """
         futures = [self._pool.submit(self._guard, fn, rank) for rank in range(self.world_size)]
         results: List[object] = []
@@ -241,7 +296,8 @@ class ShardedLlama:
                 if causal is None:
                     causal = exc
         if causal is not None:
-            self.group.reset()
+            for group in self._all_groups():
+                group.reset()
             raise causal
         return results
 
@@ -249,16 +305,60 @@ class ShardedLlama:
         try:
             return fn(rank)
         except BaseException:
-            self.group.abort()
+            for group in self._all_groups():
+                group.abort()
             raise
+
+    # -- pipeline plumbing -------------------------------------------------
+    def _row_chunks(self, rows: int) -> List[Tuple[int, int]]:
+        """Contiguous row spans for the microbatch passes of one forward.
+
+        Default: up to ``pp`` balanced chunks (1 chunk on a 1-stage pipe —
+        the historical behavior, byte for byte).  Row-splitting preserves
+        the exactness contract: every kernel reduces within a row, and the
+        ragged path pads all chunks to the batch-global KV width.
+        """
+        want = self._microbatches if self._microbatches is not None else self.pp
+        count = max(1, min(int(want), rows))
+        return block_edges(rows, count)
+
+    @property
+    def _last_stage_rank(self) -> int:
+        return (self.pp - 1) * self.tp
 
     def forward(self, tokens: np.ndarray, pad_mask: Optional[np.ndarray] = None) -> Tensor:
         tokens = np.asarray(tokens)
-        self._account(tokens.shape[0] * tokens.shape[1])
-        results = self._run(
-            lambda rank: self.executors[rank].forward(tokens, pad_mask=pad_mask)
-        )
-        return results[0]
+        chunks = self._row_chunks(tokens.shape[0])
+        # A chunked forward defers the head: the tied-head GEMM's low bits
+        # depend on the row count, so the last stage runs its layers per
+        # chunk and the epilogue once over the concatenated batch.
+        defer_head = len(chunks) > 1
+        self._account(tokens.shape[0] * tokens.shape[1], passes=len(chunks))
+
+        def work(rank: int) -> Optional[Tensor]:
+            stage = rank // self.tp
+            executor = self.executors[rank]
+            outs: List[Tensor] = []
+            for lo, hi in chunks:
+                hidden = self.pipe.recv(rank, rank - self.tp) if stage > 0 else None
+                mask = pad_mask[lo:hi] if pad_mask is not None else None
+                out = executor.forward(
+                    tokens[lo:hi], pad_mask=mask, hidden=hidden,
+                    skip_head=defer_head,
+                )
+                if stage < self.pp - 1:
+                    self.pipe.send(rank, rank + self.tp, out.data)
+                else:
+                    outs.append(out)
+            if stage < self.pp - 1:
+                return None
+            if defer_head:
+                return executor.head_only(
+                    np.concatenate([out.data for out in outs], axis=0)
+                )
+            return outs[0]
+
+        return self._run(work)[self._last_stage_rank]
 
     def __call__(self, tokens: np.ndarray, pad_mask: Optional[np.ndarray] = None) -> Tensor:
         return self.forward(tokens, pad_mask=pad_mask)
@@ -271,58 +371,113 @@ class ShardedLlama:
     ) -> Tensor:
         tokens = np.asarray(tokens)
         lengths = np.asarray(new_lengths, dtype=np.int64)
-        self._account(tokens.shape[0] * tokens.shape[1])
-        results = self._run(
-            lambda rank: self.executors[rank].forward_ragged(
-                tokens, [cache.rank_caches[rank] for cache in caches], lengths
-            )
-        )
-        return results[0]
+        caches = list(caches)
+        # Pad every microbatch's attention to the whole batch's maximum KV
+        # width so chunked reductions match the full-batch pass bit for bit.
+        offsets = np.asarray([cache.seq_len for cache in caches], dtype=np.int64)
+        pad_to = int((offsets + lengths).max())
+        chunks = self._row_chunks(tokens.shape[0])
+        defer_head = len(chunks) > 1
+        self._account(tokens.shape[0] * tokens.shape[1], passes=len(chunks))
+
+        def work(rank: int) -> Optional[Tensor]:
+            stage = rank // self.tp
+            executor = self.executors[rank]
+            outs: List[Tensor] = []
+            for lo, hi in chunks:
+                hidden = self.pipe.recv(rank, rank - self.tp) if stage > 0 else None
+                out = executor.forward_ragged(
+                    tokens[lo:hi],
+                    [cache.rank_caches[rank] for cache in caches[lo:hi]],
+                    lengths[lo:hi],
+                    hidden=hidden,
+                    pad_to=pad_to,
+                    skip_head=defer_head,
+                )
+                if stage < self.pp - 1:
+                    self.pipe.send(rank, rank + self.tp, out.data)
+                else:
+                    outs.append(out)
+            if stage < self.pp - 1:
+                return None
+            if defer_head:
+                return executor.head_only(
+                    np.concatenate([out.data for out in outs], axis=0)
+                )
+            return outs[0]
+
+        return self._run(work)[self._last_stage_rank]
 
     def forward_cached(self, tokens: np.ndarray, cache: ShardedSequenceCache) -> Tensor:
         """Forward over new ``tokens`` only, extending ``cache`` in place.
 
         With :meth:`make_cache` this completes the cached-decoding surface
         the runtime :class:`~repro.runtime.decode.DecodeSession` drives, so
-        greedy generation runs tensor-parallel without code changes.
+        greedy generation runs on the grid without code changes.  The
+        batch shares one cache, so a decode step is a single microbatch
+        streaming through the pipe one hop at a time.
         """
         tokens = np.asarray(tokens)
-        self._account(tokens.shape[0] * tokens.shape[1])
-        results = self._run(
-            lambda rank: self.executors[rank].forward_cached(
-                tokens, cache.rank_caches[rank]
+        self._account(tokens.shape[0] * tokens.shape[1], passes=1)
+
+        def work(rank: int) -> Tensor:
+            stage = rank // self.tp
+            hidden = self.pipe.recv(rank, rank - self.tp) if stage > 0 else None
+            out = self.executors[rank].forward_cached(
+                tokens, cache.rank_caches[rank], hidden=hidden
             )
-        )
-        return results[0]
+            if stage < self.pp - 1:
+                self.pipe.send(rank, rank + self.tp, out.data)
+            return out
+
+        return self._run(work)[self._last_stage_rank]
 
     # -- serving hooks -----------------------------------------------------
     def make_kv_pool(
         self, n_blocks: int, block_tokens: int, paged: bool = False
     ) -> ShardedKVPool:
-        """Per-rank KV pools; ``paged`` selects the prefix-sharing store so
-        TP engines share prefixes exactly like single-rank ones."""
+        """Per-grid-cell KV pools; ``paged`` selects the prefix-sharing
+        store so parallel engines share prefixes exactly like single-rank
+        ones.  Each cell's pool holds only its stage's layers and its
+        rank's covering KV heads."""
         cls = ShardedPagedStore if paged else ShardedKVPool
         return cls(self.shards, n_blocks=n_blocks, block_tokens=block_tokens)
 
     def make_cache(self) -> ShardedSequenceCache:
-        """A growable (non-pooled) per-sequence cache, one slice per rank."""
+        """A growable (non-pooled) per-sequence cache, one slice per grid
+        cell, each holding only that cell's stage layers."""
         from repro.nn.kv_cache import ModelKVCache
 
         return ShardedSequenceCache(
-            [ModelKVCache(self.config.n_layers) for _ in range(self.world_size)]
+            [ModelKVCache(shard.n_stage_layers) for shard in self.shards]
         )
 
     # -- communication accounting -----------------------------------------
-    def _account(self, padded: int) -> None:
+    def _account(self, padded: int, passes: int = 1) -> None:
         self.padded_tokens += int(padded)
         self.forward_calls += 1
+        self.microbatch_passes += int(passes)
 
     def comm_stats(self) -> CommStats:
-        return self.group.stats
+        """The grid-wide shared ledger (all stages and the P2P lanes)."""
+        return self.stats
 
     def comm_projection(self) -> CommProjection:
-        """Analytic traffic for the forward calls issued so far — must
-        match :meth:`comm_stats` byte for byte."""
+        """Analytic all-gather traffic for the forwards issued so far —
+        must match the ledger's ``all_gather`` channel byte for byte."""
         return analytic_comm(
-            self.config, self.padded_tokens, self.world_size, self.forward_calls
+            self.config, self.padded_tokens, self.tp,
+            self.forward_calls, self.microbatch_passes,
         )
+
+    def p2p_projection(self) -> CommProjection:
+        """Analytic stage-boundary P2P traffic — must match the ledger's
+        ``p2p`` channel byte for byte (zero on a 1-stage pipe)."""
+        return analytic_p2p(
+            self.config, self.padded_tokens, self.pp, self.tp,
+            self.microbatch_passes,
+        )
+
+    def comm_projections(self) -> dict:
+        """Per-channel analytic projections keyed like the measured ledger."""
+        return {"all_gather": self.comm_projection(), "p2p": self.p2p_projection()}

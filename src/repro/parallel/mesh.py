@@ -1,4 +1,4 @@
-"""Device mesh: which ranks own which blocks of each sharded dimension.
+"""Device mesh: a (pp, tp) grid of ranks over stages and tensor shards.
 
 The canonical single-process model computes every projection in a fixed
 column-block grid (:func:`repro.nn.linear.block_edges`): per query head for
@@ -15,12 +15,25 @@ needs the KV heads covering them (``[a // g, ceil(b / g))`` for group size
 the overlapped head is *replicated* — both ranks project it from the same
 replicated input with the same weights, bit-identically — so GQA costs no
 extra communication.
+
+Pipeline parallelism adds a second, orthogonal axis: the decoder layers are
+cut into ``pp`` contiguous *stages* (embedding lives in stage 0, the LM
+head in the last stage) and each stage is internally tensor-sharded over
+``tp`` ranks.  The flat rank numbering is stage-major::
+
+    rank = stage * tp + tp_rank
+
+Hidden states crossing a stage boundary are fully gathered (replicated)
+activations, so the only new communication is a point-to-point send of the
+(B, T, dim) hidden block from each TP rank of stage ``s`` to the same TP
+rank of stage ``s + 1`` — byte counts that :mod:`repro.parallel.accounting`
+projects exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ParallelError
 from repro.models.config import ModelConfig
@@ -31,29 +44,43 @@ Span = Tuple[int, int]
 
 @dataclass(frozen=True)
 class DeviceMesh:
-    """A 1-D tensor-parallel mesh of ``world_size`` ranks."""
+    """A 2-D (pipeline × tensor) mesh of ``pp * tp`` ranks.
 
-    world_size: int
+    The first (positional) field is the tensor-parallel degree, so the
+    historical 1-D spelling ``DeviceMesh(n)`` still means "n tensor shards,
+    one stage".  ``pp`` adds pipeline stages along the second axis.
+    """
+
+    tp: int = 1
+    pp: int = 1
 
     def __post_init__(self) -> None:
-        if self.world_size <= 0:
-            raise ParallelError(f"world_size must be positive, got {self.world_size}")
+        if self.tp <= 0:
+            raise ParallelError(f"tp must be positive, got {self.tp}")
+        if self.pp <= 0:
+            raise ParallelError(f"pp must be positive, got {self.pp}")
 
+    @property
+    def world_size(self) -> int:
+        """Total ranks on the grid (``pp * tp``)."""
+        return self.pp * self.tp
+
+    # -- tensor axis -------------------------------------------------------
     def block_spans(self, n_blocks: int) -> List[Span]:
-        """Assign ``n_blocks`` grid blocks to ranks as contiguous runs.
+        """Assign ``n_blocks`` grid blocks to TP ranks as contiguous runs.
 
         Uses the same largest-first split as :func:`block_edges`, so rank
         loads differ by at most one block.  Every rank owns at least one
-        block; sharding a grid finer than the mesh is an error.
+        block; sharding a grid finer than the TP axis is an error.
         """
-        if n_blocks < self.world_size:
+        if n_blocks < self.tp:
             raise ParallelError(
-                f"cannot shard {n_blocks} blocks across {self.world_size} ranks"
+                f"cannot shard {n_blocks} blocks across {self.tp} ranks"
             )
-        return block_edges(n_blocks, self.world_size)
+        return block_edges(n_blocks, self.tp)
 
     def head_span(self, n_heads: int, rank: int) -> Span:
-        """Query heads ``[start, stop)`` owned by ``rank``."""
+        """Query heads ``[start, stop)`` owned by TP rank ``rank``."""
         return self.block_spans(n_heads)[rank]
 
     @staticmethod
@@ -63,13 +90,79 @@ class DeviceMesh:
         start, stop = q_span
         return (start // group, -(-stop // group))
 
+    # -- pipeline axis -----------------------------------------------------
+    def stage_spans(
+        self, n_layers: int, cut_points: Optional[Sequence[int]] = None
+    ) -> List[Span]:
+        """Layer runs ``[lo, hi)`` per stage, tiling ``[0, n_layers)``.
 
-def validate_mesh(config: ModelConfig, mesh: DeviceMesh) -> None:
+        By default layers split with the same largest-first balance
+        heuristic as the block grids (stage loads differ by at most one
+        layer).  ``cut_points`` overrides the interior boundaries: it must
+        list ``pp - 1`` strictly increasing layer indices in
+        ``(0, n_layers)``, and stage ``s`` then owns
+        ``[cut[s-1], cut[s])`` — i.e. the cuts tile the layer range
+        exactly once.
+        """
+        if n_layers < self.pp:
+            raise ParallelError(
+                f"cannot split {n_layers} layers into {self.pp} pipeline stages"
+            )
+        if cut_points is None:
+            return block_edges(n_layers, self.pp)
+        cuts = tuple(int(c) for c in cut_points)
+        if len(cuts) != self.pp - 1:
+            raise ParallelError(
+                f"cut_points must list pp - 1 = {self.pp - 1} boundaries, "
+                f"got {len(cuts)}"
+            )
+        bounds = (0,) + cuts + (n_layers,)
+        for lo, hi in zip(bounds, bounds[1:]):
+            if lo >= hi:
+                raise ParallelError(
+                    f"cut_points must be strictly increasing inside "
+                    f"(0, {n_layers}), got {cuts}"
+                )
+        return [(lo, hi) for lo, hi in zip(bounds, bounds[1:])]
+
+    # -- rank numbering (stage-major) --------------------------------------
+    def rank_of(self, stage: int, tp_rank: int) -> int:
+        """Flat rank of grid cell ``(stage, tp_rank)``."""
+        if not 0 <= stage < self.pp:
+            raise ParallelError(f"stage {stage} out of range [0, {self.pp})")
+        if not 0 <= tp_rank < self.tp:
+            raise ParallelError(f"tp_rank {tp_rank} out of range [0, {self.tp})")
+        return stage * self.tp + tp_rank
+
+    def coords_of(self, rank: int) -> Tuple[int, int]:
+        """Grid cell ``(stage, tp_rank)`` of flat rank ``rank``."""
+        if not 0 <= rank < self.world_size:
+            raise ParallelError(
+                f"rank {rank} out of range [0, {self.world_size})"
+            )
+        return divmod(rank, self.tp)
+
+
+def validate_mesh(
+    config: ModelConfig, mesh: DeviceMesh, world_size: Optional[int] = None
+) -> None:
     """Check that ``config`` can shard across ``mesh``.
 
-    Every sharded grid — attention heads, the MLP block grid, the vocab
-    block grid — must have at least one block per rank.
+    Every tensor-sharded grid — attention heads, the MLP block grid, the
+    vocab block grid — must have at least one block per TP rank, and the
+    pipeline axis must have at least one decoder layer per stage.  When
+    ``world_size`` is given it must equal the grid size ``pp * tp``.
     """
+    if world_size is not None and world_size != mesh.world_size:
+        raise ParallelError(
+            f"mesh grid is pp={mesh.pp} x tp={mesh.tp} = {mesh.world_size} "
+            f"ranks but world_size is {world_size}"
+        )
+    if mesh.pp > config.n_layers:
+        raise ParallelError(
+            f"{config.name}: {config.n_layers} layers < pp {mesh.pp} "
+            f"(every stage needs at least one decoder layer)"
+        )
     grids = {
         "attention heads": config.n_heads,
         "kv heads after GQA cover": config.n_heads,  # q grid dominates
@@ -78,7 +171,7 @@ def validate_mesh(config: ModelConfig, mesh: DeviceMesh) -> None:
         "output blocks": len(block_edges(config.dim, config.n_heads)),
     }
     for name, blocks in grids.items():
-        if blocks < mesh.world_size:
+        if blocks < mesh.tp:
             raise ParallelError(
-                f"{config.name}: {name} ({blocks}) < world_size {mesh.world_size}"
+                f"{config.name}: {name} ({blocks}) < tp {mesh.tp}"
             )

@@ -40,6 +40,13 @@ from repro.tensor.tensor import Tensor
 _HEADER_SLOTS = 8  # int64 slots: ndim + up to 7 dims
 _HEADER_BYTES = _HEADER_SLOTS * 8
 
+# P2P segments carry a state word ahead of the shape header:
+#   0 = sender still writing, 1 = ready, 2 = consumed (sender may unlink).
+_P2P_SLOTS = 1 + _HEADER_SLOTS
+_P2P_BYTES = _P2P_SLOTS * 8
+_P2P_POLL_S = 0.0002
+_P2P_TIMEOUT_S = 30.0
+
 
 def _attach(name: str) -> shared_memory.SharedMemory:
     """Map a peer's segment without adopting cleanup responsibility.
@@ -71,6 +78,12 @@ class ProcessGroup:
         self._session = session
         self._call = 0
         self.stats = CommStats()
+        # Point-to-point state: per-peer sequence counters kept in lockstep
+        # by the deterministic schedule (the same trick as ``_call``), plus
+        # the sent segments awaiting the receiver's consumed flag.
+        self._p2p_out: Dict[int, int] = {}
+        self._p2p_in: Dict[int, int] = {}
+        self._p2p_pending: List[shared_memory.SharedMemory] = []
 
     def _name(self, call: int, rank: int) -> str:
         return f"{self._session}c{call}r{rank}"
@@ -175,6 +188,118 @@ class ProcessGroup:
             )
         return result
 
+    # -- point-to-point (pipeline stage boundaries; forward only) ----------
+    def _p2p_name(self, src: int, dst: int, seq: int) -> str:
+        return f"{self._session}p{src}t{dst}n{seq}"
+
+    def _check_peer(self, peer: int, verb: str) -> None:
+        if not 0 <= peer < self.world_size:
+            raise ParallelError(
+                f"cannot {verb} rank {peer} in a {self.world_size}-rank group"
+            )
+        if peer == self.rank:
+            raise ParallelError(f"rank {self.rank} cannot {verb} itself")
+
+    def send(self, rank: int, dst: int, array: np.ndarray) -> None:
+        """Ship ``array`` to ``dst`` through a named segment.
+
+        Non-blocking: the segment is parked on a pending list and unlinked
+        once the receiver flips its consumed flag (swept lazily on later
+        sends, or forced by :meth:`flush_p2p`), so send/recv pairs issued
+        in any order across ranks cannot deadlock.
+        """
+        self._check_peer(dst, "send to")
+        seq = self._p2p_out.get(dst, 0) + 1
+        self._p2p_out[dst] = seq
+        array = np.ascontiguousarray(array, dtype=np.float32)
+        segment = shared_memory.SharedMemory(
+            name=self._p2p_name(self.rank, dst, seq),
+            create=True,
+            size=_P2P_BYTES + max(array.nbytes, 1),
+        )
+        header = np.frombuffer(segment.buf, dtype=np.int64, count=_P2P_SLOTS)
+        header[1] = array.ndim
+        header[2 : 2 + array.ndim] = array.shape
+        if array.size:
+            flat = np.frombuffer(
+                segment.buf, dtype=np.float32, count=array.size, offset=_P2P_BYTES
+            )
+            flat[:] = array.ravel()
+            del flat
+        header[0] = 1  # ready — flipped after the payload is in place
+        del header  # views must die before the segment can close
+        self._p2p_pending.append(segment)
+        self._sweep_p2p(wait=False)
+        # One hop: the payload crosses the wire once.
+        self.stats.record(array.nbytes, array.nbytes, channel="p2p")
+
+    def recv(self, rank: int, src: int, timeout: float = _P2P_TIMEOUT_S) -> np.ndarray:
+        """Blocking receive of the next array sent by ``src``."""
+        self._check_peer(src, "receive from")
+        seq = self._p2p_in.get(src, 0) + 1
+        self._p2p_in[src] = seq
+        name = self._p2p_name(src, self.rank, seq)
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                segment = _attach(name)
+                break
+            except FileNotFoundError:
+                if time.monotonic() > deadline:
+                    raise ParallelError(
+                        f"p2p recv from rank {src} timed out waiting for {name}"
+                    )
+                time.sleep(_P2P_POLL_S)
+        data: Optional[np.ndarray] = None
+        try:
+            header = np.frombuffer(segment.buf, dtype=np.int64, count=_P2P_SLOTS)
+            try:
+                while header[0] != 1:
+                    if time.monotonic() > deadline:
+                        raise ParallelError(
+                            f"p2p recv from rank {src}: segment {name} never ready"
+                        )
+                    time.sleep(_P2P_POLL_S)
+                shape = tuple(int(d) for d in header[2 : 2 + int(header[1])])
+                size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+                flat = np.frombuffer(
+                    segment.buf, dtype=np.float32, count=size, offset=_P2P_BYTES
+                )
+                data = flat.reshape(shape).copy()
+                del flat
+                header[0] = 2  # consumed — the sender may unlink
+            finally:
+                del header  # views must die before the segment can close
+        finally:
+            segment.close()
+        return data
+
+    def _sweep_p2p(self, wait: bool, timeout: float = _P2P_TIMEOUT_S) -> None:
+        deadline = time.monotonic() + timeout
+        remaining: List[shared_memory.SharedMemory] = []
+        for segment in self._p2p_pending:
+            header = np.frombuffer(segment.buf, dtype=np.int64, count=1)
+            try:
+                while wait and header[0] != 2:
+                    if time.monotonic() > deadline:
+                        raise ParallelError(
+                            f"p2p segment {segment.name} never consumed"
+                        )
+                    time.sleep(_P2P_POLL_S)
+                consumed = header[0] == 2
+            finally:
+                del header
+            if consumed:
+                segment.close()
+                segment.unlink()
+            else:
+                remaining.append(segment)
+        self._p2p_pending = remaining
+
+    def flush_p2p(self, timeout: float = _P2P_TIMEOUT_S) -> None:
+        """Block until every sent segment has been consumed and unlinked."""
+        self._sweep_p2p(wait=True, timeout=timeout)
+
 
 def _worker_main(rank: int, shard: RankShard, barrier, session: str, conn) -> None:
     """Worker loop: build an executor, serve commands until ``close``."""
@@ -209,6 +334,21 @@ def _worker_main(rank: int, shard: RankShard, barrier, session: str, conn) -> No
                 for seq_id in seq_ids:
                     caches.pop(seq_id, None)
                 conn.send(("ok", None))
+            elif kind == "p2pring":
+                # Each rank ships (base + rank) one hop around the ring —
+                # the cross-process exercise of send/recv and the ledger's
+                # p2p channel.
+                _, base = command
+                payload = np.asarray(base, dtype=np.float32) + np.float32(rank)
+                if group.world_size == 1:
+                    conn.send(("ok", payload))
+                else:
+                    group.send(rank, (rank + 1) % group.world_size, payload)
+                    received = group.recv(
+                        rank, (rank - 1) % group.world_size
+                    )
+                    group.flush_p2p()
+                    conn.send(("ok", received))
             elif kind == "stats":
                 conn.send(("ok", group.stats.snapshot()))
             else:
@@ -330,6 +470,11 @@ class ProcessShardedLlama:
         for cache, extra in zip(caches, lengths):
             cache._len += int(extra)
         return Tensor(replies[0])
+
+    def p2p_ring(self, base: np.ndarray) -> List[np.ndarray]:
+        """Drive one send/recv ring pass; returns each rank's received
+        array (rank ``r`` gets ``base + (r - 1) % world_size``)."""
+        return self._command(("p2pring", np.asarray(base, dtype=np.float32)))
 
     def comm_stats(self) -> CommStats:
         """Rank 0's ledger (wire totals already count the whole group)."""

@@ -118,15 +118,24 @@ class LayerShard:
 
 @dataclass(frozen=True)
 class RankShard:
-    """Everything one rank needs to run its slice of the model."""
+    """Everything one rank needs to run its slice of the model.
+
+    On a 2-D mesh a shard is one grid cell: ``rank`` is the *tensor* rank
+    within its stage's TP group (``world_size`` is that group's size, i.e.
+    ``tp``), and ``stage`` / ``n_stages`` / ``layer_lo`` / ``layer_hi``
+    place the cell on the pipeline axis.  ``layers`` holds only the
+    stage's own decoder layers; the embedding table is kept where it is
+    used (stage 0 for the prologue, the last stage when the head is tied)
+    and the output-head fields are populated on the last stage only.
+    """
 
     config: ModelConfig
     rank: int
     world_size: int
     q_span: Span           # query heads [start, stop)
     kv_span: Span          # covering KV heads [start, stop)
-    embed: np.ndarray      # replicated (vocab, dim) table
-    final_norm: np.ndarray
+    embed: Optional[np.ndarray]  # replicated (vocab, dim) table, where used
+    final_norm: Optional[np.ndarray]
     lm_head: Optional[ProjectionShard]  # None when the head is tied
     vocab_lo: int          # global logit columns this rank produces
     vocab_hi: int
@@ -134,6 +143,10 @@ class RankShard:
                            # head slices the full ``embed.T`` with these,
                            # exactly as the canonical forward does
     layers: List[LayerShard] = field(default_factory=list)
+    stage: int = 0
+    n_stages: int = 1
+    layer_lo: int = 0
+    layer_hi: int = -1     # set by shard_model; -1 means len(layers)
 
     @property
     def n_q_heads(self) -> int:
@@ -143,12 +156,37 @@ class RankShard:
     def n_kv_heads(self) -> int:
         return self.kv_span[1] - self.kv_span[0]
 
+    @property
+    def has_embedding(self) -> bool:
+        """Does this stage run the token-embedding prologue?"""
+        return self.stage == 0
 
-def shard_model(model, mesh: DeviceMesh) -> List[RankShard]:
+    @property
+    def has_head(self) -> bool:
+        """Does this stage run the final norm + LM head epilogue?"""
+        return self.stage == self.n_stages - 1
+
+    @property
+    def n_stage_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def global_rank(self) -> int:
+        """Flat stage-major rank on the (pp, tp) grid."""
+        return self.stage * self.world_size + self.rank
+
+
+def shard_model(
+    model, mesh: DeviceMesh, cut_points: Optional[Tuple[int, ...]] = None
+) -> List[RankShard]:
     """Split a :class:`~repro.models.llama.LlamaModel` into per-rank shards.
 
     The model itself is untouched (weights are copied), so the canonical
-    reference and the sharded execution can run side by side.
+    reference and the sharded execution can run side by side.  The result
+    is flat in stage-major grid order (``rank = stage * tp + tp_rank``);
+    on a 1-D mesh that is the historical rank list.  ``cut_points``
+    overrides the pipeline's interior layer boundaries (see
+    :meth:`DeviceMesh.stage_spans`).
     """
     config: ModelConfig = model.config
     validate_mesh(config, mesh)
@@ -164,46 +202,64 @@ def shard_model(model, mesh: DeviceMesh) -> List[RankShard]:
     hidden_spans = mesh.block_spans(len(hidden_edges))
     vocab_spans = mesh.block_spans(len(vocab_edges))
     head_spans = mesh.block_spans(config.n_heads)
+    stage_spans = mesh.stage_spans(config.n_layers, cut_points)
 
     shards: List[RankShard] = []
-    for rank in range(mesh.world_size):
-        q_span = head_spans[rank]
-        kv_span = DeviceMesh.kv_cover(q_span, group)
-        layers: List[LayerShard] = []
-        for block in model.blocks:
-            layers.append(
-                LayerShard(
-                    attn_norm=block.attn_norm.weight.data.copy(),
-                    w_q=shard_projection(block.attn.w_q, q_edges, q_span),
-                    w_k=shard_projection(block.attn.w_k, kv_edges, kv_span),
-                    w_v=shard_projection(block.attn.w_v, kv_edges, kv_span),
-                    w_so=shard_projection(block.attn.w_so, out_edges, out_spans[rank]),
-                    mlp_norm=block.mlp_norm.weight.data.copy(),
-                    w_g=shard_projection(block.mlp.w_g, hidden_edges, hidden_spans[rank]),
-                    w_u=shard_projection(block.mlp.w_u, hidden_edges, hidden_spans[rank]),
-                    w_d=shard_projection(block.mlp.w_d, out_edges, out_spans[rank]),
+    for stage, (layer_lo, layer_hi) in enumerate(stage_spans):
+        last_stage = stage == mesh.pp - 1
+        # The embedding table lives where it is used: the prologue (stage
+        # 0) and, when the head is tied, the epilogue (last stage).
+        keeps_embed = stage == 0 or (last_stage and model.lm_head is None)
+        for rank in range(mesh.tp):
+            q_span = head_spans[rank]
+            kv_span = DeviceMesh.kv_cover(q_span, group)
+            layers: List[LayerShard] = []
+            for block in list(model.blocks)[layer_lo:layer_hi]:
+                layers.append(
+                    LayerShard(
+                        attn_norm=block.attn_norm.weight.data.copy(),
+                        w_q=shard_projection(block.attn.w_q, q_edges, q_span),
+                        w_k=shard_projection(block.attn.w_k, kv_edges, kv_span),
+                        w_v=shard_projection(block.attn.w_v, kv_edges, kv_span),
+                        w_so=shard_projection(block.attn.w_so, out_edges, out_spans[rank]),
+                        mlp_norm=block.mlp_norm.weight.data.copy(),
+                        w_g=shard_projection(block.mlp.w_g, hidden_edges, hidden_spans[rank]),
+                        w_u=shard_projection(block.mlp.w_u, hidden_edges, hidden_spans[rank]),
+                        w_d=shard_projection(block.mlp.w_d, out_edges, out_spans[rank]),
+                    )
+                )
+            vocab_lo = vocab_hi = 0
+            rank_vocab_edges: Edges = []
+            lm_head = None
+            if last_stage:
+                vocab_lo, vocab_hi, _ = _localize(vocab_edges, vocab_spans[rank])
+                start_block, stop_block = vocab_spans[rank]
+                rank_vocab_edges = list(vocab_edges[start_block:stop_block])
+                if model.lm_head is not None:
+                    lm_head = shard_projection(
+                        model.lm_head, vocab_edges, vocab_spans[rank]
+                    )
+            shards.append(
+                RankShard(
+                    config=config,
+                    rank=rank,
+                    world_size=mesh.tp,
+                    q_span=q_span,
+                    kv_span=kv_span,
+                    embed=model.embed.weight.data.copy() if keeps_embed else None,
+                    final_norm=(
+                        model.final_norm.weight.data.copy() if last_stage else None
+                    ),
+                    lm_head=lm_head,
+                    vocab_lo=vocab_lo,
+                    vocab_hi=vocab_hi,
+                    vocab_edges=rank_vocab_edges,
+                    layers=layers,
+                    stage=stage,
+                    n_stages=mesh.pp,
+                    layer_lo=layer_lo,
+                    layer_hi=layer_hi,
                 )
             )
-        vocab_lo, vocab_hi, _ = _localize(vocab_edges, vocab_spans[rank])
-        start_block, stop_block = vocab_spans[rank]
-        rank_vocab_edges = list(vocab_edges[start_block:stop_block])
-        lm_head = None
-        if model.lm_head is not None:
-            lm_head = shard_projection(model.lm_head, vocab_edges, vocab_spans[rank])
-        shards.append(
-            RankShard(
-                config=config,
-                rank=rank,
-                world_size=mesh.world_size,
-                q_span=q_span,
-                kv_span=kv_span,
-                embed=model.embed.weight.data.copy(),
-                final_norm=model.final_norm.weight.data.copy(),
-                lm_head=lm_head,
-                vocab_lo=vocab_lo,
-                vocab_hi=vocab_hi,
-                vocab_edges=rank_vocab_edges,
-                layers=layers,
-            )
-        )
     return shards
+

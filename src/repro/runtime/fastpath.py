@@ -142,14 +142,14 @@ class FastState:
     )
 
     def __init__(self, ctx, sig, ws, embed_table, embed_checked, layers, head,
-                 rope, gather, plan) -> None:
+                 rope, gather, plan, model_dim=None) -> None:
         self.ctx = ctx
         self.sig = sig
         self.ws = ws
         self.embed_table = embed_table
         self.embed_checked = embed_checked
         self.layers: List[FastLayer] = layers
-        self.head: FastHead = head
+        self.head: Optional[FastHead] = head
         self.rope = rope
         self.gather: Optional[Callable] = gather
         self.plan: Tuple[int, ...] = plan
@@ -159,9 +159,13 @@ class FastState:
         self.head_dim = ctx.head_dim
         self.kv_group = ctx.kv_group
         self.causal = ctx.causal
-        # float32 constants mirroring the Tensor path's scalar coercions
+        # float32 constants mirroring the Tensor path's scalar coercions.
+        # A middle pipeline stage carries no embedding table, so the norm's
+        # 1/D constant comes from the explicit model width instead.
         self.scale = np.float32(1.0 / float(np.sqrt(ctx.head_dim)))
-        self.inv_dim = np.float32(1.0 / embed_table.shape[1])
+        if model_dim is None:
+            model_dim = embed_table.shape[1]
+        self.inv_dim = np.float32(1.0 / model_dim)
 
 
 _CANONICAL_ROLES = (
@@ -272,7 +276,10 @@ def _build_sharded(ctx, sig, ws) -> FastState:
             layer_shard.mlp_norm, np.float32(_RMS_EPS),
             proj,
         ))
-    if shard.lm_head is not None:
+    if not shard.has_head:
+        # A non-last pipeline stage returns hidden states — no head.
+        head = None
+    elif shard.lm_head is not None:
         head_proj = shard.lm_head
         if head_proj.factorized:
             proj = FastProjection(head_proj.weight, head_proj.edges,
@@ -297,7 +304,7 @@ def _build_sharded(ctx, sig, ws) -> FastState:
         ctx, sig, ws,
         embed_table=shard.embed, embed_checked=False,
         layers=layers, head=head, rope=ctx._rope, gather=gather,
-        plan=ctx._kv_plan,
+        plan=ctx._kv_plan, model_dim=shard.config.dim,
     )
 
 
@@ -608,7 +615,9 @@ def _attention_ragged(state: FastState, layer: int, x: np.ndarray,
     kh = _rope_apply(state, kh, offsets, "k.rot")
     region.stop(f"layer{layer}.attn.rope")
     totals = offsets + lengths
-    max_total = int(totals.max())
+    # pad_to floors the padded width so a pipeline's row-microbatches
+    # reduce over exactly the widths the full-batch pass would.
+    max_total = max(int(totals.max()), getattr(ragged, "pad_to", 0))
     # zero=True: freshly grown capacity starts as exact 0.0f (never NaN
     # garbage).  Stale finite values beyond a row's extent are harmless:
     # those key positions are masked, their softmax weight underflows to
@@ -721,7 +730,14 @@ def _logits(state: FastState, x: np.ndarray, region: _Region) -> np.ndarray:
         _blocked_into(hidden, p.weight, p.edges, out)
         if p.bias is not None:
             np.add(out, p.bias, out=out)
-        result = out if state.gather is None else state.gather(out)
+        if state.gather is None:
+            result = out
+        else:
+            result = state.gather(out)
+            if result is out:
+                # A size-1 gather returns its input — a view of the reused
+                # workspace buffer.  Logits escape this call, so detach.
+                result = result.copy()
     else:
         # Tied head: GEMMs against the same transposed-table views the
         # Tensor path slices (identical memory layout, identical bytes).
@@ -737,20 +753,47 @@ def _logits(state: FastState, x: np.ndarray, region: _Region) -> np.ndarray:
             position += b - a
         result = out.reshape(batch, seq_len, head.width)
         if state.gather is not None:
-            result = state.gather(result)
+            gathered = state.gather(result)
+            # Size-1 gathers hand the workspace view straight back; copy so
+            # the escaping logits survive the next forward's buffer reuse.
+            result = gathered.copy() if gathered is result else gathered
     region.stop("lm_head")
     return result
 
 
 def run_model_fast(state: FastState, tokens: np.ndarray, pad_mask=None,
-                   caches=None) -> np.ndarray:
-    """(B, T) ids -> freshly allocated (B, T, vocab) logits, no autograd."""
+                   caches=None, hidden=None, skip_head=False) -> np.ndarray:
+    """(B, T) ids -> freshly allocated (B, T, vocab) logits, no autograd.
+
+    On a pipeline stage, ``hidden`` replaces the embedding with the
+    previous stage's replicated (B, T, D) block, and a head-less state
+    returns a fresh copy of the hidden output (the internal layer buffer
+    is workspace-owned and reused on the next call, so it must not escape).
+    """
     region = _Region(state.ctx.__dict__.get("_fast_profiler"), state.ws)
-    x = _embed(state, tokens, region)
+    if hidden is not None:
+        x = np.asarray(hidden, dtype=np.float32)
+    else:
+        x = _embed(state, tokens, region)
     for layer in range(state.n_layers):
         cache = None if caches is None else caches.layers[layer]
         x = _run_layer(state, layer, x, pad_mask, cache, region)
+    if state.head is None or skip_head:
+        return x.copy()
     return _logits(state, x, region)
+
+
+def logits_fast(state: FastState, hidden: np.ndarray) -> np.ndarray:
+    """Epilogue only: final norm + LM head over replicated hidden states.
+
+    Used when a pipelined forward runs its layers in row-microbatches but
+    defers the head to one full-batch call — the head GEMM against the
+    transposed tied-embedding view is the one kernel whose low-order bits
+    depend on the row count, so it must see the same row count as the
+    canonical pass.
+    """
+    region = _Region(state.ctx.__dict__.get("_fast_profiler"), state.ws)
+    return _logits(state, np.asarray(hidden, dtype=np.float32), region)
 
 
 __all__ = [
@@ -761,6 +804,7 @@ __all__ = [
     "disable_profiling",
     "disabled",
     "enable_profiling",
+    "logits_fast",
     "run_model_fast",
     "workspace_of",
 ]

@@ -135,6 +135,93 @@ class ModelProgram:
         return sum(1 for _ in self.all_ops())
 
 
+@dataclass(frozen=True)
+class StageProgram:
+    """One pipeline stage's contiguous slice of a :class:`ModelProgram`.
+
+    Stage 0 keeps the prologue (embedding), the last stage keeps the
+    epilogue (final norm + LM head); middle stages are pure layer runs that
+    map hidden states to hidden states.  ``layers`` preserves the parent
+    program's layer indices, so per-layer bookkeeping (decomposed rank
+    sets, KV caches) stays addressable by global layer id while each stage
+    executes — and caches — only its own ``n_layers`` slice.
+    """
+
+    config: ModelConfig
+    stage: int
+    n_stages: int
+    layer_lo: int
+    layer_hi: int
+    prologue: Tuple[OpSpec, ...]
+    layers: Tuple[LayerProgram, ...]
+    epilogue: Tuple[OpSpec, ...]
+    decomposed: Dict[Tuple[int, str], int] = field(default_factory=dict)
+
+    @property
+    def has_embedding(self) -> bool:
+        return self.stage == 0
+
+    @property
+    def has_head(self) -> bool:
+        return self.stage == self.n_stages - 1
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def layer_span(self) -> Tuple[int, int]:
+        return (self.layer_lo, self.layer_hi)
+
+    def all_ops(self) -> Iterator[OpSpec]:
+        """Every op this stage executes, in order."""
+        yield from self.prologue
+        for layer in self.layers:
+            yield from layer.ops
+        yield from self.epilogue
+
+    @property
+    def n_ops(self) -> int:
+        return sum(1 for _ in self.all_ops())
+
+
+def partition_program(
+    program: ModelProgram,
+    pp: int,
+    cut_points: Optional[Tuple[int, ...]] = None,
+) -> Tuple[StageProgram, ...]:
+    """Cut a :class:`ModelProgram` into ``pp`` contiguous stage programs.
+
+    Layers split by the same largest-first balance heuristic as the tensor
+    block grids (:meth:`DeviceMesh.stage_spans`); ``cut_points`` overrides
+    the interior boundaries.  The stages tile the layer range exactly once:
+    concatenating their layer tuples reproduces ``program.layers``.
+    """
+    from repro.parallel.mesh import DeviceMesh
+
+    spans = DeviceMesh(tp=1, pp=pp).stage_spans(program.n_layers, cut_points)
+    stages = []
+    for stage, (lo, hi) in enumerate(spans):
+        stages.append(
+            StageProgram(
+                config=program.config,
+                stage=stage,
+                n_stages=pp,
+                layer_lo=lo,
+                layer_hi=hi,
+                prologue=program.prologue if stage == 0 else (),
+                layers=program.layers[lo:hi],
+                epilogue=program.epilogue if stage == pp - 1 else (),
+                decomposed={
+                    key: rank
+                    for key, rank in program.decomposed.items()
+                    if lo <= key[0] < hi
+                },
+            )
+        )
+    return tuple(stages)
+
+
 def role_parallelism(config: ModelConfig, role: str) -> Tuple[str, int]:
     """How a role's GEMM shards: Megatron column/row parallel + granularity.
 

@@ -148,6 +148,7 @@ class VariantBenchResult:
     mean_decode_batch: float
     projection: GenerationProfile
     tp: int = 1
+    pp: int = 1
     comm: Optional[dict] = None          # measured vs analytic collective traffic
     metrics_snapshot: dict = field(default_factory=dict)
     profile: Optional[str] = None        # rendered op-level profile (``--profile``)
@@ -211,20 +212,28 @@ class VariantBenchResult:
         return line
 
     def comm_line(self) -> Optional[str]:
-        """Measured all-gather bytes next to the analytic projection."""
+        """Measured traffic next to the analytic projection, per channel."""
         if self.comm is None:
             return None
-        measured = self.comm["measured"]
-        analytic = self.comm["analytic"]
-        verdict = "exact" if self.comm["bytes_match"] else "MISMATCH"
-        return (
-            f"{self.spec:>8}  tp={self.tp}  comm measured: "
-            f"{measured['payload_bytes']:,} B payload / "
-            f"{measured['wire_bytes']:,} B wire / {measured['calls']} calls  "
-            f"analytic: {analytic['payload_bytes']:,} B / "
-            f"{analytic['wire_bytes']:,} B / {analytic['calls']} calls  "
-            f"[{verdict}]"
-        )
+        grid = f"tp={self.tp}"
+        if self.pp > 1:
+            grid += f" pp={self.pp}"
+        lines = []
+        for name, cell in self.comm["channels"].items():
+            measured = cell["measured"]
+            analytic = cell["analytic"]
+            if analytic["calls"] == 0 and measured["calls"] == 0:
+                continue  # e.g. p2p on a 1-stage pipe
+            verdict = "exact" if cell["bytes_match"] else "MISMATCH"
+            lines.append(
+                f"{self.spec:>8}  {grid}  {name} measured: "
+                f"{measured['payload_bytes']:,} B payload / "
+                f"{measured['wire_bytes']:,} B wire / {measured['calls']} calls  "
+                f"analytic: {analytic['payload_bytes']:,} B / "
+                f"{analytic['wire_bytes']:,} B / {analytic['calls']} calls  "
+                f"[{verdict}]"
+            )
+        return "\n".join(lines) if lines else None
 
     def to_dict(self) -> dict:
         payload = {
@@ -243,6 +252,7 @@ class VariantBenchResult:
             "overall_tokens_per_s": self.overall_tokens_per_s,
             "mean_decode_batch": self.mean_decode_batch,
             "tp": self.tp,
+            "pp": self.pp,
             "projection": asdict(self.projection),
             "projected_tokens_per_s": self.projected_tokens_per_s,
             "comm": self.comm,
@@ -274,6 +284,7 @@ class ServeBenchReport:
     n_requests: int
     results: List[VariantBenchResult]
     tp: int = 1
+    pp: int = 1
     seed: Optional[int] = None
     # Trace provenance: family name, generator params, shape summary
     # (what a run manifest needs to replay the trace bit-identically).
@@ -323,6 +334,8 @@ class ServeBenchReport:
 
     def table(self) -> str:
         tp_note = f", tp={self.tp}" if self.tp > 1 else ""
+        if self.pp > 1:
+            tp_note += f", pp={self.pp}"
         family = (self.trace_info or {}).get("family")
         trace_note = f", {family} trace" if family else ""
         header = (
@@ -358,6 +371,7 @@ class ServeBenchReport:
             "gpu": self.gpu,
             "n_requests": self.n_requests,
             "tp": self.tp,
+            "pp": self.pp,
             "seed": self.seed,
             "trace_info": self.trace_info,
             "qos_info": self.qos_info,
@@ -375,14 +389,15 @@ def _replay_once(
     profile: bool,
     drafter: Optional[ModelVariant],
     catalog: Optional[Dict[str, QoSClass]] = None,
+    pp: int = 1,
 ):
     """One full trace replay; returns (metrics, requests, comm, profile)."""
     serving_model = variant.model
     sharded = None
-    if tp > 1:
+    if tp > 1 or pp > 1:
         from repro.parallel import ShardedLlama
 
-        sharded = ShardedLlama(variant.model, tp)
+        sharded = ShardedLlama(variant.model, tp, pp=pp)
         serving_model = sharded
     try:
         profiler = None
@@ -412,18 +427,39 @@ def _replay_once(
             fastpath.disable_profiling(profiled_context)
         comm = None
         if sharded is not None:
-            measured = sharded.comm_stats().snapshot()
-            analytic = sharded.comm_projection()
+            stats = sharded.comm_stats()
+            measured = stats.snapshot()
+            projections = sharded.comm_projections()
+            channels = {}
+            for name, projection in projections.items():
+                channel = stats.channel(name)
+                channels[name] = {
+                    "measured": {
+                        key: channel[key]
+                        for key in ("calls", "payload_bytes", "wire_bytes")
+                    },
+                    "analytic": projection.to_dict(),
+                    "bytes_match": (
+                        channel["payload_bytes"] == projection.payload_bytes
+                        and channel["wire_bytes"] == projection.wire_bytes
+                        and channel["calls"] == projection.calls
+                    ),
+                }
+            analytic = projections["all_gather"]
             comm = {
-                "world_size": tp,
+                "world_size": tp * pp,
+                "tp": tp,
+                "pp": pp,
                 "measured": measured,
                 "analytic": analytic.to_dict(),
-                "bytes_match": (
-                    measured["payload_bytes"] == analytic.payload_bytes
-                    and measured["wire_bytes"] == analytic.wire_bytes
-                    and measured["calls"] == analytic.calls
+                "channels": channels,
+                "bytes_match": all(
+                    cell["bytes_match"] for cell in channels.values()
                 ),
-                "projected_latency_s": analytic.latency_s(gpu),
+                "projected_latency_s": sum(
+                    projection.latency_s(gpu)
+                    for projection in projections.values()
+                ),
                 "measured_elapsed_s": measured["elapsed_s"],
             }
     finally:
@@ -461,6 +497,7 @@ def bench_variant(
     engine_config: Optional[EngineConfig] = None,
     gpu: Optional[GPUSpec] = None,
     tp: int = 1,
+    pp: int = 1,
     profile: bool = False,
     drafter: Optional[ModelVariant] = None,
     verify_identity: bool = False,
@@ -469,10 +506,12 @@ def bench_variant(
 ) -> VariantBenchResult:
     """Replay ``trace`` against one variant and attach the hwmodel projection.
 
-    With ``tp > 1`` the variant runs under the tensor-parallel executor
-    (:class:`~repro.parallel.local.ShardedLlama`, which produces identical
-    logits by construction) and the result carries the measured collective
-    traffic next to the analytic projection — they must agree byte for byte.
+    With ``tp > 1`` or ``pp > 1`` the variant runs under the mesh executor
+    (:class:`~repro.parallel.local.ShardedLlama` on a (pp, tp) grid, which
+    produces identical logits by construction) and the result carries the
+    measured collective traffic next to the analytic projection, per
+    channel (``all_gather`` within each stage's TP group, ``p2p`` across
+    stage boundaries) — every channel must agree byte for byte.
     With ``profile``, the inference fast path records a per-op wall-time /
     allocation profile of the whole replay (rank 0's when ``tp > 1``).
     With ``drafter``, the variant *verifies* that drafter's speculative
@@ -490,7 +529,7 @@ def bench_variant(
     """
     gpu = gpu or get_gpu("a100-80gb")
     metrics, requests, comm, profile_table = _replay_once(
-        variant, trace, engine_config, gpu, tp, profile, drafter, catalog
+        variant, trace, engine_config, gpu, tp, profile, drafter, catalog, pp=pp
     )
     tokens_match: Optional[bool] = None
     if verify_identity:
@@ -499,7 +538,7 @@ def bench_variant(
             prefix_sharing=False,
         )
         _, baseline, _, _ = _replay_once(
-            variant, trace, baseline_config, gpu, tp, False, drafter, catalog
+            variant, trace, baseline_config, gpu, tp, False, drafter, catalog, pp=pp
         )
         tokens_match = len(requests) == len(baseline) and all(
             ours.state is theirs.state and np.array_equal(ours.tokens, theirs.tokens)
@@ -517,6 +556,7 @@ def bench_variant(
         new_tokens=mean_new,
         decomposition=variant.decomposition,
         n_gpus=tp,
+        pp=pp,
     )
     records = request_records(requests)
     goodput = (
@@ -541,6 +581,7 @@ def bench_variant(
         mean_decode_batch=metrics.mean_decode_batch,
         projection=projection,
         tp=tp,
+        pp=pp,
         comm=comm,
         metrics_snapshot=metrics.snapshot(),
         profile=profile_table,
@@ -567,6 +608,7 @@ def bench_routed(
     engine_config: Optional[EngineConfig] = None,
     gpu: Optional[GPUSpec] = None,
     tp: int = 1,
+    pp: int = 1,
     router_config: Optional[RouterConfig] = None,
     drafter: Optional[ModelVariant] = None,
 ) -> VariantBenchResult:
@@ -587,11 +629,11 @@ def bench_routed(
     serving: Dict[str, object] = {}
     facades: List[object] = []
     try:
-        if tp > 1:
+        if tp > 1 or pp > 1:
             from repro.parallel import ShardedLlama
 
             for spec in ladder:
-                facade = ShardedLlama(variants[spec].model, tp)
+                facade = ShardedLlama(variants[spec].model, tp, pp=pp)
                 facades.append(facade)
                 serving[spec] = facade
         else:
@@ -622,6 +664,7 @@ def bench_routed(
         new_tokens=mean_new,
         decomposition=dense.decomposition,
         n_gpus=tp,
+        pp=pp,
     )
     return VariantBenchResult(
         spec=ROUTER_SPEC,
@@ -640,6 +683,7 @@ def bench_routed(
         mean_decode_batch=metrics.mean_decode_batch,
         projection=projection,
         tp=tp,
+        pp=pp,
         metrics_snapshot=metrics.snapshot(),
         drafter=None if drafter is None else drafter.spec,
         spec_acceptance_rate=metrics.spec_acceptance_rate,
@@ -663,6 +707,7 @@ def run_serve_bench(
     engine_config: Optional[EngineConfig] = None,
     gpu_name: str = "a100-80gb",
     tp: int = 1,
+    pp: int = 1,
     seed: Optional[int] = None,
     profile: bool = False,
     drafter_spec: Optional[str] = None,
@@ -694,6 +739,8 @@ def run_serve_bench(
         raise ServingError("at least one variant spec is required")
     if tp < 1:
         raise ServingError(f"tensor-parallel degree must be >= 1, got {tp}")
+    if pp < 1:
+        raise ServingError(f"pipeline depth must be >= 1, got {pp}")
     if router is not None and router != "slo":
         raise ServingError(f"unknown router {router!r}; only 'slo' exists")
     if router is not None and profile:
@@ -735,6 +782,7 @@ def run_serve_bench(
             engine_config=engine_config,
             gpu=gpu,
             tp=tp,
+            pp=pp,
             profile=profile,
             drafter=drafter,
             verify_identity=verify_identity,
@@ -753,6 +801,7 @@ def run_serve_bench(
                 engine_config=engine_config,
                 gpu=gpu,
                 tp=tp,
+                pp=pp,
                 router_config=router_config,
                 drafter=drafter,
             )
@@ -763,6 +812,7 @@ def run_serve_bench(
         n_requests=len(trace),
         results=results,
         tp=tp,
+        pp=pp,
         seed=seed,
         trace_info=trace_info,
         qos_info=qos_info,

@@ -47,8 +47,15 @@ class EngineConfig:
     n_blocks: int = 256         # KV pool size, in blocks
     block_tokens: int = 16      # token slots per block
     max_queue: int = 4096       # admission queue bound
-    spec_k: int = 4             # draft tokens per speculative cycle
+    spec_k: int = 4             # draft tokens per speculative cycle (the cap)
     spec_blocks: Optional[int] = None  # drafter KV pool size (None: n_blocks)
+    # Acceptance-aware draft lengths: each request tracks an EMA of its own
+    # acceptance rate and drafts K in [1, spec_k] proportional to it, so a
+    # request the drafter predicts well speculates deep while one it keeps
+    # missing on stops wasting drafter steps (committed tokens are
+    # unchanged either way — adaptation only moves the draft/verify split).
+    spec_adaptive: bool = False
+    spec_ema_alpha: float = 0.5  # acceptance-EMA weight (fresh cycle share)
     # Cross-request prefix sharing: KV state lives in one global paged
     # store with a radix index over token ids, so requests with a common
     # prefix skip its prefill and share pages copy-on-write.  Off falls
@@ -69,6 +76,8 @@ class EngineConfig:
             raise ServingError("spec_k must be >= 1")
         if self.spec_blocks is not None and self.spec_blocks <= 0:
             raise ServingError("spec_blocks must be positive when set")
+        if not 0.0 < self.spec_ema_alpha <= 1.0:
+            raise ServingError("spec_ema_alpha must be in (0, 1]")
 
 
 @dataclass(frozen=True)
@@ -357,6 +366,8 @@ class InferenceEngine:
                 self.metrics.spec_steps += 1
                 self.metrics.spec_drafted += drafted
                 self.metrics.spec_accepted += accepted
+                if self.config.spec_adaptive:
+                    self._update_spec_k(request, accepted, drafted)
             committed += emitted
             if was_decode:
                 decode_committed += emitted
@@ -617,7 +628,7 @@ class InferenceEngine:
             if request.cache.seq_len + chunk.size < request.prefix.size:
                 continue  # still mid-prefill after this step
             k = min(
-                self.config.spec_k,
+                self._spec_k_for(request),
                 leftover,
                 # Leave room for the verifier's correction token.
                 request.max_new_tokens - request.decode.n_generated - 1,
@@ -634,6 +645,37 @@ class InferenceEngine:
             counts[index] = len(drafts)
             leftover -= len(drafts)
         return feeds, counts
+
+    def _spec_k_for(self, request: GenerationRequest) -> int:
+        """This request's draft length for the next speculative cycle.
+
+        Fixed-K engines always use ``config.spec_k``; adaptive engines use
+        the request's EMA-derived length (full K until the first verify
+        cycle has measured anything).
+        """
+        if not self.config.spec_adaptive or request.spec_k_current is None:
+            return self.config.spec_k
+        return request.spec_k_current
+
+    def _update_spec_k(
+        self, request: GenerationRequest, accepted: int, drafted: int
+    ) -> None:
+        """Fold one verify cycle's acceptance into the request's EMA and
+        re-derive its draft length: K ≈ EMA * K_max, clamped to [1, K_max]
+        so a cold streak still probes one draft per cycle (the EMA can
+        recover) and a hot streak saturates at the engine cap."""
+        rate = accepted / drafted
+        alpha = self.config.spec_ema_alpha
+        if request.spec_acceptance_ema is None:
+            request.spec_acceptance_ema = rate
+        else:
+            request.spec_acceptance_ema += alpha * (rate - request.spec_acceptance_ema)
+        request.spec_k_current = int(
+            min(
+                self.config.spec_k,
+                max(1, round(request.spec_acceptance_ema * self.config.spec_k)),
+            )
+        )
 
     def _draft_tokens(
         self, request: GenerationRequest, chunk: np.ndarray, k: int

@@ -94,6 +94,7 @@ class PagedKVStore:
         block_tokens: int = 16,
         dtype=np.float32,
         kv_heads: Optional[int] = None,
+        n_layers: Optional[int] = None,
     ) -> None:
         if n_blocks <= 0 or block_tokens <= 0:
             raise ServingError("n_blocks and block_tokens must be positive")
@@ -101,14 +102,19 @@ class PagedKVStore:
             raise ServingError(
                 f"kv_heads override {kv_heads} outside (0, {config.kv_heads}]"
             )
+        if n_layers is not None and not 0 < n_layers <= config.n_layers:
+            raise ServingError(
+                f"n_layers override {n_layers} outside (0, {config.n_layers}]"
+            )
         self.config = config
         self.n_blocks = int(n_blocks)
         self.block_tokens = int(block_tokens)
         self.kv_heads = int(kv_heads) if kv_heads is not None else config.kv_heads
+        self.n_layers = int(n_layers) if n_layers is not None else config.n_layers
         self.head_dim = config.head_dim
         self.dtype = np.dtype(dtype)
         shape = (
-            config.n_layers,
+            self.n_layers,
             self.n_blocks,
             self.kv_heads,
             self.block_tokens,
@@ -494,7 +500,7 @@ class PagedSequenceCache:
         self._seal_frozen = False
         self.layers: List[PagedLayerCache] = [
             PagedLayerCache(self, layer, shared)
-            for layer in range(store.config.n_layers)
+            for layer in range(store.n_layers)
         ]
 
     # -- pool-compatible surface -------------------------------------------

@@ -41,23 +41,31 @@ class KVBlockPool:
         block_tokens: int = 16,
         dtype=np.float32,
         kv_heads: Optional[int] = None,
+        n_layers: Optional[int] = None,
     ) -> None:
         """``kv_heads`` overrides the model's KV head count — a
-        tensor-parallel rank pools only its covering KV-head slice."""
+        tensor-parallel rank pools only its covering KV-head slice; a
+        pipeline stage passes ``n_layers`` so its pool holds only the
+        stage's own decoder layers."""
         if n_blocks <= 0 or block_tokens <= 0:
             raise ServingError("n_blocks and block_tokens must be positive")
         if kv_heads is not None and not 0 < kv_heads <= config.kv_heads:
             raise ServingError(
                 f"kv_heads override {kv_heads} outside (0, {config.kv_heads}]"
             )
+        if n_layers is not None and not 0 < n_layers <= config.n_layers:
+            raise ServingError(
+                f"n_layers override {n_layers} outside (0, {config.n_layers}]"
+            )
         self.config = config
         self.n_blocks = int(n_blocks)
         self.block_tokens = int(block_tokens)
         self.kv_heads = int(kv_heads) if kv_heads is not None else config.kv_heads
+        self.n_layers = int(n_layers) if n_layers is not None else config.n_layers
         self.head_dim = config.head_dim
         self.dtype = np.dtype(dtype)
         shape = (
-            config.n_layers,
+            self.n_layers,
             self.n_blocks,
             self.kv_heads,
             self.block_tokens,
@@ -229,7 +237,7 @@ class PooledSequenceCache:
         self.block_table: List[int] = []
         self.closed = False
         self.layers: List[PooledLayerCache] = [
-            PooledLayerCache(self, layer) for layer in range(pool.config.n_layers)
+            PooledLayerCache(self, layer) for layer in range(pool.n_layers)
         ]
 
     @property

@@ -141,23 +141,45 @@ def qos_mix(classes: Sequence[QoSClass] = DEFAULT_QOS_CLASSES) -> Dict[str, floa
 
 
 # -- the router -------------------------------------------------------------
+#: Load signals a :class:`RankRouter` can walk its ladder by.
+WATERMARK_MODES: Tuple[str, ...] = ("backlog", "projected")
+
+
 @dataclass(frozen=True)
 class RouterConfig:
     """Hysteresis knobs for :class:`RankRouter`.
 
-    The router degrades one ladder level when the request backlog (queued
-    plus running) reaches ``degrade_at`` and upgrades one level when it
-    falls back to ``upgrade_at``; the gap between the two water marks plus
-    a minimum dwell of ``dwell_steps`` engine steps between consecutive
-    level changes is what prevents thrash at a burst boundary.
+    Two watermark modes pick the load signal the ladder reacts to:
+
+    - ``"backlog"`` (default): the request backlog (queued plus running)
+      against the integer water marks ``degrade_at`` / ``upgrade_at``.
+    - ``"projected"``: the projected TTFT of a request arriving *now* —
+      backlog serial step times through the step-duration EMA — against
+      the absolute-seconds water marks ``degrade_ttft_s`` /
+      ``upgrade_ttft_s``.  The same backlog reads as more pressure on a
+      slow machine (or a dense-heavy ladder) and less on a fast one, so
+      the projected mode tracks the latency SLOs directly instead of a
+      queue-depth proxy for them.
+
+    In either mode the gap between the two water marks plus a minimum
+    dwell of ``dwell_steps`` engine steps between consecutive level
+    changes is what prevents thrash at a burst boundary.
     """
 
     degrade_at: int = 5
     upgrade_at: int = 1
     dwell_steps: int = 3
     ema_alpha: float = 0.2  # step-duration EMA weight (TTFT projection)
+    watermark: str = "backlog"
+    degrade_ttft_s: float = 0.5
+    upgrade_ttft_s: float = 0.1
 
     def __post_init__(self) -> None:
+        if self.watermark not in WATERMARK_MODES:
+            raise ServingError(
+                f"unknown watermark mode {self.watermark!r}; "
+                f"choose from {WATERMARK_MODES}"
+            )
         if self.degrade_at <= self.upgrade_at:
             raise ServingError(
                 "degrade_at must exceed upgrade_at (the hysteresis band)"
@@ -166,6 +188,12 @@ class RouterConfig:
             raise ServingError("upgrade_at must be >= 0 and dwell_steps >= 1")
         if not 0.0 < self.ema_alpha <= 1.0:
             raise ServingError("ema_alpha must be in (0, 1]")
+        if self.degrade_ttft_s <= self.upgrade_ttft_s:
+            raise ServingError(
+                "degrade_ttft_s must exceed upgrade_ttft_s (the hysteresis band)"
+            )
+        if self.upgrade_ttft_s < 0:
+            raise ServingError("upgrade_ttft_s must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -253,10 +281,22 @@ class RankRouter:
         backlog = queue_depth + running
         if self._steps - self._last_change < self.config.dwell_steps:
             return None
+        if self.config.watermark == "projected":
+            # Latency-domain water marks: the projected TTFT of a request
+            # arriving now (backlog serial EMA step times) against absolute
+            # thresholds.  Before any step has been measured the EMA is 0
+            # and the projection reads as no pressure.
+            signal: float = self.projected_ttft_s(backlog)
+            degrade_mark: float = self.config.degrade_ttft_s
+            upgrade_mark: float = self.config.upgrade_ttft_s
+        else:
+            signal = backlog
+            degrade_mark = self.config.degrade_at
+            upgrade_mark = self.config.upgrade_at
         action = None
-        if backlog >= self.config.degrade_at and self.level < len(self.ladder) - 1:
+        if signal >= degrade_mark and self.level < len(self.ladder) - 1:
             action, target = "degrade", self.level + 1
-        elif backlog <= self.config.upgrade_at and self.level > 0:
+        elif signal <= upgrade_mark and self.level > 0:
             action, target = "upgrade", self.level - 1
         if action is None:
             return None
@@ -299,6 +339,9 @@ class RankRouter:
                 "upgrade_at": self.config.upgrade_at,
                 "dwell_steps": self.config.dwell_steps,
                 "ema_alpha": self.config.ema_alpha,
+                "watermark": self.config.watermark,
+                "degrade_ttft_s": self.config.degrade_ttft_s,
+                "upgrade_ttft_s": self.config.upgrade_ttft_s,
             },
             "level": self.level,
             "downgrades": self.downgrades,
@@ -496,6 +539,7 @@ def calibrate_unit(model, trace, engine_config=None, repeats: int = 3) -> float:
 __all__ = [
     "DEFAULT_QOS_CLASSES",
     "QUALITY_LADDER",
+    "WATERMARK_MODES",
     "GoodputSummary",
     "QoSClass",
     "RankRouter",

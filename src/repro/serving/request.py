@@ -58,6 +58,12 @@ class GenerationRequest:
     # dropped on preemption/termination alongside the main cache.
     draft_cache: Optional[object] = None
     pending_drafts: List[int] = field(default_factory=list)
+    # Acceptance-aware adaptive draft length (``spec_adaptive`` engines):
+    # an EMA of this request's per-cycle acceptance rate and the draft
+    # length it currently maps to.  None until the first verify cycle —
+    # the first cycle always probes at the engine's full K.
+    spec_acceptance_ema: Optional[float] = None
+    spec_k_current: Optional[int] = None
     finish_reason: str = ""
     preemptions: int = 0
 

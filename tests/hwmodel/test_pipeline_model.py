@@ -1,0 +1,107 @@
+"""Pipeline-parallel cost model: stage workloads and the 1F1B bubble.
+
+Stage sub-workloads must tile the full program exactly (no op counted
+twice, none dropped), the analytic bubble must reduce to the textbook
+``(pp - 1) / (M + pp - 1)`` when stages balance, and pp must speed up
+prefill (parallel microbatches) while decode — a serial token walk — only
+pays hop latency.
+"""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hwmodel import (
+    A100_80GB,
+    build_workload,
+    generation_profile,
+    pipeline_p2p_seconds,
+    stage_workloads,
+)
+from repro.models import LLAMA2_7B
+
+
+class TestStageWorkloads:
+    def test_stages_tile_the_full_program(self):
+        full = build_workload(LLAMA2_7B, batch=1, seq_len=128)
+        stages = stage_workloads(LLAMA2_7B, batch=1, seq_len=128, pp=4)
+        assert len(stages) == 4
+        assert sum(len(s.ops) for s in stages) == len(full.ops)
+        assert sum(s.flops for s in stages) == pytest.approx(full.flops)
+        assert sum(s.weight_bytes for s in stages) == pytest.approx(
+            full.weight_bytes
+        )
+
+    def test_embedding_and_head_pin_to_the_ends(self):
+        stages = stage_workloads(LLAMA2_7B, batch=1, seq_len=64, pp=2)
+        first = [op.name for op in stages[0].ops]
+        last = [op.name for op in stages[1].ops]
+        assert any("embed" in name for name in first)
+        assert not any("embed" in name for name in last)
+        assert any("head" in name for name in last)
+        assert not any("head" in name for name in first)
+
+    def test_cut_points_shift_the_split(self):
+        balanced = stage_workloads(LLAMA2_7B, 1, 64, pp=2)
+        skewed = stage_workloads(LLAMA2_7B, 1, 64, pp=2, cut_points=(4,))
+        assert skewed[0].flops < balanced[0].flops
+        assert skewed[1].flops > balanced[1].flops
+        full = build_workload(LLAMA2_7B, 1, 64)
+        assert sum(s.flops for s in skewed) == pytest.approx(full.flops)
+
+    def test_stage_requires_index_when_pp_set(self):
+        with pytest.raises(HardwareModelError, match="stage"):
+            build_workload(LLAMA2_7B, 1, 64, pp=2)
+        with pytest.raises(HardwareModelError):
+            build_workload(LLAMA2_7B, 1, 64, pp=2, stage=5)
+
+
+class TestPipelineProfile:
+    def test_pp_one_is_the_historical_profile(self):
+        base = generation_profile(LLAMA2_7B, A100_80GB, batch=2,
+                                  prompt_len=128, new_tokens=32)
+        explicit = generation_profile(LLAMA2_7B, A100_80GB, batch=2,
+                                      prompt_len=128, new_tokens=32, pp=1)
+        assert explicit.prefill_s == base.prefill_s
+        assert explicit.decode_s == base.decode_s
+        assert explicit.pipeline_bubble_fraction == 0.0
+
+    def test_pp_speeds_up_prefill_but_not_decode(self):
+        base = generation_profile(LLAMA2_7B, A100_80GB, batch=4,
+                                  prompt_len=512, new_tokens=16)
+        piped = generation_profile(LLAMA2_7B, A100_80GB, batch=4,
+                                   prompt_len=512, new_tokens=16, pp=2)
+        assert piped.prefill_s < base.prefill_s
+        # Decode is a serial walk: each token still runs every layer once,
+        # plus a stage-boundary hop per step.
+        assert piped.decode_s >= base.decode_s
+
+    def test_balanced_bubble_matches_textbook(self):
+        # 32 layers over pp=2 split evenly, so the imbalance-aware bubble
+        # reduces to (pp - 1) / (M + pp - 1) = 1/3 at M = min(pp, batch) = 2
+        # up to the (tiny) non-layer prologue/epilogue share of stage cost.
+        profile = generation_profile(LLAMA2_7B, A100_80GB, batch=2,
+                                     prompt_len=256, new_tokens=8, pp=2)
+        assert profile.pp == 2
+        assert profile.microbatches == 2
+        assert profile.pipeline_bubble_fraction == pytest.approx(1 / 3, abs=0.02)
+
+    def test_more_microbatches_shrink_the_bubble(self):
+        few = generation_profile(LLAMA2_7B, A100_80GB, batch=8,
+                                 prompt_len=256, new_tokens=8,
+                                 pp=2, microbatches=2)
+        many = generation_profile(LLAMA2_7B, A100_80GB, batch=8,
+                                  prompt_len=256, new_tokens=8,
+                                  pp=2, microbatches=8)
+        assert many.pipeline_bubble_fraction < few.pipeline_bubble_fraction
+        assert many.prefill_s < few.prefill_s
+
+
+class TestP2PLatency:
+    def test_single_stage_is_free(self):
+        assert pipeline_p2p_seconds(4096, 128, A100_80GB, pp=1) == 0.0
+
+    def test_hops_scale_with_depth(self):
+        two = pipeline_p2p_seconds(4096, 128, A100_80GB, pp=2)
+        four = pipeline_p2p_seconds(4096, 128, A100_80GB, pp=4)
+        assert two > 0.0
+        assert four == pytest.approx(3 * two)

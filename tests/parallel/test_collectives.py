@@ -75,10 +75,45 @@ class TestHelpers:
             "payload_bytes": 150,
             "wire_bytes": 450,
             "elapsed_s": 0.5,
+            "channels": {
+                "all_gather": {
+                    "calls": 2,
+                    "payload_bytes": 150,
+                    "wire_bytes": 450,
+                    "elapsed_s": 0.5,
+                },
+            },
         }
         # snapshot round-trips through the constructor (the process backend
         # ships stats across the pipe this way)
         assert CommStats(**snap).snapshot() == snap
+
+    def test_stats_channels_split_by_primitive(self):
+        stats = CommStats()
+        stats.record(100, 300, channel="all_gather")
+        stats.record(40, 40, channel="p2p")
+        stats.record(40, 40, channel="p2p")
+        # Totals sum over channels; each channel keeps its own ledger.
+        assert stats.calls == 3
+        assert stats.payload_bytes == 180
+        assert stats.channel("all_gather")["wire_bytes"] == 300
+        assert stats.channel("p2p") == {
+            "calls": 2, "payload_bytes": 80, "wire_bytes": 80, "elapsed_s": 0.0,
+        }
+        # Never-fired channels read as zeros, not KeyError.
+        assert stats.channel("all_reduce")["calls"] == 0
+        snap = stats.snapshot()
+        assert CommStats(**snap).snapshot() == snap
+
+    def test_stats_loads_legacy_snapshot_without_channels(self):
+        # Snapshots written before the per-channel breakdown lack the
+        # "channels" key; they must still construct (empty breakdown).
+        legacy = {"calls": 2, "payload_bytes": 150, "wire_bytes": 450,
+                  "elapsed_s": 0.5}
+        stats = CommStats(**legacy)
+        assert stats.calls == 2
+        assert stats.channels == {}
+        assert stats.channel("all_gather")["calls"] == 0
 
 
 class TestLocalGroup:

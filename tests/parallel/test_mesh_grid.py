@@ -1,0 +1,107 @@
+"""Grid-shape validation on the 2-D mesh: the pipeline axis and its cuts.
+
+Companion to test_mesh_sharding.py (which covers the tensor axis): stage
+spans must tile the layer range exactly once under both the balance
+heuristic and explicit ``cut_points``, and every ill-formed grid —
+``pp > n_layers``, ``pp * tp != world_size``, bad cuts — must be rejected
+with a clear error before any weights are sliced.
+"""
+
+import itertools
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel import DeviceMesh, validate_mesh
+
+from tests.parallel.conftest import TINY
+
+
+def assert_tiles_exactly_once(spans, n_layers):
+    """Every layer in [0, n_layers) appears in exactly one span."""
+    owners = [0] * n_layers
+    for lo, hi in spans:
+        assert 0 <= lo < hi <= n_layers, spans
+        for layer in range(lo, hi):
+            owners[layer] += 1
+    assert owners == [1] * n_layers, spans
+
+
+class TestStageSpans:
+    def test_more_stages_than_layers_rejected(self):
+        with pytest.raises(ParallelError, match="pipeline stages"):
+            DeviceMesh(tp=1, pp=3).stage_spans(2)
+
+    def test_validate_mesh_rejects_pp_over_n_layers(self):
+        # TINY has 2 decoder layers; a 3-stage pipe leaves a stage empty.
+        with pytest.raises(ParallelError, match="pp 3"):
+            validate_mesh(TINY, DeviceMesh(tp=1, pp=3))
+
+    def test_validate_mesh_rejects_world_size_mismatch(self):
+        with pytest.raises(ParallelError, match="world_size"):
+            validate_mesh(TINY, DeviceMesh(tp=2, pp=2), world_size=3)
+
+    @pytest.mark.parametrize("n_layers,pp", [(7, 2), (7, 3), (5, 4), (9, 4)])
+    def test_non_divisible_layer_counts_balance(self, n_layers, pp):
+        """The heuristic split tiles exactly once with stage loads differing
+        by at most one layer."""
+        spans = DeviceMesh(tp=1, pp=pp).stage_spans(n_layers)
+        assert_tiles_exactly_once(spans, n_layers)
+        sizes = [hi - lo for lo, hi in spans]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_cut_points_tile_exactly_once(self):
+        """Property sweep: every strictly increasing interior cut set yields
+        spans that tile the layer range exactly once."""
+        for n_layers in (4, 6, 8):
+            for pp in (2, 3, 4):
+                for cuts in itertools.combinations(range(1, n_layers), pp - 1):
+                    spans = DeviceMesh(tp=1, pp=pp).stage_spans(
+                        n_layers, cut_points=cuts
+                    )
+                    assert_tiles_exactly_once(spans, n_layers)
+                    assert spans[0][0] == 0 and spans[-1][1] == n_layers
+
+    @pytest.mark.parametrize(
+        "cuts",
+        [
+            (),            # too few boundaries for pp=2
+            (1, 3),        # too many
+            (0,),          # boundary at the range edge -> empty stage 0
+            (6,),          # boundary at the other edge -> empty last stage
+            (9,),          # out of range entirely
+        ],
+    )
+    def test_malformed_cut_points_rejected(self, cuts):
+        with pytest.raises(ParallelError, match="cut_points"):
+            DeviceMesh(tp=1, pp=2).stage_spans(6, cut_points=cuts)
+
+    def test_non_increasing_cut_points_rejected(self):
+        with pytest.raises(ParallelError, match="strictly increasing"):
+            DeviceMesh(tp=1, pp=3).stage_spans(6, cut_points=(4, 2))
+
+
+class TestRankNumbering:
+    def test_stage_major_round_trip(self):
+        mesh = DeviceMesh(tp=3, pp=2)
+        assert mesh.world_size == 6
+        flat = 0
+        for stage in range(mesh.pp):
+            for tp_rank in range(mesh.tp):
+                assert mesh.rank_of(stage, tp_rank) == flat
+                assert mesh.coords_of(flat) == (stage, tp_rank)
+                flat += 1
+
+    def test_out_of_range_cells_rejected(self):
+        mesh = DeviceMesh(tp=2, pp=2)
+        with pytest.raises(ParallelError, match="stage"):
+            mesh.rank_of(2, 0)
+        with pytest.raises(ParallelError, match="tp_rank"):
+            mesh.rank_of(0, 2)
+        with pytest.raises(ParallelError, match="rank 4"):
+            mesh.coords_of(4)
+
+    @pytest.mark.parametrize("tp,pp", [(0, 1), (1, 0), (-2, 1)])
+    def test_degenerate_grids_rejected(self, tp, pp):
+        with pytest.raises(ParallelError, match="positive"):
+            DeviceMesh(tp=tp, pp=pp)

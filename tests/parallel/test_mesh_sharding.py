@@ -53,7 +53,7 @@ class TestDeviceMesh:
         validate_mesh(TINY, DeviceMesh(4))
 
     def test_validate_mesh_rejects_oversharding(self):
-        with pytest.raises(ParallelError, match="world_size"):
+        with pytest.raises(ParallelError, match="tp"):
             validate_mesh(TINY, DeviceMesh(TINY.n_heads + 1))
 
 

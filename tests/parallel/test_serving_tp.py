@@ -135,3 +135,67 @@ class TestServeBenchTP:
 
         with pytest.raises(ServingError):
             run_serve_bench(model, ["dense"], small_trace(2), tp=0)
+
+
+class TestServeBench2D:
+    def test_grid_engine_tokens_identical_to_canonical(self, model):
+        trace = small_trace()
+        reference = InferenceEngine(model, EngineConfig(**ENGINE_CONFIG))
+        expected = replay_trace(reference, trace)
+        sharded = ShardedLlama(model, 2, pp=2)
+        try:
+            engine = InferenceEngine(sharded, EngineConfig(**ENGINE_CONFIG))
+            got = replay_trace(engine, trace)
+            for want, have in zip(expected, got):
+                assert have.state is want.state
+                np.testing.assert_array_equal(have.tokens, want.tokens)
+        finally:
+            sharded.close()
+
+    def test_report_carries_both_channel_verdicts(self, model):
+        report = run_serve_bench(
+            model,
+            ["dense"],
+            small_trace(4),
+            engine_config=EngineConfig(**ENGINE_CONFIG),
+            tp=2,
+            pp=2,
+            seed=0,
+        )
+        result = report.result_for("dense")
+        assert result.tp == 2 and result.pp == 2
+        assert result.comm["bytes_match"] is True
+        channels = result.comm["channels"]
+        assert set(channels) == {"all_gather", "p2p"}
+        for name, cell in channels.items():
+            assert cell["bytes_match"] is True, name
+            assert cell["measured"]["calls"] > 0, name
+        line = result.comm_line()
+        assert "all_gather" in line and "p2p" in line
+        assert "[MISMATCH]" not in line
+        assert "pp=2" in report.table()
+
+    def test_pipeline_only_grid_stays_exact(self, model):
+        """tp=1, pp=2: size-1 gathers record calls but move zero wire
+        bytes, and the live p2p channel matches its projection exactly."""
+        report = run_serve_bench(
+            model,
+            ["dense"],
+            small_trace(3),
+            engine_config=EngineConfig(**ENGINE_CONFIG),
+            tp=1,
+            pp=2,
+        )
+        result = report.result_for("dense")
+        channels = result.comm["channels"]
+        assert channels["p2p"]["bytes_match"] is True
+        assert channels["p2p"]["measured"]["wire_bytes"] > 0
+        assert channels["all_gather"]["bytes_match"] is True
+        assert channels["all_gather"]["measured"]["wire_bytes"] == 0
+        assert "p2p" in result.comm_line()
+
+    def test_pp_must_be_positive(self, model):
+        from repro.errors import ServingError
+
+        with pytest.raises(ServingError):
+            run_serve_bench(model, ["dense"], small_trace(2), pp=0)

@@ -1,0 +1,129 @@
+"""Acceptance-aware adaptive draft length (``spec_adaptive`` engines).
+
+The contract: adaptation only moves the draft/verify split — committed
+tokens stay identical to ``greedy_generate`` — while each request's K
+follows an EMA of its own acceptance rate, clamped to [1, spec_k], with
+the first cycle probing at the engine's full K.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    EngineConfig,
+    InferenceEngine,
+    RequestState,
+    VariantRegistry,
+)
+
+
+@pytest.fixture(scope="module")
+def drafter(smoke_model):
+    return VariantRegistry(smoke_model).get("rank8").model
+
+
+@pytest.fixture(scope="module")
+def bad_drafter(smoke_model):
+    """A drafter crushed to rank 1: low acceptance, so K should shrink."""
+    return VariantRegistry(smoke_model).get("rank1").model
+
+
+def adaptive_engine(model, drafter, **overrides):
+    defaults = dict(
+        max_batch=4, token_budget=24, n_blocks=24, block_tokens=8,
+        spec_k=4, spec_adaptive=True,
+    )
+    defaults.update(overrides)
+    return InferenceEngine(model, EngineConfig(**defaults), drafter=drafter)
+
+
+def assert_exact(engine, requests):
+    for request in requests:
+        assert request.state is RequestState.FINISHED, request.finish_reason
+        expected = engine.model.greedy_generate(
+            request.prompt,
+            max_new_tokens=request.max_new_tokens,
+            stop_token=request.stop_token,
+        )
+        np.testing.assert_array_equal(request.tokens, expected)
+
+
+class TestConfig:
+    def test_alpha_validated(self, smoke_model):
+        with pytest.raises(ServingError):
+            EngineConfig(spec_adaptive=True, spec_ema_alpha=0.0)
+        with pytest.raises(ServingError):
+            EngineConfig(spec_adaptive=True, spec_ema_alpha=1.5)
+
+
+class TestAdaptiveK:
+    def test_tokens_identical_to_reference(self, smoke_model, drafter):
+        engine = adaptive_engine(smoke_model, drafter)
+        rng = np.random.default_rng(11)
+        requests = [
+            engine.submit(
+                rng.integers(0, 128, size=int(rng.integers(3, 9))),
+                int(rng.integers(6, 14)),
+                speculative=True,
+            )
+            for _ in range(5)
+        ]
+        engine.run_until_idle()
+        assert_exact(engine, requests)
+
+    def test_first_cycle_probes_at_full_k(self, smoke_model, drafter):
+        engine = adaptive_engine(smoke_model, drafter)
+        request = engine.submit(np.array([5, 9, 2, 7]), 8, speculative=True)
+        # Before any verify cycle the request has no acceptance history,
+        # so the engine drafts at its configured maximum.
+        assert request.spec_acceptance_ema is None
+        assert engine._spec_k_for(request) == engine.config.spec_k
+        engine.run_until_idle()
+        assert_exact(engine, [request])
+        assert request.spec_acceptance_ema is not None
+        assert 0.0 <= request.spec_acceptance_ema <= 1.0
+        assert 1 <= request.spec_k_current <= engine.config.spec_k
+
+    def test_k_tracks_acceptance_ema(self, smoke_model, drafter):
+        engine = adaptive_engine(smoke_model, drafter)
+        request = engine.submit(np.arange(4), 8, speculative=True)
+        engine._update_spec_k(request, accepted=0, drafted=4)
+        assert request.spec_acceptance_ema == 0.0
+        assert request.spec_k_current == 1  # clamped at the floor
+        engine._update_spec_k(request, accepted=4, drafted=4)
+        # EMA with alpha=0.5: 0.0 + 0.5 * (1.0 - 0.0) = 0.5 -> K = 2
+        assert request.spec_acceptance_ema == pytest.approx(0.5)
+        assert request.spec_k_current == 2
+        engine._update_spec_k(request, accepted=4, drafted=4)
+        assert request.spec_acceptance_ema == pytest.approx(0.75)
+        assert request.spec_k_current == 3
+
+    def test_weak_drafter_shrinks_k(self, smoke_model, bad_drafter):
+        """A low-acceptance drafter pulls per-request K below the cap while
+        outputs stay exact."""
+        engine = adaptive_engine(smoke_model, bad_drafter)
+        rng = np.random.default_rng(17)
+        requests = [
+            engine.submit(
+                rng.integers(0, 128, size=int(rng.integers(4, 10))),
+                12,
+                speculative=True,
+            )
+            for _ in range(4)
+        ]
+        engine.run_until_idle()
+        assert_exact(engine, requests)
+        final_ks = [r.spec_k_current for r in requests if r.spec_k_current]
+        assert final_ks, "no request completed a verify cycle"
+        assert min(final_ks) < engine.config.spec_k
+
+    def test_fixed_k_engine_leaves_state_untouched(self, smoke_model, drafter):
+        """Without ``spec_adaptive`` the per-request adaptation fields stay
+        None — the historical fixed-K behavior byte for byte."""
+        engine = adaptive_engine(smoke_model, drafter, spec_adaptive=False)
+        request = engine.submit(np.array([3, 1, 4]), 6, speculative=True)
+        engine.run_until_idle()
+        assert_exact(engine, [request])
+        assert request.spec_acceptance_ema is None
+        assert request.spec_k_current is None

@@ -196,6 +196,68 @@ class TestRankRouter:
         assert snap["decisions"][0]["to"] == "rank8"
 
 
+class TestProjectedWatermark:
+    """``watermark="projected"`` swaps the ladder's signal from integer
+    backlog marks to projected-TTFT seconds (backlog x EMA step time)."""
+
+    def make(self, **overrides):
+        defaults = dict(
+            watermark="projected",
+            degrade_ttft_s=0.5,
+            upgrade_ttft_s=0.1,
+            dwell_steps=1,
+        )
+        defaults.update(overrides)
+        return RankRouter(QUALITY_LADDER, RouterConfig(**defaults))
+
+    def test_mode_validated(self):
+        with pytest.raises(ServingError):
+            RouterConfig(watermark="psychic")
+        with pytest.raises(ServingError):
+            RouterConfig(watermark="projected", degrade_ttft_s=0.1,
+                         upgrade_ttft_s=0.5)
+
+    def test_no_pressure_before_any_measured_step(self):
+        # EMA step time starts at 0, so the projection reads 0 seconds
+        # regardless of backlog — but 0 <= upgrade mark trips an upgrade
+        # only when there is a level to climb back to, so nothing happens.
+        router = self.make()
+        assert router.observe(0.0, queue_depth=50, running=4) is None
+        assert router.level == 0
+
+    def test_degrades_when_projection_crosses_mark(self):
+        router = self.make()
+        router.note_step(0.1)  # EMA = 100ms/step
+        assert router.observe(0.0, queue_depth=2, running=2) is None  # 0.4s
+        decision = router.observe(0.1, queue_depth=4, running=2)      # 0.6s
+        assert decision.action == "degrade"
+        assert decision.projected_ttft_s == pytest.approx(0.6)
+        assert router.variant_for(None) == "rank8"
+
+    def test_upgrades_when_projection_drains(self):
+        router = self.make()
+        router.note_step(0.1)
+        router.observe(0.0, 6, 0)  # 0.6s -> degrade
+        assert router.level == 1
+        decision = router.observe(0.1, queue_depth=1, running=0)  # 0.1s
+        assert decision.action == "upgrade"
+        assert router.level == 0
+
+    def test_backlog_marks_ignored_in_projected_mode(self):
+        """A deep backlog of fast steps projects under the mark: no change
+        (the integer marks would have degraded long ago)."""
+        router = self.make(degrade_at=2)
+        router.note_step(0.01)  # 10ms/step
+        assert router.observe(0.0, queue_depth=20, running=4) is None  # 0.24s
+        assert router.level == 0
+
+    def test_snapshot_carries_watermark_config(self):
+        snap = self.make().snapshot()
+        assert snap["config"]["watermark"] == "projected"
+        assert snap["config"]["degrade_ttft_s"] == 0.5
+        assert snap["config"]["upgrade_ttft_s"] == 0.1
+
+
 class TestScriptedRouter:
     def test_replays_levels(self):
         router = ScriptedRouter(QUALITY_LADDER, [0, 0, 2, 2, 1])
