@@ -36,9 +36,18 @@ Commands
   dir) one summary line is appended to ``benchmarks/trajectory.jsonl``
   (``--trajectory`` overrides the path, ``--no-trajectory`` disables).
 - ``repro bench-decode [--variants dense,rank1,...] [--tp 1,2]
-  [--json PATH]`` — measure prefill/decode tokens-per-second of the
-  Tensor-graph driver vs. the no-grad fast path per variant and
+  [--bits B] [--json PATH]`` — measure prefill/decode tokens-per-second
+  of the Tensor-graph driver vs. the no-grad fast path per variant and
   tensor-parallel degree, verifying bit-identical logits along the way.
+  ``--bits 8`` measures each variant's int8-quantized twin alongside it
+  and reports the quantized-vs-fp32 decode ratio plus the weight-memory
+  reduction of the int grids against the dense fp32 projections.
+- ``repro quant-sweep [--specs dense,rank8,rank1] [--bits 8,4]
+  [--run-name NAME]`` — walk the rank × bits joint design space on the
+  pretrained tiny Llama: per point, six-benchmark accuracy through the
+  real quantized weights, fast-path decode tokens/s (bit-identity
+  checked), and the hardware model's memory/energy projection; persists
+  a replayable run artifact (``--replay DIR`` verifies one bit for bit).
   With ``--speculative`` it instead benchmarks speculative decoding:
   low-rank drafters (``--drafters``) propose ``--spec-k`` tokens per cycle
   on a spectrum-shaped model, the dense model verifies, and every cell
@@ -421,8 +430,18 @@ def _cmd_bench_decode(args: argparse.Namespace) -> int:
         new_tokens=args.new_tokens,
         seed=args.seed,
         profile=args.profile,
+        bits=args.bits,
     )
     print(report.table())
+    ratios = report.quant_decode_ratios()
+    if ratios:
+        print()
+        for spec, ratio in ratios.items():
+            print(f"{spec}: {ratio:.2f}x fp32 fast-path decode at tp=1")
+        print(
+            f"min quantized weight-memory reduction "
+            f"{report.min_quant_memory_reduction:.2f}x (vs dense fp32 projections)"
+        )
     if args.json:
         import json
         from pathlib import Path
@@ -434,21 +453,86 @@ def _cmd_bench_decode(args: argparse.Namespace) -> int:
         print("ERROR: fast-path logits diverged from the Tensor-graph driver")
         return 1
     if args.json:
-        _maybe_append_trajectory(
-            args,
-            {
-                "bench": "bench-decode",
-                "model": args.model,
-                "cells": len(report.cells),
-                "decode_tokens_per_s": {
-                    f"{cell.spec}/tp{cell.tp}": round(
-                        cell.fast.decode_tokens_per_s, 1
-                    )
-                    for cell in report.cells
-                },
-                "min_decode_speedup": round(report.min_decode_speedup, 3),
+        entry = {
+            "bench": "bench-decode",
+            "model": args.model,
+            "cells": len(report.cells),
+            "decode_tokens_per_s": {
+                f"{cell.spec}/tp{cell.tp}": round(
+                    cell.fast.decode_tokens_per_s, 1
+                )
+                for cell in report.cells
             },
+            "min_decode_speedup": round(report.min_decode_speedup, 3),
+        }
+        if report.min_quant_decode_ratio is not None:
+            entry["min_quant_decode_ratio"] = round(
+                report.min_quant_decode_ratio, 3
+            )
+        if report.min_quant_memory_reduction is not None:
+            entry["min_quant_memory_reduction"] = round(
+                report.min_quant_memory_reduction, 2
+            )
+        _maybe_append_trajectory(args, entry)
+    return 0
+
+
+def _cmd_quant_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.quant_sweep import (
+        replay_quant_sweep,
+        run_quant_sweep,
+        sweep_manifest,
+        write_quant_sweep_artifact,
+    )
+
+    if args.replay:
+        report, matches = replay_quant_sweep(args.replay)
+        for spec, match in matches.items():
+            verdict = "bit-identical" if match else "FINGERPRINT MISMATCH"
+            print(f"{spec}: {verdict}")
+        if not all(matches.values()):
+            print(f"ERROR: replay of {args.replay} diverged from the recorded run")
+            return 1
+        print(f"replayed {args.replay}: all {len(matches)} points bit-identical")
+        return 0
+    base_specs = [spec.strip() for spec in args.specs.split(",") if spec.strip()]
+    bit_widths = [None] + [
+        int(bits) for bits in args.bits.split(",") if bits.strip()
+    ]
+    report = run_quant_sweep(
+        base_specs=base_specs,
+        bit_widths=bit_widths,
+        limit=args.limit,
+        prompt_tokens=args.prompt_tokens,
+        new_tokens=args.new_tokens,
+        seed=args.seed,
+    )
+    print(report.table())
+    if args.json:
+        import json
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"wrote {path}")
+    run_dir = None
+    if args.run_dir or args.run_name:
+        from pathlib import Path
+
+        run_dir = (
+            Path(args.run_dir)
+            if args.run_dir
+            else Path("benchmarks") / "runs" / args.run_name
         )
+        write_quant_sweep_artifact(
+            run_dir, sweep_manifest(report, base_specs, bit_widths), report
+        )
+        print(f"wrote run artifact {run_dir}/")
+    if not report.all_bit_identical:
+        print("ERROR: fast-path logits diverged from the Tensor-graph driver")
+        return 1
+    if args.json or run_dir is not None:
+        _maybe_append_trajectory(args, report.trajectory_entry())
     return 0
 
 
@@ -691,7 +775,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench_decode.add_argument(
         "--variants",
         default="dense,rank1,rank8",
-        help="comma-separated specs: dense, rank<K>, pr<NN>",
+        help="comma-separated specs: dense, rank<K>, pr<NN>, <base>-int<B>",
+    )
+    bench_decode.add_argument(
+        "--bits",
+        type=int,
+        default=None,
+        metavar="B",
+        help=(
+            "also measure each variant's int-B quantized twin "
+            "(e.g. 8 adds dense-int8 next to dense) and report the "
+            "quantized-vs-fp32 decode ratio and weight-memory reduction"
+        ),
     )
     bench_decode.add_argument(
         "--tp", default="1,2", help="comma-separated tensor-parallel degrees"
@@ -748,6 +843,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not append a summary line to the performance ledger",
     )
     bench_decode.set_defaults(func=_cmd_bench_decode)
+
+    quant_sweep = sub.add_parser(
+        "quant-sweep",
+        help=(
+            "measure the rank × bits joint design space on the pretrained "
+            "tiny Llama: accuracy, fast-path decode tok/s, and hwmodel "
+            "memory/energy per (variant, precision) point"
+        ),
+    )
+    quant_sweep.add_argument(
+        "--specs",
+        default="dense,rank8,rank1",
+        help="comma-separated base variant specs to cross with precisions",
+    )
+    quant_sweep.add_argument(
+        "--bits",
+        default="8,4",
+        help="comma-separated quantized widths (fp32 is always included)",
+    )
+    quant_sweep.add_argument(
+        "--limit", type=int, default=24, help="items per accuracy benchmark"
+    )
+    quant_sweep.add_argument("--prompt-tokens", type=int, default=16)
+    quant_sweep.add_argument("--new-tokens", type=int, default=24)
+    quant_sweep.add_argument("--seed", type=int, default=0)
+    quant_sweep.add_argument(
+        "--json", default=None, metavar="PATH", help="dump the report as JSON"
+    )
+    quant_sweep.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="persist manifest.json/metrics.jsonl/summary.json to DIR",
+    )
+    quant_sweep.add_argument(
+        "--run-name",
+        default=None,
+        metavar="NAME",
+        help="persist the run artifact to benchmarks/runs/NAME/",
+    )
+    quant_sweep.add_argument(
+        "--replay",
+        default=None,
+        metavar="DIR",
+        help=(
+            "instead of sweeping, rebuild the sweep recorded in DIR from "
+            "its manifest and verify every point's logits fingerprint"
+        ),
+    )
+    quant_sweep.add_argument(
+        "--trajectory",
+        default=None,
+        metavar="PATH",
+        help="performance-ledger path (default benchmarks/trajectory.jsonl)",
+    )
+    quant_sweep.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="do not append a summary line to the performance ledger",
+    )
+    quant_sweep.set_defaults(func=_cmd_quant_sweep)
 
     report = sub.add_parser(
         "report", help="regenerate every artifact into a markdown report"

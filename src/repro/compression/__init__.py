@@ -15,16 +15,22 @@ from repro.compression.pruning import (
     restore_pruned,
 )
 from repro.compression.quantization import (
+    SUPPORTED_BITS,
     QuantizationReport,
     QuantizedTensorReport,
+    RealQuantizationReport,
+    RealQuantizedTensor,
     dequantize_weight,
+    quantize_model_real,
     quantize_model_weights,
     quantize_weight,
     quantized_weight_bytes,
     restore_quantized,
+    restore_real_quantized,
 )
 
 __all__ = [
+    "SUPPORTED_BITS",
     "quantize_weight",
     "dequantize_weight",
     "quantized_weight_bytes",
@@ -32,6 +38,10 @@ __all__ = [
     "QuantizedTensorReport",
     "quantize_model_weights",
     "restore_quantized",
+    "RealQuantizationReport",
+    "RealQuantizedTensor",
+    "quantize_model_real",
+    "restore_real_quantized",
     "magnitude_mask",
     "csr_bytes",
     "PruningReport",

@@ -34,6 +34,12 @@ class DecompositionConfig:
         Optional mapping ``(layer, role) -> rank`` overriding ``rank``.
     method:
         ``"hoi"`` (Algorithm 1) or ``"svd"``.
+    bits:
+        Optional post-training weight-quantization width applied to every
+        per-layer projection (dense or factorized) after decomposition —
+        the second axis of the rank × bits joint design space.  ``None``
+        keeps fp32 weights.  Note ``bits`` composes with *any* rank
+        configuration, including the identity (dense int8).
     """
 
     layers: Tuple[int, ...]
@@ -41,6 +47,7 @@ class DecompositionConfig:
     rank: int = 1
     ranks: Mapping[Tuple[int, str], int] = field(default_factory=dict)
     method: str = "hoi"
+    bits: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "layers", tuple(sorted(set(int(l) for l in self.layers))))
@@ -50,6 +57,13 @@ class DecompositionConfig:
             raise ConfigError(f"pruned rank must be positive, got {self.rank}")
         if self.method not in ("hoi", "svd"):
             raise ConfigError(f"unknown decomposition method {self.method!r}")
+        if self.bits is not None:
+            from repro.nn.quantized import SUPPORTED_BITS
+
+            if self.bits not in SUPPORTED_BITS:
+                raise ConfigError(
+                    f"bits must be one of {SUPPORTED_BITS}, got {self.bits}"
+                )
         for (layer, role), rank in self.ranks.items():
             if rank <= 0:
                 raise ConfigError(f"override rank for ({layer}, {role}) must be positive")
@@ -145,8 +159,12 @@ class DecompositionConfig:
         return True
 
     def describe(self) -> str:
+        suffix = "" if self.bits is None else f" int{self.bits}"
         if self.is_identity:
-            return "identity (no decomposition)"
+            return f"identity (no decomposition){suffix}"
         layers = ",".join(str(l) for l in self.layers)
         roles = ",".join(self.roles)
-        return f"rank={self.rank} layers=[{layers}] tensors=[{roles}] method={self.method}"
+        return (
+            f"rank={self.rank} layers=[{layers}] tensors=[{roles}] "
+            f"method={self.method}{suffix}"
+        )

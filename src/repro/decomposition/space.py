@@ -9,6 +9,7 @@ sets — "from O(2^37) to O(32)" for Llama-2-7B).
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 from itertools import chain, combinations
 from typing import Iterable, Iterator, List, Optional, Tuple
 
@@ -17,28 +18,39 @@ from repro.errors import ConfigError
 from repro.models.config import ModelConfig
 
 
-def design_space_size(n_layers: int, n_tensors: int, rank_choices: int) -> int:
-    """|S_LR(m)| from Theorem 3.2.
+def design_space_size(
+    n_layers: int, n_tensors: int, rank_choices: int, bit_choices: int = 1
+) -> int:
+    """|S_LR(m)| from Theorem 3.2, with an optional quantization axis.
 
-    ``(2^N_Layers - 1) * (2^N_Tensors - 1) * rank_choices + 1`` where
-    ``rank_choices`` is the number of available pruned ranks for a uniform
-    decomposition and the ``+ 1`` counts the identity configuration.
+    ``(2^N_Layers - 1) * (2^N_Tensors - 1) * rank_choices * bit_choices + 1``
+    where ``rank_choices`` is the number of available pruned ranks for a
+    uniform decomposition, ``bit_choices`` the number of weight-precision
+    options (fp32 plus each quantized width — the rank × bits joint space;
+    the default 1 reproduces the paper's decomposition-only count), and
+    the ``+ 1`` counts the identity configuration.
     """
-    if n_layers < 0 or n_tensors < 0 or rank_choices < 0:
+    if n_layers < 0 or n_tensors < 0 or rank_choices < 0 or bit_choices < 1:
         raise ConfigError("design-space dimensions must be non-negative")
-    return (2**n_layers - 1) * (2**n_tensors - 1) * rank_choices + 1
+    return (2**n_layers - 1) * (2**n_tensors - 1) * rank_choices * bit_choices + 1
 
 
-def design_space_log2(n_layers: int, n_tensors: int, rank_choices: int = 1) -> float:
+def design_space_log2(
+    n_layers: int, n_tensors: int, rank_choices: int = 1, bit_choices: int = 1
+) -> float:
     """log2 of the design-space size (the paper's O(2^x) scale in Table 2).
 
     Table 2 reports the big-O scale from the subset choices alone, i.e.
     ``2^(N_Layers + N_Tensors)``; pass ``rank_choices=1`` to match it.
     """
-    return math.log2(design_space_size(n_layers, n_tensors, rank_choices))
+    return math.log2(design_space_size(n_layers, n_tensors, rank_choices, bit_choices))
 
 
-def model_design_space_size(config: ModelConfig, rank_choices: Optional[int] = None) -> int:
+def model_design_space_size(
+    config: ModelConfig,
+    rank_choices: Optional[int] = None,
+    bit_choices: int = 1,
+) -> int:
     """Design-space size of a registered model.
 
     ``rank_choices`` defaults to the smallest weight-matrix dimension, the
@@ -48,7 +60,9 @@ def model_design_space_size(config: ModelConfig, rank_choices: Optional[int] = N
         rank_choices = min(
             min(shape) for shape in config.tensor_shapes().values()
         )
-    return design_space_size(config.n_layers, config.n_tensors, rank_choices)
+    return design_space_size(
+        config.n_layers, config.n_tensors, rank_choices, bit_choices
+    )
 
 
 def _non_empty_subsets(items: Tuple) -> Iterator[Tuple]:
@@ -82,17 +96,33 @@ def count_design_space(config: ModelConfig, rank_choices: Iterable[int]) -> int:
 
 
 def pruned_design_space(
-    config: ModelConfig, layer_sets: Iterable[Tuple[int, ...]], rank: int = 1
+    config: ModelConfig,
+    layer_sets: Iterable[Tuple[int, ...]],
+    rank: int = 1,
+    bit_widths: Iterable[Optional[int]] = (None,),
 ) -> List[DecompositionConfig]:
     """The reduced space after the paper's characterization insights.
 
     Rank is pinned to 1, all tensors are decomposed, and only the supplied
     layer sets (e.g. the Table 4 recipes) are explored — collapsing
     O(2^(L+K)) to O(#recipes).
+
+    ``bit_widths`` crosses each point with weight-quantization widths
+    (``None`` = fp32); every non-fp32 width also contributes a dense
+    quantized point (identity rank, quantized weights), since bits is an
+    axis independent of decomposition.  The default keeps the paper's
+    decomposition-only space.
     """
     space = [DecompositionConfig.identity()]
-    for layer_set in layer_sets:
-        space.append(DecompositionConfig.all_tensors(config, layer_set, rank=rank))
+    layer_sets = list(layer_sets)
+    for bits in dict.fromkeys(bit_widths):
+        if bits is not None:
+            space.append(replace(DecompositionConfig.identity(), bits=bits))
+        for layer_set in layer_sets:
+            point = DecompositionConfig.all_tensors(config, layer_set, rank=rank)
+            if bits is not None:
+                point = replace(point, bits=bits)
+            space.append(point)
     return space
 
 

@@ -15,6 +15,13 @@ from repro.experiments.pretrained import (
     pretrained_tiny_bert,
     pretrained_tiny_llama,
 )
+from repro.experiments.quant_sweep import (
+    QuantSweepPoint,
+    QuantSweepReport,
+    replay_quant_sweep,
+    run_quant_sweep,
+    write_quant_sweep_artifact,
+)
 from repro.experiments.rank_sweep import (
     RankSweepPoint,
     rank_variation,
@@ -46,6 +53,11 @@ __all__ = [
     "pretrained_tiny_llama",
     "pretrained_tiny_bert",
     "fresh_tiny_llama",
+    "QuantSweepPoint",
+    "QuantSweepReport",
+    "replay_quant_sweep",
+    "run_quant_sweep",
+    "write_quant_sweep_artifact",
     "RankSweepPoint",
     "run_rank_sweep",
     "rank_variation",

@@ -34,6 +34,7 @@ from repro.hwmodel.memory import (
     max_batch_size,
     memory_footprint,
     model_weight_bytes,
+    quantized_projection_bytes,
 )
 from repro.hwmodel.profiler import (
     ProfileResult,
@@ -82,6 +83,7 @@ __all__ = [
     "MemoryFootprint",
     "memory_footprint",
     "model_weight_bytes",
+    "quantized_projection_bytes",
     "kv_cache_bytes",
     "activation_bytes",
     "max_batch_size",

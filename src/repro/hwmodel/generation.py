@@ -94,8 +94,11 @@ def decode_workload(
             raise HardwareModelError(f"stage {stage} outside 0..{len(stages) - 1}")
         program = stages[stage]
         name = f"{config.name}/decode-stage{stage}of{pp}"
+    bits = None if decomposition is None else decomposition.bits
     workload = Workload(model=name, batch=batch, seq_len=1)
-    workload.ops.extend(op_from_spec(spec, batch, 1) for spec in program.prologue)
+    workload.ops.extend(
+        op_from_spec(spec, batch, 1, bits=bits) for spec in program.prologue
+    )
     for layer in program.layers:
         for spec in layer.ops:
             if spec.kind in ATTN_KINDS:
@@ -104,8 +107,10 @@ def decode_workload(
                         _decode_attention_op(layer, batch, context_len, config.kv_dim)
                     )
                 continue
-            workload.ops.append(op_from_spec(spec, batch, 1))
-    workload.ops.extend(op_from_spec(spec, batch, 1) for spec in program.epilogue)
+            workload.ops.append(op_from_spec(spec, batch, 1, bits=bits))
+    workload.ops.extend(
+        op_from_spec(spec, batch, 1, bits=bits) for spec in program.epilogue
+    )
     return workload
 
 

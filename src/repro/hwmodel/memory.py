@@ -46,10 +46,33 @@ class MemoryFootprint:
         }
 
 
+def quantized_projection_bytes(
+    height: int, width: int, rank: Optional[int], bits: int
+) -> float:
+    """Storage of one quantized projection: packed ints + fp32 scales.
+
+    Dense (rank None): an (H, W) grid at ``bits`` per weight plus one fp32
+    scale per output column.  Decomposed: the U·Γ·V chain with each factor
+    quantized independently, each carrying per-output-column scales.
+    """
+    if rank is None:
+        return height * width * bits / 8.0 + width * 4.0
+    params = height * rank + rank * rank + rank * width
+    scale_cols = rank + rank + width
+    return params * bits / 8.0 + scale_cols * 4.0
+
+
 def model_weight_bytes(
     config: ModelConfig, decomposition: Optional[DecompositionConfig] = None
 ) -> int:
-    """FP16 bytes of the (possibly decomposed) model weights."""
+    """Bytes of the (possibly decomposed / quantized) model weights.
+
+    Weights are modeled at FP16; when the decomposition carries ``bits``,
+    every per-layer projection's FP16 term is swapped for its quantized
+    storage (grid at ``bits`` per weight + fp32 scales) while embeddings,
+    norms, and the LM head stay FP16 — mirroring what
+    :func:`repro.compression.quantization.quantize_model_real` quantizes.
+    """
     if decomposition is None or decomposition.is_identity:
         params = total_parameters(config)
     else:
@@ -57,7 +80,26 @@ def model_weight_bytes(
         params = decomposed_parameters(
             config, decomposition.layers, decomposition.roles, decomposition.rank
         )
-    return params * BYTES_PER_PARAM_FP16
+    base = params * BYTES_PER_PARAM_FP16
+    bits = None if decomposition is None else decomposition.bits
+    if bits is None:
+        return base
+    total = float(base)
+    decomposed = (
+        set(decomposition.pairs()) if not decomposition.is_identity else set()
+    )
+    for layer in range(config.n_layers):
+        for role in config.tensor_roles:
+            height, width = config.tensor_shape(role)
+            if (layer, role) in decomposed:
+                rank = decomposition.rank
+                fp16_params = height * rank + rank * rank + rank * width
+                quantized = quantized_projection_bytes(height, width, rank, bits)
+            else:
+                fp16_params = height * width
+                quantized = quantized_projection_bytes(height, width, None, bits)
+            total += quantized - fp16_params * BYTES_PER_PARAM_FP16
+    return int(round(total))
 
 
 def kv_cache_bytes(config: ModelConfig, batch: int, seq_len: int) -> int:

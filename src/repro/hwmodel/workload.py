@@ -125,9 +125,15 @@ def _linear_op(
     out_features: int,
     parallelism: str = "replicated",
     shard_dim: int = 0,
+    bits: Optional[int] = None,
 ) -> Op:
     flops = 2.0 * batch_tokens * in_features * out_features
-    weight_bytes = float(in_features * out_features * BYTES_FP16)
+    if bits is None:
+        weight_bytes = float(in_features * out_features * BYTES_FP16)
+    else:
+        # Quantized storage: the GEMM streams the int grid plus one fp32
+        # scale per output column (energy follows bytes via the roofline).
+        weight_bytes = in_features * out_features * bits / 8.0 + out_features * 4.0
     act_in = float(batch_tokens * in_features * BYTES_FP16)
     act_out = float(batch_tokens * out_features * BYTES_FP16)
     return Op(
@@ -146,7 +152,9 @@ def _norm_op(name: str, batch_tokens: int, dim: int) -> Op:
     return Op(name, 0.0, float(dim * BYTES_FP16), float(2 * batch_tokens * dim * BYTES_FP16))
 
 
-def op_from_spec(spec: OpSpec, batch: int, seq_len: int) -> Op:
+def op_from_spec(
+    spec: OpSpec, batch: int, seq_len: int, bits: Optional[int] = None
+) -> Op:
     """Cost one program op for a concrete (batch, seq_len).
 
     This is the entire bridge between the executed layer program and the
@@ -154,6 +162,10 @@ def op_from_spec(spec: OpSpec, batch: int, seq_len: int) -> Op:
     activation traffic, the attention batched matmuls charge head-parallel
     score/context work with no weights, and norms/embeddings/residual
     elementwise ops are pure streaming traffic.
+
+    ``bits`` projects quantized weight storage onto the per-layer
+    projection GEMMs (the LM head stays fp16, matching what
+    ``quantize_model_real`` quantizes); all other op kinds are unaffected.
     """
     tokens = batch * seq_len
     if spec.kind == PROJ:
@@ -164,6 +176,7 @@ def op_from_spec(spec: OpSpec, batch: int, seq_len: int) -> Op:
             spec.out_features,
             spec.parallelism,
             spec.shard_dim,
+            bits=None if spec.role == "lm_head" else bits,
         )
     if spec.kind == NORM:
         return _norm_op(spec.name, tokens, spec.in_features)
@@ -218,10 +231,12 @@ def build_workload(
             f"seq_len {seq_len} exceeds model max {config.max_seq_len}"
         )
     program = build_model_program(config, decomposition)
+    bits = None if decomposition is None else decomposition.bits
     if pp <= 1 and stage is None:
         workload = Workload(model=config.name, batch=batch, seq_len=seq_len)
         workload.ops.extend(
-            op_from_spec(spec, batch, seq_len) for spec in program.all_ops()
+            op_from_spec(spec, batch, seq_len, bits=bits)
+            for spec in program.all_ops()
         )
         return workload
     if stage is None:
@@ -235,7 +250,9 @@ def build_workload(
     workload = Workload(
         model=f"{config.name}/stage{stage}of{pp}", batch=batch, seq_len=seq_len
     )
-    workload.ops.extend(op_from_spec(spec, batch, seq_len) for spec in sub.all_ops())
+    workload.ops.extend(
+        op_from_spec(spec, batch, seq_len, bits=bits) for spec in sub.all_ops()
+    )
     return workload
 
 

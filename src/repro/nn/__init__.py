@@ -13,6 +13,11 @@ from repro.nn.linear import Linear
 from repro.nn.mlp import GeluMLP, SwiGluMLP
 from repro.nn.module import Module, ModuleList, Parameter
 from repro.nn.normalization import LayerNorm, RMSNorm
+from repro.nn.quantized import (
+    QuantizedFactorizedLinear,
+    QuantizedLinear,
+    quantize_module,
+)
 from repro.nn.rope import RotaryEmbedding
 
 __all__ = [
@@ -21,6 +26,9 @@ __all__ = [
     "Parameter",
     "Linear",
     "FactorizedLinear",
+    "QuantizedLinear",
+    "QuantizedFactorizedLinear",
+    "quantize_module",
     "Embedding",
     "PositionalEmbedding",
     "LayerNorm",

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.errors import ParallelError
 from repro.nn.kv_cache import RaggedModelCaches
+from repro.nn.quantized import dequantize_weight
 from repro.nn.rope import RotaryEmbedding
 from repro.parallel.sharding import ProjectionShard, RankShard
 from repro.runtime.context import ExecutionContext, expand_kv_heads, kv_expand_plan
@@ -47,9 +48,20 @@ def project(shard: ProjectionShard, x: Tensor) -> Tensor:
     bias chunk is added full-chunk-width afterwards, matching the
     canonical full-width bias add positionally.
     """
-    if shard.factorized:
-        x = (x @ Tensor(shard.u1)) @ Tensor(shard.core)
-    weight = Tensor(shard.weight)
+    if shard.quantized:
+        # Dequantize the rank's chunk on the fly (the Tensor-graph
+        # reference arm): per-output-column scales make the chunk's
+        # dequantized values equal the same columns of the canonical full
+        # dequantized matrix, so the blocked GEMMs below match bit for bit.
+        if shard.u1_grid is not None:
+            x = (x @ Tensor(dequantize_weight(shard.u1_grid, shard.u1_scales))) @ Tensor(
+                dequantize_weight(shard.core_grid, shard.core_scales)
+            )
+        weight = Tensor(dequantize_weight(shard.grid, shard.scales))
+    else:
+        if shard.factorized:
+            x = (x @ Tensor(shard.u1)) @ Tensor(shard.core)
+        weight = Tensor(shard.weight)
     if len(shard.edges) == 1:
         out = x @ weight
     else:

@@ -32,7 +32,12 @@ import numpy as np
 
 from repro.errors import ParallelError
 from repro.models.config import ModelConfig
-from repro.nn import FactorizedLinear, Linear
+from repro.nn import (
+    FactorizedLinear,
+    Linear,
+    QuantizedFactorizedLinear,
+    QuantizedLinear,
+)
 from repro.nn.linear import block_edges
 from repro.parallel.mesh import DeviceMesh, Span, validate_mesh
 
@@ -50,28 +55,46 @@ def _localize(edges: Edges, span: Span) -> Tuple[int, int, Edges]:
 
 @dataclass(frozen=True)
 class ProjectionShard:
-    """One rank's columns of a (possibly factorized) projection.
+    """One rank's columns of a (possibly factorized/quantized) projection.
 
     ``weight`` holds the rank's contiguous output-column chunk for a dense
     layer; for a factorized layer ``u1``/``core`` are the replicated
     low-rank prefix and ``weight`` is the U2 column chunk.  ``edges`` are
     the canonical block boundaries *relative to the chunk* — the reduction
     layout the rank must reproduce.
+
+    Quantized-storage projections keep ``weight`` None and carry int8
+    grids instead: ``grid`` is the dense (or U2) column chunk with its
+    matching per-column fp32 ``scales`` slice — per-output-column scales
+    make every chunk self-contained — and a quantized factor chain
+    replicates ``u1_grid``/``core_grid`` + scales the same way the fp32
+    chain replicates U1/core.
     """
 
-    weight: np.ndarray
-    edges: Edges
+    weight: Optional[np.ndarray] = None
+    edges: Edges = field(default_factory=list)
     bias: Optional[np.ndarray] = None
     u1: Optional[np.ndarray] = None
     core: Optional[np.ndarray] = None
+    grid: Optional[np.ndarray] = None
+    scales: Optional[np.ndarray] = None
+    u1_grid: Optional[np.ndarray] = None
+    u1_scales: Optional[np.ndarray] = None
+    core_grid: Optional[np.ndarray] = None
+    core_scales: Optional[np.ndarray] = None
+    bits: Optional[int] = None
 
     @property
     def factorized(self) -> bool:
         return self.u1 is not None
 
     @property
+    def quantized(self) -> bool:
+        return self.grid is not None
+
+    @property
     def out_width(self) -> int:
-        return self.weight.shape[1]
+        return self.weight.shape[1] if self.weight is not None else self.grid.shape[1]
 
 
 def _chunk(weight: np.ndarray, lo: int, hi: int) -> np.ndarray:
@@ -81,11 +104,31 @@ def _chunk(weight: np.ndarray, lo: int, hi: int) -> np.ndarray:
 
 
 def shard_projection(module, edges: Edges, span: Span) -> ProjectionShard:
-    """Shard ``module`` (Linear or FactorizedLinear) over grid ``span``."""
+    """Shard a Linear/FactorizedLinear or quantized twin over grid ``span``."""
     lo, hi, local = _localize(edges, span)
     bias = None
     if module.bias is not None:
         bias = np.ascontiguousarray(module.bias.data[lo:hi])
+    if isinstance(module, QuantizedFactorizedLinear):
+        return ProjectionShard(
+            edges=local,
+            bias=bias,
+            grid=_chunk(module.u2_grid, lo, hi),
+            scales=module.u2_scales[lo:hi].copy(),
+            u1_grid=module.u1_grid.copy(),
+            u1_scales=module.u1_scales.copy(),
+            core_grid=module.core_grid.copy(),
+            core_scales=module.core_scales.copy(),
+            bits=module.bits,
+        )
+    if isinstance(module, QuantizedLinear):
+        return ProjectionShard(
+            edges=local,
+            bias=bias,
+            grid=_chunk(module.grid, lo, hi),
+            scales=module.scales[lo:hi].copy(),
+            bits=module.bits,
+        )
     if isinstance(module, FactorizedLinear):
         return ProjectionShard(
             weight=_chunk(module.u2.data, lo, hi),

@@ -16,9 +16,24 @@ A context takes the fast path when all of the following hold:
   :class:`~repro.runtime.context.CanonicalBlocksContext` built with an
   output head, ``"sharded"`` for the tensor-parallel rank context);
 - for canonical contexts, the model is in eval mode (``module.eval()``)
-  and every projection is a recognized ``Linear`` / ``FactorizedLinear``
-  flavor.  Training forwards (``model.train()``) always keep the
-  Tensor-graph path so autograd works unchanged.
+  and every projection is a recognized ``Linear`` / ``FactorizedLinear`` /
+  ``QuantizedLinear`` / ``QuantizedFactorizedLinear`` flavor.  Training
+  forwards (``model.train()``) always keep the Tensor-graph path so
+  autograd works unchanged.
+
+Quantized projections store int8 grids with per-output-column fp32
+scales.  Their kernels dequantize into the workspace's tag-validated
+dequant cache (see :meth:`~repro.runtime.workspace.Workspace.cache`):
+each projection's fp32 block is materialized once and reused across
+decode steps while the grid identity is unchanged, so the warm loop
+runs pure GEMVs.  The cache has an explicit byte budget; once exhausted,
+kernels stream one column block at a time through shared scratch
+(bounded by the largest block, never a full fp32 weight copy) at the
+cost of per-step dequantization.  Elementwise dequantization of a block
+equals the same columns of the full dequantized matrix, and sgemm
+results are independent of the operand's parent stride, so cached and
+streaming modes are both bit-identical to the Tensor path dequantizing
+the whole grid.
 
 Weight arrays are *referenced*, never copied, so in-place optimizer
 updates are picked up automatically; a cheap id-based signature is checked
@@ -95,16 +110,35 @@ def workspace_of(ctx) -> Optional[Workspace]:
 # ---------------------------------------------------------------------------
 
 class FastProjection:
-    """One role's weight views in the canonical blocked layout."""
+    """One role's weight views in the canonical blocked layout.
 
-    __slots__ = ("weight", "edges", "bias", "u1", "core")
+    Exactly one of ``weight`` / ``grid`` is set: fp32 storage keeps the
+    dense weight (or U2 of a factor chain) in ``weight``; quantized
+    storage keeps the int8 grid in ``grid`` with per-output-column fp32
+    ``scales``.  A quantized factor chain additionally carries grid +
+    scales for the replicated U1/core prefix.
+    """
 
-    def __init__(self, weight, edges, bias=None, u1=None, core=None) -> None:
+    __slots__ = ("weight", "edges", "bias", "u1", "core",
+                 "grid", "scales", "u1_grid", "u1_scales",
+                 "core_grid", "core_scales", "out_width", "key")
+
+    def __init__(self, weight, edges, bias=None, u1=None, core=None,
+                 grid=None, scales=None, u1_grid=None, u1_scales=None,
+                 core_grid=None, core_scales=None, key="") -> None:
         self.weight = weight      # dense weight, or U2 for a factor chain
         self.edges = tuple(edges)
         self.bias = bias
         self.u1 = u1
         self.core = core
+        self.grid = grid          # int8 dense grid, or U2 grid (quantized)
+        self.scales = scales
+        self.u1_grid = u1_grid
+        self.u1_scales = u1_scales
+        self.core_grid = core_grid
+        self.core_scales = core_scales
+        self.out_width = weight.shape[1] if weight is not None else grid.shape[1]
+        self.key = key            # stable per-projection dequant-cache key
 
 
 class FastLayer:
@@ -180,9 +214,16 @@ _CANONICAL_ROLES = (
 
 
 def _module_sig(module) -> Optional[tuple]:
-    """Identity tuple of a Linear/FactorizedLinear flavor (None: unknown)."""
+    """Identity tuple of a recognized projection flavor (None: unknown)."""
     bias = getattr(module, "bias", None)
     bias_id = 0 if bias is None else id(bias.data)
+    grid = getattr(module, "grid", None)
+    if grid is not None:
+        return (id(module), id(grid), id(module.scales), bias_id)
+    u2_grid = getattr(module, "u2_grid", None)
+    if u2_grid is not None:
+        return (id(module), id(module.u1_grid), id(module.core_grid),
+                id(u2_grid), bias_id)
     u1 = getattr(module, "u1", None)
     if u1 is not None:
         return (id(module), id(u1.data), id(module.core.data),
@@ -221,9 +262,19 @@ def _canonical_signature(ctx) -> Optional[tuple]:
     return tuple(parts)
 
 
-def _fast_projection(module, edges) -> FastProjection:
+def _fast_projection(module, edges, key="") -> FastProjection:
     bias = getattr(module, "bias", None)
     bias_arr = None if bias is None else bias.data
+    if getattr(module, "grid", None) is not None:
+        return FastProjection(None, edges, bias_arr,
+                              grid=module.grid, scales=module.scales, key=key)
+    if getattr(module, "u2_grid", None) is not None:
+        return FastProjection(None, edges, bias_arr,
+                              grid=module.u2_grid, scales=module.u2_scales,
+                              u1_grid=module.u1_grid,
+                              u1_scales=module.u1_scales,
+                              core_grid=module.core_grid,
+                              core_scales=module.core_scales, key=key)
     if getattr(module, "u1", None) is not None:
         return FastProjection(module.u2.data, edges, bias_arr,
                               u1=module.u1.data, core=module.core.data)
@@ -232,12 +283,13 @@ def _fast_projection(module, edges) -> FastProjection:
 
 def _build_canonical(ctx, sig, ws) -> Optional[FastState]:
     layers = []
-    for block in ctx.blocks:
+    for index, block in enumerate(ctx.blocks):
         proj = {}
         for role, owner_name, edges_attr in _CANONICAL_ROLES:
             owner = getattr(block, owner_name)
             proj[role] = _fast_projection(getattr(owner, role),
-                                          getattr(owner, edges_attr))
+                                          getattr(owner, edges_attr),
+                                          key=f"L{index}.{role}")
         layers.append(FastLayer(
             block.attn_norm.weight.data, np.float32(block.attn_norm.eps),
             block.mlp_norm.weight.data, np.float32(block.mlp_norm.eps),
@@ -246,7 +298,8 @@ def _build_canonical(ctx, sig, ws) -> Optional[FastState]:
     final_norm = ctx._final_norm
     if ctx._lm_head is not None:
         head = FastHead(final_norm.weight.data, np.float32(final_norm.eps),
-                        proj=_fast_projection(ctx._lm_head, ctx._head_edges))
+                        proj=_fast_projection(ctx._lm_head, ctx._head_edges,
+                                              key="head"))
     else:
         tied = ctx._embed.weight.data.T
         head = FastHead(final_norm.weight.data, np.float32(final_norm.eps),
@@ -259,18 +312,27 @@ def _build_canonical(ctx, sig, ws) -> Optional[FastState]:
     )
 
 
+def _from_shard(ps, key="") -> FastProjection:
+    if getattr(ps, "grid", None) is not None:
+        return FastProjection(None, ps.edges, ps.bias,
+                              grid=ps.grid, scales=ps.scales,
+                              u1_grid=ps.u1_grid, u1_scales=ps.u1_scales,
+                              core_grid=ps.core_grid,
+                              core_scales=ps.core_scales, key=key)
+    if ps.factorized:
+        return FastProjection(ps.weight, ps.edges, ps.bias,
+                              u1=ps.u1, core=ps.core)
+    return FastProjection(ps.weight, ps.edges, ps.bias)
+
+
 def _build_sharded(ctx, sig, ws) -> FastState:
     shard = ctx.shard
     layers = []
-    for layer_shard in shard.layers:
+    for index, layer_shard in enumerate(shard.layers):
         proj = {}
         for role in ("w_q", "w_k", "w_v", "w_so", "w_g", "w_u", "w_d"):
-            ps = getattr(layer_shard, role)
-            if ps.factorized:
-                proj[role] = FastProjection(ps.weight, ps.edges, ps.bias,
-                                            u1=ps.u1, core=ps.core)
-            else:
-                proj[role] = FastProjection(ps.weight, ps.edges, ps.bias)
+            proj[role] = _from_shard(getattr(layer_shard, role),
+                                     key=f"L{index}.{role}")
         layers.append(FastLayer(
             layer_shard.attn_norm, np.float32(_RMS_EPS),
             layer_shard.mlp_norm, np.float32(_RMS_EPS),
@@ -280,15 +342,8 @@ def _build_sharded(ctx, sig, ws) -> FastState:
         # A non-last pipeline stage returns hidden states — no head.
         head = None
     elif shard.lm_head is not None:
-        head_proj = shard.lm_head
-        if head_proj.factorized:
-            proj = FastProjection(head_proj.weight, head_proj.edges,
-                                  head_proj.bias, u1=head_proj.u1,
-                                  core=head_proj.core)
-        else:
-            proj = FastProjection(head_proj.weight, head_proj.edges,
-                                  head_proj.bias)
-        head = FastHead(shard.final_norm, np.float32(_RMS_EPS), proj=proj)
+        head = FastHead(shard.final_norm, np.float32(_RMS_EPS),
+                        proj=_from_shard(shard.lm_head, key="head"))
     else:
         # Tied head: GLOBAL vocab edges slice the full transposed table;
         # the rank's output chunk is packed contiguously (executor layout).
@@ -379,19 +434,102 @@ def _blocked_into(x: np.ndarray, weight: np.ndarray, edges, out: np.ndarray) -> 
         np.matmul(x, weight[:, a:b], out=out[..., a:b])
 
 
+def _dequant_scratch(ws: Workspace, grid: np.ndarray, scales: np.ndarray,
+                     name: str) -> np.ndarray:
+    """Dequantize a whole (small) grid into a reusable workspace buffer.
+
+    ``int8 * fp32-scale`` with an fp32 ``out=`` is elementwise-identical
+    to ``grid.astype(float32) * scales[None, :]`` — the Tensor reference's
+    dequantization — so GEMMs against the scratch see the same bytes.
+    """
+    out = ws.buf(name, grid.shape)
+    np.multiply(grid, scales[None, :], out=out)
+    return out
+
+
+def _dequant(ws: Workspace, grid: np.ndarray, scales: np.ndarray,
+             key: str, scratch: str) -> np.ndarray:
+    """The grid's fp32 dequantization, cached when the budget allows.
+
+    A cache hit with an unchanged (grid, scales) identity costs nothing —
+    the warm decode loop then runs pure GEMVs on previously dequantized
+    weights, which is what keeps quantized decode within a hair of the
+    fp32 fast path (NumPy's elementwise int8→fp32 multiply costs several
+    times the GEMV it would feed).  Over budget, every call streams
+    through shared :meth:`Workspace.buf` scratch instead.  Cached or
+    streamed, the buffer holds exactly ``fl(grid * scales)`` — the same
+    operand bytes — so bit identity is unaffected by the caching policy.
+    """
+    cached = ws.cache(key, grid.shape, (id(grid), id(scales)))
+    if cached is None:
+        return _dequant_scratch(ws, grid, scales, scratch)
+    out, fresh = cached
+    if fresh:
+        np.multiply(grid, scales[None, :], out=out)
+    return out
+
+
+def _quant_blocked_into(ws: Workspace, x: np.ndarray, p: FastProjection,
+                        out: np.ndarray) -> None:
+    """Quantized ``blocked_project``: dequantize, then GEMM per block.
+
+    With dequant-cache budget the full grid is dequantized once and column
+    blocks are GEMMed as slices (sgemm results are independent of the
+    operand's parent stride).  Over budget, the scratch holds one column
+    block at a time — bounded by the largest block, never a full fp32 copy
+    of the weight.  A block's dequantized values equal the same columns of
+    the full dequantized matrix, so both modes are bit-identical to
+    :func:`_blocked_into` over the full dequant.
+    """
+    grid, scales = p.grid, p.scales
+    cached = ws.cache("deq." + p.key, grid.shape, (id(grid), id(scales)))
+    if cached is not None:
+        w, fresh = cached
+        if fresh:
+            np.multiply(grid, scales[None, :], out=w)
+        _blocked_into(x, w, p.edges, out)
+        return
+    if len(p.edges) == 1:
+        w = _dequant_scratch(ws, grid, scales, "deq.blk")
+        np.matmul(x, w, out=out)
+        return
+    for a, b in p.edges:
+        w = ws.buf("deq.blk", (grid.shape[0], b - a))
+        np.multiply(grid[:, a:b], scales[a:b][None, :], out=w)
+        np.matmul(x, w, out=out[..., a:b])
+
+
+def _quant_prefix(ws: Workspace, p: FastProjection, x: np.ndarray,
+                  name: str) -> np.ndarray:
+    """The factor chain's ``(x @ U1) @ core`` on dequantized factors."""
+    u1 = _dequant(ws, p.u1_grid, p.u1_scales, "deq." + p.key + ".u1", "deq.u1")
+    core = _dequant(ws, p.core_grid, p.core_scales,
+                    "deq." + p.key + ".core", "deq.core")
+    low = ws.buf(name + ".r1", x.shape[:-1] + (u1.shape[1],))
+    np.matmul(x, u1, out=low)
+    mid = ws.buf(name + ".r2", x.shape[:-1] + (core.shape[1],))
+    np.matmul(low, core, out=mid)
+    return mid
+
+
 def _project(state: FastState, layer: int, role: str, x: np.ndarray,
              name: str, region: _Region) -> np.ndarray:
     p = state.layers[layer].proj[role]
     ws = state.ws
     region.start()
-    if p.u1 is not None:
+    if p.u1_grid is not None:
+        x = _quant_prefix(ws, p, x, name)
+    elif p.u1 is not None:
         low = ws.buf(name + ".r1", x.shape[:-1] + (p.u1.shape[1],))
         np.matmul(x, p.u1, out=low)
         mid = ws.buf(name + ".r2", x.shape[:-1] + (p.core.shape[1],))
         np.matmul(low, p.core, out=mid)
         x = mid
-    out = ws.buf(name, x.shape[:-1] + (p.weight.shape[1],))
-    _blocked_into(x, p.weight, p.edges, out)
+    out = ws.buf(name, x.shape[:-1] + (p.out_width,))
+    if p.grid is not None:
+        _quant_blocked_into(ws, x, p, out)
+    else:
+        _blocked_into(x, p.weight, p.edges, out)
     if p.bias is not None:
         np.add(out, p.bias, out=out)
     region.stop(f"layer{layer}.{role}")
@@ -716,18 +854,23 @@ def _logits(state: FastState, x: np.ndarray, region: _Region) -> np.ndarray:
     if head.proj is not None:
         p = head.proj
         hidden = normed
-        if p.u1 is not None:
+        if p.u1_grid is not None:
+            hidden = _quant_prefix(ws, p, hidden, "lm_head")
+        elif p.u1 is not None:
             low = ws.buf("lm_head.r1", hidden.shape[:-1] + (p.u1.shape[1],))
             np.matmul(hidden, p.u1, out=low)
             mid = ws.buf("lm_head.r2", hidden.shape[:-1] + (p.core.shape[1],))
             np.matmul(low, p.core, out=mid)
             hidden = mid
-        width = p.weight.shape[1]
+        width = p.out_width
         if state.gather is None:
             out = np.empty((batch, seq_len, width), dtype=np.float32)
         else:
             out = ws.buf("lm_head.local", (batch, seq_len, width))
-        _blocked_into(hidden, p.weight, p.edges, out)
+        if p.grid is not None:
+            _quant_blocked_into(ws, hidden, p, out)
+        else:
+            _blocked_into(hidden, p.weight, p.edges, out)
         if p.bias is not None:
             np.add(out, p.bias, out=out)
         if state.gather is None:

@@ -16,6 +16,16 @@ exact-shape basic-slice view.  Views keep the backing buffer's unit inner
 stride, so the GEMMs writing into them stay on the BLAS path — the bit
 pattern of every result is identical to a freshly allocated output.
 
+Quantized projections additionally use :meth:`Workspace.cache`: a
+*content-tagged* buffer region with an explicit byte budget
+(:data:`DEFAULT_DEQUANT_CACHE_BYTES`).  Dequantized weights are written
+once and reused across decode steps as long as their tag (the identity of
+the int8 grid + scales) is unchanged; when the budget is exhausted the
+kernels fall back to streaming blockwise dequantization through ordinary
+:meth:`Workspace.buf` scratch, bounded by the largest single block.  The
+budget is what keeps the dequant footprint a tunable scratch cost rather
+than an unconditional fp32 copy of every quantized weight.
+
 ``allocations`` / ``bytes_allocated`` count *backing-array* creations
 only.  They are the regression surface for the zero-allocation-per-step
 contract: once the decode loop is warm, both counters must stop moving.
@@ -23,21 +33,33 @@ contract: once the decode loop is warm, both counters must stop moving.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 _INITIAL_CAPACITY = 32
 
+#: Default budget for the tag-validated dequantized-weight cache.  Sized so
+#: every model in the registry that fits this repo's CPU-scale serving also
+#: fits its dequantized working set; cut it (down to 0) to trade decode
+#: throughput for strictly-bounded streaming dequant scratch.
+DEFAULT_DEQUANT_CACHE_BYTES = 64 << 20
+
 
 class Workspace:
     """Named reusable buffers with allocation accounting."""
 
-    __slots__ = ("_exact", "_grown", "allocations", "bytes_allocated")
+    __slots__ = ("_exact", "_grown", "_cache", "cache_limit", "cache_bytes",
+                 "allocations", "bytes_allocated")
 
-    def __init__(self) -> None:
+    def __init__(self, cache_limit: Optional[int] = None) -> None:
         self._exact: Dict[tuple, np.ndarray] = {}
         self._grown: Dict[tuple, np.ndarray] = {}
+        self._cache: Dict[tuple, Tuple[np.ndarray, tuple]] = {}
+        self.cache_limit = (
+            DEFAULT_DEQUANT_CACHE_BYTES if cache_limit is None else cache_limit
+        )
+        self.cache_bytes = 0
         self.allocations = 0
         self.bytes_allocated = 0
 
@@ -59,6 +81,44 @@ class Workspace:
             array = self._allocate(shape, dtype, zero=False)
             self._exact[key] = array
         return array
+
+    def cache(
+        self,
+        name: str,
+        shape: Tuple[int, ...],
+        tag: tuple,
+        dtype=np.float32,
+    ) -> Optional[Tuple[np.ndarray, bool]]:
+        """A content-tagged buffer under the dequant-cache budget.
+
+        Returns ``(array, fresh)`` — ``fresh`` is True when the caller must
+        (re)fill the buffer: on first allocation and whenever ``tag``
+        differs from the tag recorded at the last fill.  With an unchanged
+        tag the previous contents are valid, so a warm decode loop skips
+        the fill entirely.  Returns ``None`` when allocating would exceed
+        ``cache_limit``; callers then stream through :meth:`buf` scratch.
+
+        Tags are identity-based by convention (``id`` of the source
+        arrays): the cache assumes quantized grids are immutable once
+        built — rebinding to new arrays retags, in-place mutation does
+        not.  Entries are never evicted; per-projection structural names
+        keep the entry count bounded by the model's projection count.
+        """
+        key = (name, shape, np.dtype(dtype).str)
+        entry = self._cache.get(key)
+        if entry is not None:
+            array, stored = entry
+            if stored != tag:
+                self._cache[key] = (array, tag)
+                return array, True
+            return array, False
+        nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        if self.cache_bytes + nbytes > self.cache_limit:
+            return None
+        array = self._allocate(shape, dtype, zero=False)
+        self.cache_bytes += nbytes
+        self._cache[key] = (array, tag)
+        return array, True
 
     def seq_buf(
         self,
@@ -95,10 +155,11 @@ class Workspace:
 
     def __repr__(self) -> str:
         return (
-            f"Workspace(buffers={len(self._exact) + len(self._grown)}, "
+            f"Workspace(buffers="
+            f"{len(self._exact) + len(self._grown) + len(self._cache)}, "
             f"allocations={self.allocations}, "
             f"bytes={self.bytes_allocated:,})"
         )
 
 
-__all__ = ["Workspace"]
+__all__ = ["DEFAULT_DEQUANT_CACHE_BYTES", "Workspace"]

@@ -7,7 +7,11 @@ A *variant spec* is a short string naming how the base model's weights are
 - ``"pr<NN>"`` — the paper's Table 4 recipe for an ``NN``-percent
   parameter-reduction target, scaled to the base model's depth
   (rank 1, all tensors — Section 3.4's best scheme);
-- ``"rank<K>"`` — uniform rank ``K`` across *all* layers and tensors.
+- ``"rank<K>"`` — uniform rank ``K`` across *all* layers and tensors;
+- ``"<base>-int<B>"`` — any of the above with every per-layer projection
+  additionally stored as real int8-grid quantized weights at ``B`` bits
+  (e.g. ``"dense-int8"``, ``"rank8-int8"``, ``"rank1-int8"`` — the
+  compound rank × bits operating points the QoS ladder walks).
 
 The registry materializes variants lazily: each spec gets its own freshly
 built model sharing the base weights (copied via ``state_dict``) with
@@ -29,9 +33,13 @@ hot-swap actually touches) next to the full dense footprint.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
+from repro.compression.quantization import (
+    RealQuantizationReport,
+    quantize_model_real,
+)
 from repro.decomposition.apply import DecompositionReport, decompose_model
 from repro.decomposition.config import DecompositionConfig
 from repro.decomposition.recipes import PAPER_TABLE4, scale_recipe
@@ -41,11 +49,20 @@ from repro.models.config import ModelConfig
 
 _PR_PATTERN = re.compile(r"^pr(\d+)$")
 _RANK_PATTERN = re.compile(r"^rank(\d+)$")
+_QUANT_PATTERN = re.compile(r"^(.+)-int(\d+)$")
 
 
 def parse_variant_spec(spec: str, config: ModelConfig) -> DecompositionConfig:
     """Translate a variant spec string into a :class:`DecompositionConfig`."""
     spec = spec.strip().lower()
+    match = _QUANT_PATTERN.match(spec)
+    if match:
+        base = parse_variant_spec(match.group(1), config)
+        bits = int(match.group(2))
+        try:
+            return replace(base, bits=bits)
+        except Exception as exc:  # ConfigError on unsupported widths
+            raise ServingError(f"bad quantized variant spec {spec!r}: {exc}") from exc
     if spec == "dense":
         return DecompositionConfig.identity()
     match = _PR_PATTERN.match(spec)
@@ -65,7 +82,8 @@ def parse_variant_spec(spec: str, config: ModelConfig) -> DecompositionConfig:
             config, range(config.n_layers), rank=rank
         )
     raise ServingError(
-        f"unknown variant spec {spec!r}; expected 'dense', 'pr<NN>', or 'rank<K>'"
+        f"unknown variant spec {spec!r}; expected 'dense', 'pr<NN>', "
+        "'rank<K>', or '<base>-int<B>'"
     )
 
 
@@ -80,15 +98,29 @@ class ModelVariant:
     shares_base: bool = False
     private_bytes: int = 0   # parameter bytes not aliased from the base
     total_bytes: int = 0     # full parameter footprint of this variant
+    quant: Optional[RealQuantizationReport] = None  # set for -int<B> specs
 
     @property
     def parameter_reduction(self) -> float:
         return 0.0 if self.report is None else self.report.parameter_reduction
 
+    @property
+    def bits(self) -> Optional[int]:
+        return self.decomposition.bits
+
     def describe(self) -> str:
+        suffix = ""
+        if self.quant is not None:
+            suffix = (
+                f" [int{self.quant.bits}: "
+                f"{self.quant.memory_reduction_x:.2f}x weight shrink]"
+            )
         if self.report is None:
-            return f"{self.spec}: dense baseline ({self.model.num_parameters():,} params)"
-        return f"{self.spec}: {self.report.summary()}"
+            return (
+                f"{self.spec}: dense baseline "
+                f"({self.model.num_parameters():,} params){suffix}"
+            )
+        return f"{self.spec}: {self.report.summary()}{suffix}"
 
 
 class VariantRegistry:
@@ -135,12 +167,23 @@ class VariantRegistry:
         report = None
         if not decomposition.is_identity:
             report = decompose_model(model, decomposition)
+        quant = None
+        if decomposition.bits is not None:
+            quant = quantize_model_real(model, decomposition.bits)
+        model.eval()
         base_ids = {id(p.data) for _, p in self.base_model.named_parameters()}
         private = total = 0
         for _, param in model.named_parameters():
             total += param.data.nbytes
             if id(param.data) not in base_ids:
                 private += param.data.nbytes
+        if quant is not None:
+            # The int8 grids + scales are plain arrays (not Parameters):
+            # count their measured bytes in by hand.  They are private by
+            # construction — quantization never aliases base storage.
+            grid_bytes = int(quant.weight_bytes_after)
+            private += grid_bytes
+            total += grid_bytes
         return ModelVariant(
             spec=spec,
             model=model,
@@ -149,4 +192,5 @@ class VariantRegistry:
             shares_base=self.share_base,
             private_bytes=private if self.share_base else total,
             total_bytes=total,
+            quant=quant,
         )

@@ -154,3 +154,42 @@ class TestPrunedSpace:
         assert space[0].is_identity
         assert all(gamma.is_valid(LLAMA2_7B) for gamma in space)
         assert all(gamma.rank == 1 for gamma in space[1:])
+
+
+class TestBitsAxis:
+    def test_bit_choices_multiply_the_space(self):
+        base = design_space_size(3, 2, 4)
+        joint = design_space_size(3, 2, 4, bit_choices=3)
+        assert joint - 1 == (base - 1) * 3
+
+    def test_bits_validated_against_supported_widths(self):
+        with pytest.raises(ConfigError, match="bits"):
+            replace(DecompositionConfig.identity(), bits=7)
+        assert replace(DecompositionConfig.identity(), bits=8).bits == 8
+
+    def test_describe_mentions_bits(self):
+        config = replace(DecompositionConfig.identity(), bits=4)
+        assert "int4" in config.describe()
+
+    def test_pruned_space_crosses_bit_widths(self):
+        from repro.decomposition import table4_layers
+
+        layer_sets = [table4_layers(33)]
+        fp32_only = pruned_design_space(LLAMA2_7B, layer_sets)
+        joint = pruned_design_space(
+            LLAMA2_7B, layer_sets, bit_widths=(None, 8, 4)
+        )
+        # Each quantized width adds a dense-int point plus one point per
+        # layer set; fp32 contributes no dense twin (identity is already
+        # the first entry).
+        assert len(fp32_only) == len(layer_sets) + 1
+        assert len(joint) == 1 + len(layer_sets) + 2 * (len(layer_sets) + 1)
+        bits_seen = {gamma.bits for gamma in joint}
+        assert bits_seen == {None, 8, 4}
+        dense_quant = [g for g in joint if g.is_identity and g.bits == 8]
+        assert len(dense_quant) == 1
+        assert all(gamma.is_valid(LLAMA2_7B) for gamma in joint)
+
+    def test_bit_widths_deduplicated(self):
+        space = pruned_design_space(LLAMA2_7B, [], bit_widths=(8, 8, None))
+        assert len(space) == 2  # identity + dense-int8, no duplicates

@@ -114,3 +114,75 @@ class TestMemoryModel:
         with pytest.raises(HardwareModelError):
             max_batch_size(big, A100_80GB, seq_len=128, n_gpus=1)
         assert max_batch_size(big, A100_80GB, seq_len=128, n_gpus=4) >= 1
+
+
+class TestQuantizedMemoryModel:
+    def test_dense_projection_formula(self):
+        from repro.hwmodel import quantized_projection_bytes
+
+        assert quantized_projection_bytes(64, 48, None, 8) == 64 * 48 + 48 * 4
+
+    def test_chain_projection_formula(self):
+        from repro.hwmodel import quantized_projection_bytes
+
+        rank = 4
+        params = 64 * rank + rank * rank + rank * 48
+        scales = (rank + rank + 48) * 4
+        assert quantized_projection_bytes(64, 48, rank, 4) == params * 4 / 8 + scales
+
+    def test_dense_int8_shrinks_weights(self):
+        from dataclasses import replace
+
+        quantized = replace(DecompositionConfig.identity(), bits=8)
+        assert model_weight_bytes(LLAMA2_7B, quantized) < model_weight_bytes(LLAMA2_7B)
+
+    def test_lower_bits_shrink_more(self):
+        from dataclasses import replace
+
+        sizes = [
+            model_weight_bytes(
+                LLAMA2_7B, replace(DecompositionConfig.identity(), bits=bits)
+            )
+            for bits in (8, 4, 2)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_rank_and_bits_compound(self):
+        from dataclasses import replace
+
+        decomposed = DecompositionConfig.all_tensors(
+            LLAMA2_7B, table4_layers(33), rank=1
+        )
+        joint = replace(decomposed, bits=8)
+        assert model_weight_bytes(LLAMA2_7B, joint) < model_weight_bytes(
+            LLAMA2_7B, decomposed
+        )
+
+    def test_embeddings_and_head_stay_fp16(self):
+        """Quantization touches per-layer projections only, so the shrink
+        is bounded by the projection share of total parameters."""
+        from dataclasses import replace
+
+        quantized = replace(DecompositionConfig.identity(), bits=8)
+        total = model_weight_bytes(LLAMA2_7B)
+        shrunk = model_weight_bytes(LLAMA2_7B, quantized)
+        saved = total - shrunk
+        projection_fp16 = sum(
+            LLAMA2_7B.tensor_shape(role)[0] * LLAMA2_7B.tensor_shape(role)[1] * 2
+            for role in LLAMA2_7B.tensor_roles
+        ) * LLAMA2_7B.n_layers
+        assert 0 < saved < projection_fp16
+
+    def test_quantized_decode_workload_streams_fewer_bytes(self):
+        from dataclasses import replace
+
+        dense = build_workload(LLAMA2_7B, batch=1, seq_len=1)
+        quantized = build_workload(
+            LLAMA2_7B,
+            batch=1,
+            seq_len=1,
+            decomposition=replace(DecompositionConfig.identity(), bits=8),
+        )
+        assert sum(op.weight_bytes for op in quantized.ops) < sum(
+            op.weight_bytes for op in dense.ops
+        )

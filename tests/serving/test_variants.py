@@ -115,3 +115,45 @@ class TestSharedBaseRegistry:
         variant = VariantRegistry(smoke_model, share_base=False).get("dense")
         assert variant.shares_base is False
         assert variant.private_bytes == variant.total_bytes
+
+
+class TestQuantizedSpecs:
+    def test_int_suffix_parses_recursively(self, smoke_config):
+        config = parse_variant_spec("rank2-int8", smoke_config)
+        assert config.rank == 2 and config.bits == 8
+        assert config.layers == tuple(range(smoke_config.n_layers))
+
+    def test_dense_int_is_identity_with_bits(self, smoke_config):
+        config = parse_variant_spec("dense-int4", smoke_config)
+        assert config.is_identity and config.bits == 4
+
+    def test_unsupported_width_rejected(self, smoke_config):
+        with pytest.raises(ServingError, match="quantized variant"):
+            parse_variant_spec("dense-int7", smoke_config)
+
+    def test_unknown_base_rejected(self, smoke_config):
+        with pytest.raises(ServingError):
+            parse_variant_spec("turbo-int8", smoke_config)
+
+    def test_quantized_variant_materializes_real_storage(self, smoke_model):
+        registry = VariantRegistry(smoke_model)
+        variant = registry.get("dense-int8")
+        assert variant.bits == 8
+        assert variant.quant is not None
+        assert variant.quant.memory_reduction_x > 3.0
+        assert "int8" in variant.describe()
+
+    def test_quantized_chain_compounds_both_reductions(self, smoke_model):
+        registry = VariantRegistry(smoke_model)
+        variant = registry.get("rank1-int8")
+        assert variant.parameter_reduction > 0.0
+        assert variant.quant is not None and variant.quant.bits == 8
+
+    def test_base_model_untouched_by_quantized_variant(self, smoke_model):
+        before = {
+            name: param.data.copy()
+            for name, param in smoke_model.named_parameters()
+        }
+        VariantRegistry(smoke_model).get("dense-int8")
+        for name, param in smoke_model.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
